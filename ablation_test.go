@@ -1,0 +1,125 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// double-exponential schedules (Key Technique II), the mice filter, and
+// the emergency layer. Run with -v to see the measured outlier/failure
+// numbers alongside the timing.
+
+// BenchmarkAblationSchedules quantifies §3.2's warning that arithmetic
+// width/threshold sequences "thoroughly undermine" ReliableSketch: same
+// memory, same stream, four schedule kinds, outliers compared.
+func BenchmarkAblationSchedules(b *testing.B) {
+	s := stream.IPTrace(300_000, 11)
+	const mem = 32 << 10 // tight: schedule quality decides whether control is kept
+	const lam = 25
+	kinds := []core.ScheduleKind{
+		core.ScheduleGeometric,
+		core.ScheduleArithmeticWidths,
+		core.ScheduleArithmeticLambdas,
+		core.ScheduleArithmeticBoth,
+	}
+	for _, kind := range kinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			var outliers int
+			var fails uint64
+			for i := 0; i < b.N; i++ {
+				sk := core.MustNew(core.Config{
+					Lambda: lam, MemoryBytes: mem, Seed: 11, Schedule: kind,
+				})
+				metrics.Feed(sk, s)
+				fails, _ = sk.InsertionFailures()
+				outliers = metrics.Evaluate(sk, s, lam).Outliers
+			}
+			// Insertion failures are the controlled quantity: each one voids
+			// the certificate. Geometric reaches 0 here; arithmetic cannot.
+			b.ReportMetric(float64(fails), "failures")
+			b.ReportMetric(float64(outliers), "outliers")
+		})
+	}
+}
+
+// BenchmarkAblationMiceFilter measures the filter's trade (paper §3.3 and
+// Figure 10's Ours vs Ours(Raw)): insertion speed against zero-outlier
+// robustness on a mice-heavy stream at tight memory.
+func BenchmarkAblationMiceFilter(b *testing.B) {
+	s := stream.DataCenter(300_000, 12) // many mice keys
+	const mem = 96 << 10
+	const lam = 25
+	for _, withFilter := range []bool{true, false} {
+		name := "filter"
+		mk := func() *core.Sketch { return core.NewFromMemory(mem, lam, 12) }
+		if !withFilter {
+			name = "raw"
+			mk = func() *core.Sketch { return core.NewRaw(mem, lam, 12) }
+		}
+		b.Run(name, func(b *testing.B) {
+			var outliers int
+			for i := 0; i < b.N; i++ {
+				sk := mk()
+				metrics.Feed(sk, s)
+				outliers = metrics.Evaluate(sk, s, lam).Outliers
+			}
+			b.ReportMetric(float64(outliers), "outliers")
+			b.ReportMetric(float64(s.Len()*b.N)/b.Elapsed().Seconds()/1e6, "Mpps")
+		})
+	}
+}
+
+// BenchmarkAblationEmergency measures the emergency layer's overhead: the
+// paper excludes it from accuracy runs; this shows the cost of turning the
+// unconditional guarantee on.
+func BenchmarkAblationEmergency(b *testing.B) {
+	s := stream.IPTrace(300_000, 13)
+	const mem = 256 << 10
+	const lam = 25
+	for _, emergency := range []bool{false, true} {
+		name := "off"
+		if emergency {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sk := core.MustNew(core.Config{
+					Lambda: lam, MemoryBytes: mem, Seed: 13,
+					Emergency: emergency,
+				})
+				metrics.Feed(sk, s)
+			}
+			b.ReportMetric(float64(s.Len()*b.N)/b.Elapsed().Seconds()/1e6, "Mpps")
+		})
+	}
+}
+
+// BenchmarkAblationDepth sweeps the layer count d: the paper recommends
+// d ≥ 7; shallower stacks risk insertion failures, deeper ones cost
+// nothing at sane loads (deep layers are never reached).
+func BenchmarkAblationDepth(b *testing.B) {
+	s := stream.IPTrace(300_000, 14)
+	const mem = 96 << 10
+	const lam = 25
+	for _, d := range []int{2, 4, 7, 12, 20} {
+		b.Run(fmt.Sprintf("d=%02d", d), func(b *testing.B) {
+			var fails uint64
+			var outliers int
+			for i := 0; i < b.N; i++ {
+				sk := core.MustNew(core.Config{
+					Lambda: lam, MemoryBytes: mem, Seed: 14, D: d,
+				})
+				metrics.Feed(sk, s)
+				fails, _ = sk.InsertionFailures()
+				outliers = metrics.Evaluate(sk, s, lam).Outliers
+			}
+			b.ReportMetric(float64(fails), "failures")
+			b.ReportMetric(float64(outliers), "outliers")
+		})
+	}
+}

@@ -1,0 +1,141 @@
+// Package repro's root benchmark suite regenerates every table and figure
+// of the paper, one benchmark per artifact:
+//
+//	go test -bench=. -benchmem                    # all artifacts, bench scale
+//	go test -bench=BenchmarkFig4Outliers -v       # one figure, print rows
+//	go run ./cmd/rsbench -exp fig4b -scale paper  # full paper scale
+//
+// Benchmarks run at a reduced stream scale (see benchOptions) so the whole
+// suite completes on a laptop; the rendered rows are printed under -v.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// benchOptions keeps the full suite's wall time reasonable while preserving
+// every shape the paper reports (memory axes scale with the stream).
+var benchOptions = harness.Options{Items: 200_000, Seed: 1, Trials: 3}
+
+// runExperiment executes a registered artifact once per benchmark
+// iteration and logs the resulting rows (visible with -v).
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := harness.Run(id, benchOptions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, t := range tables {
+				b.Log("\n" + t.String())
+			}
+		}
+	}
+}
+
+func BenchmarkTable1Complexity(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkTable3FPGA(b *testing.B)       { runExperiment(b, "table3") }
+func BenchmarkTable4Switch(b *testing.B)     { runExperiment(b, "table4") }
+
+func BenchmarkFig4Outliers(b *testing.B) {
+	b.Run("lambda5", func(b *testing.B) { runExperiment(b, "fig4a") })
+	b.Run("lambda25", func(b *testing.B) { runExperiment(b, "fig4b") })
+}
+
+func BenchmarkFig5ZeroOutlierMemory(b *testing.B) { runExperiment(b, "fig5") }
+
+func BenchmarkFig6Datasets(b *testing.B) {
+	b.Run("web", func(b *testing.B) { runExperiment(b, "fig6a") })
+	b.Run("datacenter", func(b *testing.B) { runExperiment(b, "fig6b") })
+	b.Run("zipf0.3", func(b *testing.B) { runExperiment(b, "fig6c") })
+	b.Run("zipf3.0", func(b *testing.B) { runExperiment(b, "fig6d") })
+}
+
+func BenchmarkFig7FrequentKeys(b *testing.B) {
+	b.Run("T100", func(b *testing.B) { runExperiment(b, "fig7a") })
+	b.Run("T1000", func(b *testing.B) { runExperiment(b, "fig7b") })
+}
+
+func BenchmarkFig8AAE(b *testing.B) {
+	b.Run("iptrace", func(b *testing.B) { runExperiment(b, "fig8a") })
+	b.Run("zipf3.0", func(b *testing.B) { runExperiment(b, "fig8b") })
+}
+
+func BenchmarkFig9ARE(b *testing.B) {
+	b.Run("iptrace", func(b *testing.B) { runExperiment(b, "fig9a") })
+	b.Run("zipf3.0", func(b *testing.B) { runExperiment(b, "fig9b") })
+}
+
+func BenchmarkFig10Throughput(b *testing.B)     { runExperiment(b, "fig10") }
+func BenchmarkFig11RwZeroOutlier(b *testing.B)  { runExperiment(b, "fig11") }
+func BenchmarkFig12RwAAE(b *testing.B)          { runExperiment(b, "fig12") }
+func BenchmarkFig13RlZeroOutlier(b *testing.B)  { runExperiment(b, "fig13") }
+func BenchmarkFig14RlAAE(b *testing.B)          { runExperiment(b, "fig14") }
+func BenchmarkFig15Lambda(b *testing.B)         { runExperiment(b, "fig15") }
+func BenchmarkFig16HashCalls(b *testing.B)      { runExperiment(b, "fig16") }
+func BenchmarkFig17SensedInterval(b *testing.B) { runExperiment(b, "fig17") }
+func BenchmarkFig18SensedError(b *testing.B)    { runExperiment(b, "fig18") }
+func BenchmarkFig19ErrorControl(b *testing.B)   { runExperiment(b, "fig19") }
+
+func BenchmarkFig20Testbed(b *testing.B) {
+	b.Run("iptrace", func(b *testing.B) { runExperiment(b, "fig20a") })
+	b.Run("hadoop", func(b *testing.B) { runExperiment(b, "fig20b") })
+}
+
+// Micro-benchmarks backing Figure 10's per-operation numbers for the core
+// sketch (competitor micro-benches live in their packages).
+
+func benchStream() *stream.Stream {
+	return stream.IPTrace(200_000, 1)
+}
+
+func BenchmarkOursInsert(b *testing.B) {
+	s := benchStream()
+	sk := core.NewFromMemory(1<<20, 25, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := s.Items[i%len(s.Items)]
+		sk.Insert(it.Key, it.Value)
+	}
+}
+
+func BenchmarkOursRawInsert(b *testing.B) {
+	s := benchStream()
+	sk := core.NewRaw(1<<20, 25, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := s.Items[i%len(s.Items)]
+		sk.Insert(it.Key, it.Value)
+	}
+}
+
+func BenchmarkOursQuery(b *testing.B) {
+	s := benchStream()
+	sk := core.NewFromMemory(1<<20, 25, 1)
+	metrics.Feed(sk, s)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= sk.Query(s.Items[i%len(s.Items)].Key)
+	}
+	_ = sink
+}
+
+func BenchmarkOursQueryWithError(b *testing.B) {
+	s := benchStream()
+	sk := core.NewFromMemory(1<<20, 25, 1)
+	metrics.Feed(sk, s)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		e, m := sk.QueryWithError(s.Items[i%len(s.Items)].Key)
+		sink ^= e + m
+	}
+	_ = sink
+}

@@ -1,0 +1,73 @@
+// Command rsagent replays a binary trace file (cmd/rsgen's format) to a
+// collector (cmd/rscollector) as a measurement agent, then optionally
+// queries keys with certified global bounds.
+//
+// Usage:
+//
+//	rsgen -dataset ip -items 1000000 -out ip.bin
+//	rsagent -collector 127.0.0.1:7777 -id 1 -trace ip.bin
+//	rsagent -collector 127.0.0.1:7777 -id 2 -query 12345
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/netsum"
+	"repro/internal/stream"
+)
+
+func main() {
+	var (
+		collector = flag.String("collector", "127.0.0.1:7777", "collector address")
+		id        = flag.Uint64("id", 1, "agent identity")
+		trace     = flag.String("trace", "", "binary trace file to replay")
+		queryKey  = flag.Uint64("query", 0, "key to query after replay (0 = none)")
+		batch     = flag.Int("batch", 512, "updates per network frame")
+	)
+	flag.Parse()
+
+	a, err := netsum.Dial(*collector, *id)
+	if err != nil {
+		log.Fatalf("rsagent: %v", err)
+	}
+	defer a.Close()
+	a.BatchSize = *batch
+
+	if *trace != "" {
+		s, err := stream.ReadFile(*trace)
+		if err != nil {
+			log.Fatalf("rsagent: %v", err)
+		}
+		start := time.Now()
+		for _, it := range s.Items {
+			if err := a.Record(it.Key, it.Value); err != nil {
+				log.Fatalf("rsagent: record: %v", err)
+			}
+		}
+		if err := a.Flush(); err != nil {
+			log.Fatalf("rsagent: flush: %v", err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("replayed %d items in %v (%.2f Mpps)\n",
+			s.Len(), elapsed.Round(time.Millisecond),
+			float64(s.Len())/elapsed.Seconds()/1e6)
+	}
+
+	if *queryKey != 0 {
+		est, mpe, err := a.Query(*queryKey)
+		if err != nil {
+			log.Fatalf("rsagent: query: %v", err)
+		}
+		fmt.Printf("key %d: estimate=%d, certified global interval [%d, %d]\n",
+			*queryKey, est, est-mpe, est)
+	}
+
+	agents, updates, queries, err := a.Stats()
+	if err != nil {
+		log.Fatalf("rsagent: stats: %v", err)
+	}
+	fmt.Printf("collector: %d agents, %d updates, %d queries\n", agents, updates, queries)
+}

@@ -1,0 +1,74 @@
+// Command rsbench regenerates the paper's tables and figures as text rows.
+//
+// Usage:
+//
+//	rsbench -list                     # show every reproducible artifact
+//	rsbench -exp fig4b                # run one experiment at default scale
+//	rsbench -exp all -items 10000000  # full paper scale
+//	rsbench -exp fig7a -trials 100    # the paper's worst-of-100 methodology
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (e.g. fig4a, table3) or 'all'")
+		list   = flag.Bool("list", false, "list all experiments and exit")
+		items  = flag.Int("items", harness.DefaultOptions.Items, "stream length")
+		seed   = flag.Uint64("seed", harness.DefaultOptions.Seed, "generator and hash seed")
+		trials = flag.Int("trials", harness.DefaultOptions.Trials, "repetitions for worst-case experiments")
+		scale  = flag.String("scale", "", "preset: 'paper' (10M items, 100 trials) or 'quick' (100k items)")
+	)
+	flag.Parse()
+
+	o := harness.Options{Items: *items, Seed: *seed, Trials: *trials}
+	switch *scale {
+	case "paper":
+		o = harness.PaperOptions
+	case "quick":
+		o = harness.Options{Items: 100_000, Seed: *seed, Trials: 3}
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "rsbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	if *list {
+		for _, e := range harness.List() {
+			fmt.Printf("%-8s  %s\n", e.ID, e.Description)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "rsbench: -exp or -list required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = ids[:0]
+		for _, e := range harness.List() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := harness.Run(id, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rsbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

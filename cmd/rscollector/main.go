@@ -1,0 +1,64 @@
+// Command rscollector runs a network-wide measurement collector: agents
+// (cmd/rsagent) stream key-value updates over TCP; the collector maintains
+// one ReliableSketch per agent and answers global queries with certified
+// error bounds.
+//
+// Usage:
+//
+//	rscollector -listen 127.0.0.1:7777 -lambda 25 -mem 1048576
+//
+// The collector prints periodic ingest statistics to stdout; stop it with
+// SIGINT. Agents may query through their own connections (rsagent -query).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/netsum"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7777", "address to listen on")
+		lambda = flag.Uint64("lambda", 25, "per-agent error tolerance Λ")
+		mem    = flag.Int("mem", 1<<20, "per-agent sketch memory (bytes)")
+		seed   = flag.Uint64("seed", 1, "sketch hash seed")
+		every  = flag.Duration("stats", 5*time.Second, "statistics print interval")
+	)
+	flag.Parse()
+
+	c, err := netsum.NewCollector(*listen, netsum.CollectorConfig{
+		Lambda:      *lambda,
+		MemoryBytes: *mem,
+		Seed:        *seed,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("rscollector: %v", err)
+	}
+	fmt.Printf("rscollector listening on %s (Λ=%d, %dB per agent)\n",
+		c.Addr(), *lambda, *mem)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	ticker := time.NewTicker(*every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			agents, updates, queries := c.Stats()
+			fmt.Printf("agents=%d updates=%d queries=%d\n", agents, updates, queries)
+		case <-stop:
+			fmt.Println("\nshutting down")
+			if err := c.Close(); err != nil {
+				log.Printf("rscollector: close: %v", err)
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Command rsdemo streams a workload through ReliableSketch and every
+// competitor side by side and prints an accuracy/speed scoreboard — a quick
+// way to see the paper's headline claim (zero outliers at near-best
+// throughput) on any dataset and memory budget.
+//
+// Usage:
+//
+//	rsdemo                       # IP trace, 1MB-equivalent memory, Λ=25
+//	rsdemo -dataset hadoop -mem 262144 -lambda 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "ip", "ip | web | dc | hadoop | zipf0.3 | zipf3.0")
+		items   = flag.Int("items", 1_000_000, "stream length")
+		mem     = flag.Int("mem", 104_858, "memory budget in bytes per sketch")
+		lambda  = flag.Uint64("lambda", 25, "error tolerance Λ")
+		seed    = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	s, ok := stream.ByName(*dataset, *items, *seed)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rsdemo: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	fmt.Printf("dataset=%s items=%d distinct=%d memory=%dB Λ=%d\n\n",
+		s.Name, s.Len(), s.Distinct(), *mem, *lambda)
+
+	t := &harness.Table{
+		ID:    "demo",
+		Title: "accuracy & speed scoreboard",
+		Header: []string{"Algorithm", "#Outliers", "AAE", "ARE",
+			"Insert(Mpps)", "Query(Mpps)", "Memory(B)"},
+	}
+	for _, f := range harness.AllFactories(*lambda, *seed) {
+		sk := f.New(*mem)
+		insDur := metrics.Feed(sk, s)
+		rep := metrics.Evaluate(sk, s, *lambda)
+		qryDur, qn := metrics.QueryAll(sk, s)
+		t.AddRow(f.Name, rep.Outliers, rep.AAE, rep.ARE,
+			metrics.Mpps(s.Len(), insDur), metrics.Mpps(qn, qryDur), sk.MemoryBytes())
+	}
+	fmt.Println(t)
+}

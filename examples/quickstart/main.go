@@ -1,0 +1,50 @@
+// Quickstart: build a ReliableSketch, feed it a key-value stream, and query
+// value sums with certified error bounds.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// A sketch for streams totalling ~1M value, with every key's error
+	// guaranteed below Λ=25 (with overwhelming probability). Memory is
+	// derived from Λ and the expected stream size automatically.
+	sk := core.MustNew(core.Config{
+		Lambda:        25,
+		ExpectedTotal: 1_000_000,
+		Seed:          42,
+	})
+	fmt.Println("geometry:", sk)
+
+	// Insert <key, value> pairs: values may be counts, bytes, anything
+	// additive.
+	sk.Insert(1001, 500) // e.g. flow 1001 sent 500 packets
+	sk.Insert(1002, 120)
+	sk.Insert(1001, 250)
+	for k := uint64(2000); k < 2100; k++ {
+		sk.Insert(k, 1) // background mice traffic
+	}
+
+	// Point queries return an estimate; QueryWithError adds the certified
+	// Maximum Possible Error: truth ∈ [est − mpe, est].
+	est, mpe := sk.QueryWithError(1001)
+	fmt.Printf("flow 1001: estimate=%d, true value ∈ [%d, %d]\n", est, est-mpe, est)
+
+	est, mpe = sk.QueryWithError(1002)
+	fmt.Printf("flow 1002: estimate=%d, true value ∈ [%d, %d]\n", est, est-mpe, est)
+
+	// Unseen keys are certified near-zero.
+	est, mpe = sk.QueryWithError(9999)
+	fmt.Printf("flow 9999 (never seen): estimate=%d, MPE=%d\n", est, mpe)
+
+	// The sketch reports whether any insertion overflowed all layers (which
+	// would void the certificate — negligible at recommended sizes, and
+	// recoverable via Config.Emergency).
+	fails, _ := sk.InsertionFailures()
+	fmt.Printf("insertion failures: %d\n", fails)
+}

@@ -1,0 +1,158 @@
+package repro
+
+// End-to-end integration tests composing the full system the way a real
+// deployment would: synthesized packets are parsed into flow keys, measured
+// in rotating epochs at several vantage points, shipped to a collector over
+// TCP, and queried with certified global bounds. Each layer is tested in
+// its own package; these tests check the seams.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/netsum"
+	"repro/internal/packet"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// TestPacketsToCollector drives raw frames through parsing, per-site
+// agents, and the TCP collector, then validates the composed certificates
+// against exact per-flow byte counts.
+func TestPacketsToCollector(t *testing.T) {
+	collector, err := netsum.NewCollector("127.0.0.1:0", netsum.CollectorConfig{
+		Lambda:      40_000, // bytes
+		MemoryBytes: 256 << 10,
+		Seed:        1,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer collector.Close()
+
+	const sites = 2
+	truth := map[uint64]uint64{}
+	for site := 0; site < sites; site++ {
+		gen := packet.NewGenerator(150, uint64(site+1))
+		frames, err := gen.Frames(15_000, 1.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent, err := netsum.Dial(collector.Addr(), uint64(site+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, frame := range frames {
+			p, err := packet.Parse(frame)
+			if err != nil {
+				t.Fatalf("site %d: %v", site, err)
+			}
+			key := p.Tuple.Key()
+			if err := agent.Record(key, uint64(p.WireBytes)); err != nil {
+				t.Fatal(err)
+			}
+			truth[key] += uint64(p.WireBytes)
+		}
+		// Round-trip to guarantee ingestion before closing.
+		if _, _, _, err := agent.Stats(); err != nil {
+			t.Fatal(err)
+		}
+		agent.Close()
+	}
+
+	violations := 0
+	for key, f := range truth {
+		est, mpe := collector.QueryWithError(key)
+		if f > est || est-mpe > f {
+			violations++
+		}
+	}
+	if violations > 0 {
+		t.Errorf("%d/%d flows outside composed certified intervals", violations, len(truth))
+	}
+}
+
+// TestEpochSnapshotShipping models the periodic control-plane pull: a
+// rotating monitor seals an epoch, the sealed sketch is serialized, shipped
+// (here: a byte buffer), restored remotely, and queried — answers must be
+// identical on both sides.
+func TestEpochSnapshotShipping(t *testing.T) {
+	clock := time.Unix(0, 0)
+	rot := epoch.NewRotator(sketch.Factory{
+		Name: "Ours",
+		New:  func(mem int) sketch.Sketch { return core.NewFromMemory(mem, 25, 5) },
+	}, 128<<10, time.Second, func() time.Time { return clock })
+
+	s := stream.IPTrace(60_000, 5)
+	for _, it := range s.Items {
+		rot.Insert(it.Key, it.Value)
+	}
+	clock = clock.Add(2 * time.Second)
+	rot.Insert(0xdead, 1) // trigger rotation; epoch 0 is sealed
+
+	// The sealed window answers certified queries...
+	est, mpe, ok := rot.QuerySealedWithError(s.Items[0].Key)
+	if !ok {
+		t.Fatal("no sealed window after rotation")
+	}
+
+	// ...and ships as a snapshot. (Rotator exposes the sealed sketch only
+	// through queries; rebuild an identical one to snapshot, as the real
+	// pipeline owns its sketch directly.)
+	local := core.NewFromMemory(128<<10, 25, 5)
+	for _, it := range s.Items {
+		local.Insert(it.Key, it.Value)
+	}
+	var wire bytes.Buffer
+	if _, err := local.WriteTo(&wire); err != nil {
+		t.Fatal(err)
+	}
+	remote, err := core.ReadSketch(&wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []uint64{s.Items[0].Key, s.Items[100].Key, 0xabcdef} {
+		le, lm := local.QueryWithError(probe)
+		re, rm := remote.QueryWithError(probe)
+		if le != re || lm != rm {
+			t.Fatalf("key %d: local (%d,%d) vs restored (%d,%d)", probe, le, lm, re, rm)
+		}
+	}
+	// The rotator's sealed answer must agree with the equivalent sketch.
+	wantEst, wantMpe := local.QueryWithError(s.Items[0].Key)
+	if est != wantEst || mpe != wantMpe {
+		t.Errorf("sealed (%d,%d) vs direct (%d,%d)", est, mpe, wantEst, wantMpe)
+	}
+}
+
+// TestTraceFileReplayMatchesDirectFeed verifies the rsgen→rsagent path:
+// feeding a stream directly and replaying it from its binary file must
+// produce identical sketches.
+func TestTraceFileReplayMatchesDirectFeed(t *testing.T) {
+	s := stream.WebStream(40_000, 9)
+	path := t.TempDir() + "/trace.bin"
+	if err := stream.WriteFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := stream.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := core.NewFromMemory(64<<10, 25, 9)
+	fromFile := core.NewFromMemory(64<<10, 25, 9)
+	for _, it := range s.Items {
+		direct.Insert(it.Key, it.Value)
+	}
+	for _, it := range replayed.Items {
+		fromFile.Insert(it.Key, it.Value)
+	}
+	for key := range s.Truth() {
+		if direct.Query(key) != fromFile.Query(key) {
+			t.Fatal("file replay diverged from direct feed")
+		}
+	}
+}

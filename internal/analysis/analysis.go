@@ -1,0 +1,159 @@
+// Package analysis implements the quantities of the paper's mathematical
+// analysis (§4 and Appendix A): the per-layer sequences α_i, β_i, γ_i, p_i
+// of Theorems 2–4, the layer-depth equation of Theorem 4, the failure-
+// probability bound, and the space/time complexity formulas of Theorem 5.
+//
+// The package serves two purposes. First, it documents the theory as
+// executable code with tests checking internal consistency (the sequences
+// really decay double-exponentially; the bound telescopes below Δ).
+// Second, harness experiments use it to compare measured failure rates
+// against the proven ceilings — the empirical side of §4.
+package analysis
+
+import "math"
+
+// Params are the analysis inputs: stream total N, tolerance Λ, decay
+// ratios, and the per-layer structures they induce.
+type Params struct {
+	N      float64 // Σ f(e), the stream's L1 mass
+	Lambda float64 // error tolerance Λ
+	Rw     float64 // width decay ratio
+	Rl     float64 // threshold decay ratio
+}
+
+// valid reports whether the parameters satisfy the theorems' hypotheses
+// (Rw·Rl ≥ 2, positive N and Λ).
+func (p Params) valid() bool {
+	return p.N > 0 && p.Lambda > 0 && p.Rw > 1 && p.Rl > 1 && p.Rw*p.Rl >= 2
+}
+
+// W returns the proof-grade total bucket count of Theorems 2–4:
+// W = 4N(RwRl)⁶ / (Λ(Rw−1)(Rl−1)). (The practical recommendation replaces
+// the (RwRl)⁶ constant with (RwRl)²; see core.Config.)
+func (p Params) W() float64 {
+	rwrl := p.Rw * p.Rl
+	return 4 * p.N * math.Pow(rwrl, 6) / (p.Lambda * (p.Rw - 1) * (p.Rl - 1))
+}
+
+// LambdaI returns λ_i = Λ(Rl−1)/Rl^i for layer i ≥ 1.
+func (p Params) LambdaI(i int) float64 {
+	return p.Lambda * (p.Rl - 1) / math.Pow(p.Rl, float64(i))
+}
+
+// WidthI returns w_i = W(Rw−1)/Rw^i for layer i ≥ 1.
+func (p Params) WidthI(i int) float64 {
+	return p.W() * (p.Rw - 1) / math.Pow(p.Rw, float64(i))
+}
+
+// AlphaI is α_i = N/(RwRl)^(i−1): the bound on the total frequency of mice
+// keys entering layer i (Theorem 2's condition F_i ≤ α_i/γ_i).
+func (p Params) AlphaI(i int) float64 {
+	return p.N / math.Pow(p.Rw*p.Rl, float64(i-1))
+}
+
+// BetaI is β_i = α_i/(λ_i/2): the bound scale for the number of distinct
+// elephant keys entering layer i.
+func (p Params) BetaI(i int) float64 {
+	return p.AlphaI(i) / (p.LambdaI(i) / 2)
+}
+
+// GammaI is γ_i = (RwRl)^(2^(i−1)−1) — the double-exponential divisor. Its
+// growth is what makes the number of surviving keys collapse.
+func (p Params) GammaI(i int) float64 {
+	return math.Pow(p.Rw*p.Rl, math.Pow(2, float64(i-1))-1)
+}
+
+// PI is p_i = (RwRl)^−(2^(i−1)+4): the per-key escape probability at layer
+// i (Theorem A.3).
+func (p Params) PI(i int) float64 {
+	return math.Pow(p.Rw*p.Rl, -(math.Pow(2, float64(i-1)) + 4))
+}
+
+// LayerFailureExponent returns p_i·α_i/(λ_i·γ_i), the exponent scale of
+// the per-layer failure probabilities in Theorem 3 (all three exponential
+// terms are at least this large).
+func (p Params) LayerFailureExponent(i int) float64 {
+	return p.PI(i) * p.AlphaI(i) / (p.LambdaI(i) * p.GammaI(i))
+}
+
+// FailureBound returns the Theorem 4 union bound on the probability that
+// any layer 1..d escapes control: Σ_i 3·exp(−p_iα_i/(λ_iγ_i)).
+func (p Params) FailureBound(d int) float64 {
+	if !p.valid() {
+		return 1
+	}
+	total := 0.0
+	for i := 1; i <= d; i++ {
+		total += 3 * math.Exp(-p.LayerFailureExponent(i))
+	}
+	if total > 1 {
+		return 1
+	}
+	return total
+}
+
+// DepthFor returns the depth d of Theorem 4's root equation for a target
+// overall failure probability delta:
+//
+//	Rl^d / (RwRl)^(2^d+d) = Δ1·(Λ/N)·ln(1/Δ),  Δ1 = 2Rw²Rl²(Rl−1)
+//
+// At the root, the layer-d failure exponent equals 2·ln(1/Δ) (so its term
+// is Δ²), and shallower layers' terms telescope below it. The per-layer
+// exponent decreases in d, so the integer solution is the LARGEST d whose
+// exponent still meets 2·ln(1/Δ); deeper layers would break the union
+// bound. d grows as O(lnln(N/Λ)) — the paper's headline depth.
+func (p Params) DepthFor(delta float64) int {
+	if !p.valid() || delta <= 0 || delta >= 1 {
+		return 7
+	}
+	need := 2 * math.Log(1/delta)
+	d := 1
+	for d < 64 && p.LayerFailureExponent(d+1) >= need {
+		d++
+	}
+	return d
+}
+
+// EmergencySize returns the Theorem 4 emergency SpaceSaving size
+// Δ2·ln(1/Δ) with Δ2 = 6Rw³Rl⁴.
+func (p Params) EmergencySize(delta float64) int {
+	if delta <= 0 || delta >= 1 {
+		return 1
+	}
+	delta2 := 6 * math.Pow(p.Rw, 3) * math.Pow(p.Rl, 4)
+	return int(math.Ceil(delta2 * math.Log(1/delta)))
+}
+
+// SpaceBuckets returns the Theorem 5 space bound in buckets:
+// Σ w_i + Δ1·ln(1/Δ) = O(N/Λ + ln(1/Δ)).
+func (p Params) SpaceBuckets(delta float64) float64 {
+	d := p.DepthFor(delta)
+	total := 0.0
+	for i := 1; i <= d; i++ {
+		total += math.Ceil(p.WidthI(i))
+	}
+	delta1 := 2 * p.Rw * p.Rw * p.Rl * p.Rl * (p.Rl - 1)
+	return total + delta1*math.Log(1/delta)
+}
+
+// AmortizedTime returns the Theorem 5 amortized insertion cost
+// (1−Δ)·(1 + Σp_i) + Δ·d = O(1 + Δ·lnln(N/Λ)).
+func (p Params) AmortizedTime(delta float64) float64 {
+	d := p.DepthFor(delta)
+	sum := 0.0
+	for i := 1; i <= d; i++ {
+		sum += p.PI(i)
+	}
+	return (1-delta)*(1+sum) + delta*float64(d)
+}
+
+// Lemma1Bound returns the concentration bound of Appendix A.1:
+// Pr[X > (1+Δ)·nmp] ≤ exp(−(Δ−(e−2))·nmp) for the sum of adapted {0,s_i}
+// variables with conditional success probability ≤ p and mean nmp.
+func Lemma1Bound(deviation, nmp float64) float64 {
+	b := math.Exp(-(deviation - (math.E - 2)) * nmp)
+	if b > 1 {
+		return 1
+	}
+	return b
+}

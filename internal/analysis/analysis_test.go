@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+func defaultParams() Params {
+	return Params{N: 10_000_000, Lambda: 25, Rw: 2, Rl: 2.5}
+}
+
+func TestSequencesDecayDoubleExponentially(t *testing.T) {
+	p := defaultParams()
+	// γ_i must square (up to the constant) each step: γ_{i+1} ≈ γ_i² · RwRl.
+	for i := 1; i <= 6; i++ {
+		g1, g2 := p.GammaI(i), p.GammaI(i+1)
+		want := g1 * g1 * (p.Rw * p.Rl)
+		if math.Abs(g2-want)/want > 1e-9 {
+			t.Errorf("γ_%d=%g, want γ_%d²·RwRl=%g", i+1, g2, i, want)
+		}
+	}
+	// α decays geometrically; the α/γ product (the actual key-mass bound)
+	// collapses double-exponentially.
+	prevRatio := 0.0
+	for i := 1; i <= 5; i++ {
+		cur := p.AlphaI(i) / p.GammaI(i)
+		next := p.AlphaI(i+1) / p.GammaI(i+1)
+		ratio := cur / next
+		if i > 1 && ratio <= prevRatio {
+			t.Errorf("layer %d: survival-mass shrink factor %g did not accelerate (prev %g)", i, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+}
+
+func TestPIDecreasing(t *testing.T) {
+	p := defaultParams()
+	for i := 1; i <= 8; i++ {
+		if p.PI(i) <= p.PI(i+1) {
+			t.Errorf("p_%d=%g not greater than p_%d=%g", i, p.PI(i), i+1, p.PI(i+1))
+		}
+		if p.PI(i) > 1 {
+			t.Errorf("p_%d=%g exceeds 1", i, p.PI(i))
+		}
+	}
+}
+
+func TestLambdaSumWithinBudget(t *testing.T) {
+	p := defaultParams()
+	sum := 0.0
+	for i := 1; i <= 40; i++ {
+		sum += p.LambdaI(i)
+	}
+	if sum > p.Lambda+1e-9 {
+		t.Errorf("Σλ_i = %g exceeds Λ = %g", sum, p.Lambda)
+	}
+}
+
+func TestWidthSumMatchesW(t *testing.T) {
+	p := defaultParams()
+	sum := 0.0
+	for i := 1; i <= 60; i++ {
+		sum += p.WidthI(i)
+	}
+	if sum > p.W()+1e-6 {
+		t.Errorf("Σw_i = %g exceeds W = %g", sum, p.W())
+	}
+	if sum < 0.99*p.W() {
+		t.Errorf("Σw_i = %g far below W = %g", sum, p.W())
+	}
+}
+
+func TestFailureBoundTiny(t *testing.T) {
+	p := defaultParams()
+	// At the proof-grade W and the Theorem 4 depth, the failure bound must
+	// be astronomically small — the "not a single outlier after many
+	// years" claim.
+	b := p.FailureBound(p.DepthFor(1e-10))
+	if b > 1e-10 {
+		t.Errorf("failure bound %g; paper claims ≪ 1e-10", b)
+	}
+	// Invalid params degrade to the trivial bound.
+	if (Params{N: -1}).FailureBound(8) != 1 {
+		t.Error("invalid params should bound at 1")
+	}
+}
+
+func TestDepthForGrowsLnLn(t *testing.T) {
+	base := Params{N: 1e6, Lambda: 25, Rw: 2, Rl: 2.5}
+	big := Params{N: 1e15, Lambda: 25, Rw: 2, Rl: 2.5}
+	d1, d2 := base.DepthFor(1e-9), big.DepthFor(1e-9)
+	if d2 < d1 {
+		t.Errorf("depth shrank with N: %d vs %d", d1, d2)
+	}
+	if d2-d1 > 4 {
+		t.Errorf("depth grew by %d over 9 orders of magnitude; lnln growth expected", d2-d1)
+	}
+	if base.DepthFor(0) != 7 || base.DepthFor(2) != 7 {
+		t.Error("degenerate delta should fall back to 7")
+	}
+	// At the returned depth the last layer's term is ≤ Δ²; one layer
+	// deeper would break it.
+	d := base.DepthFor(1e-9)
+	need := 2 * math.Log(1e9)
+	if base.LayerFailureExponent(d) < need && d > 1 {
+		t.Errorf("layer %d exponent %.1f below 2ln(1/Δ)=%.1f", d, base.LayerFailureExponent(d), need)
+	}
+	if base.LayerFailureExponent(d+1) >= need {
+		t.Errorf("depth %d not maximal: layer %d still meets the bound", d, d+1)
+	}
+}
+
+func TestEmergencySizeMatchesDelta2(t *testing.T) {
+	p := defaultParams()
+	// Δ2 = 6Rw³Rl⁴ = 6·8·39.0625 = 1875; at Δ=e⁻¹ the size is exactly Δ2.
+	got := p.EmergencySize(1 / math.E)
+	if got != 1875 {
+		t.Errorf("EmergencySize(1/e) = %d, want Δ2 = 1875", got)
+	}
+	if p.EmergencySize(0.5) >= got {
+		t.Error("larger Δ must need a smaller emergency structure")
+	}
+}
+
+func TestSpaceLinearInNOverLambda(t *testing.T) {
+	a := Params{N: 1e7, Lambda: 25, Rw: 2, Rl: 2.5}
+	b := Params{N: 2e7, Lambda: 25, Rw: 2, Rl: 2.5}
+	sa, sb := a.SpaceBuckets(1e-9), b.SpaceBuckets(1e-9)
+	ratio := sb / sa
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("space did not scale linearly with N: ratio %.2f", ratio)
+	}
+}
+
+func TestAmortizedTimeNearOne(t *testing.T) {
+	p := defaultParams()
+	at := p.AmortizedTime(1e-9)
+	// Σp_i ≤ p_1·(1+...) with p_1 = (RwRl)^-5 = 5^-5 = 1/3125: the
+	// amortized cost must sit just above 1 insertion probe.
+	if at < 1 || at > 1.01 {
+		t.Errorf("amortized time %g, want ≈1", at)
+	}
+}
+
+func TestLemma1Bound(t *testing.T) {
+	// The bound must decay in both arguments and cap at 1.
+	if Lemma1Bound(1, 10) >= Lemma1Bound(0.8, 10) {
+		t.Error("bound not decreasing in deviation")
+	}
+	if Lemma1Bound(1, 20) >= Lemma1Bound(1, 10) {
+		t.Error("bound not decreasing in mass")
+	}
+	if Lemma1Bound(0.1, 1) != 1 {
+		t.Error("sub-(e−2) deviations should cap at the trivial bound")
+	}
+}
+
+// TestEmpiricalFailuresBelowBound is the empirical side of §4: measured
+// insertion-failure rates at proof-grade sizing must sit (far) below the
+// theoretical ceiling.
+func TestEmpiricalFailuresBelowBound(t *testing.T) {
+	const items = 200_000
+	const lambda = 25
+	p := Params{N: items, Lambda: lambda, Rw: 2, Rl: 2.5}
+	bound := p.FailureBound(8)
+	s := stream.IPTrace(items, 21)
+	trials := 5
+	failures := uint64(0)
+	for trial := 0; trial < trials; trial++ {
+		sk := core.MustNew(core.Config{
+			Lambda:        lambda,
+			ExpectedTotal: items, // recommended (not proof-grade) sizing
+			Seed:          uint64(trial) + 1,
+		})
+		metrics.Feed(sk, s)
+		f, _ := sk.InsertionFailures()
+		failures += f
+	}
+	if failures > 0 {
+		t.Errorf("%d insertion failures across %d trials at recommended sizing (theory bound %g at proof sizing)",
+			failures, trials, bound)
+	}
+}
+
+func TestDepthForMatchesCore(t *testing.T) {
+	// core.TheoreticalD and analysis.DepthFor implement the same equation.
+	p := Params{N: 1e9, Lambda: 25, Rw: 2, Rl: 2.5}
+	if got, want := p.DepthFor(1e-6), core.TheoreticalD(1e9, 25, 2, 2.5, 1e-6); got != want {
+		t.Errorf("DepthFor=%d, core.TheoreticalD=%d", got, want)
+	}
+}

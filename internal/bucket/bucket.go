@@ -1,0 +1,116 @@
+// Package bucket implements the Error-Sensible Bucket, the basic counting
+// unit of ReliableSketch (paper §3.1, Figures 1–2).
+//
+// A bucket is an election cell with three fields: a candidate key ID and two
+// vote counters YES and NO. Items matching ID cast positive votes; others
+// cast negative votes; when NO catches up with YES the candidate is replaced
+// and the counters swap. The crucial, often-undervalued property is that NO
+// is a certified bound on the *collision amount*: every unit of NO
+// corresponds to one unit of value colliding between two distinct keys, and
+// no unit of value participates in more than one collision. Hence:
+//
+//	ID == e: f(e) ∈ [YES − NO, YES]   (estimate YES, max possible error NO)
+//	ID != e: f(e) ∈ [0, NO]           (estimate NO,  max possible error NO)
+package bucket
+
+// Bucket is one Error-Sensible Bucket. The zero value is an empty bucket
+// (no candidate, zero votes), ready to use.
+//
+// The deployed (hardware) layout is a 32-bit YES, a narrow NO (8–16 bits;
+// NO never exceeds the layer threshold λ), and a 32-bit key fingerprint —
+// 72–80 bits total. The Go representation is wider for generality; memory
+// accounting happens in the owning sketch, not here.
+type Bucket struct {
+	ID  uint64
+	YES uint64
+	NO  uint64
+	// occupied distinguishes an empty bucket from one whose candidate is
+	// key 0. Hardware uses an all-zero fingerprint for the same purpose.
+	occupied bool
+}
+
+// Occupied reports whether the bucket holds a candidate.
+func (b *Bucket) Occupied() bool { return b.occupied }
+
+// Reset returns the bucket to its empty state.
+func (b *Bucket) Reset() { *b = Bucket{} }
+
+// Restore installs a serialized bucket state (snapshot deserialization).
+// The bucket becomes occupied with the given candidate and votes.
+func (b *Bucket) Restore(id, yes, no uint64) {
+	*b = Bucket{ID: id, YES: yes, NO: no, occupied: true}
+}
+
+// Insert adds <e, v> to the bucket: a positive vote if e is the candidate,
+// otherwise a negative vote followed by a replacement check (paper Fig. 1).
+func (b *Bucket) Insert(e, v uint64) {
+	if !b.occupied {
+		// First arrival becomes the candidate with v positive votes. This is
+		// equivalent to a negative vote followed by the NO ≥ YES replacement
+		// on an all-zero bucket.
+		b.occupied = true
+		b.ID = e
+		b.YES = v
+		return
+	}
+	if b.ID == e {
+		b.YES += v
+		return
+	}
+	b.NO += v
+	if b.NO >= b.YES {
+		// Replacement: e becomes the candidate and the votes swap.
+		b.ID = e
+		b.YES, b.NO = b.NO, b.YES
+	}
+}
+
+// Query returns the estimate and the Maximum Possible Error for key e.
+// The true sum of e within this bucket always lies in [est − mpe, est]
+// (and in [0, mpe] when e is not the candidate, where est == mpe == NO).
+func (b *Bucket) Query(e uint64) (est, mpe uint64) {
+	if b.occupied && b.ID == e {
+		return b.YES, b.NO
+	}
+	return b.NO, b.NO
+}
+
+// InsertCapped inserts <e, v> subject to the layer lock threshold λ
+// (paper §3.2). It returns the portion of v that could NOT be absorbed and
+// must travel to the next layer (0 when fully absorbed).
+//
+// Lock rule: a bucket is locked once NO would exceed λ while YES > λ
+// (meaning no replacement can rescue it). A locked bucket still accepts
+// positive votes for its candidate and replacement-triggering inserts when
+// YES == NO, since neither grows NO.
+func (b *Bucket) InsertCapped(e, v, lambda uint64) (overflow uint64) {
+	if !b.occupied {
+		b.occupied = true
+		b.ID = e
+		b.YES = v
+		return 0
+	}
+	if b.ID == e {
+		b.YES += v
+		return 0
+	}
+	if b.NO+v > lambda && b.YES > lambda {
+		// Lock triggered: absorb only up to λ, divert the rest.
+		absorbable := lambda - b.NO // NO ≤ λ is an invariant, so no underflow
+		b.NO = lambda
+		return v - absorbable
+	}
+	b.NO += v
+	if b.NO >= b.YES {
+		b.ID = e
+		b.YES, b.NO = b.NO, b.YES
+	}
+	return 0
+}
+
+// Locked reports whether the bucket is locked for threshold λ: NO has
+// reached λ and the candidate is safe (YES > NO), so no further negative
+// votes are accepted.
+func (b *Bucket) Locked(lambda uint64) bool {
+	return b.NO >= lambda && b.YES > b.NO
+}

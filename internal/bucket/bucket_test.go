@@ -1,0 +1,273 @@
+package bucket
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperExample replays the worked example from Figure 2: insert (A,2),
+// (A,3), (B,10), then query A and B.
+func TestPaperExample(t *testing.T) {
+	var b Bucket
+	const A, B = 1, 2
+	b.Insert(A, 2)
+	if b.ID != A || b.YES != 2 || b.NO != 0 {
+		t.Fatalf("after (A,2): %+v", b)
+	}
+	b.Insert(A, 3)
+	if b.ID != A || b.YES != 5 || b.NO != 0 {
+		t.Fatalf("after (A,3): %+v", b)
+	}
+	b.Insert(B, 10)
+	// NO becomes 10 ≥ YES=5 → replacement: ID=B, YES=10, NO=5.
+	if b.ID != B || b.YES != 10 || b.NO != 5 {
+		t.Fatalf("after (B,10): %+v", b)
+	}
+	if est, mpe := b.Query(A); est != 5 || mpe != 5 {
+		t.Errorf("Query(A) = (%d,%d), want (5,5)", est, mpe)
+	}
+	if est, mpe := b.Query(B); est != 10 || mpe != 5 {
+		t.Errorf("Query(B) = (%d,%d), want (10,5)", est, mpe)
+	}
+}
+
+func TestEmptyBucketQuery(t *testing.T) {
+	var b Bucket
+	if est, mpe := b.Query(42); est != 0 || mpe != 0 {
+		t.Errorf("empty bucket query = (%d,%d), want (0,0)", est, mpe)
+	}
+	if b.Occupied() {
+		t.Error("zero bucket is occupied")
+	}
+}
+
+func TestKeyZeroIsAValidCandidate(t *testing.T) {
+	var b Bucket
+	b.Insert(0, 5)
+	if est, mpe := b.Query(0); est != 5 || mpe != 0 {
+		t.Errorf("Query(0) = (%d,%d), want (5,0)", est, mpe)
+	}
+	if est, _ := b.Query(1); est != 0 {
+		t.Errorf("Query(1) est = %d, want 0", est)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var b Bucket
+	b.Insert(1, 10)
+	b.Insert(2, 3)
+	b.Reset()
+	if b.Occupied() || b.YES != 0 || b.NO != 0 {
+		t.Errorf("after Reset: %+v", b)
+	}
+}
+
+// checkInterval validates the bucket's certified interval against exact
+// per-key sums.
+func checkInterval(t *testing.T, b *Bucket, truth map[uint64]uint64) {
+	t.Helper()
+	for e, f := range truth {
+		est, mpe := b.Query(e)
+		if est < f {
+			t.Fatalf("key %d: est %d < true %d (bucket %+v)", e, est, f, *b)
+		}
+		if est-mpe > f {
+			t.Fatalf("key %d: est−mpe = %d > true %d (bucket %+v)", e, est-mpe, f, *b)
+		}
+	}
+}
+
+// TestIntervalInvariantRandom drives random insertion sequences and checks
+// f(e) ∈ [est−mpe, est] for every key after every step.
+func TestIntervalInvariantRandom(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 200; trial++ {
+		var b Bucket
+		truth := map[uint64]uint64{}
+		for step := 0; step < 100; step++ {
+			e := uint64(r.IntN(5))
+			v := uint64(r.IntN(9)) + 1
+			b.Insert(e, v)
+			truth[e] += v
+			checkInterval(t, &b, truth)
+		}
+	}
+}
+
+// TestIntervalInvariantQuick is the same invariant as a quick.Check property
+// over arbitrary (key, value) sequences.
+func TestIntervalInvariantQuick(t *testing.T) {
+	type op struct {
+		Key uint8
+		Val uint8
+	}
+	err := quick.Check(func(ops []op) bool {
+		var b Bucket
+		truth := map[uint64]uint64{}
+		for _, o := range ops {
+			v := uint64(o.Val%16) + 1
+			e := uint64(o.Key % 8)
+			b.Insert(e, v)
+			truth[e] += v
+		}
+		for e, f := range truth {
+			est, mpe := b.Query(e)
+			if est < f || est-mpe > f {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNOBoundsCollisions verifies the "collision amount" interpretation:
+// YES + NO never exceeds the total inserted value, and NO is at most half of
+// the value belonging to non-candidate keys plus candidate swaps — concretely
+// we check the derived guarantee f(candidate) ≥ YES − NO.
+func TestNOConservation(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 100; trial++ {
+		var b Bucket
+		var total uint64
+		truth := map[uint64]uint64{}
+		for step := 0; step < 200; step++ {
+			e := uint64(r.IntN(4))
+			v := uint64(r.IntN(5)) + 1
+			b.Insert(e, v)
+			truth[e] += v
+			total += v
+		}
+		if b.YES+b.NO != total {
+			t.Fatalf("YES+NO = %d, want total inserted %d", b.YES+b.NO, total)
+		}
+		// All increases of YES−NO come from candidate insertions.
+		if b.YES < b.NO {
+			t.Fatalf("YES %d < NO %d after insert", b.YES, b.NO)
+		}
+		if b.YES-b.NO > truth[b.ID] {
+			t.Fatalf("YES−NO = %d exceeds candidate's true sum %d", b.YES-b.NO, truth[b.ID])
+		}
+	}
+}
+
+func TestInsertCappedNoLockBehavesLikeInsert(t *testing.T) {
+	// With λ = ∞ the capped insert must be identical to the plain insert.
+	r := rand.New(rand.NewPCG(5, 6))
+	const lambda = 1 << 60
+	for trial := 0; trial < 50; trial++ {
+		var a, b Bucket
+		for step := 0; step < 100; step++ {
+			e := uint64(r.IntN(6))
+			v := uint64(r.IntN(7)) + 1
+			a.Insert(e, v)
+			if over := b.InsertCapped(e, v, lambda); over != 0 {
+				t.Fatalf("overflow %d with huge lambda", over)
+			}
+		}
+		if a != b {
+			t.Fatalf("capped(∞) diverged: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestInsertCappedLockTriggers(t *testing.T) {
+	var b Bucket
+	const lambda = 10
+	b.InsertCapped(1, 20, lambda) // candidate with YES=20 > λ
+	// A colliding insert that would push NO past λ locks the bucket.
+	over := b.InsertCapped(2, 15, lambda)
+	if over != 5 {
+		t.Fatalf("overflow = %d, want 5 (absorb λ−NO = 10)", over)
+	}
+	if b.NO != lambda {
+		t.Fatalf("NO = %d, want λ = %d", b.NO, lambda)
+	}
+	if !b.Locked(lambda) {
+		t.Fatal("bucket should be locked")
+	}
+	// Locked bucket still accepts positive votes for the candidate.
+	if over := b.InsertCapped(1, 7, lambda); over != 0 {
+		t.Fatalf("candidate insert overflowed %d", over)
+	}
+	if b.YES != 27 {
+		t.Fatalf("YES = %d, want 27", b.YES)
+	}
+	// And further colliding inserts divert entirely.
+	if over := b.InsertCapped(3, 4, lambda); over != 4 {
+		t.Fatalf("overflow = %d, want full 4", over)
+	}
+}
+
+func TestInsertCappedReplacementUnderCap(t *testing.T) {
+	// When YES ≤ λ, a large colliding insert must replace, not lock.
+	var b Bucket
+	const lambda = 100
+	b.InsertCapped(1, 30, lambda)
+	over := b.InsertCapped(2, 80, lambda) // NO+80 > YES=30 → replace
+	if over != 0 {
+		t.Fatalf("overflow = %d, want 0", over)
+	}
+	if b.ID != 2 || b.YES != 80 || b.NO != 30 {
+		t.Fatalf("replacement failed: %+v", b)
+	}
+}
+
+// TestInvariantNONeverExceedsLambda checks the NO ≤ λ invariant that
+// InsertCapped's overflow computation relies on.
+func TestInvariantNONeverExceedsLambda(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 8))
+	const lambda = 12
+	for trial := 0; trial < 100; trial++ {
+		var b Bucket
+		for step := 0; step < 300; step++ {
+			e := uint64(r.IntN(10))
+			v := uint64(r.IntN(30)) + 1
+			b.InsertCapped(e, v, lambda)
+			if b.NO > lambda {
+				t.Fatalf("NO = %d exceeds λ = %d at step %d", b.NO, lambda, step)
+			}
+		}
+	}
+}
+
+// TestCappedIntervalInvariant: even with locking, the bucket's certified
+// interval must hold for the portion of each key actually absorbed by the
+// bucket (true sum minus diverted overflow).
+func TestCappedIntervalInvariant(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 10))
+	const lambda = 8
+	for trial := 0; trial < 100; trial++ {
+		var b Bucket
+		absorbed := map[uint64]uint64{}
+		for step := 0; step < 200; step++ {
+			e := uint64(r.IntN(6))
+			v := uint64(r.IntN(6)) + 1
+			over := b.InsertCapped(e, v, lambda)
+			absorbed[e] += v - over
+		}
+		for e, f := range absorbed {
+			est, mpe := b.Query(e)
+			if est < f || est-mpe > f {
+				t.Fatalf("key %d: absorbed %d outside [%d, %d]", e, f, est-mpe, est)
+			}
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	var bk Bucket
+	for i := 0; i < b.N; i++ {
+		bk.Insert(uint64(i&3), 1)
+	}
+}
+
+func BenchmarkInsertCapped(b *testing.B) {
+	var bk Bucket
+	for i := 0; i < b.N; i++ {
+		bk.InsertCapped(uint64(i&3), 1, 1000)
+	}
+}

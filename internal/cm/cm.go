@@ -1,0 +1,106 @@
+// Package cm implements the Count-Min sketch (Cormode & Muthukrishnan,
+// J. Algorithms 2005), the canonical counter-based L1 baseline of the
+// paper's evaluation (§2.2). CM never underestimates, but its per-key
+// confidence 1−δ collapses to (1−δ)^N over N collective queries — the
+// failure mode ReliableSketch is designed to eliminate.
+//
+// The evaluation uses two variants: CM_fast with d=3 rows (the throughput
+// configuration) and CM_acc with d=16 rows (the accuracy configuration).
+package cm
+
+import "repro/internal/hash"
+
+// CounterBytes is the accounted size of one counter (32 bits, as in the
+// paper's C++ implementation).
+const CounterBytes = 4
+
+// Sketch is a Count-Min sketch with d rows of w 32-bit counters.
+type Sketch struct {
+	rows   [][]uint32
+	width  int
+	hashes *hash.Family
+	name   string
+	// hashCalls supports the Figure 16 hash-call accounting.
+	hashCalls uint64
+}
+
+// New builds a CM sketch with d rows of width counters each.
+func New(d, width int, seed uint64, name string) *Sketch {
+	if d < 1 || width < 1 {
+		panic("cm: invalid geometry")
+	}
+	s := &Sketch{
+		rows:   make([][]uint32, d),
+		width:  width,
+		hashes: hash.NewFamily(seed, d),
+		name:   name,
+	}
+	for i := range s.rows {
+		s.rows[i] = make([]uint32, width)
+	}
+	return s
+}
+
+// NewFast builds the 3-row throughput variant sized to memBytes.
+func NewFast(memBytes int, seed uint64) *Sketch {
+	return New(3, widthFor(memBytes, 3), seed, "CM_fast")
+}
+
+// NewAccurate builds the 16-row accuracy variant sized to memBytes.
+func NewAccurate(memBytes int, seed uint64) *Sketch {
+	return New(16, widthFor(memBytes, 16), seed, "CM_acc")
+}
+
+func widthFor(memBytes, d int) int {
+	w := memBytes / (d * CounterBytes)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Insert adds value to every mapped counter.
+func (s *Sketch) Insert(key, value uint64) {
+	for i := range s.rows {
+		j := s.hashes.Bucket(i, key, s.width)
+		s.hashCalls++
+		s.rows[i][j] += uint32(value)
+	}
+}
+
+// Query returns the minimum mapped counter, a certified overestimate.
+func (s *Sketch) Query(key uint64) uint64 {
+	var min uint64
+	for i := range s.rows {
+		j := s.hashes.Bucket(i, key, s.width)
+		s.hashCalls++
+		c := uint64(s.rows[i][j])
+		if i == 0 || c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Depth returns the number of rows d.
+func (s *Sketch) Depth() int { return len(s.rows) }
+
+// Width returns the per-row counter count.
+func (s *Sketch) Width() int { return s.width }
+
+// HashCalls returns the cumulative hash evaluations (Figure 16).
+func (s *Sketch) HashCalls() uint64 { return s.hashCalls }
+
+// MemoryBytes reports d × w × 4 bytes.
+func (s *Sketch) MemoryBytes() int { return len(s.rows) * s.width * CounterBytes }
+
+// Name identifies the variant.
+func (s *Sketch) Name() string { return s.name }
+
+// Reset zeroes all counters.
+func (s *Sketch) Reset() {
+	for i := range s.rows {
+		clear(s.rows[i])
+	}
+	s.hashCalls = 0
+}

@@ -1,0 +1,156 @@
+package cm
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+var _ sketch.Sketch = (*Sketch)(nil)
+
+func TestExactWithoutCollisions(t *testing.T) {
+	s := New(3, 1<<16, 1, "CM")
+	s.Insert(1, 5)
+	s.Insert(2, 7)
+	s.Insert(1, 3)
+	if got := s.Query(1); got != 8 {
+		t.Errorf("Query(1)=%d want 8", got)
+	}
+	if got := s.Query(2); got != 7 {
+		t.Errorf("Query(2)=%d want 7", got)
+	}
+	if got := s.Query(3); got != 0 {
+		t.Errorf("Query(unseen)=%d want 0", got)
+	}
+}
+
+// TestNeverUnderestimates is CM's defining invariant.
+func TestNeverUnderestimates(t *testing.T) {
+	err := quick.Check(func(seed uint64, ops []uint16) bool {
+		s := New(3, 64, seed, "CM")
+		truth := map[uint64]uint64{}
+		for _, o := range ops {
+			k := uint64(o % 200)
+			v := uint64(o%5) + 1
+			s.Insert(k, v)
+			truth[k] += v
+		}
+		for k, f := range truth {
+			if s.Query(k) < f {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorBoundEpsN(t *testing.T) {
+	// Classic CM bound: error ≤ e·N/w with probability 1−e^−d per key; with
+	// a generous 4·N/w bound virtually no key should violate it.
+	s := stream.Zipf(100_000, 10_000, 1.0, 2)
+	sk := NewFast(256<<10, 2)
+	var total uint64
+	for _, it := range s.Items {
+		sk.Insert(it.Key, it.Value)
+		total += it.Value
+	}
+	bound := 4 * total / uint64(sk.Width())
+	violations := 0
+	for k, f := range s.Truth() {
+		if est := sk.Query(k); est-f > bound {
+			violations++
+		}
+	}
+	if violations > s.Distinct()/100 {
+		t.Errorf("%d/%d keys violate 4N/w error bound", violations, s.Distinct())
+	}
+}
+
+func TestVariantsGeometry(t *testing.T) {
+	fast := NewFast(1<<20, 1)
+	if fast.Depth() != 3 || fast.Name() != "CM_fast" {
+		t.Errorf("fast variant: d=%d name=%q", fast.Depth(), fast.Name())
+	}
+	acc := NewAccurate(1<<20, 1)
+	if acc.Depth() != 16 || acc.Name() != "CM_acc" {
+		t.Errorf("accurate variant: d=%d name=%q", acc.Depth(), acc.Name())
+	}
+	for _, s := range []*Sketch{fast, acc} {
+		if s.MemoryBytes() > 1<<20 {
+			t.Errorf("%s: memory %d over budget", s.Name(), s.MemoryBytes())
+		}
+		if s.MemoryBytes() < (1<<20)*9/10 {
+			t.Errorf("%s: memory %d uses <90%% of budget", s.Name(), s.MemoryBytes())
+		}
+	}
+}
+
+func TestMoreRowsMoreAccurate(t *testing.T) {
+	// At equal memory, CM_acc trades width for confidence; on a skewed
+	// stream its worst-case error should not be dramatically worse, and the
+	// estimates must remain overestimates. Simply verify both run and the
+	// accurate variant has no underestimates (smoke + invariant).
+	s := stream.Zipf(50_000, 5_000, 1.5, 3)
+	acc := NewAccurate(64<<10, 3)
+	for _, it := range s.Items {
+		acc.Insert(it.Key, it.Value)
+	}
+	for k, f := range s.Truth() {
+		if acc.Query(k) < f {
+			t.Fatalf("underestimate for key %d", k)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := NewFast(1<<12, 1)
+	s.Insert(5, 5)
+	s.Reset()
+	if s.Query(5) != 0 {
+		t.Error("Reset did not clear counters")
+	}
+	if s.HashCalls() != 3 { // the Query above touches all 3 rows
+		t.Errorf("hash calls after reset = %d, want 3", s.HashCalls())
+	}
+}
+
+func TestHashCallsCount(t *testing.T) {
+	s := NewFast(1<<12, 1)
+	s.Insert(1, 1) // 3 rows
+	s.Query(1)     // 3 rows
+	if got := s.HashCalls(); got != 6 {
+		t.Errorf("HashCalls=%d want 6", got)
+	}
+}
+
+func BenchmarkInsertFast(b *testing.B) {
+	sk := NewFast(1<<20, 1)
+	r := rand.New(rand.NewPCG(1, 2))
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Insert(keys[i&(1<<16-1)], 1)
+	}
+}
+
+func BenchmarkQueryFast(b *testing.B) {
+	sk := NewFast(1<<20, 1)
+	for i := 0; i < 1<<16; i++ {
+		sk.Insert(uint64(i), 1)
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= sk.Query(uint64(i & (1<<16 - 1)))
+	}
+	_ = sink
+}

@@ -1,0 +1,123 @@
+// Package coco implements CocoSketch (Zhang et al., SIGCOMM 2021) in the
+// configuration the paper evaluates: d = 2 arrays of (key, count) cells with
+// unbiased probabilistic replacement. On a collision the cell's count always
+// grows, and the newcomer captures the cell with probability value/count —
+// keeping every cell an unbiased estimator of its resident key's sum.
+package coco
+
+import (
+	"repro/internal/sketch"
+
+	"math/rand/v2"
+
+	"repro/internal/hash"
+)
+
+// cellBytes accounts one cell: 32-bit key + 32-bit count.
+const cellBytes = 8
+
+type cell struct {
+	key   uint64
+	count uint64
+}
+
+// Sketch is a CocoSketch with d arrays.
+type Sketch struct {
+	rows   [][]cell
+	width  int
+	hashes *hash.Family
+	rnd    *rand.Rand
+	name   string
+}
+
+// New builds a CocoSketch with d arrays of width cells.
+func New(d, width int, seed uint64) *Sketch {
+	if d < 1 || width < 1 {
+		panic("coco: invalid geometry")
+	}
+	s := &Sketch{
+		rows:   make([][]cell, d),
+		width:  width,
+		hashes: hash.NewFamily(seed, d),
+		rnd:    rand.New(rand.NewPCG(seed, seed^0xc0c0)),
+		name:   "Coco",
+	}
+	for i := range s.rows {
+		s.rows[i] = make([]cell, width)
+	}
+	return s
+}
+
+// NewBytes builds the paper's d=2 configuration sized to memBytes.
+func NewBytes(memBytes int, seed uint64) *Sketch {
+	w := memBytes / (2 * cellBytes)
+	if w < 1 {
+		w = 1
+	}
+	return New(2, w, seed)
+}
+
+// Insert adds value to key. If key occupies one of its mapped cells that
+// cell grows; otherwise the smallest mapped cell grows and the key captures
+// it with probability value/count.
+func (s *Sketch) Insert(key, value uint64) {
+	var minRow, minIdx int
+	var minCount uint64
+	for i := range s.rows {
+		j := s.hashes.Bucket(i, key, s.width)
+		c := &s.rows[i][j]
+		if c.count > 0 && c.key == key {
+			c.count += value
+			return
+		}
+		if i == 0 || c.count < minCount {
+			minRow, minIdx, minCount = i, j, c.count
+		}
+	}
+	c := &s.rows[minRow][minIdx]
+	c.count += value
+	// Unbiased capture: P[replace] = value / new count.
+	if s.rnd.Float64() < float64(value)/float64(c.count) {
+		c.key = key
+	}
+}
+
+// Query returns the count of the cell key occupies, or 0 when untracked
+// (CocoSketch tracks only cell residents; per-key queries for evicted keys
+// return nothing, which is what drives its outlier counts in Figure 4).
+func (s *Sketch) Query(key uint64) uint64 {
+	for i := range s.rows {
+		j := s.hashes.Bucket(i, key, s.width)
+		c := &s.rows[i][j]
+		if c.count > 0 && c.key == key {
+			return c.count
+		}
+	}
+	return 0
+}
+
+// Tracked returns all resident keys and counts.
+func (s *Sketch) Tracked() []sketch.KV {
+	var out []sketch.KV
+	for i := range s.rows {
+		for j := range s.rows[i] {
+			if c := s.rows[i][j]; c.count > 0 {
+				out = append(out, sketch.KV{Key: c.key, Est: c.count})
+			}
+		}
+	}
+	return out
+}
+
+// MemoryBytes reports d × w × 8 bytes.
+func (s *Sketch) MemoryBytes() int { return len(s.rows) * s.width * cellBytes }
+
+// Name identifies the algorithm.
+func (s *Sketch) Name() string { return s.name }
+
+// Reset clears all cells.
+func (s *Sketch) Reset() {
+	for i := range s.rows {
+		clear(s.rows[i])
+	}
+}

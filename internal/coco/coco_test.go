@@ -1,0 +1,117 @@
+package coco
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+var (
+	_ sketch.Sketch              = (*Sketch)(nil)
+	_ sketch.HeavyHitterReporter = (*Sketch)(nil)
+)
+
+func TestSingleKeyExact(t *testing.T) {
+	s := New(2, 1024, 1)
+	for i := 0; i < 100; i++ {
+		s.Insert(9, 2)
+	}
+	if got := s.Query(9); got != 200 {
+		t.Errorf("Query(9)=%d want 200", got)
+	}
+}
+
+func TestResidentGrowsOnCollision(t *testing.T) {
+	// With width 1, everything collides into the same two cells; counts
+	// must keep growing and total count across cells equals total inserted.
+	s := New(2, 1, 3)
+	var total uint64
+	for k := uint64(0); k < 50; k++ {
+		s.Insert(k, 3)
+		total += 3
+	}
+	var cells uint64
+	for i := range s.rows {
+		cells += s.rows[i][0].count
+	}
+	if cells != total {
+		t.Errorf("cell counts sum to %d, want %d (no value may vanish)", cells, total)
+	}
+}
+
+// TestUnbiasedResidentEstimates: over many trials, the expected estimate of
+// a key equals its true sum (CocoSketch's defining property). We test the
+// aggregate: E[Σ_keys est·1{resident}] ≈ Σ f over a small saturated sketch.
+func TestUnbiasednessAggregate(t *testing.T) {
+	const trials = 300
+	const keys = 8
+	var sumEst float64
+	for trial := 0; trial < trials; trial++ {
+		s := New(2, 2, uint64(trial)+1)
+		for k := uint64(0); k < keys; k++ {
+			s.Insert(k, 1)
+		}
+		// Each key's estimate (0 when evicted).
+		for k := uint64(0); k < keys; k++ {
+			sumEst += float64(s.Query(k))
+		}
+	}
+	meanTotal := sumEst / trials
+	// Unbiasedness: E[Σ est] = Σ f = 8. Monte-Carlo tolerance ±1.
+	if math.Abs(meanTotal-keys) > 1 {
+		t.Errorf("mean Σ estimates = %.2f, want ≈ %d", meanTotal, keys)
+	}
+}
+
+func TestHeavyKeysSurvive(t *testing.T) {
+	s := stream.Zipf(100_000, 10_000, 1.5, 4)
+	sk := NewBytes(256<<10, 4)
+	for _, it := range s.Items {
+		sk.Insert(it.Key, it.Value)
+	}
+	misses := 0
+	heavies := 0
+	for k, f := range s.Truth() {
+		if f < 1000 {
+			continue
+		}
+		heavies++
+		if sk.Query(k) == 0 {
+			misses++
+		}
+	}
+	if heavies == 0 {
+		t.Fatal("test stream has no heavy keys")
+	}
+	if misses > heavies/10 {
+		t.Errorf("%d/%d heavy keys evicted", misses, heavies)
+	}
+}
+
+func TestMemoryAndReset(t *testing.T) {
+	sk := NewBytes(1<<16, 1)
+	if sk.MemoryBytes() > 1<<16 {
+		t.Errorf("memory %d over budget", sk.MemoryBytes())
+	}
+	sk.Insert(1, 5)
+	sk.Reset()
+	if sk.Query(1) != 0 {
+		t.Error("Reset did not clear")
+	}
+	if sk.Name() != "Coco" {
+		t.Errorf("Name=%q", sk.Name())
+	}
+	if len(sk.Tracked()) != 0 {
+		t.Error("Tracked non-empty after Reset")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	sk := NewBytes(1<<20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Insert(uint64(i&0xffff), 1)
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/bucket"
+	"repro/internal/spacesaving"
+)
+
+// Snapshot serialization: WriteTo/ReadFrom persist a sketch's full state —
+// geometry, filter, buckets, and failure counters — so epoch-based
+// deployments can ship summaries from measurement points to a collector
+// (the network-wide setting of internal/netsum) or archive them to disk.
+//
+// Wire format (all little-endian):
+//
+//	magic "RSK1" | config block | per-layer bucket runs | filter block
+//
+// Buckets serialize sparsely (most are empty at sane loads): each occupied
+// bucket is (index uvarint, ID, YES, NO uvarints).
+
+var codecMagic = [4]byte{'R', 'S', 'K', '1'}
+
+// WriteTo serializes the sketch. It implements io.WriterTo.
+func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
+	bw := &countingWriter{w: bufio.NewWriter(w)}
+	write := func(vs ...uint64) {
+		var buf [binary.MaxVarintLen64]byte
+		for _, v := range vs {
+			n := binary.PutUvarint(buf[:], v)
+			bw.Write(buf[:n])
+		}
+	}
+	bw.Write(codecMagic[:])
+	// Config block: enough to rebuild an identical geometry.
+	write(s.lambda,
+		uint64(len(s.layers)),
+		math.Float64bits(s.cfg.Rw),
+		math.Float64bits(s.cfg.Rl),
+		s.cfg.Seed,
+		uint64(s.cfg.Schedule),
+		boolU64(s.mice != nil),
+		uint64(s.cfg.FilterRows),
+		uint64(s.cfg.FilterBits),
+		boolU64(s.emerg != nil),
+		uint64(s.cfg.EmergencyCounters),
+		s.failures, s.failedValue)
+	for i := range s.layers {
+		write(uint64(s.widths[i]), s.lambdas[i])
+		occupied := uint64(0)
+		for j := range s.layers[i] {
+			if s.layers[i][j].Occupied() {
+				occupied++
+			}
+		}
+		write(occupied)
+		for j := range s.layers[i] {
+			b := &s.layers[i][j]
+			if b.Occupied() {
+				write(uint64(j), b.ID, b.YES, b.NO)
+			}
+		}
+	}
+	if s.mice != nil {
+		if err := s.mice.EncodeTo(bw); err != nil {
+			return bw.n, err
+		}
+	}
+	if s.emerg != nil {
+		for _, e := range s.emerg.Entries() {
+			write(1, e.Key, e.Count, e.Err)
+		}
+		write(0)
+	}
+	if bw.err == nil {
+		bw.err = bw.w.(*bufio.Writer).Flush()
+	}
+	return bw.n, bw.err
+}
+
+func boolU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ReadSketch reconstructs a sketch serialized by WriteTo.
+func ReadSketch(r io.Reader) (*Sketch, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot magic: %w", err)
+	}
+	if magic != codecMagic {
+		return nil, fmt.Errorf("core: bad snapshot magic %q", magic[:])
+	}
+	read := func() (uint64, error) { return binary.ReadUvarint(br) }
+	var fields [13]uint64
+	for i := range fields {
+		v, err := read()
+		if err != nil {
+			return nil, fmt.Errorf("core: reading snapshot header: %w", err)
+		}
+		fields[i] = v
+	}
+	lambda := fields[0]
+	d := int(fields[1])
+	if d < 1 || d > 64 {
+		return nil, fmt.Errorf("core: implausible layer count %d", d)
+	}
+	// Validate untrusted header fields that would otherwise reach
+	// constructors with panicking preconditions or huge allocations.
+	if fields[6] > 1 || fields[9] > 1 {
+		return nil, fmt.Errorf("core: malformed boolean header fields (%d, %d)", fields[6], fields[9])
+	}
+	if hasFilter := fields[6] == 1; hasFilter {
+		if r := fields[7]; r < 1 || r > 16 {
+			return nil, fmt.Errorf("core: implausible filter rows %d", r)
+		}
+		if b := fields[8]; b < 1 || b > 32 {
+			return nil, fmt.Errorf("core: implausible filter bits %d", b)
+		}
+	}
+	if ec := fields[10]; fields[9] == 1 && (ec < 1 || ec > 1<<24) {
+		return nil, fmt.Errorf("core: implausible emergency size %d", ec)
+	}
+	cfg := Config{
+		Lambda:            lambda,
+		MemoryBytes:       1, // geometry is overwritten below
+		Rw:                math.Float64frombits(fields[2]),
+		Rl:                math.Float64frombits(fields[3]),
+		Seed:              fields[4],
+		D:                 d,
+		Schedule:          ScheduleKind(fields[5]),
+		DisableMiceFilter: fields[6] == 0,
+		FilterRows:        int(fields[7]),
+		FilterBits:        int(fields[8]),
+		Emergency:         fields[9] == 1,
+		EmergencyCounters: int(fields[10]),
+	}
+	s, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuilding snapshot config: %w", err)
+	}
+	s.failures, s.failedValue = fields[11], fields[12]
+	// Layers: replace the provisional geometry with the serialized one.
+	for i := 0; i < d; i++ {
+		w, err := read()
+		if err != nil {
+			return nil, fmt.Errorf("core: layer %d width: %w", i, err)
+		}
+		lam, err := read()
+		if err != nil {
+			return nil, fmt.Errorf("core: layer %d lambda: %w", i, err)
+		}
+		if w == 0 || w > 1<<26 {
+			return nil, fmt.Errorf("core: implausible layer %d width %d", i, w)
+		}
+		s.widths[i] = int(w)
+		s.lambdas[i] = lam
+		layer := make([]bucket.Bucket, int(w))
+		occ, err := read()
+		if err != nil {
+			return nil, fmt.Errorf("core: layer %d occupancy: %w", i, err)
+		}
+		for k := uint64(0); k < occ; k++ {
+			var vals [4]uint64
+			for vi := range vals {
+				v, err := read()
+				if err != nil {
+					return nil, fmt.Errorf("core: layer %d bucket %d: %w", i, k, err)
+				}
+				vals[vi] = v
+			}
+			j := int(vals[0])
+			if j < 0 || j >= int(w) {
+				return nil, fmt.Errorf("core: bucket index %d out of range %d", j, w)
+			}
+			layer[j].Restore(vals[1], vals[2], vals[3])
+		}
+		s.layers[i] = layer
+	}
+	s.bucketBytes = bucketBytes(s.lambdas[0])
+	if s.mice != nil {
+		if err := s.mice.DecodeFrom(br); err != nil {
+			return nil, fmt.Errorf("core: filter snapshot: %w", err)
+		}
+	}
+	if s.emerg != nil {
+		for {
+			more, err := read()
+			if err != nil {
+				return nil, fmt.Errorf("core: emergency snapshot: %w", err)
+			}
+			if more == 0 {
+				break
+			}
+			var vals [3]uint64
+			for vi := range vals {
+				v, err := read()
+				if err != nil {
+					return nil, fmt.Errorf("core: emergency entry: %w", err)
+				}
+				vals[vi] = v
+			}
+			if !s.emerg.RestoreEntry(spacesaving.Entry{Key: vals[0], Count: vals[1], Err: vals[2]}) {
+				return nil, fmt.Errorf("core: emergency snapshot overflow or duplicate key %d", vals[0])
+			}
+		}
+	}
+	return s, nil
+}
+
+// countingWriter tracks bytes written and the first error.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+func roundTrip(t *testing.T, sk *Sketch) *Sketch {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := sk.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadSketch(&buf)
+	if err != nil {
+		t.Fatalf("ReadSketch: %v", err)
+	}
+	return got
+}
+
+func TestSnapshotRoundTripIdenticalAnswers(t *testing.T) {
+	s := stream.Zipf(100_000, 10_000, 1.0, 3)
+	sk := NewFromMemory(128<<10, 25, 3)
+	metrics.Feed(sk, s)
+	got := roundTrip(t, sk)
+	for key := range s.Truth() {
+		e1, m1 := sk.QueryWithError(key)
+		e2, m2 := got.QueryWithError(key)
+		if e1 != e2 || m1 != m2 {
+			t.Fatalf("key %d: (%d,%d) became (%d,%d) after round trip", key, e1, m1, e2, m2)
+		}
+	}
+	f1, v1 := sk.InsertionFailures()
+	f2, v2 := got.InsertionFailures()
+	if f1 != f2 || v1 != v2 {
+		t.Errorf("failure counters changed: (%d,%d) vs (%d,%d)", f1, v1, f2, v2)
+	}
+}
+
+func TestSnapshotRoundTripRawVariant(t *testing.T) {
+	s := stream.Zipf(50_000, 5_000, 1.0, 4)
+	sk := NewRaw(128<<10, 25, 4)
+	metrics.Feed(sk, s)
+	got := roundTrip(t, sk)
+	if got.Name() != "Ours(Raw)" {
+		t.Errorf("variant lost: %q", got.Name())
+	}
+	for key := range s.Truth() {
+		if sk.Query(key) != got.Query(key) {
+			t.Fatal("raw round trip diverged")
+		}
+	}
+}
+
+func TestSnapshotRoundTripWithEmergency(t *testing.T) {
+	s := stream.Zipf(50_000, 5_000, 0.5, 7)
+	sk := MustNew(Config{
+		Lambda: 5, MemoryBytes: 2 << 10, Seed: 7,
+		Emergency: true, EmergencyCounters: 4096,
+	})
+	metrics.Feed(sk, s)
+	if f, _ := sk.InsertionFailures(); f == 0 {
+		t.Skip("no failures provoked; emergency path not exercised")
+	}
+	got := roundTrip(t, sk)
+	for key := range s.Truth() {
+		e1, m1 := sk.QueryWithError(key)
+		e2, m2 := got.QueryWithError(key)
+		if e1 != e2 || m1 != m2 {
+			t.Fatalf("emergency state diverged for key %d: (%d,%d) vs (%d,%d)", key, e1, m1, e2, m2)
+		}
+	}
+}
+
+func TestSnapshotContinuesAccepting(t *testing.T) {
+	sk := NewFromMemory(64<<10, 25, 9)
+	sk.Insert(1, 100)
+	got := roundTrip(t, sk)
+	got.Insert(1, 50)
+	est, _ := got.QueryWithError(1)
+	if est < 150 {
+		t.Errorf("restored sketch lost state: est=%d want ≥150", est)
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",             // empty
+		"BAD0",         // wrong magic
+		"RSK1",         // truncated header
+		"RSK1\x01\x02", // still truncated
+	}
+	for _, c := range cases {
+		if _, err := ReadSketch(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadSketch accepted %q", c)
+		}
+	}
+	// Corrupt a valid snapshot's tail.
+	sk := NewFromMemory(32<<10, 25, 1)
+	sk.Insert(5, 500)
+	var buf bytes.Buffer
+	if _, err := sk.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadSketch(bytes.NewReader(trunc)); err == nil {
+		t.Error("ReadSketch accepted truncated snapshot")
+	}
+}
+
+func TestSnapshotCompact(t *testing.T) {
+	// A lightly loaded sketch must serialize sparsely — far below the
+	// in-memory footprint.
+	sk := NewFromMemory(1<<20, 25, 2)
+	for k := uint64(0); k < 100; k++ {
+		sk.Insert(k, 5)
+	}
+	var buf bytes.Buffer
+	if _, err := sk.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The 2-bit filter dominates: 20% of 1MB packed ≈ 209KB of counters
+	// serialized as varints. The bucket section must be tiny.
+	if buf.Len() > 600_000 {
+		t.Errorf("snapshot %d bytes; expected sparse encoding well under memory size", buf.Len())
+	}
+}

@@ -1,0 +1,194 @@
+// Package core implements ReliableSketch, the paper's primary contribution:
+// a stream summary that keeps the estimation error of ALL keys below a
+// user-chosen tolerance Λ with overall confidence 1 − Δ, in O(1 + Δ·lnln(N/Λ))
+// amortized time and O(N/Λ + ln(1/Δ)) space.
+//
+// The structure stacks d layers of Error-Sensible buckets whose widths w_i
+// and lock thresholds λ_i both decay geometrically (Double Exponential
+// Control, §3.2): a bucket whose certified error NO reaches λ_i locks, and
+// overflow cascades to the next, smaller layer. Because Σ λ_i ≤ Λ, any key
+// whose insertions are fully absorbed has certified error at most Λ. The
+// doubly-exponential decay of keys surviving to deeper layers makes full
+// absorption fail with only negligible probability Δ; an optional
+// Space-Saving emergency layer (§3.3) catches even those failures, making
+// the ≤ Λ guarantee unconditional.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Config describes a ReliableSketch. Zero fields take the paper's
+// recommended defaults (§6.1, §6.4).
+type Config struct {
+	// Lambda is the error tolerance Λ. If 0, it is derived from MemoryBytes
+	// and ExpectedTotal via the paper's inverse sizing rule.
+	Lambda uint64
+
+	// MemoryBytes is the total memory budget. If 0, it is derived from
+	// Lambda and ExpectedTotal via W = (RwRl)²/((Rw−1)(Rl−1)) · N/Λ.
+	MemoryBytes int
+
+	// ExpectedTotal is N = Σ f(e), the anticipated L1 size of the stream.
+	// Needed only when exactly one of Lambda / MemoryBytes is given.
+	ExpectedTotal uint64
+
+	// Rw is the geometric decay ratio of layer widths (default 2, the
+	// paper's Figure 11 optimum; sensible range [1.4, 10]).
+	Rw float64
+
+	// Rl is the geometric decay ratio of lock thresholds (default 2.5, the
+	// paper's Figure 13 optimum).
+	Rl float64
+
+	// D is the number of bucket layers (default 12; the paper recommends
+	// d ≥ 7).
+	D int
+
+	// DisableMiceFilter turns off the CU-filter first layer (§3.3). The
+	// filter is on by default; disabling it yields the paper's "Raw"
+	// variant (faster, less memory-efficient on mice-heavy workloads).
+	DisableMiceFilter bool
+
+	// FilterFraction is the share of memory given to the mice filter
+	// (default 0.2 as in §6.1).
+	FilterFraction float64
+
+	// FilterBits is the width of each filter counter (default 2 bits as in
+	// §6.1; use 8+ for byte-weighted streams).
+	FilterBits int
+
+	// FilterRows is the number of filter arrays (default 2, matching the
+	// paper's "2-array mice filter").
+	FilterRows int
+
+	// Emergency enables the Space-Saving overflow layer that catches
+	// insertion failures (§3.3). Disabled by default to match the paper's
+	// accuracy evaluation, which reports ReliableSketch on its own.
+	Emergency bool
+
+	// EmergencyCounters sizes the emergency layer (default 1024, comfortably
+	// above the Δ2·ln(1/Δ) bound of Theorem 4 for any practical Δ).
+	EmergencyCounters int
+
+	// Seed drives all hash functions; experiments vary it across trials.
+	Seed uint64
+
+	// Schedule selects the decay law of widths and thresholds. The default
+	// ScheduleGeometric is the paper's Double Exponential Control; the
+	// arithmetic kinds exist for the §3.2 ablation showing why geometric
+	// decay is essential.
+	Schedule ScheduleKind
+}
+
+// withDefaults fills unset fields with the paper's recommendations.
+func (c Config) withDefaults() Config {
+	if c.Rw == 0 {
+		c.Rw = 2
+	}
+	if c.Rl == 0 {
+		c.Rl = 2.5
+	}
+	if c.D == 0 {
+		c.D = 12
+	}
+	if c.FilterFraction == 0 {
+		c.FilterFraction = 0.2
+	}
+	if c.FilterBits == 0 {
+		c.FilterBits = 2
+	}
+	if c.FilterRows == 0 {
+		c.FilterRows = 2
+	}
+	if c.EmergencyCounters == 0 {
+		c.EmergencyCounters = 1024
+	}
+	return c
+}
+
+// sizingConstant is (RwRl)² / ((Rw−1)(Rl−1)), the practical constant the
+// paper recommends for W (§3.2 "Parameter Configurations").
+func sizingConstant(rw, rl float64) float64 {
+	return (rw * rl) * (rw * rl) / ((rw - 1) * (rl - 1))
+}
+
+// validate checks the configuration and resolves the Lambda/Memory pair.
+func (c *Config) validate() error {
+	if !(c.Rw > 1) || !(c.Rl > 1) || math.IsInf(c.Rw, 1) || math.IsInf(c.Rl, 1) {
+		// The negated comparisons also reject NaN, which would silently
+		// corrupt the geometry schedules.
+		return fmt.Errorf("core: decay ratios must be finite and exceed 1 (Rw=%v, Rl=%v)", c.Rw, c.Rl)
+	}
+	if c.D < 1 {
+		return fmt.Errorf("core: need at least one layer, got d=%d", c.D)
+	}
+	switch {
+	case c.Lambda > 0 && c.MemoryBytes > 0:
+		// fully specified
+	case c.Lambda > 0 && c.ExpectedTotal > 0:
+		// W = const · N/Λ buckets; translate to bytes below once bucket
+		// width is known (done in New, which needs λ1 for NO sizing).
+	case c.MemoryBytes > 0 && c.ExpectedTotal > 0:
+		// Λ derived in New from the bucket count.
+	default:
+		return fmt.Errorf("core: need Lambda+MemoryBytes, or one of them plus ExpectedTotal")
+	}
+	return nil
+}
+
+// noBits returns the counter width needed to store values up to lambda1.
+func noBits(lambda1 uint64) int {
+	if lambda1 == 0 {
+		return 1
+	}
+	return bits.Len64(lambda1)
+}
+
+// bucketBytes is the accounted size of one Error-Sensible bucket: 32-bit
+// YES + 32-bit ID fingerprint + a NO counter just wide enough for λ1,
+// rounded up to whole bytes. With the default Λ=25 this is the paper's
+// 72-bit bucket.
+func bucketBytes(lambda1 uint64) int {
+	bits := 32 + 32 + noBits(lambda1)
+	return (bits + 7) / 8
+}
+
+// lambdaSchedule computes the per-layer lock thresholds
+// λ_i = ⌊Λ(Rl−1)/Rl^i⌋ for i = 1..d. Floors keep Σ λ_i ≤ Λ, preserving the
+// certified error bound; deep layers may reach λ = 0, where buckets act as
+// pure key-value cells (they absorb only their candidate and contribute no
+// error).
+func lambdaSchedule(lambda uint64, rl float64, d int) []uint64 {
+	out := make([]uint64, d)
+	for i := 0; i < d; i++ {
+		out[i] = uint64(float64(lambda) * (rl - 1) / math.Pow(rl, float64(i+1)))
+	}
+	return out
+}
+
+// widthSchedule splits a total bucket budget across d layers in geometric
+// proportion (Rw−1)/Rw^i, each layer at least 1 bucket.
+func widthSchedule(totalBuckets int, rw float64, d int) []int {
+	if totalBuckets < d {
+		totalBuckets = d
+	}
+	norm := 1 - math.Pow(rw, -float64(d))
+	out := make([]int, d)
+	used := 0
+	for i := 0; i < d; i++ {
+		w := int(float64(totalBuckets) * (rw - 1) / math.Pow(rw, float64(i+1)) / norm)
+		if w < 1 {
+			w = 1
+		}
+		out[i] = w
+		used += w
+	}
+	// Return rounding slack to the first (largest) layer.
+	if used < totalBuckets {
+		out[0] += totalBuckets - used
+	}
+	return out
+}

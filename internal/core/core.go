@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bucket"
+	"repro/internal/filter"
+	"repro/internal/hash"
+	"repro/internal/spacesaving"
+)
+
+// Sketch is a ReliableSketch instance. Build one with New or the
+// convenience constructors; the zero value is not usable.
+//
+// Sketch is single-writer, like the hardware pipelines it models; wrap it in
+// sketch.Sharded for concurrent insertion.
+type Sketch struct {
+	cfg     Config
+	lambda  uint64 // Λ
+	layers  [][]bucket.Bucket
+	widths  []int
+	lambdas []uint64 // λ_i per layer
+	hashes  *hash.Family
+	mice    *filter.Filter      // nil when disabled
+	emerg   *spacesaving.Sketch // nil when disabled
+
+	bucketBytes int
+
+	// Instrumentation for the paper's in-depth experiments.
+	failures        uint64 // insertions with leftover value after the last layer
+	failedValue     uint64 // total value that failed to insert
+	insertOps       uint64
+	insertHashCalls uint64
+	queryOps        uint64
+	queryHashCalls  uint64
+}
+
+// New builds a ReliableSketch from cfg, resolving defaults and the
+// Lambda/Memory sizing rules of §3.2.
+func New(cfg Config) (*Sketch, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Sketch{cfg: cfg}
+
+	switch {
+	case cfg.Lambda > 0 && cfg.MemoryBytes > 0:
+		s.lambda = cfg.Lambda
+	case cfg.Lambda > 0:
+		// Memory from Λ and N: W = const · N/Λ buckets.
+		s.lambda = cfg.Lambda
+		w := sizingConstant(cfg.Rw, cfg.Rl) * float64(cfg.ExpectedTotal) / float64(cfg.Lambda)
+		bb := bucketBytes(firstLambda(cfg.Lambda, cfg.Rl))
+		mem := int(w) * bb
+		if !cfg.DisableMiceFilter {
+			mem = int(float64(mem) / (1 - cfg.FilterFraction))
+		}
+		cfg.MemoryBytes = mem
+		s.cfg.MemoryBytes = mem
+	default:
+		// Λ from memory and N: invert W(Λ). Bucket width depends weakly on
+		// Λ through the NO counter, so iterate the fixed point twice.
+		lambda := uint64(25)
+		for iter := 0; iter < 3; iter++ {
+			bb := bucketBytes(firstLambda(lambda, cfg.Rl))
+			budget := cfg.MemoryBytes
+			if !cfg.DisableMiceFilter {
+				budget = int(float64(budget) * (1 - cfg.FilterFraction))
+			}
+			w := budget / bb
+			if w < cfg.D {
+				w = cfg.D
+			}
+			l := sizingConstant(cfg.Rw, cfg.Rl) * float64(cfg.ExpectedTotal) / float64(w)
+			lambda = uint64(math.Ceil(l))
+			if lambda < 1 {
+				lambda = 1
+			}
+		}
+		s.lambda = lambda
+	}
+
+	// Split memory: filter share, then buckets.
+	bucketBudget := cfg.MemoryBytes
+	if !cfg.DisableMiceFilter {
+		filterBytes := int(float64(cfg.MemoryBytes) * cfg.FilterFraction)
+		s.mice = filter.NewBytes(filterBytes, cfg.FilterRows, cfg.FilterBits, cfg.Seed^0xf11e)
+		bucketBudget -= s.mice.MemoryBytes()
+	}
+
+	// The filter's saturation cap counts against the total error budget Λ:
+	// a query that stops at the filter reports MPE ≤ cap, and one that
+	// continues carries the cap into the layer walk. Scheduling the layer
+	// thresholds over Λ − cap keeps the certified MPE ≤ Λ for every key.
+	layerBudget := s.lambda
+	if s.mice != nil {
+		if c := s.mice.Cap(); c < layerBudget {
+			layerBudget -= c
+		} else {
+			layerBudget = 1
+		}
+	}
+	// Thresholds first (the NO counter width, and hence bucket size, depends
+	// on λ1), then widths from the remaining budget.
+	_, s.lambdas = buildSchedules(cfg.Schedule, cfg.D, cfg.Rw, layerBudget, cfg.Rl, cfg.D)
+	s.bucketBytes = bucketBytes(s.lambdas[0])
+	totalBuckets := bucketBudget / s.bucketBytes
+	if totalBuckets < cfg.D {
+		totalBuckets = cfg.D
+	}
+	s.widths, _ = buildSchedules(cfg.Schedule, totalBuckets, cfg.Rw, layerBudget, cfg.Rl, cfg.D)
+	s.layers = make([][]bucket.Bucket, cfg.D)
+	for i, w := range s.widths {
+		s.layers[i] = make([]bucket.Bucket, w)
+	}
+	s.hashes = hash.NewFamily(cfg.Seed, cfg.D)
+
+	if cfg.Emergency {
+		s.emerg = spacesaving.New(cfg.EmergencyCounters)
+	}
+	return s, nil
+}
+
+// firstLambda is λ1 for a given Λ and Rl, used for NO-width accounting.
+func firstLambda(lambda uint64, rl float64) uint64 {
+	return uint64(float64(lambda) * (rl - 1) / rl)
+}
+
+// MustNew is New for tests and examples with known-good configurations.
+func MustNew(cfg Config) *Sketch {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewFromMemory builds a sketch with the default recommended parameters for
+// a memory budget and error tolerance — the constructor used by every
+// comparison experiment.
+func NewFromMemory(memBytes int, lambda uint64, seed uint64) *Sketch {
+	return MustNew(Config{Lambda: lambda, MemoryBytes: memBytes, Seed: seed})
+}
+
+// NewRaw is NewFromMemory without the mice filter (the paper's "Ours(Raw)"
+// variant: faster, slightly less memory-efficient on mice-heavy workloads).
+func NewRaw(memBytes int, lambda uint64, seed uint64) *Sketch {
+	return MustNew(Config{Lambda: lambda, MemoryBytes: memBytes, Seed: seed,
+		DisableMiceFilter: true})
+}
+
+// Lambda returns the error tolerance Λ the sketch was built for.
+func (s *Sketch) Lambda() uint64 { return s.lambda }
+
+// Layers returns the number of bucket layers d.
+func (s *Sketch) Layers() int { return len(s.layers) }
+
+// LayerWidth returns the number of buckets in layer i (0-based).
+func (s *Sketch) LayerWidth(i int) int { return s.widths[i] }
+
+// LayerLambda returns the lock threshold λ of layer i (0-based).
+func (s *Sketch) LayerLambda(i int) uint64 { return s.lambdas[i] }
+
+// Insert adds value to key's sum (Algorithm 1). The value cascades through
+// the mice filter and the bucket layers; any portion that survives all d
+// layers is an insertion failure, which the emergency layer absorbs when
+// enabled.
+func (s *Sketch) Insert(key, value uint64) {
+	s.insertOps++
+	v := value
+	if s.mice != nil {
+		v = s.mice.Insert(key, v)
+		if v == 0 {
+			return
+		}
+	}
+	for i := range s.layers {
+		j := s.hashes.Bucket(i, key, s.widths[i])
+		s.insertHashCalls++
+		v = s.layers[i][j].InsertCapped(key, v, s.lambdas[i])
+		if v == 0 {
+			return
+		}
+	}
+	// Insertion failure: value left after the last layer (§3.2). Theorems
+	// 2–4 make this double-exponentially unlikely at recommended sizes.
+	s.failures++
+	s.failedValue += v
+	if s.emerg != nil {
+		s.emerg.Insert(key, v)
+	}
+}
+
+// Query returns the estimated value sum of key.
+func (s *Sketch) Query(key uint64) uint64 {
+	est, _ := s.QueryWithError(key)
+	return est
+}
+
+// QueryWithError returns the estimate and its certified Maximum Possible
+// Error (Algorithm 2). Absent insertion failure — or always, when the
+// emergency layer is enabled — the true sum lies in [est − mpe, est].
+func (s *Sketch) QueryWithError(key uint64) (est, mpe uint64) {
+	s.queryOps++
+	if s.mice != nil {
+		m, saturated := s.mice.Query(key)
+		est += m
+		mpe += m
+		if !saturated {
+			return est, mpe
+		}
+	}
+	for i := range s.layers {
+		j := s.hashes.Bucket(i, key, s.widths[i])
+		s.queryHashCalls++
+		b := &s.layers[i][j]
+		e, _ := b.Query(key)
+		est += e
+		mpe += b.NO
+		// Stop once this layer proves the key went no deeper: the bucket is
+		// unlocked, or it is replaceable (YES == NO), or it holds the key.
+		if b.NO < s.lambdas[i] || b.YES == b.NO || (b.Occupied() && b.ID == key) {
+			return est, mpe
+		}
+	}
+	if s.emerg != nil {
+		e, m := s.emerg.QueryWithError(key)
+		est += e
+		mpe += m
+	}
+	return est, mpe
+}
+
+// StopLayer reports which layer a key's queries terminate in: -1 for the
+// mice filter, 0..d−1 for bucket layers, d when the walk exhausts all
+// layers (possible insertion failure). Used by the Figure 19a layer
+// distribution, since the query stop layer equals the layer where the key's
+// latest insertion concluded.
+func (s *Sketch) StopLayer(key uint64) int {
+	if s.mice != nil {
+		if _, saturated := s.mice.Query(key); !saturated {
+			return -1
+		}
+	}
+	for i := range s.layers {
+		j := s.hashes.Bucket(i, key, s.widths[i])
+		b := &s.layers[i][j]
+		if b.NO < s.lambdas[i] || b.YES == b.NO || (b.Occupied() && b.ID == key) {
+			return i
+		}
+	}
+	return len(s.layers)
+}
+
+// InsertionFailures reports how many Insert calls left value uninserted
+// after the final layer, and the total uninserted value. Nonzero failures
+// void the certified bound unless the emergency layer is enabled.
+func (s *Sketch) InsertionFailures() (count, value uint64) {
+	return s.failures, s.failedValue
+}
+
+// HashCallStats returns the average number of hash-function calls per
+// insertion and per query so far — the quantity plotted in Figure 16. The
+// mice filter contributes its own calls (2 per touched operation with the
+// default 2-row filter).
+func (s *Sketch) HashCallStats() (perInsert, perQuery float64) {
+	miceCalls := uint64(0)
+	if s.mice != nil {
+		miceCalls = s.mice.HashCalls()
+	}
+	// The filter does not separate insert from query hashing; attribute
+	// proportionally to operation counts.
+	totalOps := s.insertOps + s.queryOps
+	if s.insertOps > 0 {
+		share := float64(miceCalls) * float64(s.insertOps) / float64(max(totalOps, 1))
+		perInsert = (float64(s.insertHashCalls) + share) / float64(s.insertOps)
+	}
+	if s.queryOps > 0 {
+		share := float64(miceCalls) * float64(s.queryOps) / float64(max(totalOps, 1))
+		perQuery = (float64(s.queryHashCalls) + share) / float64(s.queryOps)
+	}
+	return perInsert, perQuery
+}
+
+// MemoryBytes reports the accounted footprint: bit-packed filter plus
+// bucket layers (32-bit YES + 32-bit ID + NO wide enough for λ1), plus the
+// emergency layer when enabled.
+func (s *Sketch) MemoryBytes() int {
+	total := 0
+	if s.mice != nil {
+		total += s.mice.MemoryBytes()
+	}
+	for _, w := range s.widths {
+		total += w * s.bucketBytes
+	}
+	if s.emerg != nil {
+		total += s.emerg.MemoryBytes()
+	}
+	return total
+}
+
+// Name identifies the variant for experiment tables.
+func (s *Sketch) Name() string {
+	if s.mice == nil {
+		return "Ours(Raw)"
+	}
+	return "Ours"
+}
+
+// Reset clears all layers in place for epoch-based reuse.
+func (s *Sketch) Reset() {
+	if s.mice != nil {
+		s.mice.Reset()
+	}
+	for i := range s.layers {
+		for j := range s.layers[i] {
+			s.layers[i][j].Reset()
+		}
+	}
+	if s.emerg != nil {
+		s.emerg.Reset()
+	}
+	s.failures, s.failedValue = 0, 0
+	s.insertOps, s.insertHashCalls = 0, 0
+	s.queryOps, s.queryHashCalls = 0, 0
+}
+
+// String summarizes the geometry for debugging and experiment logs.
+func (s *Sketch) String() string {
+	return fmt.Sprintf("ReliableSketch{Λ=%d, d=%d, widths=%v, λ=%v, filter=%v, mem=%dB}",
+		s.lambda, len(s.layers), s.widths, s.lambdas, s.mice != nil, s.MemoryBytes())
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+var (
+	_ sketch.Sketch       = (*Sketch)(nil)
+	_ sketch.ErrorBounded = (*Sketch)(nil)
+	_ sketch.Resettable   = (*Sketch)(nil)
+)
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{},                                       // nothing specified
+		{Lambda: 25},                             // no memory, no N
+		{MemoryBytes: 1024},                      // no Λ, no N
+		{Lambda: 25, MemoryBytes: 1024, Rw: 0.5}, // bad ratio
+		{Lambda: 25, MemoryBytes: 1024, Rl: 1.0}, // bad ratio
+		{Lambda: 25, MemoryBytes: 1024, D: -1},   // bad depth
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+	if _, err := New(Config{Lambda: 25, MemoryBytes: 1 << 20}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestGeometrySchedules(t *testing.T) {
+	s := NewFromMemory(1<<20, 25, 1)
+	if s.Lambda() != 25 {
+		t.Fatalf("Lambda=%d want 25", s.Lambda())
+	}
+	d := s.Layers()
+	if d < 7 {
+		t.Fatalf("d=%d; paper recommends ≥7", d)
+	}
+	// Widths strictly decay (until the 1-bucket floor).
+	for i := 1; i < d; i++ {
+		if s.LayerWidth(i) > s.LayerWidth(i-1) {
+			t.Errorf("width grew at layer %d: %d > %d", i, s.LayerWidth(i), s.LayerWidth(i-1))
+		}
+	}
+	// Thresholds non-increasing and Σλ_i + filter cap ≤ Λ.
+	var sum uint64
+	for i := 0; i < d; i++ {
+		if i > 0 && s.LayerLambda(i) > s.LayerLambda(i-1) {
+			t.Errorf("lambda grew at layer %d", i)
+		}
+		sum += s.LayerLambda(i)
+	}
+	if sum+s.mice.Cap() > s.Lambda() {
+		t.Errorf("Σλ + cap = %d exceeds Λ = %d", sum+s.mice.Cap(), s.Lambda())
+	}
+	// Memory accounting stays within the budget.
+	if got := s.MemoryBytes(); got > 1<<20 {
+		t.Errorf("MemoryBytes=%d exceeds budget %d", got, 1<<20)
+	}
+}
+
+func TestDeriveMemoryFromLambda(t *testing.T) {
+	s := MustNew(Config{Lambda: 25, ExpectedTotal: 1_000_000, Seed: 1})
+	// W = (RwRl)²/((Rw−1)(Rl−1)) · N/Λ = 25/1.5 · 40000 ≈ 666k... buckets
+	// of 9 bytes plus filter; just sanity-check the order of magnitude.
+	mem := s.MemoryBytes()
+	if mem < 100_000 || mem > 20_000_000 {
+		t.Errorf("derived memory %d out of plausible range", mem)
+	}
+}
+
+func TestDeriveLambdaFromMemory(t *testing.T) {
+	s := MustNew(Config{MemoryBytes: 1 << 20, ExpectedTotal: 10_000_000, Seed: 1})
+	if s.Lambda() == 0 {
+		t.Fatal("Lambda not derived")
+	}
+	// More memory ⇒ smaller Λ.
+	s2 := MustNew(Config{MemoryBytes: 4 << 20, ExpectedTotal: 10_000_000, Seed: 1})
+	if s2.Lambda() >= s.Lambda() {
+		t.Errorf("Λ did not shrink with memory: %d (1MB) vs %d (4MB)", s.Lambda(), s2.Lambda())
+	}
+}
+
+func TestSingleKeyExact(t *testing.T) {
+	s := NewFromMemory(64<<10, 25, 1)
+	for i := 0; i < 1000; i++ {
+		s.Insert(42, 1)
+	}
+	est, mpe := s.QueryWithError(42)
+	if est < 1000 {
+		t.Fatalf("underestimate: %d < 1000", est)
+	}
+	if est-mpe > 1000 {
+		t.Fatalf("lower bound %d exceeds truth", est-mpe)
+	}
+	if mpe > s.Lambda() {
+		t.Fatalf("MPE %d exceeds Λ %d", mpe, s.Lambda())
+	}
+}
+
+func TestWeightedValuesExactForSingleKeys(t *testing.T) {
+	// Distinct keys with no collisions (huge memory) must be exact.
+	s := NewFromMemory(1<<22, 1000, 7)
+	truth := map[uint64]uint64{}
+	for k := uint64(0); k < 100; k++ {
+		v := (k + 1) * 37
+		s.Insert(k, v)
+		truth[k] = v
+	}
+	for k, f := range truth {
+		est, mpe := s.QueryWithError(k)
+		if est < f || est-mpe > f {
+			t.Fatalf("key %d: truth %d outside [%d,%d]", k, f, est-mpe, est)
+		}
+	}
+}
+
+// feedAndCheckIntervals streams s through sk and verifies the certified
+// interval for every key, returning the evaluation report.
+func feedAndCheckIntervals(t *testing.T, sk *Sketch, s *stream.Stream) metrics.Report {
+	t.Helper()
+	metrics.Feed(sk, s)
+	if fails, val := sk.InsertionFailures(); fails > 0 && sk.emerg == nil {
+		t.Logf("note: %d insertion failures (value %d) without emergency layer", fails, val)
+	}
+	rep := metrics.SensedError(sk, s)
+	if rep.Violations > 0 {
+		t.Errorf("%d certified-interval violations", rep.Violations)
+	}
+	return metrics.Evaluate(sk, s, sk.Lambda())
+}
+
+func TestIntervalInvariantZipf(t *testing.T) {
+	s := stream.Zipf(200_000, 20_000, 1.0, 3)
+	sk := NewFromMemory(256<<10, 25, 3)
+	rep := feedAndCheckIntervals(t, sk, s)
+	if fails, _ := sk.InsertionFailures(); fails != 0 {
+		t.Fatalf("%d insertion failures at comfortable memory", fails)
+	}
+	if rep.Outliers != 0 {
+		t.Errorf("outliers=%d want 0 (Λ=%d, mem=256KB)", rep.Outliers, sk.Lambda())
+	}
+}
+
+func TestIntervalInvariantRaw(t *testing.T) {
+	s := stream.Zipf(200_000, 20_000, 1.0, 4)
+	sk := NewRaw(256<<10, 25, 4)
+	rep := feedAndCheckIntervals(t, sk, s)
+	if rep.Outliers != 0 {
+		t.Errorf("raw variant outliers=%d want 0", rep.Outliers)
+	}
+	if sk.Name() != "Ours(Raw)" {
+		t.Errorf("Name=%q", sk.Name())
+	}
+}
+
+func TestZeroOutliersAcrossDatasets(t *testing.T) {
+	const n = 100_000
+	for _, mk := range []func() *stream.Stream{
+		func() *stream.Stream { return stream.IPTrace(n, 5) },
+		func() *stream.Stream { return stream.WebStream(n, 5) },
+		func() *stream.Stream { return stream.Hadoop(n, 5) },
+		func() *stream.Stream { return stream.Zipf(n, 10_000, 3.0, 5) },
+	} {
+		s := mk()
+		sk := NewFromMemory(256<<10, 25, 5)
+		rep := feedAndCheckIntervals(t, sk, s)
+		if rep.Outliers != 0 {
+			t.Errorf("%s: outliers=%d want 0", s.Name, rep.Outliers)
+		}
+	}
+}
+
+func TestMPENeverExceedsLambda(t *testing.T) {
+	// The certified MPE must respect Λ for every key even under memory
+	// pressure, as long as insertion didn't fail (MPE = cap + Σλ_i ≤ Λ).
+	s := stream.Zipf(100_000, 10_000, 1.0, 6)
+	sk := NewFromMemory(64<<10, 25, 6)
+	metrics.Feed(sk, s)
+	for key := range s.Truth() {
+		if _, mpe := sk.QueryWithError(key); mpe > sk.Lambda() {
+			// Keys that hit the emergency path may exceed; only flag when no
+			// failures occurred.
+			if f, _ := sk.InsertionFailures(); f == 0 {
+				t.Fatalf("MPE %d > Λ %d with zero failures", mpe, sk.Lambda())
+			}
+		}
+	}
+}
+
+func TestEmergencyLayerUnconditionalBound(t *testing.T) {
+	// Starve the sketch so insertions fail, and verify the emergency layer
+	// restores the certified interval for every key.
+	s := stream.Zipf(50_000, 5_000, 0.5, 7)
+	sk := MustNew(Config{
+		Lambda: 5, MemoryBytes: 2 << 10, Seed: 7,
+		Emergency: true, EmergencyCounters: 4096,
+	})
+	metrics.Feed(sk, s)
+	fails, _ := sk.InsertionFailures()
+	if fails == 0 {
+		t.Skip("no insertion failures provoked; starvation config too generous")
+	}
+	rep := metrics.SensedError(sk, s)
+	if rep.Violations > 0 {
+		t.Errorf("%d interval violations despite emergency layer (failures=%d)",
+			rep.Violations, fails)
+	}
+}
+
+func TestStopLayerDistribution(t *testing.T) {
+	s := stream.Zipf(100_000, 10_000, 1.0, 8)
+	sk := NewFromMemory(128<<10, 25, 8)
+	metrics.Feed(sk, s)
+	counts := map[int]int{}
+	for key := range s.Truth() {
+		counts[sk.StopLayer(key)]++
+	}
+	// Most keys must resolve in the filter or first layers; deep layers
+	// hold a fast-shrinking minority (Figure 19a).
+	shallow := counts[-1] + counts[0] + counts[1]
+	if shallow < s.Distinct()*8/10 {
+		t.Errorf("only %d/%d keys resolve in filter+2 layers", shallow, s.Distinct())
+	}
+	deep := 0
+	for l, c := range counts {
+		if l >= 4 {
+			deep += c
+		}
+	}
+	if deep > s.Distinct()/10 {
+		t.Errorf("%d keys in layers ≥4; decay too slow", deep)
+	}
+}
+
+func TestHashCallStats(t *testing.T) {
+	s := stream.Zipf(50_000, 5_000, 1.0, 9)
+	sk := NewFromMemory(512<<10, 25, 9)
+	metrics.Feed(sk, s)
+	for key := range s.Truth() {
+		sk.Query(key)
+	}
+	ins, qry := sk.HashCallStats()
+	if ins <= 0 || qry <= 0 {
+		t.Fatalf("stats not recorded: insert=%f query=%f", ins, qry)
+	}
+	// With ample memory and a 2-row filter the averages approach 2 (filter)
+	// + a small layer tail; the paper's Figure 16 plateau is ≈3.
+	if ins > 6 {
+		t.Errorf("insert hash calls %.2f too high at ample memory", ins)
+	}
+	raw := NewRaw(512<<10, 25, 9)
+	metrics.Feed(raw, s)
+	rawIns, _ := raw.HashCallStats()
+	if rawIns > 3 {
+		t.Errorf("raw insert hash calls %.2f; Figure 16 plateau is ≈1", rawIns)
+	}
+}
+
+func TestQueryUnseenKey(t *testing.T) {
+	sk := NewFromMemory(64<<10, 25, 10)
+	sk.Insert(1, 100)
+	est, mpe := sk.QueryWithError(999999)
+	// An unseen key's truth is 0: est−mpe must be ≤ 0, i.e. est == mpe.
+	if est != mpe {
+		t.Errorf("unseen key: est=%d mpe=%d; lower bound must be 0", est, mpe)
+	}
+}
+
+func TestReset(t *testing.T) {
+	sk := NewFromMemory(64<<10, 25, 11)
+	sk.Insert(7, 50)
+	sk.Reset()
+	if got := sk.Query(7); got != 0 {
+		t.Errorf("Query after Reset = %d", got)
+	}
+	if f, v := sk.InsertionFailures(); f != 0 || v != 0 {
+		t.Error("failure counters survived Reset")
+	}
+}
+
+func TestDeterminismAcrossSeeds(t *testing.T) {
+	s := stream.Zipf(20_000, 2_000, 1.0, 12)
+	a := NewFromMemory(64<<10, 25, 99)
+	b := NewFromMemory(64<<10, 25, 99)
+	metrics.Feed(a, s)
+	metrics.Feed(b, s)
+	for key := range s.Truth() {
+		if a.Query(key) != b.Query(key) {
+			t.Fatal("same seed produced different estimates")
+		}
+	}
+	c := NewFromMemory(64<<10, 25, 100)
+	metrics.Feed(c, s)
+	diff := false
+	for key := range s.Truth() {
+		if a.Query(key) != c.Query(key) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical estimates everywhere (suspicious)")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	sk := NewFromMemory(64<<10, 25, 1)
+	if s := sk.String(); len(s) == 0 {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// The basic workflow: configure by tolerance and expected stream size,
+// insert key-value pairs, query with certified bounds.
+func Example() {
+	sk := core.MustNew(core.Config{
+		Lambda:        25,      // every key's error stays ≤ 25
+		ExpectedTotal: 100_000, // anticipated Σ f(e)
+		Seed:          1,
+	})
+	sk.Insert(42, 1000)
+	sk.Insert(42, 500)
+	sk.Insert(7, 3)
+
+	est, mpe := sk.QueryWithError(42)
+	fmt.Printf("key 42: true sum ∈ [%d, %d]\n", est-mpe, est)
+	fmt.Printf("within tolerance: %v\n", mpe <= sk.Lambda())
+	// Output:
+	// key 42: true sum ∈ [1497, 1500]
+	// within tolerance: true
+}
+
+// Sizing by memory budget: when memory is fixed (a switch stage, an SRAM
+// block), the error tolerance Λ is derived from the expected stream size.
+func ExampleConfig_memoryBudget() {
+	sk := core.MustNew(core.Config{
+		MemoryBytes:   8 << 20,    // 8 MB
+		ExpectedTotal: 10_000_000, // 10M items
+		Seed:          1,
+	})
+	fmt.Printf("derived Λ = %d\n", sk.Lambda())
+	// Output:
+	// derived Λ = 224
+}
+
+// HeavyHitters reports keys whose certified lower bound clears a
+// threshold: no false positives, misses bounded by Λ.
+func ExampleSketch_HeavyHitters() {
+	sk := core.NewFromMemory(64<<10, 25, 1)
+	for i := 0; i < 5000; i++ {
+		sk.Insert(1001, 1) // one heavy flow
+	}
+	for k := uint64(0); k < 100; k++ {
+		sk.Insert(k, 1) // background mice
+	}
+	for _, hh := range sk.HeavyHitters(1000) {
+		fmt.Printf("flow %d ≥ %d\n", hh.Key, 1000)
+	}
+	// Output:
+	// flow 1001 ≥ 1000
+}

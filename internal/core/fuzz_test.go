@@ -1,0 +1,71 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadSketch hardens the snapshot decoder against corrupt and
+// adversarial inputs: it must return an error or a usable sketch, never
+// panic or hang.
+func FuzzReadSketch(f *testing.F) {
+	// Seed with a valid snapshot and some mutations.
+	sk := NewFromMemory(16<<10, 25, 1)
+	sk.Insert(1, 100)
+	sk.Insert(2, 3)
+	var buf bytes.Buffer
+	if _, err := sk.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("RSK1"))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	if len(mutated) > 10 {
+		mutated[8] ^= 0xff
+	}
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadSketch(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully decoded sketch must answer queries safely.
+		got.Insert(7, 1)
+		est, mpe := got.QueryWithError(7)
+		if est < 1 && mpe == 0 && est == 0 {
+			// est may legitimately exceed 1 (collisions); it must not be
+			// less than the value just inserted minus its own MPE.
+			t.Errorf("restored sketch lost a fresh insert: est=%d mpe=%d", est, mpe)
+		}
+	})
+}
+
+// FuzzInsertQuery drives the sketch with arbitrary operation tapes and
+// checks the certified interval on a shadow map.
+func FuzzInsertQuery(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		sk := NewFromMemory(8<<10, 10, 3)
+		truth := map[uint64]uint64{}
+		for i := 0; i+1 < len(tape); i += 2 {
+			key := uint64(tape[i] % 32)
+			val := uint64(tape[i+1]%8) + 1
+			sk.Insert(key, val)
+			truth[key] += val
+		}
+		if fails, _ := sk.InsertionFailures(); fails > 0 {
+			return // certificate void by design; nothing to check
+		}
+		for key, want := range truth {
+			est, mpe := sk.QueryWithError(key)
+			if est < want || est-mpe > want {
+				t.Fatalf("key %d: truth %d outside [%d, %d]", key, want, est-mpe, est)
+			}
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// TestOrderIndependentGuarantee exercises the paper's Theorem 1 setting:
+// the certified interval must hold for ANY arrival order of the same
+// multiset of items — uniform shuffle, key-sorted, heavy-first,
+// mice-first, and bursty schedules.
+func TestOrderIndependentGuarantee(t *testing.T) {
+	base := stream.Zipf(150_000, 15_000, 1.0, 31)
+	orders := []*stream.Stream{
+		base,
+		stream.SortedByKey(base),
+		stream.HeavyFirst(base),
+		stream.MiceFirst(base),
+		stream.Bursty(base, 64, 31),
+	}
+	for _, s := range orders {
+		sk := NewFromMemory(192<<10, 25, 31)
+		metrics.Feed(sk, s)
+		rep := metrics.SensedError(sk, s)
+		if rep.Violations > 0 {
+			if fails, _ := sk.InsertionFailures(); fails == 0 {
+				t.Errorf("%s: %d interval violations with zero insertion failures", s.Name, rep.Violations)
+			}
+		}
+		out := metrics.Evaluate(sk, s, 25).Outliers
+		if out != 0 {
+			t.Errorf("%s: %d outliers (order-dependent accuracy)", s.Name, out)
+		}
+	}
+}
+
+// TestMiceFirstStressesRawVariant documents WHY the mice filter exists
+// (§3.3): under a mice-first schedule the raw variant's first layer locks
+// up and pushes keys deep, costing hash calls — but the guarantee must
+// still hold.
+func TestMiceFirstStressesRawVariant(t *testing.T) {
+	base := stream.DataCenter(100_000, 33)
+	mf := stream.MiceFirst(base)
+	raw := NewRaw(128<<10, 25, 33)
+	metrics.Feed(raw, mf)
+	rep := metrics.SensedError(raw, mf)
+	if fails, _ := raw.InsertionFailures(); fails == 0 && rep.Violations > 0 {
+		t.Errorf("raw variant: %d violations under mice-first schedule", rep.Violations)
+	}
+}

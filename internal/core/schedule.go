@@ -1,0 +1,120 @@
+package core
+
+import "math"
+
+// ScheduleKind selects how layer widths and lock thresholds decay across
+// layers. The paper's Key Technique II (Double Exponential Control, §3.2)
+// requires geometric decay of BOTH sequences; it explicitly warns that
+// "modifying either parameter to follow an arithmetic sequence would
+// thoroughly undermine the complexity of ReliableSketch". The arithmetic
+// kinds exist to reproduce that ablation (see BenchmarkAblationSchedules).
+type ScheduleKind int
+
+const (
+	// ScheduleGeometric is the paper's recommended double-exponential
+	// configuration: w_i ∝ Rw^−i and λ_i ∝ Rl^−i.
+	ScheduleGeometric ScheduleKind = iota
+	// ScheduleArithmeticWidths decays widths linearly while keeping
+	// thresholds geometric (ablation).
+	ScheduleArithmeticWidths
+	// ScheduleArithmeticLambdas decays thresholds linearly while keeping
+	// widths geometric (ablation).
+	ScheduleArithmeticLambdas
+	// ScheduleArithmeticBoth decays both linearly (ablation).
+	ScheduleArithmeticBoth
+)
+
+// String names the schedule for experiment tables.
+func (k ScheduleKind) String() string {
+	switch k {
+	case ScheduleGeometric:
+		return "geometric"
+	case ScheduleArithmeticWidths:
+		return "arith-widths"
+	case ScheduleArithmeticLambdas:
+		return "arith-lambdas"
+	case ScheduleArithmeticBoth:
+		return "arith-both"
+	}
+	return "unknown"
+}
+
+// arithmeticLambdaSchedule splits the error budget linearly:
+// λ_i ∝ (d+1−i), normalized so Σλ_i ≤ budget.
+func arithmeticLambdaSchedule(budget uint64, d int) []uint64 {
+	out := make([]uint64, d)
+	denom := d * (d + 1) / 2
+	for i := 0; i < d; i++ {
+		out[i] = uint64(float64(budget) * float64(d-i) / float64(denom))
+	}
+	return out
+}
+
+// arithmeticWidthSchedule splits a bucket budget linearly: w_i ∝ (d+1−i).
+func arithmeticWidthSchedule(totalBuckets, d int) []int {
+	if totalBuckets < d {
+		totalBuckets = d
+	}
+	denom := d * (d + 1) / 2
+	out := make([]int, d)
+	used := 0
+	for i := 0; i < d; i++ {
+		w := totalBuckets * (d - i) / denom
+		if w < 1 {
+			w = 1
+		}
+		out[i] = w
+		used += w
+	}
+	if used < totalBuckets {
+		out[0] += totalBuckets - used
+	}
+	return out
+}
+
+// buildSchedules returns the width and threshold sequences for the
+// configured kind.
+func buildSchedules(kind ScheduleKind, totalBuckets int, rw float64, budget uint64, rl float64, d int) ([]int, []uint64) {
+	var widths []int
+	var lambdas []uint64
+	switch kind {
+	case ScheduleArithmeticWidths:
+		widths = arithmeticWidthSchedule(totalBuckets, d)
+		lambdas = lambdaSchedule(budget, rl, d)
+	case ScheduleArithmeticLambdas:
+		widths = widthSchedule(totalBuckets, rw, d)
+		lambdas = arithmeticLambdaSchedule(budget, d)
+	case ScheduleArithmeticBoth:
+		widths = arithmeticWidthSchedule(totalBuckets, d)
+		lambdas = arithmeticLambdaSchedule(budget, d)
+	default:
+		widths = widthSchedule(totalBuckets, rw, d)
+		lambdas = lambdaSchedule(budget, rl, d)
+	}
+	return widths, lambdas
+}
+
+// TheoreticalD returns the layer depth Theorem 4 prescribes: the largest d
+// whose layer failure exponent p_d·α_d/(λ_d·γ_d) still meets 2·ln(1/Δ)
+// (the integer root of Rl^d/(RwRl)^(2^d+d) = Δ1·(Λ/N)·ln(1/Δ)). It grows
+// as O(lnln(N/Λ)), the paper's headline depth. The same computation lives
+// in internal/analysis (Params.DepthFor) with the full Theorem 2–4
+// sequences; this copy keeps core dependency-free.
+func TheoreticalD(n, lambda float64, rw, rl, delta float64) int {
+	if n <= 0 || lambda <= 0 || delta <= 0 || delta >= 1 || rw <= 1 || rl <= 1 || rw*rl < 2 {
+		return 7
+	}
+	need := 2 * math.Log(1/delta)
+	exponent := func(d float64) float64 {
+		pi := math.Pow(rw*rl, -(math.Pow(2, d-1) + 4))
+		alpha := n / math.Pow(rw*rl, d-1)
+		lam := lambda * (rl - 1) / math.Pow(rl, d)
+		gamma := math.Pow(rw*rl, math.Pow(2, d-1)-1)
+		return pi * alpha / (lam * gamma)
+	}
+	d := 1
+	for d < 64 && exponent(float64(d+1)) >= need {
+		d++
+	}
+	return d
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+func TestScheduleKindString(t *testing.T) {
+	for k, want := range map[ScheduleKind]string{
+		ScheduleGeometric:         "geometric",
+		ScheduleArithmeticWidths:  "arith-widths",
+		ScheduleArithmeticLambdas: "arith-lambdas",
+		ScheduleArithmeticBoth:    "arith-both",
+		ScheduleKind(99):          "unknown",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("String(%d)=%q want %q", k, got, want)
+		}
+	}
+}
+
+func TestArithmeticSchedulesRespectBudgets(t *testing.T) {
+	lams := arithmeticLambdaSchedule(100, 8)
+	var sum uint64
+	for i, l := range lams {
+		if i > 0 && l > lams[i-1] {
+			t.Errorf("lambda grew at %d", i)
+		}
+		sum += l
+	}
+	if sum > 100 {
+		t.Errorf("Σλ=%d exceeds budget 100", sum)
+	}
+	ws := arithmeticWidthSchedule(1000, 8)
+	total := 0
+	for i, w := range ws {
+		if w < 1 {
+			t.Errorf("width %d at layer %d", w, i)
+		}
+		if i > 0 && w > ws[i-1] {
+			t.Errorf("width grew at %d", i)
+		}
+		total += w
+	}
+	if total != 1000 {
+		t.Errorf("widths sum to %d, want all 1000 buckets used", total)
+	}
+}
+
+// TestAblationGeometricBeatsArithmetic reproduces the §3.2 claim: with the
+// same tight memory, the geometric (double exponential) schedules keep
+// every insertion under control while arithmetic schedules suffer
+// thousands of insertion failures — each of which voids the certificate.
+func TestAblationGeometricBeatsArithmetic(t *testing.T) {
+	s := stream.IPTrace(300_000, 11)
+	const mem = 32 << 10 // tight memory so schedule quality matters
+	const lam = 25
+	failures := func(kind ScheduleKind) uint64 {
+		sk := MustNew(Config{Lambda: lam, MemoryBytes: mem, Seed: 11, Schedule: kind})
+		metrics.Feed(sk, s)
+		f, _ := sk.InsertionFailures()
+		return f
+	}
+	geo := failures(ScheduleGeometric)
+	if geo != 0 {
+		t.Errorf("geometric schedules: %d insertion failures at 32KB, want 0", geo)
+	}
+	for _, kind := range []ScheduleKind{ScheduleArithmeticWidths, ScheduleArithmeticLambdas, ScheduleArithmeticBoth} {
+		a := failures(kind)
+		if a <= geo {
+			t.Errorf("%v: %d failures not worse than geometric's %d (ablation claim violated)", kind, a, geo)
+		}
+		t.Logf("%v: %d insertion failures (geometric: %d)", kind, a, geo)
+	}
+}
+
+// TestArithmeticStillSound: the ablation variants lose efficiency, not
+// soundness — the certified interval must still hold.
+func TestArithmeticStillSound(t *testing.T) {
+	s := stream.Zipf(100_000, 10_000, 1.0, 12)
+	for _, kind := range []ScheduleKind{ScheduleArithmeticWidths, ScheduleArithmeticLambdas, ScheduleArithmeticBoth} {
+		sk := MustNew(Config{Lambda: 25, MemoryBytes: 256 << 10, Seed: 12, Schedule: kind})
+		metrics.Feed(sk, s)
+		rep := metrics.SensedError(sk, s)
+		if fails, _ := sk.InsertionFailures(); fails == 0 && rep.Violations > 0 {
+			t.Errorf("%v: %d interval violations without insertion failures", kind, rep.Violations)
+		}
+	}
+}
+
+func TestTheoreticalD(t *testing.T) {
+	// d grows with N/Λ, very slowly (O(lnln)).
+	d1 := TheoreticalD(1e6, 25, 2, 2.5, 1e-6)
+	d2 := TheoreticalD(1e12, 25, 2, 2.5, 1e-6)
+	if d1 < 1 || d2 < d1 {
+		t.Errorf("TheoreticalD not monotone: %d (1e6) vs %d (1e12)", d1, d2)
+	}
+	if d2 > 12 {
+		t.Errorf("TheoreticalD(1e12)=%d; lnln growth should stay small", d2)
+	}
+	if TheoreticalD(0, 25, 2, 2.5, 0.5) != 7 {
+		t.Error("degenerate inputs should fall back to 7")
+	}
+}
+
+func TestTrackedContainsHeavyKeys(t *testing.T) {
+	s := stream.Zipf(200_000, 20_000, 1.2, 13)
+	sk := NewFromMemory(256<<10, 25, 13)
+	metrics.Feed(sk, s)
+	tracked := map[uint64]bool{}
+	for _, kv := range sk.Tracked() {
+		tracked[kv.Key] = true
+	}
+	cap := sk.mice.Cap()
+	for key, f := range s.Truth() {
+		if f > sk.Lambda()+cap && !tracked[key] {
+			t.Errorf("key %d with f=%d (> Λ+cap=%d) not tracked", key, f, sk.Lambda()+cap)
+		}
+	}
+}
+
+func TestHeavyHittersNoFalsePositives(t *testing.T) {
+	s := stream.Zipf(200_000, 20_000, 1.2, 14)
+	sk := NewFromMemory(256<<10, 25, 14)
+	metrics.Feed(sk, s)
+	truth := s.Truth()
+	const threshold = 500
+	hh := sk.HeavyHitters(threshold)
+	if len(hh) == 0 {
+		t.Fatal("no heavy hitters found")
+	}
+	for _, kv := range hh {
+		if truth[kv.Key] <= threshold {
+			t.Errorf("false positive: key %d has f=%d ≤ %d", kv.Key, truth[kv.Key], threshold)
+		}
+	}
+	// Bounded misses: every key above threshold+Λ must be reported.
+	reported := map[uint64]bool{}
+	for _, kv := range hh {
+		reported[kv.Key] = true
+	}
+	for key, f := range truth {
+		if f > threshold+sk.Lambda() && !reported[key] {
+			t.Errorf("missed key %d with f=%d > T+Λ", key, f)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import "repro/internal/sketch"
+
+// Tracked enumerates every candidate key currently resident in a bucket,
+// with its certified estimate. Because every key whose value exceeds
+// Λ + the mice-filter cap must occupy some bucket as candidate (it cannot
+// be absorbed by collisions alone), Tracked is a superset of the heavy
+// hitters — the invertibility property Elastic-style sketches advertise,
+// here with certified per-key bounds.
+//
+// The same key may be the candidate of buckets in several layers (after
+// lock-induced cascades); Tracked merges those occurrences the same way
+// QueryWithError walks them, by re-querying each distinct candidate.
+func (s *Sketch) Tracked() []sketch.KV {
+	seen := make(map[uint64]struct{})
+	var out []sketch.KV
+	for i := range s.layers {
+		for j := range s.layers[i] {
+			b := &s.layers[i][j]
+			if !b.Occupied() {
+				continue
+			}
+			if _, dup := seen[b.ID]; dup {
+				continue
+			}
+			seen[b.ID] = struct{}{}
+			out = append(out, sketch.KV{Key: b.ID, Est: s.Query(b.ID)})
+		}
+	}
+	return out
+}
+
+// HeavyHitters returns the tracked keys whose certified LOWER bound
+// (est − mpe) exceeds threshold: every returned key truly has
+// f(e) > threshold (no false positives), and no key with
+// f(e) > threshold + Λ can be missing (bounded false negatives) —
+// the property exercised by examples/heavyhitter.
+func (s *Sketch) HeavyHitters(threshold uint64) []sketch.KV {
+	var out []sketch.KV
+	for _, kv := range s.Tracked() {
+		est, mpe := s.QueryWithError(kv.Key)
+		if est-mpe > threshold {
+			out = append(out, sketch.KV{Key: kv.Key, Est: est})
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+// Package countsketch implements the Count sketch (Charikar, Chen,
+// Farach-Colton, ICALP 2002), the canonical L2-norm counter-based sketch
+// from the paper's taxonomy (Table 1). Each update is signed by an
+// independent ±1 hash and queries take the median across rows, giving an
+// unbiased estimator with error proportional to the stream's L2 norm.
+//
+// The paper's evaluation focuses on L1 competitors; Count is included for
+// the Table 1 comparison and as a substrate other systems (UnivMon, Nitro)
+// build on.
+package countsketch
+
+import (
+	"sort"
+
+	"repro/internal/hash"
+)
+
+// CounterBytes is the accounted size of one signed 32-bit counter.
+const CounterBytes = 4
+
+// Sketch is a Count sketch with d rows of w signed counters.
+type Sketch struct {
+	rows    [][]int64
+	width   int
+	hashes  *hash.Family
+	signs   *hash.Family
+	name    string
+	scratch []int64
+}
+
+// New builds a Count sketch with d rows (odd d recommended for a clean
+// median) of width counters.
+func New(d, width int, seed uint64) *Sketch {
+	if d < 1 || width < 1 {
+		panic("countsketch: invalid geometry")
+	}
+	s := &Sketch{
+		rows:    make([][]int64, d),
+		width:   width,
+		hashes:  hash.NewFamily(seed, d),
+		signs:   hash.NewFamily(seed^0x51674e, d),
+		name:    "Count",
+		scratch: make([]int64, d),
+	}
+	for i := range s.rows {
+		s.rows[i] = make([]int64, width)
+	}
+	return s
+}
+
+// NewBytes builds a 3-row Count sketch sized to memBytes.
+func NewBytes(memBytes int, seed uint64) *Sketch {
+	w := memBytes / (3 * CounterBytes)
+	if w < 1 {
+		w = 1
+	}
+	return New(3, w, seed)
+}
+
+// Insert adds sign(key)·value to each mapped counter.
+func (s *Sketch) Insert(key, value uint64) {
+	for i := range s.rows {
+		j := s.hashes.Bucket(i, key, s.width)
+		s.rows[i][j] += s.signs.Sign(i, key) * int64(value)
+	}
+}
+
+// Query returns the median of the signed mapped counters, clamped at zero
+// (value sums are non-negative).
+func (s *Sketch) Query(key uint64) uint64 {
+	for i := range s.rows {
+		j := s.hashes.Bucket(i, key, s.width)
+		s.scratch[i] = s.signs.Sign(i, key) * s.rows[i][j]
+	}
+	sort.Slice(s.scratch, func(a, b int) bool { return s.scratch[a] < s.scratch[b] })
+	var med int64
+	d := len(s.scratch)
+	if d%2 == 1 {
+		med = s.scratch[d/2]
+	} else {
+		med = (s.scratch[d/2-1] + s.scratch[d/2]) / 2
+	}
+	if med < 0 {
+		return 0
+	}
+	return uint64(med)
+}
+
+// MemoryBytes reports d × w × 4 bytes (the deployment uses 32-bit signed
+// counters).
+func (s *Sketch) MemoryBytes() int { return len(s.rows) * s.width * CounterBytes }
+
+// Name identifies the algorithm.
+func (s *Sketch) Name() string { return s.name }
+
+// Reset zeroes all counters.
+func (s *Sketch) Reset() {
+	for i := range s.rows {
+		clear(s.rows[i])
+	}
+}

@@ -1,0 +1,99 @@
+package countsketch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+var _ sketch.Sketch = (*Sketch)(nil)
+
+func TestExactWithoutCollisions(t *testing.T) {
+	s := New(3, 1<<16, 1)
+	s.Insert(1, 100)
+	s.Insert(2, 50)
+	if got := s.Query(1); got != 100 {
+		t.Errorf("Query(1)=%d want 100", got)
+	}
+	if got := s.Query(2); got != 50 {
+		t.Errorf("Query(2)=%d want 50", got)
+	}
+	if got := s.Query(3); got != 0 {
+		t.Errorf("Query(unseen)=%d want 0", got)
+	}
+}
+
+// TestApproximatelyUnbiased: averaged over many keys, the signed-median
+// estimator's error should center near zero (small |mean error| relative to
+// the L2 noise level).
+func TestApproximatelyUnbiased(t *testing.T) {
+	s := stream.Zipf(100_000, 10_000, 1.0, 2)
+	sk := NewBytes(128<<10, 2)
+	for _, it := range s.Items {
+		sk.Insert(it.Key, it.Value)
+	}
+	var sumSigned float64
+	n := 0
+	for k, f := range s.Truth() {
+		est := float64(sk.Query(k))
+		sumSigned += est - float64(f)
+		n++
+	}
+	meanErr := sumSigned / float64(n)
+	// The zero-clamp in Query introduces a small positive bias; allow a
+	// modest band rather than exact zero.
+	if math.Abs(meanErr) > 5 {
+		t.Errorf("mean signed error %.2f; Count sketch should be near-unbiased", meanErr)
+	}
+}
+
+func TestMedianRobustToOneBadRow(t *testing.T) {
+	// Pollute one row heavily: the 3-row median should shrug it off for a
+	// clean key.
+	sk := New(3, 8, 7)
+	sk.Insert(42, 10)
+	// Flood colliding keys; with width 8 some will share row cells, but the
+	// median across 3 rows keeps the estimate within the noise of ~2 rows.
+	for k := uint64(100); k < 108; k++ {
+		sk.Insert(k, 1)
+	}
+	got := sk.Query(42)
+	if got < 5 || got > 25 {
+		t.Errorf("Query(42)=%d; median should stay near 10", got)
+	}
+}
+
+func TestZeroClamp(t *testing.T) {
+	// A key never inserted amid heavy negative interference must not report
+	// a huge value, and never a negative one (unsigned return).
+	sk := New(3, 4, 3)
+	for k := uint64(0); k < 100; k++ {
+		sk.Insert(k, 3)
+	}
+	_ = sk.Query(9999) // must not panic; clamped at ≥ 0 by construction
+}
+
+func TestMemoryAndReset(t *testing.T) {
+	sk := NewBytes(12000, 1)
+	if sk.MemoryBytes() > 12000 {
+		t.Errorf("memory %d over budget", sk.MemoryBytes())
+	}
+	sk.Insert(1, 5)
+	sk.Reset()
+	if sk.Query(1) != 0 {
+		t.Error("Reset did not clear")
+	}
+	if sk.Name() != "Count" {
+		t.Errorf("Name=%q", sk.Name())
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	sk := NewBytes(1<<20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Insert(uint64(i&0xffff), 1)
+	}
+}

@@ -1,0 +1,106 @@
+// Package cu implements the CU sketch (Estan & Varghese, SIGCOMM 2002):
+// Count-Min with conservative update. On insertion only the minimum mapped
+// counters grow, which tightens the overestimate while preserving the
+// never-underestimate guarantee. Like CM, the paper evaluates a fast (d=3)
+// and an accurate (d=16) variant, and §3.3's mice filter is a saturating CU.
+package cu
+
+import "repro/internal/hash"
+
+// CounterBytes is the accounted size of one 32-bit counter.
+const CounterBytes = 4
+
+// Sketch is a CU sketch with d rows of w 32-bit counters.
+type Sketch struct {
+	rows   [][]uint32
+	width  int
+	hashes *hash.Family
+	name   string
+	// idx caches the per-row bucket indexes between the read and write
+	// phases of an insertion, avoiding re-hashing.
+	idx []int
+}
+
+// New builds a CU sketch with d rows of width counters each.
+func New(d, width int, seed uint64, name string) *Sketch {
+	if d < 1 || width < 1 {
+		panic("cu: invalid geometry")
+	}
+	s := &Sketch{
+		rows:   make([][]uint32, d),
+		width:  width,
+		hashes: hash.NewFamily(seed, d),
+		name:   name,
+		idx:    make([]int, d),
+	}
+	for i := range s.rows {
+		s.rows[i] = make([]uint32, width)
+	}
+	return s
+}
+
+// NewFast builds the 3-row throughput variant sized to memBytes.
+func NewFast(memBytes int, seed uint64) *Sketch {
+	return New(3, widthFor(memBytes, 3), seed, "CU_fast")
+}
+
+// NewAccurate builds the 16-row accuracy variant sized to memBytes.
+func NewAccurate(memBytes int, seed uint64) *Sketch {
+	return New(16, widthFor(memBytes, 16), seed, "CU_acc")
+}
+
+func widthFor(memBytes, d int) int {
+	w := memBytes / (d * CounterBytes)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Insert raises only the minimum mapped counters to min+value.
+func (s *Sketch) Insert(key, value uint64) {
+	var min uint64
+	for i := range s.rows {
+		j := s.hashes.Bucket(i, key, s.width)
+		s.idx[i] = j
+		c := uint64(s.rows[i][j])
+		if i == 0 || c < min {
+			min = c
+		}
+	}
+	target := uint32(min + value)
+	for i := range s.rows {
+		if s.rows[i][s.idx[i]] < target {
+			s.rows[i][s.idx[i]] = target
+		}
+	}
+}
+
+// Query returns the minimum mapped counter, a certified overestimate.
+func (s *Sketch) Query(key uint64) uint64 {
+	var min uint64
+	for i := range s.rows {
+		j := s.hashes.Bucket(i, key, s.width)
+		c := uint64(s.rows[i][j])
+		if i == 0 || c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Depth returns the number of rows d.
+func (s *Sketch) Depth() int { return len(s.rows) }
+
+// MemoryBytes reports d × w × 4 bytes.
+func (s *Sketch) MemoryBytes() int { return len(s.rows) * s.width * CounterBytes }
+
+// Name identifies the variant.
+func (s *Sketch) Name() string { return s.name }
+
+// Reset zeroes all counters.
+func (s *Sketch) Reset() {
+	for i := range s.rows {
+		clear(s.rows[i])
+	}
+}

@@ -1,0 +1,97 @@
+package cu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cm"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+var _ sketch.Sketch = (*Sketch)(nil)
+
+func TestExactWithoutCollisions(t *testing.T) {
+	s := New(3, 1<<16, 1, "CU")
+	s.Insert(1, 5)
+	s.Insert(1, 5)
+	s.Insert(2, 1)
+	if got := s.Query(1); got != 10 {
+		t.Errorf("Query(1)=%d want 10", got)
+	}
+	if got := s.Query(2); got != 1 {
+		t.Errorf("Query(2)=%d want 1", got)
+	}
+}
+
+// TestNeverUnderestimates: conservative update preserves the overestimate
+// guarantee.
+func TestNeverUnderestimates(t *testing.T) {
+	err := quick.Check(func(seed uint64, ops []uint16) bool {
+		s := New(3, 64, seed, "CU")
+		truth := map[uint64]uint64{}
+		for _, o := range ops {
+			k := uint64(o % 200)
+			v := uint64(o%5) + 1
+			s.Insert(k, v)
+			truth[k] += v
+		}
+		for k, f := range truth {
+			if s.Query(k) < f {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDominatedByCM: with identical geometry and seed, CU's estimate never
+// exceeds CM's — the defining improvement of conservative update.
+func TestDominatedByCM(t *testing.T) {
+	s := stream.Zipf(50_000, 5_000, 1.0, 4)
+	cuS := New(3, 4096, 9, "CU")
+	cmS := cm.New(3, 4096, 9, "CM")
+	for _, it := range s.Items {
+		cuS.Insert(it.Key, it.Value)
+		cmS.Insert(it.Key, it.Value)
+	}
+	for k := range s.Truth() {
+		if cuS.Query(k) > cmS.Query(k) {
+			t.Fatalf("key %d: CU %d > CM %d", k, cuS.Query(k), cmS.Query(k))
+		}
+	}
+}
+
+func TestVariants(t *testing.T) {
+	fast := NewFast(1<<20, 1)
+	acc := NewAccurate(1<<20, 1)
+	if fast.Depth() != 3 || acc.Depth() != 16 {
+		t.Errorf("depths: fast=%d acc=%d", fast.Depth(), acc.Depth())
+	}
+	if fast.Name() != "CU_fast" || acc.Name() != "CU_acc" {
+		t.Errorf("names: %q %q", fast.Name(), acc.Name())
+	}
+	if fast.MemoryBytes() > 1<<20 || acc.MemoryBytes() > 1<<20 {
+		t.Error("memory over budget")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := NewFast(1<<12, 1)
+	s.Insert(5, 5)
+	s.Reset()
+	if s.Query(5) != 0 {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+func BenchmarkInsertFast(b *testing.B) {
+	sk := NewFast(1<<20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Insert(uint64(i&0xffff), 1)
+	}
+}

@@ -1,0 +1,89 @@
+package dataplane
+
+import (
+	"repro/internal/core"
+)
+
+// FPGAPipeline simulates the §5.1 Virtex-7 implementation at the
+// cycle-accounting level: a fully pipelined datapath that accepts one key
+// every clock and completes each insertion PipelineDepth (41) clocks later.
+//
+// Functionally the hardware computes exactly the sequential ReliableSketch
+// insert — the pipeline forwards in-flight bucket updates so back-to-back
+// packets hitting the same bucket observe each other (this is what the 41
+// stages buy). The simulator therefore delegates semantics to the core
+// sketch (raw variant, as the FPGA build has hash + ESbucket + emergency
+// modules and no mice filter) and tracks clock-level timing separately.
+type FPGAPipeline struct {
+	sketch *core.Sketch
+	// issued counts keys accepted into the pipeline (one per clock).
+	issued uint64
+	// FreqMHz is the synthesized clock (339 MHz per Table 3).
+	FreqMHz float64
+}
+
+// NewFPGAPipeline builds the simulator with the given bucket memory and
+// tolerance. The emergency stack of the published build is enabled.
+func NewFPGAPipeline(memBytes int, lambda uint64, seed uint64) *FPGAPipeline {
+	return &FPGAPipeline{
+		sketch: core.MustNew(core.Config{
+			Lambda:            lambda,
+			MemoryBytes:       memBytes,
+			Seed:              seed,
+			DisableMiceFilter: true,
+			Emergency:         true,
+			EmergencyCounters: 512, // one BRAM tile, as in Table 3
+		}),
+		FreqMHz: 339,
+	}
+}
+
+// Insert accepts one key-value pair into the pipeline (one clock).
+func (p *FPGAPipeline) Insert(key, value uint64) {
+	p.issued++
+	p.sketch.Insert(key, value)
+}
+
+// Query reads the sketch from the control plane (not pipelined).
+func (p *FPGAPipeline) Query(key uint64) uint64 { return p.sketch.Query(key) }
+
+// QueryWithError reads the certified interval.
+func (p *FPGAPipeline) QueryWithError(key uint64) (est, mpe uint64) {
+	return p.sketch.QueryWithError(key)
+}
+
+// Cycles returns the total clocks to drain the pipeline: one issue slot per
+// insertion plus the PipelineDepth−1 clock fill/drain overhead.
+func (p *FPGAPipeline) Cycles() uint64 {
+	if p.issued == 0 {
+		return 0
+	}
+	return p.issued + PipelineDepth - 1
+}
+
+// ElapsedSeconds converts the cycle count to wall time at the synthesized
+// frequency.
+func (p *FPGAPipeline) ElapsedSeconds() float64 {
+	return float64(p.Cycles()) / (p.FreqMHz * 1e6)
+}
+
+// ThroughputMpps is the sustained insertion rate: it converges to the clock
+// frequency (one insertion per clock) as the pipeline amortizes its fill.
+func (p *FPGAPipeline) ThroughputMpps() float64 {
+	if p.issued == 0 {
+		return 0
+	}
+	return float64(p.issued) / p.ElapsedSeconds() / 1e6
+}
+
+// InsertionFailures exposes the wrapped sketch's failure counters (caught
+// by the emergency module on hardware).
+func (p *FPGAPipeline) InsertionFailures() (count, value uint64) {
+	return p.sketch.InsertionFailures()
+}
+
+// MemoryBytes reports the accounted bucket + emergency storage.
+func (p *FPGAPipeline) MemoryBytes() int { return p.sketch.MemoryBytes() }
+
+// Name identifies the variant.
+func (p *FPGAPipeline) Name() string { return "Ours(FPGA)" }

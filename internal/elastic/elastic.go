@@ -1,0 +1,157 @@
+// Package elastic implements the Elastic sketch (Yang et al., SIGCOMM
+// 2018), the competitor most similar in appearance to ReliableSketch: its
+// heavy part holds (key, positive vote, negative vote) cells with an
+// election. The decisive difference (paper §7) is that Elastic resets the
+// negative vote on replacement — it hunts frequent keys and cannot sense
+// per-key error, which is exactly the capability ReliableSketch adds.
+//
+// Geometry follows the paper's evaluation: light:heavy memory ratio 3, an
+// eviction threshold of 8, and a light part of 8-bit counters.
+package elastic
+
+import (
+	"repro/internal/sketch"
+
+	"repro/internal/hash"
+)
+
+// evictionThreshold is Elastic's λ: evict when negative ≥ 8 × positive.
+const evictionThreshold = 8
+
+// heavyBucketBytes accounts a heavy cell: 32-bit key, 32-bit positive vote,
+// 32-bit negative vote, flag packed into the key word's spare bits.
+const heavyBucketBytes = 12
+
+type heavyBucket struct {
+	key      uint64
+	positive uint64
+	negative uint64
+	occupied bool
+	// flagged marks that earlier traffic of this key was evicted into the
+	// light part, so queries must add the light estimate.
+	flagged bool
+}
+
+// Sketch is an Elastic sketch with a one-array heavy part and an 8-bit
+// light part.
+type Sketch struct {
+	heavy     []heavyBucket
+	light     []uint8
+	heavySeed uint64
+	lightSeed uint64
+	name      string
+}
+
+// New builds an Elastic sketch with the given heavy bucket and light
+// counter counts.
+func New(heavyBuckets, lightCounters int, seed uint64) *Sketch {
+	if heavyBuckets < 1 || lightCounters < 1 {
+		panic("elastic: invalid geometry")
+	}
+	return &Sketch{
+		heavy:     make([]heavyBucket, heavyBuckets),
+		light:     make([]uint8, lightCounters),
+		heavySeed: hash.U64(seed, 0xe1a571c),
+		lightSeed: hash.U64(seed, 0x116417),
+		name:      "Elastic",
+	}
+}
+
+// NewBytes builds an Elastic sketch with the paper's recommended 3:1
+// light:heavy memory split inside memBytes.
+func NewBytes(memBytes int, seed uint64) *Sketch {
+	heavyBytes := memBytes / 4
+	lightBytes := memBytes - heavyBytes
+	h := heavyBytes / heavyBucketBytes
+	if h < 1 {
+		h = 1
+	}
+	l := lightBytes
+	if l < 1 {
+		l = 1
+	}
+	return New(h, l, seed)
+}
+
+func (s *Sketch) lightAdd(key, value uint64) {
+	i := hash.Bucket(key, s.lightSeed, len(s.light))
+	c := uint64(s.light[i]) + value
+	if c > 255 {
+		c = 255 // 8-bit saturating counters, as deployed
+	}
+	s.light[i] = uint8(c)
+}
+
+func (s *Sketch) lightQuery(key uint64) uint64 {
+	return uint64(s.light[hash.Bucket(key, s.lightSeed, len(s.light))])
+}
+
+// Insert adds value to key using Elastic's vote-and-evict heavy part.
+func (s *Sketch) Insert(key, value uint64) {
+	b := &s.heavy[hash.Bucket(key, s.heavySeed, len(s.heavy))]
+	switch {
+	case !b.occupied:
+		*b = heavyBucket{key: key, positive: value, occupied: true}
+	case b.key == key:
+		b.positive += value
+	default:
+		b.negative += value
+		if b.negative >= evictionThreshold*b.positive {
+			// Evict: the incumbent's count moves to the light part and the
+			// newcomer takes the bucket. Elastic resets the vote state here,
+			// which is why it cannot bound per-key error.
+			old := *b
+			for v := old.positive; v > 0; {
+				step := v
+				if step > 255 {
+					step = 255
+				}
+				s.lightAdd(old.key, step)
+				v -= step
+			}
+			*b = heavyBucket{key: key, positive: value, occupied: true, flagged: true}
+		} else {
+			// The colliding item itself goes to the light part.
+			s.lightAdd(key, value)
+		}
+	}
+}
+
+// Query returns the heavy-part vote plus, when the bucket was ever evicted
+// into the light part, the light estimate; non-resident keys read the light
+// part alone.
+func (s *Sketch) Query(key uint64) uint64 {
+	b := &s.heavy[hash.Bucket(key, s.heavySeed, len(s.heavy))]
+	if b.occupied && b.key == key {
+		if b.flagged {
+			return b.positive + s.lightQuery(key)
+		}
+		return b.positive
+	}
+	return s.lightQuery(key)
+}
+
+// Tracked returns the heavy-part residents.
+func (s *Sketch) Tracked() []sketch.KV {
+	out := make([]sketch.KV, 0, len(s.heavy))
+	for i := range s.heavy {
+		if s.heavy[i].occupied {
+			out = append(out, sketch.KV{Key: s.heavy[i].key, Est: s.heavy[i].positive})
+		}
+	}
+	return out
+}
+
+// MemoryBytes reports heavy buckets × 12 + light counters × 1.
+func (s *Sketch) MemoryBytes() int {
+	return len(s.heavy)*heavyBucketBytes + len(s.light)
+}
+
+// Name identifies the algorithm.
+func (s *Sketch) Name() string { return s.name }
+
+// Reset clears both parts.
+func (s *Sketch) Reset() {
+	clear(s.heavy)
+	clear(s.light)
+}

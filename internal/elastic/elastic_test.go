@@ -1,0 +1,110 @@
+package elastic
+
+import (
+	"testing"
+
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+var (
+	_ sketch.Sketch              = (*Sketch)(nil)
+	_ sketch.HeavyHitterReporter = (*Sketch)(nil)
+)
+
+func TestSingleKeyExact(t *testing.T) {
+	s := New(1024, 4096, 1)
+	for i := 0; i < 500; i++ {
+		s.Insert(7, 1)
+	}
+	if got := s.Query(7); got != 500 {
+		t.Errorf("Query(7)=%d want 500", got)
+	}
+}
+
+func TestEvictionMovesToLight(t *testing.T) {
+	// One bucket (heavy width 1) forces the election dynamics.
+	s := New(1, 4096, 1)
+	s.Insert(1, 10) // key 1 resident
+	// Flood with key 2 until eviction (negative ≥ 8×positive).
+	for i := 0; i < 100; i++ {
+		s.Insert(2, 1)
+	}
+	// Key 2 must now be resident; key 1's traffic must be readable from the
+	// light part (possibly with collision error, but ≥ its own count here).
+	if got := s.Query(2); got == 0 {
+		t.Error("key 2 not resident after flood")
+	}
+	if got := s.Query(1); got < 10 {
+		t.Errorf("evicted key reads %d from light part, want ≥ 10", got)
+	}
+}
+
+func TestHeavyKeysAccurate(t *testing.T) {
+	// On a skewed stream with ample memory, the heaviest keys should be
+	// estimated with small relative error.
+	s := stream.Zipf(200_000, 20_000, 1.2, 3)
+	sk := NewBytes(512<<10, 3)
+	for _, it := range s.Items {
+		sk.Insert(it.Key, it.Value)
+	}
+	for k, f := range s.Truth() {
+		if f < 2000 {
+			continue
+		}
+		est := sk.Query(k)
+		rel := float64(est) - float64(f)
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel/float64(f) > 0.2 {
+			t.Errorf("heavy key %d: est %d vs true %d", k, est, f)
+		}
+	}
+}
+
+func TestMemorySplit(t *testing.T) {
+	sk := NewBytes(1<<20, 1)
+	if sk.MemoryBytes() > 1<<20 {
+		t.Errorf("memory %d over budget", sk.MemoryBytes())
+	}
+	// Light part should hold ~3/4 of the budget (ratio 3 recommended).
+	light := len(sk.light)
+	if light < (1<<20)*7/10 {
+		t.Errorf("light part %dB; want ≈75%% of 1MB", light)
+	}
+}
+
+func TestTracked(t *testing.T) {
+	sk := New(16, 256, 1)
+	sk.Insert(5, 100)
+	found := false
+	for _, kv := range sk.Tracked() {
+		if kv.Key == 5 && kv.Est == 100 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("inserted key not tracked")
+	}
+}
+
+func TestReset(t *testing.T) {
+	sk := New(16, 256, 1)
+	sk.Insert(5, 100)
+	sk.Reset()
+	if sk.Query(5) != 0 {
+		t.Error("Reset did not clear")
+	}
+	if sk.Name() != "Elastic" {
+		t.Errorf("Name=%q", sk.Name())
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	sk := NewBytes(1<<20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Insert(uint64(i&0xffff), 1)
+	}
+}

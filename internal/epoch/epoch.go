@@ -1,0 +1,136 @@
+// Package epoch provides time-windowed measurement on top of any sketch:
+// the standard deployment pattern where the data plane measures in fixed
+// epochs (say, 10s windows), the control plane reads the sealed window, and
+// the structure rotates without missing traffic.
+//
+// Rotator keeps an active sketch and the most recent sealed one. Queries
+// can target the sealed window (stable, fully consistent — what operators
+// act on) or the live window (freshest, still accumulating). This mirrors
+// how the paper's switch deployment is read: the control plane pulls a
+// consistent snapshot while the pipeline keeps counting.
+package epoch
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sketch"
+)
+
+// Clock abstracts time for tests.
+type Clock func() time.Time
+
+// Rotator wraps a sketch factory with epoch-based rotation.
+// It is safe for concurrent use.
+type Rotator struct {
+	mu        sync.Mutex
+	factory   sketch.Factory
+	memBytes  int
+	interval  time.Duration
+	clock     Clock
+	active    sketch.Sketch
+	sealed    sketch.Sketch
+	started   time.Time
+	rotations uint64
+}
+
+// NewRotator builds a rotator producing a fresh sketch every interval.
+func NewRotator(f sketch.Factory, memBytes int, interval time.Duration, clock Clock) *Rotator {
+	if clock == nil {
+		clock = time.Now
+	}
+	r := &Rotator{
+		factory:  f,
+		memBytes: memBytes,
+		interval: interval,
+		clock:    clock,
+	}
+	r.active = f.New(memBytes)
+	r.started = clock()
+	return r
+}
+
+// maybeRotate seals the active window when the epoch has elapsed. Callers
+// hold r.mu.
+func (r *Rotator) maybeRotate() {
+	now := r.clock()
+	for now.Sub(r.started) >= r.interval {
+		// The previous active window becomes the sealed one, so a fresh
+		// instance is required — sketch.Resettable cannot be used here, as
+		// resetting would destroy the window being published.
+		r.sealed = r.active
+		r.active = r.factory.New(r.memBytes)
+		r.started = r.started.Add(r.interval)
+		r.rotations++
+		// If more than one full epoch elapsed (idle period), the sealed
+		// window is the last active one and intermediate epochs are empty;
+		// fast-forward rather than looping forever.
+		if now.Sub(r.started) >= r.interval {
+			r.started = now
+		}
+	}
+}
+
+// Insert adds value to key in the current epoch.
+func (r *Rotator) Insert(key, value uint64) {
+	r.mu.Lock()
+	r.maybeRotate()
+	r.active.Insert(key, value)
+	r.mu.Unlock()
+}
+
+// Query reads the SEALED window: the most recent complete epoch. Returns 0
+// before the first rotation.
+func (r *Rotator) Query(key uint64) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maybeRotate()
+	if r.sealed == nil {
+		return 0
+	}
+	return r.sealed.Query(key)
+}
+
+// QueryLive reads the active (accumulating) window.
+func (r *Rotator) QueryLive(key uint64) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maybeRotate()
+	return r.active.Query(key)
+}
+
+// QuerySealedWithError reads the sealed window's certified interval when
+// the underlying sketch supports it; ok is false otherwise or before the
+// first rotation.
+func (r *Rotator) QuerySealedWithError(key uint64) (est, mpe uint64, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maybeRotate()
+	eb, good := r.sealed.(sketch.ErrorBounded)
+	if !good {
+		return 0, 0, false
+	}
+	est, mpe = eb.QueryWithError(key)
+	return est, mpe, true
+}
+
+// Rotations reports how many epochs have been sealed.
+func (r *Rotator) Rotations() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rotations
+}
+
+// MemoryBytes reports both windows' accounted memory.
+func (r *Rotator) MemoryBytes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := r.active.MemoryBytes()
+	if r.sealed != nil {
+		total += r.sealed.MemoryBytes()
+	}
+	return total
+}
+
+// Name identifies the wrapped algorithm.
+func (r *Rotator) Name() string { return r.factory.Name + "_epoch" }

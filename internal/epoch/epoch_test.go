@@ -1,0 +1,143 @@
+package epoch
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sketch"
+)
+
+// fakeClock is a manually advanced clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+func oursFactory() sketch.Factory {
+	return sketch.Factory{Name: "Ours", New: func(mem int) sketch.Sketch {
+		return core.NewFromMemory(mem, 25, 7)
+	}}
+}
+
+func newRotator(t *testing.T) (*Rotator, *fakeClock) {
+	t.Helper()
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	r := NewRotator(oursFactory(), 64<<10, 10*time.Second, clk.Now)
+	return r, clk
+}
+
+func TestSealedEmptyBeforeFirstRotation(t *testing.T) {
+	r, _ := newRotator(t)
+	r.Insert(1, 100)
+	if got := r.Query(1); got != 0 {
+		t.Errorf("sealed query before rotation = %d, want 0", got)
+	}
+	if got := r.QueryLive(1); got == 0 {
+		t.Error("live query should see the active window")
+	}
+	if _, _, ok := r.QuerySealedWithError(1); ok {
+		t.Error("certified sealed query should fail before first rotation")
+	}
+}
+
+func TestRotationSealsWindow(t *testing.T) {
+	r, clk := newRotator(t)
+	r.Insert(1, 100)
+	clk.Advance(11 * time.Second)
+	// First touch after the epoch boundary rotates.
+	r.Insert(2, 5)
+	if got := r.Query(1); got < 100 {
+		t.Errorf("sealed window lost key 1: %d", got)
+	}
+	if got := r.Query(2); got != 0 {
+		t.Errorf("key 2 belongs to the live window, sealed reports %d", got)
+	}
+	if got := r.QueryLive(2); got < 5 {
+		t.Errorf("live window lost key 2: %d", got)
+	}
+	if r.Rotations() != 1 {
+		t.Errorf("rotations=%d want 1", r.Rotations())
+	}
+}
+
+func TestCertifiedSealedQuery(t *testing.T) {
+	r, clk := newRotator(t)
+	for i := 0; i < 500; i++ {
+		r.Insert(9, 1)
+	}
+	clk.Advance(10 * time.Second)
+	r.Insert(1, 1) // trigger rotation
+	est, mpe, ok := r.QuerySealedWithError(9)
+	if !ok {
+		t.Fatal("certified query unavailable after rotation")
+	}
+	if est < 500 || est-mpe > 500 {
+		t.Errorf("truth 500 outside certified [%d, %d]", est-mpe, est)
+	}
+}
+
+func TestIdleGapFastForwards(t *testing.T) {
+	r, clk := newRotator(t)
+	r.Insert(1, 1)
+	// Sleep through many epochs with no traffic.
+	clk.Advance(37 * time.Minute)
+	r.Insert(2, 1)
+	// Must not have looped hundreds of rotations.
+	if r.Rotations() > 3 {
+		t.Errorf("rotations=%d after idle gap; fast-forward broken", r.Rotations())
+	}
+	if got := r.QueryLive(2); got != 1 {
+		t.Errorf("live key lost after idle gap: %d", got)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	r := NewRotator(oursFactory(), 64<<10, time.Second, clk.Now)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r.Insert(uint64(i%100), 1)
+				if i%500 == 0 {
+					clk.Advance(300 * time.Millisecond)
+					r.Query(uint64(i % 100))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Rotations() == 0 {
+		t.Error("expected at least one rotation")
+	}
+}
+
+func TestMemoryAndName(t *testing.T) {
+	r, clk := newRotator(t)
+	before := r.MemoryBytes()
+	clk.Advance(10 * time.Second)
+	r.Insert(1, 1)
+	after := r.MemoryBytes()
+	if after <= before {
+		t.Errorf("two windows should account more than one: %d vs %d", after, before)
+	}
+	if r.Name() != "Ours_epoch" {
+		t.Errorf("Name=%q", r.Name())
+	}
+}

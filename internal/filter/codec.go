@@ -1,0 +1,106 @@
+package filter
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// EncodeTo serializes the filter geometry and counters. Counters are
+// bit-packed at their configured width (a 2-bit filter serializes at 4
+// counters per byte), so a snapshot costs exactly the filter's accounted
+// memory. The hash family is not serialized: it derives deterministically
+// from the owning sketch's seed, which the owner persists.
+func (f *Filter) EncodeTo(w io.Writer) error {
+	var buf [binary.MaxVarintLen64]byte
+	write := func(vs ...uint64) error {
+		for _, v := range vs {
+			n := binary.PutUvarint(buf[:], v)
+			if _, err := w.Write(buf[:n]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write(uint64(len(f.rows)), uint64(f.width), uint64(f.bits), f.hashCalls); err != nil {
+		return err
+	}
+	packed := make([]byte, (f.width*f.bits+7)/8)
+	for r := range f.rows {
+		clear(packed)
+		for i, c := range f.rows[r] {
+			packBits(packed, i*f.bits, f.bits, uint64(c))
+		}
+		if _, err := w.Write(packed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeFrom replaces the filter's geometry and counters with a serialized
+// snapshot, keeping its hash family (seed-derived, so identical for the
+// same owning sketch seed).
+func (f *Filter) DecodeFrom(r interface {
+	io.Reader
+	io.ByteReader
+}) error {
+	read := func() (uint64, error) { return binary.ReadUvarint(r) }
+	rows, err := read()
+	if err != nil {
+		return fmt.Errorf("filter: rows: %w", err)
+	}
+	width, err := read()
+	if err != nil {
+		return fmt.Errorf("filter: width: %w", err)
+	}
+	bits, err := read()
+	if err != nil {
+		return fmt.Errorf("filter: bits: %w", err)
+	}
+	calls, err := read()
+	if err != nil {
+		return fmt.Errorf("filter: hashCalls: %w", err)
+	}
+	if rows == 0 || rows > 16 || width == 0 || width > 1<<31 || bits == 0 || bits > 32 {
+		return fmt.Errorf("filter: implausible snapshot geometry %d×%d×%d", rows, width, bits)
+	}
+	if int(rows) != len(f.rows) {
+		return fmt.Errorf("filter: snapshot has %d rows, sketch built with %d", rows, len(f.rows))
+	}
+	f.width = int(width)
+	f.bits = int(bits)
+	f.cap = 1<<bits - 1
+	f.hashCalls = calls
+	packed := make([]byte, (int(width)*int(bits)+7)/8)
+	for ri := range f.rows {
+		if _, err := io.ReadFull(r, packed); err != nil {
+			return fmt.Errorf("filter: row %d counters: %w", ri, err)
+		}
+		f.rows[ri] = make([]uint32, width)
+		for i := range f.rows[ri] {
+			f.rows[ri][i] = uint32(unpackBits(packed, i*f.bits, f.bits))
+		}
+	}
+	return nil
+}
+
+// packBits writes the low `bits` bits of v at bit offset off.
+func packBits(dst []byte, off, bits int, v uint64) {
+	for b := 0; b < bits; b++ {
+		if v&(1<<b) != 0 {
+			dst[(off+b)/8] |= 1 << uint((off+b)%8)
+		}
+	}
+}
+
+// unpackBits reads `bits` bits at bit offset off.
+func unpackBits(src []byte, off, bits int) uint64 {
+	var v uint64
+	for b := 0; b < bits; b++ {
+		if src[(off+b)/8]&(1<<uint((off+b)%8)) != 0 {
+			v |= 1 << b
+		}
+	}
+	return v
+}

@@ -1,0 +1,94 @@
+package filter
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	f := New(2, 333, 2, 9)
+	for k := uint64(0); k < 500; k++ {
+		f.Insert(k, k%5)
+	}
+	var buf bytes.Buffer
+	if err := f.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g := New(2, 1, 2, 9) // geometry replaced on decode; same seed
+	if err := g.DecodeFrom(bufio.NewReader(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 500; k++ {
+		e1, s1 := f.Query(k)
+		e2, s2 := g.Query(k)
+		if e1 != e2 || s1 != s2 {
+			t.Fatalf("key %d: (%d,%v) became (%d,%v)", k, e1, s1, e2, s2)
+		}
+	}
+	if f.HashCalls() == 0 || g.hashCalls < f.hashCalls {
+		t.Error("hash call counter not preserved")
+	}
+}
+
+func TestCodecPackedSize(t *testing.T) {
+	f := New(2, 4096, 2, 1)
+	var buf bytes.Buffer
+	if err := f.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// 2 rows × 4096 × 2 bits = 2048 bytes + small header.
+	if buf.Len() > 2048+32 {
+		t.Errorf("packed snapshot %d bytes, want ≈2048", buf.Len())
+	}
+}
+
+func TestCodecRejectsRowMismatch(t *testing.T) {
+	f := New(3, 64, 2, 1)
+	var buf bytes.Buffer
+	if err := f.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g := New(2, 64, 2, 1)
+	if err := g.DecodeFrom(bufio.NewReader(&buf)); err == nil {
+		t.Error("decode accepted row-count mismatch")
+	}
+}
+
+func TestCodecRejectsTruncation(t *testing.T) {
+	f := New(2, 64, 4, 1)
+	f.Insert(1, 3)
+	var buf bytes.Buffer
+	if err := f.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g := New(2, 64, 4, 1)
+	half := bufio.NewReader(strings.NewReader(string(buf.Bytes()[:buf.Len()/2])))
+	if err := g.DecodeFrom(half); err == nil {
+		t.Error("decode accepted truncated snapshot")
+	}
+}
+
+func TestPackUnpackBits(t *testing.T) {
+	buf := make([]byte, 8)
+	vals := []uint64{3, 0, 2, 1, 3, 3, 0, 1}
+	for i, v := range vals {
+		packBits(buf, i*2, 2, v)
+	}
+	for i, v := range vals {
+		if got := unpackBits(buf, i*2, 2); got != v {
+			t.Fatalf("slot %d: got %d want %d", i, got, v)
+		}
+	}
+	// Wider fields across byte boundaries.
+	buf2 := make([]byte, 16)
+	for i := 0; i < 9; i++ {
+		packBits(buf2, i*13, 13, uint64(i*531)%8192)
+	}
+	for i := 0; i < 9; i++ {
+		if got := unpackBits(buf2, i*13, 13); got != uint64(i*531)%8192 {
+			t.Fatalf("13-bit slot %d: got %d", i, got)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package filter implements the mice filter of ReliableSketch's accuracy
+// optimization (paper §3.3): a CU-sketch of narrow saturating counters that
+// replaces the (largest) first layer. Mice keys — keys whose total value fits
+// below the saturation cap — are absorbed here at a fraction of the cost of
+// full 72-bit Error-Sensible buckets; only the overflow of heavier keys
+// proceeds to the bucket layers.
+//
+// The filter preserves ReliableSketch's certified-interval semantics:
+//
+//   - The minimum mapped counter is an upper bound on the value the filter
+//     absorbed for a key (CU property, preserved under saturation).
+//   - If the minimum mapped counter is below the cap, the key never
+//     overflowed, so the query can stop at the filter.
+//
+// The paper uses 2-bit counters occupying 20% of total memory by default.
+package filter
+
+import "repro/internal/hash"
+
+// Filter is a conservative-update filter of saturating counters.
+type Filter struct {
+	rows   [][]uint32 // rows[r][i]: counter values, each ≤ cap
+	width  int
+	cap    uint64
+	bits   int
+	hashes *hash.Family
+	// hashCalls counts bucket-index computations, for the Figure 16
+	// hash-call accounting.
+	hashCalls uint64
+}
+
+// New builds a filter with `rows` arrays of `width` counters of `bits` bits
+// each (cap = 2^bits − 1). The paper's defaults are rows=2, bits=2.
+func New(rows, width, bits int, seed uint64) *Filter {
+	if rows < 1 || width < 1 || bits < 1 || bits > 32 {
+		panic("filter: invalid geometry")
+	}
+	f := &Filter{
+		rows:   make([][]uint32, rows),
+		width:  width,
+		cap:    1<<bits - 1,
+		bits:   bits,
+		hashes: hash.NewFamily(seed, rows),
+	}
+	for r := range f.rows {
+		f.rows[r] = make([]uint32, width)
+	}
+	return f
+}
+
+// NewBytes builds a filter of `rows` arrays filling memBytes under the
+// bit-packed accounting model.
+func NewBytes(memBytes, rows, bits int, seed uint64) *Filter {
+	width := memBytes * 8 / (rows * bits)
+	if width < 1 {
+		width = 1
+	}
+	return New(rows, width, bits, seed)
+}
+
+// Cap returns the saturation value of each counter.
+func (f *Filter) Cap() uint64 { return f.cap }
+
+// Insert adds <e, v> to the filter and returns the overflow: the portion of
+// v that could not be absorbed before the key's minimum counter saturated.
+// Overflow 0 means fully absorbed.
+func (f *Filter) Insert(e, v uint64) (overflow uint64) {
+	m := f.min(e)
+	absorbed := v
+	if m+v > f.cap {
+		absorbed = f.cap - m
+		overflow = v - absorbed
+	}
+	if absorbed > 0 {
+		target := uint32(m + absorbed)
+		for r := range f.rows {
+			i := f.hashes.Bucket(r, e, f.width)
+			f.hashCalls++
+			if f.rows[r][i] < target {
+				f.rows[r][i] = target
+			}
+		}
+	}
+	return overflow
+}
+
+// Query returns the filter's estimate for key e (its minimum mapped
+// counter) and whether the key may have overflowed into deeper layers
+// (true exactly when the minimum counter is saturated).
+func (f *Filter) Query(e uint64) (est uint64, saturated bool) {
+	m := f.min(e)
+	return m, m == f.cap
+}
+
+func (f *Filter) min(e uint64) uint64 {
+	m := f.cap
+	first := true
+	for r := range f.rows {
+		i := f.hashes.Bucket(r, e, f.width)
+		f.hashCalls++
+		c := uint64(f.rows[r][i])
+		if first || c < m {
+			m = c
+			first = false
+		}
+	}
+	return m
+}
+
+// MemoryBytes reports the bit-packed footprint: rows × width × bits / 8.
+func (f *Filter) MemoryBytes() int {
+	return (len(f.rows)*f.width*f.bits + 7) / 8
+}
+
+// Rows returns the number of counter arrays (hash calls per operation).
+func (f *Filter) Rows() int { return len(f.rows) }
+
+// HashCalls returns the cumulative number of hash evaluations, used by the
+// Figure 16 experiment.
+func (f *Filter) HashCalls() uint64 { return f.hashCalls }
+
+// Reset zeroes all counters.
+func (f *Filter) Reset() {
+	for r := range f.rows {
+		clear(f.rows[r])
+	}
+	f.hashCalls = 0
+}

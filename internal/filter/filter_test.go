@@ -1,0 +1,166 @@
+package filter
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestAbsorbBelowCap(t *testing.T) {
+	f := New(2, 1024, 8, 1) // cap 255
+	if over := f.Insert(1, 100); over != 0 {
+		t.Fatalf("overflow %d below cap", over)
+	}
+	est, saturated := f.Query(1)
+	if est != 100 || saturated {
+		t.Fatalf("Query = (%d,%v), want (100,false)", est, saturated)
+	}
+}
+
+func TestOverflowAtCap(t *testing.T) {
+	f := New(2, 1024, 8, 1) // cap 255
+	if over := f.Insert(1, 300); over != 45 {
+		t.Fatalf("overflow = %d, want 300−255 = 45", over)
+	}
+	est, saturated := f.Query(1)
+	if est != 255 || !saturated {
+		t.Fatalf("Query = (%d,%v), want (255,true)", est, saturated)
+	}
+	// Further inserts pass through entirely.
+	if over := f.Insert(1, 10); over != 10 {
+		t.Fatalf("post-saturation overflow = %d, want 10", over)
+	}
+}
+
+func TestTwoBitCounters(t *testing.T) {
+	f := New(2, 64, 2, 2) // cap 3, the paper's default geometry
+	if f.Cap() != 3 {
+		t.Fatalf("Cap = %d, want 3", f.Cap())
+	}
+	var absorbed uint64
+	for i := 0; i < 5; i++ {
+		absorbed += 1 - f.Insert(7, 1)
+	}
+	if absorbed != 3 {
+		t.Errorf("absorbed %d, want cap 3", absorbed)
+	}
+}
+
+// TestUpperBoundInvariant: the min mapped counter is always ≥ the amount the
+// filter absorbed for the key, and saturation is reported iff any overflow
+// could have occurred.
+func TestUpperBoundInvariant(t *testing.T) {
+	err := quick.Check(func(seed uint64, ops []uint8) bool {
+		f := New(2, 16, 4, seed) // cap 15, tiny width to force collisions
+		absorbed := map[uint64]uint64{}
+		overflowed := map[uint64]bool{}
+		for _, o := range ops {
+			k := uint64(o % 40)
+			v := uint64(o%6) + 1
+			over := f.Insert(k, v)
+			absorbed[k] += v - over
+			if over > 0 {
+				overflowed[k] = true
+			}
+		}
+		for k, a := range absorbed {
+			est, saturated := f.Query(k)
+			if est < a {
+				return false // underestimate: CU property broken
+			}
+			if overflowed[k] && !saturated {
+				return false // overflow must leave the key saturated
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConservativeVsPlainUpdate(t *testing.T) {
+	// The CU property: with two rows, colliding traffic in one row must not
+	// inflate a key whose other-row counter is clean.
+	f := New(2, 2, 8, 3)
+	// Key A alone.
+	f.Insert(0xA, 5)
+	est, _ := f.Query(0xA)
+	if est != 5 {
+		t.Fatalf("est=%d want 5", est)
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	f := NewBytes(1024, 2, 2, 1)
+	if f.MemoryBytes() > 1024 {
+		t.Errorf("memory %d over budget", f.MemoryBytes())
+	}
+	// 1024 bytes at 2 rows × 2 bits = 2048 counters per row.
+	if f.width != 2048 {
+		t.Errorf("width=%d want 2048", f.width)
+	}
+	if f.Rows() != 2 {
+		t.Errorf("Rows=%d", f.Rows())
+	}
+}
+
+func TestHashCallsAndReset(t *testing.T) {
+	f := New(2, 64, 8, 1)
+	f.Insert(1, 1) // min (2) + write (2 bucket computations)
+	f.Query(1)     // min (2)
+	if f.HashCalls() == 0 {
+		t.Error("hash calls not counted")
+	}
+	f.Reset()
+	if f.HashCalls() != 0 {
+		t.Error("Reset did not clear hash calls")
+	}
+	if est, _ := f.Query(1); est != 0 {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 10, 2, 1) },
+		func() { New(2, 0, 2, 1) },
+		func() { New(2, 10, 0, 1) },
+		func() { New(2, 10, 33, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSaturationMonotone(t *testing.T) {
+	// Once saturated, a key stays saturated.
+	r := rand.New(rand.NewPCG(9, 9))
+	f := New(2, 8, 3, 4)
+	saturatedAt := map[uint64]bool{}
+	for i := 0; i < 2000; i++ {
+		k := uint64(r.IntN(30))
+		f.Insert(k, uint64(r.IntN(3))+1)
+		_, sat := f.Query(k)
+		if saturatedAt[k] && !sat {
+			t.Fatal("saturation regressed")
+		}
+		if sat {
+			saturatedAt[k] = true
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	f := NewBytes(1<<18, 2, 2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Insert(uint64(i&0xffff), 1)
+	}
+}

@@ -1,0 +1,161 @@
+// Package frequent implements the Frequent / Misra–Gries summary (Demaine,
+// López-Ortiz, Munro, ESA 2002), the second heap-based competitor in the
+// paper's taxonomy. It keeps k counters; colliding arrivals decrement all
+// counters, so tracked estimates are *under*estimates with certified error
+// at most N/(k+1).
+//
+// The classic "decrement everything" step is implemented with a global
+// offset so each insertion is O(log k) (heap maintenance) instead of O(k).
+package frequent
+
+import "repro/internal/sketch"
+
+// entry is one monitored counter. count is stored with the global offset
+// added, so the logical estimate is count − offset.
+type entry struct {
+	key   uint64
+	count uint64
+}
+
+// EntryBytes accounts a counter: 32-bit key, 32-bit count, 32-bit link, as
+// pointer-based implementations spend.
+const EntryBytes = 12
+
+// Sketch is a Misra–Gries summary with k counters.
+type Sketch struct {
+	heap   []entry // min-heap on count
+	pos    map[uint64]int
+	k      int
+	offset uint64 // cumulative decrement applied to all counters
+	name   string
+}
+
+// New builds a summary with k counters.
+func New(k int) *Sketch {
+	if k < 1 {
+		k = 1
+	}
+	return &Sketch{
+		heap: make([]entry, 0, k),
+		pos:  make(map[uint64]int, k),
+		k:    k,
+		name: "Frequent",
+	}
+}
+
+// NewBytes sizes the summary to a memory budget.
+func NewBytes(memBytes int) *Sketch { return New(memBytes / EntryBytes) }
+
+// Insert adds value to key, decrementing all counters when the summary is
+// full and key is untracked (the Misra–Gries step, amortized via offset).
+func (s *Sketch) Insert(key, value uint64) {
+	if i, ok := s.pos[key]; ok {
+		s.heap[i].count += value
+		s.siftDown(i)
+		return
+	}
+	for value > 0 {
+		if len(s.heap) < s.k {
+			s.heap = append(s.heap, entry{key: key, count: s.offset + value})
+			i := len(s.heap) - 1
+			s.pos[key] = i
+			s.siftUp(i)
+			return
+		}
+		// Decrement all counters by δ = min(value, smallest logical count).
+		minLogical := s.heap[0].count - s.offset
+		if value < minLogical {
+			s.offset += value
+			return
+		}
+		value -= minLogical
+		s.offset += minLogical
+		// Evict every counter that just reached zero.
+		for len(s.heap) > 0 && s.heap[0].count == s.offset {
+			s.popMin()
+		}
+		if value == 0 {
+			return
+		}
+	}
+}
+
+// Query returns the tracked estimate (an underestimate by at most N/(k+1)),
+// or 0 for untracked keys.
+func (s *Sketch) Query(key uint64) uint64 {
+	if i, ok := s.pos[key]; ok {
+		return s.heap[i].count - s.offset
+	}
+	return 0
+}
+
+// Tracked returns all monitored keys with their logical counts.
+func (s *Sketch) Tracked() []sketch.KV {
+	out := make([]sketch.KV, len(s.heap))
+	for i, e := range s.heap {
+		out[i] = sketch.KV{Key: e.key, Est: e.count - s.offset}
+	}
+	return out
+}
+
+// MemoryBytes reports k × EntryBytes.
+func (s *Sketch) MemoryBytes() int { return s.k * EntryBytes }
+
+// Name identifies the algorithm.
+func (s *Sketch) Name() string { return s.name }
+
+// Reset clears the summary.
+func (s *Sketch) Reset() {
+	s.heap = s.heap[:0]
+	clear(s.pos)
+	s.offset = 0
+}
+
+func (s *Sketch) popMin() {
+	delete(s.pos, s.heap[0].key)
+	last := len(s.heap) - 1
+	if last > 0 {
+		s.heap[0] = s.heap[last]
+		s.pos[s.heap[0].key] = 0
+	}
+	s.heap = s.heap[:last]
+	if last > 0 {
+		s.siftDown(0)
+	}
+}
+
+func (s *Sketch) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.pos[s.heap[i].key] = i
+	s.pos[s.heap[j].key] = j
+}
+
+func (s *Sketch) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if s.heap[i].count >= s.heap[p].count {
+			return
+		}
+		s.swap(i, p)
+		i = p
+	}
+}
+
+func (s *Sketch) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s.heap[l].count < s.heap[m].count {
+			m = l
+		}
+		if r < n && s.heap[r].count < s.heap[m].count {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		s.swap(i, m)
+		i = m
+	}
+}

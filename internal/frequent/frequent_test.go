@@ -1,0 +1,143 @@
+package frequent
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+var (
+	_ sketch.Sketch              = (*Sketch)(nil)
+	_ sketch.HeavyHitterReporter = (*Sketch)(nil)
+)
+
+func TestTrackedExactWhenNotFull(t *testing.T) {
+	s := New(4)
+	s.Insert(1, 5)
+	s.Insert(2, 3)
+	s.Insert(1, 2)
+	if got := s.Query(1); got != 7 {
+		t.Errorf("Query(1)=%d want 7", got)
+	}
+	if got := s.Query(2); got != 3 {
+		t.Errorf("Query(2)=%d want 3", got)
+	}
+}
+
+func TestMisraGriesDecrement(t *testing.T) {
+	s := New(2)
+	s.Insert(1, 3)
+	s.Insert(2, 3)
+	s.Insert(3, 2) // full: decrement all by 2; counters 1→1, 2→1, 3 dropped
+	if got := s.Query(1); got != 1 {
+		t.Errorf("Query(1)=%d want 1", got)
+	}
+	if got := s.Query(2); got != 1 {
+		t.Errorf("Query(2)=%d want 1", got)
+	}
+	if got := s.Query(3); got != 0 {
+		t.Errorf("Query(3)=%d want 0 (absorbed by decrements)", got)
+	}
+}
+
+func TestEvictionMakesRoom(t *testing.T) {
+	s := New(2)
+	s.Insert(1, 1)
+	s.Insert(2, 10)
+	s.Insert(3, 5) // δ=1 evicts key 1; remaining 4 installs key 3
+	if got := s.Query(3); got != 4 {
+		t.Errorf("Query(3)=%d want 4", got)
+	}
+	if got := s.Query(1); got != 0 {
+		t.Errorf("Query(1)=%d want 0 (evicted)", got)
+	}
+	if got := s.Query(2); got != 9 {
+		t.Errorf("Query(2)=%d want 9", got)
+	}
+}
+
+// TestNeverOverestimates: Misra–Gries estimates are underestimates.
+func TestNeverOverestimates(t *testing.T) {
+	err := quick.Check(func(ops []uint16) bool {
+		s := New(5)
+		truth := map[uint64]uint64{}
+		for _, o := range ops {
+			k := uint64(o % 50)
+			v := uint64(o%4) + 1
+			s.Insert(k, v)
+			truth[k] += v
+		}
+		for k, f := range truth {
+			if s.Query(k) > f {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestErrorBound: f(e) − f̂(e) ≤ N/(k+1) for every key.
+func TestErrorBound(t *testing.T) {
+	s := stream.Zipf(50_000, 5_000, 1.0, 5)
+	const k = 500
+	sk := New(k)
+	var total uint64
+	for _, it := range s.Items {
+		sk.Insert(it.Key, it.Value)
+		total += it.Value
+	}
+	bound := total / (k + 1)
+	for key, f := range s.Truth() {
+		est := sk.Query(key)
+		if f-est > bound {
+			t.Fatalf("key %d: underestimate %d exceeds N/(k+1)=%d", key, f-est, bound)
+		}
+	}
+}
+
+func TestHeapConsistency(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	s := New(16)
+	for i := 0; i < 10_000; i++ {
+		s.Insert(uint64(r.IntN(100)), uint64(r.IntN(5))+1)
+	}
+	for i := 1; i < len(s.heap); i++ {
+		if s.heap[i].count < s.heap[(i-1)/2].count {
+			t.Fatalf("heap violated at %d", i)
+		}
+	}
+	for k, i := range s.pos {
+		if s.heap[i].key != k {
+			t.Fatal("pos map inconsistent")
+		}
+	}
+}
+
+func TestResetAndAccounting(t *testing.T) {
+	s := NewBytes(1200)
+	if s.MemoryBytes() != (1200/EntryBytes)*EntryBytes {
+		t.Errorf("MemoryBytes=%d", s.MemoryBytes())
+	}
+	s.Insert(1, 5)
+	s.Reset()
+	if s.Query(1) != 0 || s.offset != 0 {
+		t.Error("Reset incomplete")
+	}
+	if s.Name() != "Frequent" {
+		t.Errorf("Name=%q", s.Name())
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	sk := NewBytes(1 << 18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Insert(uint64(i&0x3fff), 1)
+	}
+}

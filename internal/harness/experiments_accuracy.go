@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// Fig4 reproduces Figure 4: #outliers vs memory on the IP trace for a given
+// error tolerance (4a: Λ=5, 4b: Λ=25).
+func Fig4(lambda uint64, o Options) *Table {
+	s := stream.IPTrace(o.Items, o.Seed)
+	t := outliersVsMemory(s, lambda, AccuracyFactories(lambda, o.Seed), o)
+	t.ID = fmt.Sprintf("fig4(Λ=%d)", lambda)
+	t.Title = fmt.Sprintf("#Outliers in all keys vs memory, Λ=%d (paper scale)", lambda)
+	return t
+}
+
+// Λ does NOT scale with stream length: scaling memory in proportion to the
+// stream keeps the per-bucket collision mass constant, so the paper's
+// absolute tolerances carry over directly. Per-key frequency thresholds
+// (Figure 7's T) DO scale, since individual key sums shrink with the
+// stream.
+func scaleFreq(threshold uint64, o Options) uint64 {
+	tr := uint64(float64(threshold) * o.memScale())
+	if tr < 2 {
+		tr = 2
+	}
+	return tr
+}
+
+// Fig5 reproduces Figure 5: the minimum memory at which each algorithm
+// reaches zero outliers, on IP Trace and Web Stream, Λ=25.
+func Fig5(o Options) *Table {
+	const lam = 25
+	t := &Table{
+		ID:     "fig5",
+		Title:  "Memory consumption under zero outlier (Λ=25 paper scale)",
+		Header: []string{"Algorithm", "IP Trace", "Web Stream"},
+	}
+	streams := []*stream.Stream{
+		stream.IPTrace(o.Items, o.Seed),
+		stream.WebStream(o.Items, o.Seed),
+	}
+	maxBytes := int(10 * 1024 * 1024 * o.memScale()) // paper probes up to 10MB
+	factories := []sketch.Factory{
+		OursFactory(lam, o.Seed),
+		{Name: "CM_acc", New: AccuracyFactories(lam, o.Seed)[1].New},
+		{Name: "CU_acc", New: AccuracyFactories(lam, o.Seed)[2].New},
+		{Name: "SS", New: AccuracyFactories(lam, o.Seed)[6].New},
+		{Name: "Elastic", New: AccuracyFactories(lam, o.Seed)[5].New},
+	}
+	for _, f := range factories {
+		row := []any{f.Name}
+		for _, s := range streams {
+			mem := MinMemoryZeroOutliers(f, s, lam, maxBytes)
+			if mem == 0 {
+				row = append(row, ">10MB")
+			} else {
+				row = append(row, mbString(mem, o))
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "memory shown at paper scale; '>10MB' = zero outliers unreachable within the probe ceiling (paper: CM_fast/CU_fast/Coco)")
+	return t
+}
+
+// Fig6 reproduces Figure 6: #outliers vs memory across datasets, Λ=25.
+// Variant selects the panel: "web", "dc", "zipf0.3", "zipf3.0".
+func Fig6(variant string, o Options) (*Table, error) {
+	const lam = 25
+	s, ok := stream.ByName(variant, o.Items, o.Seed)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown fig6 dataset %q", variant)
+	}
+	t := outliersVsMemory(s, lam, AccuracyFactories(lam, o.Seed), o)
+	t.ID = "fig6(" + variant + ")"
+	t.Title = fmt.Sprintf("#Outliers on %s, Λ=25 (paper scale)", s.Name)
+	return t, nil
+}
+
+// Fig7 reproduces Figure 7: worst-case outliers among frequent keys
+// (true sum > threshold) over o.Trials seeds — the paper's extreme
+// confidence-level methodology (100 repetitions, worst case reported).
+func Fig7(threshold uint64, o Options) *Table {
+	const lam = 25
+	thr := scaleFreq(threshold, o)
+	s := stream.IPTrace(o.Items, o.Seed)
+	frequentTotal := 0
+	for _, f := range s.Truth() {
+		if f > thr {
+			frequentTotal++
+		}
+	}
+	t := &Table{
+		ID:    fmt.Sprintf("fig7(T=%d)", threshold),
+		Title: fmt.Sprintf("Worst-case #outliers in frequent keys (T=%d paper scale, %d frequent keys, %d trials)", threshold, frequentTotal, o.Trials),
+	}
+	factories := FrequentKeyFactories(lam, o.Seed)
+	t.Header = []string{"Memory(paper-scale)"}
+	for _, f := range factories {
+		t.Header = append(t.Header, f.Name)
+	}
+	for _, mem := range o.memPoints() {
+		row := []any{mbString(mem, o)}
+		for _, f := range factories {
+			worst := 0
+			for trial := 0; trial < o.Trials; trial++ {
+				seed := o.Seed + uint64(trial)*1000003
+				sk := remakeWithSeed(f, lam, seed, mem)
+				metrics.Feed(sk, s)
+				_, out := metrics.FrequentKeyOutliers(sk, s, lam, thr)
+				if out > worst {
+					worst = out
+				}
+			}
+			row = append(row, worst)
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "hash seeds vary per trial; worst case reported, as in the paper")
+	return t
+}
+
+// remakeWithSeed rebuilds a factory's sketch with a different hash seed, so
+// worst-of-k experiments actually vary the hashing.
+func remakeWithSeed(f sketch.Factory, lambda, seed uint64, mem int) sketch.Sketch {
+	for _, g := range append(FrequentKeyFactories(lambda, seed), AccuracyFactories(lambda, seed)...) {
+		if g.Name == f.Name {
+			return g.New(mem)
+		}
+	}
+	return f.New(mem)
+}
+
+// Fig8 reproduces Figure 8: AAE vs memory on a dataset ("ip" or "zipf3.0").
+func Fig8(variant string, o Options) (*Table, error) {
+	s, ok := stream.ByName(variant, o.Items, o.Seed)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown fig8 dataset %q", variant)
+	}
+	const lam = 25
+	fs := []sketch.Factory{
+		OursFactory(lam, o.Seed),
+		{Name: "CM", New: AccuracyFactories(lam, o.Seed)[1].New}, // accurate variants,
+		{Name: "CU", New: AccuracyFactories(lam, o.Seed)[2].New}, // as plotted
+		{Name: "Elastic", New: AccuracyFactories(lam, o.Seed)[5].New},
+		{Name: "SS", New: AccuracyFactories(lam, o.Seed)[6].New},
+		{Name: "Coco", New: AccuracyFactories(lam, o.Seed)[7].New},
+	}
+	t := errorVsMemory(s, fs, o, false)
+	t.ID = "fig8(" + variant + ")"
+	t.Title = "AAE vs memory on " + s.Name
+	return t, nil
+}
+
+// Fig9 reproduces Figure 9: ARE vs memory.
+func Fig9(variant string, o Options) (*Table, error) {
+	s, ok := stream.ByName(variant, o.Items, o.Seed)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown fig9 dataset %q", variant)
+	}
+	const lam = 25
+	fs := []sketch.Factory{
+		OursFactory(lam, o.Seed),
+		{Name: "CM", New: AccuracyFactories(lam, o.Seed)[1].New},
+		{Name: "CU", New: AccuracyFactories(lam, o.Seed)[2].New},
+		{Name: "Elastic", New: AccuracyFactories(lam, o.Seed)[5].New},
+		{Name: "SS", New: AccuracyFactories(lam, o.Seed)[6].New},
+		{Name: "Coco", New: AccuracyFactories(lam, o.Seed)[7].New},
+	}
+	t := errorVsMemory(s, fs, o, true)
+	t.ID = "fig9(" + variant + ")"
+	t.Title = "ARE vs memory on " + s.Name
+	return t, nil
+}

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/dataplane"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// Table3 regenerates Table 3: FPGA implementation results, from the
+// parametric Virtex-7 model.
+func Table3(o Options) *Table {
+	m := dataplane.FPGAModel{}
+	t := &Table{
+		ID:     "table3",
+		Title:  "FPGA implementation results (VC709 model)",
+		Header: []string{"Module", "CLB LUTs", "CLB Registers", "Block RAM", "Freq(MHz)"},
+	}
+	rows := m.Report()
+	for _, r := range rows {
+		t.AddRow(r.Module, r.LUTs, r.Registers, r.BlockRAM, r.FreqMHz)
+	}
+	lut, reg, bram := m.Utilization(rows[len(rows)-1])
+	t.AddRow("Usage", lut, reg, bram, "")
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("fully pipelined: 1 key/clock, %d-clock insert latency, %.0f M insertions/s",
+			dataplane.PipelineDepth, m.ThroughputMpps()),
+		"substitution: parametric synthesis model calibrated to the published xc7vx690t build")
+	return t
+}
+
+// Table4 regenerates Table 4: Tofino hardware resource usage, from the
+// parametric switch model.
+func Table4(o Options) *Table {
+	t := &Table{
+		ID:     "table4",
+		Title:  "Switch (Tofino) resources used by ReliableSketch",
+		Header: []string{"Resource", "Usage", "Percentage"},
+	}
+	for _, r := range (dataplane.SwitchModel{}).Report() {
+		t.AddRow(r.Resource, r.Usage, fmt.Sprintf("%.2f%%", r.Percent))
+	}
+	t.Notes = append(t.Notes,
+		"substitution: parametric resource model calibrated to the published Edgecore Wedge 100BF-32X build")
+	return t
+}
+
+// Fig20 reproduces Figure 20: testbed accuracy of the switch pipeline
+// variant on byte-weighted traffic — AAE (in KB, the paper's Kbps modulo
+// the constant replay duration) and #outliers across SRAM sizes.
+// Variant is "ip" or "hadoop".
+func Fig20(variant string, o Options) (*Table, error) {
+	var s *stream.Stream
+	switch variant {
+	case "ip":
+		s = stream.IPTrace(o.Items, o.Seed)
+	case "hadoop":
+		s = stream.Hadoop(o.Items, o.Seed)
+	default:
+		return nil, fmt.Errorf("harness: unknown fig20 dataset %q", variant)
+	}
+	weighted := stream.ByteWeighted(s, o.Seed)
+	// Λ in bytes: the paper's Kbps thresholds over the replay window map to
+	// a per-flow byte tolerance; 25 full packets ≈ 37.5KB.
+	const lambdaBytes = 25 * 1500
+	t := &Table{
+		ID:     "fig20(" + variant + ")",
+		Title:  "Switch-pipeline accuracy on byte-weighted " + s.Name,
+		Header: []string{"SRAM(×N/Λ)", "SRAM", "AAE(KB)", "#Outliers", "Recirculated"},
+	}
+	// The paper's SRAM axis is specific to its testbed trace; for the
+	// synthetic substitute we sweep the same *relative* range — fractions
+	// of the N_bytes/Λ bucket budget zero outliers require — reproducing
+	// the published shape (a 4× sweep whose top end reaches zero outliers).
+	needBuckets := float64(weighted.Total()) / float64(lambdaBytes)
+	for _, factor := range []float64{0.25, 0.5, 1, 2} {
+		sram := int(factor * needBuckets * 10) // 10B per switch bucket
+		if sram < 4096 {
+			sram = 4096
+		}
+		sk := dataplane.NewSwitchSketch(sram, lambdaBytes, o.Seed)
+		metrics.Feed(sk, weighted)
+		rep := metrics.Evaluate(sk, weighted, lambdaBytes)
+		t.AddRow(fmt.Sprintf("%.2f", factor), fmt.Sprintf("%dKB", sram>>10),
+			rep.AAE/1024, rep.Outliers, sk.Recirculated)
+	}
+	t.Notes = append(t.Notes,
+		"substitution: SwitchSketch simulator enforcing the three Tofino constraints; byte-weighted synthetic traffic replaces the 40Gbps replay",
+		"paper shape: zero outliers above 368KB (IP) / 92KB (Hadoop) at 40M packets")
+	return t, nil
+}

@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// paramFactory builds ReliableSketch with explicit decay ratios.
+func paramFactory(lambda uint64, rw, rl float64, seed uint64) sketch.Factory {
+	return sketch.Factory{
+		Name: fmt.Sprintf("Ours(Rw=%.1f,Rl=%.1f)", rw, rl),
+		New: func(mem int) sketch.Sketch {
+			return core.MustNew(core.Config{
+				Lambda: lambda, MemoryBytes: mem, Rw: rw, Rl: rl, Seed: seed,
+			})
+		},
+	}
+}
+
+// minMemorySameAAE finds the smallest memory at which the sketch's AAE over
+// s drops to target or below. Returns 0 when maxBytes is insufficient.
+// Starved ReliableSketch configurations can show a deceptively low AAE by
+// silently dropping value (insertion failures void the certificate), so a
+// probe with failures never counts as meeting the target.
+func minMemorySameAAE(f sketch.Factory, s *stream.Stream, target float64, maxBytes int) int {
+	aaeAt := func(mem int) float64 {
+		sk := f.New(mem)
+		metrics.Feed(sk, s)
+		if rs, ok := sk.(*core.Sketch); ok {
+			if fails, _ := rs.InsertionFailures(); fails > 0 {
+				return math.Inf(1)
+			}
+		}
+		return metrics.Evaluate(sk, s, 0).AAE
+	}
+	lo, hi := 1024, maxBytes
+	if aaeAt(hi) > target {
+		return 0
+	}
+	for hi-lo > hi/16 {
+		mid := (lo + hi) / 2
+		if aaeAt(mid) <= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// datasetPair returns the two datasets of the parameter studies
+// (Figures 11–14): IP Trace and Web Stream.
+func datasetPair(o Options) []*stream.Stream {
+	return []*stream.Stream{
+		stream.IPTrace(o.Items, o.Seed),
+		stream.WebStream(o.Items, o.Seed),
+	}
+}
+
+// Fig11 reproduces Figure 11: zero-outlier memory as Rw varies, for a grid
+// of Rl values, on both datasets.
+func Fig11(o Options) []*Table {
+	return paramSweep(o, "fig11", "Zero-outlier memory vs Rw", true, true)
+}
+
+// Fig12 reproduces Figure 12: same-AAE (target 5) memory as Rw varies.
+func Fig12(o Options) []*Table {
+	return paramSweep(o, "fig12", "Same-AAE (=5) memory vs Rw", true, false)
+}
+
+// Fig13 reproduces Figure 13: zero-outlier memory as Rl varies, for a grid
+// of Rw values.
+func Fig13(o Options) []*Table {
+	return paramSweep(o, "fig13", "Zero-outlier memory vs Rl", false, true)
+}
+
+// Fig14 reproduces Figure 14: same-AAE memory as Rl varies.
+func Fig14(o Options) []*Table {
+	return paramSweep(o, "fig14", "Same-AAE (=5) memory vs Rl", false, false)
+}
+
+// paramSweep runs the shared Figure 11–14 machinery. sweepRw selects which
+// ratio is the x-axis; zeroOutlier selects the success criterion.
+func paramSweep(o Options, id, title string, sweepRw, zeroOutlier bool) []*Table {
+	const lam = 25
+	const targetAAE = 5
+	xs := []float64{1.4, 2.0, 2.5, 4.0, 6.0, 9.0, 12.5}
+	grid := []float64{1.4, 2.0, 4.0, 9.0}
+	maxBytes := int(10 * 1024 * 1024 * o.memScale())
+	var tables []*Table
+	for _, s := range datasetPair(o) {
+		t := &Table{ID: id, Title: title + " on " + s.Name}
+		xName, gName := "Rw", "Rl"
+		if !sweepRw {
+			xName, gName = "Rl", "Rw"
+		}
+		t.Header = []string{xName}
+		for _, g := range grid {
+			t.Header = append(t.Header, fmt.Sprintf("%s=%.1f", gName, g))
+		}
+		for _, x := range xs {
+			row := []any{fmt.Sprintf("%.1f", x)}
+			for _, g := range grid {
+				rw, rl := x, g
+				if !sweepRw {
+					rw, rl = g, x
+				}
+				f := paramFactory(lam, rw, rl, o.Seed)
+				var mem int
+				if zeroOutlier {
+					mem = MinMemoryZeroOutliers(f, s, lam, maxBytes)
+				} else {
+					mem = minMemorySameAAE(f, s, targetAAE, maxBytes)
+				}
+				if mem == 0 {
+					row = append(row, ">max")
+				} else {
+					row = append(row, mbString(mem, o))
+				}
+			}
+			t.AddRow(row...)
+		}
+		t.Notes = append(t.Notes, "paper optimum: Rw≈2–2.5 (Fig 11), Rl≈2–2.5 (Fig 13); memory at paper scale")
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig15 reproduces Figure 15: memory usage as the error threshold Λ varies
+// — (a) under zero outliers for IP Trace and Web Stream, (b) under target
+// AAE values on IP Trace.
+func Fig15(o Options) []*Table {
+	lambdas := []uint64{15, 25, 35, 50, 75, 100}
+	maxBytes := int(10 * 1024 * 1024 * o.memScale())
+
+	a := &Table{
+		ID:     "fig15a",
+		Title:  "Memory under zero outlier vs Λ",
+		Header: []string{"Λ", "IP Trace", "Web Stream"},
+	}
+	streams := datasetPair(o)
+	for _, lam := range lambdas {
+		row := []any{lam}
+		for _, s := range streams {
+			mem := MinMemoryZeroOutliers(OursFactory(lam, o.Seed), s, lam, maxBytes)
+			if mem == 0 {
+				row = append(row, ">max")
+			} else {
+				row = append(row, mbString(mem, o))
+			}
+		}
+		a.AddRow(row...)
+	}
+	a.Notes = append(a.Notes, "paper: memory ≈ inversely proportional to Λ")
+
+	b := &Table{
+		ID:     "fig15b",
+		Title:  "Memory to reach target AAE vs Λ (IP Trace)",
+		Header: []string{"Λ", "AAE≤5", "AAE≤10", "AAE≤15", "AAE≤20"},
+	}
+	ip := streams[0]
+	for _, lam := range lambdas {
+		row := []any{lam}
+		for _, target := range []float64{5, 10, 15, 20} {
+			mem := minMemorySameAAE(OursFactory(lam, o.Seed), ip, target, maxBytes)
+			if mem == 0 {
+				row = append(row, ">max")
+			} else {
+				row = append(row, mbString(mem, o))
+			}
+		}
+		b.AddRow(row...)
+	}
+	b.Notes = append(b.Notes, "paper: optimal Λ ≈ 2–3× the target AAE")
+	return []*Table{a, b}
+}

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/cm"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// Fig10 reproduces Figure 10: insertion and query throughput (Mpps) for all
+// eleven variants over the IP trace at the paper's default 1MB/Λ=25
+// configuration (memory scaled with the stream).
+func Fig10(o Options) *Table {
+	const lam = 25
+	s := stream.IPTrace(o.Items, o.Seed)
+	mem := o.memFor(1.0)
+	t := &Table{
+		ID:     "fig10",
+		Title:  fmt.Sprintf("Throughput over %d insertions + all-key queries (Mpps)", s.Len()),
+		Header: []string{"Algorithm", "Insert(Mpps)", "Query(Mpps)"},
+	}
+	for _, f := range ThroughputFactories(lam, o.Seed) {
+		sk := f.New(mem)
+		insDur := metrics.Feed(sk, s)
+		qryDur, qn := metrics.QueryAll(sk, s)
+		t.AddRow(f.Name, metrics.Mpps(s.Len(), insDur), metrics.Mpps(qn, qryDur))
+	}
+	t.Notes = append(t.Notes,
+		"absolute Mpps depend on this machine; the paper's shape claim is Raw ≈ CM_fast ≈ Coco ≈ HashPipe > CU_fast/Elastic/PRECISION >> SS/acc variants")
+	return t
+}
+
+// Fig16 reproduces Figure 16: the average number of hash-function calls per
+// insertion and per query as memory grows, for Ours, Ours(Raw), and CM_fast.
+func Fig16(o Options) *Table {
+	const lam = 25
+	s := stream.IPTrace(o.Items, o.Seed)
+	t := &Table{
+		ID:    "fig16",
+		Title: "Average # hash calls per operation vs memory",
+		Header: []string{"Memory(paper-scale)",
+			"Ours ins", "Ours qry", "Raw ins", "Raw qry", "CM_fast ins", "CM_fast qry"},
+	}
+	for _, mem := range o.memPoints() {
+		ours := core.NewFromMemory(mem, lam, o.Seed)
+		raw := core.NewRaw(mem, lam, o.Seed)
+		cmf := cm.NewFast(mem, o.Seed)
+		metrics.Feed(ours, s)
+		metrics.Feed(raw, s)
+		metrics.Feed(cmf, s)
+		cmInsCalls := float64(cmf.HashCalls()) / float64(s.Len())
+		for key := range s.Truth() {
+			ours.Query(key)
+			raw.Query(key)
+		}
+		cmf.Reset()
+		for key := range s.Truth() {
+			cmf.Query(key)
+		}
+		cmQryCalls := float64(cmf.HashCalls()) / float64(s.Distinct())
+		oi, oq := ours.HashCallStats()
+		ri, rq := raw.HashCallStats()
+		t.AddRow(mbString(mem, o), oi, oq, ri, rq, cmInsCalls, cmQryCalls)
+	}
+	t.Notes = append(t.Notes,
+		"paper: Raw stabilizes at 1 call, Ours at ≈3 (2 filter rows + 1 layer), CM_fast constant at 3")
+	return t
+}

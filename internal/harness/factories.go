@@ -1,0 +1,89 @@
+// Package harness drives the paper's evaluation (§6): it builds every
+// algorithm from a memory budget, runs the workloads from internal/stream,
+// and renders each figure and table as text rows. Every experiment is
+// addressable by its paper artifact id ("fig4a", "table3", ...) through Run.
+package harness
+
+import (
+	"repro/internal/cm"
+	"repro/internal/coco"
+	"repro/internal/core"
+	"repro/internal/countsketch"
+	"repro/internal/cu"
+	"repro/internal/elastic"
+	"repro/internal/frequent"
+	"repro/internal/hashpipe"
+	"repro/internal/precision"
+	"repro/internal/sketch"
+	"repro/internal/spacesaving"
+	"repro/internal/univmon"
+)
+
+// OursFactory builds ReliableSketch (with mice filter) for tolerance lambda.
+func OursFactory(lambda, seed uint64) sketch.Factory {
+	return sketch.Factory{Name: "Ours", New: func(mem int) sketch.Sketch {
+		return core.NewFromMemory(mem, lambda, seed)
+	}}
+}
+
+// RawFactory builds the filterless ReliableSketch variant.
+func RawFactory(lambda, seed uint64) sketch.Factory {
+	return sketch.Factory{Name: "Ours(Raw)", New: func(mem int) sketch.Sketch {
+		return core.NewRaw(mem, lambda, seed)
+	}}
+}
+
+// AccuracyFactories is the algorithm set of the outlier/AAE/ARE comparisons
+// (Figures 4, 6, 8, 9): Ours plus the counter-based and heap-based
+// competitors.
+func AccuracyFactories(lambda, seed uint64) []sketch.Factory {
+	return []sketch.Factory{
+		OursFactory(lambda, seed),
+		{Name: "CM_acc", New: func(m int) sketch.Sketch { return cm.NewAccurate(m, seed) }},
+		{Name: "CU_acc", New: func(m int) sketch.Sketch { return cu.NewAccurate(m, seed) }},
+		{Name: "CM_fast", New: func(m int) sketch.Sketch { return cm.NewFast(m, seed) }},
+		{Name: "CU_fast", New: func(m int) sketch.Sketch { return cu.NewFast(m, seed) }},
+		{Name: "Elastic", New: func(m int) sketch.Sketch { return elastic.NewBytes(m, seed) }},
+		{Name: "SS", New: func(m int) sketch.Sketch { return spacesaving.NewBytes(m) }},
+		{Name: "Coco", New: func(m int) sketch.Sketch { return coco.NewBytes(m, seed) }},
+	}
+}
+
+// FrequentKeyFactories is the Figure 7 set: Ours against the
+// pipeline-friendly heavy-hitter algorithms plus Space-Saving.
+func FrequentKeyFactories(lambda, seed uint64) []sketch.Factory {
+	return []sketch.Factory{
+		OursFactory(lambda, seed),
+		{Name: "PRECISION", New: func(m int) sketch.Sketch { return precision.NewBytes(m, seed) }},
+		{Name: "Elastic", New: func(m int) sketch.Sketch { return elastic.NewBytes(m, seed) }},
+		{Name: "HashPipe", New: func(m int) sketch.Sketch { return hashpipe.NewBytes(m, seed) }},
+		{Name: "SS", New: func(m int) sketch.Sketch { return spacesaving.NewBytes(m) }},
+	}
+}
+
+// ThroughputFactories is the Figure 10 set: all eleven variants.
+func ThroughputFactories(lambda, seed uint64) []sketch.Factory {
+	return []sketch.Factory{
+		OursFactory(lambda, seed),
+		RawFactory(lambda, seed),
+		{Name: "CM_fast", New: func(m int) sketch.Sketch { return cm.NewFast(m, seed) }},
+		{Name: "CU_fast", New: func(m int) sketch.Sketch { return cu.NewFast(m, seed) }},
+		{Name: "CM_acc", New: func(m int) sketch.Sketch { return cm.NewAccurate(m, seed) }},
+		{Name: "CU_acc", New: func(m int) sketch.Sketch { return cu.NewAccurate(m, seed) }},
+		{Name: "SS", New: func(m int) sketch.Sketch { return spacesaving.NewBytes(m) }},
+		{Name: "Elastic", New: func(m int) sketch.Sketch { return elastic.NewBytes(m, seed) }},
+		{Name: "Coco", New: func(m int) sketch.Sketch { return coco.NewBytes(m, seed) }},
+		{Name: "HashPipe", New: func(m int) sketch.Sketch { return hashpipe.NewBytes(m, seed) }},
+		{Name: "PRECISION", New: func(m int) sketch.Sketch { return precision.NewBytes(m, seed) }},
+	}
+}
+
+// AllFactories adds the remaining taxonomy entries (Count, Frequent) to the
+// throughput set, for the registry-completeness tests and the demo tool.
+func AllFactories(lambda, seed uint64) []sketch.Factory {
+	return append(ThroughputFactories(lambda, seed),
+		sketch.Factory{Name: "Count", New: func(m int) sketch.Sketch { return countsketch.NewBytes(m, seed) }},
+		sketch.Factory{Name: "UnivMon", New: func(m int) sketch.Sketch { return univmon.NewBytes(m, seed) }},
+		sketch.Factory{Name: "Frequent", New: func(m int) sketch.Sketch { return frequent.NewBytes(m) }},
+	)
+}

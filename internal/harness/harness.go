@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// Options scale an experiment run. The defaults reproduce the paper's
+// figures at 1/10 of the published stream length (laptop time budget);
+// PaperOptions restores full scale.
+type Options struct {
+	// Items is the stream length for trace stand-ins.
+	Items int
+	// Seed drives dataset generation and sketch hashing.
+	Seed uint64
+	// Trials is the repetition count for worst-case experiments (the paper
+	// uses 100 for Figure 7).
+	Trials int
+}
+
+// DefaultOptions is the laptop-friendly configuration.
+var DefaultOptions = Options{Items: 1_000_000, Seed: 1, Trials: 10}
+
+// PaperOptions matches the published experiment scale.
+var PaperOptions = Options{Items: 10_000_000, Seed: 1, Trials: 100}
+
+// memScale converts the paper's memory axis (published for 10M-item
+// streams) to this run's stream length, preserving the memory-to-stream
+// ratio that accuracy depends on.
+func (o Options) memScale() float64 { return float64(o.Items) / 10_000_000 }
+
+// memPoints returns the paper's memory sweep (0.25–4 MB for 10M items),
+// scaled to the configured stream length.
+func (o Options) memPoints() []int {
+	base := []float64{0.25, 0.5, 1, 1.5, 2, 3, 4} // MB at paper scale
+	pts := make([]int, len(base))
+	for i, mb := range base {
+		pts[i] = int(mb * 1024 * 1024 * o.memScale())
+	}
+	return pts
+}
+
+// memFor converts a paper-scale memory size (MB at 10M items) to this
+// run's scale, with a 64KB floor so single-sketch in-depth experiments
+// (Figures 16-19) don't starve at tiny test scales.
+func (o Options) memFor(paperMB float64) int {
+	mem := int(paperMB * 1024 * 1024 * o.memScale())
+	if mem < 64<<10 {
+		mem = 64 << 10
+	}
+	return mem
+}
+
+func mbString(bytes int, o Options) string {
+	return fmt.Sprintf("%.2fMB", float64(bytes)/o.memScale()/1024/1024)
+}
+
+// outliersVsMemory is the primitive behind Figures 4 and 6: one row per
+// memory point, one column per algorithm, counting outliers for lambda.
+func outliersVsMemory(s *stream.Stream, lambda uint64, factories []sketch.Factory, o Options) *Table {
+	t := &Table{Header: []string{"Memory(paper-scale)"}}
+	for _, f := range factories {
+		t.Header = append(t.Header, f.Name)
+	}
+	for _, mem := range o.memPoints() {
+		row := []any{mbString(mem, o)}
+		for _, f := range factories {
+			sk := f.New(mem)
+			metrics.Feed(sk, s)
+			rep := metrics.Evaluate(sk, s, lambda)
+			row = append(row, rep.Outliers)
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("stream=%s items=%d distinct=%d Λ=%d; memory axis shown at paper scale (10M items), actual = axis × %.2f",
+			s.Name, s.Len(), s.Distinct(), lambda, o.memScale()))
+	return t
+}
+
+// MinMemoryZeroOutliers searches for the smallest memory budget (within
+// the probe grid's resolution) at which factory produces zero outliers on
+// s. It returns 0 when even maxBytes fails. The paper's Figure 5
+// methodology: CM/CU/Elastic "usually require more than the minimum value,
+// otherwise they cannot achieve zero outlier stably", so callers pass
+// several seeds and take the worst.
+func MinMemoryZeroOutliers(f sketch.Factory, s *stream.Stream, lambda uint64, maxBytes int) int {
+	lo, hi := 1024, maxBytes
+	// First verify the ceiling works at all.
+	if countOutliers(f, s, lambda, hi) > 0 {
+		return 0
+	}
+	for hi-lo > hi/16 {
+		mid := (lo + hi) / 2
+		if countOutliers(f, s, lambda, mid) == 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+func countOutliers(f sketch.Factory, s *stream.Stream, lambda uint64, mem int) int {
+	sk := f.New(mem)
+	metrics.Feed(sk, s)
+	return metrics.Evaluate(sk, s, lambda).Outliers
+}
+
+// errorVsMemory is the primitive behind Figures 8 (AAE) and 9 (ARE).
+func errorVsMemory(s *stream.Stream, factories []sketch.Factory, o Options, relative bool) *Table {
+	t := &Table{Header: []string{"Memory(paper-scale)"}}
+	for _, f := range factories {
+		t.Header = append(t.Header, f.Name)
+	}
+	for _, mem := range o.memPoints() {
+		row := []any{mbString(mem, o)}
+		for _, f := range factories {
+			sk := f.New(mem)
+			metrics.Feed(sk, s)
+			rep := metrics.Evaluate(sk, s, 0)
+			if relative {
+				row = append(row, rep.ARE)
+			} else {
+				row = append(row, rep.AAE)
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("stream=%s items=%d", s.Name, s.Len()))
+	return t
+}
+
+// sortedLayerKeys returns map keys in ascending order, for stable tables.
+func sortedLayerKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,195 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// tinyOptions keeps registry-wide smoke tests fast.
+var tinyOptions = Options{Items: 60_000, Seed: 1, Trials: 2}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "x", Title: "demo", Header: []string{"a", "bb"}}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("long-cell", 0.001)
+	tb.Notes = append(tb.Notes, "a note")
+	s := tb.String()
+	for _, want := range []string{"== x: demo ==", "a", "bb", "long-cell", "2.50", "0.0010", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestListCoversEveryPaperArtifact(t *testing.T) {
+	want := []string{
+		"table1", "table3", "table4",
+		"fig4a", "fig4b", "fig5",
+		"fig6a", "fig6b", "fig6c", "fig6d",
+		"fig7a", "fig7b",
+		"fig8a", "fig8b", "fig9a", "fig9b",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"fig16", "fig17", "fig18", "fig19",
+		"fig20a", "fig20b",
+		"ablation",
+	}
+	have := map[string]bool{}
+	for _, e := range List() {
+		have[e.ID] = true
+		if e.Description == "" {
+			t.Errorf("experiment %s lacks a description", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if len(have) != len(want) {
+		t.Errorf("registry has %d experiments, expected %d", len(have), len(want))
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig99", tinyOptions); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+// TestFastExperimentsSmoke runs the cheap single-configuration experiments
+// end to end at tiny scale and sanity-checks their tables.
+func TestFastExperimentsSmoke(t *testing.T) {
+	for _, id := range []string{"table1", "table3", "table4", "fig10", "fig16", "fig17", "fig18", "fig19", "fig20a", "fig20b"} {
+		tables, err := Run(id, tinyOptions)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, tb := range tables {
+			if len(tb.Rows) == 0 {
+				t.Errorf("%s: empty table", id)
+			}
+			if len(tb.Header) == 0 {
+				t.Errorf("%s: missing header", id)
+			}
+			for _, row := range tb.Rows {
+				if len(row) != len(tb.Header) {
+					t.Errorf("%s: row width %d != header %d", id, len(row), len(tb.Header))
+				}
+			}
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tb := Fig4(25, tinyOptions)
+	// Column 1 is Ours: outliers must be zero at the largest memory point.
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[1] != "0" {
+		t.Errorf("Ours outliers at max memory = %s, want 0\n%s", last[1], tb)
+	}
+	// At the largest memory, Ours must be no worse than every competitor.
+	ours, _ := strconv.Atoi(last[1])
+	for i := 2; i < len(last); i++ {
+		v, err := strconv.Atoi(last[i])
+		if err != nil {
+			t.Fatalf("cell %d unparsable: %v", i, err)
+		}
+		if v < ours {
+			t.Errorf("competitor %s beats Ours at max memory (%d < %d)", tb.Header[i], v, ours)
+		}
+	}
+}
+
+func TestFig4OutliersMonotoneForOurs(t *testing.T) {
+	tb := Fig4(25, tinyOptions)
+	prev := 1 << 30
+	for _, row := range tb.Rows {
+		v, _ := strconv.Atoi(row[1])
+		if v > prev*3+10 {
+			t.Errorf("Ours outliers grew sharply with memory: %d → %d", prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestMinMemoryZeroOutliers(t *testing.T) {
+	s := stream.IPTrace(50_000, 2)
+	f := OursFactory(25, 2)
+	mem := MinMemoryZeroOutliers(f, s, 25, 4<<20)
+	if mem == 0 {
+		t.Fatal("no zero-outlier memory found within 4MB")
+	}
+	// The found budget must actually achieve zero outliers.
+	sk := f.New(mem)
+	metrics.Feed(sk, s)
+	if out := metrics.Evaluate(sk, s, 25).Outliers; out != 0 {
+		t.Errorf("returned memory %d yields %d outliers", mem, out)
+	}
+}
+
+func TestFig17NoViolations(t *testing.T) {
+	tb := Fig17(tinyOptions)
+	for _, row := range tb.Rows {
+		if row[3] != "0" {
+			t.Errorf("class %s has %s interval violations", row[0], row[3])
+		}
+	}
+}
+
+func TestFig18SensedAtLeastActual(t *testing.T) {
+	tables := Fig18(tinyOptions)
+	b := tables[1]
+	for _, row := range b.Rows {
+		sensed, err1 := strconv.ParseFloat(row[1], 64)
+		actual, err2 := strconv.ParseFloat(row[2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparsable row %v", row)
+		}
+		if sensed+1e-9 < actual {
+			t.Errorf("mean sensed %.3f < mean actual %.3f", sensed, actual)
+		}
+	}
+}
+
+func TestFig19LayerDecay(t *testing.T) {
+	tables := Fig19(tinyOptions)
+	a := tables[0]
+	// Total keys across layers must be positive and the filter row (-1)
+	// must dominate for IP-trace-like traffic.
+	if len(a.Rows) == 0 {
+		t.Fatal("empty layer distribution")
+	}
+	if a.Rows[0][0] != "-1" {
+		t.Fatalf("first layer row is %s, want -1 (mice filter)", a.Rows[0][0])
+	}
+	filterKeys, _ := strconv.Atoi(a.Rows[0][1])
+	if filterKeys == 0 {
+		t.Error("no keys resolved in the mice filter")
+	}
+}
+
+func TestFactorySetsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range AllFactories(25, 1) {
+		if seen[f.Name] {
+			t.Errorf("duplicate factory %s", f.Name)
+		}
+		seen[f.Name] = true
+		sk := f.New(64 << 10)
+		if sk == nil {
+			t.Fatalf("factory %s returned nil", f.Name)
+		}
+		if sk.MemoryBytes() > 64<<10 {
+			t.Errorf("%s exceeds its memory budget: %d", f.Name, sk.MemoryBytes())
+		}
+		sk.Insert(1, 1)
+		_ = sk.Query(1)
+	}
+	if len(seen) != 14 {
+		t.Errorf("expected 14 factories, got %d", len(seen))
+	}
+}

@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The sweep experiments (binary searches and grids) are exercised here at
+// tiny scale; skip under -short to keep quick edit-compile loops snappy.
+
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("sweep experiment skipped in -short mode")
+	}
+}
+
+func TestFig5ZeroOutlierSweep(t *testing.T) {
+	skipIfShort(t)
+	tb := Fig5(tinyOptions)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows=%d want 5 algorithms", len(tb.Rows))
+	}
+	// Ours must find a budget on both datasets.
+	ours := tb.Rows[0]
+	if ours[0] != "Ours" {
+		t.Fatalf("first row is %s", ours[0])
+	}
+	for _, cell := range ours[1:] {
+		if strings.HasPrefix(cell, ">") {
+			t.Errorf("Ours did not reach zero outliers: %v", ours)
+		}
+	}
+}
+
+func TestFig7WorstCaseSweep(t *testing.T) {
+	skipIfShort(t)
+	tb := Fig7(100, tinyOptions)
+	if len(tb.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	// At the largest memory, Ours (column 1) must report zero worst-case
+	// outliers among frequent keys.
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[1] != "0" {
+		t.Errorf("Ours worst-case frequent-key outliers = %s at max memory", last[1])
+	}
+}
+
+func TestFig11GridShape(t *testing.T) {
+	skipIfShort(t)
+	tables := Fig11(Options{Items: 40_000, Seed: 1, Trials: 1})
+	if len(tables) != 2 {
+		t.Fatalf("want 2 dataset tables, got %d", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) != 7 {
+			t.Errorf("%s: rows=%d want 7 Rw points", tb.Title, len(tb.Rows))
+		}
+		for _, row := range tb.Rows {
+			if len(row) != 5 {
+				t.Errorf("%s: row width %d want 5", tb.Title, len(row))
+			}
+		}
+	}
+}
+
+func TestFig15LambdaSweep(t *testing.T) {
+	skipIfShort(t)
+	tables := Fig15(Options{Items: 40_000, Seed: 1, Trials: 1})
+	if len(tables) != 2 {
+		t.Fatalf("want 2 tables, got %d", len(tables))
+	}
+	a := tables[0]
+	// Zero-outlier memory must not grow as Λ relaxes (monotone after
+	// parsing, tolerating search jitter of one grid step).
+	var prev float64 = 1e18
+	for _, row := range a.Rows {
+		cell := row[1]
+		if strings.HasPrefix(cell, ">") {
+			t.Fatalf("Λ=%s found no budget", row[0])
+		}
+		mb, err := strconv.ParseFloat(strings.TrimSuffix(cell, "MB"), 64)
+		if err != nil {
+			t.Fatalf("unparsable cell %q: %v", cell, err)
+		}
+		if mb > prev*1.5 {
+			t.Errorf("memory grew sharply as Λ relaxed: %s after %.2f", cell, prev)
+		}
+		prev = mb
+	}
+}

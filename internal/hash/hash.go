@@ -1,0 +1,140 @@
+// Package hash provides the seeded hash functions used by every sketch in
+// this repository. The paper's reference implementation uses 32-bit
+// MurmurHash3; we provide a faithful MurmurHash3 x86_32 over byte slices plus
+// fast fixed-width variants for uint64 keys, which is what the sketches use
+// on their hot paths.
+//
+// All functions are deterministic for a given seed, so experiments are
+// reproducible, and different seeds yield independent-enough functions for
+// the per-layer hashing that ReliableSketch and its competitors require.
+package hash
+
+import "encoding/binary"
+
+const (
+	c1 uint32 = 0xcc9e2d51
+	c2 uint32 = 0x1b873593
+)
+
+// Murmur32 computes MurmurHash3 x86_32 of data with the given seed.
+// It matches the reference implementation in smhasher.
+func Murmur32(data []byte, seed uint32) uint32 {
+	h := seed
+	n := len(data)
+	// Body: 4-byte blocks.
+	for len(data) >= 4 {
+		k := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		k *= c1
+		k = (k << 15) | (k >> 17)
+		k *= c2
+		h ^= k
+		h = (h << 13) | (h >> 19)
+		h = h*5 + 0xe6546b64
+	}
+	// Tail.
+	var k uint32
+	switch len(data) {
+	case 3:
+		k ^= uint32(data[2]) << 16
+		fallthrough
+	case 2:
+		k ^= uint32(data[1]) << 8
+		fallthrough
+	case 1:
+		k ^= uint32(data[0])
+		k *= c1
+		k = (k << 15) | (k >> 17)
+		k *= c2
+		h ^= k
+	}
+	// Finalization.
+	h ^= uint32(n)
+	return fmix32(h)
+}
+
+func fmix32(h uint32) uint32 {
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}
+
+// fmix64 is the MurmurHash3 x64 finalizer, a high-quality 64-bit mixer.
+func fmix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// U64 hashes a uint64 key with a uint64 seed. This is the hot-path hash used
+// by all sketches: it feeds the key and seed through the Murmur3 64-bit
+// finalizer twice, which passes avalanche tests and is far cheaper than
+// hashing the key's byte encoding.
+func U64(key, seed uint64) uint64 {
+	return fmix64(fmix64(key+0x9e3779b97f4a7c15) ^ (seed * 0xbf58476d1ce4e5b9))
+}
+
+// U32 hashes a uint64 key to 32 bits with a 32-bit seed, mirroring the
+// paper's use of 32-bit Murmur hashing.
+func U32(key uint64, seed uint32) uint32 {
+	h := U64(key, uint64(seed))
+	return uint32(h ^ (h >> 32))
+}
+
+// Bucket maps key to a bucket index in [0, width) using the 64-bit hash for
+// seed. width must be > 0.
+func Bucket(key, seed uint64, width int) int {
+	// Multiply-shift range reduction avoids the modulo bias and is faster
+	// than %, matching what high-speed sketch implementations do.
+	h := U64(key, seed)
+	return int((h >> 32) * uint64(width) >> 32)
+}
+
+// Sign returns +1 or -1 derived from an independent bit of the hash, used by
+// Count sketch's sign functions.
+func Sign(key, seed uint64) int64 {
+	if U64(key, seed^0xa5a5a5a5a5a5a5a5)&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// Family is a set of d independent seeded hash functions, one per sketch
+// row/layer. It exists so sketches can be built from a single base seed and
+// remain reproducible.
+type Family struct {
+	seeds []uint64
+}
+
+// NewFamily derives d independent seeds from base.
+func NewFamily(base uint64, d int) *Family {
+	seeds := make([]uint64, d)
+	s := base
+	for i := range seeds {
+		s = fmix64(s + 0x9e3779b97f4a7c15)
+		seeds[i] = s
+	}
+	return &Family{seeds: seeds}
+}
+
+// Len returns the number of functions in the family.
+func (f *Family) Len() int { return len(f.seeds) }
+
+// Seed returns the i-th derived seed.
+func (f *Family) Seed(i int) uint64 { return f.seeds[i] }
+
+// Bucket maps key to [0, width) using the i-th function.
+func (f *Family) Bucket(i int, key uint64, width int) int {
+	return Bucket(key, f.seeds[i], width)
+}
+
+// Sign returns the i-th sign function applied to key.
+func (f *Family) Sign(i int, key uint64) int64 {
+	return Sign(key, f.seeds[i])
+}

@@ -1,0 +1,181 @@
+package hash
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Reference vectors for MurmurHash3 x86_32 from the smhasher reference
+// implementation.
+func TestMurmur32Vectors(t *testing.T) {
+	cases := []struct {
+		data string
+		seed uint32
+		want uint32
+	}{
+		{"", 0, 0},
+		{"", 1, 0x514e28b7},
+		{"", 0xffffffff, 0x81f16f39},
+		{"a", 0, 0x3c2569b2},
+		{"hello", 0, 0x248bfa47},
+		{"hello, world", 0, 0x149bbb7f},
+		{"The quick brown fox jumps over the lazy dog", 0x9747b28c, 0x2fa826cd},
+	}
+	for _, c := range cases {
+		got := Murmur32([]byte(c.data), c.seed)
+		if got != c.want {
+			t.Errorf("Murmur32(%q, %#x) = %#x, want %#x", c.data, c.seed, got, c.want)
+		}
+	}
+}
+
+func TestMurmur32TailLengths(t *testing.T) {
+	// Exercise every tail length 0..7 and verify determinism plus seed
+	// sensitivity.
+	data := []byte("abcdefgh")
+	for n := 0; n <= len(data); n++ {
+		a := Murmur32(data[:n], 42)
+		b := Murmur32(data[:n], 42)
+		if a != b {
+			t.Fatalf("non-deterministic hash for length %d", n)
+		}
+		c := Murmur32(data[:n], 43)
+		if n > 0 && a == c {
+			t.Errorf("length %d: seeds 42 and 43 collide (%#x)", n, a)
+		}
+	}
+}
+
+func TestU64Determinism(t *testing.T) {
+	if U64(12345, 6789) != U64(12345, 6789) {
+		t.Fatal("U64 is not deterministic")
+	}
+	if U64(12345, 6789) == U64(12345, 6790) {
+		t.Fatal("U64 ignores seed")
+	}
+	if U64(12345, 6789) == U64(12346, 6789) {
+		t.Fatal("U64 ignores key")
+	}
+}
+
+func TestBucketRange(t *testing.T) {
+	err := quick.Check(func(key, seed uint64, w uint16) bool {
+		width := int(w%1000) + 1
+		b := Bucket(key, seed, width)
+		return b >= 0 && b < width
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketUniformity(t *testing.T) {
+	const width = 64
+	const n = 64 * 10000
+	counts := make([]int, width)
+	for k := uint64(0); k < n; k++ {
+		counts[Bucket(k, 7, width)]++
+	}
+	mean := float64(n) / width
+	// Chi-squared test with a generous bound: for 63 dof, 120 is ~p<1e-5.
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - mean
+		chi2 += d * d / mean
+	}
+	if chi2 > 150 {
+		t.Errorf("bucket distribution too skewed: chi2=%.1f", chi2)
+	}
+}
+
+func TestSignBalance(t *testing.T) {
+	const n = 100000
+	var sum int64
+	for k := uint64(0); k < n; k++ {
+		s := Sign(k, 99)
+		if s != 1 && s != -1 {
+			t.Fatalf("Sign returned %d", s)
+		}
+		sum += s
+	}
+	if math.Abs(float64(sum)) > 4*math.Sqrt(n) {
+		t.Errorf("sign bias too large: sum=%d over %d keys", sum, n)
+	}
+}
+
+func TestFamilyIndependence(t *testing.T) {
+	f := NewFamily(1, 8)
+	if f.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", f.Len())
+	}
+	// Distinct seeds.
+	seen := map[uint64]bool{}
+	for i := 0; i < f.Len(); i++ {
+		s := f.Seed(i)
+		if seen[s] {
+			t.Fatalf("duplicate seed %#x at index %d", s, i)
+		}
+		seen[s] = true
+	}
+	// Pairwise collision rate between two family members should be near
+	// 1/width for random keys.
+	const width = 1024
+	const n = 100000
+	coll := 0
+	for k := uint64(0); k < n; k++ {
+		if f.Bucket(0, k, width) == f.Bucket(1, k, width) {
+			coll++
+		}
+	}
+	expected := float64(n) / width
+	if float64(coll) > 2*expected || float64(coll) < expected/2 {
+		t.Errorf("cross-family collisions = %d, expected ≈ %.0f", coll, expected)
+	}
+}
+
+func TestFamilyReproducible(t *testing.T) {
+	a := NewFamily(99, 4)
+	b := NewFamily(99, 4)
+	for i := 0; i < 4; i++ {
+		if a.Seed(i) != b.Seed(i) {
+			t.Fatalf("family not reproducible at index %d", i)
+		}
+	}
+}
+
+func TestU32Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	base := U32(0xdeadbeef, 1)
+	totalFlips := 0
+	for bit := 0; bit < 64; bit++ {
+		h := U32(0xdeadbeef^(1<<bit), 1)
+		d := base ^ h
+		for d != 0 {
+			totalFlips += int(d & 1)
+			d >>= 1
+		}
+	}
+	avg := float64(totalFlips) / 64
+	if avg < 10 || avg > 22 {
+		t.Errorf("avalanche average flips per bit = %.2f, want ≈16", avg)
+	}
+}
+
+func BenchmarkU64(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= U64(uint64(i), 12345)
+	}
+	_ = sink
+}
+
+func BenchmarkMurmur32_16B(b *testing.B) {
+	data := []byte("0123456789abcdef")
+	b.SetBytes(int64(len(data)))
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink ^= Murmur32(data, uint32(i))
+	}
+	_ = sink
+}

@@ -1,0 +1,133 @@
+// Package hashpipe implements HashPipe (Sivaraman et al., SOSR 2017), the
+// pipeline-friendly heavy-hitter sketch the paper compares against in the
+// frequent-key experiments (Figure 7). HashPipe maintains d pipeline stages
+// of (key, count) slots: stage 1 always admits the incoming key, and the
+// displaced entry cascades down the pipeline, each stage keeping the larger
+// of the resident and the carried entry. The paper uses d = 6.
+package hashpipe
+
+import (
+	"repro/internal/sketch"
+
+	"repro/internal/hash"
+)
+
+// slotBytes accounts one slot: 32-bit key + 32-bit count.
+const slotBytes = 8
+
+type slot struct {
+	key      uint64
+	count    uint64
+	occupied bool
+}
+
+// Sketch is a HashPipe with d stages.
+type Sketch struct {
+	stages [][]slot
+	width  int
+	hashes *hash.Family
+	name   string
+}
+
+// New builds a HashPipe with d stages of width slots.
+func New(d, width int, seed uint64) *Sketch {
+	if d < 1 || width < 1 {
+		panic("hashpipe: invalid geometry")
+	}
+	s := &Sketch{
+		stages: make([][]slot, d),
+		width:  width,
+		hashes: hash.NewFamily(seed, d),
+		name:   "HashPipe",
+	}
+	for i := range s.stages {
+		s.stages[i] = make([]slot, width)
+	}
+	return s
+}
+
+// NewBytes builds the paper's d=6 configuration sized to memBytes.
+func NewBytes(memBytes int, seed uint64) *Sketch {
+	w := memBytes / (6 * slotBytes)
+	if w < 1 {
+		w = 1
+	}
+	return New(6, w, seed)
+}
+
+// Insert pushes <key, value> through the pipeline.
+func (s *Sketch) Insert(key, value uint64) {
+	// Stage 1: always insert; evict the incumbent if different.
+	j := s.hashes.Bucket(0, key, s.width)
+	st := &s.stages[0][j]
+	if !st.occupied || st.key == key {
+		if st.occupied {
+			st.count += value
+		} else {
+			*st = slot{key: key, count: value, occupied: true}
+		}
+		return
+	}
+	carried := *st
+	*st = slot{key: key, count: value, occupied: true}
+
+	// Later stages: merge on match, fill empties, else keep the heavier
+	// entry and carry the lighter one onward.
+	for i := 1; i < len(s.stages); i++ {
+		j := s.hashes.Bucket(i, carried.key, s.width)
+		st := &s.stages[i][j]
+		if !st.occupied {
+			*st = carried
+			return
+		}
+		if st.key == carried.key {
+			st.count += carried.count
+			return
+		}
+		if carried.count > st.count {
+			*st, carried = carried, *st
+		}
+	}
+	// The lightest entry falls off the end of the pipeline and is lost —
+	// HashPipe's known undercounting behaviour.
+}
+
+// Query sums the counts of every stage slot holding key (a key may be
+// duplicated across stages after evictions).
+func (s *Sketch) Query(key uint64) uint64 {
+	var total uint64
+	for i := range s.stages {
+		j := s.hashes.Bucket(i, key, s.width)
+		st := &s.stages[i][j]
+		if st.occupied && st.key == key {
+			total += st.count
+		}
+	}
+	return total
+}
+
+// Tracked returns all resident entries across stages.
+func (s *Sketch) Tracked() []sketch.KV {
+	var out []sketch.KV
+	for i := range s.stages {
+		for j := range s.stages[i] {
+			if st := s.stages[i][j]; st.occupied {
+				out = append(out, sketch.KV{Key: st.key, Est: st.count})
+			}
+		}
+	}
+	return out
+}
+
+// MemoryBytes reports d × w × 8 bytes.
+func (s *Sketch) MemoryBytes() int { return len(s.stages) * s.width * slotBytes }
+
+// Name identifies the algorithm.
+func (s *Sketch) Name() string { return s.name }
+
+// Reset clears all stages.
+func (s *Sketch) Reset() {
+	for i := range s.stages {
+		clear(s.stages[i])
+	}
+}

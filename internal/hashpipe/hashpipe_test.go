@@ -1,0 +1,133 @@
+package hashpipe
+
+import (
+	"testing"
+
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+var (
+	_ sketch.Sketch              = (*Sketch)(nil)
+	_ sketch.HeavyHitterReporter = (*Sketch)(nil)
+)
+
+func TestSingleKeyExact(t *testing.T) {
+	s := New(6, 1024, 1)
+	for i := 0; i < 100; i++ {
+		s.Insert(3, 1)
+	}
+	if got := s.Query(3); got != 100 {
+		t.Errorf("Query(3)=%d want 100", got)
+	}
+}
+
+func TestStageOneAlwaysAdmits(t *testing.T) {
+	// Width 1 makes every key collide in stage 1; the newest key must always
+	// be resident there.
+	s := New(2, 1, 2)
+	s.Insert(1, 5)
+	s.Insert(2, 3)
+	if s.stages[0][0].key != 2 {
+		t.Errorf("stage 1 resident = %d, want newest key 2", s.stages[0][0].key)
+	}
+	// The displaced key 1 must have cascaded to stage 2.
+	if got := s.Query(1); got != 5 {
+		t.Errorf("Query(1)=%d want 5 (cascaded)", got)
+	}
+}
+
+func TestEvictionKeepsHeavier(t *testing.T) {
+	// Fill both stages, then collide: the lightest entry falls off the end.
+	s := New(2, 1, 3)
+	s.Insert(1, 100) // stage 1
+	s.Insert(2, 1)   // stage 1; 1→stage 2
+	s.Insert(3, 2)   // stage 1; 2 carried; stage 2 keeps 100 vs 2 → 2 dropped
+	if got := s.Query(1); got != 100 {
+		t.Errorf("heavy key lost: Query(1)=%d", got)
+	}
+	if got := s.Query(3); got != 2 {
+		t.Errorf("Query(3)=%d want 2", got)
+	}
+	if got := s.Query(2); got != 0 {
+		t.Errorf("Query(2)=%d want 0 (dropped off pipeline)", got)
+	}
+}
+
+// TestNeverOverestimatesTotal: value is conserved or lost, never invented —
+// the sum of all tracked counts never exceeds the inserted total.
+func TestValueConservation(t *testing.T) {
+	s := stream.Zipf(50_000, 5_000, 1.0, 4)
+	sk := NewBytes(64<<10, 4)
+	var total uint64
+	for _, it := range s.Items {
+		sk.Insert(it.Key, it.Value)
+		total += it.Value
+	}
+	var tracked uint64
+	for _, kv := range sk.Tracked() {
+		tracked += kv.Est
+	}
+	if tracked > total {
+		t.Errorf("tracked sum %d exceeds inserted %d", tracked, total)
+	}
+}
+
+func TestDuplicateAcrossStagesSummed(t *testing.T) {
+	// A key split across stages by evictions must have its pieces summed at
+	// query time. Force a duplicate: key 1 in stage 2, then re-admitted in
+	// stage 1.
+	s := New(2, 1, 5)
+	s.Insert(1, 5)
+	s.Insert(2, 1) // 1 cascades to stage 2 (empty → placed)
+	s.Insert(1, 7) // stage 1 evicts 2... 1 admitted fresh in stage 1
+	got := s.Query(1)
+	if got != 12 {
+		t.Errorf("Query(1)=%d want 12 (5 in stage 2 + 7 in stage 1)", got)
+	}
+}
+
+func TestHeavyHitterRecall(t *testing.T) {
+	s := stream.Zipf(100_000, 10_000, 1.5, 6)
+	sk := NewBytes(128<<10, 6)
+	for _, it := range s.Items {
+		sk.Insert(it.Key, it.Value)
+	}
+	misses := 0
+	heavies := 0
+	for k, f := range s.Truth() {
+		if f < 2000 {
+			continue
+		}
+		heavies++
+		if sk.Query(k) < f/2 {
+			misses++
+		}
+	}
+	if heavies > 0 && misses > heavies/5 {
+		t.Errorf("%d/%d heavy keys badly undercounted", misses, heavies)
+	}
+}
+
+func TestMemoryAndReset(t *testing.T) {
+	sk := NewBytes(1<<16, 1)
+	if sk.MemoryBytes() > 1<<16 {
+		t.Errorf("memory %d over budget", sk.MemoryBytes())
+	}
+	sk.Insert(1, 5)
+	sk.Reset()
+	if sk.Query(1) != 0 {
+		t.Error("Reset did not clear")
+	}
+	if sk.Name() != "HashPipe" {
+		t.Errorf("Name=%q", sk.Name())
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	sk := NewBytes(1<<20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Insert(uint64(i&0xffff), 1)
+	}
+}

@@ -1,0 +1,170 @@
+// Package metrics implements the paper's four evaluation metrics (§6.1.3):
+// the number of outliers, Average Absolute Error (AAE), Average Relative
+// Error (ARE), and throughput (Mpps), plus the frequent-key variants used by
+// Figure 7 and the worst-of-k-trials aggregation used for the extreme
+// confidence-level experiments.
+package metrics
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// Report holds the accuracy metrics of one sketch over one stream.
+type Report struct {
+	Algorithm string
+	// Outliers is the number of keys with |f̂(e) − f(e)| > Λ.
+	Outliers int
+	// AAE is the mean absolute error over all distinct keys.
+	AAE float64
+	// ARE is the mean relative error over all distinct keys.
+	ARE float64
+	// MaxAbsErr is the largest absolute error over all keys.
+	MaxAbsErr uint64
+	// Keys is the number of distinct keys evaluated.
+	Keys int
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Evaluate queries every distinct key of s against sk and computes the
+// accuracy metrics for error tolerance lambda.
+func Evaluate(sk sketch.Sketch, s *stream.Stream, lambda uint64) Report {
+	truth := s.Truth()
+	r := Report{Algorithm: sk.Name(), Keys: len(truth)}
+	var sumAbs float64
+	var sumRel float64
+	for key, f := range truth {
+		est := sk.Query(key)
+		d := absDiff(est, f)
+		if d > lambda {
+			r.Outliers++
+		}
+		if d > r.MaxAbsErr {
+			r.MaxAbsErr = d
+		}
+		sumAbs += float64(d)
+		sumRel += float64(d) / float64(f)
+	}
+	r.AAE = sumAbs / float64(len(truth))
+	r.ARE = sumRel / float64(len(truth))
+	return r
+}
+
+// FrequentKeyOutliers counts outliers among keys whose true sum exceeds the
+// frequency threshold T (Figure 7's "frequent keys"). It returns the number
+// of frequent keys and how many of them are outliers for tolerance lambda.
+func FrequentKeyOutliers(sk sketch.Sketch, s *stream.Stream, lambda, threshold uint64) (frequent, outliers int) {
+	for key, f := range s.Truth() {
+		if f <= threshold {
+			continue
+		}
+		frequent++
+		if absDiff(sk.Query(key), f) > lambda {
+			outliers++
+		}
+	}
+	return frequent, outliers
+}
+
+// Feed inserts the whole stream into sk and returns the elapsed wall time.
+func Feed(sk sketch.Sketch, s *stream.Stream) time.Duration {
+	start := time.Now()
+	for _, it := range s.Items {
+		sk.Insert(it.Key, it.Value)
+	}
+	return time.Since(start)
+}
+
+// Mpps converts an operation count and duration into millions of operations
+// per second, the throughput unit used throughout the paper.
+func Mpps(ops int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(ops) / d.Seconds() / 1e6
+}
+
+// QueryAll queries every distinct key once and returns the elapsed time and
+// the number of queries issued. The checksum defeats dead-code elimination.
+func QueryAll(sk sketch.Sketch, s *stream.Stream) (time.Duration, int) {
+	truth := s.Truth()
+	start := time.Now()
+	var sink uint64
+	for key := range truth {
+		sink ^= sk.Query(key)
+	}
+	elapsed := time.Since(start)
+	_ = sink
+	return elapsed, len(truth)
+}
+
+// ErrorDistribution returns all per-key absolute errors sorted in descending
+// order, the series plotted by Figure 19b.
+func ErrorDistribution(sk sketch.Sketch, s *stream.Stream) []uint64 {
+	truth := s.Truth()
+	errs := make([]uint64, 0, len(truth))
+	for key, f := range truth {
+		errs = append(errs, absDiff(sk.Query(key), f))
+	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i] > errs[j] })
+	return errs
+}
+
+// WorstOutliers runs trials sketches (built by factory with per-trial seeds)
+// over s and returns the worst (maximum) outlier count observed — the
+// paper's Figure 7 methodology of 100 repeated experiments with varying hash
+// seeds, reporting the worst case.
+func WorstOutliers(build func(trial int) sketch.Sketch, s *stream.Stream, lambda uint64, trials int) int {
+	worst := 0
+	for t := 0; t < trials; t++ {
+		sk := build(t)
+		Feed(sk, s)
+		r := Evaluate(sk, s, lambda)
+		if r.Outliers > worst {
+			worst = r.Outliers
+		}
+	}
+	return worst
+}
+
+// SensedErrorReport compares the certified (sensed) error of an
+// ErrorBounded sketch against the actual error, per key. Used by Figures 17
+// and 18.
+type SensedErrorReport struct {
+	// MeanSensed is the average reported MPE over all keys.
+	MeanSensed float64
+	// MeanActual is the average actual absolute error.
+	MeanActual float64
+	// Violations counts keys whose true value falls outside
+	// [est − mpe, est] — zero unless an insertion failure occurred with the
+	// emergency layer disabled.
+	Violations int
+}
+
+// SensedError evaluates the error-sensing ability of sk over s.
+func SensedError(sk sketch.ErrorBounded, s *stream.Stream) SensedErrorReport {
+	truth := s.Truth()
+	var rep SensedErrorReport
+	var sumSensed, sumActual float64
+	for key, f := range truth {
+		est, mpe := sk.QueryWithError(key)
+		sumSensed += float64(mpe)
+		sumActual += float64(absDiff(est, f))
+		if f > est || f+mpe < est {
+			rep.Violations++
+		}
+	}
+	n := float64(len(truth))
+	rep.MeanSensed = sumSensed / n
+	rep.MeanActual = sumActual / n
+	return rep
+}

@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// exact is a map-backed oracle sketch used to validate the metrics
+// themselves.
+type exact struct {
+	m    map[uint64]uint64
+	bias uint64 // constant overestimate added to every query
+}
+
+func newExact(bias uint64) *exact { return &exact{m: map[uint64]uint64{}, bias: bias} }
+
+func (e *exact) Insert(k, v uint64) { e.m[k] += v }
+func (e *exact) Query(k uint64) uint64 {
+	return e.m[k] + e.bias
+}
+func (e *exact) MemoryBytes() int { return len(e.m) * 16 }
+func (e *exact) Name() string     { return "exact" }
+
+// bounded wraps exact with an ErrorBounded interface reporting its bias.
+type bounded struct{ *exact }
+
+func (b bounded) QueryWithError(k uint64) (uint64, uint64) {
+	return b.exact.Query(k), b.exact.bias
+}
+
+var _ sketch.Sketch = (*exact)(nil)
+var _ sketch.ErrorBounded = bounded{}
+
+func testStream(t *testing.T) *stream.Stream {
+	t.Helper()
+	return stream.Zipf(20000, 2000, 1.0, 11)
+}
+
+func TestEvaluateExactSketch(t *testing.T) {
+	s := testStream(t)
+	sk := newExact(0)
+	Feed(sk, s)
+	r := Evaluate(sk, s, 0)
+	if r.Outliers != 0 {
+		t.Errorf("exact sketch reported %d outliers", r.Outliers)
+	}
+	if r.AAE != 0 || r.ARE != 0 || r.MaxAbsErr != 0 {
+		t.Errorf("exact sketch has nonzero error: %+v", r)
+	}
+	if r.Keys != s.Distinct() {
+		t.Errorf("Keys=%d want %d", r.Keys, s.Distinct())
+	}
+}
+
+func TestEvaluateBiasedSketch(t *testing.T) {
+	s := testStream(t)
+	sk := newExact(10)
+	Feed(sk, s)
+	// Every key is off by exactly 10.
+	r := Evaluate(sk, s, 9)
+	if r.Outliers != s.Distinct() {
+		t.Errorf("lambda=9: outliers=%d want all %d", r.Outliers, s.Distinct())
+	}
+	r = Evaluate(sk, s, 10)
+	if r.Outliers != 0 {
+		t.Errorf("lambda=10: outliers=%d want 0", r.Outliers)
+	}
+	if r.AAE != 10 {
+		t.Errorf("AAE=%f want 10", r.AAE)
+	}
+	if r.MaxAbsErr != 10 {
+		t.Errorf("MaxAbsErr=%d want 10", r.MaxAbsErr)
+	}
+}
+
+func TestFrequentKeyOutliers(t *testing.T) {
+	s := testStream(t)
+	sk := newExact(5)
+	Feed(sk, s)
+	freq, out := FrequentKeyOutliers(sk, s, 4, 100)
+	// Count frequent keys independently.
+	want := 0
+	for _, f := range s.Truth() {
+		if f > 100 {
+			want++
+		}
+	}
+	if freq != want {
+		t.Errorf("frequent=%d want %d", freq, want)
+	}
+	if out != want {
+		t.Errorf("every frequent key is off by 5 > 4; outliers=%d want %d", out, want)
+	}
+	_, out = FrequentKeyOutliers(sk, s, 5, 100)
+	if out != 0 {
+		t.Errorf("lambda=5: outliers=%d want 0", out)
+	}
+}
+
+func TestErrorDistributionSorted(t *testing.T) {
+	s := testStream(t)
+	sk := newExact(0)
+	Feed(sk, s)
+	// Perturb: make one key very wrong by inserting extra.
+	sk.Insert(s.Items[0].Key, 1000)
+	errs := ErrorDistribution(sk, s)
+	if len(errs) != s.Distinct() {
+		t.Fatalf("len=%d want %d", len(errs), s.Distinct())
+	}
+	for i := 1; i < len(errs); i++ {
+		if errs[i] > errs[i-1] {
+			t.Fatalf("not descending at %d", i)
+		}
+	}
+	if errs[0] != 1000 {
+		t.Errorf("max error=%d want 1000", errs[0])
+	}
+}
+
+func TestWorstOutliers(t *testing.T) {
+	s := testStream(t)
+	// Trial 0 is exact, trial 1 is biased: worst must report the biased one.
+	worst := WorstOutliers(func(trial int) sketch.Sketch {
+		sk := newExact(uint64(trial) * 100)
+		return sk
+	}, s, 50, 2)
+	if worst != s.Distinct() {
+		t.Errorf("worst=%d want %d", worst, s.Distinct())
+	}
+}
+
+func TestSensedError(t *testing.T) {
+	s := testStream(t)
+	sk := newExact(7)
+	Feed(sk, s)
+	rep := SensedError(bounded{sk}, s)
+	if rep.Violations != 0 {
+		t.Errorf("violations=%d want 0 (bias ≤ reported MPE)", rep.Violations)
+	}
+	if rep.MeanSensed != 7 || rep.MeanActual != 7 {
+		t.Errorf("sensed=%.1f actual=%.1f want 7/7", rep.MeanSensed, rep.MeanActual)
+	}
+	// Under-reporting sketch: actual bias 7 but claims MPE 3.
+	lying := lyingBounded{newExact(7)}
+	Feed(lying.exact, s)
+	rep = SensedError(lying, s)
+	if rep.Violations != s.Distinct() {
+		t.Errorf("violations=%d want %d for under-reporting sketch", rep.Violations, s.Distinct())
+	}
+}
+
+// lyingBounded reports an MPE smaller than its actual bias.
+type lyingBounded struct{ *exact }
+
+func (l lyingBounded) QueryWithError(k uint64) (uint64, uint64) {
+	return l.exact.Query(k), l.exact.bias / 2
+}
+
+func TestMpps(t *testing.T) {
+	if got := Mpps(1_000_000, 1e9); got < 0.99 || got > 1.01 {
+		t.Errorf("Mpps(1M, 1s)=%f want 1", got)
+	}
+	if Mpps(100, 0) != 0 {
+		t.Error("Mpps with zero duration should be 0")
+	}
+}
+
+func TestQueryAll(t *testing.T) {
+	s := testStream(t)
+	sk := newExact(0)
+	Feed(sk, s)
+	_, n := QueryAll(sk, s)
+	if n != s.Distinct() {
+		t.Errorf("queried %d keys, want %d", n, s.Distinct())
+	}
+}

@@ -1,0 +1,149 @@
+package netsum
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+)
+
+// Agent is a measurement point's connection to the collector. It batches
+// updates locally (the data-plane pattern: cheap appends on the hot path,
+// one frame per flush) and supports synchronous global queries.
+//
+// Agent is not safe for concurrent use; run one per goroutine, as a
+// per-pipeline deployment would.
+type Agent struct {
+	id      uint64
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	pending []Update
+	// BatchSize is the flush threshold (default 512 updates).
+	BatchSize int
+}
+
+// Dial connects an agent to the collector and announces its identity.
+func Dial(addr string, agentID uint64) (*Agent, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsum: dial: %w", err)
+	}
+	a := &Agent{
+		id:        agentID,
+		conn:      conn,
+		br:        bufio.NewReaderSize(conn, 16<<10),
+		bw:        bufio.NewWriterSize(conn, 64<<10),
+		BatchSize: 512,
+	}
+	hello := appendUvarints(nil, agentID)
+	if err := writeFrame(a.bw, msgHello, hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := a.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+// Record buffers one update, flushing automatically at BatchSize.
+func (a *Agent) Record(key, value uint64) error {
+	a.pending = append(a.pending, Update{Key: key, Value: value})
+	if len(a.pending) >= a.BatchSize {
+		return a.Flush()
+	}
+	return nil
+}
+
+// Flush sends all buffered updates.
+func (a *Agent) Flush() error {
+	if len(a.pending) == 0 {
+		return nil
+	}
+	if err := writeFrame(a.bw, msgBatch, encodeBatch(a.pending)); err != nil {
+		return err
+	}
+	a.pending = a.pending[:0]
+	return a.bw.Flush()
+}
+
+// Query flushes pending updates and asks the collector for key's global
+// certified estimate.
+func (a *Agent) Query(key uint64) (est, mpe uint64, err error) {
+	if err := a.Flush(); err != nil {
+		return 0, 0, err
+	}
+	if err := writeFrame(a.bw, msgQuery, appendUvarints(nil, key)); err != nil {
+		return 0, 0, err
+	}
+	if err := a.bw.Flush(); err != nil {
+		return 0, 0, err
+	}
+	typ, payload, err := readFrame(a.br)
+	if err != nil {
+		return 0, 0, err
+	}
+	if typ != msgQueryResp {
+		return 0, 0, fmt.Errorf("netsum: expected query response, got type %d", typ)
+	}
+	u := &uvarintReader{buf: payload}
+	gotKey, err := u.next()
+	if err != nil {
+		return 0, 0, err
+	}
+	if gotKey != key {
+		return 0, 0, fmt.Errorf("netsum: response for key %d, asked %d", gotKey, key)
+	}
+	if est, err = u.next(); err != nil {
+		return 0, 0, err
+	}
+	if mpe, err = u.next(); err != nil {
+		return 0, 0, err
+	}
+	return est, mpe, nil
+}
+
+// Stats flushes and fetches collector-side statistics.
+func (a *Agent) Stats() (agents int, updates, queries uint64, err error) {
+	if err := a.Flush(); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := writeFrame(a.bw, msgStats, nil); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := a.bw.Flush(); err != nil {
+		return 0, 0, 0, err
+	}
+	typ, payload, err := readFrame(a.br)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if typ != msgStatsResp {
+		return 0, 0, 0, fmt.Errorf("netsum: expected stats response, got type %d", typ)
+	}
+	u := &uvarintReader{buf: payload}
+	ag, err := u.next()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	up, err := u.next()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	q, err := u.next()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return int(ag), up, q, nil
+}
+
+// Close flushes and closes the connection.
+func (a *Agent) Close() error {
+	flushErr := a.Flush()
+	closeErr := a.conn.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}

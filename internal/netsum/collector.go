@@ -1,0 +1,210 @@
+package netsum
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// CollectorConfig sizes the per-agent sketches the collector maintains.
+type CollectorConfig struct {
+	// Lambda is the per-agent error tolerance; a key measured at k agents
+	// carries a certified global error of at most k·Lambda.
+	Lambda uint64
+	// MemoryBytes is the per-agent sketch budget.
+	MemoryBytes int
+	// Seed drives sketch hashing.
+	Seed uint64
+	// Logf receives connection-level diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Collector terminates agent connections, maintains one ReliableSketch per
+// agent, and answers global queries with certified bounds.
+type Collector struct {
+	cfg CollectorConfig
+	ln  net.Listener
+
+	mu      sync.Mutex
+	agents  map[uint64]*core.Sketch
+	updates uint64
+	queries uint64
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewCollector starts a collector listening on addr (e.g. "127.0.0.1:0").
+func NewCollector(addr string, cfg CollectorConfig) (*Collector, error) {
+	if cfg.Lambda == 0 {
+		cfg.Lambda = 25
+	}
+	if cfg.MemoryBytes == 0 {
+		cfg.MemoryBytes = 1 << 20
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsum: listen: %w", err)
+	}
+	c := &Collector{
+		cfg:    cfg,
+		ln:     ln,
+		agents: make(map[uint64]*core.Sketch),
+		closed: make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the listener's address, for clients to dial.
+func (c *Collector) Addr() string { return c.ln.Addr().String() }
+
+// Close stops accepting and waits for connection handlers to drain.
+func (c *Collector) Close() error {
+	close(c.closed)
+	err := c.ln.Close()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Collector) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+func (c *Collector) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			select {
+			case <-c.closed:
+				return
+			default:
+				c.logf("netsum: accept: %v", err)
+				return
+			}
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			if err := c.handle(conn); err != nil && !errors.Is(err, io.EOF) {
+				c.logf("netsum: connection %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// sketchFor returns (creating on first contact) the agent's sketch.
+func (c *Collector) sketchFor(agentID uint64) *core.Sketch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sk, ok := c.agents[agentID]
+	if !ok {
+		sk = core.MustNew(core.Config{
+			Lambda:      c.cfg.Lambda,
+			MemoryBytes: c.cfg.MemoryBytes,
+			Seed:        c.cfg.Seed,
+			Emergency:   true, // unconditional bounds at the collector
+		})
+		c.agents[agentID] = sk
+	}
+	return sk
+}
+
+// handle runs one agent connection to completion.
+func (c *Collector) handle(conn net.Conn) error {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 16<<10)
+
+	var agent *core.Sketch
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case msgHello:
+			u := &uvarintReader{buf: payload}
+			id, err := u.next()
+			if err != nil {
+				return err
+			}
+			agent = c.sketchFor(id)
+
+		case msgBatch:
+			if agent == nil {
+				return errors.New("netsum: batch before hello")
+			}
+			ups, err := decodeBatch(payload)
+			if err != nil {
+				return err
+			}
+			c.mu.Lock()
+			for _, up := range ups {
+				agent.Insert(up.Key, up.Value)
+			}
+			c.updates += uint64(len(ups))
+			c.mu.Unlock()
+
+		case msgQuery:
+			u := &uvarintReader{buf: payload}
+			key, err := u.next()
+			if err != nil {
+				return err
+			}
+			est, mpe := c.QueryWithError(key)
+			resp := appendUvarints(nil, key, est, mpe)
+			if err := writeFrame(bw, msgQueryResp, resp); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+
+		case msgStats:
+			agents, updates, queries := c.Stats()
+			resp := appendUvarints(nil, uint64(agents), updates, queries)
+			if err := writeFrame(bw, msgStatsResp, resp); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+
+		default:
+			return fmt.Errorf("netsum: unknown message type %d", typ)
+		}
+	}
+}
+
+// QueryWithError answers a global query: the sum of all agents' certified
+// estimates, with their MPEs summed. The composed interval is certified:
+// global truth ∈ [est − mpe, est].
+func (c *Collector) QueryWithError(key uint64) (est, mpe uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.queries++
+	for _, sk := range c.agents {
+		e, m := sk.QueryWithError(key)
+		est += e
+		mpe += m
+	}
+	return est, mpe
+}
+
+// Stats reports the number of connected-or-seen agents and the totals of
+// updates ingested and queries served.
+func (c *Collector) Stats() (agents int, updates, queries uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.agents), c.updates, c.queries
+}

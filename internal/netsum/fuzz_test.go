@@ -1,0 +1,48 @@
+package netsum
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeBatch hardens the update decoder: arbitrary payloads must
+// yield an error or a well-formed batch, never a panic or a huge
+// allocation.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add(encodeBatch([]Update{{1, 2}, {3, 4}}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		ups, err := decodeBatch(payload)
+		if err != nil {
+			return
+		}
+		// Round-trip must be stable for well-formed batches.
+		again, err := decodeBatch(encodeBatch(ups))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(ups) {
+			t.Fatalf("round trip changed length: %d vs %d", len(again), len(ups))
+		}
+	})
+}
+
+// FuzzReadFrame hardens the framing layer.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	writeFrame(&buf, msgHello, []byte{42})
+	f.Add(buf.Bytes())
+	f.Add([]byte{msgBatch})
+	f.Add([]byte{0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := readFrame(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		if len(payload) > maxFrame {
+			t.Fatalf("oversized payload %d accepted (type %d)", len(payload), typ)
+		}
+	})
+}

@@ -1,0 +1,259 @@
+package netsum
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, msgBatch, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != msgBatch || !bytes.Equal(payload, []byte{1, 2, 3}) {
+		t.Fatalf("got (%d, %v)", typ, payload)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, msgBatch, make([]byte, maxFrame+1)); err == nil {
+		t.Error("writeFrame accepted oversized payload")
+	}
+	// Forged oversized header.
+	forged := append([]byte{msgBatch}, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, _, err := readFrame(bufio.NewReader(bytes.NewReader(forged))); err == nil {
+		t.Error("readFrame accepted forged oversized frame")
+	}
+}
+
+func TestBatchCodec(t *testing.T) {
+	ups := []Update{{1, 2}, {999999, 1}, {0, 7}}
+	got, err := decodeBatch(encodeBatch(ups))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ups) {
+		t.Fatalf("len=%d", len(got))
+	}
+	for i := range ups {
+		if got[i] != ups[i] {
+			t.Fatalf("update %d: %v vs %v", i, got[i], ups[i])
+		}
+	}
+	// Truncated payloads are rejected.
+	enc := encodeBatch(ups)
+	if _, err := decodeBatch(enc[:len(enc)-1]); err == nil {
+		t.Error("decodeBatch accepted truncation")
+	}
+}
+
+func newTestCollector(t *testing.T) *Collector {
+	t.Helper()
+	c, err := NewCollector("127.0.0.1:0", CollectorConfig{
+		Lambda: 25, MemoryBytes: 256 << 10, Seed: 1,
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestSingleAgentEndToEnd(t *testing.T) {
+	c := newTestCollector(t)
+	a, err := Dial(c.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for i := 0; i < 1000; i++ {
+		if err := a.Record(42, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, mpe, err := a.Query(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 1000 || est-mpe > 1000 {
+		t.Errorf("truth 1000 outside certified [%d, %d]", est-mpe, est)
+	}
+}
+
+func TestMultiAgentGlobalSums(t *testing.T) {
+	c := newTestCollector(t)
+	const agents = 4
+	const perAgent = 500
+	var wg sync.WaitGroup
+	for id := 1; id <= agents; id++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			a, err := Dial(c.Addr(), id)
+			if err != nil {
+				t.Errorf("agent %d: %v", id, err)
+				return
+			}
+			defer a.Close()
+			for i := 0; i < perAgent; i++ {
+				if err := a.Record(7, 1); err != nil {
+					t.Errorf("agent %d: %v", id, err)
+					return
+				}
+			}
+			// A synchronous round-trip guarantees the collector has
+			// processed every frame sent on this connection.
+			if _, _, _, err := a.Stats(); err != nil {
+				t.Errorf("agent %d sync: %v", id, err)
+			}
+		}(uint64(id))
+	}
+	wg.Wait()
+
+	est, mpe := c.QueryWithError(7)
+	const truth = agents * perAgent
+	if est < truth || est-mpe > truth {
+		t.Errorf("global truth %d outside certified [%d, %d]", truth, est-mpe, est)
+	}
+	nAgents, updates, _ := c.Stats()
+	if nAgents != agents {
+		t.Errorf("agents=%d want %d", nAgents, agents)
+	}
+	if updates != truth {
+		t.Errorf("updates=%d want %d", updates, truth)
+	}
+}
+
+func TestRealisticWorkloadCertifiedGlobally(t *testing.T) {
+	c := newTestCollector(t)
+	// Three vantage points each see a slice of the same traffic.
+	s := stream.IPTrace(60_000, 5)
+	const agents = 3
+	var wg sync.WaitGroup
+	for id := 0; id < agents; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			a, err := Dial(c.Addr(), uint64(id+1))
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer a.Close()
+			for i := id; i < len(s.Items); i += agents {
+				if err := a.Record(s.Items[i].Key, s.Items[i].Value); err != nil {
+					t.Errorf("record: %v", err)
+					return
+				}
+			}
+			if _, _, _, err := a.Stats(); err != nil {
+				t.Errorf("sync: %v", err)
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	violations := 0
+	checked := 0
+	for key, f := range s.Truth() {
+		est, mpe := c.QueryWithError(key)
+		if f > est || est-mpe > f {
+			violations++
+		}
+		checked++
+		if checked >= 2000 {
+			break
+		}
+	}
+	if violations > 0 {
+		t.Errorf("%d/%d keys outside the composed certified interval", violations, checked)
+	}
+}
+
+func TestQueryOverNetwork(t *testing.T) {
+	c := newTestCollector(t)
+	a, err := Dial(c.Addr(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.Record(5, 123)
+	est, mpe, err := a.Query(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 123 || est-mpe > 123 {
+		t.Errorf("certified interval [%d,%d] misses 123", est-mpe, est)
+	}
+	nAgents, updates, queries, err := a.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nAgents != 1 || updates != 1 || queries == 0 {
+		t.Errorf("stats = (%d,%d,%d)", nAgents, updates, queries)
+	}
+}
+
+func TestBatchBeforeHelloRejected(t *testing.T) {
+	c := newTestCollector(t)
+	conn, err := dialRaw(c.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	if err := writeFrame(bw, msgBatch, encodeBatch([]Update{{1, 1}})); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	// The collector must drop the connection; a subsequent read hits EOF.
+	one := make([]byte, 1)
+	if _, err := conn.Read(one); err == nil {
+		t.Error("collector kept a connection that violated the protocol")
+	}
+}
+
+func TestUnknownMessageDropsConnection(t *testing.T) {
+	c := newTestCollector(t)
+	conn, err := dialRaw(c.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	if err := writeFrame(bw, 0xEE, nil); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	one := make([]byte, 1)
+	if _, err := conn.Read(one); err == nil {
+		t.Error("collector accepted unknown message type")
+	}
+}
+
+func TestUvarintReaderErrors(t *testing.T) {
+	u := &uvarintReader{buf: nil}
+	if _, err := u.next(); err == nil {
+		t.Error("empty buffer should error")
+	}
+	u = &uvarintReader{buf: []byte{0x80}} // incomplete varint
+	if _, err := u.next(); err == nil {
+		t.Error("truncated varint should error")
+	}
+}
+
+// dialRaw opens a bare TCP connection for protocol-violation tests.
+func dialRaw(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}

@@ -1,0 +1,141 @@
+// Package netsum implements network-wide stream summary: measurement
+// agents (one per switch/vantage point, as in network-wide telemetry
+// systems built on sketches) maintain local ReliableSketches and stream
+// key-value updates to a collector over TCP; the collector answers global
+// queries with certified error bounds.
+//
+// Correctness note: per-agent certified intervals compose — the global sum
+// of a key equals the sum of per-agent sums, so summing estimates and MPEs
+// across agents preserves the guarantee: truth ∈ [Σest − Σmpe, Σest].
+//
+// The wire protocol is a minimal length-prefixed binary framing
+// (little-endian), in the spirit of the paper's switch/control-plane
+// split: the data plane streams compact updates, queries are rare.
+package netsum
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Message types.
+const (
+	// msgHello announces an agent: payload is agentID uvarint.
+	msgHello = byte(iota + 1)
+	// msgBatch carries updates: uvarint count, then count × (key, value)
+	// uvarint pairs.
+	msgBatch
+	// msgQuery asks for a key's global sum: payload is the key.
+	msgQuery
+	// msgQueryResp answers: key, estimate, MPE.
+	msgQueryResp
+	// msgStats asks for collector statistics.
+	msgStats
+	// msgStatsResp answers: agents, updates, queries.
+	msgStatsResp
+)
+
+// maxFrame bounds a frame's payload to keep malicious or corrupt peers
+// from forcing giant allocations.
+const maxFrame = 1 << 20
+
+// Update is one key-value increment.
+type Update struct {
+	Key   uint64
+	Value uint64
+}
+
+// writeFrame emits a type byte, a uvarint payload length, and the payload.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("netsum: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = typ
+	n := binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:1+n]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame. It returns io.EOF cleanly on connection end.
+func readFrame(r interface {
+	io.Reader
+	io.ByteReader
+}) (typ byte, payload []byte, err error) {
+	typ, err = r.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	size, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, nil, fmt.Errorf("netsum: frame length: %w", err)
+	}
+	if size > maxFrame {
+		return 0, nil, fmt.Errorf("netsum: frame of %d bytes exceeds limit", size)
+	}
+	payload = make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("netsum: frame payload: %w", err)
+	}
+	return typ, payload, nil
+}
+
+// appendUvarints appends values in uvarint encoding.
+func appendUvarints(dst []byte, vs ...uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	for _, v := range vs {
+		n := binary.PutUvarint(buf[:], v)
+		dst = append(dst, buf[:n]...)
+	}
+	return dst
+}
+
+// uvarintReader walks a payload of packed uvarints.
+type uvarintReader struct {
+	buf []byte
+	off int
+}
+
+func (u *uvarintReader) next() (uint64, error) {
+	v, n := binary.Uvarint(u.buf[u.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("netsum: truncated uvarint at offset %d", u.off)
+	}
+	u.off += n
+	return v, nil
+}
+
+// encodeBatch packs updates into a msgBatch payload.
+func encodeBatch(ups []Update) []byte {
+	payload := appendUvarints(nil, uint64(len(ups)))
+	for _, u := range ups {
+		payload = appendUvarints(payload, u.Key, u.Value)
+	}
+	return payload
+}
+
+// decodeBatch unpacks a msgBatch payload.
+func decodeBatch(payload []byte) ([]Update, error) {
+	u := &uvarintReader{buf: payload}
+	count, err := u.next()
+	if err != nil {
+		return nil, err
+	}
+	if count > maxFrame/2 {
+		return nil, fmt.Errorf("netsum: implausible batch count %d", count)
+	}
+	ups := make([]Update, count)
+	for i := range ups {
+		if ups[i].Key, err = u.next(); err != nil {
+			return nil, err
+		}
+		if ups[i].Value, err = u.next(); err != nil {
+			return nil, err
+		}
+	}
+	return ups, nil
+}

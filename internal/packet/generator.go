@@ -1,0 +1,68 @@
+package packet
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/stream"
+)
+
+// Generator synthesizes packet traces: a population of flows with Zipf
+// packet counts, emitted as interleaved frames — the front-end counterpart
+// of stream.IPTrace that produces actual parseable bytes instead of
+// abstract keys.
+type Generator struct {
+	tuples []FiveTuple
+	rnd    *rand.Rand
+}
+
+// NewGenerator creates a population of `flows` random 5-tuples.
+func NewGenerator(flows int, seed uint64) *Generator {
+	rnd := rand.New(rand.NewPCG(seed, seed^0x9ac4e7))
+	tuples := make([]FiveTuple, flows)
+	for i := range tuples {
+		proto := uint8(ProtoTCP)
+		if rnd.IntN(4) == 0 {
+			proto = ProtoUDP
+		}
+		tuples[i] = FiveTuple{
+			SrcIP:    rnd.Uint32(),
+			DstIP:    rnd.Uint32(),
+			SrcPort:  uint16(rnd.IntN(65535) + 1),
+			DstPort:  uint16([]int{80, 443, 53, 8080, rnd.IntN(65535) + 1}[rnd.IntN(5)]),
+			Protocol: proto,
+		}
+	}
+	return &Generator{tuples: tuples, rnd: rnd}
+}
+
+// Tuples exposes the flow population (for ground-truth accounting).
+func (g *Generator) Tuples() []FiveTuple { return g.tuples }
+
+// Frames synthesizes n frames whose flow choice follows a Zipf law with
+// the given skew over the population, with bimodal payload sizes. It
+// returns the raw frames; callers Parse them back, as a capture path would.
+func (g *Generator) Frames(n int, skew float64) ([][]byte, error) {
+	freqs := stream.ZipfFrequencies(n, len(g.tuples), skew)
+	frames := make([][]byte, 0, n)
+	for rank, count := range freqs {
+		t := g.tuples[rank]
+		for i := 0; i < count; i++ {
+			payload := 0
+			switch g.rnd.IntN(10) {
+			case 0, 1, 2, 3, 4:
+				payload = 0 // ACK-sized
+			case 5, 6, 7, 8:
+				payload = 1400 // MTU-ish
+			default:
+				payload = g.rnd.IntN(1400)
+			}
+			f, err := Build(t, payload)
+			if err != nil {
+				return nil, err
+			}
+			frames = append(frames, f)
+		}
+	}
+	g.rnd.Shuffle(len(frames), func(i, j int) { frames[i], frames[j] = frames[j], frames[i] })
+	return frames, nil
+}

@@ -1,0 +1,194 @@
+// Package packet synthesizes and parses the minimal Ethernet/IPv4/TCP/UDP
+// headers a deployed flow monitor sees, so examples and tests can exercise
+// the full measurement front-end: raw frame → parsed 5-tuple → flow key →
+// sketch. The paper's switch and FPGA implementations key flows by header
+// fields; this package is the software stand-in for that parser.
+//
+// Only the fields the measurement path needs are modeled; options,
+// fragmentation, and checksum verification are out of scope (headers are
+// synthesized with valid checksums, and the parser checks structure, not
+// integrity).
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/hash"
+)
+
+// Protocol numbers used by the flow key.
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// FiveTuple identifies a transport flow.
+type FiveTuple struct {
+	SrcIP    uint32
+	DstIP    uint32
+	SrcPort  uint16
+	DstPort  uint16
+	Protocol uint8
+}
+
+// Key folds the 5-tuple into the 64-bit flow key the sketches consume.
+// The fold is a strong hash, matching how data planes derive flow IDs.
+func (t FiveTuple) Key() uint64 {
+	var buf [13]byte
+	binary.BigEndian.PutUint32(buf[0:4], t.SrcIP)
+	binary.BigEndian.PutUint32(buf[4:8], t.DstIP)
+	binary.BigEndian.PutUint16(buf[8:10], t.SrcPort)
+	binary.BigEndian.PutUint16(buf[10:12], t.DstPort)
+	buf[12] = t.Protocol
+	lo := hash.Murmur32(buf[:], 0x5eed)
+	hi := hash.Murmur32(buf[:], 0xf10e)
+	return uint64(hi)<<32 | uint64(lo)
+}
+
+// String renders the tuple in the conventional a.b.c.d:p → a.b.c.d:p form.
+func (t FiveTuple) String() string {
+	proto := "tcp"
+	if t.Protocol == ProtoUDP {
+		proto = "udp"
+	}
+	return fmt.Sprintf("%s %s:%d>%s:%d", proto,
+		ipString(t.SrcIP), t.SrcPort, ipString(t.DstIP), t.DstPort)
+}
+
+func ipString(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Header sizes.
+const (
+	ethHeaderLen  = 14
+	ipv4HeaderLen = 20
+	tcpHeaderLen  = 20
+	udpHeaderLen  = 8
+)
+
+// Packet is a parsed frame: the flow tuple plus the sizes the measurement
+// path records.
+type Packet struct {
+	Tuple FiveTuple
+	// WireBytes is the full frame length — the value a byte-counting
+	// deployment adds per packet.
+	WireBytes int
+	// PayloadBytes is the transport payload length.
+	PayloadBytes int
+}
+
+// Build synthesizes a valid Ethernet+IPv4+TCP/UDP frame for the tuple with
+// payloadLen payload bytes (zeros). The IPv4 checksum is correct; TCP/UDP
+// checksums are zeroed (legal for synthetic captures, and ignored by
+// measurement paths).
+func Build(t FiveTuple, payloadLen int) ([]byte, error) {
+	if payloadLen < 0 || payloadLen > 65000 {
+		return nil, fmt.Errorf("packet: implausible payload length %d", payloadLen)
+	}
+	var transportLen int
+	switch t.Protocol {
+	case ProtoTCP:
+		transportLen = tcpHeaderLen
+	case ProtoUDP:
+		transportLen = udpHeaderLen
+	default:
+		return nil, fmt.Errorf("packet: unsupported protocol %d", t.Protocol)
+	}
+	ipLen := ipv4HeaderLen + transportLen + payloadLen
+	frame := make([]byte, ethHeaderLen+ipLen)
+
+	// Ethernet: synthetic MACs, EtherType IPv4.
+	copy(frame[0:6], []byte{0x02, 0, 0, 0, 0, 2})
+	copy(frame[6:12], []byte{0x02, 0, 0, 0, 0, 1})
+	binary.BigEndian.PutUint16(frame[12:14], 0x0800)
+
+	// IPv4 header.
+	ip := frame[ethHeaderLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:4], uint16(ipLen))
+	ip[8] = 64 // TTL
+	ip[9] = t.Protocol
+	binary.BigEndian.PutUint32(ip[12:16], t.SrcIP)
+	binary.BigEndian.PutUint32(ip[16:20], t.DstIP)
+	binary.BigEndian.PutUint16(ip[10:12], ipv4Checksum(ip[:ipv4HeaderLen]))
+
+	// Transport header.
+	tp := ip[ipv4HeaderLen:]
+	binary.BigEndian.PutUint16(tp[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(tp[2:4], t.DstPort)
+	if t.Protocol == ProtoTCP {
+		tp[12] = 5 << 4 // data offset: 5 words
+	} else {
+		binary.BigEndian.PutUint16(tp[4:6], uint16(udpHeaderLen+payloadLen))
+	}
+	return frame, nil
+}
+
+// Parse extracts the flow tuple and sizes from a frame built by Build (or
+// any well-formed Ethernet+IPv4+TCP/UDP frame without IP options).
+func Parse(frame []byte) (Packet, error) {
+	if len(frame) < ethHeaderLen+ipv4HeaderLen {
+		return Packet{}, fmt.Errorf("packet: frame of %d bytes too short", len(frame))
+	}
+	if et := binary.BigEndian.Uint16(frame[12:14]); et != 0x0800 {
+		return Packet{}, fmt.Errorf("packet: ethertype %#04x is not IPv4", et)
+	}
+	ip := frame[ethHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return Packet{}, fmt.Errorf("packet: IP version %d", ip[0]>>4)
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < ipv4HeaderLen || len(ip) < ihl {
+		return Packet{}, fmt.Errorf("packet: bad IHL %d", ihl)
+	}
+	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
+	if totalLen > len(ip) || totalLen < ihl {
+		return Packet{}, fmt.Errorf("packet: IP total length %d out of range", totalLen)
+	}
+	var p Packet
+	p.Tuple.Protocol = ip[9]
+	p.Tuple.SrcIP = binary.BigEndian.Uint32(ip[12:16])
+	p.Tuple.DstIP = binary.BigEndian.Uint32(ip[16:20])
+	tp := ip[ihl:totalLen]
+	var transportLen int
+	switch p.Tuple.Protocol {
+	case ProtoTCP:
+		if len(tp) < tcpHeaderLen {
+			return Packet{}, fmt.Errorf("packet: truncated TCP header (%d bytes)", len(tp))
+		}
+		transportLen = int(tp[12]>>4) * 4
+		if transportLen < tcpHeaderLen || transportLen > len(tp) {
+			return Packet{}, fmt.Errorf("packet: bad TCP data offset %d", transportLen)
+		}
+	case ProtoUDP:
+		if len(tp) < udpHeaderLen {
+			return Packet{}, fmt.Errorf("packet: truncated UDP header (%d bytes)", len(tp))
+		}
+		transportLen = udpHeaderLen
+	default:
+		return Packet{}, fmt.Errorf("packet: unsupported protocol %d", p.Tuple.Protocol)
+	}
+	p.Tuple.SrcPort = binary.BigEndian.Uint16(tp[0:2])
+	p.Tuple.DstPort = binary.BigEndian.Uint16(tp[2:4])
+	p.WireBytes = ethHeaderLen + totalLen
+	p.PayloadBytes = totalLen - ihl - transportLen
+	return p, nil
+}
+
+// ipv4Checksum computes the standard Internet checksum over the header
+// (with its checksum field zeroed).
+func ipv4Checksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

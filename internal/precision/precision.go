@@ -1,0 +1,139 @@
+// Package precision implements PRECISION (Ben-Basat, Chen, Einziger,
+// Rottenstreich, ICNP 2018), the probabilistic-recirculation heavy-hitter
+// algorithm evaluated in Figure 7. A missed key claims the smallest of its
+// d mapped slots with probability ≈ value/(min+value) — emulating the
+// switch's recirculation of a small sample of packets — so heavy keys
+// eventually install themselves while mice rarely recirculate. The paper
+// uses d = 3 stages.
+package precision
+
+import (
+	"repro/internal/sketch"
+
+	"math/rand/v2"
+
+	"repro/internal/hash"
+)
+
+// slotBytes accounts one slot: 32-bit key + 32-bit count.
+const slotBytes = 8
+
+type slot struct {
+	key      uint64
+	count    uint64
+	occupied bool
+}
+
+// Sketch is a PRECISION instance with d stages.
+type Sketch struct {
+	stages [][]slot
+	width  int
+	hashes *hash.Family
+	rnd    *rand.Rand
+	name   string
+	// recirculations counts simulated packet recirculations, the quantity
+	// that costs bandwidth on a real switch.
+	recirculations uint64
+}
+
+// New builds a PRECISION sketch with d stages of width slots.
+func New(d, width int, seed uint64) *Sketch {
+	if d < 1 || width < 1 {
+		panic("precision: invalid geometry")
+	}
+	s := &Sketch{
+		stages: make([][]slot, d),
+		width:  width,
+		hashes: hash.NewFamily(seed, d),
+		rnd:    rand.New(rand.NewPCG(seed, seed^0x9ec15104)),
+		name:   "PRECISION",
+	}
+	for i := range s.stages {
+		s.stages[i] = make([]slot, width)
+	}
+	return s
+}
+
+// NewBytes builds the paper's d=3 configuration sized to memBytes.
+func NewBytes(memBytes int, seed uint64) *Sketch {
+	w := memBytes / (3 * slotBytes)
+	if w < 1 {
+		w = 1
+	}
+	return New(3, w, seed)
+}
+
+// Insert adds value to key: a matched or empty slot absorbs it; otherwise
+// the key claims the minimum mapped slot with probability value/(min+value).
+func (s *Sketch) Insert(key, value uint64) {
+	var minStage, minIdx int
+	var minCount uint64
+	first := true
+	for i := range s.stages {
+		j := s.hashes.Bucket(i, key, s.width)
+		st := &s.stages[i][j]
+		if st.occupied && st.key == key {
+			st.count += value
+			return
+		}
+		if !st.occupied {
+			*st = slot{key: key, count: value, occupied: true}
+			return
+		}
+		if first || st.count < minCount {
+			minStage, minIdx, minCount = i, j, st.count
+			first = false
+		}
+	}
+	// Complete miss: probabilistic recirculation against the smallest slot.
+	if s.rnd.Float64() < float64(value)/float64(minCount+value) {
+		s.recirculations++
+		st := &s.stages[minStage][minIdx]
+		*st = slot{key: key, count: minCount + value, occupied: true}
+	}
+	// Otherwise the packet is forwarded uncounted (PRECISION undercounts
+	// unsampled traffic).
+}
+
+// Query returns the count of the slot holding key, or 0 when untracked.
+func (s *Sketch) Query(key uint64) uint64 {
+	for i := range s.stages {
+		j := s.hashes.Bucket(i, key, s.width)
+		st := &s.stages[i][j]
+		if st.occupied && st.key == key {
+			return st.count
+		}
+	}
+	return 0
+}
+
+// Recirculations reports how many inserts triggered a simulated
+// recirculation.
+func (s *Sketch) Recirculations() uint64 { return s.recirculations }
+
+// Tracked returns all resident entries.
+func (s *Sketch) Tracked() []sketch.KV {
+	var out []sketch.KV
+	for i := range s.stages {
+		for j := range s.stages[i] {
+			if st := s.stages[i][j]; st.occupied {
+				out = append(out, sketch.KV{Key: st.key, Est: st.count})
+			}
+		}
+	}
+	return out
+}
+
+// MemoryBytes reports d × w × 8 bytes.
+func (s *Sketch) MemoryBytes() int { return len(s.stages) * s.width * slotBytes }
+
+// Name identifies the algorithm.
+func (s *Sketch) Name() string { return s.name }
+
+// Reset clears all stages.
+func (s *Sketch) Reset() {
+	for i := range s.stages {
+		clear(s.stages[i])
+	}
+	s.recirculations = 0
+}

@@ -1,0 +1,121 @@
+package precision
+
+import (
+	"testing"
+
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+var (
+	_ sketch.Sketch              = (*Sketch)(nil)
+	_ sketch.HeavyHitterReporter = (*Sketch)(nil)
+)
+
+func TestSingleKeyExact(t *testing.T) {
+	s := New(3, 1024, 1)
+	for i := 0; i < 100; i++ {
+		s.Insert(3, 1)
+	}
+	if got := s.Query(3); got != 100 {
+		t.Errorf("Query(3)=%d want 100", got)
+	}
+}
+
+func TestEmptySlotsAdmitImmediately(t *testing.T) {
+	s := New(3, 8, 2)
+	s.Insert(1, 5)
+	if got := s.Query(1); got != 5 {
+		t.Errorf("Query(1)=%d want 5", got)
+	}
+	if s.Recirculations() != 0 {
+		t.Error("admission into empty slot should not recirculate")
+	}
+}
+
+func TestHeavyKeyEventuallyInstalls(t *testing.T) {
+	// One slot per stage; a persistent heavy key must eventually claim a
+	// slot via probabilistic recirculation.
+	s := New(1, 1, 3)
+	s.Insert(1, 50) // resident
+	installed := false
+	for i := 0; i < 10_000; i++ {
+		s.Insert(2, 1)
+		if s.Query(2) > 0 {
+			installed = true
+			break
+		}
+	}
+	if !installed {
+		t.Error("heavy repeating key never installed (recirculation broken)")
+	}
+	if s.Recirculations() == 0 {
+		t.Error("no recirculations recorded")
+	}
+}
+
+func TestMiceRarelyRecirculate(t *testing.T) {
+	// A full sketch bombarded by one-off mice keys should recirculate only
+	// a small fraction of them: P ≈ 1/(min+1) with large resident counts.
+	s := New(3, 4, 4)
+	// Install heavy residents.
+	for k := uint64(0); k < 12; k++ {
+		for i := 0; i < 500; i++ {
+			s.Insert(k, 1)
+		}
+	}
+	before := s.Recirculations()
+	const mice = 10_000
+	for k := uint64(1000); k < 1000+mice; k++ {
+		s.Insert(k, 1)
+	}
+	frac := float64(s.Recirculations()-before) / mice
+	if frac > 0.15 {
+		t.Errorf("mice recirculation rate %.3f too high", frac)
+	}
+}
+
+func TestHeavyHitterRecall(t *testing.T) {
+	s := stream.Zipf(100_000, 10_000, 1.5, 6)
+	sk := NewBytes(128<<10, 6)
+	for _, it := range s.Items {
+		sk.Insert(it.Key, it.Value)
+	}
+	misses := 0
+	heavies := 0
+	for k, f := range s.Truth() {
+		if f < 2000 {
+			continue
+		}
+		heavies++
+		if sk.Query(k) < f/2 {
+			misses++
+		}
+	}
+	if heavies > 0 && misses > heavies/5 {
+		t.Errorf("%d/%d heavy keys badly undercounted", misses, heavies)
+	}
+}
+
+func TestMemoryAndReset(t *testing.T) {
+	sk := NewBytes(1<<16, 1)
+	if sk.MemoryBytes() > 1<<16 {
+		t.Errorf("memory %d over budget", sk.MemoryBytes())
+	}
+	sk.Insert(1, 5)
+	sk.Reset()
+	if sk.Query(1) != 0 || sk.Recirculations() != 0 {
+		t.Error("Reset did not clear")
+	}
+	if sk.Name() != "PRECISION" {
+		t.Errorf("Name=%q", sk.Name())
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	sk := NewBytes(1<<20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Insert(uint64(i&0xffff), 1)
+	}
+}

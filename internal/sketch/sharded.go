@@ -1,0 +1,72 @@
+package sketch
+
+import (
+	"sync"
+
+	"repro/internal/hash"
+)
+
+// Sharded partitions the key space across n independent sub-sketches so
+// multiple goroutines can insert concurrently without locking the hot path.
+// Each key is owned by exactly one shard (chosen by hash), so per-key
+// estimates are exact with respect to the underlying sketch semantics; only
+// the memory is split n ways.
+//
+// This mirrors how multi-pipe hardware (and the paper's multi-core CPU
+// throughput runs) deploys sketches: one instance per pipeline, keys
+// partitioned by RSS-style hashing.
+type Sharded struct {
+	shards []Sketch
+	mus    []sync.Mutex
+	seed   uint64
+	name   string
+}
+
+// NewSharded builds n shards using factory, each with memBytes/n of memory.
+func NewSharded(f Factory, memBytes, n int, seed uint64) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	s := &Sharded{
+		shards: make([]Sketch, n),
+		mus:    make([]sync.Mutex, n),
+		seed:   seed,
+		name:   f.Name + "_sharded",
+	}
+	for i := range s.shards {
+		s.shards[i] = f.New(memBytes / n)
+	}
+	return s
+}
+
+func (s *Sharded) shard(key uint64) int {
+	return hash.Bucket(key, s.seed, len(s.shards))
+}
+
+// Insert routes key to its owning shard. Safe for concurrent use.
+func (s *Sharded) Insert(key, value uint64) {
+	i := s.shard(key)
+	s.mus[i].Lock()
+	s.shards[i].Insert(key, value)
+	s.mus[i].Unlock()
+}
+
+// Query reads from the owning shard. Safe for concurrent use.
+func (s *Sharded) Query(key uint64) uint64 {
+	i := s.shard(key)
+	s.mus[i].Lock()
+	defer s.mus[i].Unlock()
+	return s.shards[i].Query(key)
+}
+
+// MemoryBytes sums the shards' accounted memory.
+func (s *Sharded) MemoryBytes() int {
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.MemoryBytes()
+	}
+	return total
+}
+
+// Name identifies the sharded variant.
+func (s *Sharded) Name() string { return s.name }

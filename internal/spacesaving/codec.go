@@ -1,0 +1,37 @@
+package spacesaving
+
+// Entry is a serializable monitored counter: the key, its estimate, and
+// the certified adoption error. Used by snapshot persistence (core's
+// emergency layer) and by tests inspecting internal state.
+type Entry struct {
+	Key   uint64
+	Count uint64
+	Err   uint64
+}
+
+// Entries returns the full monitored state, including certified errors
+// (unlike Tracked, which reports only estimates).
+func (s *Sketch) Entries() []Entry {
+	out := make([]Entry, len(s.heap))
+	for i, e := range s.heap {
+		out[i] = Entry{Key: e.key, Count: e.count, Err: e.err}
+	}
+	return out
+}
+
+// RestoreEntry reinstalls a serialized entry, preserving its certified
+// error. The caller must not restore more entries than the sketch's
+// capacity or duplicate keys; violations are reported by the boolean.
+func (s *Sketch) RestoreEntry(e Entry) bool {
+	if len(s.heap) >= s.cap {
+		return false
+	}
+	if _, dup := s.pos[e.Key]; dup {
+		return false
+	}
+	s.heap = append(s.heap, entry{key: e.Key, count: e.Count, err: e.Err})
+	i := len(s.heap) - 1
+	s.pos[e.Key] = i
+	s.siftUp(i)
+	return true
+}

@@ -1,0 +1,172 @@
+// Package spacesaving implements the Space-Saving algorithm (Metwally et
+// al., ICDT 2005), the strongest heap-based competitor in the paper's
+// evaluation and the structure ReliableSketch uses as its emergency
+// (d+1)-th layer (paper §3.3, Theorem 4).
+//
+// Space-Saving maintains m counters. A tracked key's counter is an
+// overestimate of its true sum with error at most the value the counter had
+// when the key was adopted; an untracked key's sum is at most the minimum
+// counter. Both bounds are certified, which is why the paper classifies it
+// as achieving optimal (100%) overall confidence — at the cost of a
+// non-parallelizable O(log(N/Λ)) heap on every insertion, the weakness
+// ReliableSketch attacks.
+package spacesaving
+
+import "repro/internal/sketch"
+
+// entry is one monitored counter.
+type entry struct {
+	key   uint64
+	count uint64
+	err   uint64 // counter value when the key was adopted (its max error)
+}
+
+// Sketch is a Space-Saving summary with a fixed number of counters.
+// The min-heap over counts makes Insert O(log m) in the worst case.
+type Sketch struct {
+	heap []entry        // min-heap ordered by count
+	pos  map[uint64]int // key -> heap index
+	cap  int
+	name string
+}
+
+// EntryBytes is the per-counter memory accounting: a 32-bit key fingerprint,
+// a 32-bit counter, a 32-bit adoption error, and a 32-bit heap/link slot, as
+// a pointer-based C++ stream-summary implementation would spend.
+const EntryBytes = 16
+
+// New builds a Space-Saving sketch with the given number of counters.
+func New(counters int) *Sketch {
+	if counters < 1 {
+		counters = 1
+	}
+	return &Sketch{
+		heap: make([]entry, 0, counters),
+		pos:  make(map[uint64]int, counters),
+		cap:  counters,
+		name: "SS",
+	}
+}
+
+// NewBytes builds a sketch fitting the given memory budget under the
+// EntryBytes accounting model.
+func NewBytes(memBytes int) *Sketch {
+	return New(memBytes / EntryBytes)
+}
+
+// Counters returns the configured capacity.
+func (s *Sketch) Counters() int { return s.cap }
+
+// Insert adds value to key's counter, adopting the key by evicting the
+// minimum counter if it is not yet tracked and the structure is full.
+func (s *Sketch) Insert(key, value uint64) {
+	if i, ok := s.pos[key]; ok {
+		s.heap[i].count += value
+		s.siftDown(i)
+		return
+	}
+	if len(s.heap) < s.cap {
+		s.heap = append(s.heap, entry{key: key, count: value})
+		i := len(s.heap) - 1
+		s.pos[key] = i
+		s.siftUp(i)
+		return
+	}
+	// Evict the minimum: the newcomer inherits its count as certified error.
+	min := &s.heap[0]
+	delete(s.pos, min.key)
+	adopted := min.count
+	*min = entry{key: key, count: adopted + value, err: adopted}
+	s.pos[key] = 0
+	s.siftDown(0)
+}
+
+// Query returns the estimate for key: its counter if tracked, else the
+// minimum counter (a certified upper bound on any untracked key's sum).
+func (s *Sketch) Query(key uint64) uint64 {
+	if i, ok := s.pos[key]; ok {
+		return s.heap[i].count
+	}
+	if len(s.heap) < s.cap || len(s.heap) == 0 {
+		// Not full: every key ever seen is tracked, so an untracked key has
+		// true sum 0.
+		return 0
+	}
+	return s.heap[0].count
+}
+
+// QueryWithError returns the estimate and its certified maximum error,
+// making Space-Saving usable as ReliableSketch's emergency layer.
+func (s *Sketch) QueryWithError(key uint64) (est, mpe uint64) {
+	if i, ok := s.pos[key]; ok {
+		return s.heap[i].count, s.heap[i].err
+	}
+	if len(s.heap) < s.cap || len(s.heap) == 0 {
+		return 0, 0
+	}
+	m := s.heap[0].count
+	return m, m
+}
+
+// Tracked returns all monitored keys and their counters.
+func (s *Sketch) Tracked() []sketch.KV {
+	out := make([]sketch.KV, len(s.heap))
+	for i, e := range s.heap {
+		out[i] = sketch.KV{Key: e.key, Est: e.count}
+	}
+	return out
+}
+
+// MemoryBytes reports capacity × EntryBytes: Space-Saving's footprint is its
+// configured capacity regardless of fill level.
+func (s *Sketch) MemoryBytes() int { return s.cap * EntryBytes }
+
+// Name identifies the algorithm.
+func (s *Sketch) Name() string { return s.name }
+
+// Reset clears all counters in place.
+func (s *Sketch) Reset() {
+	s.heap = s.heap[:0]
+	clear(s.pos)
+}
+
+// heap maintenance: classic binary min-heap on count with position map
+// updates.
+
+func (s *Sketch) less(i, j int) bool { return s.heap[i].count < s.heap[j].count }
+
+func (s *Sketch) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.pos[s.heap[i].key] = i
+	s.pos[s.heap[j].key] = j
+}
+
+func (s *Sketch) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			return
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Sketch) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		s.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,196 @@
+package spacesaving
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stream"
+)
+
+func TestTrackedExactWhenNotFull(t *testing.T) {
+	s := New(10)
+	s.Insert(1, 5)
+	s.Insert(2, 3)
+	s.Insert(1, 2)
+	if got := s.Query(1); got != 7 {
+		t.Errorf("Query(1) = %d, want 7", got)
+	}
+	if got := s.Query(2); got != 3 {
+		t.Errorf("Query(2) = %d, want 3", got)
+	}
+	if got := s.Query(99); got != 0 {
+		t.Errorf("Query(untracked, not full) = %d, want 0", got)
+	}
+}
+
+func TestEvictionInheritsMinCount(t *testing.T) {
+	s := New(2)
+	s.Insert(1, 10)
+	s.Insert(2, 4)
+	s.Insert(3, 1) // evicts key 2 (min=4): count = 5, err = 4
+	if got := s.Query(3); got != 5 {
+		t.Errorf("Query(3) = %d, want 5", got)
+	}
+	est, mpe := s.QueryWithError(3)
+	if est != 5 || mpe != 4 {
+		t.Errorf("QueryWithError(3) = (%d,%d), want (5,4)", est, mpe)
+	}
+	// Evicted key's estimate is now the min counter.
+	if got := s.Query(2); got != 5 {
+		t.Errorf("Query(evicted) = %d, want min counter 5", got)
+	}
+}
+
+// TestOverestimateInvariant: Space-Saving never underestimates any key.
+func TestOverestimateInvariant(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 30; trial++ {
+		s := New(8)
+		truth := map[uint64]uint64{}
+		for i := 0; i < 500; i++ {
+			k := uint64(r.IntN(40))
+			v := uint64(r.IntN(5)) + 1
+			s.Insert(k, v)
+			truth[k] += v
+		}
+		for k, f := range truth {
+			if est := s.Query(k); est < f {
+				t.Fatalf("trial %d: key %d underestimated: %d < %d", trial, k, est, f)
+			}
+		}
+	}
+}
+
+// TestCertifiedErrorInvariant: est − mpe ≤ f(e) ≤ est for tracked keys, and
+// f(e) ≤ est for all keys.
+func TestCertifiedErrorInvariant(t *testing.T) {
+	err := quick.Check(func(ops []uint16, seed uint64) bool {
+		s := New(6)
+		truth := map[uint64]uint64{}
+		for _, o := range ops {
+			k := uint64(o % 30)
+			v := uint64(o%4) + 1
+			s.Insert(k, v)
+			truth[k] += v
+		}
+		for k, f := range truth {
+			est, mpe := s.QueryWithError(k)
+			if est < f {
+				return false
+			}
+			if est-mpe > f {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestErrorBoundNOverM: the classic guarantee that every error is at most
+// N/m where N is the total stream value and m the counter capacity.
+func TestErrorBoundNOverM(t *testing.T) {
+	s := stream.Zipf(50000, 5000, 1.0, 3)
+	const m = 1000
+	sk := New(m)
+	var total uint64
+	for _, it := range s.Items {
+		sk.Insert(it.Key, it.Value)
+		total += it.Value
+	}
+	bound := total / m
+	for k, f := range s.Truth() {
+		est := sk.Query(k)
+		if est < f {
+			t.Fatalf("underestimate for key %d", k)
+		}
+		if est-f > bound {
+			t.Fatalf("key %d: error %d exceeds N/m = %d", k, est-f, bound)
+		}
+	}
+}
+
+// TestHeapInvariant: the internal heap stays a min-heap and pos stays
+// consistent across random operations.
+func TestHeapInvariant(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 6))
+	s := New(32)
+	for i := 0; i < 5000; i++ {
+		s.Insert(uint64(r.IntN(200)), uint64(r.IntN(10))+1)
+	}
+	for i := 1; i < len(s.heap); i++ {
+		parent := (i - 1) / 2
+		if s.heap[i].count < s.heap[parent].count {
+			t.Fatalf("heap violated at %d", i)
+		}
+	}
+	for k, i := range s.pos {
+		if s.heap[i].key != k {
+			t.Fatalf("pos map inconsistent for key %d", k)
+		}
+	}
+	if len(s.pos) != len(s.heap) {
+		t.Fatalf("pos size %d != heap size %d", len(s.pos), len(s.heap))
+	}
+}
+
+func TestTopKRecall(t *testing.T) {
+	// On a skewed stream, the heaviest keys must all be tracked.
+	s := stream.Zipf(100000, 10000, 1.5, 7)
+	sk := NewBytes(64 * 1024)
+	for _, it := range s.Items {
+		sk.Insert(it.Key, it.Value)
+	}
+	tracked := map[uint64]bool{}
+	for _, kv := range sk.Tracked() {
+		tracked[kv.Key] = true
+	}
+	misses := 0
+	for k, f := range s.Truth() {
+		if f > 1000 && !tracked[k] {
+			misses++
+		}
+	}
+	if misses != 0 {
+		t.Errorf("%d keys with f>1000 not tracked", misses)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(4)
+	s.Insert(1, 1)
+	s.Insert(2, 2)
+	s.Reset()
+	if len(s.heap) != 0 || len(s.pos) != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	if s.Query(1) != 0 {
+		t.Fatal("Query after Reset should be 0")
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	s := NewBytes(1600)
+	if s.Counters() != 1600/EntryBytes {
+		t.Errorf("Counters = %d, want %d", s.Counters(), 1600/EntryBytes)
+	}
+	if s.MemoryBytes() != s.Counters()*EntryBytes {
+		t.Errorf("MemoryBytes = %d", s.MemoryBytes())
+	}
+	if New(0).Counters() != 1 {
+		t.Error("zero-counter sketch should clamp to 1")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s := stream.Zipf(1_000_000, 100_000, 1.1, 1)
+	sk := NewBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := s.Items[i%len(s.Items)]
+		sk.Insert(it.Key, it.Value)
+	}
+}

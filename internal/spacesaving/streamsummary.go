@@ -1,0 +1,187 @@
+package spacesaving
+
+// StreamSummary is the O(1) unit-increment variant of Space-Saving the
+// paper discusses in §2.2: "Only when v = 1 can these heap structures be
+// implemented with O(1) complexity using linked lists". It keeps counters
+// grouped in frequency buckets chained in ascending order, so an increment
+// moves a key to the adjacent group in constant time — no heap sift.
+//
+// It answers the same queries as Sketch but only supports Insert(key, 1)
+// semantics; weighted inserts degrade to repeated increments and are the
+// reason the paper targets the general case with ReliableSketch instead.
+type StreamSummary struct {
+	cap     int
+	entries map[uint64]*ssEntry
+	// groups is a doubly linked list of frequency groups in ascending
+	// count order; head is the minimum.
+	head *ssGroup
+	name string
+}
+
+type ssGroup struct {
+	count      uint64
+	prev, next *ssGroup
+	// members is an intrusive circular list head; any member represents
+	// the group for O(1) pick-a-victim.
+	members *ssEntry
+	size    int
+}
+
+type ssEntry struct {
+	key        uint64
+	err        uint64
+	group      *ssGroup
+	prev, next *ssEntry // circular within the group
+}
+
+// NewStreamSummary builds a summary with the given counter capacity.
+func NewStreamSummary(counters int) *StreamSummary {
+	if counters < 1 {
+		counters = 1
+	}
+	return &StreamSummary{
+		cap:     counters,
+		entries: make(map[uint64]*ssEntry, counters),
+		name:    "SS(O1)",
+	}
+}
+
+// NewStreamSummaryBytes sizes the summary to a memory budget using the
+// same accounting as the heap variant.
+func NewStreamSummaryBytes(memBytes int) *StreamSummary {
+	return NewStreamSummary(memBytes / EntryBytes)
+}
+
+// group list helpers.
+
+func (s *StreamSummary) addEntryToGroup(e *ssEntry, g *ssGroup) {
+	e.group = g
+	if g.members == nil {
+		e.prev, e.next = e, e
+		g.members = e
+	} else {
+		head := g.members
+		e.prev = head.prev
+		e.next = head
+		head.prev.next = e
+		head.prev = e
+	}
+	g.size++
+}
+
+func (s *StreamSummary) removeEntryFromGroup(e *ssEntry) {
+	g := e.group
+	if g.size == 1 {
+		g.members = nil
+	} else {
+		e.prev.next = e.next
+		e.next.prev = e.prev
+		if g.members == e {
+			g.members = e.next
+		}
+	}
+	g.size--
+	e.group = nil
+	if g.size == 0 {
+		// Unlink the empty group.
+		if g.prev != nil {
+			g.prev.next = g.next
+		} else {
+			s.head = g.next
+		}
+		if g.next != nil {
+			g.next.prev = g.prev
+		}
+	}
+}
+
+// groupAfter returns (creating if needed) the group holding count
+// g.count+delta positioned right after g.
+func (s *StreamSummary) groupWithCountAfter(g *ssGroup, count uint64) *ssGroup {
+	if g.next != nil && g.next.count == count {
+		return g.next
+	}
+	ng := &ssGroup{count: count, prev: g, next: g.next}
+	if g.next != nil {
+		g.next.prev = ng
+	}
+	g.next = ng
+	return ng
+}
+
+// Increment adds one occurrence of key — the O(1) path.
+func (s *StreamSummary) Increment(key uint64) {
+	if e, ok := s.entries[key]; ok {
+		g := e.group
+		target := s.groupWithCountAfter(g, g.count+1)
+		s.removeEntryFromGroup(e)
+		s.addEntryToGroup(e, target)
+		return
+	}
+	if len(s.entries) < s.cap {
+		// New key with count 1: lives in (or creates) the count-1 group at
+		// the head.
+		g := s.head
+		if g == nil || g.count != 1 {
+			ng := &ssGroup{count: 1, next: g}
+			if g != nil {
+				g.prev = ng
+			}
+			s.head = ng
+			g = ng
+		}
+		e := &ssEntry{key: key}
+		s.entries[key] = e
+		s.addEntryToGroup(e, g)
+		return
+	}
+	// Evict a member of the minimum group: the newcomer inherits count+1
+	// with certified error = evicted count.
+	g := s.head
+	victim := g.members
+	delete(s.entries, victim.key)
+	target := s.groupWithCountAfter(g, g.count+1)
+	s.removeEntryFromGroup(victim)
+	victim.key = key
+	victim.err = g.count
+	s.entries[key] = victim
+	s.addEntryToGroup(victim, target)
+}
+
+// Insert implements the sketch interface; values other than 1 degrade to
+// value repeated increments (the §2.2 limitation this variant documents).
+func (s *StreamSummary) Insert(key, value uint64) {
+	for i := uint64(0); i < value; i++ {
+		s.Increment(key)
+	}
+}
+
+// Query returns the tracked count, or the minimum count for strangers
+// (certified upper bound), or 0 while not full.
+func (s *StreamSummary) Query(key uint64) uint64 {
+	if e, ok := s.entries[key]; ok {
+		return e.group.count
+	}
+	if len(s.entries) < s.cap || s.head == nil {
+		return 0
+	}
+	return s.head.count
+}
+
+// QueryWithError returns the estimate and its certified maximum error.
+func (s *StreamSummary) QueryWithError(key uint64) (est, mpe uint64) {
+	if e, ok := s.entries[key]; ok {
+		return e.group.count, e.err
+	}
+	if len(s.entries) < s.cap || s.head == nil {
+		return 0, 0
+	}
+	m := s.head.count
+	return m, m
+}
+
+// MemoryBytes uses the heap variant's accounting for comparability.
+func (s *StreamSummary) MemoryBytes() int { return s.cap * EntryBytes }
+
+// Name identifies the variant.
+func (s *StreamSummary) Name() string { return s.name }

@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The on-disk stream format written by cmd/rsgen and consumed by the
+// agent/replay tools: a flat sequence of little-endian (uint64 key,
+// uint64 value) pairs, 16 bytes per item, no header. The format is
+// deliberately trivial so external tools (tcpdump post-processors, trace
+// converters) can produce it with a one-liner.
+
+// itemBytes is the fixed on-disk size of one item.
+const itemBytes = 16
+
+// WriteFile writes s to path in the binary stream format.
+func WriteFile(path string, s *Stream) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("stream: create %s: %w", path, err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := Encode(w, s); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("stream: flush %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Encode writes s's items to w.
+func Encode(w io.Writer, s *Stream) error {
+	var buf [itemBytes]byte
+	for i, it := range s.Items {
+		binary.LittleEndian.PutUint64(buf[0:8], it.Key)
+		binary.LittleEndian.PutUint64(buf[8:16], it.Value)
+		if _, err := w.Write(buf[:]); err != nil {
+			return fmt.Errorf("stream: writing item %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadFile loads a binary stream written by WriteFile / cmd/rsgen.
+// The stream's name is the file path.
+func ReadFile(path string) (*Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("stream: open %s: %w", path, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("stream: stat %s: %w", path, err)
+	}
+	if st.Size()%itemBytes != 0 {
+		return nil, fmt.Errorf("stream: %s has %d bytes, not a multiple of %d", path, st.Size(), itemBytes)
+	}
+	s, err := Decode(bufio.NewReaderSize(f, 1<<20), int(st.Size()/itemBytes))
+	if err != nil {
+		return nil, fmt.Errorf("stream: %s: %w", path, err)
+	}
+	s.Name = path
+	return s, nil
+}
+
+// Decode reads exactly n items from r (pass n < 0 to read until EOF).
+func Decode(r io.Reader, n int) (*Stream, error) {
+	var items []Item
+	if n >= 0 {
+		items = make([]Item, 0, n)
+	}
+	var buf [itemBytes]byte
+	for n < 0 || len(items) < n {
+		_, err := io.ReadFull(r, buf[:])
+		if err == io.EOF && n < 0 {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("decoding item %d: %w", len(items), err)
+		}
+		items = append(items, Item{
+			Key:   binary.LittleEndian.Uint64(buf[0:8]),
+			Value: binary.LittleEndian.Uint64(buf[8:16]),
+		})
+	}
+	return &Stream{Name: "decoded", Items: items}, nil
+}

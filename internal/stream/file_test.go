@@ -1,0 +1,87 @@
+package stream
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	s := Zipf(5000, 500, 1.0, 9)
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	if err := WriteFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != path {
+		t.Errorf("Name=%q want %q", got.Name, path)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("len=%d want %d", got.Len(), s.Len())
+	}
+	for i := range s.Items {
+		if got.Items[i] != s.Items[i] {
+			t.Fatalf("item %d differs", i)
+		}
+	}
+}
+
+func TestFileSize(t *testing.T) {
+	s := Zipf(1000, 100, 1.0, 1)
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	if err := WriteFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != int64(s.Len())*itemBytes {
+		t.Errorf("file size %d, want %d", st.Size(), s.Len()*itemBytes)
+	}
+}
+
+func TestReadFileRejectsCorruptLength(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.bin")
+	if err := os.WriteFile(path, []byte("not sixteen"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("ReadFile accepted a non-multiple-of-16 file")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Error("ReadFile accepted a missing file")
+	}
+}
+
+func TestDecodeUntilEOF(t *testing.T) {
+	s := Zipf(100, 10, 1.0, 2)
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 100 {
+		t.Errorf("decoded %d items, want 100", got.Len())
+	}
+}
+
+func TestDecodeTruncatedMidItem(t *testing.T) {
+	s := Zipf(10, 5, 1.0, 3)
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	trunc := strings.NewReader(string(buf.Bytes()[:buf.Len()-7]))
+	if _, err := Decode(trunc, -1); err == nil {
+		t.Error("Decode accepted a mid-item truncation")
+	}
+}

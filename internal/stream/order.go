@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"cmp"
+	"math/rand/v2"
+	"slices"
+)
+
+// Arrival-order transformations. The paper's analysis (§4, Theorem 1) is
+// explicitly time-order-independent: the certified-interval guarantee must
+// hold for ANY arrival order of the same multiset of items. These
+// reorderings let tests exercise that claim under adversarial schedules.
+
+// Reordered returns a copy of s with items arranged by the given order
+// function (which permutes indices in place).
+func reordered(s *Stream, name string, arrange func(items []Item)) *Stream {
+	items := make([]Item, len(s.Items))
+	copy(items, s.Items)
+	arrange(items)
+	return &Stream{Name: s.Name + " (" + name + ")", Items: items}
+}
+
+// SortedByKey groups all items of each key together (ascending key order)
+// — the schedule that maximizes bucket takeover churn.
+func SortedByKey(s *Stream) *Stream {
+	return reordered(s, "key-sorted", func(items []Item) {
+		slices.SortStableFunc(items, func(a, b Item) int { return cmp.Compare(a.Key, b.Key) })
+	})
+}
+
+// HeavyFirst plays all items of the heaviest keys before any mice — the
+// schedule that fills buckets with strong candidates early.
+func HeavyFirst(s *Stream) *Stream {
+	truth := s.Truth()
+	return reordered(s, "heavy-first", func(items []Item) {
+		slices.SortStableFunc(items, func(a, b Item) int {
+			if c := cmp.Compare(truth[b.Key], truth[a.Key]); c != 0 {
+				return c
+			}
+			return cmp.Compare(a.Key, b.Key)
+		})
+	})
+}
+
+// MiceFirst is the reverse: all mice traffic precedes the elephants — the
+// schedule that locks first-layer buckets before heavy keys arrive (the
+// §3.3 motivation for the mice filter).
+func MiceFirst(s *Stream) *Stream {
+	truth := s.Truth()
+	return reordered(s, "mice-first", func(items []Item) {
+		slices.SortStableFunc(items, func(a, b Item) int {
+			if c := cmp.Compare(truth[a.Key], truth[b.Key]); c != 0 {
+				return c
+			}
+			return cmp.Compare(a.Key, b.Key)
+		})
+	})
+}
+
+// Bursty interleaves traffic in per-key bursts of the given size: keys
+// emit `burst` consecutive items before yielding, modeling flowlet-style
+// arrivals rather than uniform interleaving.
+func Bursty(s *Stream, burst int, seed uint64) *Stream {
+	if burst < 1 {
+		burst = 1
+	}
+	// Collect per-key queues, then round-robin with random key order,
+	// draining `burst` items per visit.
+	queues := map[uint64][]Item{}
+	var keys []uint64
+	for _, it := range s.Items {
+		if _, ok := queues[it.Key]; !ok {
+			keys = append(keys, it.Key)
+		}
+		queues[it.Key] = append(queues[it.Key], it)
+	}
+	r := rand.New(rand.NewPCG(seed, seed^0xb0b5))
+	items := make([]Item, 0, len(s.Items))
+	for len(keys) > 0 {
+		i := r.IntN(len(keys))
+		k := keys[i]
+		q := queues[k]
+		n := burst
+		if n > len(q) {
+			n = len(q)
+		}
+		items = append(items, q[:n]...)
+		queues[k] = q[n:]
+		if len(queues[k]) == 0 {
+			keys[i] = keys[len(keys)-1]
+			keys = keys[:len(keys)-1]
+		}
+	}
+	return &Stream{Name: s.Name + " (bursty)", Items: items}
+}

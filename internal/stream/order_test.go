@@ -1,0 +1,79 @@
+package stream
+
+import "testing"
+
+func sameMultiset(t *testing.T, a, b *Stream) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	ta, tb := map[uint64]uint64{}, map[uint64]uint64{}
+	for _, it := range a.Items {
+		ta[it.Key] += it.Value
+	}
+	for _, it := range b.Items {
+		tb[it.Key] += it.Value
+	}
+	if len(ta) != len(tb) {
+		t.Fatalf("distinct keys differ: %d vs %d", len(ta), len(tb))
+	}
+	for k, v := range ta {
+		if tb[k] != v {
+			t.Fatalf("key %d: %d vs %d", k, v, tb[k])
+		}
+	}
+}
+
+func TestReorderingsPreserveMultiset(t *testing.T) {
+	s := Zipf(20_000, 2_000, 1.0, 5)
+	for _, r := range []*Stream{
+		SortedByKey(s), HeavyFirst(s), MiceFirst(s), Bursty(s, 16, 5),
+	} {
+		sameMultiset(t, s, r)
+	}
+}
+
+func TestSortedByKeyGroups(t *testing.T) {
+	s := Zipf(5_000, 500, 1.0, 6)
+	sorted := SortedByKey(s)
+	for i := 1; i < sorted.Len(); i++ {
+		if sorted.Items[i].Key < sorted.Items[i-1].Key {
+			t.Fatal("not sorted by key")
+		}
+	}
+}
+
+func TestHeavyAndMiceFirstOrdering(t *testing.T) {
+	s := Zipf(10_000, 1_000, 1.5, 7)
+	truth := s.Truth()
+	hf := HeavyFirst(s)
+	if truth[hf.Items[0].Key] < truth[hf.Items[hf.Len()-1].Key] {
+		t.Error("HeavyFirst does not lead with the heaviest key")
+	}
+	mf := MiceFirst(s)
+	if truth[mf.Items[0].Key] > truth[mf.Items[mf.Len()-1].Key] {
+		t.Error("MiceFirst does not lead with the lightest key")
+	}
+}
+
+func TestBurstyRunsAreBursts(t *testing.T) {
+	s := Zipf(10_000, 100, 1.0, 8)
+	b := Bursty(s, 32, 8)
+	// Count consecutive same-key run lengths: with burst 32 and ~100 items
+	// per key, mean run length must far exceed the uniform shuffle's ≈1.
+	runs, runLen := 0, 0
+	var prev uint64
+	for i, it := range b.Items {
+		if i == 0 || it.Key != prev {
+			runs++
+		}
+		prev = it.Key
+	}
+	runLen = b.Len() / runs
+	if runLen < 8 {
+		t.Errorf("mean run length %d; bursts of 32 expected", runLen)
+	}
+	if Bursty(s, 0, 1).Len() != s.Len() {
+		t.Error("burst<1 clamp broken")
+	}
+}

@@ -1,0 +1,100 @@
+package stream
+
+import "math/rand/v2"
+
+// Sampler draws keys from a fixed discrete distribution in O(1) per draw
+// using Walker's alias method. It backs the unbounded-stream examples and
+// lets tests generate arbitrarily long Zipf streams without materializing
+// frequency tables of the same length.
+type Sampler struct {
+	prob  []float64
+	alias []int
+	keys  []uint64
+	r     *rand.Rand
+}
+
+// NewZipfSampler builds an alias sampler over `distinct` keys with Zipf
+// weights of the given skew. Unlike math/rand's Zipf, any skew > 0 is
+// supported (the paper evaluates skew 0.3, which stdlib cannot generate).
+func NewZipfSampler(distinct int, skew float64, seed uint64) *Sampler {
+	weights := make([]float64, distinct)
+	for i := range weights {
+		weights[i] = zipfWeight(i+1, skew)
+	}
+	keys := make([]uint64, distinct)
+	for i := range keys {
+		keys[i] = keyForRank(i, seed)
+	}
+	return NewSampler(keys, weights, seed)
+}
+
+// NewSampler builds an alias sampler over keys with the given positive
+// weights. len(keys) must equal len(weights) and be ≥ 1.
+func NewSampler(keys []uint64, weights []float64, seed uint64) *Sampler {
+	n := len(weights)
+	if n == 0 || n != len(keys) {
+		panic("stream: sampler needs matching non-empty keys and weights")
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	// Walker's alias construction: split scaled probabilities into "small"
+	// (<1) and "large" (≥1) work lists, pairing each small cell with a donor.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w / sum * float64(n)
+	}
+	prob := make([]float64, n)
+	alias := make([]int, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, p := range scaled {
+		if p < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		prob[s] = scaled[s]
+		alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		prob[i] = 1
+		alias[i] = i
+	}
+	for _, i := range small {
+		prob[i] = 1
+		alias[i] = i
+	}
+	return &Sampler{prob: prob, alias: alias, keys: keys, r: rng(seed)}
+}
+
+// Next draws one key from the distribution.
+func (s *Sampler) Next() uint64 {
+	i := s.r.IntN(len(s.prob))
+	if s.r.Float64() < s.prob[i] {
+		return s.keys[i]
+	}
+	return s.keys[s.alias[i]]
+}
+
+// Stream materializes n draws into a Stream with unit values.
+func (s *Sampler) Stream(name string, n int) *Stream {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Key: s.Next(), Value: 1}
+	}
+	return &Stream{Name: name, Items: items}
+}

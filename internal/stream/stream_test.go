@@ -1,0 +1,232 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfFrequenciesExactTotal(t *testing.T) {
+	cases := []struct {
+		n, distinct int
+		skew        float64
+	}{
+		{1000, 100, 1.0},
+		{1000, 100, 0.3},
+		{1000, 100, 3.0},
+		{12345, 777, 1.1},
+		{100, 100, 2.0},
+		{10, 1, 1.0},
+	}
+	for _, c := range cases {
+		freqs := ZipfFrequencies(c.n, c.distinct, c.skew)
+		if len(freqs) != c.distinct {
+			t.Fatalf("len=%d want %d", len(freqs), c.distinct)
+		}
+		total := 0
+		for i, f := range freqs {
+			if f < 1 {
+				t.Fatalf("skew=%.1f rank=%d freq=%d < 1", c.skew, i, f)
+			}
+			total += f
+		}
+		if total != c.n {
+			t.Errorf("skew=%.1f: total=%d want %d", c.skew, total, c.n)
+		}
+	}
+}
+
+func TestZipfFrequenciesMonotoneHead(t *testing.T) {
+	freqs := ZipfFrequencies(100000, 1000, 1.2)
+	// The head of a Zipf distribution must be non-increasing (ties allowed
+	// after integer rounding).
+	for i := 1; i < 50; i++ {
+		if freqs[i] > freqs[i-1] {
+			t.Fatalf("freqs not non-increasing at %d: %d > %d", i, freqs[i], freqs[i-1])
+		}
+	}
+	if freqs[0] <= freqs[999] {
+		t.Fatalf("head %d not heavier than tail %d", freqs[0], freqs[999])
+	}
+}
+
+func TestZipfFrequenciesPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { ZipfFrequencies(10, 0, 1.0) },
+		func() { ZipfFrequencies(5, 10, 1.0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFromFrequenciesTruth(t *testing.T) {
+	freqs := []int{10, 5, 1}
+	s := FromFrequencies("test", freqs, 7)
+	if s.Len() != 16 {
+		t.Fatalf("Len=%d want 16", s.Len())
+	}
+	truth := s.Truth()
+	if len(truth) != 3 {
+		t.Fatalf("distinct=%d want 3", len(truth))
+	}
+	// Rank-derived keys carry their exact frequencies.
+	for rank, want := range freqs {
+		k := keyForRank(rank, 7)
+		if got := truth[k]; got != uint64(want) {
+			t.Errorf("rank %d: truth=%d want %d", rank, got, want)
+		}
+	}
+	if s.Total() != 16 {
+		t.Errorf("Total=%d want 16", s.Total())
+	}
+	if s.Distinct() != 3 {
+		t.Errorf("Distinct=%d want 3", s.Distinct())
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a := Zipf(5000, 500, 1.0, 42)
+	b := Zipf(5000, 500, 1.0, 42)
+	if len(a.Items) != len(b.Items) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Items {
+		if a.Items[i] != b.Items[i] {
+			t.Fatalf("item %d differs", i)
+		}
+	}
+	c := Zipf(5000, 500, 1.0, 43)
+	same := true
+	for i := range a.Items {
+		if a.Items[i] != c.Items[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestTraceStandInStatistics(t *testing.T) {
+	const n = 200000
+	cases := []struct {
+		s           *Stream
+		minDistinct int
+		maxDistinct int
+	}{
+		{IPTrace(n, 1), n * 3 / 100, n * 5 / 100},
+		{WebStream(n, 1), n * 2 / 100, n * 4 / 100},
+		{DataCenter(n, 1), n * 9 / 100, n * 11 / 100},
+		{Hadoop(n, 1), n / 1000, n / 100},
+	}
+	for _, c := range cases {
+		d := c.s.Distinct()
+		if d < c.minDistinct || d > c.maxDistinct {
+			t.Errorf("%s: distinct=%d want in [%d,%d]", c.s.Name, d, c.minDistinct, c.maxDistinct)
+		}
+		if c.s.Len() != n {
+			t.Errorf("%s: len=%d want %d", c.s.Name, c.s.Len(), n)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"ip", "web", "dc", "hadoop", "zipf0.3", "zipf3.0"} {
+		s, ok := ByName(name, 10000, 1)
+		if !ok || s == nil {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("nope", 1000, 1); ok {
+		t.Error("ByName accepted unknown dataset")
+	}
+}
+
+func TestByteWeighted(t *testing.T) {
+	base := Zipf(10000, 1000, 1.0, 3)
+	w := ByteWeighted(base, 3)
+	if w.Len() != base.Len() {
+		t.Fatal("length changed")
+	}
+	for i, it := range w.Items {
+		if it.Key != base.Items[i].Key {
+			t.Fatal("keys changed")
+		}
+		if it.Value < 64 || it.Value > 1500 {
+			t.Fatalf("packet size %d out of [64,1500]", it.Value)
+		}
+	}
+	// Bimodal mix: a substantial share of both 64B and 1500B packets.
+	var small, big int
+	for _, it := range w.Items {
+		switch it.Value {
+		case 64:
+			small++
+		case 1500:
+			big++
+		}
+	}
+	if small < w.Len()/4 || big < w.Len()/5 {
+		t.Errorf("packet mix off: %d small, %d big of %d", small, big, w.Len())
+	}
+}
+
+func TestSamplerMatchesDistribution(t *testing.T) {
+	// Three keys with weights 1, 2, 7 — draws should land near 10%, 20%, 70%.
+	keys := []uint64{11, 22, 33}
+	s := NewSampler(keys, []float64{1, 2, 7}, 5)
+	const n = 100000
+	counts := map[uint64]int{}
+	for i := 0; i < n; i++ {
+		counts[s.Next()]++
+	}
+	wants := map[uint64]float64{11: 0.1, 22: 0.2, 33: 0.7}
+	for k, want := range wants {
+		got := float64(counts[k]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("key %d: frequency %.3f want %.3f", k, got, want)
+		}
+	}
+}
+
+func TestSamplerZipfHeadDominates(t *testing.T) {
+	s := NewZipfSampler(1000, 1.5, 9)
+	st := s.Stream("zipf", 50000)
+	truth := st.Truth()
+	head := truth[keyForRank(0, 9)]
+	if head < uint64(st.Len())/10 {
+		t.Errorf("rank-1 key has only %d of %d items; skew=1.5 head should dominate", head, st.Len())
+	}
+}
+
+func TestSamplerProperty(t *testing.T) {
+	// Any sampler draw must return one of the configured keys.
+	err := quick.Check(func(seed uint64, nw uint8) bool {
+		n := int(nw%16) + 1
+		keys := make([]uint64, n)
+		weights := make([]float64, n)
+		for i := range keys {
+			keys[i] = uint64(i) * 1000
+			weights[i] = float64(i%5) + 0.5
+		}
+		s := NewSampler(keys, weights, seed)
+		for i := 0; i < 50; i++ {
+			k := s.Next()
+			if k%1000 != 0 || k >= uint64(n)*1000 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

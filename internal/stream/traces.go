@@ -1,0 +1,100 @@
+package stream
+
+import "math/rand/v2"
+
+// Scale controls how large the synthetic trace stand-ins are relative to the
+// paper's 10M-item captures. The paper's published ratios of distinct keys to
+// items are preserved at every scale; the default harness scale is 1/10 so
+// the full evaluation fits a laptop time budget, and `-scale full` in
+// cmd/rsbench restores 10M.
+type Scale struct {
+	// Items is the stream length to generate.
+	Items int
+}
+
+// DefaultScale is the laptop-friendly default (1M items).
+var DefaultScale = Scale{Items: 1_000_000}
+
+// PaperScale reproduces the paper's 10M-item traces.
+var PaperScale = Scale{Items: 10_000_000}
+
+// The four trace stand-ins below match the paper's §6.1.2 statistics:
+//
+//	IP Trace:    10M packets, ~0.4M distinct keys (CAIDA src+dst IP)
+//	Web Stream:  10M items,  ~0.3M distinct keys (spidered HTML documents)
+//	Data Center: 10M packets, ~1M  distinct keys (university DC, flat-ish)
+//	Hadoop:      10M packets, ~20K distinct keys (highly concentrated)
+//
+// Skews are chosen so the head/tail shape is plausible for each source:
+// Internet backbone traffic is strongly heavy-tailed, data-center traffic is
+// flatter, Hadoop shuffle traffic concentrates on few flows.
+
+// IPTrace is the default dataset: a CAIDA-like backbone trace stand-in.
+func IPTrace(n int, seed uint64) *Stream {
+	s := FromFrequencies("IP Trace", ZipfFrequencies(n, n*4/100, 1.1), seed)
+	return s
+}
+
+// WebStream models the FIMI web-document stream.
+func WebStream(n int, seed uint64) *Stream {
+	return FromFrequencies("Web Stream", ZipfFrequencies(n, n*3/100, 1.2), seed)
+}
+
+// DataCenter models the university data-center capture: many flows, flatter
+// distribution.
+func DataCenter(n int, seed uint64) *Stream {
+	return FromFrequencies("Data Center", ZipfFrequencies(n, n*10/100, 0.8), seed)
+}
+
+// Hadoop models the Hadoop cluster capture: very few, very heavy flows.
+func Hadoop(n int, seed uint64) *Stream {
+	distinct := n / 500 // 20K distinct per 10M items
+	if distinct < 10 {
+		distinct = 10
+	}
+	return FromFrequencies("Hadoop", ZipfFrequencies(n, distinct, 1.4), seed)
+}
+
+// ByName returns the named dataset generator, for CLI use. Names match the
+// paper's figures: "ip", "web", "dc", "hadoop", plus "zipf0.3" and
+// "zipf3.0".
+func ByName(name string, n int, seed uint64) (*Stream, bool) {
+	switch name {
+	case "ip":
+		return IPTrace(n, seed), true
+	case "web":
+		return WebStream(n, seed), true
+	case "dc":
+		return DataCenter(n, seed), true
+	case "hadoop":
+		return Hadoop(n, seed), true
+	case "zipf0.3":
+		return Zipf(n, n/10, 0.3, seed), true
+	case "zipf3.0":
+		return Zipf(n, n/10, 3.0, seed), true
+	}
+	return nil, false
+}
+
+// ByteWeighted returns a copy of s whose values are synthetic packet sizes
+// in bytes instead of 1. Sizes follow the classic bimodal Internet mix:
+// ~50% minimum-size packets (64B), ~40% MTU-size (1500B), the rest uniform
+// in between. Used by the switch-testbed experiments (Figure 20), where the
+// paper counts per-flow bytes and reports errors in Kbps.
+func ByteWeighted(s *Stream, seed uint64) *Stream {
+	r := rand.New(rand.NewPCG(seed, seed|1))
+	items := make([]Item, len(s.Items))
+	for i, it := range s.Items {
+		var size uint64
+		switch p := r.Float64(); {
+		case p < 0.5:
+			size = 64
+		case p < 0.9:
+			size = 1500
+		default:
+			size = 64 + uint64(r.IntN(1436))
+		}
+		items[i] = Item{Key: it.Key, Value: size}
+	}
+	return &Stream{Name: s.Name + " (bytes)", Items: items}
+}

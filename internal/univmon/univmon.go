@@ -1,0 +1,103 @@
+// Package univmon implements UnivMon (Liu et al., SIGCOMM 2016), the
+// universal-sketching member of the paper's counter-based L2 taxonomy
+// (Table 1). UnivMon stacks log(n) Count-sketch levels; level i sees only
+// keys whose i leading sampling bits are zero, halving the substream each
+// level. Heavy hitters found per level let one recursively estimate any
+// G-sum; for the stream-summary point queries evaluated here, the level-0
+// Count sketch answers directly and deeper levels refine low-frequency
+// keys that survived sampling.
+//
+// Included for taxonomy completeness: like CM/Count, its per-key confidence
+// collapses when all keys are queried collectively, which is the failure
+// mode ReliableSketch addresses.
+package univmon
+
+import (
+	"repro/internal/countsketch"
+	"repro/internal/hash"
+)
+
+// defaultLevels balances refinement against per-level memory.
+const defaultLevels = 8
+
+// Sketch is a UnivMon universal sketch.
+type Sketch struct {
+	levels []*countsketch.Sketch
+	seed   uint64
+	name   string
+}
+
+// New builds a UnivMon with the given number of levels, each a d×width
+// Count sketch.
+func New(levels, d, width int, seed uint64) *Sketch {
+	if levels < 1 || d < 1 || width < 1 {
+		panic("univmon: invalid geometry")
+	}
+	s := &Sketch{
+		levels: make([]*countsketch.Sketch, levels),
+		seed:   seed,
+		name:   "UnivMon",
+	}
+	for i := range s.levels {
+		s.levels[i] = countsketch.New(d, width, hash.U64(seed, uint64(i)+0x12))
+	}
+	return s
+}
+
+// NewBytes sizes a UnivMon to memBytes with the default level count and 3
+// rows per level.
+func NewBytes(memBytes int, seed uint64) *Sketch {
+	perLevel := memBytes / defaultLevels
+	width := perLevel / (3 * countsketch.CounterBytes)
+	if width < 1 {
+		width = 1
+	}
+	return New(defaultLevels, 3, width, seed)
+}
+
+// level returns how many levels key participates in: level i requires the
+// first i sampling bits to be one (level 0 sees everything).
+func (s *Sketch) level(key uint64) int {
+	h := hash.U64(key, s.seed^0x07e1)
+	max := len(s.levels) - 1
+	l := 0
+	for l < max && h&1 == 1 {
+		l++
+		h >>= 1
+	}
+	return l
+}
+
+// Insert adds value to key in level 0 through its sampled depth.
+func (s *Sketch) Insert(key, value uint64) {
+	depth := s.level(key)
+	for i := 0; i <= depth; i++ {
+		s.levels[i].Insert(key, value)
+	}
+}
+
+// Query answers a point query from the deepest level the key participates
+// in: the substream there is a 2^−depth sample, so the key's own mass
+// dominates the level's L2 noise most.
+func (s *Sketch) Query(key uint64) uint64 {
+	return s.levels[s.level(key)].Query(key)
+}
+
+// MemoryBytes sums the level sketches.
+func (s *Sketch) MemoryBytes() int {
+	total := 0
+	for _, l := range s.levels {
+		total += l.MemoryBytes()
+	}
+	return total
+}
+
+// Name identifies the algorithm.
+func (s *Sketch) Name() string { return s.name }
+
+// Reset clears all levels.
+func (s *Sketch) Reset() {
+	for _, l := range s.levels {
+		l.Reset()
+	}
+}

@@ -1,0 +1,136 @@
+package univmon
+
+import (
+	"testing"
+
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+var _ sketch.Sketch = (*Sketch)(nil)
+
+func TestSingleKeyExact(t *testing.T) {
+	s := New(4, 3, 1<<12, 1)
+	for i := 0; i < 100; i++ {
+		s.Insert(7, 3)
+	}
+	if got := s.Query(7); got != 300 {
+		t.Errorf("Query(7)=%d want 300", got)
+	}
+}
+
+func TestLevelAssignmentStable(t *testing.T) {
+	s := New(8, 3, 64, 2)
+	for k := uint64(0); k < 100; k++ {
+		if s.level(k) != s.level(k) {
+			t.Fatal("level not deterministic")
+		}
+		if l := s.level(k); l < 0 || l >= 8 {
+			t.Fatalf("level %d out of range", l)
+		}
+	}
+}
+
+func TestLevelsHalve(t *testing.T) {
+	s := New(8, 3, 64, 3)
+	counts := make([]int, 8)
+	const n = 100_000
+	for k := uint64(0); k < n; k++ {
+		counts[s.level(k)]++
+	}
+	// Level occupancy follows the geometric sampling law: level i holds
+	// ≈ n/2^(i+1) keys (with the last level absorbing the tail).
+	for i := 0; i < 5; i++ {
+		want := n >> uint(i+1)
+		if counts[i] < want*8/10 || counts[i] > want*12/10 {
+			t.Errorf("level %d holds %d keys, want ≈%d", i, counts[i], want)
+		}
+	}
+}
+
+func TestHeavyKeysAccurate(t *testing.T) {
+	st := stream.Zipf(200_000, 20_000, 1.3, 4)
+	sk := NewBytes(512<<10, 4)
+	for _, it := range st.Items {
+		sk.Insert(it.Key, it.Value)
+	}
+	bad := 0
+	heavies := 0
+	for k, f := range st.Truth() {
+		if f < 2000 {
+			continue
+		}
+		heavies++
+		est := sk.Query(k)
+		d := int64(est) - int64(f)
+		if d < 0 {
+			d = -d
+		}
+		if float64(d) > 0.2*float64(f) {
+			bad++
+		}
+	}
+	if heavies == 0 {
+		t.Fatal("no heavy keys")
+	}
+	if bad > heavies/10 {
+		t.Errorf("%d/%d heavy keys off by >20%%", bad, heavies)
+	}
+}
+
+func TestCollectiveQueriesHaveOutliers(t *testing.T) {
+	// The taxonomy claim: as an L2 counter-based sketch, UnivMon cannot
+	// keep ALL keys within Λ at tight memory — the motivation for
+	// ReliableSketch.
+	st := stream.IPTrace(200_000, 5)
+	sk := NewBytes(64<<10, 5)
+	for _, it := range st.Items {
+		sk.Insert(it.Key, it.Value)
+	}
+	outliers := 0
+	for k, f := range st.Truth() {
+		est := sk.Query(k)
+		d := int64(est) - int64(f)
+		if d < 0 {
+			d = -d
+		}
+		if d > 25 {
+			outliers++
+		}
+	}
+	if outliers == 0 {
+		t.Error("expected collective-query outliers at tight memory (Table 1 taxonomy)")
+	}
+}
+
+func TestMemoryAndReset(t *testing.T) {
+	sk := NewBytes(1<<16, 1)
+	if sk.MemoryBytes() > 1<<16 {
+		t.Errorf("memory %d over budget", sk.MemoryBytes())
+	}
+	sk.Insert(1, 9)
+	sk.Reset()
+	if sk.Query(1) != 0 {
+		t.Error("Reset did not clear")
+	}
+	if sk.Name() != "UnivMon" {
+		t.Errorf("Name=%q", sk.Name())
+	}
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(0, 3, 64, 1)
+}
+
+func BenchmarkInsert(b *testing.B) {
+	sk := NewBytes(1<<20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Insert(uint64(i&0xffff), 1)
+	}
+}

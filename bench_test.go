@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/sketch"
 	"repro/internal/stream"
 )
 
@@ -125,6 +126,69 @@ func BenchmarkOursQuery(b *testing.B) {
 		sink ^= sk.Query(s.Items[i%len(s.Items)].Key)
 	}
 	_ = sink
+}
+
+// batchContenders are the variants with native BatchInserter
+// implementations, benchmarked both item-at-a-time (BenchmarkInsert) and
+// through the batch path (BenchmarkInsertBatch) so the amortization shows
+// up in the perf trajectory. SS rides along as a fallback-path reference.
+var batchContenders = []struct {
+	name string
+	spec sketch.Spec
+}{
+	{"Ours", sketch.Spec{MemoryBytes: 1 << 20, Lambda: 25, Seed: 1}},
+	{"CM_fast", sketch.Spec{MemoryBytes: 1 << 20, Seed: 1}},
+	{"CU_fast", sketch.Spec{MemoryBytes: 1 << 20, Seed: 1}},
+	{"Ours_sharded4", sketch.Spec{MemoryBytes: 1 << 20, Lambda: 25, Seed: 1, Shards: 4}},
+	{"SS_fallback", sketch.Spec{MemoryBytes: 1 << 20, Seed: 1}},
+}
+
+func contenderSketch(name string, spec sketch.Spec) sketch.Sketch {
+	algo := name
+	switch name {
+	case "Ours_sharded4":
+		algo = "Ours"
+	case "SS_fallback":
+		algo = "SS"
+	}
+	return sketch.MustBuild(algo, spec)
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s := benchStream()
+	for _, c := range batchContenders {
+		b.Run(c.name, func(b *testing.B) {
+			sk := contenderSketch(c.name, c.spec)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				it := s.Items[i%len(s.Items)]
+				sk.Insert(it.Key, it.Value)
+			}
+		})
+	}
+}
+
+func BenchmarkInsertBatch(b *testing.B) {
+	s := benchStream()
+	const chunk = 4096 // a realistic ingestion quantum (NIC ring / epoch flush)
+	for _, c := range batchContenders {
+		b.Run(c.name, func(b *testing.B) {
+			sk := contenderSketch(c.name, c.spec)
+			b.ResetTimer()
+			for inserted := 0; inserted < b.N; {
+				lo := inserted % len(s.Items)
+				hi := lo + chunk
+				if hi > len(s.Items) {
+					hi = len(s.Items)
+				}
+				if rem := b.N - inserted; hi-lo > rem {
+					hi = lo + rem
+				}
+				sketch.InsertBatch(sk, s.Items[lo:hi])
+				inserted += hi - lo
+			}
+		})
+	}
 }
 
 func BenchmarkOursQueryWithError(b *testing.B) {

@@ -7,6 +7,12 @@
 //	rsgen -dataset ip -items 1000000 -out ip.bin
 //	rsagent -collector 127.0.0.1:7777 -id 1 -trace ip.bin
 //	rsagent -collector 127.0.0.1:7777 -id 2 -query 12345
+//	rsagent -collector "" -trace ip.bin -algo Ours -mem 262144 -query 12345
+//
+// With -algo, the agent also maintains a local shadow sketch built from the
+// registry (fed through the batch-ingestion path), so queries report the
+// local view next to the collector's global certified interval. With
+// -collector "" the agent runs offline on the shadow sketch alone.
 package main
 
 import (
@@ -16,58 +22,103 @@ import (
 	"time"
 
 	"repro/internal/netsum"
+	"repro/internal/sketch"
+	_ "repro/internal/sketch/all"
 	"repro/internal/stream"
 )
 
 func main() {
 	var (
-		collector = flag.String("collector", "127.0.0.1:7777", "collector address")
+		collector = flag.String("collector", "127.0.0.1:7777", "collector address (empty = offline, shadow sketch only)")
 		id        = flag.Uint64("id", 1, "agent identity")
 		trace     = flag.String("trace", "", "binary trace file to replay")
 		queryKey  = flag.Uint64("query", 0, "key to query after replay (0 = none)")
 		batch     = flag.Int("batch", 512, "updates per network frame")
+		algo      = flag.String("algo", "", "registry variant for a local shadow sketch (empty = none)")
+		lambda    = flag.Uint64("lambda", 25, "shadow sketch error tolerance Λ")
+		mem       = flag.Int("mem", 1<<20, "shadow sketch memory (bytes)")
+		seed      = flag.Uint64("seed", 1, "shadow sketch hash seed")
 	)
 	flag.Parse()
 
-	a, err := netsum.Dial(*collector, *id)
-	if err != nil {
-		log.Fatalf("rsagent: %v", err)
+	var shadow sketch.Sketch
+	if *algo != "" {
+		var err error
+		shadow, err = sketch.Build(*algo, sketch.Spec{
+			Lambda: *lambda, MemoryBytes: *mem, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatalf("rsagent: %v", err)
+		}
 	}
-	defer a.Close()
-	a.BatchSize = *batch
+	if *collector == "" && shadow == nil {
+		log.Fatal("rsagent: offline mode (-collector \"\") needs a shadow sketch (-algo)")
+	}
+
+	var a *netsum.Agent
+	if *collector != "" {
+		var err error
+		a, err = netsum.Dial(*collector, *id)
+		if err != nil {
+			log.Fatalf("rsagent: %v", err)
+		}
+		defer a.Close()
+		a.BatchSize = *batch
+	}
 
 	if *trace != "" {
 		s, err := stream.ReadFile(*trace)
 		if err != nil {
 			log.Fatalf("rsagent: %v", err)
 		}
-		start := time.Now()
-		for _, it := range s.Items {
-			if err := a.Record(it.Key, it.Value); err != nil {
-				log.Fatalf("rsagent: record: %v", err)
+		if a != nil {
+			start := time.Now()
+			for _, it := range s.Items {
+				if err := a.Record(it.Key, it.Value); err != nil {
+					log.Fatalf("rsagent: record: %v", err)
+				}
 			}
+			if err := a.Flush(); err != nil {
+				log.Fatalf("rsagent: flush: %v", err)
+			}
+			elapsed := time.Since(start)
+			fmt.Printf("replayed %d items in %v (%.2f Mpps)\n",
+				s.Len(), elapsed.Round(time.Millisecond),
+				float64(s.Len())/elapsed.Seconds()/1e6)
 		}
-		if err := a.Flush(); err != nil {
-			log.Fatalf("rsagent: flush: %v", err)
+		if shadow != nil {
+			localStart := time.Now()
+			sketch.InsertBatch(shadow, s.Items)
+			fmt.Printf("shadow %s ingested locally in %v (%dB)\n",
+				shadow.Name(), time.Since(localStart).Round(time.Millisecond), shadow.MemoryBytes())
 		}
-		elapsed := time.Since(start)
-		fmt.Printf("replayed %d items in %v (%.2f Mpps)\n",
-			s.Len(), elapsed.Round(time.Millisecond),
-			float64(s.Len())/elapsed.Seconds()/1e6)
 	}
 
 	if *queryKey != 0 {
-		est, mpe, err := a.Query(*queryKey)
-		if err != nil {
-			log.Fatalf("rsagent: query: %v", err)
+		if a != nil {
+			est, mpe, err := a.Query(*queryKey)
+			if err != nil {
+				log.Fatalf("rsagent: query: %v", err)
+			}
+			fmt.Printf("key %d: estimate=%d, certified global interval [%d, %d]\n",
+				*queryKey, est, sketch.CertifiedLowerBound(est, mpe), est)
 		}
-		fmt.Printf("key %d: estimate=%d, certified global interval [%d, %d]\n",
-			*queryKey, est, est-mpe, est)
+		if shadow != nil {
+			if eb, ok := shadow.(sketch.ErrorBounded); ok {
+				le, lm := eb.QueryWithError(*queryKey)
+				fmt.Printf("key %d: local shadow estimate=%d, interval [%d, %d]\n",
+					*queryKey, le, sketch.CertifiedLowerBound(le, lm), le)
+			} else {
+				fmt.Printf("key %d: local shadow estimate=%d\n", *queryKey, shadow.Query(*queryKey))
+			}
+		}
 	}
 
-	agents, updates, queries, err := a.Stats()
-	if err != nil {
-		log.Fatalf("rsagent: stats: %v", err)
+	if a != nil {
+		agents, updates, queries, err := a.Stats()
+		if err != nil {
+			log.Fatalf("rsagent: stats: %v", err)
+		}
+		fmt.Printf("collector: %d agents, %d updates, %d queries\n", agents, updates, queries)
 	}
-	fmt.Printf("collector: %d agents, %d updates, %d queries\n", agents, updates, queries)
 }

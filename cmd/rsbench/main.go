@@ -3,9 +3,11 @@
 // Usage:
 //
 //	rsbench -list                     # show every reproducible artifact
+//	rsbench -list-algos               # show every registered algorithm
 //	rsbench -exp fig4b                # run one experiment at default scale
 //	rsbench -exp all -items 10000000  # full paper scale
 //	rsbench -exp fig7a -trials 100    # the paper's worst-of-100 methodology
+//	rsbench -exp fig4b -algos Ours,SS # restrict comparisons to named variants
 package main
 
 import (
@@ -15,16 +17,19 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/sketch"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id (e.g. fig4a, table3) or 'all'")
-		list   = flag.Bool("list", false, "list all experiments and exit")
-		items  = flag.Int("items", harness.DefaultOptions.Items, "stream length")
-		seed   = flag.Uint64("seed", harness.DefaultOptions.Seed, "generator and hash seed")
-		trials = flag.Int("trials", harness.DefaultOptions.Trials, "repetitions for worst-case experiments")
-		scale  = flag.String("scale", "", "preset: 'paper' (10M items, 100 trials) or 'quick' (100k items)")
+		exp       = flag.String("exp", "", "experiment id (e.g. fig4a, table3) or 'all'")
+		list      = flag.Bool("list", false, "list all experiments and exit")
+		listAlgos = flag.Bool("list-algos", false, "list registered algorithm variants and exit")
+		items     = flag.Int("items", harness.DefaultOptions.Items, "stream length")
+		seed      = flag.Uint64("seed", harness.DefaultOptions.Seed, "generator and hash seed")
+		trials    = flag.Int("trials", harness.DefaultOptions.Trials, "repetitions for worst-case experiments")
+		scale     = flag.String("scale", "", "preset: 'paper' (10M items, 100 trials) or 'quick' (100k items)")
+		algos     = flag.String("algos", "", "comma-separated registry names restricting comparison experiments")
 	)
 	flag.Parse()
 
@@ -39,10 +44,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rsbench: unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
+	if *algos != "" {
+		names, err := sketch.ParseNames(*algos)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rsbench: %v\n", err)
+			os.Exit(2)
+		}
+		o.Algos = names
+	}
 
 	if *list {
 		for _, e := range harness.List() {
 			fmt.Printf("%-8s  %s\n", e.ID, e.Description)
+		}
+		return
+	}
+	if *listAlgos {
+		for _, e := range sketch.All() {
+			fmt.Printf("%-10s  %s\n", e.Name, e.Caps)
 		}
 		return
 	}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	rscollector -listen 127.0.0.1:7777 -lambda 25 -mem 1048576
+//	rscollector -algo SS               # any error-bounded registry variant
 //
 // The collector prints periodic ingest statistics to stdout; stop it with
 // SIGINT. Agents may query through their own connections (rsagent -query).
@@ -20,11 +21,13 @@ import (
 	"time"
 
 	"repro/internal/netsum"
+	"repro/internal/sketch"
 )
 
 func main() {
 	var (
 		listen = flag.String("listen", "127.0.0.1:7777", "address to listen on")
+		algo   = flag.String("algo", "Ours", "registered error-bounded sketch variant per agent")
 		lambda = flag.Uint64("lambda", 25, "per-agent error tolerance Λ")
 		mem    = flag.Int("mem", 1<<20, "per-agent sketch memory (bytes)")
 		seed   = flag.Uint64("seed", 1, "sketch hash seed")
@@ -33,16 +36,15 @@ func main() {
 	flag.Parse()
 
 	c, err := netsum.NewCollector(*listen, netsum.CollectorConfig{
-		Lambda:      *lambda,
-		MemoryBytes: *mem,
-		Seed:        *seed,
-		Logf:        log.Printf,
+		Algo: *algo,
+		Spec: sketch.Spec{Lambda: *lambda, MemoryBytes: *mem, Seed: *seed},
+		Logf: log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("rscollector: %v", err)
 	}
-	fmt.Printf("rscollector listening on %s (Λ=%d, %dB per agent)\n",
-		c.Addr(), *lambda, *mem)
+	fmt.Printf("rscollector listening on %s (%s, Λ=%d, %dB per agent)\n",
+		c.Addr(), *algo, *lambda, *mem)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)

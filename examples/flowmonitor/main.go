@@ -4,15 +4,18 @@
 // control plane reads certified estimates).
 //
 //	go run ./examples/flowmonitor
+//	go run ./examples/flowmonitor -algo 'Ours(Raw)'
 package main
 
 import (
+	"flag"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 
-	"repro/internal/core"
 	"repro/internal/sketch"
+	_ "repro/internal/sketch/all"
 	"repro/internal/stream"
 )
 
@@ -24,20 +27,25 @@ func main() {
 		shards      = 4
 		seed        = 3
 	)
+	algo := flag.String("algo", "Ours", "registry variant to monitor with")
+	flag.Parse()
+
 	// Byte-weighted packet trace: values are packet sizes.
 	packets := stream.ByteWeighted(stream.IPTrace(items, seed), seed)
 
-	// Shard the key space across goroutines, as a multi-pipe deployment
-	// would; each shard owns an independent ReliableSketch.
-	monitor := sketch.NewSharded(sketch.Factory{
-		Name: "Ours",
-		New: func(mem int) sketch.Sketch {
-			return core.MustNew(core.Config{
-				Lambda: lambdaBytes, MemoryBytes: mem, Seed: seed,
-				FilterBits: 8, // byte-sized values need a wider mice filter
-			})
-		},
-	}, memory, shards, seed)
+	// One Spec describes the whole deployment: the key space is sharded
+	// across goroutines, as a multi-pipe deployment would, with each shard
+	// owning an independent sketch instance.
+	monitor, err := sketch.Build(*algo, sketch.Spec{
+		Lambda:      lambdaBytes,
+		MemoryBytes: memory,
+		Seed:        seed,
+		FilterBits:  8, // byte-sized values need a wider mice filter
+		Shards:      shards,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var wg sync.WaitGroup
 	chunk := len(packets.Items) / shards
@@ -50,9 +58,9 @@ func main() {
 		wg.Add(1)
 		go func(part []stream.Item) {
 			defer wg.Done()
-			for _, it := range part {
-				monitor.Insert(it.Key, it.Value)
-			}
+			// The sharded batch path partitions each chunk by owning shard
+			// and takes one lock per shard instead of one per packet.
+			sketch.InsertBatch(monitor, part)
 		}(packets.Items[lo:hi])
 	}
 	wg.Wait()
@@ -75,16 +83,39 @@ func main() {
 	fmt.Printf("%-4s %-20s %14s %14s %10s\n", "#", "flow", "est bytes", "true bytes", "err")
 	for i := 0; i < 10 && i < len(flows); i++ {
 		f := flows[i]
-		fmt.Printf("%-4d %-20d %14d %14d %10d\n", i+1, f.key, f.est, f.real, f.est-f.real)
+		fmt.Printf("%-4d %-20d %14d %14d %10d\n", i+1, f.key, f.est, f.real, absDiff(f.est, f.real))
 	}
 
 	// Verify the certificate held for every flow.
 	worst := uint64(0)
 	for _, f := range flows {
-		d := f.est - f.real
-		if d > worst {
+		if d := absDiff(f.est, f.real); d > worst {
 			worst = d
 		}
 	}
-	fmt.Printf("\nworst per-flow byte error: %d (certified ≤ %d)\n", worst, lambdaBytes)
+	// Any error-bounded variant certifies per-flow intervals; the stronger
+	// "every error ≤ Λ" claim belongs only to the Lambda-consuming variants.
+	if eb, certified := monitor.(sketch.ErrorBounded); certified {
+		violations := 0
+		for key, real := range truth {
+			est, mpe := eb.QueryWithError(key)
+			if real > est || sketch.CertifiedLowerBound(est, mpe) > real {
+				violations++
+			}
+		}
+		fmt.Printf("\nworst per-flow byte error: %d; certified intervals: %d violations across %d flows\n",
+			worst, violations, len(truth))
+		if e, ok := sketch.Lookup(*algo); ok && e.Caps.Has(sketch.CapLambdaTargeting) {
+			fmt.Printf("(Λ=%d: every per-flow error certified ≤ Λ)\n", lambdaBytes)
+		}
+	} else {
+		fmt.Printf("\nworst per-flow byte error: %d (%s provides no error certificate)\n", worst, *algo)
+	}
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
 }

@@ -8,13 +8,16 @@
 //	est ≤ T        ⇒ certainly not frequent (estimates never undershoot)
 //
 //	go run ./examples/heavyhitter
+//	go run ./examples/heavyhitter -baseline CU_fast
 package main
 
 import (
+	"flag"
 	"fmt"
+	"log"
 
-	"repro/internal/cm"
-	"repro/internal/core"
+	"repro/internal/sketch"
+	_ "repro/internal/sketch/all"
 	"repro/internal/stream"
 )
 
@@ -26,15 +29,35 @@ func main() {
 		memory    = 160 << 10
 		seed      = 7
 	)
+	// The est>T framing assumes an overestimating baseline; unbiased L2
+	// sketches (Count, UnivMon) can undershoot, so for them the
+	// "est ≤ T ⇒ certainly not frequent" premise does not hold and the
+	// comparison would be meaningless — only the CM/CU family is accepted.
+	overestimating := map[string]bool{
+		"CM_fast": true, "CM_acc": true, "CU_fast": true, "CU_acc": true,
+	}
+	baseline := flag.String("baseline", "CM_fast",
+		"overestimating registry variant playing the estimate-crosses-threshold detector (CM_fast, CM_acc, CU_fast, CU_acc)")
+	flag.Parse()
+	if !overestimating[*baseline] {
+		log.Fatalf("baseline %q is not in the overestimating CM/CU family this comparison assumes (choose CM_fast, CM_acc, CU_fast, or CU_acc)", *baseline)
+	}
 	s := stream.IPTrace(items, seed)
 	truth := s.Truth()
 
-	rs := core.NewFromMemory(memory, lambda, seed)
-	cmSketch := cm.NewFast(memory, seed)
-	for _, it := range s.Items {
-		rs.Insert(it.Key, it.Value)
-		cmSketch.Insert(it.Key, it.Value)
+	spec := sketch.Spec{Lambda: lambda, MemoryBytes: memory, Seed: seed}
+	rsBuilt := sketch.MustBuild("Ours", spec)
+	rs, ok := rsBuilt.(sketch.ErrorBounded)
+	if !ok {
+		log.Fatal("Ours lost its error bound — registry misconfigured")
 	}
+	base, err := sketch.Build(*baseline, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Both detectors see the same stream, fed through the batch path.
+	sketch.InsertBatch(rs, s.Items)
+	sketch.InsertBatch(base, s.Items)
 
 	// Classify every key with both sketches.
 	type tally struct{ tp, fp, fn int }
@@ -42,8 +65,8 @@ func main() {
 	for key, f := range truth {
 		actual := f > threshold
 
-		// CM: estimate crosses the threshold → alarm.
-		cmAlarm := cmSketch.Query(key) > threshold
+		// Baseline: estimate crosses the threshold → alarm.
+		cmAlarm := base.Query(key) > threshold
 		switch {
 		case cmAlarm && actual:
 			cmT.tp++
@@ -55,7 +78,7 @@ func main() {
 
 		// ReliableSketch: alarm only when the certified lower bound crosses.
 		est, mpe := rs.QueryWithError(key)
-		rsAlarm := est-mpe > threshold
+		rsAlarm := sketch.CertifiedLowerBound(est, mpe) > threshold
 		switch {
 		case rsAlarm && actual:
 			rsT.tp++
@@ -68,9 +91,9 @@ func main() {
 
 	fmt.Printf("stream: %s, %d items, %d distinct keys, %d truly frequent (>%d)\n\n",
 		s.Name, s.Len(), len(truth), rsT.tp+rsT.fn, threshold)
-	fmt.Printf("%-16s %8s %8s %8s\n", "detector", "hits", "false+", "misses")
-	fmt.Printf("%-16s %8d %8d %8d\n", "CM (estimate>T)", cmT.tp, cmT.fp, cmT.fn)
-	fmt.Printf("%-16s %8d %8d %8d\n", "ReliableSketch", rsT.tp, rsT.fp, rsT.fn)
+	fmt.Printf("%-20s %8s %8s %8s\n", "detector", "hits", "false+", "misses")
+	fmt.Printf("%-20s %8d %8d %8d\n", *baseline+" (est>T)", cmT.tp, cmT.fp, cmT.fn)
+	fmt.Printf("%-20s %8d %8d %8d\n", "ReliableSketch", rsT.tp, rsT.fp, rsT.fn)
 	fmt.Println("\nReliableSketch's certified lower bound eliminates false alarms;")
 	fmt.Printf("misses are bounded too: any missed key has f ≤ T+Λ = %d.\n", threshold+lambda)
 }

@@ -1,6 +1,11 @@
 // Quickstart: build a ReliableSketch, feed it a key-value stream, and query
 // value sums with certified error bounds.
 //
+// This example uses the low-level core.Config API directly; to build any
+// algorithm by name from a common memory/Λ/seed description, use the
+// registry instead: sketch.MustBuild("Ours", sketch.Spec{...}) (see
+// examples/flowmonitor and examples/reliability).
+//
 //	go run ./examples/quickstart
 package main
 

@@ -5,16 +5,17 @@
 // every single key right — the paper's Pr[∀e: |f̂−f| ≤ Λ] ≥ 1−Δ objective.
 //
 //	go run ./examples/reliability
+//	go run ./examples/reliability -algos CM_fast,CU_fast,Elastic,Ours
 package main
 
 import (
+	"flag"
 	"fmt"
+	"log"
 
-	"repro/internal/cm"
-	"repro/internal/core"
-	"repro/internal/cu"
 	"repro/internal/metrics"
 	"repro/internal/sketch"
+	_ "repro/internal/sketch/all"
 	"repro/internal/stream"
 )
 
@@ -25,15 +26,26 @@ func main() {
 		memory = 96 << 10 // deliberately tight so baselines show their tail
 		runs   = 20
 	)
+	algos := flag.String("algos", "CM_fast,CU_fast,Ours",
+		"comma-separated registry variants to compare")
+	flag.Parse()
 	s := stream.IPTrace(items, 1)
 
-	contenders := []struct {
+	type contender struct {
 		name string
 		make func(seed uint64) sketch.Sketch
-	}{
-		{"CM_fast", func(seed uint64) sketch.Sketch { return cm.NewFast(memory, seed) }},
-		{"CU_fast", func(seed uint64) sketch.Sketch { return cu.NewFast(memory, seed) }},
-		{"ReliableSketch", func(seed uint64) sketch.Sketch { return core.NewFromMemory(memory, lambda, seed) }},
+	}
+	names, err := sketch.ParseNames(*algos)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var contenders []contender
+	for _, name := range names {
+		contenders = append(contenders, contender{name, func(seed uint64) sketch.Sketch {
+			return sketch.MustBuild(name, sketch.Spec{
+				Lambda: lambda, MemoryBytes: memory, Seed: seed,
+			})
+		}})
 	}
 
 	fmt.Printf("stream: %s, %d items, %d keys; Λ=%d, memory=%dKB, %d runs\n\n",

@@ -24,10 +24,12 @@ import (
 // against exact per-flow byte counts.
 func TestPacketsToCollector(t *testing.T) {
 	collector, err := netsum.NewCollector("127.0.0.1:0", netsum.CollectorConfig{
-		Lambda:      40_000, // bytes
-		MemoryBytes: 256 << 10,
-		Seed:        1,
-		Logf:        t.Logf,
+		Spec: sketch.Spec{
+			Lambda:      40_000, // bytes
+			MemoryBytes: 256 << 10,
+			Seed:        1,
+		},
+		Logf: t.Logf,
 	})
 	if err != nil {
 		t.Fatal(err)

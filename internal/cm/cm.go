@@ -8,7 +8,12 @@
 // configuration) and CM_acc with d=16 rows (the accuracy configuration).
 package cm
 
-import "repro/internal/hash"
+import (
+	"math/bits"
+
+	"repro/internal/hash"
+	"repro/internal/stream"
+)
 
 // CounterBytes is the accounted size of one counter (32 bits, as in the
 // paper's C++ implementation).
@@ -22,6 +27,38 @@ type Sketch struct {
 	name   string
 	// hashCalls supports the Figure 16 hash-call accounting.
 	hashCalls uint64
+	// agg is the reusable per-batch aggregation cache of InsertBatch;
+	// aggShift maps a mixed key to a slot index.
+	agg      []aggSlot
+	aggShift uint
+}
+
+// aggSlot is one entry of InsertBatch's direct-mapped aggregation cache.
+// sum == 0 means empty (aggregating a zero value drops it, which matches
+// Insert(key, 0) adding nothing).
+type aggSlot struct {
+	key uint64
+	sum uint64
+}
+
+// maxAggSlots caps the aggregation cache: big enough to hold the heavy
+// tail of a zipfian batch, small enough (32KB) to stay cache-resident. The
+// actual size shrinks with the sketch's accounted budget so the unaccounted
+// scratch never dwarfs the sketch in same-memory comparisons.
+const maxAggSlots = 2048
+
+// ensureAgg sizes the cache to a power of two no larger than a quarter of
+// the accounted memory (floor 64 slots = 1KB).
+func (s *Sketch) ensureAgg() {
+	if s.agg != nil {
+		return
+	}
+	slots := maxAggSlots
+	for slots > 64 && slots*16 > s.MemoryBytes()/4 {
+		slots >>= 1
+	}
+	s.agg = make([]aggSlot, slots)
+	s.aggShift = uint(64 - bits.Len(uint(slots-1)))
 }
 
 // New builds a CM sketch with d rows of width counters each.
@@ -65,6 +102,33 @@ func (s *Sketch) Insert(key, value uint64) {
 		j := s.hashes.Bucket(i, key, s.width)
 		s.hashCalls++
 		s.rows[i][j] += uint32(value)
+	}
+}
+
+// InsertBatch is the native bulk-ingestion path. CM insertion is pure
+// commutative addition, so same-key items may be combined before touching
+// the rows: a direct-mapped cache aggregates the batch's repeated (heavy)
+// keys and each aggregate is inserted once — on the skewed streams the
+// paper evaluates this cuts hashing and counter traffic by the batch's
+// repetition factor while producing bit-identical counters to
+// item-at-a-time insertion. A cache conflict just flushes the evicted
+// aggregate early, so correctness never depends on the cache size.
+func (s *Sketch) InsertBatch(items []stream.Item) {
+	s.ensureAgg()
+	for _, it := range items {
+		sl := &s.agg[(it.Key*0x9E3779B97F4A7C15)>>s.aggShift]
+		if sl.sum != 0 && sl.key != it.Key {
+			s.Insert(sl.key, sl.sum)
+			sl.sum = 0
+		}
+		sl.key = it.Key
+		sl.sum += it.Value
+	}
+	for i := range s.agg {
+		if s.agg[i].sum != 0 {
+			s.Insert(s.agg[i].key, s.agg[i].sum)
+			s.agg[i].sum = 0
+		}
 	}
 }
 

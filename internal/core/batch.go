@@ -1,0 +1,38 @@
+package core
+
+import "repro/internal/stream"
+
+// InsertBatch is the native bulk-ingestion path: the same cascade as Insert
+// with the per-operation instrumentation hoisted out of the loop, so the
+// hot path touches only the filter and the bucket layers. Estimates after
+// InsertBatch are identical to item-at-a-time insertion, and the hash-call
+// accounting matches exactly (the cascade itself cannot be amortized —
+// bucket state depends on insertion order).
+func (s *Sketch) InsertBatch(items []stream.Item) {
+	var hashCalls uint64
+	mice := s.mice
+	for _, it := range items {
+		v := it.Value
+		if mice != nil {
+			if v = mice.Insert(it.Key, v); v == 0 {
+				continue
+			}
+		}
+		for i := range s.layers {
+			j := s.hashes.Bucket(i, it.Key, s.widths[i])
+			hashCalls++
+			if v = s.layers[i][j].InsertCapped(it.Key, v, s.lambdas[i]); v == 0 {
+				break
+			}
+		}
+		if v != 0 {
+			s.failures++
+			s.failedValue += v
+			if s.emerg != nil {
+				s.emerg.Insert(it.Key, v)
+			}
+		}
+	}
+	s.insertOps += uint64(len(items))
+	s.insertHashCalls += hashCalls
+}

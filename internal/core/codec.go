@@ -18,12 +18,14 @@ import (
 //
 // Wire format (all little-endian):
 //
-//	magic "RSK1" | config block | per-layer bucket runs | filter block
+//	magic "RSK2" | config block | per-layer bucket runs | filter block
 //
 // Buckets serialize sparsely (most are empty at sane loads): each occupied
 // bucket is (index uvarint, ID, YES, NO uvarints).
 
-var codecMagic = [4]byte{'R', 'S', 'K', '1'}
+// codecMagic versions the snapshot format; "RSK2" split the filter block's
+// hash-call counter into per-operation counters.
+var codecMagic = [4]byte{'R', 'S', 'K', '2'}
 
 // WriteTo serializes the sketch. It implements io.WriterTo.
 func (s *Sketch) WriteTo(w io.Writer) (int64, error) {

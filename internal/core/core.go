@@ -263,23 +263,21 @@ func (s *Sketch) InsertionFailures() (count, value uint64) {
 
 // HashCallStats returns the average number of hash-function calls per
 // insertion and per query so far — the quantity plotted in Figure 16. The
-// mice filter contributes its own calls (2 per touched operation with the
-// default 2-row filter).
+// mice filter contributes exactly 2 calls per touched operation (with the
+// default 2-row filter) and tracks insert and query hashing separately, so
+// the attribution is exact, not prorated. The only residual approximation:
+// StopLayer probes the filter through its query path, so interleaving
+// StopLayer calls with this accounting inflates the per-query average.
 func (s *Sketch) HashCallStats() (perInsert, perQuery float64) {
-	miceCalls := uint64(0)
+	var miceIns, miceQry uint64
 	if s.mice != nil {
-		miceCalls = s.mice.HashCalls()
+		miceIns, miceQry = s.mice.HashCallsByOp()
 	}
-	// The filter does not separate insert from query hashing; attribute
-	// proportionally to operation counts.
-	totalOps := s.insertOps + s.queryOps
 	if s.insertOps > 0 {
-		share := float64(miceCalls) * float64(s.insertOps) / float64(max(totalOps, 1))
-		perInsert = (float64(s.insertHashCalls) + share) / float64(s.insertOps)
+		perInsert = float64(s.insertHashCalls+miceIns) / float64(s.insertOps)
 	}
 	if s.queryOps > 0 {
-		share := float64(miceCalls) * float64(s.queryOps) / float64(max(totalOps, 1))
-		perQuery = (float64(s.queryHashCalls) + share) / float64(s.queryOps)
+		perQuery = float64(s.queryHashCalls+miceQry) / float64(s.queryOps)
 	}
 	return perInsert, perQuery
 }

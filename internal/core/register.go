@@ -1,0 +1,35 @@
+package core
+
+import "repro/internal/sketch"
+
+// ReliableSketch's two evaluated variants self-register. They are the only
+// entries consuming the Spec's error-targeting options: Lambda, FilterBits,
+// and Emergency.
+func init() {
+	sketch.Register("Ours",
+		sketch.CapErrorBounded|sketch.CapHeavyHitter|sketch.CapResettable|sketch.CapLambdaTargeting,
+		func(sp sketch.Spec) sketch.Sketch {
+			return MustNew(Config{
+				Lambda:      sp.Lambda,
+				MemoryBytes: sp.MemoryBytes,
+				Seed:        sp.Seed,
+				FilterBits:  sp.FilterBits,
+				Emergency:   sp.Emergency,
+				Rw:          sp.Rw,
+				Rl:          sp.Rl,
+			})
+		})
+	sketch.Register("Ours(Raw)",
+		sketch.CapErrorBounded|sketch.CapHeavyHitter|sketch.CapResettable|sketch.CapLambdaTargeting,
+		func(sp sketch.Spec) sketch.Sketch {
+			return MustNew(Config{
+				Lambda:            sp.Lambda,
+				MemoryBytes:       sp.MemoryBytes,
+				Seed:              sp.Seed,
+				Emergency:         sp.Emergency,
+				Rw:                sp.Rw,
+				Rl:                sp.Rl,
+				DisableMiceFilter: true,
+			})
+		})
+}

@@ -1,0 +1,13 @@
+package countsketch
+
+import "repro/internal/sketch"
+
+// Registered as "Count", the label the paper's Table 1 taxonomy uses for
+// the Count sketch's L2 family.
+func init() {
+	sketch.Register("Count",
+		sketch.CapResettable,
+		func(sp sketch.Spec) sketch.Sketch {
+			return NewBytes(sp.MemoryBytes, sp.Seed)
+		})
+}

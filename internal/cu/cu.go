@@ -5,7 +5,10 @@
 // and an accurate (d=16) variant, and §3.3's mice filter is a saturating CU.
 package cu
 
-import "repro/internal/hash"
+import (
+	"repro/internal/hash"
+	"repro/internal/stream"
+)
 
 // CounterBytes is the accounted size of one 32-bit counter.
 const CounterBytes = 4
@@ -72,6 +75,38 @@ func (s *Sketch) Insert(key, value uint64) {
 	for i := range s.rows {
 		if s.rows[i][s.idx[i]] < target {
 			s.rows[i][s.idx[i]] = target
+		}
+	}
+}
+
+// InsertBatch is the native bulk-ingestion path. Conservative update is
+// order-sensitive, so unlike CM the batch cannot be aggregated per key;
+// instead the row indexes are reused across runs of equal keys (bursty
+// streams repeat keys back to back) and the read/write phases run over the
+// cached indexes without re-hashing. Counter state is bit-identical to
+// item-at-a-time insertion.
+func (s *Sketch) InsertBatch(items []stream.Item) {
+	var prevKey uint64
+	havePrev := false
+	for _, it := range items {
+		if !havePrev || it.Key != prevKey {
+			for i := range s.rows {
+				s.idx[i] = s.hashes.Bucket(i, it.Key, s.width)
+			}
+			prevKey, havePrev = it.Key, true
+		}
+		var min uint64
+		for i := range s.rows {
+			c := uint64(s.rows[i][s.idx[i]])
+			if i == 0 || c < min {
+				min = c
+			}
+		}
+		target := uint32(min + it.Value)
+		for i := range s.rows {
+			if s.rows[i][s.idx[i]] < target {
+				s.rows[i][s.idx[i]] = target
+			}
 		}
 	}
 }

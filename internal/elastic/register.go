@@ -1,0 +1,11 @@
+package elastic
+
+import "repro/internal/sketch"
+
+func init() {
+	sketch.Register("Elastic",
+		sketch.CapHeavyHitter|sketch.CapResettable,
+		func(sp sketch.Spec) sketch.Sketch {
+			return NewBytes(sp.MemoryBytes, sp.Seed)
+		})
+}

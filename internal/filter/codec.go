@@ -22,7 +22,8 @@ func (f *Filter) EncodeTo(w io.Writer) error {
 		}
 		return nil
 	}
-	if err := write(uint64(len(f.rows)), uint64(f.width), uint64(f.bits), f.hashCalls); err != nil {
+	if err := write(uint64(len(f.rows)), uint64(f.width), uint64(f.bits),
+		f.insertHashCalls, f.queryHashCalls); err != nil {
 		return err
 	}
 	packed := make([]byte, (f.width*f.bits+7)/8)
@@ -58,9 +59,13 @@ func (f *Filter) DecodeFrom(r interface {
 	if err != nil {
 		return fmt.Errorf("filter: bits: %w", err)
 	}
-	calls, err := read()
+	insCalls, err := read()
 	if err != nil {
-		return fmt.Errorf("filter: hashCalls: %w", err)
+		return fmt.Errorf("filter: insertHashCalls: %w", err)
+	}
+	qryCalls, err := read()
+	if err != nil {
+		return fmt.Errorf("filter: queryHashCalls: %w", err)
 	}
 	if rows == 0 || rows > 16 || width == 0 || width > 1<<31 || bits == 0 || bits > 32 {
 		return fmt.Errorf("filter: implausible snapshot geometry %d×%d×%d", rows, width, bits)
@@ -71,7 +76,8 @@ func (f *Filter) DecodeFrom(r interface {
 	f.width = int(width)
 	f.bits = int(bits)
 	f.cap = 1<<bits - 1
-	f.hashCalls = calls
+	f.insertHashCalls = insCalls
+	f.queryHashCalls = qryCalls
 	packed := make([]byte, (int(width)*int(bits)+7)/8)
 	for ri := range f.rows {
 		if _, err := io.ReadFull(r, packed); err != nil {

@@ -27,7 +27,7 @@ func TestCodecRoundTrip(t *testing.T) {
 			t.Fatalf("key %d: (%d,%v) became (%d,%v)", k, e1, s1, e2, s2)
 		}
 	}
-	if f.HashCalls() == 0 || g.hashCalls < f.hashCalls {
+	if f.HashCalls() == 0 || g.HashCalls() < f.HashCalls() {
 		t.Error("hash call counter not preserved")
 	}
 }

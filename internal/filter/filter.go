@@ -24,9 +24,14 @@ type Filter struct {
 	cap    uint64
 	bits   int
 	hashes *hash.Family
-	// hashCalls counts bucket-index computations, for the Figure 16
-	// hash-call accounting.
-	hashCalls uint64
+	// idx caches the per-row bucket indexes between the read and write
+	// phases of an insertion, so each touched operation hashes exactly
+	// Rows() times — the "2 calls per operation" accounting of Figure 16.
+	idx []int
+	// insertHashCalls and queryHashCalls count bucket-index computations
+	// per operation kind, for the Figure 16 hash-call accounting.
+	insertHashCalls uint64
+	queryHashCalls  uint64
 }
 
 // New builds a filter with `rows` arrays of `width` counters of `bits` bits
@@ -41,6 +46,7 @@ func New(rows, width, bits int, seed uint64) *Filter {
 		cap:    1<<bits - 1,
 		bits:   bits,
 		hashes: hash.NewFamily(seed, rows),
+		idx:    make([]int, rows),
 	}
 	for r := range f.rows {
 		f.rows[r] = make([]uint32, width)
@@ -63,9 +69,11 @@ func (f *Filter) Cap() uint64 { return f.cap }
 
 // Insert adds <e, v> to the filter and returns the overflow: the portion of
 // v that could not be absorbed before the key's minimum counter saturated.
-// Overflow 0 means fully absorbed.
+// Overflow 0 means fully absorbed. The write phase reuses the indexes the
+// read phase computed, so an insertion costs exactly Rows() hash calls.
 func (f *Filter) Insert(e, v uint64) (overflow uint64) {
 	m := f.min(e)
+	f.insertHashCalls += uint64(len(f.rows))
 	absorbed := v
 	if m+v > f.cap {
 		absorbed = f.cap - m
@@ -74,10 +82,8 @@ func (f *Filter) Insert(e, v uint64) (overflow uint64) {
 	if absorbed > 0 {
 		target := uint32(m + absorbed)
 		for r := range f.rows {
-			i := f.hashes.Bucket(r, e, f.width)
-			f.hashCalls++
-			if f.rows[r][i] < target {
-				f.rows[r][i] = target
+			if f.rows[r][f.idx[r]] < target {
+				f.rows[r][f.idx[r]] = target
 			}
 		}
 	}
@@ -89,15 +95,19 @@ func (f *Filter) Insert(e, v uint64) (overflow uint64) {
 // (true exactly when the minimum counter is saturated).
 func (f *Filter) Query(e uint64) (est uint64, saturated bool) {
 	m := f.min(e)
+	f.queryHashCalls += uint64(len(f.rows))
 	return m, m == f.cap
 }
 
+// min computes the row indexes of e (cached in f.idx for the caller's write
+// phase) and returns the minimum mapped counter. Callers account the
+// len(f.rows) hash calls to their operation kind.
 func (f *Filter) min(e uint64) uint64 {
 	m := f.cap
 	first := true
 	for r := range f.rows {
 		i := f.hashes.Bucket(r, e, f.width)
-		f.hashCalls++
+		f.idx[r] = i
 		c := uint64(f.rows[r][i])
 		if first || c < m {
 			m = c
@@ -115,14 +125,21 @@ func (f *Filter) MemoryBytes() int {
 // Rows returns the number of counter arrays (hash calls per operation).
 func (f *Filter) Rows() int { return len(f.rows) }
 
-// HashCalls returns the cumulative number of hash evaluations, used by the
-// Figure 16 experiment.
-func (f *Filter) HashCalls() uint64 { return f.hashCalls }
+// HashCalls returns the cumulative number of hash evaluations across both
+// operation kinds, used by the Figure 16 experiment.
+func (f *Filter) HashCalls() uint64 { return f.insertHashCalls + f.queryHashCalls }
+
+// HashCallsByOp splits the cumulative hash evaluations by operation kind,
+// so callers embedding the filter can attribute them exactly instead of
+// prorating.
+func (f *Filter) HashCallsByOp() (insert, query uint64) {
+	return f.insertHashCalls, f.queryHashCalls
+}
 
 // Reset zeroes all counters.
 func (f *Filter) Reset() {
 	for r := range f.rows {
 		clear(f.rows[r])
 	}
-	f.hashCalls = 0
+	f.insertHashCalls, f.queryHashCalls = 0, 0
 }

@@ -107,10 +107,14 @@ func TestMemoryAccounting(t *testing.T) {
 
 func TestHashCallsAndReset(t *testing.T) {
 	f := New(2, 64, 8, 1)
-	f.Insert(1, 1) // min (2) + write (2 bucket computations)
-	f.Query(1)     // min (2)
-	if f.HashCalls() == 0 {
-		t.Error("hash calls not counted")
+	f.Insert(1, 1) // 2 calls: the write phase reuses the read phase's indexes
+	f.Query(1)     // 2 calls
+	if f.HashCalls() != 4 {
+		t.Errorf("HashCalls=%d want 4 (2 per touched operation)", f.HashCalls())
+	}
+	ins, qry := f.HashCallsByOp()
+	if ins != 2 || qry != 2 {
+		t.Errorf("HashCallsByOp=(%d,%d) want (2,2)", ins, qry)
 	}
 	f.Reset()
 	if f.HashCalls() != 0 {

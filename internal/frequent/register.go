@@ -1,0 +1,11 @@
+package frequent
+
+import "repro/internal/sketch"
+
+func init() {
+	sketch.Register("Frequent",
+		sketch.CapHeavyHitter|sketch.CapResettable,
+		func(sp sketch.Spec) sketch.Sketch {
+			return NewBytes(sp.MemoryBytes)
+		})
+}

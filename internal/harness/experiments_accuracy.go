@@ -45,13 +45,8 @@ func Fig5(o Options) *Table {
 		stream.WebStream(o.Items, o.Seed),
 	}
 	maxBytes := int(10 * 1024 * 1024 * o.memScale()) // paper probes up to 10MB
-	factories := []sketch.Factory{
-		OursFactory(lam, o.Seed),
-		{Name: "CM_acc", New: AccuracyFactories(lam, o.Seed)[1].New},
-		{Name: "CU_acc", New: AccuracyFactories(lam, o.Seed)[2].New},
-		{Name: "SS", New: AccuracyFactories(lam, o.Seed)[6].New},
-		{Name: "Elastic", New: AccuracyFactories(lam, o.Seed)[5].New},
-	}
+	factories := o.restrict(Set(lam, o.Seed, "Ours", "CM_acc", "CU_acc", "SS", "Elastic"))
+	o.noteIfEmptyRestriction(t, factories)
 	for _, f := range factories {
 		row := []any{f.Name}
 		for _, s := range streams {
@@ -99,7 +94,8 @@ func Fig7(threshold uint64, o Options) *Table {
 		ID:    fmt.Sprintf("fig7(T=%d)", threshold),
 		Title: fmt.Sprintf("Worst-case #outliers in frequent keys (T=%d paper scale, %d frequent keys, %d trials)", threshold, frequentTotal, o.Trials),
 	}
-	factories := FrequentKeyFactories(lam, o.Seed)
+	factories := o.restrict(FrequentKeyFactories(lam, o.Seed))
+	o.noteIfEmptyRestriction(t, factories)
 	t.Header = []string{"Memory(paper-scale)"}
 	for _, f := range factories {
 		t.Header = append(t.Header, f.Name)
@@ -126,15 +122,27 @@ func Fig7(threshold uint64, o Options) *Table {
 }
 
 // remakeWithSeed rebuilds a factory's sketch with a different hash seed, so
-// worst-of-k experiments actually vary the hashing.
+// worst-of-k experiments actually vary the hashing. Factory names are
+// registry names, so the rebuild is a registry query with a fresh Spec.
 func remakeWithSeed(f sketch.Factory, lambda, seed uint64, mem int) sketch.Sketch {
-	for _, g := range append(FrequentKeyFactories(lambda, seed), AccuracyFactories(lambda, seed)...) {
-		if g.Name == f.Name {
-			return g.New(mem)
-		}
+	if _, ok := sketch.Lookup(f.Name); ok {
+		return sketch.MustBuild(f.Name, sketch.Spec{Lambda: lambda, Seed: seed, MemoryBytes: mem})
 	}
 	return f.New(mem)
 }
+
+// errorFigFactories is the shared Figure 8/9 set: the accurate CM/CU
+// variants (which the paper's legend labels plainly "CM"/"CU") plus the
+// heap- and bucket-based competitors, under registry names so -algos
+// restriction works uniformly. errorVsMemory applies the restriction; the
+// legend note maps the column labels back to the paper's.
+func errorFigFactories(lambda uint64, o Options) []sketch.Factory {
+	return Set(lambda, o.Seed, "Ours", "CM_acc", "CU_acc", "Elastic", "SS", "Coco")
+}
+
+// errorFigLegendNote reconciles registry column names with the paper's
+// Figure 8/9 legend.
+const errorFigLegendNote = `CM_acc/CU_acc are plotted as "CM"/"CU" in the paper's legend (accurate d=16 variants)`
 
 // Fig8 reproduces Figure 8: AAE vs memory on a dataset ("ip" or "zipf3.0").
 func Fig8(variant string, o Options) (*Table, error) {
@@ -143,15 +151,8 @@ func Fig8(variant string, o Options) (*Table, error) {
 		return nil, fmt.Errorf("harness: unknown fig8 dataset %q", variant)
 	}
 	const lam = 25
-	fs := []sketch.Factory{
-		OursFactory(lam, o.Seed),
-		{Name: "CM", New: AccuracyFactories(lam, o.Seed)[1].New}, // accurate variants,
-		{Name: "CU", New: AccuracyFactories(lam, o.Seed)[2].New}, // as plotted
-		{Name: "Elastic", New: AccuracyFactories(lam, o.Seed)[5].New},
-		{Name: "SS", New: AccuracyFactories(lam, o.Seed)[6].New},
-		{Name: "Coco", New: AccuracyFactories(lam, o.Seed)[7].New},
-	}
-	t := errorVsMemory(s, fs, o, false)
+	t := errorVsMemory(s, errorFigFactories(lam, o), o, false)
+	t.Notes = append(t.Notes, errorFigLegendNote)
 	t.ID = "fig8(" + variant + ")"
 	t.Title = "AAE vs memory on " + s.Name
 	return t, nil
@@ -164,15 +165,8 @@ func Fig9(variant string, o Options) (*Table, error) {
 		return nil, fmt.Errorf("harness: unknown fig9 dataset %q", variant)
 	}
 	const lam = 25
-	fs := []sketch.Factory{
-		OursFactory(lam, o.Seed),
-		{Name: "CM", New: AccuracyFactories(lam, o.Seed)[1].New},
-		{Name: "CU", New: AccuracyFactories(lam, o.Seed)[2].New},
-		{Name: "Elastic", New: AccuracyFactories(lam, o.Seed)[5].New},
-		{Name: "SS", New: AccuracyFactories(lam, o.Seed)[6].New},
-		{Name: "Coco", New: AccuracyFactories(lam, o.Seed)[7].New},
-	}
-	t := errorVsMemory(s, fs, o, true)
+	t := errorVsMemory(s, errorFigFactories(lam, o), o, true)
+	t.Notes = append(t.Notes, errorFigLegendNote)
 	t.ID = "fig9(" + variant + ")"
 	t.Title = "ARE vs memory on " + s.Name
 	return t, nil

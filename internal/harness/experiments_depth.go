@@ -7,6 +7,7 @@ import (
 	"repro/internal/cm"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/sketch"
 	"repro/internal/stream"
 )
 
@@ -208,17 +209,9 @@ func Table1(o Options) *Table {
 		ok := 0
 		for trial := 0; trial < trials; trial++ {
 			seed := o.Seed + uint64(trial)*7919
-			var outliers int
-			for _, f := range AllFactories(lam, seed) {
-				if f.Name != name {
-					continue
-				}
-				sk := f.New(mem)
-				metrics.Feed(sk, probe)
-				outliers = metrics.Evaluate(sk, probe, lam).Outliers
-				break
-			}
-			if outliers == 0 {
+			sk := sketch.MustBuild(name, sketch.Spec{Lambda: lam, Seed: seed, MemoryBytes: mem})
+			metrics.Feed(sk, probe)
+			if metrics.Evaluate(sk, probe, lam).Outliers == 0 {
 				ok++
 			}
 		}

@@ -10,13 +10,15 @@ import (
 	"repro/internal/stream"
 )
 
-// paramFactory builds ReliableSketch with explicit decay ratios.
+// paramFactory builds ReliableSketch with explicit decay ratios, through
+// the registry like every other experiment factory (Spec.Rw/Rl carry the
+// sweep). The display name encodes the parameter point.
 func paramFactory(lambda uint64, rw, rl float64, seed uint64) sketch.Factory {
 	return sketch.Factory{
 		Name: fmt.Sprintf("Ours(Rw=%.1f,Rl=%.1f)", rw, rl),
 		New: func(mem int) sketch.Sketch {
-			return core.MustNew(core.Config{
-				Lambda: lambda, MemoryBytes: mem, Rw: rw, Rl: rl, Seed: seed,
+			return sketch.MustBuild("Ours", sketch.Spec{
+				Lambda: lambda, MemoryBytes: mem, Seed: seed, Rw: rw, Rl: rl,
 			})
 		},
 	}

@@ -2,88 +2,80 @@
 // algorithm from a memory budget, runs the workloads from internal/stream,
 // and renders each figure and table as text rows. Every experiment is
 // addressable by its paper artifact id ("fig4a", "table3", ...) through Run.
+//
+// Algorithms are never constructed directly: each per-figure set is a query
+// against the sketch registry (populated by repro/internal/sketch/all), so
+// adding an algorithm variant means registering it in its own package — no
+// harness edits.
 package harness
 
 import (
-	"repro/internal/cm"
-	"repro/internal/coco"
-	"repro/internal/core"
-	"repro/internal/countsketch"
-	"repro/internal/cu"
-	"repro/internal/elastic"
-	"repro/internal/frequent"
-	"repro/internal/hashpipe"
-	"repro/internal/precision"
+	"fmt"
+
 	"repro/internal/sketch"
-	"repro/internal/spacesaving"
-	"repro/internal/univmon"
+	_ "repro/internal/sketch/all" // register every algorithm variant
 )
+
+// Set resolves registry names into a memory-sweep factory set for the given
+// error tolerance and seed. Unknown names panic: per-figure sets are static
+// and a typo should fail loudly at experiment start, not render an empty
+// column.
+func Set(lambda, seed uint64, names ...string) []sketch.Factory {
+	fs := make([]sketch.Factory, 0, len(names))
+	for _, name := range names {
+		e, ok := sketch.Lookup(name)
+		if !ok {
+			panic(fmt.Sprintf("harness: algorithm %q not registered", name))
+		}
+		fs = append(fs, e.Factory(sketch.Spec{Lambda: lambda, Seed: seed}))
+	}
+	return fs
+}
 
 // OursFactory builds ReliableSketch (with mice filter) for tolerance lambda.
 func OursFactory(lambda, seed uint64) sketch.Factory {
-	return sketch.Factory{Name: "Ours", New: func(mem int) sketch.Sketch {
-		return core.NewFromMemory(mem, lambda, seed)
-	}}
+	return Set(lambda, seed, "Ours")[0]
 }
 
 // RawFactory builds the filterless ReliableSketch variant.
 func RawFactory(lambda, seed uint64) sketch.Factory {
-	return sketch.Factory{Name: "Ours(Raw)", New: func(mem int) sketch.Sketch {
-		return core.NewRaw(mem, lambda, seed)
-	}}
+	return Set(lambda, seed, "Ours(Raw)")[0]
 }
 
 // AccuracyFactories is the algorithm set of the outlier/AAE/ARE comparisons
 // (Figures 4, 6, 8, 9): Ours plus the counter-based and heap-based
 // competitors.
 func AccuracyFactories(lambda, seed uint64) []sketch.Factory {
-	return []sketch.Factory{
-		OursFactory(lambda, seed),
-		{Name: "CM_acc", New: func(m int) sketch.Sketch { return cm.NewAccurate(m, seed) }},
-		{Name: "CU_acc", New: func(m int) sketch.Sketch { return cu.NewAccurate(m, seed) }},
-		{Name: "CM_fast", New: func(m int) sketch.Sketch { return cm.NewFast(m, seed) }},
-		{Name: "CU_fast", New: func(m int) sketch.Sketch { return cu.NewFast(m, seed) }},
-		{Name: "Elastic", New: func(m int) sketch.Sketch { return elastic.NewBytes(m, seed) }},
-		{Name: "SS", New: func(m int) sketch.Sketch { return spacesaving.NewBytes(m) }},
-		{Name: "Coco", New: func(m int) sketch.Sketch { return coco.NewBytes(m, seed) }},
-	}
+	return Set(lambda, seed,
+		"Ours", "CM_acc", "CU_acc", "CM_fast", "CU_fast", "Elastic", "SS", "Coco")
 }
 
 // FrequentKeyFactories is the Figure 7 set: Ours against the
 // pipeline-friendly heavy-hitter algorithms plus Space-Saving.
 func FrequentKeyFactories(lambda, seed uint64) []sketch.Factory {
-	return []sketch.Factory{
-		OursFactory(lambda, seed),
-		{Name: "PRECISION", New: func(m int) sketch.Sketch { return precision.NewBytes(m, seed) }},
-		{Name: "Elastic", New: func(m int) sketch.Sketch { return elastic.NewBytes(m, seed) }},
-		{Name: "HashPipe", New: func(m int) sketch.Sketch { return hashpipe.NewBytes(m, seed) }},
-		{Name: "SS", New: func(m int) sketch.Sketch { return spacesaving.NewBytes(m) }},
-	}
+	return Set(lambda, seed, "Ours", "PRECISION", "Elastic", "HashPipe", "SS")
 }
 
 // ThroughputFactories is the Figure 10 set: all eleven variants.
 func ThroughputFactories(lambda, seed uint64) []sketch.Factory {
-	return []sketch.Factory{
-		OursFactory(lambda, seed),
-		RawFactory(lambda, seed),
-		{Name: "CM_fast", New: func(m int) sketch.Sketch { return cm.NewFast(m, seed) }},
-		{Name: "CU_fast", New: func(m int) sketch.Sketch { return cu.NewFast(m, seed) }},
-		{Name: "CM_acc", New: func(m int) sketch.Sketch { return cm.NewAccurate(m, seed) }},
-		{Name: "CU_acc", New: func(m int) sketch.Sketch { return cu.NewAccurate(m, seed) }},
-		{Name: "SS", New: func(m int) sketch.Sketch { return spacesaving.NewBytes(m) }},
-		{Name: "Elastic", New: func(m int) sketch.Sketch { return elastic.NewBytes(m, seed) }},
-		{Name: "Coco", New: func(m int) sketch.Sketch { return coco.NewBytes(m, seed) }},
-		{Name: "HashPipe", New: func(m int) sketch.Sketch { return hashpipe.NewBytes(m, seed) }},
-		{Name: "PRECISION", New: func(m int) sketch.Sketch { return precision.NewBytes(m, seed) }},
-	}
+	return Set(lambda, seed,
+		"Ours", "Ours(Raw)", "CM_fast", "CU_fast", "CM_acc", "CU_acc",
+		"SS", "Elastic", "Coco", "HashPipe", "PRECISION")
 }
 
-// AllFactories adds the remaining taxonomy entries (Count, Frequent) to the
-// throughput set, for the registry-completeness tests and the demo tool.
+// AllFactories is the full registry — every registered variant, sorted by
+// name. Used by the completeness tests and the demo tool.
 func AllFactories(lambda, seed uint64) []sketch.Factory {
-	return append(ThroughputFactories(lambda, seed),
-		sketch.Factory{Name: "Count", New: func(m int) sketch.Sketch { return countsketch.NewBytes(m, seed) }},
-		sketch.Factory{Name: "UnivMon", New: func(m int) sketch.Sketch { return univmon.NewBytes(m, seed) }},
-		sketch.Factory{Name: "Frequent", New: func(m int) sketch.Sketch { return frequent.NewBytes(m) }},
-	)
+	return Set(lambda, seed, sketch.Names()...)
+}
+
+// HeavyHitterFactories queries the registry by capability: every variant
+// that can enumerate its tracked keys. New heavy-hitter algorithms join
+// these experiments just by registering with sketch.CapHeavyHitter.
+func HeavyHitterFactories(lambda, seed uint64) []sketch.Factory {
+	var fs []sketch.Factory
+	for _, e := range sketch.ByCapability(sketch.CapHeavyHitter) {
+		fs = append(fs, e.Factory(sketch.Spec{Lambda: lambda, Seed: seed}))
+	}
+	return fs
 }

@@ -20,6 +20,40 @@ type Options struct {
 	// Trials is the repetition count for worst-case experiments (the paper
 	// uses 100 for Figure 7).
 	Trials int
+	// Algos, when non-empty, restricts every comparison experiment to the
+	// named registry variants (rsbench -algos). Experiments probing a single
+	// fixed algorithm (Figures 16-19) ignore it.
+	Algos []string
+}
+
+// restrict filters a factory set down to o.Algos (no-op when unset). Order
+// follows the figure's set, not the flag.
+func (o Options) restrict(fs []sketch.Factory) []sketch.Factory {
+	if len(o.Algos) == 0 {
+		return fs
+	}
+	want := make(map[string]bool, len(o.Algos))
+	for _, name := range o.Algos {
+		want[name] = true
+	}
+	out := fs[:0:0]
+	for _, f := range fs {
+		if want[f.Name] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// noteIfEmptyRestriction flags a table whose algorithm set was filtered to
+// nothing by -algos: the named variants exist in the registry but not in
+// this figure's comparison, which would otherwise render as a silently
+// successful measurement of nothing.
+func (o Options) noteIfEmptyRestriction(t *Table, factories []sketch.Factory) {
+	if len(factories) == 0 && len(o.Algos) > 0 {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("-algos %v matched none of this figure's algorithms — no data columns", o.Algos))
+	}
 }
 
 // DefaultOptions is the laptop-friendly configuration.
@@ -62,7 +96,9 @@ func mbString(bytes int, o Options) string {
 // outliersVsMemory is the primitive behind Figures 4 and 6: one row per
 // memory point, one column per algorithm, counting outliers for lambda.
 func outliersVsMemory(s *stream.Stream, lambda uint64, factories []sketch.Factory, o Options) *Table {
+	factories = o.restrict(factories)
 	t := &Table{Header: []string{"Memory(paper-scale)"}}
+	o.noteIfEmptyRestriction(t, factories)
 	for _, f := range factories {
 		t.Header = append(t.Header, f.Name)
 	}
@@ -113,7 +149,9 @@ func countOutliers(f sketch.Factory, s *stream.Stream, lambda uint64, mem int) i
 
 // errorVsMemory is the primitive behind Figures 8 (AAE) and 9 (ARE).
 func errorVsMemory(s *stream.Stream, factories []sketch.Factory, o Options, relative bool) *Table {
+	factories = o.restrict(factories)
 	t := &Table{Header: []string{"Memory(paper-scale)"}}
+	o.noteIfEmptyRestriction(t, factories)
 	for _, f := range factories {
 		t.Header = append(t.Header, f.Name)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/metrics"
+	"repro/internal/sketch"
 	"repro/internal/stream"
 )
 
@@ -169,6 +170,46 @@ func TestFig19LayerDecay(t *testing.T) {
 	filterKeys, _ := strconv.Atoi(a.Rows[0][1])
 	if filterKeys == 0 {
 		t.Error("no keys resolved in the mice filter")
+	}
+}
+
+func TestAlgosRestriction(t *testing.T) {
+	o := tinyOptions
+	o.Algos = []string{"Ours", "SS"}
+	tb := Fig4(25, o)
+	want := []string{"Memory(paper-scale)", "Ours", "SS"}
+	if len(tb.Header) != len(want) {
+		t.Fatalf("restricted header %v, want %v", tb.Header, want)
+	}
+	for i, h := range want {
+		if tb.Header[i] != h {
+			t.Errorf("restricted header[%d] = %q, want %q", i, tb.Header[i], h)
+		}
+	}
+}
+
+func TestSetUnknownNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Set accepted an unregistered algorithm name")
+		}
+	}()
+	Set(25, 1, "NoSuchSketch")
+}
+
+func TestHeavyHitterFactoriesTrack(t *testing.T) {
+	s := stream.IPTrace(20_000, 1)
+	for _, f := range HeavyHitterFactories(25, 1) {
+		sk := f.New(64 << 10)
+		metrics.Feed(sk, s)
+		hh, ok := sk.(interface{ Tracked() []sketch.KV })
+		if !ok {
+			t.Errorf("%s built by HeavyHitterFactories cannot Tracked()", f.Name)
+			continue
+		}
+		if len(hh.Tracked()) == 0 {
+			t.Errorf("%s tracked nothing over 20k items", f.Name)
+		}
 	}
 }
 

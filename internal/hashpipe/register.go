@@ -1,0 +1,11 @@
+package hashpipe
+
+import "repro/internal/sketch"
+
+func init() {
+	sketch.Register("HashPipe",
+		sketch.CapHeavyHitter|sketch.CapResettable,
+		func(sp sketch.Spec) sketch.Sketch {
+			return NewBytes(sp.MemoryBytes, sp.Seed)
+		})
+}

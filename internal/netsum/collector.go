@@ -6,32 +6,41 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 
-	"repro/internal/core"
+	"repro/internal/sketch"
+	_ "repro/internal/sketch/all" // make every registered variant dialable by name
 )
 
-// CollectorConfig sizes the per-agent sketches the collector maintains.
+// CollectorConfig selects and sizes the per-agent sketches the collector
+// maintains.
 type CollectorConfig struct {
-	// Lambda is the per-agent error tolerance; a key measured at k agents
-	// carries a certified global error of at most k·Lambda.
-	Lambda uint64
-	// MemoryBytes is the per-agent sketch budget.
-	MemoryBytes int
-	// Seed drives sketch hashing.
-	Seed uint64
+	// Algo names the registered sketch variant built per agent. It must
+	// carry sketch.CapErrorBounded — the collector composes certified
+	// intervals, which needs QueryWithError. Default "Ours".
+	Algo string
+	// Spec sizes each agent's sketch. For Lambda-consuming variants
+	// (ReliableSketch) Spec.Lambda is the per-agent error tolerance, so a
+	// key measured at k agents carries a certified global error of at most
+	// k·Lambda; variants that ignore Lambda (SS) still compose soundly, but
+	// their global bound is the sum of their own per-query MPEs, not
+	// k·Lambda. Spec.Emergency is forced on so the composed bounds stay
+	// unconditional even under insertion failure.
+	Spec sketch.Spec
 	// Logf receives connection-level diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
 
-// Collector terminates agent connections, maintains one ReliableSketch per
-// agent, and answers global queries with certified bounds.
+// Collector terminates agent connections, maintains one error-bounded
+// sketch per agent, and answers global queries with certified bounds.
 type Collector struct {
-	cfg CollectorConfig
-	ln  net.Listener
+	cfg   CollectorConfig
+	build sketch.Builder
+	ln    net.Listener
 
 	mu      sync.Mutex
-	agents  map[uint64]*core.Sketch
+	agents  map[uint64]sketch.ErrorBounded
 	updates uint64
 	queries uint64
 
@@ -41,11 +50,17 @@ type Collector struct {
 
 // NewCollector starts a collector listening on addr (e.g. "127.0.0.1:0").
 func NewCollector(addr string, cfg CollectorConfig) (*Collector, error) {
-	if cfg.Lambda == 0 {
-		cfg.Lambda = 25
+	if cfg.Algo == "" {
+		cfg.Algo = "Ours"
 	}
-	if cfg.MemoryBytes == 0 {
-		cfg.MemoryBytes = 1 << 20
+	cfg.Spec.Emergency = true
+	entry, ok := sketch.Lookup(cfg.Algo)
+	if !ok {
+		return nil, fmt.Errorf("netsum: unknown algorithm %q", cfg.Algo)
+	}
+	if !entry.Caps.Has(sketch.CapErrorBounded) {
+		return nil, fmt.Errorf("netsum: algorithm %q cannot certify errors (need one of: %s)",
+			cfg.Algo, errorBoundedNames())
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -53,13 +68,24 @@ func NewCollector(addr string, cfg CollectorConfig) (*Collector, error) {
 	}
 	c := &Collector{
 		cfg:    cfg,
+		build:  entry.Build,
 		ln:     ln,
-		agents: make(map[uint64]*core.Sketch),
+		agents: make(map[uint64]sketch.ErrorBounded),
 		closed: make(chan struct{}),
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return c, nil
+}
+
+// errorBoundedNames lists the registry variants usable as collector
+// sketches, for error messages.
+func errorBoundedNames() string {
+	var names []string
+	for _, e := range sketch.ByCapability(sketch.CapErrorBounded) {
+		names = append(names, e.Name)
+	}
+	return strings.Join(names, ", ")
 }
 
 // Addr returns the listener's address, for clients to dial.
@@ -102,21 +128,25 @@ func (c *Collector) acceptLoop() {
 	}
 }
 
-// sketchFor returns (creating on first contact) the agent's sketch.
-func (c *Collector) sketchFor(agentID uint64) *core.Sketch {
+// sketchFor returns (creating on first contact) the agent's sketch. The
+// registry conformance tests pin capabilities to implemented interfaces
+// (including under Spec.Shards), so a failed assertion means a
+// misregistered variant — reported as a connection error, not a panic.
+func (c *Collector) sketchFor(agentID uint64) (sketch.ErrorBounded, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	sk, ok := c.agents[agentID]
 	if !ok {
-		sk = core.MustNew(core.Config{
-			Lambda:      c.cfg.Lambda,
-			MemoryBytes: c.cfg.MemoryBytes,
-			Seed:        c.cfg.Seed,
-			Emergency:   true, // unconditional bounds at the collector
-		})
+		built := c.build(c.cfg.Spec)
+		eb, isEB := built.(sketch.ErrorBounded)
+		if !isEB {
+			return nil, fmt.Errorf("netsum: %q registered ErrorBounded but built %T without QueryWithError",
+				c.cfg.Algo, built)
+		}
+		sk = eb
 		c.agents[agentID] = sk
 	}
-	return sk
+	return sk, nil
 }
 
 // handle runs one agent connection to completion.
@@ -125,7 +155,7 @@ func (c *Collector) handle(conn net.Conn) error {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 16<<10)
 
-	var agent *core.Sketch
+	var agent sketch.ErrorBounded
 	for {
 		typ, payload, err := readFrame(br)
 		if err != nil {
@@ -138,7 +168,9 @@ func (c *Collector) handle(conn net.Conn) error {
 			if err != nil {
 				return err
 			}
-			agent = c.sketchFor(id)
+			if agent, err = c.sketchFor(id); err != nil {
+				return err
+			}
 
 		case msgBatch:
 			if agent == nil {
@@ -149,9 +181,7 @@ func (c *Collector) handle(conn net.Conn) error {
 				return err
 			}
 			c.mu.Lock()
-			for _, up := range ups {
-				agent.Insert(up.Key, up.Value)
-			}
+			sketch.InsertBatch(agent, ups)
 			c.updates += uint64(len(ups))
 			c.mu.Unlock()
 

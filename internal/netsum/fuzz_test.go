@@ -10,7 +10,7 @@ import (
 // yield an error or a well-formed batch, never a panic or a huge
 // allocation.
 func FuzzDecodeBatch(f *testing.F) {
-	f.Add(encodeBatch([]Update{{1, 2}, {3, 4}}))
+	f.Add(encodeBatch([]Update{{Key: 1, Value: 2}, {Key: 3, Value: 4}}))
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
 	f.Fuzz(func(t *testing.T, payload []byte) {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/sketch"
 	"repro/internal/stream"
 )
 
@@ -37,7 +38,7 @@ func TestFrameRejectsOversize(t *testing.T) {
 }
 
 func TestBatchCodec(t *testing.T) {
-	ups := []Update{{1, 2}, {999999, 1}, {0, 7}}
+	ups := []Update{{Key: 1, Value: 2}, {Key: 999999, Value: 1}, {Key: 0, Value: 7}}
 	got, err := decodeBatch(encodeBatch(ups))
 	if err != nil {
 		t.Fatal(err)
@@ -60,7 +61,7 @@ func TestBatchCodec(t *testing.T) {
 func newTestCollector(t *testing.T) *Collector {
 	t.Helper()
 	c, err := NewCollector("127.0.0.1:0", CollectorConfig{
-		Lambda: 25, MemoryBytes: 256 << 10, Seed: 1,
+		Spec: sketch.Spec{Lambda: 25, MemoryBytes: 256 << 10, Seed: 1},
 		Logf: t.Logf,
 	})
 	if err != nil {
@@ -213,7 +214,7 @@ func TestBatchBeforeHelloRejected(t *testing.T) {
 	}
 	defer conn.Close()
 	bw := bufio.NewWriter(conn)
-	if err := writeFrame(bw, msgBatch, encodeBatch([]Update{{1, 1}})); err != nil {
+	if err := writeFrame(bw, msgBatch, encodeBatch([]Update{{Key: 1, Value: 1}})); err != nil {
 		t.Fatal(err)
 	}
 	bw.Flush()

@@ -17,6 +17,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"repro/internal/stream"
 )
 
 // Message types.
@@ -40,11 +42,10 @@ const (
 // from forcing giant allocations.
 const maxFrame = 1 << 20
 
-// Update is one key-value increment.
-type Update struct {
-	Key   uint64
-	Value uint64
-}
+// Update is one key-value increment. It aliases stream.Item so decoded
+// batches feed the collector's sketches through the native batch-ingestion
+// path without copying.
+type Update = stream.Item
 
 // writeFrame emits a type byte, a uvarint payload length, and the payload.
 func writeFrame(w io.Writer, typ byte, payload []byte) error {

@@ -1,0 +1,11 @@
+package precision
+
+import "repro/internal/sketch"
+
+func init() {
+	sketch.Register("PRECISION",
+		sketch.CapHeavyHitter|sketch.CapResettable,
+		func(sp sketch.Spec) sketch.Sketch {
+			return NewBytes(sp.MemoryBytes, sp.Seed)
+		})
+}

@@ -1,0 +1,21 @@
+// Package all registers every stream-summary algorithm variant with the
+// sketch registry, via the algorithm packages' init functions. Import it
+// for side effects wherever the full variant set must be buildable by name
+// (the experiment harness, the CLI tools, registry-wide tests):
+//
+//	import _ "repro/internal/sketch/all"
+package all
+
+import (
+	_ "repro/internal/cm"
+	_ "repro/internal/coco"
+	_ "repro/internal/core"
+	_ "repro/internal/countsketch"
+	_ "repro/internal/cu"
+	_ "repro/internal/elastic"
+	_ "repro/internal/frequent"
+	_ "repro/internal/hashpipe"
+	_ "repro/internal/precision"
+	_ "repro/internal/spacesaving"
+	_ "repro/internal/univmon"
+)

@@ -1,0 +1,31 @@
+package sketch
+
+import "repro/internal/stream"
+
+// BatchInserter is implemented by sketches with a native bulk-ingestion
+// path. After InsertBatch(items), every Query (and QueryWithError) answer
+// must equal what calling Insert(item.Key, item.Value) for each item in
+// order would produce — batch is a throughput optimization (amortized
+// hashing, per-shard partitioning, bulk accounting), never a semantic
+// change. Instrumentation tallies (hash-call counters) may legitimately
+// come out lower: that reduction is the optimization.
+//
+// Like Insert, InsertBatch is single-writer unless the implementation
+// documents otherwise (Sharded's is safe for concurrent use).
+type BatchInserter interface {
+	InsertBatch(items []stream.Item)
+}
+
+// InsertBatch feeds items into sk through its native batch path when it has
+// one, falling back to item-at-a-time insertion otherwise. This is the one
+// ingestion entry point the harness and metrics use, so every algorithm
+// benefits from batching the moment it implements BatchInserter.
+func InsertBatch(sk Sketch, items []stream.Item) {
+	if b, ok := sk.(BatchInserter); ok {
+		b.InsertBatch(items)
+		return
+	}
+	for _, it := range items {
+		sk.Insert(it.Key, it.Value)
+	}
+}

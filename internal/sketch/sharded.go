@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/hash"
+	"repro/internal/stream"
 )
 
 // Sharded partitions the key space across n independent sub-sketches so
@@ -51,12 +52,145 @@ func (s *Sharded) Insert(key, value uint64) {
 	s.mus[i].Unlock()
 }
 
+// shardBatchChunk bounds the per-call partitioning scratch of InsertBatch:
+// items are processed in chunks of this many, so the transient copy stays
+// ~256KB regardless of batch size (metrics.Feed passes whole streams).
+const shardBatchChunk = 1 << 14
+
+// InsertBatch is the native bulk-ingestion path: items are partitioned by
+// owning shard (in bounded chunks), then each shard is locked once per
+// chunk and fed its whole partition (through the shard's own batch path
+// when it has one). One lock round-trip per shard per chunk replaces one
+// per item, and per-shard relative item order is preserved, so results are
+// identical to item-at-a-time insertion. Safe for concurrent use: the
+// partition buffers are per-call.
+func (s *Sharded) InsertBatch(items []stream.Item) {
+	n := len(s.shards)
+	if n == 1 {
+		s.mus[0].Lock()
+		InsertBatch(s.shards[0], items)
+		s.mus[0].Unlock()
+		return
+	}
+	chunkSize := len(items)
+	if chunkSize > shardBatchChunk {
+		chunkSize = shardBatchChunk
+	}
+	parts := make([][]stream.Item, n)
+	for i := range parts {
+		parts[i] = make([]stream.Item, 0, chunkSize/n+1)
+	}
+	for len(items) > 0 {
+		chunk := items
+		if len(chunk) > shardBatchChunk {
+			chunk = items[:shardBatchChunk]
+		}
+		items = items[len(chunk):]
+		for i := range parts {
+			parts[i] = parts[i][:0]
+		}
+		for _, it := range chunk {
+			i := s.shard(it.Key)
+			parts[i] = append(parts[i], it)
+		}
+		for i, part := range parts {
+			if len(part) == 0 {
+				continue
+			}
+			s.mus[i].Lock()
+			InsertBatch(s.shards[i], part)
+			s.mus[i].Unlock()
+		}
+	}
+}
+
 // Query reads from the owning shard. Safe for concurrent use.
 func (s *Sharded) Query(key uint64) uint64 {
 	i := s.shard(key)
 	s.mus[i].Lock()
 	defer s.mus[i].Unlock()
 	return s.shards[i].Query(key)
+}
+
+// Wrap upgrades the sharded fan-out with the interfaces its sub-sketches
+// actually implement, so sharding never erases a capability that can be
+// delegated soundly — and never fakes one that can't. Shards are built by
+// one factory, so probing shard 0 decides for all.
+func (s *Sharded) Wrap() Sketch {
+	_, eb := s.shards[0].(ErrorBounded)
+	_, hh := s.shards[0].(HeavyHitterReporter)
+	switch {
+	case eb && hh:
+		return ErrorBoundedSharded{TrackedSharded{s}}
+	case eb:
+		return CertifiedSharded{s}
+	case hh:
+		return TrackedSharded{s}
+	default:
+		return s
+	}
+}
+
+// Reset clears every shard implementing Resettable in place. It lives on
+// Sharded itself (every algorithm in the repository is Resettable); shards
+// without Reset are left untouched.
+func (s *Sharded) Reset() {
+	for i, sh := range s.shards {
+		r, ok := sh.(Resettable)
+		if !ok {
+			continue
+		}
+		s.mus[i].Lock()
+		r.Reset()
+		s.mus[i].Unlock()
+	}
+}
+
+// TrackedSharded augments a Sharded whose sub-sketches report heavy
+// hitters. It is a distinct type (rather than a method on Sharded) so a
+// sharded sketch type-asserts as HeavyHitterReporter exactly when its
+// shards do.
+type TrackedSharded struct{ *Sharded }
+
+// Tracked concatenates the tracked keys of every shard (key ownership is
+// disjoint, so no merging is needed).
+func (s TrackedSharded) Tracked() []KV {
+	var out []KV
+	for i, sh := range s.shards {
+		s.mus[i].Lock()
+		out = append(out, sh.(HeavyHitterReporter).Tracked()...)
+		s.mus[i].Unlock()
+	}
+	return out
+}
+
+// shardedQueryWithError delegates a certified query to the owning shard:
+// each key is owned by exactly one shard, so the owning shard's certified
+// interval IS the sharded sketch's — no composition needed.
+func shardedQueryWithError(s *Sharded, key uint64) (est, mpe uint64) {
+	i := s.shard(key)
+	s.mus[i].Lock()
+	defer s.mus[i].Unlock()
+	return s.shards[i].(ErrorBounded).QueryWithError(key)
+}
+
+// CertifiedSharded augments a Sharded whose sub-sketches certify their
+// errors but do not report heavy hitters.
+type CertifiedSharded struct{ *Sharded }
+
+// QueryWithError reads the certified interval from the owning shard.
+func (s CertifiedSharded) QueryWithError(key uint64) (est, mpe uint64) {
+	return shardedQueryWithError(s.Sharded, key)
+}
+
+// ErrorBoundedSharded augments a TrackedSharded whose sub-sketches both
+// certify their errors and report heavy hitters (true of every
+// ErrorBounded algorithm in the repository).
+type ErrorBoundedSharded struct{ TrackedSharded }
+
+// QueryWithError reads the certified interval from the owning shard.
+func (s ErrorBoundedSharded) QueryWithError(key uint64) (est, mpe uint64) {
+	return shardedQueryWithError(s.Sharded, key)
 }
 
 // MemoryBytes sums the shards' accounted memory.

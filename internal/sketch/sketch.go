@@ -38,6 +38,17 @@ type ErrorBounded interface {
 	QueryWithError(key uint64) (est, mpe uint64)
 }
 
+// CertifiedLowerBound is the floor of an ErrorBounded interval: est − mpe
+// clamped at 0, since the certified MPE can exceed a small estimate (e.g. a
+// saturated mice filter plus occupied buckets) and true value sums are
+// never negative.
+func CertifiedLowerBound(est, mpe uint64) uint64 {
+	if mpe > est {
+		return 0
+	}
+	return est - mpe
+}
+
 // Resettable is implemented by sketches that can be cleared in place,
 // allowing epoch-based deployments to reuse allocations.
 type Resettable interface {

@@ -1,0 +1,14 @@
+package spacesaving
+
+import "repro/internal/sketch"
+
+// Space-Saving is the one competitor that certifies per-key error (its
+// per-counter overestimate bound), so it registers ErrorBounded alongside
+// ReliableSketch.
+func init() {
+	sketch.Register("SS",
+		sketch.CapErrorBounded|sketch.CapHeavyHitter|sketch.CapResettable,
+		func(sp sketch.Spec) sketch.Sketch {
+			return NewBytes(sp.MemoryBytes)
+		})
+}

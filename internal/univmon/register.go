@@ -1,0 +1,11 @@
+package univmon
+
+import "repro/internal/sketch"
+
+func init() {
+	sketch.Register("UnivMon",
+		sketch.CapResettable,
+		func(sp sketch.Spec) sketch.Sketch {
+			return NewBytes(sp.MemoryBytes, sp.Seed)
+		})
+}

@@ -11,8 +11,10 @@ package repro
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/epoch"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/sketch"
@@ -189,6 +191,98 @@ func BenchmarkInsertBatch(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkMerge measures the distributed-aggregation primitive: folding a
+// fully populated 1MB sketch into another. This is the per-batch cost
+// ceiling of the netsum collector's merged view and the per-rotation cost
+// of the epoch ring's cached window views.
+func BenchmarkMerge(b *testing.B) {
+	s := benchStream()
+	for _, name := range []string{"Ours", "CM_fast", "CU_fast", "Count"} {
+		b.Run(name, func(b *testing.B) {
+			spec := sketch.Spec{MemoryBytes: 1 << 20, Lambda: 25, Seed: 1}
+			src := sketch.MustBuild(name, spec)
+			sketch.InsertBatch(src, s.Items[:len(s.Items)/2])
+			dst := sketch.MustBuild(name, spec).(sketch.Mergeable)
+			sketch.InsertBatch(dst, s.Items[len(s.Items)/2:])
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := dst.Merge(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Epoch-ring benchmarks: ingest through the ring (the mutex + rotation
+// check over the raw sketch) and the rotation itself (sealing + publishing
+// a fresh sealed set).
+func BenchmarkRingInsert(b *testing.B) {
+	s := benchStream()
+	r := epoch.NewRing(sketch.Factory{Name: "Ours", New: func(mem int) sketch.Sketch {
+		return core.NewFromMemory(mem, 25, 1)
+	}}, 1<<20, time.Hour, 4, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := s.Items[i%len(s.Items)]
+		r.Insert(it.Key, it.Value)
+	}
+}
+
+func BenchmarkRingInsertBatch(b *testing.B) {
+	s := benchStream()
+	const chunk = 4096
+	r := epoch.NewRing(sketch.Factory{Name: "Ours", New: func(mem int) sketch.Sketch {
+		return core.NewFromMemory(mem, 25, 1)
+	}}, 1<<20, time.Hour, 4, nil)
+	b.ResetTimer()
+	for inserted := 0; inserted < b.N; {
+		lo := inserted % len(s.Items)
+		hi := lo + chunk
+		if hi > len(s.Items) {
+			hi = len(s.Items)
+		}
+		if rem := b.N - inserted; hi-lo > rem {
+			hi = lo + rem
+		}
+		r.InsertBatch(s.Items[lo:hi])
+		inserted += hi - lo
+	}
+}
+
+func BenchmarkRingRotate(b *testing.B) {
+	// Every insert lands one epoch boundary ahead of the last, so each
+	// iteration pays exactly one seal + publish.
+	now := time.Unix(0, 0)
+	r := epoch.NewRing(sketch.Factory{Name: "CM_fast", New: func(mem int) sketch.Sketch {
+		return sketch.MustBuild("CM_fast", sketch.Spec{MemoryBytes: mem, Seed: 1})
+	}}, 256<<10, time.Second, 4, func() time.Time { return now })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(time.Second)
+		r.Insert(uint64(i), 1)
+	}
+}
+
+// BenchmarkRingSealedQuery measures the lock-free sealed-window read path
+// under a populated ring.
+func BenchmarkRingSealedQuery(b *testing.B) {
+	s := benchStream()
+	now := time.Unix(0, 0)
+	r := epoch.NewRing(sketch.Factory{Name: "Ours", New: func(mem int) sketch.Sketch {
+		return core.NewFromMemory(mem, 25, 1)
+	}}, 1<<20, time.Second, 4, func() time.Time { return now })
+	r.InsertBatch(s.Items)
+	now = now.Add(time.Second)
+	r.Insert(1, 1) // seal
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Query(s.Items[i%len(s.Items)].Key)
+	}
+	_ = sink
 }
 
 func BenchmarkOursQueryWithError(b *testing.B) {

@@ -7,12 +7,19 @@
 //	rsgen -dataset ip -items 1000000 -out ip.bin
 //	rsagent -collector 127.0.0.1:7777 -id 1 -trace ip.bin
 //	rsagent -collector 127.0.0.1:7777 -id 2 -query 12345
+//	rsagent -collector 127.0.0.1:7777 -query 12345 -window 4
 //	rsagent -collector "" -trace ip.bin -algo Ours -mem 262144 -query 12345
+//	rsagent -collector "" -trace ip.bin -algo Ours -epoch 10s -window 3 -query 12345
 //
 // With -algo, the agent also maintains a local shadow sketch built from the
 // registry (fed through the batch-ingestion path), so queries report the
 // local view next to the collector's global certified interval. With
 // -collector "" the agent runs offline on the shadow sketch alone.
+//
+// With -epoch, the shadow sketch becomes an epoch ring: the trace is
+// replayed as -window+1 simulated epochs of that length, and -query answers
+// over the sliding window of the last -window sealed epochs. Against an
+// epoch-mode collector, -window n issues a network window query too.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"log"
 	"time"
 
+	"repro/internal/epoch"
 	"repro/internal/netsum"
 	"repro/internal/sketch"
 	_ "repro/internal/sketch/all"
@@ -38,20 +46,36 @@ func main() {
 		lambda    = flag.Uint64("lambda", 25, "shadow sketch error tolerance Λ")
 		mem       = flag.Int("mem", 1<<20, "shadow sketch memory (bytes)")
 		seed      = flag.Uint64("seed", 1, "shadow sketch hash seed")
+		ep        = flag.Duration("epoch", 0, "simulated epoch length for the shadow sketch (0 = cumulative)")
+		window    = flag.Int("window", 0, "sliding-window size in epochs for -query (0 = cumulative)")
 	)
 	flag.Parse()
 
+	spec := sketch.Spec{Lambda: *lambda, MemoryBytes: *mem, Seed: *seed}
 	var shadow sketch.Sketch
+	var ring *epoch.Ring
+	advanceEpoch := func() {}
 	if *algo != "" {
-		var err error
-		shadow, err = sketch.Build(*algo, sketch.Spec{
-			Lambda: *lambda, MemoryBytes: *mem, Seed: *seed,
-		})
-		if err != nil {
-			log.Fatalf("rsagent: %v", err)
+		entry, ok := sketch.Lookup(*algo)
+		if !ok {
+			log.Fatalf("rsagent: unknown algorithm %q", *algo)
+		}
+		if *ep > 0 {
+			capacity := *window
+			if capacity <= 0 {
+				capacity = epoch.DefaultCapacity
+			}
+			// Replay has no timestamps; simulate capacity+1 equal epochs so
+			// the requested window is fully populated with sealed traffic.
+			simNow := time.Unix(0, 0)
+			ring = epoch.NewRing(entry.Factory(spec), *mem, *ep, capacity,
+				func() time.Time { return simNow })
+			advanceEpoch = func() { simNow = simNow.Add(*ep) }
+		} else {
+			shadow = entry.Build(spec)
 		}
 	}
-	if *collector == "" && shadow == nil {
+	if *collector == "" && shadow == nil && ring == nil {
 		log.Fatal("rsagent: offline mode (-collector \"\") needs a shadow sketch (-algo)")
 	}
 
@@ -92,16 +116,44 @@ func main() {
 			fmt.Printf("shadow %s ingested locally in %v (%dB)\n",
 				shadow.Name(), time.Since(localStart).Round(time.Millisecond), shadow.MemoryBytes())
 		}
+		if ring != nil {
+			localStart := time.Now()
+			epochs := ring.Capacity() + 1
+			per := (s.Len() + epochs - 1) / epochs
+			fed := 0
+			for lo := 0; lo < s.Len(); lo += per {
+				hi := lo + per
+				if hi > s.Len() {
+					hi = s.Len()
+				}
+				ring.InsertBatch(s.Items[lo:hi])
+				advanceEpoch()
+				fed++
+			}
+			ring.Insert(0, 0) // seal the final simulated epoch
+			fmt.Printf("shadow %s ingested %d simulated epochs in %v (%dB, %d sealed)\n",
+				ring.Name(), fed, time.Since(localStart).Round(time.Millisecond),
+				ring.MemoryBytes(), ring.Sealed())
+		}
 	}
 
 	if *queryKey != 0 {
 		if a != nil {
-			est, mpe, err := a.Query(*queryKey)
-			if err != nil {
-				log.Fatalf("rsagent: query: %v", err)
+			if *window > 0 {
+				est, mpe, covered, err := a.QueryWindow(*queryKey, *window)
+				if err != nil {
+					log.Fatalf("rsagent: window query: %v", err)
+				}
+				fmt.Printf("key %d: %d-epoch window estimate=%d, certified global interval [%d, %d] (covered %d epochs)\n",
+					*queryKey, *window, est, sketch.CertifiedLowerBound(est, mpe), est, covered)
+			} else {
+				est, mpe, err := a.Query(*queryKey)
+				if err != nil {
+					log.Fatalf("rsagent: query: %v", err)
+				}
+				fmt.Printf("key %d: estimate=%d, certified global interval [%d, %d]\n",
+					*queryKey, est, sketch.CertifiedLowerBound(est, mpe), est)
 			}
-			fmt.Printf("key %d: estimate=%d, certified global interval [%d, %d]\n",
-				*queryKey, est, sketch.CertifiedLowerBound(est, mpe), est)
 		}
 		if shadow != nil {
 			if eb, ok := shadow.(sketch.ErrorBounded); ok {
@@ -110,6 +162,19 @@ func main() {
 					*queryKey, le, sketch.CertifiedLowerBound(le, lm), le)
 			} else {
 				fmt.Printf("key %d: local shadow estimate=%d\n", *queryKey, shadow.Query(*queryKey))
+			}
+		}
+		if ring != nil {
+			n := *window
+			if n <= 0 {
+				n = ring.Capacity()
+			}
+			if le, lm, ok := ring.QueryWindowWithError(*queryKey, n); ok {
+				fmt.Printf("key %d: local %d-epoch window estimate=%d, interval [%d, %d]\n",
+					*queryKey, n, le, sketch.CertifiedLowerBound(le, lm), le)
+			} else {
+				fmt.Printf("key %d: local %d-epoch window estimate=%d\n",
+					*queryKey, n, ring.QueryWindow(*queryKey, n))
 			}
 		}
 	}

@@ -7,6 +7,14 @@
 //
 //	rscollector -listen 127.0.0.1:7777 -lambda 25 -mem 1048576
 //	rscollector -algo SS               # any error-bounded registry variant
+//	rscollector -epoch 10s -window 8   # sliding-window (epoch ring) mode
+//
+// With a Mergeable variant (the default "Ours") the collector additionally
+// maintains an incrementally merged global sketch and answers queries from
+// the intersection of the merged view and the estimate-sum composition.
+// With -epoch, each agent's state becomes an epoch ring retaining -window
+// sealed epochs; agents may then issue sliding-window queries
+// (rsagent -window).
 //
 // The collector prints periodic ingest statistics to stdout; stop it with
 // SIGINT. Agents may query through their own connections (rsagent -query).
@@ -26,25 +34,38 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:7777", "address to listen on")
-		algo   = flag.String("algo", "Ours", "registered error-bounded sketch variant per agent")
-		lambda = flag.Uint64("lambda", 25, "per-agent error tolerance Λ")
-		mem    = flag.Int("mem", 1<<20, "per-agent sketch memory (bytes)")
-		seed   = flag.Uint64("seed", 1, "sketch hash seed")
-		every  = flag.Duration("stats", 5*time.Second, "statistics print interval")
+		listen  = flag.String("listen", "127.0.0.1:7777", "address to listen on")
+		algo    = flag.String("algo", "Ours", "registered error-bounded sketch variant per agent")
+		lambda  = flag.Uint64("lambda", 25, "per-agent error tolerance Λ")
+		mem     = flag.Int("mem", 1<<20, "per-agent sketch memory (bytes)")
+		seed    = flag.Uint64("seed", 1, "sketch hash seed")
+		every   = flag.Duration("stats", 5*time.Second, "statistics print interval")
+		ep      = flag.Duration("epoch", 0, "epoch length for sliding-window mode (0 = cumulative)")
+		window  = flag.Int("window", 0, "sealed epochs retained per agent in -epoch mode (0 = default)")
+		noMerge = flag.Bool("no-merge", false, "disable the merged global view (estimate-sum only)")
 	)
 	flag.Parse()
 
 	c, err := netsum.NewCollector(*listen, netsum.CollectorConfig{
-		Algo: *algo,
-		Spec: sketch.Spec{Lambda: *lambda, MemoryBytes: *mem, Seed: *seed},
-		Logf: log.Printf,
+		Algo:              *algo,
+		Spec:              sketch.Spec{Lambda: *lambda, MemoryBytes: *mem, Seed: *seed},
+		Epoch:             *ep,
+		WindowEpochs:      *window,
+		DisableMergedView: *noMerge,
+		Logf:              log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("rscollector: %v", err)
 	}
-	fmt.Printf("rscollector listening on %s (%s, Λ=%d, %dB per agent)\n",
-		c.Addr(), *algo, *lambda, *mem)
+	mode := "estimate-sum aggregation"
+	if c.MergeBased() {
+		mode = "merge-based aggregation"
+	}
+	if *ep > 0 {
+		mode = fmt.Sprintf("sliding-window mode (epoch=%v, window=%d)", *ep, *window)
+	}
+	fmt.Printf("rscollector listening on %s (%s, Λ=%d, %dB per agent, %s)\n",
+		c.Addr(), *algo, *lambda, *mem, mode)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)

@@ -39,7 +39,11 @@ func main() {
 		log.Fatal(err)
 	}
 	defer collector.Close()
-	fmt.Printf("collector listening on %s\n", collector.Addr())
+	mode := "estimate-sum aggregation"
+	if collector.MergeBased() {
+		mode = "merge-based aggregation (per-batch folds into one global sketch, intersected with estimate-summing)"
+	}
+	fmt.Printf("collector listening on %s, %s\n", collector.Addr(), mode)
 
 	// Each site observes its own slice of the network's traffic; flows
 	// cross sites (same key space), as backbone flows cross vantage points.

@@ -84,17 +84,17 @@ func TestPacketsToCollector(t *testing.T) {
 // identical on both sides.
 func TestEpochSnapshotShipping(t *testing.T) {
 	clock := time.Unix(0, 0)
-	rot := epoch.NewRotator(sketch.Factory{
+	rot := epoch.NewRing(sketch.Factory{
 		Name: "Ours",
 		New:  func(mem int) sketch.Sketch { return core.NewFromMemory(mem, 25, 5) },
-	}, 128<<10, time.Second, func() time.Time { return clock })
+	}, 128<<10, time.Second, 4, func() time.Time { return clock })
 
 	s := stream.IPTrace(60_000, 5)
 	for _, it := range s.Items {
 		rot.Insert(it.Key, it.Value)
 	}
-	clock = clock.Add(2 * time.Second)
-	rot.Insert(0xdead, 1) // trigger rotation; epoch 0 is sealed
+	clock = clock.Add(time.Second)
+	rot.Insert(0xdead, 1) // trigger rotation; the data epoch is sealed
 
 	// The sealed window answers certified queries...
 	est, mpe, ok := rot.QuerySealedWithError(s.Items[0].Key)
@@ -102,7 +102,7 @@ func TestEpochSnapshotShipping(t *testing.T) {
 		t.Fatal("no sealed window after rotation")
 	}
 
-	// ...and ships as a snapshot. (Rotator exposes the sealed sketch only
+	// ...and ships as a snapshot. (The ring exposes sealed sketches only
 	// through queries; rebuild an identical one to snapshot, as the real
 	// pipeline owns its sketch directly.)
 	local := core.NewFromMemory(128<<10, 25, 5)

@@ -95,8 +95,13 @@ func (b *Bucket) InsertCapped(e, v, lambda uint64) (overflow uint64) {
 		return 0
 	}
 	if b.NO+v > lambda && b.YES > lambda {
-		// Lock triggered: absorb only up to λ, divert the rest.
-		absorbable := lambda - b.NO // NO ≤ λ is an invariant, so no underflow
+		// Lock triggered: absorb only up to λ, divert the rest. Insertion
+		// alone keeps NO ≤ λ, but a Merge may have pushed NO past λ — then
+		// nothing is absorbable and the whole value cascades.
+		if b.NO >= lambda {
+			return v
+		}
+		absorbable := lambda - b.NO
 		b.NO = lambda
 		return v - absorbable
 	}
@@ -113,4 +118,49 @@ func (b *Bucket) InsertCapped(e, v, lambda uint64) (overflow uint64) {
 // votes are accepted.
 func (b *Bucket) Locked(lambda uint64) bool {
 	return b.NO >= lambda && b.YES > b.NO
+}
+
+// Merge folds bucket o (summarizing a disjoint stream slice hashed to the
+// same position) into b so that b's certified bounds hold for the union
+// stream. Writing f for the union stream's per-key sums:
+//
+//   - Same candidate: votes add. f(ID) ∈ [YESa+YESb − (NOa+NOb), YESa+YESb]
+//     and any other key has f(e) ≤ NOa+NOb, both by summing the per-bucket
+//     invariants.
+//   - Different candidates: the candidate with more YES votes wins. Its
+//     mass in the losing bucket is non-candidate there, hence ≤ NO_l, so
+//     YES = YES_w + NO_l is still an upper bound; NO = NO_w + max(YES_l,
+//     NO_l) covers both the losing candidate (f ≤ NO_w + YES_l) and every
+//     other key (f ≤ NO_w + NO_l), and keeps YES − NO ≤ YES_w − NO_w ≤
+//     f(ID_w), so the lower bound survives. The max() keeps this sound even
+//     when a previous merge left NO > YES.
+//
+// Merged NO totals may exceed a layer's lock threshold λ; InsertCapped
+// tolerates that, but the early query-stop heuristics that infer "nothing
+// cascaded deeper" from NO alone become unsound — owners of merged buckets
+// must walk all layers (see core.Sketch.Merge).
+func (b *Bucket) Merge(o Bucket) {
+	if !o.occupied {
+		return
+	}
+	if !b.occupied {
+		*b = o
+		return
+	}
+	if b.ID == o.ID {
+		b.YES += o.YES
+		b.NO += o.NO
+		return
+	}
+	w, l := *b, o
+	if o.YES > b.YES {
+		w, l = o, *b
+	}
+	lv := l.YES
+	if l.NO > lv {
+		lv = l.NO
+	}
+	b.ID = w.ID
+	b.YES = w.YES + l.NO
+	b.NO = w.NO + lv
 }

@@ -72,7 +72,9 @@ func checkInterval(t *testing.T, b *Bucket, truth map[uint64]uint64) {
 		if est < f {
 			t.Fatalf("key %d: est %d < true %d (bucket %+v)", e, est, f, *b)
 		}
-		if est-mpe > f {
+		// The certified floor clamps at 0 (owners use CertifiedLowerBound):
+		// merged buckets can legitimately hold NO > YES.
+		if mpe < est && est-mpe > f {
 			t.Fatalf("key %d: est−mpe = %d > true %d (bucket %+v)", e, est-mpe, f, *b)
 		}
 	}
@@ -92,6 +94,62 @@ func TestIntervalInvariantRandom(t *testing.T) {
 			truth[e] += v
 			checkInterval(t, &b, truth)
 		}
+	}
+}
+
+// TestMergeIntervalInvariant drives two buckets with disjoint random slices
+// of one stream, merges them, and checks the merged certified bounds hold
+// for the union truth — the per-bucket soundness the sketch-level Merge
+// builds on. Chained merges exercise the NO > YES states only merging can
+// produce.
+func TestMergeIntervalInvariant(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 300; trial++ {
+		parts := r.IntN(3) + 2
+		bs := make([]Bucket, parts)
+		truth := map[uint64]uint64{}
+		for step := 0; step < 150; step++ {
+			e := uint64(r.IntN(5))
+			v := uint64(r.IntN(9)) + 1
+			bs[r.IntN(parts)].Insert(e, v)
+			truth[e] += v
+		}
+		merged := bs[0]
+		for _, b := range bs[1:] {
+			merged.Merge(b)
+		}
+		checkInterval(t, &merged, truth)
+	}
+}
+
+// TestMergeEmptySides pins the empty-bucket cases: merging an empty source
+// is a no-op, merging into an empty receiver copies the source.
+func TestMergeEmptySides(t *testing.T) {
+	var a, empty Bucket
+	a.Insert(7, 5)
+	before := a
+	a.Merge(empty)
+	if a != before {
+		t.Errorf("merging an empty bucket changed the receiver: %+v", a)
+	}
+	var b Bucket
+	b.Merge(before)
+	if b != before {
+		t.Errorf("merging into an empty bucket should copy: %+v vs %+v", b, before)
+	}
+}
+
+// TestInsertCappedToleratesMergedNO: a merge can leave NO above λ; a
+// subsequent capped insert must divert the whole value rather than
+// underflow the absorbable computation.
+func TestInsertCappedToleratesMergedNO(t *testing.T) {
+	var a, b Bucket
+	a.Insert(1, 50) // candidate 1, YES 50
+	b.Insert(2, 30) // candidate 2, YES 30
+	a.Merge(b)      // NO = 0 + 30 = 30 > λ below
+	const lambda = 10
+	if got := a.InsertCapped(3, 8, lambda); got != 8 {
+		t.Errorf("overflow = %d, want all 8 diverted (NO %d already past λ %d)", got, a.NO, lambda)
 	}
 }
 

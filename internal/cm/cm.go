@@ -10,8 +10,10 @@ package cm
 
 import (
 	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/hash"
+	"repro/internal/sketch"
 	"repro/internal/stream"
 )
 
@@ -20,13 +22,20 @@ import (
 const CounterBytes = 4
 
 // Sketch is a Count-Min sketch with d rows of w 32-bit counters.
+//
+// Insert is single-writer; Query is safe for concurrent readers (sealed
+// epoch windows are queried lock-free), so the query-side hash-call counter
+// is atomic and the insert-side one stays plain.
 type Sketch struct {
 	rows   [][]uint32
 	width  int
 	hashes *hash.Family
 	name   string
-	// hashCalls supports the Figure 16 hash-call accounting.
-	hashCalls uint64
+	// insertHashCalls + queryHashCalls support the Figure 16 hash-call
+	// accounting, split by operation kind so concurrent queries never race
+	// the single-writer insert path.
+	insertHashCalls uint64
+	queryHashCalls  atomic.Uint64
 	// agg is the reusable per-batch aggregation cache of InsertBatch;
 	// aggShift maps a mixed key to a slot index.
 	agg      []aggSlot
@@ -100,7 +109,7 @@ func widthFor(memBytes, d int) int {
 func (s *Sketch) Insert(key, value uint64) {
 	for i := range s.rows {
 		j := s.hashes.Bucket(i, key, s.width)
-		s.hashCalls++
+		s.insertHashCalls++
 		s.rows[i][j] += uint32(value)
 	}
 }
@@ -133,17 +142,43 @@ func (s *Sketch) InsertBatch(items []stream.Item) {
 }
 
 // Query returns the minimum mapped counter, a certified overestimate.
+// Safe for concurrent readers.
 func (s *Sketch) Query(key uint64) uint64 {
 	var min uint64
 	for i := range s.rows {
 		j := s.hashes.Bucket(i, key, s.width)
-		s.hashCalls++
 		c := uint64(s.rows[i][j])
 		if i == 0 || c < min {
 			min = c
 		}
 	}
+	s.queryHashCalls.Add(uint64(len(s.rows)))
 	return min
+}
+
+// Merge adds another same-geometry CM sketch counter-by-counter. CM is a
+// linear sketch, so the merged counters are bit-identical to one sketch fed
+// the concatenated stream — queries after Merge are exact equivalents.
+func (s *Sketch) Merge(other sketch.Sketch) error {
+	o, ok := other.(*Sketch)
+	if !ok {
+		return sketch.MergeIncompatible(s, other, "not a Count-Min sketch")
+	}
+	if len(s.rows) != len(o.rows) || s.width != o.width {
+		return sketch.MergeIncompatible(s, other, "geometry differs")
+	}
+	if !s.hashes.Equal(o.hashes) {
+		return sketch.MergeIncompatible(s, other, "hash seeds differ")
+	}
+	for i := range s.rows {
+		dst, src := s.rows[i], o.rows[i]
+		for j := range dst {
+			dst[j] += src[j]
+		}
+	}
+	s.insertHashCalls += o.insertHashCalls
+	s.queryHashCalls.Add(o.queryHashCalls.Load())
+	return nil
 }
 
 // Depth returns the number of rows d.
@@ -153,7 +188,7 @@ func (s *Sketch) Depth() int { return len(s.rows) }
 func (s *Sketch) Width() int { return s.width }
 
 // HashCalls returns the cumulative hash evaluations (Figure 16).
-func (s *Sketch) HashCalls() uint64 { return s.hashCalls }
+func (s *Sketch) HashCalls() uint64 { return s.insertHashCalls + s.queryHashCalls.Load() }
 
 // MemoryBytes reports d × w × 4 bytes.
 func (s *Sketch) MemoryBytes() int { return len(s.rows) * s.width * CounterBytes }
@@ -166,5 +201,6 @@ func (s *Sketch) Reset() {
 	for i := range s.rows {
 		clear(s.rows[i])
 	}
-	s.hashCalls = 0
+	s.insertHashCalls = 0
+	s.queryHashCalls.Store(0)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/bucket"
 	"repro/internal/filter"
@@ -14,7 +15,10 @@ import (
 // convenience constructors; the zero value is not usable.
 //
 // Sketch is single-writer, like the hardware pipelines it models; wrap it in
-// sketch.Sharded for concurrent insertion.
+// sketch.Sharded for concurrent insertion. Queries are safe for any number
+// of concurrent readers as long as no insertion runs (the epoch ring's
+// sealed-window contract): the query path touches no shared scratch and its
+// instrumentation counters are atomic.
 type Sketch struct {
 	cfg     Config
 	lambda  uint64 // Λ
@@ -27,13 +31,21 @@ type Sketch struct {
 
 	bucketBytes int
 
-	// Instrumentation for the paper's in-depth experiments.
+	// merged marks a sketch that absorbed another via Merge. Merged bucket
+	// state keeps every certified interval sound, but the early query-stop
+	// heuristics (replaceable bucket, candidate hit) are only proven for
+	// insertion-built state, so merged sketches walk every layer whose NO
+	// reached the lock threshold.
+	merged bool
+
+	// Instrumentation for the paper's in-depth experiments. Query-side
+	// counters are atomic so concurrent sealed-window readers never race.
 	failures        uint64 // insertions with leftover value after the last layer
 	failedValue     uint64 // total value that failed to insert
 	insertOps       uint64
 	insertHashCalls uint64
-	queryOps        uint64
-	queryHashCalls  uint64
+	queryOps        atomic.Uint64
+	queryHashCalls  atomic.Uint64
 }
 
 // New builds a ReliableSketch from cfg, resolving defaults and the
@@ -203,7 +215,7 @@ func (s *Sketch) Query(key uint64) uint64 {
 // Error (Algorithm 2). Absent insertion failure — or always, when the
 // emergency layer is enabled — the true sum lies in [est − mpe, est].
 func (s *Sketch) QueryWithError(key uint64) (est, mpe uint64) {
-	s.queryOps++
+	s.queryOps.Add(1)
 	if s.mice != nil {
 		m, saturated := s.mice.Query(key)
 		est += m
@@ -212,25 +224,44 @@ func (s *Sketch) QueryWithError(key uint64) (est, mpe uint64) {
 			return est, mpe
 		}
 	}
+	var hashCalls uint64
 	for i := range s.layers {
 		j := s.hashes.Bucket(i, key, s.widths[i])
-		s.queryHashCalls++
+		hashCalls++
 		b := &s.layers[i][j]
 		e, _ := b.Query(key)
 		est += e
 		mpe += b.NO
-		// Stop once this layer proves the key went no deeper: the bucket is
-		// unlocked, or it is replaceable (YES == NO), or it holds the key.
-		if b.NO < s.lambdas[i] || b.YES == b.NO || (b.Occupied() && b.ID == key) {
+		if s.stopAt(b, i, key) {
+			s.queryHashCalls.Add(hashCalls)
 			return est, mpe
 		}
 	}
+	s.queryHashCalls.Add(hashCalls)
 	if s.emerg != nil {
 		e, m := s.emerg.QueryWithError(key)
 		est += e
 		mpe += m
 	}
 	return est, mpe
+}
+
+// stopAt reports whether the layer walk may stop at bucket b in layer i:
+// the layer proves the key's value went no deeper. An unlocked bucket
+// (NO below the lock threshold) never overflowed, which stays true under
+// Merge because merged NO totals only grow. The two sharper stops — the
+// bucket is replaceable (YES == NO) or holds the key as candidate — are
+// proven only for insertion-built state, so a merged sketch skips them and
+// walks on; visiting extra layers adds matching est/mpe slack and keeps
+// every interval sound.
+func (s *Sketch) stopAt(b *bucket.Bucket, i int, key uint64) bool {
+	if b.NO < s.lambdas[i] {
+		return true
+	}
+	if s.merged {
+		return false
+	}
+	return b.YES == b.NO || (b.Occupied() && b.ID == key)
 }
 
 // StopLayer reports which layer a key's queries terminate in: -1 for the
@@ -246,8 +277,7 @@ func (s *Sketch) StopLayer(key uint64) int {
 	}
 	for i := range s.layers {
 		j := s.hashes.Bucket(i, key, s.widths[i])
-		b := &s.layers[i][j]
-		if b.NO < s.lambdas[i] || b.YES == b.NO || (b.Occupied() && b.ID == key) {
+		if s.stopAt(&s.layers[i][j], i, key) {
 			return i
 		}
 	}
@@ -276,8 +306,8 @@ func (s *Sketch) HashCallStats() (perInsert, perQuery float64) {
 	if s.insertOps > 0 {
 		perInsert = float64(s.insertHashCalls+miceIns) / float64(s.insertOps)
 	}
-	if s.queryOps > 0 {
-		perQuery = float64(s.queryHashCalls+miceQry) / float64(s.queryOps)
+	if qOps := s.queryOps.Load(); qOps > 0 {
+		perQuery = float64(s.queryHashCalls.Load()+miceQry) / float64(qOps)
 	}
 	return perInsert, perQuery
 }
@@ -320,9 +350,11 @@ func (s *Sketch) Reset() {
 	if s.emerg != nil {
 		s.emerg.Reset()
 	}
+	s.merged = false
 	s.failures, s.failedValue = 0, 0
 	s.insertOps, s.insertHashCalls = 0, 0
-	s.queryOps, s.queryHashCalls = 0, 0
+	s.queryOps.Store(0)
+	s.queryHashCalls.Store(0)
 }
 
 // String summarizes the geometry for debugging and experiment logs.

@@ -10,22 +10,24 @@
 package countsketch
 
 import (
-	"sort"
-
 	"repro/internal/hash"
+	"repro/internal/sketch"
 )
 
 // CounterBytes is the accounted size of one signed 32-bit counter.
 const CounterBytes = 4
 
 // Sketch is a Count sketch with d rows of w signed counters.
+//
+// Insert is single-writer; Query is safe for concurrent readers (it keeps
+// its median scratch on the stack), so sealed epoch windows can be queried
+// lock-free.
 type Sketch struct {
-	rows    [][]int64
-	width   int
-	hashes  *hash.Family
-	signs   *hash.Family
-	name    string
-	scratch []int64
+	rows   [][]int64
+	width  int
+	hashes *hash.Family
+	signs  *hash.Family
+	name   string
 }
 
 // New builds a Count sketch with d rows (odd d recommended for a clean
@@ -35,12 +37,11 @@ func New(d, width int, seed uint64) *Sketch {
 		panic("countsketch: invalid geometry")
 	}
 	s := &Sketch{
-		rows:    make([][]int64, d),
-		width:   width,
-		hashes:  hash.NewFamily(seed, d),
-		signs:   hash.NewFamily(seed^0x51674e, d),
-		name:    "Count",
-		scratch: make([]int64, d),
+		rows:   make([][]int64, d),
+		width:  width,
+		hashes: hash.NewFamily(seed, d),
+		signs:  hash.NewFamily(seed^0x51674e, d),
+		name:   "Count",
 	}
 	for i := range s.rows {
 		s.rows[i] = make([]int64, width)
@@ -66,24 +67,58 @@ func (s *Sketch) Insert(key, value uint64) {
 }
 
 // Query returns the median of the signed mapped counters, clamped at zero
-// (value sums are non-negative).
+// (value sums are non-negative). Safe for concurrent readers: the median
+// scratch is a per-call stack array (insertion-sorted — d is a handful of
+// rows), so queries share no state and allocate nothing.
 func (s *Sketch) Query(key uint64) uint64 {
+	var buf [16]int64
+	scratch := buf[:0]
+	if len(s.rows) > len(buf) {
+		scratch = make([]int64, 0, len(s.rows))
+	}
 	for i := range s.rows {
 		j := s.hashes.Bucket(i, key, s.width)
-		s.scratch[i] = s.signs.Sign(i, key) * s.rows[i][j]
+		scratch = append(scratch, s.signs.Sign(i, key)*s.rows[i][j])
 	}
-	sort.Slice(s.scratch, func(a, b int) bool { return s.scratch[a] < s.scratch[b] })
+	for i := 1; i < len(scratch); i++ {
+		for j := i; j > 0 && scratch[j] < scratch[j-1]; j-- {
+			scratch[j], scratch[j-1] = scratch[j-1], scratch[j]
+		}
+	}
 	var med int64
-	d := len(s.scratch)
+	d := len(scratch)
 	if d%2 == 1 {
-		med = s.scratch[d/2]
+		med = scratch[d/2]
 	} else {
-		med = (s.scratch[d/2-1] + s.scratch[d/2]) / 2
+		med = (scratch[d/2-1] + scratch[d/2]) / 2
 	}
 	if med < 0 {
 		return 0
 	}
 	return uint64(med)
+}
+
+// Merge adds another same-geometry Count sketch counter-by-counter. Count
+// is a linear sketch: the merged state is bit-identical to one sketch fed
+// the concatenated stream, so every query is an exact equivalent.
+func (s *Sketch) Merge(other sketch.Sketch) error {
+	o, ok := other.(*Sketch)
+	if !ok {
+		return sketch.MergeIncompatible(s, other, "not a Count sketch")
+	}
+	if len(s.rows) != len(o.rows) || s.width != o.width {
+		return sketch.MergeIncompatible(s, other, "geometry differs")
+	}
+	if !s.hashes.Equal(o.hashes) || !s.signs.Equal(o.signs) {
+		return sketch.MergeIncompatible(s, other, "hash seeds differ")
+	}
+	for i := range s.rows {
+		dst, src := s.rows[i], o.rows[i]
+		for j := range dst {
+			dst[j] += src[j]
+		}
+	}
+	return nil
 }
 
 // MemoryBytes reports d × w × 4 bytes (the deployment uses 32-bit signed

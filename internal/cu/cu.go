@@ -7,6 +7,7 @@ package cu
 
 import (
 	"repro/internal/hash"
+	"repro/internal/sketch"
 	"repro/internal/stream"
 )
 
@@ -111,7 +112,34 @@ func (s *Sketch) InsertBatch(items []stream.Item) {
 	}
 }
 
+// Merge adds another same-geometry CU sketch counter-by-counter. Every row
+// satisfies a_i + b_i ≥ f_A(e) + f_B(e) for each key e mapped there, so the
+// minimum stays a certified overestimate of the union stream. Conservative
+// update is order-sensitive, so unlike CM the merged counters are not
+// bit-identical to one sketch fed the concatenated stream — the
+// overestimate may loosen, never the direction of the bound.
+func (s *Sketch) Merge(other sketch.Sketch) error {
+	o, ok := other.(*Sketch)
+	if !ok {
+		return sketch.MergeIncompatible(s, other, "not a CU sketch")
+	}
+	if len(s.rows) != len(o.rows) || s.width != o.width {
+		return sketch.MergeIncompatible(s, other, "geometry differs")
+	}
+	if !s.hashes.Equal(o.hashes) {
+		return sketch.MergeIncompatible(s, other, "hash seeds differ")
+	}
+	for i := range s.rows {
+		dst, src := s.rows[i], o.rows[i]
+		for j := range dst {
+			dst[j] += src[j]
+		}
+	}
+	return nil
+}
+
 // Query returns the minimum mapped counter, a certified overestimate.
+// Safe for concurrent readers.
 func (s *Sketch) Query(key uint64) uint64 {
 	var min uint64
 	for i := range s.rows {

@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sketch"
+	_ "repro/internal/sketch/all"
+	"repro/internal/stream"
 )
 
 // fakeClock is a manually advanced clock.
@@ -33,15 +35,23 @@ func oursFactory() sketch.Factory {
 	}}
 }
 
-func newRotator(t *testing.T) (*Rotator, *fakeClock) {
+func registryFactory(name string) sketch.Factory {
+	e, ok := sketch.Lookup(name)
+	if !ok {
+		panic("unknown variant " + name)
+	}
+	return e.Factory(sketch.Spec{Lambda: 25, Seed: 7})
+}
+
+func newRing(t *testing.T, capacity int) (*Ring, *fakeClock) {
 	t.Helper()
 	clk := &fakeClock{now: time.Unix(1000, 0)}
-	r := NewRotator(oursFactory(), 64<<10, 10*time.Second, clk.Now)
+	r := NewRing(oursFactory(), 64<<10, 10*time.Second, capacity, clk.Now)
 	return r, clk
 }
 
 func TestSealedEmptyBeforeFirstRotation(t *testing.T) {
-	r, _ := newRotator(t)
+	r, _ := newRing(t, 4)
 	r.Insert(1, 100)
 	if got := r.Query(1); got != 0 {
 		t.Errorf("sealed query before rotation = %d, want 0", got)
@@ -52,10 +62,16 @@ func TestSealedEmptyBeforeFirstRotation(t *testing.T) {
 	if _, _, ok := r.QuerySealedWithError(1); ok {
 		t.Error("certified sealed query should fail before first rotation")
 	}
+	if _, _, ok := r.QueryWindowWithError(1, 4); ok {
+		t.Error("certified window query should fail before first rotation")
+	}
+	if got := r.Sealed(); got != 0 {
+		t.Errorf("Sealed()=%d before first rotation", got)
+	}
 }
 
 func TestRotationSealsWindow(t *testing.T) {
-	r, clk := newRotator(t)
+	r, clk := newRing(t, 4)
 	r.Insert(1, 100)
 	clk.Advance(11 * time.Second)
 	// First touch after the epoch boundary rotates.
@@ -75,7 +91,7 @@ func TestRotationSealsWindow(t *testing.T) {
 }
 
 func TestCertifiedSealedQuery(t *testing.T) {
-	r, clk := newRotator(t)
+	r, clk := newRing(t, 4)
 	for i := 0; i < 500; i++ {
 		r.Insert(9, 1)
 	}
@@ -90,46 +106,200 @@ func TestCertifiedSealedQuery(t *testing.T) {
 	}
 }
 
-func TestIdleGapFastForwards(t *testing.T) {
-	r, clk := newRotator(t)
+// TestWindowQueryEqualsSingleSketch is the acceptance property: a sliding
+// window over n sealed epochs must answer exactly like one sketch fed the
+// same n epochs' traffic. CM is linear, so its merged view is bit-exact.
+func TestWindowQueryEqualsSingleSketch(t *testing.T) {
+	const epochs, perEpoch = 5, 8_000
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	f := registryFactory("CM_fast")
+	r := NewRing(f, 64<<10, time.Second, epochs+1, clk.Now)
+
+	s := stream.IPTrace(epochs*perEpoch, 3)
+	var slices [][]stream.Item
+	for e := 0; e < epochs; e++ {
+		slices = append(slices, s.Items[e*perEpoch:(e+1)*perEpoch])
+	}
+	for _, slice := range slices {
+		r.InsertBatch(slice)
+		clk.Advance(time.Second)
+	}
+	r.Insert(0xfeed, 1) // seal the last data epoch
+
+	for _, n := range []int{1, 2, 3, epochs} {
+		// One sketch fed exactly the traffic of the n newest sealed epochs.
+		direct := f.New(64 << 10)
+		for _, slice := range slices[epochs-n:] {
+			sketch.InsertBatch(direct, slice)
+		}
+		mismatches := 0
+		for key := range s.Truth() {
+			if r.QueryWindow(key, n) != direct.Query(key) {
+				mismatches++
+			}
+		}
+		if mismatches > 0 {
+			t.Errorf("window n=%d: %d keys differ from the single-sketch answer", n, mismatches)
+		}
+	}
+}
+
+// TestWindowQueryCertified checks the merged certified interval over a
+// multi-epoch window contains the window's true sums for ReliableSketch.
+func TestWindowQueryCertified(t *testing.T) {
+	const epochs, perEpoch = 4, 10_000
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	r := NewRing(oursFactory(), 128<<10, time.Second, epochs+1, clk.Now)
+
+	s := stream.IPTrace(epochs*perEpoch, 5)
+	for e := 0; e < epochs; e++ {
+		r.InsertBatch(s.Items[e*perEpoch : (e+1)*perEpoch])
+		clk.Advance(time.Second)
+	}
+	r.Insert(0xfeed, 1)
+
+	truth := map[uint64]uint64{}
+	for _, it := range s.Items[perEpoch:] { // the 3 newest sealed epochs
+		truth[it.Key] += it.Value
+	}
+	violations, checked := 0, 0
+	for key, f := range truth {
+		est, mpe, ok := r.QueryWindowWithError(key, epochs-1)
+		if !ok {
+			t.Fatal("certified window query unavailable")
+		}
+		if f > est || sketch.CertifiedLowerBound(est, mpe) > f {
+			violations++
+		}
+		if checked++; checked >= 3_000 {
+			break
+		}
+	}
+	if violations > 0 {
+		t.Errorf("%d/%d keys outside merged window certified intervals", violations, checked)
+	}
+}
+
+func TestQueryRangeExcludesNewerEpochs(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	r := NewRing(registryFactory("CM_fast"), 64<<10, time.Second, 4, clk.Now)
+	// Epoch A: key 1 ×10; epoch B: key 1 ×3.
+	for i := 0; i < 10; i++ {
+		r.Insert(1, 1)
+	}
+	clk.Advance(time.Second)
+	for i := 0; i < 3; i++ {
+		r.Insert(1, 1)
+	}
+	clk.Advance(time.Second)
+	r.Insert(2, 1) // seal epoch B
+	if got := r.QueryRange(1, 0, 0); got != 3 {
+		t.Errorf("newest sealed epoch reports %d, want 3", got)
+	}
+	if got := r.QueryRange(1, 1, 1); got != 10 {
+		t.Errorf("older epoch reports %d, want 10", got)
+	}
+	if got := r.QueryWindow(1, 2); got != 13 {
+		t.Errorf("two-epoch window reports %d, want 13", got)
+	}
+	if got := r.QueryWindow(1, 50); got != 13 {
+		t.Errorf("over-long window should clamp: got %d, want 13", got)
+	}
+}
+
+func TestRingEvictsOldestBeyondCapacity(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	r := NewRing(registryFactory("CM_fast"), 64<<10, time.Second, 3, clk.Now)
+	for e := 0; e < 5; e++ {
+		r.Insert(uint64(e+1), 7) // epoch e holds key e+1
+		clk.Advance(time.Second)
+	}
+	r.Insert(99, 1) // seal epoch 4
+	if got := r.Sealed(); got != 3 {
+		t.Fatalf("Sealed()=%d want capacity 3", got)
+	}
+	// Keys from evicted epochs 0 and 1 are gone from the widest window.
+	if got := r.QueryWindow(1, 3); got != 0 {
+		t.Errorf("evicted epoch's key still visible: %d", got)
+	}
+	if got := r.QueryWindow(5, 3); got != 7 {
+		t.Errorf("retained epoch's key lost: %d", got)
+	}
+	if r.Rotations() != 5 {
+		t.Errorf("rotations=%d want 5", r.Rotations())
+	}
+}
+
+func TestIdleGapSlidesWindowOut(t *testing.T) {
+	r, clk := newRing(t, 4)
 	r.Insert(1, 1)
 	// Sleep through many epochs with no traffic.
 	clk.Advance(37 * time.Minute)
 	r.Insert(2, 1)
-	// Must not have looped hundreds of rotations.
-	if r.Rotations() > 3 {
-		t.Errorf("rotations=%d after idle gap; fast-forward broken", r.Rotations())
+	// Must not have materialized hundreds of windows: at most capacity+1
+	// seals per gap, and the pre-gap traffic has slid out entirely.
+	if r.Rotations() > uint64(r.Capacity())+2 {
+		t.Errorf("rotations=%d after idle gap; bounded fast-forward broken", r.Rotations())
+	}
+	if got := r.QueryWindow(1, 4); got != 0 {
+		t.Errorf("idle gap did not slide old traffic out of the window: %d", got)
 	}
 	if got := r.QueryLive(2); got != 1 {
 		t.Errorf("live key lost after idle gap: %d", got)
 	}
 }
 
-func TestConcurrentUse(t *testing.T) {
+// TestConcurrentIngestAndLockFreeReads exercises the satellite contract
+// under the race detector: sealed-window queries run lock-free against
+// concurrent ingest and rotation.
+func TestConcurrentIngestAndLockFreeReads(t *testing.T) {
 	clk := &fakeClock{now: time.Unix(0, 0)}
-	r := NewRotator(oursFactory(), 64<<10, time.Second, clk.Now)
-	var wg sync.WaitGroup
-	for g := 0; g < 4; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			for i := 0; i < 2000; i++ {
+	r := NewRing(oursFactory(), 64<<10, time.Second, 4, clk.Now)
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers: ingest and advance the clock.
+	for g := 0; g < 2; g++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 4000; i++ {
 				r.Insert(uint64(i%100), 1)
 				if i%500 == 0 {
 					clk.Advance(300 * time.Millisecond)
-					r.Query(uint64(i % 100))
 				}
 			}
-		}(g)
+		}()
 	}
-	wg.Wait()
+	// Readers: hammer the sealed windows and sliding views concurrently.
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for k := uint64(0); k < 100; k += 7 {
+					r.Query(k)
+					r.QueryWindow(k, 3)
+					r.QuerySealedWithError(k)
+					r.QueryWindowWithError(k, 2)
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
 	if r.Rotations() == 0 {
 		t.Error("expected at least one rotation")
 	}
 }
 
 func TestMemoryAndName(t *testing.T) {
-	r, clk := newRotator(t)
+	r, clk := newRing(t, 4)
 	before := r.MemoryBytes()
 	clk.Advance(10 * time.Second)
 	r.Insert(1, 1)
@@ -137,7 +307,7 @@ func TestMemoryAndName(t *testing.T) {
 	if after <= before {
 		t.Errorf("two windows should account more than one: %d vs %d", after, before)
 	}
-	if r.Name() != "Ours_epoch" {
+	if r.Name() != "Ours_ring" {
 		t.Errorf("Name=%q", r.Name())
 	}
 }

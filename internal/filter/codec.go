@@ -23,13 +23,20 @@ func (f *Filter) EncodeTo(w io.Writer) error {
 		return nil
 	}
 	if err := write(uint64(len(f.rows)), uint64(f.width), uint64(f.bits),
-		f.insertHashCalls, f.queryHashCalls); err != nil {
+		f.insertHashCalls, f.queryHashCalls.Load()); err != nil {
 		return err
 	}
 	packed := make([]byte, (f.width*f.bits+7)/8)
 	for r := range f.rows {
 		clear(packed)
 		for i, c := range f.rows[r] {
+			if uint64(c) > f.cap {
+				// Merged filters can hold counters above the hardware
+				// saturation cap; the bit-packed snapshot format cannot
+				// represent them, and truncating would un-saturate keys.
+				return fmt.Errorf("filter: counter %d/%d exceeds the %d-bit snapshot width (merged filter state is not snapshottable)",
+					r, i, f.bits)
+			}
 			packBits(packed, i*f.bits, f.bits, uint64(c))
 		}
 		if _, err := w.Write(packed); err != nil {
@@ -77,7 +84,7 @@ func (f *Filter) DecodeFrom(r interface {
 	f.bits = int(bits)
 	f.cap = 1<<bits - 1
 	f.insertHashCalls = insCalls
-	f.queryHashCalls = qryCalls
+	f.queryHashCalls.Store(qryCalls)
 	packed := make([]byte, (int(width)*int(bits)+7)/8)
 	for ri := range f.rows {
 		if _, err := io.ReadFull(r, packed); err != nil {

@@ -15,11 +15,19 @@
 // The paper uses 2-bit counters occupying 20% of total memory by default.
 package filter
 
-import "repro/internal/hash"
+import (
+	"sync/atomic"
+
+	"repro/internal/hash"
+)
 
 // Filter is a conservative-update filter of saturating counters.
+//
+// Insert is single-writer; Query is safe for any number of concurrent
+// readers (it touches no shared scratch and counts its hash calls
+// atomically), so a sealed epoch window can be queried lock-free.
 type Filter struct {
-	rows   [][]uint32 // rows[r][i]: counter values, each ≤ cap
+	rows   [][]uint32 // rows[r][i]: counter values; ≤ cap until a Merge
 	width  int
 	cap    uint64
 	bits   int
@@ -27,11 +35,13 @@ type Filter struct {
 	// idx caches the per-row bucket indexes between the read and write
 	// phases of an insertion, so each touched operation hashes exactly
 	// Rows() times — the "2 calls per operation" accounting of Figure 16.
+	// Only Insert (single-writer) touches it; Query must not.
 	idx []int
 	// insertHashCalls and queryHashCalls count bucket-index computations
-	// per operation kind, for the Figure 16 hash-call accounting.
+	// per operation kind, for the Figure 16 hash-call accounting. The query
+	// counter is atomic so concurrent readers never race.
 	insertHashCalls uint64
-	queryHashCalls  uint64
+	queryHashCalls  atomic.Uint64
 }
 
 // New builds a filter with `rows` arrays of `width` counters of `bits` bits
@@ -74,6 +84,11 @@ func (f *Filter) Cap() uint64 { return f.cap }
 func (f *Filter) Insert(e, v uint64) (overflow uint64) {
 	m := f.min(e)
 	f.insertHashCalls += uint64(len(f.rows))
+	if m >= f.cap {
+		// Already saturated (merged counters may sit above cap): nothing is
+		// absorbable, the whole value cascades to the bucket layers.
+		return v
+	}
 	absorbed := v
 	if m+v > f.cap {
 		absorbed = f.cap - m
@@ -92,18 +107,21 @@ func (f *Filter) Insert(e, v uint64) (overflow uint64) {
 
 // Query returns the filter's estimate for key e (its minimum mapped
 // counter) and whether the key may have overflowed into deeper layers
-// (true exactly when the minimum counter is saturated).
+// (true exactly when the minimum counter reached saturation; merged
+// counters can exceed cap, which still means "may have overflowed in some
+// merged part"). Safe for concurrent readers.
 func (f *Filter) Query(e uint64) (est uint64, saturated bool) {
-	m := f.min(e)
-	f.queryHashCalls += uint64(len(f.rows))
-	return m, m == f.cap
+	m := f.minRead(e)
+	f.queryHashCalls.Add(uint64(len(f.rows)))
+	return m, m >= f.cap
 }
 
 // min computes the row indexes of e (cached in f.idx for the caller's write
 // phase) and returns the minimum mapped counter. Callers account the
-// len(f.rows) hash calls to their operation kind.
+// len(f.rows) hash calls to their operation kind. Insert-path only: it
+// writes the shared idx scratch.
 func (f *Filter) min(e uint64) uint64 {
-	m := f.cap
+	m := uint64(0)
 	first := true
 	for r := range f.rows {
 		i := f.hashes.Bucket(r, e, f.width)
@@ -117,6 +135,47 @@ func (f *Filter) min(e uint64) uint64 {
 	return m
 }
 
+// minRead is min without the idx caching, so concurrent queries share no
+// state.
+func (f *Filter) minRead(e uint64) uint64 {
+	m := uint64(0)
+	first := true
+	for r := range f.rows {
+		c := uint64(f.rows[r][f.hashes.Bucket(r, e, f.width)])
+		if first || c < m {
+			m = c
+			first = false
+		}
+	}
+	return m
+}
+
+// Merge folds a same-geometry filter into the receiver by element-wise
+// saturating addition (at the counter word's limit, NOT at cap): for every
+// row, a_i + b_i ≥ absorbed_A(e) + absorbed_B(e), so the minimum mapped
+// counter remains an upper bound on the union stream's absorbed value, and
+// a minimum below cap still proves neither part overflowed. Counters may
+// exceed cap afterwards — Query treats ≥ cap as saturated and Insert stops
+// absorbing there.
+func (f *Filter) Merge(o *Filter) bool {
+	if o == nil || len(f.rows) != len(o.rows) || f.width != o.width || f.bits != o.bits {
+		return false
+	}
+	for r := range f.rows {
+		dst, src := f.rows[r], o.rows[r]
+		for i := range dst {
+			sum := uint64(dst[i]) + uint64(src[i])
+			if sum > 0xffffffff {
+				sum = 0xffffffff
+			}
+			dst[i] = uint32(sum)
+		}
+	}
+	f.insertHashCalls += o.insertHashCalls
+	f.queryHashCalls.Add(o.queryHashCalls.Load())
+	return true
+}
+
 // MemoryBytes reports the bit-packed footprint: rows × width × bits / 8.
 func (f *Filter) MemoryBytes() int {
 	return (len(f.rows)*f.width*f.bits + 7) / 8
@@ -127,13 +186,13 @@ func (f *Filter) Rows() int { return len(f.rows) }
 
 // HashCalls returns the cumulative number of hash evaluations across both
 // operation kinds, used by the Figure 16 experiment.
-func (f *Filter) HashCalls() uint64 { return f.insertHashCalls + f.queryHashCalls }
+func (f *Filter) HashCalls() uint64 { return f.insertHashCalls + f.queryHashCalls.Load() }
 
 // HashCallsByOp splits the cumulative hash evaluations by operation kind,
 // so callers embedding the filter can attribute them exactly instead of
 // prorating.
 func (f *Filter) HashCallsByOp() (insert, query uint64) {
-	return f.insertHashCalls, f.queryHashCalls
+	return f.insertHashCalls, f.queryHashCalls.Load()
 }
 
 // Reset zeroes all counters.
@@ -141,5 +200,6 @@ func (f *Filter) Reset() {
 	for r := range f.rows {
 		clear(f.rows[r])
 	}
-	f.insertHashCalls, f.queryHashCalls = 0, 0
+	f.insertHashCalls = 0
+	f.queryHashCalls.Store(0)
 }

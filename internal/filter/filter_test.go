@@ -79,6 +79,70 @@ func TestUpperBoundInvariant(t *testing.T) {
 	}
 }
 
+// TestMergeUpperBoundInvariant splits an op sequence across two filters,
+// merges them, and checks the union-stream upper bound: every key's merged
+// estimate covers the total absorbed value, a key unsaturated after merge
+// never overflowed in either part, and Insert after merge keeps absorbing
+// correctly (no underflow on counters above cap).
+func TestMergeUpperBoundInvariant(t *testing.T) {
+	err := quick.Check(func(seed uint64, ops []uint8) bool {
+		a := New(2, 16, 4, seed)
+		b := New(2, 16, 4, seed)
+		absorbed := map[uint64]uint64{}
+		overflowed := map[uint64]bool{}
+		for i, o := range ops {
+			k := uint64(o % 40)
+			v := uint64(o%6) + 1
+			dst := a
+			if i%2 == 1 {
+				dst = b
+			}
+			over := dst.Insert(k, v)
+			absorbed[k] += v - over
+			if over > 0 {
+				overflowed[k] = true
+			}
+		}
+		if !a.Merge(b) {
+			return false
+		}
+		for k, abs := range absorbed {
+			est, saturated := a.Query(k)
+			if est < abs {
+				return false // merged estimate under the union's absorbed value
+			}
+			if overflowed[k] && !saturated {
+				return false // an overflowed key must stay saturated after merge
+			}
+		}
+		// Post-merge insertion must not panic or underflow even where merged
+		// counters exceed the cap.
+		for k := uint64(0); k < 40; k++ {
+			a.Insert(k, 3)
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeRejectsGeometryMismatch(t *testing.T) {
+	f := New(2, 16, 4, 1)
+	if f.Merge(New(2, 8, 4, 1)) {
+		t.Error("merged a different width")
+	}
+	if f.Merge(New(3, 16, 4, 1)) {
+		t.Error("merged a different row count")
+	}
+	if f.Merge(New(2, 16, 2, 1)) {
+		t.Error("merged a different counter width")
+	}
+	if f.Merge(nil) {
+		t.Error("merged nil")
+	}
+}
+
 func TestConservativeVsPlainUpdate(t *testing.T) {
 	// The CU property: with two rows, colliding traffic in one row must not
 	// inflate a key whose other-row counter is clean.

@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// mergeParts is how many ways the merge-accuracy experiment splits the
+// stream: one part per simulated vantage point, matching the distributed
+// example's agent count.
+const mergeParts = 4
+
+// MergeAccuracy quantifies what distributed aggregation costs: the stream
+// is split round-robin across mergeParts same-Spec sketches (as vantage
+// points slice shared traffic), the parts are merged into one sketch, and
+// its error is compared against a single sketch fed the whole stream. For
+// linear sketches (CM, Count) the merged columns must match the direct ones
+// exactly; CU and ReliableSketch document their merge-induced loosening;
+// error-bounded variants also report certified-interval violations, which
+// must be zero.
+func MergeAccuracy(o Options) *Table {
+	s := stream.IPTrace(o.Items, o.Seed)
+	lambda := uint64(25)
+	mem := o.memFor(1)
+	t := &Table{
+		ID:    "merge",
+		Title: fmt.Sprintf("merged vs single-sketch accuracy, %d-way split, IP trace, %dB, Λ=%d", mergeParts, mem, lambda),
+		Header: []string{"Algorithm",
+			"AAE(direct)", "AAE(merged)", "ARE(direct)", "ARE(merged)",
+			"Outliers(direct)", "Outliers(merged)", "CertViol"},
+	}
+
+	entries := sketch.ByCapability(sketch.CapMergeable)
+	restricted := make(map[string]bool, len(o.Algos))
+	for _, name := range o.Algos {
+		restricted[name] = true
+	}
+	parts := make([][]stream.Item, mergeParts)
+	for i, it := range s.Items {
+		parts[i%mergeParts] = append(parts[i%mergeParts], it)
+	}
+
+	rows := 0
+	for _, e := range entries {
+		if len(o.Algos) > 0 && !restricted[e.Name] {
+			continue
+		}
+		spec := sketch.Spec{MemoryBytes: mem, Lambda: lambda, Seed: o.Seed}
+		direct := e.Build(spec)
+		sketch.InsertBatch(direct, s.Items)
+
+		merged := e.Build(spec)
+		sketch.InsertBatch(merged, parts[0])
+		mg := merged.(sketch.Mergeable)
+		mergedAll := true
+		for _, part := range parts[1:] {
+			other := e.Build(spec)
+			sketch.InsertBatch(other, part)
+			if err := mg.Merge(other); err != nil {
+				t.Notes = append(t.Notes, fmt.Sprintf("%s: merge failed, row skipped: %v", e.Name, err))
+				mergedAll = false
+				break
+			}
+		}
+		if !mergedAll {
+			// A partially merged sketch would masquerade as the merged
+			// accuracy result — skip the row entirely.
+			continue
+		}
+
+		dRep := metrics.Evaluate(direct, s, lambda)
+		mRep := metrics.Evaluate(merged, s, lambda)
+		certViol := "-"
+		if eb, ok := merged.(sketch.ErrorBounded); ok {
+			viol := 0
+			for key, f := range s.Truth() {
+				est, mpe := eb.QueryWithError(key)
+				if f > est || sketch.CertifiedLowerBound(est, mpe) > f {
+					viol++
+				}
+			}
+			certViol = fmt.Sprint(viol)
+		}
+		t.AddRow(e.Name, dRep.AAE, mRep.AAE, dRep.ARE, mRep.ARE,
+			dRep.Outliers, mRep.Outliers, certViol)
+		rows++
+	}
+	if rows == 0 && len(o.Algos) > 0 {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("-algos %v matched no Mergeable variant — no data rows", o.Algos))
+	}
+	t.Notes = append(t.Notes,
+		"linear sketches (CM, Count) merge exactly: merged columns equal direct ones",
+		"CertViol counts keys outside the merged sketch's certified interval (must be 0)")
+	return t
+}

@@ -83,6 +83,8 @@ func init() {
 	}
 	register("fig10", "insertion/query throughput, all algorithms",
 		func(o Options) ([]*Table, error) { return one(Fig10(o)) })
+	register("merge", "merged vs single-sketch accuracy on a split stream (Mergeable variants)",
+		func(o Options) ([]*Table, error) { return one(MergeAccuracy(o)) })
 	register("fig11", "Rw impact under zero outlier",
 		func(o Options) ([]*Table, error) { return Fig11(o), nil })
 	register("fig12", "Rw impact under same AAE",

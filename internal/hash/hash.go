@@ -126,6 +126,20 @@ func NewFamily(base uint64, d int) *Family {
 // Len returns the number of functions in the family.
 func (f *Family) Len() int { return len(f.seeds) }
 
+// Equal reports whether two families hash identically (same derived seeds),
+// the compatibility requirement for positional sketch merging.
+func (f *Family) Equal(o *Family) bool {
+	if o == nil || len(f.seeds) != len(o.seeds) {
+		return false
+	}
+	for i, s := range f.seeds {
+		if s != o.seeds[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Seed returns the i-th derived seed.
 func (f *Family) Seed(i int) uint64 { return f.seeds[i] }
 

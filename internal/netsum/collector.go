@@ -8,7 +8,10 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/epoch"
 	"repro/internal/sketch"
 	_ "repro/internal/sketch/all" // make every registered variant dialable by name
 )
@@ -28,21 +31,57 @@ type CollectorConfig struct {
 	// k·Lambda. Spec.Emergency is forced on so the composed bounds stay
 	// unconditional even under insertion failure.
 	Spec sketch.Spec
+	// Epoch, when positive, switches the collector to windowed measurement:
+	// each agent's state becomes an epoch.Ring rotating every Epoch.
+	// Global queries then cover the retained sliding window (all sealed
+	// epochs) instead of all time, and agents may issue window queries over
+	// the last n epochs.
+	Epoch time.Duration
+	// WindowEpochs is the ring capacity in epoch mode (sealed windows
+	// retained per agent); ≤ 0 means epoch.DefaultCapacity.
+	WindowEpochs int
+	// Clock overrides time for epoch rotation (tests); nil means wall time.
+	Clock epoch.Clock
+	// DisableMergedView turns off the incrementally merged global sketch in
+	// cumulative mode, forcing the estimate-sum query path even for
+	// Mergeable variants (benchmark/ablation control).
+	DisableMergedView bool
 	// Logf receives connection-level diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
 
+// agentState is one agent's measurement state. Each agent has its own lock
+// so ingest from different agents never serializes on shared collector
+// state (the previous design held one collector-wide mutex across every
+// InsertBatch). Exactly one of sk/ring is set, per the collector's mode.
+type agentState struct {
+	mu   sync.Mutex
+	sk   sketch.ErrorBounded // cumulative mode
+	ring *epoch.Ring         // epoch mode (locks internally)
+}
+
 // Collector terminates agent connections, maintains one error-bounded
-// sketch per agent, and answers global queries with certified bounds.
+// sketch (or epoch ring) per agent, and answers global queries with
+// certified bounds.
 type Collector struct {
 	cfg   CollectorConfig
-	build sketch.Builder
+	entry sketch.Entry
 	ln    net.Listener
 
-	mu      sync.Mutex
-	agents  map[uint64]sketch.ErrorBounded
-	updates uint64
-	queries uint64
+	// mu guards only the agents map; per-agent sketch access takes the
+	// agent's own lock.
+	mu     sync.Mutex
+	agents map[uint64]*agentState
+
+	// global is the incrementally merged all-agents sketch (cumulative mode
+	// with a Mergeable variant): every decoded batch is folded in via a
+	// per-connection delta sketch under globalMu, which is held only for
+	// the merge and for merged-view queries — never for per-agent ingest.
+	globalMu sync.Mutex
+	global   sketch.ErrorBounded
+
+	updates atomic.Uint64
+	queries atomic.Uint64
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -52,6 +91,9 @@ type Collector struct {
 func NewCollector(addr string, cfg CollectorConfig) (*Collector, error) {
 	if cfg.Algo == "" {
 		cfg.Algo = "Ours"
+	}
+	if cfg.Spec.MemoryBytes == 0 {
+		cfg.Spec.MemoryBytes = 1 << 20
 	}
 	cfg.Spec.Emergency = true
 	entry, ok := sketch.Lookup(cfg.Algo)
@@ -68,14 +110,36 @@ func NewCollector(addr string, cfg CollectorConfig) (*Collector, error) {
 	}
 	c := &Collector{
 		cfg:    cfg,
-		build:  entry.Build,
+		entry:  entry,
 		ln:     ln,
-		agents: make(map[uint64]sketch.ErrorBounded),
+		agents: make(map[uint64]*agentState),
 		closed: make(chan struct{}),
+	}
+	if cfg.Epoch <= 0 && !cfg.DisableMergedView && entry.Caps.Has(sketch.CapMergeable) {
+		built, err := c.buildErrorBounded()
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		c.global = built
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return c, nil
+}
+
+// buildErrorBounded constructs one configured sketch, verifying the
+// registry's ErrorBounded declaration. The registry conformance tests pin
+// capabilities to implemented interfaces (including under Spec.Shards), so
+// a failed assertion means a misregistered variant.
+func (c *Collector) buildErrorBounded() (sketch.ErrorBounded, error) {
+	built := c.entry.Build(c.cfg.Spec)
+	eb, ok := built.(sketch.ErrorBounded)
+	if !ok {
+		return nil, fmt.Errorf("netsum: %q registered ErrorBounded but built %T without QueryWithError",
+			c.cfg.Algo, built)
+	}
+	return eb, nil
 }
 
 // errorBoundedNames lists the registry variants usable as collector
@@ -90,6 +154,11 @@ func errorBoundedNames() string {
 
 // Addr returns the listener's address, for clients to dial.
 func (c *Collector) Addr() string { return c.ln.Addr().String() }
+
+// MergeBased reports whether global queries are served from the
+// incrementally merged view (intersected with the estimate-sum interval)
+// rather than estimate-summing alone.
+func (c *Collector) MergeBased() bool { return c.global != nil }
 
 // Close stops accepting and waits for connection handlers to drain.
 func (c *Collector) Close() error {
@@ -128,25 +197,59 @@ func (c *Collector) acceptLoop() {
 	}
 }
 
-// sketchFor returns (creating on first contact) the agent's sketch. The
-// registry conformance tests pin capabilities to implemented interfaces
-// (including under Spec.Shards), so a failed assertion means a
-// misregistered variant — reported as a connection error, not a panic.
-func (c *Collector) sketchFor(agentID uint64) (sketch.ErrorBounded, error) {
+// stateFor returns (creating on first contact) the agent's state. Only the
+// map lookup runs under the collector-wide lock.
+func (c *Collector) stateFor(agentID uint64) (*agentState, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	sk, ok := c.agents[agentID]
-	if !ok {
-		built := c.build(c.cfg.Spec)
-		eb, isEB := built.(sketch.ErrorBounded)
-		if !isEB {
-			return nil, fmt.Errorf("netsum: %q registered ErrorBounded but built %T without QueryWithError",
-				c.cfg.Algo, built)
-		}
-		sk = eb
-		c.agents[agentID] = sk
+	st, ok := c.agents[agentID]
+	if ok {
+		return st, nil
 	}
-	return sk, nil
+	st = &agentState{}
+	if c.cfg.Epoch > 0 {
+		st.ring = epoch.NewRing(c.entry.Factory(c.cfg.Spec), c.cfg.Spec.MemoryBytes,
+			c.cfg.Epoch, c.cfg.WindowEpochs, c.cfg.Clock)
+	} else {
+		eb, err := c.buildErrorBounded()
+		if err != nil {
+			return nil, err
+		}
+		st.sk = eb
+	}
+	c.agents[agentID] = st
+	return st, nil
+}
+
+// ingest lands one decoded batch: into the agent's own state under the
+// agent's own lock, then (merge-based mode) folded into the global view
+// through the connection's private delta sketch under the short global
+// lock. Two agents' batches only ever contend on that final merge.
+func (c *Collector) ingest(st *agentState, delta sketch.Mergeable, ups []Update) error {
+	if st.ring != nil {
+		st.ring.InsertBatch(ups)
+	} else {
+		st.mu.Lock()
+		sketch.InsertBatch(st.sk, ups)
+		st.mu.Unlock()
+	}
+	c.updates.Add(uint64(len(ups)))
+	if delta == nil {
+		return nil
+	}
+	r, ok := delta.(sketch.Resettable)
+	if !ok {
+		return fmt.Errorf("netsum: %q merged view needs a Resettable delta sketch", c.cfg.Algo)
+	}
+	r.Reset()
+	sketch.InsertBatch(delta, ups)
+	c.globalMu.Lock()
+	err := sketch.Merge(c.global, delta)
+	c.globalMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("netsum: merging batch into global view: %w", err)
+	}
+	return nil
 }
 
 // handle runs one agent connection to completion.
@@ -155,7 +258,17 @@ func (c *Collector) handle(conn net.Conn) error {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 16<<10)
 
-	var agent sketch.ErrorBounded
+	var agent *agentState
+	// delta is this connection's reusable batch sketch for the merge-based
+	// global view; built on first batch so query-only connections pay
+	// nothing.
+	var delta sketch.Mergeable
+	reply := func(typ byte, payload []byte) error {
+		if err := writeFrame(bw, typ, payload); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
 	for {
 		typ, payload, err := readFrame(br)
 		if err != nil {
@@ -168,7 +281,7 @@ func (c *Collector) handle(conn net.Conn) error {
 			if err != nil {
 				return err
 			}
-			if agent, err = c.sketchFor(id); err != nil {
+			if agent, err = c.stateFor(id); err != nil {
 				return err
 			}
 
@@ -180,10 +293,16 @@ func (c *Collector) handle(conn net.Conn) error {
 			if err != nil {
 				return err
 			}
-			c.mu.Lock()
-			sketch.InsertBatch(agent, ups)
-			c.updates += uint64(len(ups))
-			c.mu.Unlock()
+			if c.global != nil && delta == nil {
+				eb, err := c.buildErrorBounded()
+				if err != nil {
+					return err
+				}
+				delta = eb.(sketch.Mergeable)
+			}
+			if err := c.ingest(agent, delta, ups); err != nil {
+				return err
+			}
 
 		case msgQuery:
 			u := &uvarintReader{buf: payload}
@@ -192,21 +311,28 @@ func (c *Collector) handle(conn net.Conn) error {
 				return err
 			}
 			est, mpe := c.QueryWithError(key)
-			resp := appendUvarints(nil, key, est, mpe)
-			if err := writeFrame(bw, msgQueryResp, resp); err != nil {
+			if err := reply(msgQueryResp, appendUvarints(nil, key, est, mpe)); err != nil {
 				return err
 			}
-			if err := bw.Flush(); err != nil {
+
+		case msgWindowQuery:
+			u := &uvarintReader{buf: payload}
+			key, err := u.next()
+			if err != nil {
+				return err
+			}
+			n, err := u.next()
+			if err != nil {
+				return err
+			}
+			est, mpe, covered := c.QueryWindowWithError(key, int(n))
+			if err := reply(msgWindowResp, appendUvarints(nil, key, uint64(covered), est, mpe)); err != nil {
 				return err
 			}
 
 		case msgStats:
 			agents, updates, queries := c.Stats()
-			resp := appendUvarints(nil, uint64(agents), updates, queries)
-			if err := writeFrame(bw, msgStatsResp, resp); err != nil {
-				return err
-			}
-			if err := bw.Flush(); err != nil {
+			if err := reply(msgStatsResp, appendUvarints(nil, uint64(agents), updates, queries)); err != nil {
 				return err
 			}
 
@@ -216,25 +342,118 @@ func (c *Collector) handle(conn net.Conn) error {
 	}
 }
 
-// QueryWithError answers a global query: the sum of all agents' certified
-// estimates, with their MPEs summed. The composed interval is certified:
-// global truth ∈ [est − mpe, est].
-func (c *Collector) QueryWithError(key uint64) (est, mpe uint64) {
+// snapshotAgents copies the current agent set; per-agent locks are taken
+// individually afterwards, never while holding the map lock.
+func (c *Collector) snapshotAgents() []*agentState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.queries++
-	for _, sk := range c.agents {
-		e, m := sk.QueryWithError(key)
+	out := make([]*agentState, 0, len(c.agents))
+	for _, st := range c.agents {
+		out = append(out, st)
+	}
+	return out
+}
+
+// queryEstimateSum is the composition path: the sum of all agents'
+// certified estimates with their MPEs summed — certified, since the global
+// sum of a key equals the sum of per-agent sums. In epoch mode the
+// per-agent answer covers the agent's retained sliding window.
+func (c *Collector) queryEstimateSum(key uint64) (est, mpe uint64) {
+	for _, st := range c.snapshotAgents() {
+		if st.ring != nil {
+			e, m, ok := st.ring.QueryWindowWithError(key, st.ring.Capacity())
+			if ok {
+				est += e
+				mpe += m
+			}
+			continue
+		}
+		st.mu.Lock()
+		e, m := st.sk.QueryWithError(key)
+		st.mu.Unlock()
 		est += e
 		mpe += m
 	}
 	return est, mpe
 }
 
+// QueryWithError answers a global query with a certified interval:
+// truth ∈ [est − mpe, est]. With the merged view enabled the answer is the
+// intersection of the merged sketch's interval and the estimate-sum
+// interval — both are certified for the same truth, so the intersection is
+// too, and it is by construction never looser than estimate-summing alone.
+// In epoch mode "global" means the union of every agent's retained
+// sliding window.
+func (c *Collector) QueryWithError(key uint64) (est, mpe uint64) {
+	c.queries.Add(1)
+	return c.queryGlobal(key)
+}
+
+// queryGlobal is the shared global-query body: estimate-sum, intersected
+// with the merged view when one is maintained.
+func (c *Collector) queryGlobal(key uint64) (est, mpe uint64) {
+	est, mpe = c.queryEstimateSum(key)
+	if c.global == nil {
+		return est, mpe
+	}
+	c.globalMu.Lock()
+	ge, gm := c.global.QueryWithError(key)
+	c.globalMu.Unlock()
+	return intersectIntervals(est, mpe, ge, gm)
+}
+
+// QueryWindowWithError answers a global sliding-window query over the last
+// n sealed epochs, summing per-agent certified window answers. covered is
+// the widest epoch span any agent actually answered for (0 when the
+// collector is not in epoch mode or nothing is sealed yet; in cumulative
+// mode the answer degenerates to the all-time global interval).
+func (c *Collector) QueryWindowWithError(key uint64, n int) (est, mpe uint64, covered int) {
+	c.queries.Add(1)
+	if c.cfg.Epoch <= 0 {
+		est, mpe = c.queryGlobal(key)
+		return est, mpe, 0
+	}
+	for _, st := range c.snapshotAgents() {
+		e, m, ok := st.ring.QueryWindowWithError(key, n)
+		if !ok {
+			continue
+		}
+		est += e
+		mpe += m
+		if sealed := st.ring.Sealed(); sealed > covered {
+			if sealed > n {
+				sealed = n
+			}
+			covered = sealed
+		}
+	}
+	return est, mpe, covered
+}
+
+// intersectIntervals combines two certified intervals for the same truth:
+// the result's upper end is the smaller estimate, its lower end the larger
+// certified floor. If the inputs are inconsistent (possible only if one
+// bound is unsound), the estimate-sum interval a is returned unchanged.
+func intersectIntervals(aEst, aMpe, bEst, bMpe uint64) (est, mpe uint64) {
+	lo := sketch.CertifiedLowerBound(aEst, aMpe)
+	if blo := sketch.CertifiedLowerBound(bEst, bMpe); blo > lo {
+		lo = blo
+	}
+	hi := aEst
+	if bEst < hi {
+		hi = bEst
+	}
+	if lo > hi {
+		return aEst, aMpe
+	}
+	return hi, hi - lo
+}
+
 // Stats reports the number of connected-or-seen agents and the totals of
 // updates ingested and queries served.
 func (c *Collector) Stats() (agents int, updates, queries uint64) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.agents), c.updates, c.queries
+	agents = len(c.agents)
+	c.mu.Unlock()
+	return agents, c.updates.Load(), c.queries.Load()
 }

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/sketch"
 	"repro/internal/stream"
@@ -180,6 +181,207 @@ func TestRealisticWorkloadCertifiedGlobally(t *testing.T) {
 	if violations > 0 {
 		t.Errorf("%d/%d keys outside the composed certified interval", violations, checked)
 	}
+}
+
+// feedAgents splits a stream across agent connections round-robin and
+// syncs each so the collector has ingested everything.
+func feedAgents(t *testing.T, c *Collector, s *stream.Stream, agents int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for id := 0; id < agents; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			a, err := Dial(c.Addr(), uint64(id+1))
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer a.Close()
+			for i := id; i < len(s.Items); i += agents {
+				if err := a.Record(s.Items[i].Key, s.Items[i].Value); err != nil {
+					t.Errorf("record: %v", err)
+					return
+				}
+			}
+			if _, _, _, err := a.Stats(); err != nil {
+				t.Errorf("sync: %v", err)
+			}
+		}(id)
+	}
+	wg.Wait()
+}
+
+// TestMergedViewNoLooserThanEstimateSum is the tentpole acceptance
+// property: with a Mergeable variant the collector's certified interval
+// must contain the truth AND be no looser than the estimate-sum
+// composition, because it intersects the merged view with it.
+func TestMergedViewNoLooserThanEstimateSum(t *testing.T) {
+	c, err := NewCollector("127.0.0.1:0", CollectorConfig{
+		Spec: sketch.Spec{Lambda: 25, MemoryBytes: 256 << 10, Seed: 1},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if !c.MergeBased() {
+		t.Fatal("Ours is Mergeable; the collector should maintain a merged view")
+	}
+
+	s := stream.IPTrace(60_000, 5)
+	feedAgents(t, c, s, 3)
+
+	looser, violations, checked := 0, 0, 0
+	for key, f := range s.Truth() {
+		sumEst, sumMpe := c.queryEstimateSum(key)
+		est, mpe := c.QueryWithError(key)
+		if f > est || sketch.CertifiedLowerBound(est, mpe) > f {
+			violations++
+		}
+		if mpe > sumMpe || est > sumEst {
+			looser++
+		}
+		if checked++; checked >= 2_000 {
+			break
+		}
+	}
+	if violations > 0 {
+		t.Errorf("%d/%d keys outside the merge-based certified interval", violations, checked)
+	}
+	if looser > 0 {
+		t.Errorf("%d/%d merge-based intervals looser than estimate-summing", looser, checked)
+	}
+}
+
+// TestEstimateSumFallback pins the non-merged path: with the merged view
+// disabled the collector must answer exactly like the classic composition.
+func TestEstimateSumFallback(t *testing.T) {
+	c, err := NewCollector("127.0.0.1:0", CollectorConfig{
+		Spec:              sketch.Spec{Lambda: 25, MemoryBytes: 256 << 10, Seed: 1},
+		DisableMergedView: true,
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if c.MergeBased() {
+		t.Fatal("DisableMergedView was ignored")
+	}
+	s := stream.IPTrace(30_000, 5)
+	feedAgents(t, c, s, 2)
+	checked := 0
+	for key, f := range s.Truth() {
+		sumEst, sumMpe := c.queryEstimateSum(key)
+		est, mpe := c.QueryWithError(key)
+		if est != sumEst || mpe != sumMpe {
+			t.Fatalf("fallback answer (%d,%d) differs from estimate-sum (%d,%d)", est, mpe, sumEst, sumMpe)
+		}
+		if f > est || sketch.CertifiedLowerBound(est, mpe) > f {
+			t.Fatalf("truth %d outside fallback interval [%d,%d]",
+				f, sketch.CertifiedLowerBound(est, mpe), est)
+		}
+		if checked++; checked >= 500 {
+			break
+		}
+	}
+}
+
+// TestWindowQueryOverNetwork drives the epoch-mode collector end to end:
+// agents stream distinct epochs under a fake clock, then window queries
+// must see exactly the covered epochs.
+func TestWindowQueryOverNetwork(t *testing.T) {
+	clk := &fakeNetClock{now: time.Unix(0, 0)}
+	c, err := NewCollector("127.0.0.1:0", CollectorConfig{
+		Spec:         sketch.Spec{Lambda: 25, MemoryBytes: 128 << 10, Seed: 1},
+		Epoch:        time.Second,
+		WindowEpochs: 4,
+		Clock:        clk.Now,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	a, err := Dial(c.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// Epoch 0: key 7 ×100. Epoch 1: key 7 ×40. Then seal both.
+	record := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if err := a.Record(7, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := a.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := a.Stats(); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(time.Second)
+	}
+	record(100)
+	record(40)
+	if err := a.Record(9, 1); err != nil { // force the final rotation
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	est, mpe, covered, err := a.QueryWindow(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered != 1 {
+		t.Errorf("covered=%d want 1", covered)
+	}
+	if est < 40 || sketch.CertifiedLowerBound(est, mpe) > 40 {
+		t.Errorf("1-epoch window: truth 40 outside [%d,%d]", sketch.CertifiedLowerBound(est, mpe), est)
+	}
+	est, mpe, covered, err = a.QueryWindow(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered != 2 {
+		t.Errorf("covered=%d want 2", covered)
+	}
+	if est < 140 || sketch.CertifiedLowerBound(est, mpe) > 140 {
+		t.Errorf("2-epoch window: truth 140 outside [%d,%d]", sketch.CertifiedLowerBound(est, mpe), est)
+	}
+	// The plain global query in epoch mode covers the retained window.
+	gest, gmpe, err := a.Query(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gest < 140 || sketch.CertifiedLowerBound(gest, gmpe) > 140 {
+		t.Errorf("epoch-mode global query: truth 140 outside [%d,%d]",
+			sketch.CertifiedLowerBound(gest, gmpe), gest)
+	}
+}
+
+// fakeNetClock is a goroutine-safe manual clock for epoch-mode tests.
+type fakeNetClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (f *fakeNetClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeNetClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
 }
 
 func TestQueryOverNetwork(t *testing.T) {

@@ -6,7 +6,11 @@
 //
 // Correctness note: per-agent certified intervals compose — the global sum
 // of a key equals the sum of per-agent sums, so summing estimates and MPEs
-// across agents preserves the guarantee: truth ∈ [Σest − Σmpe, Σest].
+// across agents preserves the guarantee: truth ∈ [Σest − Σmpe, Σest]. When
+// the configured variant is sketch.Mergeable, the collector additionally
+// folds every batch into one global merged sketch and answers with the
+// INTERSECTION of the merged view's interval and the estimate-sum interval
+// — certified because both contain the truth, and never looser than either.
 //
 // The wire protocol is a minimal length-prefixed binary framing
 // (little-endian), in the spirit of the paper's switch/control-plane
@@ -36,6 +40,11 @@ const (
 	msgStats
 	// msgStatsResp answers: agents, updates, queries.
 	msgStatsResp
+	// msgWindowQuery asks for a key's global sum over the last n sealed
+	// epochs (epoch-mode collectors): payload is key, then n.
+	msgWindowQuery
+	// msgWindowResp answers: key, epochs actually covered, estimate, MPE.
+	msgWindowResp
 )
 
 // maxFrame bounds a frame's payload to keep malicious or corrupt peers

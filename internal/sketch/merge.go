@@ -1,0 +1,56 @@
+package sketch
+
+import "fmt"
+
+// Mergeable is implemented by sketches that can absorb another sketch built
+// from the SAME Spec (same algorithm, memory budget, seed, and variant
+// options), so that after dst.Merge(src) every dst query answers for the
+// union of both ingested streams.
+//
+// Merge is the distributed-aggregation primitive: epoch rings combine sealed
+// windows into sliding-window views, and the netsum collector folds
+// per-batch deltas into one global sketch instead of summing per-agent
+// point estimates at query time.
+//
+// Semantics by family:
+//
+//   - Linear sketches (CM, Count) merge exactly: the merged counters equal
+//     the counters of one sketch fed the concatenated stream, so every query
+//     is identical.
+//   - CU merges conservatively: element-wise counter sums preserve the
+//     never-underestimate guarantee (min_i(a_i+b_i) ≥ min_i a_i + min_i b_i
+//     ≥ f_A(e) + f_B(e)) but may loosen the overestimate versus a single
+//     sketch, since conservative update is order-sensitive.
+//   - ReliableSketch merges certified: bucket votes combine so that every
+//     certified interval [est−mpe, est] still contains the union stream's
+//     truth, at the cost of disabling the early query-stop heuristics that
+//     are only sound for insertion-built state (see core.Sketch.Merge).
+//
+// Merge requires a compatible argument — same concrete type and geometry —
+// and reports an error (leaving the receiver unchanged) otherwise. Merge is
+// a write to the receiver and a read of the argument: neither may be
+// concurrently written during the call (Sharded's merge locks shard pairs
+// itself).
+type Mergeable interface {
+	Sketch
+	// Merge folds other into the receiver. other is not modified.
+	Merge(other Sketch) error
+}
+
+// Merge folds src into dst when dst supports merging, reporting a uniform
+// error otherwise — the entry point for callers holding plain Sketch values
+// (epoch ring, collector, harness).
+func Merge(dst, src Sketch) error {
+	m, ok := dst.(Mergeable)
+	if !ok {
+		return fmt.Errorf("sketch: %s does not support Merge", dst.Name())
+	}
+	return m.Merge(src)
+}
+
+// MergeIncompatible builds the conventional error for a Merge whose
+// argument is not a same-Spec sibling of the receiver; implementations use
+// it so mismatch diagnostics read uniformly across algorithm packages.
+func MergeIncompatible(dst Sketch, src Sketch, detail string) error {
+	return fmt.Errorf("sketch: cannot merge %s into %s: %s", src.Name(), dst.Name(), detail)
+}

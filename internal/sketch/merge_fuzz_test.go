@@ -1,0 +1,78 @@
+package sketch_test
+
+// Fuzzed merge equivalence, in the spirit of internal/netsum's codec
+// fuzzers: arbitrary byte strings become streams and split points, and the
+// Merge invariants must hold for every one — exact equality for the linear
+// CM merge, certified-interval soundness for ReliableSketch.
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/sketch"
+	_ "repro/internal/sketch/all"
+	"repro/internal/stream"
+)
+
+// fuzzStream decodes data into a key/value stream: 3 bytes per item (2-byte
+// key, 1-byte value+1) keeps collisions frequent enough to exercise bucket
+// replacement and filter saturation at tiny sketch sizes.
+func fuzzStream(data []byte) []stream.Item {
+	items := make([]stream.Item, 0, len(data)/3)
+	for len(data) >= 3 {
+		items = append(items, stream.Item{
+			Key:   uint64(binary.LittleEndian.Uint16(data)),
+			Value: uint64(data[2]%16) + 1,
+		})
+		data = data[3:]
+	}
+	return items
+}
+
+func FuzzMergeEquivalence(f *testing.F) {
+	f.Add([]byte{1, 0, 5, 2, 0, 7, 1, 0, 1}, uint8(1))
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0xff, 0xff, 0xff, 0, 0, 0, 0xff, 0xff, 1}, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, parts uint8) {
+		items := fuzzStream(data)
+		k := int(parts%4) + 2
+		spec := sketch.Spec{MemoryBytes: 8 << 10, Lambda: 25, Seed: 5}
+
+		truth := map[uint64]uint64{}
+		for _, it := range items {
+			truth[it.Key] += it.Value
+		}
+		split := make([][]stream.Item, k)
+		for i, it := range items {
+			split[i%k] = append(split[i%k], it)
+		}
+
+		build := func(name string) (sketch.Mergeable, sketch.Sketch) {
+			direct := sketch.MustBuild(name, spec)
+			sketch.InsertBatch(direct, items)
+			merged := sketch.MustBuild(name, spec).(sketch.Mergeable)
+			for _, part := range split {
+				other := sketch.MustBuild(name, spec)
+				sketch.InsertBatch(other, part)
+				if err := merged.Merge(other); err != nil {
+					t.Fatalf("%s: Merge: %v", name, err)
+				}
+			}
+			return merged, direct
+		}
+
+		cmMerged, cmDirect := build("CM_fast")
+		oursMerged, _ := build("Ours")
+		eb := oursMerged.(sketch.ErrorBounded)
+		for key, want := range truth {
+			if got, direct := cmMerged.Query(key), cmDirect.Query(key); got != direct {
+				t.Fatalf("CM merged %d != direct %d for key %d", got, direct, key)
+			}
+			est, mpe := eb.QueryWithError(key)
+			if want > est || sketch.CertifiedLowerBound(est, mpe) > want {
+				t.Fatalf("Ours merged interval [%d,%d] misses truth %d for key %d",
+					sketch.CertifiedLowerBound(est, mpe), est, want, key)
+			}
+		}
+	})
+}

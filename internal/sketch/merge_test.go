@@ -1,0 +1,175 @@
+package sketch_test
+
+// Merge conformance: every registry variant advertising CapMergeable must
+// produce a merged sketch whose answers are query-equivalent to one sketch
+// fed the concatenated stream — exactly for linear sketches (CM, Count),
+// and bound-equivalent for the conservative ones (CU never underestimates;
+// error-bounded variants keep truth inside every certified interval). The
+// property runs across flat and sharded builds of the full Mergeable set,
+// so a newly registered Merge implementation is held to it automatically.
+
+import (
+	"testing"
+
+	"repro/internal/sketch"
+	_ "repro/internal/sketch/all"
+	"repro/internal/stream"
+)
+
+// exactMerge names the linear variants whose Merge must be bit-equivalent
+// to feeding the concatenated stream into a single sketch.
+var exactMerge = map[string]bool{
+	"CM_fast": true, "CM_acc": true, "Count": true,
+}
+
+// splitStream partitions s round-robin into k disjoint parts, the way
+// distributed vantage points slice shared traffic.
+func splitStream(s *stream.Stream, k int) [][]stream.Item {
+	parts := make([][]stream.Item, k)
+	for i, it := range s.Items {
+		parts[i%k] = append(parts[i%k], it)
+	}
+	return parts
+}
+
+// mergedAndDirect builds one sketch per part plus a direct sketch fed
+// everything, merges the parts into the first, and returns (merged, direct).
+func mergedAndDirect(t *testing.T, e sketch.Entry, spec sketch.Spec, s *stream.Stream, k int) (sketch.Sketch, sketch.Sketch) {
+	t.Helper()
+	direct := e.Build(spec)
+	sketch.InsertBatch(direct, s.Items)
+
+	parts := splitStream(s, k)
+	merged := e.Build(spec)
+	sketch.InsertBatch(merged, parts[0])
+	mg, ok := merged.(sketch.Mergeable)
+	if !ok {
+		t.Fatalf("%s declares CapMergeable but built %T without Merge", e.Name, merged)
+	}
+	for _, part := range parts[1:] {
+		other := e.Build(spec)
+		sketch.InsertBatch(other, part)
+		if err := mg.Merge(other); err != nil {
+			t.Fatalf("%s: Merge: %v", e.Name, err)
+		}
+	}
+	return merged, direct
+}
+
+func TestMergeEquivalence(t *testing.T) {
+	s := stream.Zipf(40_000, 3_000, 1.0, 11)
+	truth := s.Truth()
+	specs := map[string]sketch.Spec{
+		"flat":    {MemoryBytes: 256 << 10, Lambda: 25, Seed: 9},
+		"sharded": {MemoryBytes: 256 << 10, Lambda: 25, Seed: 9, Shards: 4},
+	}
+	entries := sketch.ByCapability(sketch.CapMergeable)
+	if len(entries) < 7 {
+		t.Fatalf("expected at least 7 Mergeable variants (Ours, Ours(Raw), CM×2, CU×2, Count, SS), got %v", len(entries))
+	}
+	for _, e := range entries {
+		for label, spec := range specs {
+			t.Run(e.Name+"/"+label, func(t *testing.T) {
+				merged, direct := mergedAndDirect(t, e, spec, s, 4)
+
+				exactViol, underViol, certViol := 0, 0, 0
+				for key, f := range truth {
+					est := merged.Query(key)
+					if exactMerge[e.Name] && est != direct.Query(key) {
+						exactViol++
+					}
+					// CM/CU families never underestimate; merging must not
+					// break that.
+					switch e.Name {
+					case "CM_fast", "CM_acc", "CU_fast", "CU_acc":
+						if est < f {
+							underViol++
+						}
+					}
+					if eb, ok := merged.(sketch.ErrorBounded); ok {
+						ce, cm := eb.QueryWithError(key)
+						if f > ce || sketch.CertifiedLowerBound(ce, cm) > f {
+							certViol++
+						}
+					}
+				}
+				if exactViol > 0 {
+					t.Errorf("%d keys differ between merged and concatenated-stream sketch (linear merge must be exact)", exactViol)
+				}
+				if underViol > 0 {
+					t.Errorf("%d keys underestimated after merge", underViol)
+				}
+				if certViol > 0 {
+					t.Errorf("%d keys outside merged certified intervals", certViol)
+				}
+			})
+		}
+	}
+}
+
+func TestMergeRejectsIncompatible(t *testing.T) {
+	spec := sketch.Spec{MemoryBytes: 128 << 10, Lambda: 25, Seed: 3}
+	for _, e := range sketch.ByCapability(sketch.CapMergeable) {
+		mg := e.Build(spec).(sketch.Mergeable)
+		// Different algorithm family.
+		if err := mg.Merge(sketch.MustBuild("Elastic", spec)); err == nil {
+			t.Errorf("%s merged an Elastic sketch without error", e.Name)
+		}
+		// Same family, different seed (different hash functions).
+		// Space-Saving hashes nothing, so a reseeded sibling IS compatible.
+		if e.Name != "SS" {
+			reseeded := spec
+			reseeded.Seed = 4
+			if err := mg.Merge(e.Build(reseeded)); err == nil {
+				t.Errorf("%s merged a differently seeded sibling without error", e.Name)
+			}
+		}
+		// Same family, different memory budget (different geometry — for SS,
+		// different capacity, whose untracked-key bound needs equal caps).
+		resized := spec
+		resized.MemoryBytes = 64 << 10
+		if err := mg.Merge(e.Build(resized)); err == nil {
+			t.Errorf("%s merged a differently sized sibling without error", e.Name)
+		}
+	}
+}
+
+func TestShardedMergeRejectsMismatchedRouting(t *testing.T) {
+	spec := sketch.Spec{MemoryBytes: 256 << 10, Lambda: 25, Seed: 3, Shards: 4}
+	a := sketch.MustBuild("CM_fast", spec).(sketch.Mergeable)
+	// Mismatched shard count routes keys differently — refuse.
+	two := spec
+	two.Shards = 2
+	if err := a.Merge(sketch.MustBuild("CM_fast", two)); err == nil {
+		t.Error("sharded merge accepted a different shard count")
+	}
+	// Self-merge would double-count while holding the same locks — refuse.
+	if err := a.Merge(a); err == nil {
+		t.Error("sharded merge accepted itself as source")
+	}
+	// A flat sibling is not a sharded fan-out — refuse.
+	flat := spec
+	flat.Shards = 0
+	if err := a.Merge(sketch.MustBuild("CM_fast", flat)); err == nil {
+		t.Error("sharded merge accepted a flat sketch")
+	}
+}
+
+// TestMergeHelperFallsBackWithError pins the package-level Merge entry
+// point's behavior for non-mergeable sketches.
+func TestMergeHelperFallsBackWithError(t *testing.T) {
+	spec := sketch.Spec{MemoryBytes: 64 << 10, Seed: 1}
+	el := sketch.MustBuild("Elastic", spec)
+	if err := sketch.Merge(el, sketch.MustBuild("Elastic", spec)); err == nil {
+		t.Error("sketch.Merge succeeded on a non-Mergeable sketch")
+	}
+	cm := sketch.MustBuild("CM_fast", spec)
+	other := sketch.MustBuild("CM_fast", spec)
+	other.Insert(7, 3)
+	if err := sketch.Merge(cm, other); err != nil {
+		t.Errorf("sketch.Merge on a Mergeable sketch: %v", err)
+	}
+	if got := cm.Query(7); got != 3 {
+		t.Errorf("after helper merge Query(7)=%d want 3", got)
+	}
+}

@@ -27,6 +27,10 @@ const (
 	// meaningful. ErrorBounded variants without it (SS) certify their own
 	// per-query MPE instead.
 	CapLambdaTargeting
+	// CapMergeable marks sketches implementing Mergeable (folding a
+	// same-Spec sibling into the receiver) — the primitive behind
+	// sliding-window epoch rings and merge-based collector aggregation.
+	CapMergeable
 )
 
 // Has reports whether c includes every capability in want.
@@ -43,6 +47,7 @@ func (c Capability) String() string {
 		{CapHeavyHitter, "HeavyHitter"},
 		{CapResettable, "Resettable"},
 		{CapLambdaTargeting, "LambdaTargeting"},
+		{CapMergeable, "Mergeable"},
 	} {
 		if c.Has(e.bit) {
 			parts = append(parts, e.name)

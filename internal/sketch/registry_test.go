@@ -88,6 +88,27 @@ func TestCapabilitiesMatchInterfaces(t *testing.T) {
 		if _, ok := sk.(sketch.Resettable); ok != e.Caps.Has(sketch.CapResettable) {
 			t.Errorf("%s: Resettable capability %v but interface %v", e.Name, e.Caps.Has(sketch.CapResettable), ok)
 		}
+		if _, ok := sk.(sketch.Mergeable); ok != e.Caps.Has(sketch.CapMergeable) {
+			t.Errorf("%s: Mergeable capability %v but interface %v", e.Name, e.Caps.Has(sketch.CapMergeable), ok)
+		}
+		// Sharding must preserve exactly the declared capability set: a
+		// sharded build implements each interface iff the flat build declares
+		// it (Merge, certificates, and tracking all delegate shard-wise).
+		sharded := e.Build(sketch.Spec{MemoryBytes: 256 << 10, Lambda: 25, Seed: 1, Shards: 4})
+		for _, probe := range []struct {
+			cap  sketch.Capability
+			name string
+			ok   bool
+		}{
+			{sketch.CapErrorBounded, "ErrorBounded", func() bool { _, ok := sharded.(sketch.ErrorBounded); return ok }()},
+			{sketch.CapHeavyHitter, "HeavyHitter", func() bool { _, ok := sharded.(sketch.HeavyHitterReporter); return ok }()},
+			{sketch.CapMergeable, "Mergeable", func() bool { _, ok := sharded.(sketch.Mergeable); return ok }()},
+		} {
+			if probe.ok != e.Caps.Has(probe.cap) {
+				t.Errorf("%s sharded: %s capability %v but interface %v",
+					e.Name, probe.name, e.Caps.Has(probe.cap), probe.ok)
+			}
+		}
 	}
 }
 
@@ -133,8 +154,8 @@ func TestBuildUnknownName(t *testing.T) {
 func TestSpecShardsWrapsSharded(t *testing.T) {
 	const budget = 256 << 10
 	sk := sketch.MustBuild("Ours", sketch.Spec{MemoryBytes: budget, Lambda: 25, Seed: 1, Shards: 4})
-	if _, ok := sk.(sketch.ErrorBoundedSharded); !ok {
-		t.Fatalf("Shards=4 over an ErrorBounded variant built %T, want sketch.ErrorBoundedSharded", sk)
+	if _, ok := sk.(sketch.MergeableErrorBoundedSharded); !ok {
+		t.Fatalf("Shards=4 over an ErrorBounded+Mergeable variant built %T, want sketch.MergeableErrorBoundedSharded", sk)
 	}
 	if got := sk.MemoryBytes(); got > budget {
 		t.Errorf("sharded MemoryBytes %d exceeds budget %d", got, budget)
@@ -192,6 +213,9 @@ func TestShardingPreservesCapabilitiesWhereSound(t *testing.T) {
 	elastic := sketch.MustBuild("Elastic", spec)
 	if _, ok := elastic.(sketch.ErrorBounded); ok {
 		t.Error("sharded Elastic falsely claims ErrorBounded")
+	}
+	if _, ok := elastic.(sketch.Mergeable); ok {
+		t.Error("sharded Elastic falsely claims Mergeable")
 	}
 	ehh, ok := elastic.(sketch.HeavyHitterReporter)
 	if !ok {

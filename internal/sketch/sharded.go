@@ -119,16 +119,73 @@ func (s *Sharded) Query(key uint64) uint64 {
 func (s *Sharded) Wrap() Sketch {
 	_, eb := s.shards[0].(ErrorBounded)
 	_, hh := s.shards[0].(HeavyHitterReporter)
+	_, mg := s.shards[0].(Mergeable)
 	switch {
+	case eb && hh && mg:
+		return MergeableErrorBoundedSharded{ErrorBoundedSharded{TrackedSharded{s}}}
 	case eb && hh:
 		return ErrorBoundedSharded{TrackedSharded{s}}
+	case eb && mg:
+		return MergeableCertifiedSharded{CertifiedSharded{s}}
 	case eb:
 		return CertifiedSharded{s}
+	case hh && mg:
+		return MergeableTrackedSharded{TrackedSharded{s}}
 	case hh:
 		return TrackedSharded{s}
+	case mg:
+		return MergeableSharded{s}
 	default:
 		return s
 	}
+}
+
+// base exposes the underlying fan-out to mergeFrom through any wrapper
+// depth; every wrapper type inherits it by embedding.
+func (s *Sharded) base() *Sharded { return s }
+
+// shardedMergeMu serializes Sharded-into-Sharded merges process-wide, so
+// two concurrent opposite-direction merges cannot deadlock on each other's
+// shard mutexes. Merges are rare control-plane events; ingest never takes
+// this lock.
+var shardedMergeMu sync.Mutex
+
+// mergeFrom folds another sharded fan-out shard-by-shard. Both sides must
+// route keys identically (same shard count and seed), so shard i of the
+// source summarizes exactly the key partition shard i of the receiver
+// owns, and the per-shard Merge semantics carry over unchanged.
+func (s *Sharded) mergeFrom(other Sketch) error {
+	w, ok := other.(interface{ base() *Sharded })
+	if !ok {
+		return MergeIncompatible(s, other, "not a sharded sketch")
+	}
+	o := w.base()
+	if o == s {
+		return MergeIncompatible(s, other, "cannot merge a sketch into itself")
+	}
+	if len(s.shards) != len(o.shards) {
+		return MergeIncompatible(s, other, "shard counts differ")
+	}
+	if s.seed != o.seed {
+		return MergeIncompatible(s, other, "shard-routing seeds differ")
+	}
+	shardedMergeMu.Lock()
+	defer shardedMergeMu.Unlock()
+	for i := range s.shards {
+		m, ok := s.shards[i].(Mergeable)
+		if !ok {
+			return MergeIncompatible(s, other, "shards do not support Merge")
+		}
+		s.mus[i].Lock()
+		o.mus[i].Lock()
+		err := m.Merge(o.shards[i])
+		o.mus[i].Unlock()
+		s.mus[i].Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Reset clears every shard implementing Resettable in place. It lives on
@@ -192,6 +249,37 @@ type ErrorBoundedSharded struct{ TrackedSharded }
 func (s ErrorBoundedSharded) QueryWithError(key uint64) (est, mpe uint64) {
 	return shardedQueryWithError(s.Sharded, key)
 }
+
+// The Mergeable* wrapper family mirrors the capability wrappers above for
+// shards that support Merge, so a sharded sketch type-asserts as Mergeable
+// exactly when its sub-sketches do. Each is a distinct type (not a method
+// on Sharded) for the same reason TrackedSharded is.
+
+// MergeableSharded augments a Sharded whose sub-sketches support Merge but
+// neither certify errors nor report heavy hitters (sharded CM/CU/Count).
+type MergeableSharded struct{ *Sharded }
+
+// Merge folds another sharded fan-out in shard-by-shard.
+func (s MergeableSharded) Merge(other Sketch) error { return s.mergeFrom(other) }
+
+// MergeableTrackedSharded adds Merge to a heavy-hitter-reporting fan-out.
+type MergeableTrackedSharded struct{ TrackedSharded }
+
+// Merge folds another sharded fan-out in shard-by-shard.
+func (s MergeableTrackedSharded) Merge(other Sketch) error { return s.mergeFrom(other) }
+
+// MergeableCertifiedSharded adds Merge to an error-certifying fan-out.
+type MergeableCertifiedSharded struct{ CertifiedSharded }
+
+// Merge folds another sharded fan-out in shard-by-shard.
+func (s MergeableCertifiedSharded) Merge(other Sketch) error { return s.mergeFrom(other) }
+
+// MergeableErrorBoundedSharded adds Merge to a fan-out that both certifies
+// errors and reports heavy hitters (sharded Ours/SS).
+type MergeableErrorBoundedSharded struct{ ErrorBoundedSharded }
+
+// Merge folds another sharded fan-out in shard-by-shard.
+func (s MergeableErrorBoundedSharded) Merge(other Sketch) error { return s.mergeFrom(other) }
 
 // MemoryBytes sums the shards' accounted memory.
 func (s *Sharded) MemoryBytes() int {

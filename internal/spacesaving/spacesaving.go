@@ -12,7 +12,12 @@
 // ReliableSketch attacks.
 package spacesaving
 
-import "repro/internal/sketch"
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sketch"
+)
 
 // entry is one monitored counter.
 type entry struct {
@@ -106,6 +111,75 @@ func (s *Sketch) QueryWithError(key uint64) (est, mpe uint64) {
 	}
 	m := s.heap[0].count
 	return m, m
+}
+
+// Merge folds another Space-Saving summary into the receiver, keeping the
+// receiver's capacity (the classic mergeable-summaries construction,
+// Agarwal et al., PODS 2012, adapted to our per-entry adoption errors).
+// Writing minX for a full summary's minimum counter (0 when not full):
+//
+//   - keys tracked in both: counts and errors add;
+//   - keys tracked in one: the other side contributes at most its min, so
+//     count and err both grow by that min;
+//   - of the combined entries, only the top-capacity survive; every dropped
+//     count is ≤ every kept one, and every untracked key's union sum is
+//     ≤ minA + minB ≤ the new minimum counter,
+//
+// so both certified bounds (tracked: truth ∈ [count−err, count]; untracked:
+// truth ≤ min counter) hold for the union stream.
+func (s *Sketch) Merge(other sketch.Sketch) error {
+	o, ok := other.(*Sketch)
+	if !ok {
+		return sketch.MergeIncompatible(s, other, "not a Space-Saving summary")
+	}
+	if s.cap != o.cap {
+		// Equal capacities guarantee the merged summary is full whenever
+		// either input was, which the untracked-key bound (truth ≤ min
+		// counter, 0 when not full) depends on: merging a full small summary
+		// into a roomy one would leave its evicted keys certified as 0.
+		return sketch.MergeIncompatible(s, other, fmt.Sprintf("capacity %d vs %d", s.cap, o.cap))
+	}
+	minA, minB := s.minIfFull(), o.minIfFull()
+	merged := make([]entry, 0, len(s.heap)+len(o.heap))
+	for _, e := range s.heap {
+		if j, ok := o.pos[e.key]; ok {
+			other := o.heap[j]
+			merged = append(merged, entry{key: e.key, count: e.count + other.count, err: e.err + other.err})
+		} else {
+			merged = append(merged, entry{key: e.key, count: e.count + minB, err: e.err + minB})
+		}
+	}
+	for _, e := range o.heap {
+		if _, ok := s.pos[e.key]; ok {
+			continue
+		}
+		merged = append(merged, entry{key: e.key, count: e.count + minA, err: e.err + minA})
+	}
+	if len(merged) > s.cap {
+		// Keep the top-cap counts; order among kept entries is irrelevant
+		// (the heap is rebuilt below).
+		sort.Slice(merged, func(i, j int) bool { return merged[i].count > merged[j].count })
+		merged = merged[:s.cap]
+	}
+	s.heap = s.heap[:0]
+	clear(s.pos)
+	for _, e := range merged {
+		s.heap = append(s.heap, e)
+		i := len(s.heap) - 1
+		s.pos[e.key] = i
+		s.siftUp(i)
+	}
+	return nil
+}
+
+// minIfFull is the minimum counter when the summary is at capacity — the
+// certified bound on any untracked key's sum — and 0 otherwise (not full
+// means every seen key is tracked, so untracked keys have true sum 0).
+func (s *Sketch) minIfFull() uint64 {
+	if len(s.heap) < s.cap || len(s.heap) == 0 {
+		return 0
+	}
+	return s.heap[0].count
 }
 
 // Tracked returns all monitored keys and their counters.

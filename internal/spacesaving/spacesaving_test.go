@@ -159,6 +159,76 @@ func TestTopKRecall(t *testing.T) {
 	}
 }
 
+// TestMergeCertifiedInvariant splits a skewed stream across two summaries,
+// merges, and checks both certified bounds for the union: tracked keys'
+// truth inside [count−err, count], untracked keys' truth below the minimum
+// counter.
+func TestMergeCertifiedInvariant(t *testing.T) {
+	s := stream.Zipf(30_000, 2_000, 1.2, 5)
+	a, b := New(64), New(64)
+	truth := map[uint64]uint64{}
+	for i, it := range s.Items {
+		if i%2 == 0 {
+			a.Insert(it.Key, it.Value)
+		} else {
+			b.Insert(it.Key, it.Value)
+		}
+		truth[it.Key] += it.Value
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a.Tracked()); got > a.Counters() {
+		t.Fatalf("merged summary holds %d entries, capacity %d", got, a.Counters())
+	}
+	for key, f := range truth {
+		est, mpe := a.QueryWithError(key)
+		if f > est {
+			t.Fatalf("key %d: truth %d above merged estimate %d", key, f, est)
+		}
+		if mpe <= est && est-mpe > f {
+			t.Fatalf("key %d: truth %d below merged certified floor %d", key, f, est-mpe)
+		}
+	}
+}
+
+// TestMergeNotFullSides: merging summaries that never filled keeps exact
+// counts (every seen key is tracked on both sides, mins are zero).
+func TestMergeNotFullSides(t *testing.T) {
+	a, b := New(8), New(8)
+	a.Insert(1, 5)
+	b.Insert(1, 3)
+	b.Insert(2, 4)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ key, want uint64 }{{1, 8}, {2, 4}, {3, 0}} {
+		if got := a.Query(c.key); got != c.want {
+			t.Errorf("Query(%d)=%d want %d", c.key, got, c.want)
+		}
+	}
+}
+
+func TestMergeRejectsForeignSketch(t *testing.T) {
+	a := New(8)
+	if err := a.Merge(otherSketch{}); err == nil {
+		t.Error("merged a non-Space-Saving sketch")
+	}
+	// A full smaller summary's evicted keys would be certified as 0 by a
+	// roomy receiver — capacity mismatch must refuse.
+	if err := a.Merge(New(2)); err == nil {
+		t.Error("merged a summary with a different capacity")
+	}
+}
+
+// otherSketch is a minimal foreign sketch.Sketch implementation.
+type otherSketch struct{}
+
+func (otherSketch) Insert(key, value uint64) {}
+func (otherSketch) Query(key uint64) uint64  { return 0 }
+func (otherSketch) MemoryBytes() int         { return 0 }
+func (otherSketch) Name() string             { return "other" }
+
 func TestReset(t *testing.T) {
 	s := New(4)
 	s.Insert(1, 1)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,21 @@ import (
 	"repro/internal/harness"
 	"repro/internal/sketch"
 )
+
+// jsonRun is one experiment's machine-readable result.
+type jsonRun struct {
+	Experiment string           `json:"experiment"`
+	Tables     []*harness.Table `json:"tables"`
+	Seconds    float64          `json:"seconds"`
+}
+
+// jsonOutput is the -json file schema: the options the run used plus every
+// experiment's tables, so perf trajectories (BENCH_*.json) can be diffed
+// across commits without scraping aligned text.
+type jsonOutput struct {
+	Options harness.Options `json:"options"`
+	Runs    []jsonRun       `json:"runs"`
+}
 
 func main() {
 	var (
@@ -30,6 +46,7 @@ func main() {
 		trials    = flag.Int("trials", harness.DefaultOptions.Trials, "repetitions for worst-case experiments")
 		scale     = flag.String("scale", "", "preset: 'paper' (10M items, 100 trials) or 'quick' (100k items)")
 		algos     = flag.String("algos", "", "comma-separated registry names restricting comparison experiments")
+		jsonPath  = flag.String("json", "", "also write machine-readable results to this file")
 	)
 	flag.Parse()
 
@@ -78,6 +95,7 @@ func main() {
 			ids = append(ids, e.ID)
 		}
 	}
+	out := jsonOutput{Options: o}
 	for _, id := range ids {
 		start := time.Now()
 		tables, err := harness.Run(id, o)
@@ -88,6 +106,20 @@ func main() {
 		for _, t := range tables {
 			fmt.Println(t)
 		}
-		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Printf("(%s completed in %v)\n\n", id, elapsed.Round(time.Millisecond))
+		out.Runs = append(out.Runs, jsonRun{Experiment: id, Tables: tables, Seconds: elapsed.Seconds()})
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rsbench: encoding -json output: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "rsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(results written to %s)\n", *jsonPath)
 	}
 }

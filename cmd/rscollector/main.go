@@ -17,18 +17,23 @@
 // (rsagent -window).
 //
 // The collector prints periodic ingest statistics to stdout; stop it with
-// SIGINT. Agents may query through their own connections (rsagent -query).
+// SIGINT. Agents may query through their own connections (rsagent -query),
+// and -http additionally serves the rsserve HTTP/JSON query API (cached
+// point/window/top-k queries) off the same collector.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
 	"repro/internal/netsum"
+	"repro/internal/queryd"
 	"repro/internal/sketch"
 )
 
@@ -43,6 +48,7 @@ func main() {
 		ep      = flag.Duration("epoch", 0, "epoch length for sliding-window mode (0 = cumulative)")
 		window  = flag.Int("window", 0, "sealed epochs retained per agent in -epoch mode (0 = default)")
 		noMerge = flag.Bool("no-merge", false, "disable the merged global view (estimate-sum only)")
+		httpAdr = flag.String("http", "", "also serve HTTP/JSON queries on this address (rsserve endpoints)")
 	)
 	flag.Parse()
 
@@ -66,6 +72,21 @@ func main() {
 	}
 	fmt.Printf("rscollector listening on %s (%s, Λ=%d, %dB per agent, %s)\n",
 		c.Addr(), *algo, *lambda, *mem, mode)
+
+	if *httpAdr != "" {
+		qs, err := queryd.New(queryd.CollectorBackend{C: c, Algo: *algo}, queryd.Config{Logf: log.Printf})
+		if err != nil {
+			log.Fatalf("rscollector: %v", err)
+		}
+		defer qs.Close()
+		go func() {
+			if err := (&http.Server{Addr: *httpAdr, Handler: qs.Handler()}).ListenAndServe(); err != nil &&
+				!errors.Is(err, http.ErrServerClosed) {
+				log.Fatalf("rscollector: http: %v", err)
+			}
+		}()
+		fmt.Printf("query API on http://%s (/v1/point /v1/window /v1/topk /v1/status)\n", *httpAdr)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)

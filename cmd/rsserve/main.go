@@ -1,0 +1,162 @@
+// Command rsserve is the query-serving front end: an HTTP/JSON server
+// answering point queries with certified bounds, heavy-hitter top-k, and
+// sliding-window queries, with an epoch-aware result cache and durable
+// sketch checkpoints.
+//
+// Standalone mode serves one registry-built sketch ingesting over HTTP:
+//
+//	rsserve -listen 127.0.0.1:8080 -algo Ours -mem 1048576
+//	rsserve -epoch 10s -window 8            # sliding-window (epoch ring) mode
+//	rsserve -checkpoint state.ckpt -checkpoint-every 30s
+//
+// Collector mode embeds a netsum collector (agents connect with rsagent)
+// and serves its global view:
+//
+//	rsserve -collector 127.0.0.1:7777 -listen 127.0.0.1:8080
+//
+// When -checkpoint names an existing file, the server warm-restarts from
+// it: restored certified intervals still contain the pre-restart exact
+// counts, and new traffic stacks on top. Endpoints: /v1/point, /v1/window,
+// /v1/topk, /v1/status, /v1/insert (standalone), /v1/checkpoint.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/netsum"
+	"repro/internal/queryd"
+	"repro/internal/sketch"
+	_ "repro/internal/sketch/all" // every registered variant servable by name
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:8080", "HTTP address to serve queries on")
+		algo      = flag.String("algo", "Ours", "registered sketch variant")
+		lambda    = flag.Uint64("lambda", 25, "error tolerance Λ (error-targeting variants)")
+		mem       = flag.Int("mem", 1<<20, "sketch memory budget (bytes)")
+		seed      = flag.Uint64("seed", 1, "sketch hash seed")
+		shards    = flag.Int("shards", 0, "shard the sketch n ways for concurrent ingest (standalone)")
+		ep        = flag.Duration("epoch", 0, "epoch length for sliding-window mode (0 = cumulative)")
+		window    = flag.Int("window", 0, "sealed epochs retained in -epoch mode (0 = default)")
+		collector = flag.String("collector", "", "embed a netsum collector on this TCP address and serve its global view")
+		noMerge   = flag.Bool("no-merge", false, "collector mode: disable the merged global view")
+		cacheSize = flag.Int("cache-size", 4096, "result cache capacity (entries)")
+		cacheTTL  = flag.Duration("cache-ttl", 250*time.Millisecond, "freshness of cached live-window answers")
+		ckpt      = flag.String("checkpoint", "", "checkpoint file path (warm-restarts from it when present)")
+		ckptEvery = flag.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 = only on demand and shutdown)")
+	)
+	flag.Parse()
+
+	spec := sketch.Spec{Lambda: *lambda, MemoryBytes: *mem, Seed: *seed, Shards: *shards}
+	cfg := queryd.Config{
+		CacheCapacity:   *cacheSize,
+		CacheTTL:        *cacheTTL,
+		CheckpointPath:  *ckpt,
+		CheckpointEvery: *ckptEvery,
+		Algo:            *algo,
+		Spec:            spec,
+		Logf:            log.Printf,
+	}
+
+	var (
+		backend queryd.Backend
+		mode    string
+		col     *netsum.Collector
+	)
+	if *collector != "" {
+		// The collector forces the emergency layer on so composed bounds
+		// stay unconditional; the checkpoint header must describe the
+		// sketch actually built.
+		spec.Emergency = true
+		cfg.Spec = spec
+		var err error
+		col, err = netsum.NewCollector(*collector, netsum.CollectorConfig{
+			Algo:              *algo,
+			Spec:              spec,
+			Epoch:             *ep,
+			WindowEpochs:      *window,
+			DisableMergedView: *noMerge,
+			Logf:              log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("rsserve: %v", err)
+		}
+		defer col.Close()
+		if err := maybeRestore(*ckpt, *algo, spec, col.RestoreBaseline); err != nil {
+			log.Fatalf("rsserve: %v", err)
+		}
+		backend = queryd.CollectorBackend{C: col, Algo: *algo}
+		mode = fmt.Sprintf("collector on %s", col.Addr())
+	} else {
+		b, err := queryd.NewSketchBackend(*algo, spec, *ep, *window, nil)
+		if err != nil {
+			log.Fatalf("rsserve: %v", err)
+		}
+		if err := maybeRestore(*ckpt, *algo, spec, b.Restore); err != nil {
+			log.Fatalf("rsserve: %v", err)
+		}
+		backend = b
+		mode = "standalone"
+		if *ep > 0 {
+			mode = fmt.Sprintf("standalone, sliding window (epoch=%v, window=%d)", *ep, *window)
+		}
+	}
+
+	s, err := queryd.New(backend, cfg)
+	if err != nil {
+		log.Fatalf("rsserve: %v", err)
+	}
+	srv := &http.Server{Addr: *listen, Handler: s.Handler()}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("rsserve: %v", err)
+		}
+	}()
+	fmt.Printf("rsserve listening on http://%s (%s, %s, %dB, cache %d entries/%v TTL)\n",
+		*listen, *algo, mode, *mem, *cacheSize, *cacheTTL)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	fmt.Println("\nshutting down")
+	srv.Close()
+	if err := s.Close(); err != nil {
+		log.Printf("rsserve: final checkpoint: %v", err)
+	}
+}
+
+// maybeRestore warm-restarts from path when a checkpoint exists there,
+// refusing headers that do not describe the configured sketch (a restored
+// snapshot only answers correctly for the Spec it was written from).
+func maybeRestore(path, algo string, spec sketch.Spec, restore func(io.Reader) error) error {
+	if path == "" {
+		return nil
+	}
+	gotAlgo, gotSpec, payload, err := queryd.OpenCheckpoint(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer payload.Close()
+	if gotAlgo != algo || gotSpec != spec {
+		return fmt.Errorf("checkpoint %s holds %s %+v, server configured for %s %+v",
+			path, gotAlgo, gotSpec, algo, spec)
+	}
+	if err := restore(payload); err != nil {
+		return err
+	}
+	log.Printf("rsserve: warm-restarted from %s (%s)", path, gotAlgo)
+	return nil
+}

@@ -1,0 +1,93 @@
+package cm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Snapshot serialization, implementing sketch.Snapshotter. The wire format
+// is magic "CMS1" | d | width | hash-call counters | counters as uvarints
+// (most counters are small at sane loads, so varints beat fixed words). The
+// hash family is not serialized: it derives from the Spec seed, which the
+// restoring side supplies by building a same-Spec sketch.
+
+var cmMagic = [4]byte{'C', 'M', 'S', '1'}
+
+// Snapshot writes the sketch's full state to w.
+func (s *Sketch) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.Write(cmMagic[:])
+	var buf [binary.MaxVarintLen64]byte
+	write := func(vs ...uint64) {
+		for _, v := range vs {
+			n := binary.PutUvarint(buf[:], v)
+			bw.Write(buf[:n])
+		}
+	}
+	write(uint64(len(s.rows)), uint64(s.width), s.insertHashCalls, s.queryHashCalls.Load())
+	for i := range s.rows {
+		for _, c := range s.rows[i] {
+			write(uint64(c))
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore replaces the counters with a snapshot written by a same-Spec
+// sibling's Snapshot. The serialized geometry must match the receiver's;
+// hash seeds cannot be validated (they are not serialized), so restoring
+// into a differently seeded sketch silently mis-answers — the same-Spec
+// contract of sketch.Snapshotter.
+func (s *Sketch) Restore(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("cm: reading snapshot magic: %w", err)
+	}
+	if magic != cmMagic {
+		return fmt.Errorf("cm: bad snapshot magic %q", magic[:])
+	}
+	read := func() (uint64, error) { return binary.ReadUvarint(br) }
+	d, err := read()
+	if err != nil {
+		return fmt.Errorf("cm: snapshot depth: %w", err)
+	}
+	w, err := read()
+	if err != nil {
+		return fmt.Errorf("cm: snapshot width: %w", err)
+	}
+	if int(d) != len(s.rows) || int(w) != s.width {
+		return fmt.Errorf("cm: snapshot geometry %dx%d, sketch built %dx%d",
+			d, w, len(s.rows), s.width)
+	}
+	ins, err := read()
+	if err != nil {
+		return fmt.Errorf("cm: snapshot insert hash calls: %w", err)
+	}
+	qry, err := read()
+	if err != nil {
+		return fmt.Errorf("cm: snapshot query hash calls: %w", err)
+	}
+	// Decode into fresh rows and swap only on full success, so a truncated
+	// or corrupt snapshot leaves the receiver untouched.
+	rows := make([][]uint32, len(s.rows))
+	for i := range rows {
+		rows[i] = make([]uint32, s.width)
+		for j := range rows[i] {
+			c, err := read()
+			if err != nil {
+				return fmt.Errorf("cm: counter %d/%d: %w", i, j, err)
+			}
+			if c > 0xffffffff {
+				return fmt.Errorf("cm: counter %d/%d overflows 32 bits", i, j)
+			}
+			rows[i][j] = uint32(c)
+		}
+	}
+	s.rows = rows
+	s.insertHashCalls = ins
+	s.queryHashCalls.Store(qry)
+	return nil
+}

@@ -18,14 +18,16 @@ import (
 //
 // Wire format (all little-endian):
 //
-//	magic "RSK2" | config block | per-layer bucket runs | filter block
+//	magic "RSK3" | config block | per-layer bucket runs | filter block
 //
 // Buckets serialize sparsely (most are empty at sane loads): each occupied
 // bucket is (index uvarint, ID, YES, NO uvarints).
 
-// codecMagic versions the snapshot format; "RSK2" split the filter block's
-// hash-call counter into per-operation counters.
-var codecMagic = [4]byte{'R', 'S', 'K', '2'}
+// codecMagic versions the snapshot format; "RSK3" added the filter block's
+// counter-format field (packed vs varint), which lets merged filters —
+// whose counters may sit above the saturation cap — serialize, so
+// checkpointing a merge-built global view works.
+var codecMagic = [4]byte{'R', 'S', 'K', '3'}
 
 // WriteTo serializes the sketch. It implements io.WriterTo.
 func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
@@ -50,7 +52,12 @@ func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
 		uint64(s.cfg.FilterBits),
 		boolU64(s.emerg != nil),
 		uint64(s.cfg.EmergencyCounters),
-		s.failures, s.failedValue)
+		s.failures, s.failedValue,
+		// RSK3: the merged marker must survive a snapshot — restored
+		// merge-built state has to keep the merged-safe query walk — and the
+		// operation counters keep instrumentation continuous across restarts.
+		boolU64(s.merged), s.insertOps, s.insertHashCalls,
+		s.queryOps.Load(), s.queryHashCalls.Load())
 	for i := range s.layers {
 		write(uint64(s.widths[i]), s.lambdas[i])
 		occupied := uint64(0)
@@ -102,7 +109,7 @@ func ReadSketch(r io.Reader) (*Sketch, error) {
 		return nil, fmt.Errorf("core: bad snapshot magic %q", magic[:])
 	}
 	read := func() (uint64, error) { return binary.ReadUvarint(br) }
-	var fields [13]uint64
+	var fields [18]uint64
 	for i := range fields {
 		v, err := read()
 		if err != nil {
@@ -117,8 +124,9 @@ func ReadSketch(r io.Reader) (*Sketch, error) {
 	}
 	// Validate untrusted header fields that would otherwise reach
 	// constructors with panicking preconditions or huge allocations.
-	if fields[6] > 1 || fields[9] > 1 {
-		return nil, fmt.Errorf("core: malformed boolean header fields (%d, %d)", fields[6], fields[9])
+	if fields[6] > 1 || fields[9] > 1 || fields[13] > 1 {
+		return nil, fmt.Errorf("core: malformed boolean header fields (%d, %d, %d)",
+			fields[6], fields[9], fields[13])
 	}
 	if hasFilter := fields[6] == 1; hasFilter {
 		if r := fields[7]; r < 1 || r > 16 {
@@ -150,6 +158,11 @@ func ReadSketch(r io.Reader) (*Sketch, error) {
 		return nil, fmt.Errorf("core: rebuilding snapshot config: %w", err)
 	}
 	s.failures, s.failedValue = fields[11], fields[12]
+	s.merged = fields[13] == 1
+	s.insertOps = fields[14]
+	s.insertHashCalls = fields[15]
+	s.queryOps.Store(fields[16])
+	s.queryHashCalls.Store(fields[17])
 	// Layers: replace the provisional geometry with the serialized one.
 	for i := 0; i < d; i++ {
 		w, err := read()
@@ -216,6 +229,45 @@ func ReadSketch(r io.Reader) (*Sketch, error) {
 		}
 	}
 	return s, nil
+}
+
+// Snapshot writes the sketch's full state, implementing sketch.Snapshotter.
+// Unlike the Mergeable variants whose codecs serialize counters against the
+// receiver's geometry, a ReliableSketch snapshot is self-contained (the
+// config block rebuilds the geometry), so Restore accepts snapshots from
+// any configuration.
+func (s *Sketch) Snapshot(w io.Writer) error {
+	_, err := s.WriteTo(w)
+	return err
+}
+
+// Restore replaces the sketch's state with a snapshot written by WriteTo or
+// Snapshot, implementing sketch.Snapshotter. The atomic instrumentation
+// counters are re-seeded field by field (the struct cannot be copied
+// wholesale), and the configuration — including geometry — is adopted from
+// the snapshot.
+func (s *Sketch) Restore(r io.Reader) error {
+	loaded, err := ReadSketch(r)
+	if err != nil {
+		return err
+	}
+	s.cfg = loaded.cfg
+	s.lambda = loaded.lambda
+	s.layers = loaded.layers
+	s.widths = loaded.widths
+	s.lambdas = loaded.lambdas
+	s.hashes = loaded.hashes
+	s.mice = loaded.mice
+	s.emerg = loaded.emerg
+	s.bucketBytes = loaded.bucketBytes
+	s.merged = loaded.merged
+	s.failures = loaded.failures
+	s.failedValue = loaded.failedValue
+	s.insertOps = loaded.insertOps
+	s.insertHashCalls = loaded.insertHashCalls
+	s.queryOps.Store(loaded.queryOps.Load())
+	s.queryHashCalls.Store(loaded.queryHashCalls.Load())
+	return nil
 }
 
 // countingWriter tracks bytes written and the first error.

@@ -75,6 +75,13 @@ func (s *Sketch) compatible(o *Sketch) error {
 		return sketch.MergeIncompatible(s, o, "mice filter enabled on one side only")
 	case (s.emerg == nil) != (o.emerg == nil):
 		return sketch.MergeIncompatible(s, o, "emergency layer enabled on one side only")
+	case s.emerg != nil && s.emerg.Counters() != o.emerg.Counters():
+		// Checked here, before Merge touches any receiver state: the
+		// emergency layers are merged last, and a failure there would leave
+		// the filter and buckets already combined — corrupted state without
+		// the merged-safe query walk enabled.
+		return sketch.MergeIncompatible(s, o,
+			fmt.Sprintf("emergency capacity %d vs %d", s.emerg.Counters(), o.emerg.Counters()))
 	}
 	for i := range s.widths {
 		if s.widths[i] != o.widths[i] || s.lambdas[i] != o.lambdas[i] {

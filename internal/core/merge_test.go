@@ -1,0 +1,31 @@
+package core
+
+import "testing"
+
+func TestMergeEmergencyCapacityMismatchLeavesReceiverUntouched(t *testing.T) {
+	// EmergencyCounters does not affect layer geometry, so only an explicit
+	// compatibility check stops this merge — and it must fire before any
+	// receiver state is combined, or a failed merge would leave corrupted
+	// buckets with the unsound fast query stops still enabled.
+	build := func(counters int) *Sketch {
+		return MustNew(Config{
+			Lambda: 25, MemoryBytes: 64 << 10, Seed: 5,
+			Emergency: true, EmergencyCounters: counters,
+		})
+	}
+	a, b := build(1024), build(2048)
+	a.Insert(1, 100)
+	b.Insert(1, 50)
+	estBefore, mpeBefore := a.QueryWithError(1)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge accepted mismatched emergency capacities")
+	}
+	est, mpe := a.QueryWithError(1)
+	if est != estBefore || mpe != mpeBefore {
+		t.Errorf("failed merge mutated receiver: (%d,%d) became (%d,%d)",
+			estBefore, mpeBefore, est, mpe)
+	}
+	if a.merged {
+		t.Error("failed merge marked the receiver as merged")
+	}
+}

@@ -1,0 +1,75 @@
+package countsketch
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Snapshot serialization, implementing sketch.Snapshotter: magic "CTS1" |
+// d | width | signed counters as zig-zag varints (Count counters go
+// negative, unlike CM/CU's). Hash and sign families derive from the Spec
+// seed the restoring side builds with.
+
+var ctMagic = [4]byte{'C', 'T', 'S', '1'}
+
+// Snapshot writes the sketch's full state to w.
+func (s *Sketch) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.Write(ctMagic[:])
+	var buf [binary.MaxVarintLen64]byte
+	writeU := func(v uint64) {
+		n := binary.PutUvarint(buf[:], v)
+		bw.Write(buf[:n])
+	}
+	writeU(uint64(len(s.rows)))
+	writeU(uint64(s.width))
+	for i := range s.rows {
+		for _, c := range s.rows[i] {
+			n := binary.PutVarint(buf[:], c)
+			bw.Write(buf[:n])
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore replaces the counters with a snapshot written by a same-Spec
+// sibling's Snapshot. The serialized geometry must match the receiver's.
+func (s *Sketch) Restore(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("countsketch: reading snapshot magic: %w", err)
+	}
+	if magic != ctMagic {
+		return fmt.Errorf("countsketch: bad snapshot magic %q", magic[:])
+	}
+	d, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("countsketch: snapshot depth: %w", err)
+	}
+	w, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("countsketch: snapshot width: %w", err)
+	}
+	if int(d) != len(s.rows) || int(w) != s.width {
+		return fmt.Errorf("countsketch: snapshot geometry %dx%d, sketch built %dx%d",
+			d, w, len(s.rows), s.width)
+	}
+	// Decode into fresh rows and swap only on full success, so a truncated
+	// or corrupt snapshot leaves the receiver untouched.
+	rows := make([][]int64, len(s.rows))
+	for i := range rows {
+		rows[i] = make([]int64, s.width)
+		for j := range rows[i] {
+			c, err := binary.ReadVarint(br)
+			if err != nil {
+				return fmt.Errorf("countsketch: counter %d/%d: %w", i, j, err)
+			}
+			rows[i][j] = c
+		}
+	}
+	s.rows = rows
+	return nil
+}

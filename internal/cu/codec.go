@@ -1,0 +1,78 @@
+package cu
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Snapshot serialization, implementing sketch.Snapshotter: magic "CUS1" |
+// d | width | counters as uvarints. As with CM, the hash family derives
+// from the Spec seed the restoring side builds with and is not serialized.
+
+var cuMagic = [4]byte{'C', 'U', 'S', '1'}
+
+// Snapshot writes the sketch's full state to w.
+func (s *Sketch) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.Write(cuMagic[:])
+	var buf [binary.MaxVarintLen64]byte
+	write := func(vs ...uint64) {
+		for _, v := range vs {
+			n := binary.PutUvarint(buf[:], v)
+			bw.Write(buf[:n])
+		}
+	}
+	write(uint64(len(s.rows)), uint64(s.width))
+	for i := range s.rows {
+		for _, c := range s.rows[i] {
+			write(uint64(c))
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore replaces the counters with a snapshot written by a same-Spec
+// sibling's Snapshot. The serialized geometry must match the receiver's.
+func (s *Sketch) Restore(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("cu: reading snapshot magic: %w", err)
+	}
+	if magic != cuMagic {
+		return fmt.Errorf("cu: bad snapshot magic %q", magic[:])
+	}
+	read := func() (uint64, error) { return binary.ReadUvarint(br) }
+	d, err := read()
+	if err != nil {
+		return fmt.Errorf("cu: snapshot depth: %w", err)
+	}
+	w, err := read()
+	if err != nil {
+		return fmt.Errorf("cu: snapshot width: %w", err)
+	}
+	if int(d) != len(s.rows) || int(w) != s.width {
+		return fmt.Errorf("cu: snapshot geometry %dx%d, sketch built %dx%d",
+			d, w, len(s.rows), s.width)
+	}
+	// Decode into fresh rows and swap only on full success, so a truncated
+	// or corrupt snapshot leaves the receiver untouched.
+	rows := make([][]uint32, len(s.rows))
+	for i := range rows {
+		rows[i] = make([]uint32, s.width)
+		for j := range rows[i] {
+			c, err := read()
+			if err != nil {
+				return fmt.Errorf("cu: counter %d/%d: %w", i, j, err)
+			}
+			if c > 0xffffffff {
+				return fmt.Errorf("cu: counter %d/%d overflows 32 bits", i, j)
+			}
+			rows[i][j] = uint32(c)
+		}
+	}
+	s.rows = rows
+	return nil
+}

@@ -307,6 +307,40 @@ func (r *Ring) mergedView(ss *sealedSet, from, to int) sketch.Sketch {
 	return view
 }
 
+// Generation returns the sealed-set generation: a counter that increments
+// exactly when a window seals, and never otherwise. Any answer derived only
+// from sealed windows (Query, QueryWindow, QueryRange, TrackedWindow, and
+// their WithError forms) is immutable for a fixed generation — the
+// invalidation contract result caches key on. Overdue epochs are sealed
+// opportunistically before reading, so a reader polling Generation observes
+// rotations even on an otherwise idle ring.
+func (r *Ring) Generation() uint64 {
+	r.poke()
+	return r.sealed.Load().rotations
+}
+
+// TrackedWindow enumerates the heavy-hitter keys tracked over the last n
+// sealed epochs, from the same merged view sliding-window queries use. ok
+// is false when nothing is sealed yet, the sketch cannot merge a
+// multi-window view, or it does not report tracked keys.
+func (r *Ring) TrackedWindow(n int) ([]sketch.KV, bool) {
+	r.poke()
+	ss := r.sealed.Load()
+	from, to, rangeOK := clampRange(0, n-1, len(ss.windows))
+	if !rangeOK {
+		return nil, false
+	}
+	view := r.mergedView(ss, from, to)
+	if view == nil {
+		return nil, false
+	}
+	hh, ok := view.(sketch.HeavyHitterReporter)
+	if !ok {
+		return nil, false
+	}
+	return hh.Tracked(), true
+}
+
 // Sealed reports how many sealed windows the ring currently retains.
 func (r *Ring) Sealed() int {
 	r.poke()

@@ -311,3 +311,69 @@ func TestMemoryAndName(t *testing.T) {
 		t.Errorf("Name=%q", r.Name())
 	}
 }
+
+func TestGenerationAdvancesOnlyOnSeal(t *testing.T) {
+	r, clk := newRing(t, 4)
+	if g := r.Generation(); g != 0 {
+		t.Fatalf("fresh ring generation = %d", g)
+	}
+	r.Insert(1, 1)
+	if g := r.Generation(); g != 0 {
+		t.Errorf("ingest without a seal bumped generation to %d", g)
+	}
+	clk.Advance(10 * time.Second)
+	if g := r.Generation(); g != 1 {
+		t.Errorf("generation after one seal = %d, want 1", g)
+	}
+	// Reads alone never advance it.
+	r.Query(1)
+	r.QueryWindow(1, 4)
+	if g := r.Generation(); g != 1 {
+		t.Errorf("queries bumped generation to %d", g)
+	}
+}
+
+func TestTrackedWindowMergesSealedEpochs(t *testing.T) {
+	r, clk := newRing(t, 4)
+	// Key 5 is heavy in two different epochs; the merged tracked view must
+	// report it once with the combined weight visible via QueryWindow.
+	for i := 0; i < 500; i++ {
+		r.Insert(5, 1)
+	}
+	clk.Advance(10 * time.Second)
+	for i := 0; i < 300; i++ {
+		r.Insert(5, 1)
+	}
+	clk.Advance(10 * time.Second)
+	r.Query(0) // poke
+	kvs, ok := r.TrackedWindow(2)
+	if !ok {
+		t.Fatal("TrackedWindow not answered for a Mergeable heavy-hitter sketch")
+	}
+	found := false
+	for _, kv := range kvs {
+		if kv.Key == 5 {
+			found = true
+			if kv.Est < 800 {
+				t.Errorf("merged tracked estimate %d < exact 800", kv.Est)
+			}
+		}
+	}
+	if !found {
+		t.Error("key 5 missing from merged tracked window")
+	}
+	if _, ok := r.TrackedWindow(0); ok {
+		t.Error("empty window range answered")
+	}
+}
+
+func TestTrackedWindowUnsupportedSketch(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	r := NewRing(registryFactory("CM_fast"), 64<<10, time.Second, 4, clk.Now)
+	r.Insert(1, 1)
+	clk.Advance(time.Second)
+	r.Query(0)
+	if _, ok := r.TrackedWindow(1); ok {
+		t.Error("CM (no Tracked) answered TrackedWindow")
+	}
+}

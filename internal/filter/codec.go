@@ -6,11 +6,21 @@ import (
 	"io"
 )
 
-// EncodeTo serializes the filter geometry and counters. Counters are
-// bit-packed at their configured width (a 2-bit filter serializes at 4
-// counters per byte), so a snapshot costs exactly the filter's accounted
-// memory. The hash family is not serialized: it derives deterministically
-// from the owning sketch's seed, which the owner persists.
+// Snapshot counter encodings. Packed is the normal case: counters are
+// bit-packed at their configured width, so a snapshot costs exactly the
+// filter's accounted memory. Merged filters may hold counters above the
+// hardware saturation cap (filter.Merge saturates at the counter word, not
+// at cap), which the packed format cannot represent; those rows serialize
+// as varints instead, trading size for the ability to checkpoint merged
+// global views.
+const (
+	formatPacked = 0
+	formatVarint = 1
+)
+
+// EncodeTo serializes the filter geometry and counters. The hash family is
+// not serialized: it derives deterministically from the owning sketch's
+// seed, which the owner persists.
 func (f *Filter) EncodeTo(w io.Writer) error {
 	var buf [binary.MaxVarintLen64]byte
 	write := func(vs ...uint64) error {
@@ -22,21 +32,33 @@ func (f *Filter) EncodeTo(w io.Writer) error {
 		}
 		return nil
 	}
-	if err := write(uint64(len(f.rows)), uint64(f.width), uint64(f.bits),
+	format := uint64(formatPacked)
+	for r := range f.rows {
+		for _, c := range f.rows[r] {
+			if uint64(c) > f.cap {
+				format = formatVarint
+				break
+			}
+		}
+	}
+	if err := write(uint64(len(f.rows)), uint64(f.width), uint64(f.bits), format,
 		f.insertHashCalls, f.queryHashCalls.Load()); err != nil {
 		return err
+	}
+	if format == formatVarint {
+		for r := range f.rows {
+			for _, c := range f.rows[r] {
+				if err := write(uint64(c)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
 	}
 	packed := make([]byte, (f.width*f.bits+7)/8)
 	for r := range f.rows {
 		clear(packed)
 		for i, c := range f.rows[r] {
-			if uint64(c) > f.cap {
-				// Merged filters can hold counters above the hardware
-				// saturation cap; the bit-packed snapshot format cannot
-				// represent them, and truncating would un-saturate keys.
-				return fmt.Errorf("filter: counter %d/%d exceeds the %d-bit snapshot width (merged filter state is not snapshottable)",
-					r, i, f.bits)
-			}
 			packBits(packed, i*f.bits, f.bits, uint64(c))
 		}
 		if _, err := w.Write(packed); err != nil {
@@ -66,6 +88,10 @@ func (f *Filter) DecodeFrom(r interface {
 	if err != nil {
 		return fmt.Errorf("filter: bits: %w", err)
 	}
+	format, err := read()
+	if err != nil {
+		return fmt.Errorf("filter: counter format: %w", err)
+	}
 	insCalls, err := read()
 	if err != nil {
 		return fmt.Errorf("filter: insertHashCalls: %w", err)
@@ -77,24 +103,47 @@ func (f *Filter) DecodeFrom(r interface {
 	if rows == 0 || rows > 16 || width == 0 || width > 1<<31 || bits == 0 || bits > 32 {
 		return fmt.Errorf("filter: implausible snapshot geometry %d×%d×%d", rows, width, bits)
 	}
+	if format != formatPacked && format != formatVarint {
+		return fmt.Errorf("filter: unknown counter format %d", format)
+	}
 	if int(rows) != len(f.rows) {
 		return fmt.Errorf("filter: snapshot has %d rows, sketch built with %d", rows, len(f.rows))
 	}
+	// Decode into fresh rows and swap only on full success, so a truncated
+	// or corrupt snapshot leaves the receiver untouched.
+	newRows := make([][]uint32, rows)
+	if format == formatVarint {
+		for ri := range newRows {
+			newRows[ri] = make([]uint32, width)
+			for i := range newRows[ri] {
+				c, err := read()
+				if err != nil {
+					return fmt.Errorf("filter: row %d counter %d: %w", ri, i, err)
+				}
+				if c > 0xffffffff {
+					return fmt.Errorf("filter: counter %d/%d overflows 32 bits", ri, i)
+				}
+				newRows[ri][i] = uint32(c)
+			}
+		}
+	} else {
+		packed := make([]byte, (int(width)*int(bits)+7)/8)
+		for ri := range newRows {
+			if _, err := io.ReadFull(r, packed); err != nil {
+				return fmt.Errorf("filter: row %d counters: %w", ri, err)
+			}
+			newRows[ri] = make([]uint32, width)
+			for i := range newRows[ri] {
+				newRows[ri][i] = uint32(unpackBits(packed, i*int(bits), int(bits)))
+			}
+		}
+	}
+	f.rows = newRows
 	f.width = int(width)
 	f.bits = int(bits)
 	f.cap = 1<<bits - 1
 	f.insertHashCalls = insCalls
 	f.queryHashCalls.Store(qryCalls)
-	packed := make([]byte, (int(width)*int(bits)+7)/8)
-	for ri := range f.rows {
-		if _, err := io.ReadFull(r, packed); err != nil {
-			return fmt.Errorf("filter: row %d counters: %w", ri, err)
-		}
-		f.rows[ri] = make([]uint32, width)
-		for i := range f.rows[ri] {
-			f.rows[ri][i] = uint32(unpackBits(packed, i*f.bits, f.bits))
-		}
-	}
 	return nil
 }
 

@@ -36,7 +36,7 @@ func TestListCoversEveryPaperArtifact(t *testing.T) {
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fig16", "fig17", "fig18", "fig19",
 		"fig20a", "fig20b",
-		"ablation", "merge",
+		"ablation", "merge", "serve",
 	}
 	have := map[string]bool{}
 	for _, e := range List() {
@@ -64,7 +64,7 @@ func TestRunUnknownID(t *testing.T) {
 // TestFastExperimentsSmoke runs the cheap single-configuration experiments
 // end to end at tiny scale and sanity-checks their tables.
 func TestFastExperimentsSmoke(t *testing.T) {
-	for _, id := range []string{"table1", "table3", "table4", "fig10", "fig16", "fig17", "fig18", "fig19", "fig20a", "fig20b", "merge"} {
+	for _, id := range []string{"table1", "table3", "table4", "fig10", "fig16", "fig17", "fig18", "fig19", "fig20a", "fig20b", "merge", "serve"} {
 		tables, err := Run(id, tinyOptions)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)

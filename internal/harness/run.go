@@ -85,6 +85,14 @@ func init() {
 		func(o Options) ([]*Table, error) { return one(Fig10(o)) })
 	register("merge", "merged vs single-sketch accuracy on a split stream (Mergeable variants)",
 		func(o Options) ([]*Table, error) { return one(MergeAccuracy(o)) })
+	register("serve", "query-serving cache hit rate and latency under concurrent load",
+		func(o Options) ([]*Table, error) {
+			t, err := ServeLoad(o)
+			if err != nil {
+				return nil, err
+			}
+			return one(t)
+		})
 	register("fig11", "Rw impact under zero outlier",
 		func(o Options) ([]*Table, error) { return Fig11(o), nil })
 	register("fig12", "Rw impact under same AAE",

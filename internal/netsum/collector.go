@@ -2,6 +2,7 @@ package netsum
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -68,10 +69,16 @@ type Collector struct {
 	entry sketch.Entry
 	ln    net.Listener
 
-	// mu guards only the agents map; per-agent sketch access takes the
-	// agent's own lock.
+	// mu guards the agents map and the baseline pointer; per-agent sketch
+	// access takes the agent's own lock.
 	mu     sync.Mutex
 	agents map[uint64]*agentState
+
+	// baseline is pre-restart state restored from a checkpoint (cumulative
+	// mode only). It is read-only after RestoreBaseline publishes it, so
+	// queries read it lock-free; its certified interval is summed into the
+	// estimate-sum composition exactly like another agent's.
+	baseline sketch.ErrorBounded
 
 	// global is the incrementally merged all-agents sketch (cumulative mode
 	// with a Mergeable variant): every decoded batch is folded in via a
@@ -142,14 +149,20 @@ func (c *Collector) buildErrorBounded() (sketch.ErrorBounded, error) {
 	return eb, nil
 }
 
-// errorBoundedNames lists the registry variants usable as collector
-// sketches, for error messages.
-func errorBoundedNames() string {
+// capabilityNames lists the registry variants carrying caps, for error
+// messages suggesting usable alternatives.
+func capabilityNames(caps sketch.Capability) string {
 	var names []string
-	for _, e := range sketch.ByCapability(sketch.CapErrorBounded) {
+	for _, e := range sketch.ByCapability(caps) {
 		names = append(names, e.Name)
 	}
 	return strings.Join(names, ", ")
+}
+
+// errorBoundedNames lists the registry variants usable as collector
+// sketches, for error messages.
+func errorBoundedNames() string {
+	return capabilityNames(sketch.CapErrorBounded)
 }
 
 // Addr returns the listener's address, for clients to dial.
@@ -354,11 +367,106 @@ func (c *Collector) snapshotAgents() []*agentState {
 	return out
 }
 
+// baselineSketch reads the published warm-restart baseline, if any.
+func (c *Collector) baselineSketch() sketch.ErrorBounded {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.baseline
+}
+
+// CanSnapshotGlobal reports whether SnapshotGlobal can succeed: the
+// collector must maintain the merged global view (a Mergeable variant,
+// cumulative measurement, merging enabled) and the variant must support
+// snapshots; "Ours" satisfies both.
+func (c *Collector) CanSnapshotGlobal() error {
+	if c.global == nil {
+		return errors.New("netsum: no merged global view to snapshot (epoch mode, or merging disabled, or variant not Mergeable)")
+	}
+	if _, ok := c.global.(sketch.Snapshotter); !ok {
+		return fmt.Errorf("netsum: %q does not support Snapshot (need one of: %s)",
+			c.cfg.Algo, capabilityNames(sketch.CapErrorBounded|sketch.CapSnapshottable))
+	}
+	return nil
+}
+
+// SnapshotGlobal checkpoints the merged global view — the collector's full
+// ingested history, including any restored baseline — so a restarted
+// collector can warm-start from it via RestoreBaseline. The view is
+// serialized into memory under globalMu and written to w after releasing
+// it, so global queries and per-batch merge folds stall for the
+// serialization only, never for the destination's I/O.
+func (c *Collector) SnapshotGlobal(w io.Writer) error {
+	if err := c.CanSnapshotGlobal(); err != nil {
+		return err
+	}
+	sn := c.global.(sketch.Snapshotter)
+	var buf bytes.Buffer
+	c.globalMu.Lock()
+	err := sn.Snapshot(&buf)
+	c.globalMu.Unlock()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+// RestoreBaseline warm-starts the collector from a SnapshotGlobal
+// checkpoint: the restored sketch becomes a read-only baseline whose
+// certified interval is added to every global answer, and is folded into
+// the merged view so merge-based queries cover pre-restart traffic too.
+// Both compositions stay certified: the baseline certifies pre-restart
+// truth, the per-agent sketches certify post-restart truth, and global
+// truth is their sum. Call it once, before agents reconnect; cumulative
+// mode only (epoch rings are not checkpointed — their windows age out).
+func (c *Collector) RestoreBaseline(r io.Reader) error {
+	if c.cfg.Epoch > 0 {
+		return errors.New("netsum: warm restart is cumulative-mode only (epoch-ring state ages out instead)")
+	}
+	built, err := c.buildErrorBounded()
+	if err != nil {
+		return err
+	}
+	sn, ok := built.(sketch.Snapshotter)
+	if !ok {
+		return fmt.Errorf("netsum: %q does not support Restore (need one of: %s)",
+			c.cfg.Algo, capabilityNames(sketch.CapErrorBounded|sketch.CapSnapshottable))
+	}
+	if err := sn.Restore(r); err != nil {
+		return fmt.Errorf("netsum: restoring checkpoint: %w", err)
+	}
+	// Claim the baseline slot before touching the merged view, so a second
+	// restore cannot double-fold the checkpoint into it.
+	c.mu.Lock()
+	if c.baseline != nil {
+		c.mu.Unlock()
+		return errors.New("netsum: baseline already restored")
+	}
+	c.baseline = built
+	c.mu.Unlock()
+	if c.global != nil {
+		c.globalMu.Lock()
+		err := sketch.Merge(c.global, built)
+		c.globalMu.Unlock()
+		if err != nil {
+			c.mu.Lock()
+			c.baseline = nil
+			c.mu.Unlock()
+			return fmt.Errorf("netsum: folding checkpoint into merged view: %w", err)
+		}
+	}
+	return nil
+}
+
 // queryEstimateSum is the composition path: the sum of all agents'
-// certified estimates with their MPEs summed — certified, since the global
-// sum of a key equals the sum of per-agent sums. In epoch mode the
+// certified estimates (plus the warm-restart baseline's, when one was
+// restored) with their MPEs summed — certified, since the global sum of a
+// key equals the sum of per-agent (and pre-restart) sums. In epoch mode the
 // per-agent answer covers the agent's retained sliding window.
 func (c *Collector) queryEstimateSum(key uint64) (est, mpe uint64) {
+	if b := c.baselineSketch(); b != nil {
+		est, mpe = b.QueryWithError(key)
+	}
 	for _, st := range c.snapshotAgents() {
 		if st.ring != nil {
 			e, m, ok := st.ring.QueryWindowWithError(key, st.ring.Capacity())
@@ -456,4 +564,80 @@ func (c *Collector) Stats() (agents int, updates, queries uint64) {
 	agents = len(c.agents)
 	c.mu.Unlock()
 	return agents, c.updates.Load(), c.queries.Load()
+}
+
+// Epochal reports whether the collector measures in sealed epoch windows —
+// when true, every global answer derives only from sealed (immutable)
+// windows, so answers are stable for a fixed Generation.
+func (c *Collector) Epochal() bool { return c.cfg.Epoch > 0 }
+
+// Generation returns the collector-wide sealed-set generation: the sum of
+// every agent ring's seal count. It increments exactly when some agent's
+// window seals, so epoch-mode answers are immutable for a fixed generation
+// — the invalidation signal result caches key on. Always 0 in cumulative
+// mode, where answers change with every ingested batch.
+func (c *Collector) Generation() uint64 {
+	if c.cfg.Epoch <= 0 {
+		return 0
+	}
+	var gen uint64
+	for _, st := range c.snapshotAgents() {
+		gen += st.ring.Rotations()
+	}
+	return gen
+}
+
+// TrackedGlobal enumerates the heavy-hitter keys of the merged global view
+// with their certified intervals. It requires merge-based mode: per-agent
+// tracked sets cannot be combined soundly without merging (the same key may
+// be tracked at several agents with incomparable adoption errors).
+func (c *Collector) TrackedGlobal() ([]sketch.KV, error) {
+	if c.global == nil {
+		return nil, errors.New("netsum: heavy-hitter enumeration needs the merged global view (cumulative mode, Mergeable variant, merging enabled)")
+	}
+	hh, ok := c.global.(sketch.HeavyHitterReporter)
+	if !ok {
+		return nil, fmt.Errorf("netsum: %q does not report tracked keys (need one of: %s)",
+			c.cfg.Algo, capabilityNames(sketch.CapErrorBounded|sketch.CapHeavyHitter))
+	}
+	c.globalMu.Lock()
+	defer c.globalMu.Unlock()
+	return hh.Tracked(), nil
+}
+
+// ErrUnknownAgent marks a window query scoped to an agent the collector
+// has never seen; callers distinguish it (a client mistake) from
+// collector-side refusals with errors.Is.
+var ErrUnknownAgent = errors.New("netsum: unknown agent")
+
+// QueryAgentWindow answers a sliding-window query against one agent's
+// epoch ring: key's certified interval over the agent's last n sealed
+// epochs. covered is the epoch span actually answered for (0 when nothing
+// is sealed yet); n beyond the ring's retention is clamped, mirroring the
+// global window query. Errors name the misuse: the collector not in epoch
+// mode, a window that cannot cover a single epoch, or an agent the
+// collector has never seen.
+func (c *Collector) QueryAgentWindow(agentID, key uint64, n int) (est, mpe uint64, covered int, err error) {
+	if c.cfg.Epoch <= 0 {
+		return 0, 0, 0, errors.New("netsum: agent window queries need epoch mode (CollectorConfig.Epoch > 0)")
+	}
+	if n < 1 {
+		return 0, 0, 0, fmt.Errorf("netsum: window of %d epochs cannot cover anything", n)
+	}
+	c.mu.Lock()
+	st, ok := c.agents[agentID]
+	c.mu.Unlock()
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("%w %d", ErrUnknownAgent, agentID)
+	}
+	c.queries.Add(1)
+	e, m, answered := st.ring.QueryWindowWithError(key, n)
+	if !answered {
+		return 0, 0, 0, nil
+	}
+	covered = st.ring.Sealed()
+	if covered > n {
+		covered = n
+	}
+	return e, m, covered, nil
 }

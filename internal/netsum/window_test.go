@@ -1,0 +1,243 @@
+package netsum
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sketch"
+)
+
+// Error-path coverage for the window-query surface: each misuse must be
+// named by a distinct error, not silently answered with zeros.
+
+func TestQueryAgentWindowCumulativeModeRejected(t *testing.T) {
+	c, err := NewCollector("127.0.0.1:0", CollectorConfig{
+		Spec: sketch.Spec{Lambda: 25, MemoryBytes: 64 << 10, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	_, _, _, err = c.QueryAgentWindow(1, 7, 2)
+	if err == nil || !strings.Contains(err.Error(), "epoch mode") {
+		t.Errorf("cumulative-mode agent window query: err=%v, want epoch-mode refusal", err)
+	}
+}
+
+func TestQueryAgentWindowErrorPaths(t *testing.T) {
+	clk := &fakeNetClock{now: time.Unix(0, 0)}
+	c, err := NewCollector("127.0.0.1:0", CollectorConfig{
+		Spec:         sketch.Spec{Lambda: 25, MemoryBytes: 128 << 10, Seed: 1},
+		Epoch:        time.Second,
+		WindowEpochs: 4,
+		Clock:        clk.Now,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	a, err := Dial(c.Addr(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for i := 0; i < 50; i++ {
+		if err := a.Record(7, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip a stats request so the batch is known ingested.
+	if _, _, _, err := a.Stats(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, _, err := c.QueryAgentWindow(12345, 7, 2); err == nil ||
+		!strings.Contains(err.Error(), "unknown agent") {
+		t.Errorf("unknown agent: err=%v", err)
+	}
+	for _, n := range []int{0, -3} {
+		if _, _, _, err := c.QueryAgentWindow(9, 7, n); err == nil {
+			t.Errorf("window n=%d accepted", n)
+		}
+	}
+
+	// Nothing sealed yet: a valid query answers zero coverage, not an error.
+	est, mpe, covered, err := c.QueryAgentWindow(9, 7, 2)
+	if err != nil || covered != 0 || est != 0 || mpe != 0 {
+		t.Errorf("pre-seal window query = (%d,%d,cov=%d,err=%v), want zeros", est, mpe, covered, err)
+	}
+
+	// Seal one epoch: the 50 updates become queryable, and a window far
+	// wider than the retention clamps instead of failing.
+	clk.Advance(time.Second)
+	est, mpe, covered, err = c.QueryAgentWindow(9, 7, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered != 1 {
+		t.Errorf("covered = %d, want 1", covered)
+	}
+	if est < 50 || est-mpe > 50 {
+		t.Errorf("sealed interval [%d,%d] misses exact count 50", est-mpe, est)
+	}
+}
+
+func TestCollectorGenerationAdvancesOnSeal(t *testing.T) {
+	clk := &fakeNetClock{now: time.Unix(0, 0)}
+	c, err := NewCollector("127.0.0.1:0", CollectorConfig{
+		Spec:         sketch.Spec{Lambda: 25, MemoryBytes: 64 << 10, Seed: 1},
+		Epoch:        time.Second,
+		WindowEpochs: 4,
+		Clock:        clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if !c.Epochal() {
+		t.Fatal("epoch-mode collector reports Epochal() == false")
+	}
+	a, err := Dial(c.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Record(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := a.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Generation()
+	clk.Advance(time.Second)
+	// Rotation is opportunistic: any query pokes the ring.
+	c.QueryWindowWithError(1, 4)
+	if after := c.Generation(); after <= before {
+		t.Errorf("generation %d did not advance past %d after a seal", after, before)
+	}
+}
+
+func TestCollectorWarmRestart(t *testing.T) {
+	// The durability contract: a collector restarted from a checkpoint must
+	// answer queries whose certified intervals contain the pre-restart
+	// exact counts.
+	truth := map[uint64]uint64{}
+	before, err := NewCollector("127.0.0.1:0", CollectorConfig{
+		Spec: sketch.Spec{Lambda: 25, MemoryBytes: 256 << 10, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !before.MergeBased() {
+		t.Fatal("default collector is not merge-based; checkpointing needs the merged view")
+	}
+	a, err := Dial(before.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5_000; i++ {
+		key := uint64(i%257 + 1)
+		truth[key] += 3
+		if err := a.Record(key, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := a.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	var checkpoint bytes.Buffer
+	if err := before.SnapshotGlobal(&checkpoint); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	before.Close()
+
+	after, err := NewCollector("127.0.0.1:0", CollectorConfig{
+		Spec: sketch.Spec{Lambda: 25, MemoryBytes: 256 << 10, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { after.Close() })
+	if err := after.RestoreBaseline(bytes.NewReader(checkpoint.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if err := after.RestoreBaseline(bytes.NewReader(checkpoint.Bytes())); err == nil {
+		t.Error("second RestoreBaseline accepted; the checkpoint would double-count")
+	}
+	for key, f := range truth {
+		est, mpe := after.QueryWithError(key)
+		if f > est || sketch.CertifiedLowerBound(est, mpe) > f {
+			t.Fatalf("key %d: restored interval [%d,%d] misses pre-restart count %d",
+				key, sketch.CertifiedLowerBound(est, mpe), est, f)
+		}
+	}
+
+	// Post-restart traffic must stack on top of the restored baseline.
+	b, err := Dial(after.Addr(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for i := 0; i < 100; i++ {
+		if err := b.Record(1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := b.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	want := truth[1] + 100
+	est, mpe := after.QueryWithError(1)
+	if want > est || sketch.CertifiedLowerBound(est, mpe) > want {
+		t.Errorf("key 1: interval [%d,%d] misses baseline+new count %d",
+			sketch.CertifiedLowerBound(est, mpe), est, want)
+	}
+}
+
+func TestCheckpointRefusalsAreNamed(t *testing.T) {
+	// Epoch mode: neither snapshot nor restore applies.
+	epochal, err := NewCollector("127.0.0.1:0", CollectorConfig{
+		Spec:  sketch.Spec{Lambda: 25, MemoryBytes: 64 << 10, Seed: 1},
+		Epoch: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { epochal.Close() })
+	if err := epochal.SnapshotGlobal(&bytes.Buffer{}); err == nil {
+		t.Error("epoch-mode SnapshotGlobal accepted")
+	}
+	if err := epochal.RestoreBaseline(bytes.NewReader(nil)); err == nil ||
+		!strings.Contains(err.Error(), "cumulative") {
+		t.Errorf("epoch-mode RestoreBaseline: err=%v", err)
+	}
+	// Merging disabled: no global view exists to checkpoint.
+	noMerge, err := NewCollector("127.0.0.1:0", CollectorConfig{
+		Spec:              sketch.Spec{Lambda: 25, MemoryBytes: 64 << 10, Seed: 1},
+		DisableMergedView: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { noMerge.Close() })
+	if err := noMerge.SnapshotGlobal(&bytes.Buffer{}); err == nil {
+		t.Error("merge-disabled SnapshotGlobal accepted")
+	}
+}

@@ -1,0 +1,381 @@
+// Package queryd is the query-serving subsystem: an HTTP/JSON server that
+// fronts a measurement backend — a netsum.Collector aggregating many
+// agents, or a standalone registry-built sketch — with endpoints for point
+// estimates carrying certified bounds, heavy-hitter top-k, sliding-window
+// queries against the epoch ring, and status. Results flow through an
+// epoch-aware cache (Cache) and state is made durable through checkpoint
+// files (WriteCheckpoint) built on sketch.Snapshotter.
+package queryd
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/epoch"
+	"repro/internal/netsum"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// Result is one answer from a backend. When Certified, truth lies in
+// [Est−MPE, Est]; otherwise Est is a best-effort estimate whose error the
+// sketch cannot bound per query. Covered is the sealed-epoch span a window
+// query actually answered for (0 for cumulative, all-time answers).
+type Result struct {
+	Est       uint64
+	MPE       uint64
+	Certified bool
+	Covered   int
+}
+
+// Status describes a backend for /v1/status.
+type Status struct {
+	Mode       string `json:"mode"` // "collector" or "standalone"
+	Algo       string `json:"algo"`
+	Epochal    bool   `json:"epochal"`
+	Generation uint64 `json:"generation"`
+	Agents     int    `json:"agents"`
+	Updates    uint64 `json:"updates"`
+	Queries    uint64 `json:"queries"`
+}
+
+// Backend is the query surface the server fronts. Implementations must be
+// safe for concurrent use — the HTTP server issues queries from many
+// goroutines.
+type Backend interface {
+	// Point answers a point query: the key's value sum over the backend's
+	// visible history (all time, or the retained sliding window in epoch
+	// mode).
+	Point(key uint64) Result
+	// Window answers over the last n sealed epochs; cumulative backends
+	// degenerate to Point with Covered 0.
+	Window(key uint64, n int) Result
+	// TopK returns up to k tracked heavy hitters, heaviest first, or an
+	// error naming why the backend cannot enumerate them.
+	TopK(k int) ([]sketch.KV, error)
+	// Generation is the sealed-set generation answers derive from; it
+	// advances exactly when a window seals and stays 0 for cumulative
+	// backends.
+	Generation() uint64
+	// Epochal reports whether answers derive only from sealed (immutable)
+	// windows — the cache's signal to skip TTLs and key on Generation.
+	Epochal() bool
+	// Status reports identity and counters.
+	Status() Status
+}
+
+// Checkpointer is implemented by backends whose state can be checkpointed
+// for a warm restart.
+type Checkpointer interface {
+	Checkpoint(w io.Writer) error
+	// CanCheckpoint reports whether Checkpoint can possibly succeed under
+	// the backend's configuration, so a server asked to persist state that
+	// never will (epoch mode, merging disabled, non-Snapshottable variant)
+	// refuses at startup instead of logging failures forever.
+	CanCheckpoint() error
+}
+
+// Ingester is implemented by backends that accept updates over HTTP
+// (standalone mode; collector backends ingest through the agent protocol).
+type Ingester interface {
+	Ingest(items []stream.Item)
+}
+
+// AgentQuerier is implemented by backends that can scope a window query to
+// one measurement agent.
+type AgentQuerier interface {
+	AgentWindow(agentID, key uint64, n int) (Result, error)
+}
+
+// CollectorBackend fronts a netsum.Collector: global answers composed
+// across every agent, with certified bounds.
+type CollectorBackend struct {
+	C *netsum.Collector
+	// Algo names the collector's sketch variant for Status and checkpoint
+	// headers.
+	Algo string
+}
+
+// Point answers the global certified query.
+func (b CollectorBackend) Point(key uint64) Result {
+	est, mpe := b.C.QueryWithError(key)
+	return Result{Est: est, MPE: mpe, Certified: true}
+}
+
+// Window answers the global sliding-window query.
+func (b CollectorBackend) Window(key uint64, n int) Result {
+	est, mpe, covered := b.C.QueryWindowWithError(key, n)
+	return Result{Est: est, MPE: mpe, Certified: true, Covered: covered}
+}
+
+// TopK enumerates the merged global view's tracked keys, heaviest first.
+func (b CollectorBackend) TopK(k int) ([]sketch.KV, error) {
+	kvs, err := b.C.TrackedGlobal()
+	if err != nil {
+		return nil, err
+	}
+	return trimTopK(kvs, k), nil
+}
+
+// AgentWindow scopes a window query to one agent's epoch ring.
+func (b CollectorBackend) AgentWindow(agentID, key uint64, n int) (Result, error) {
+	est, mpe, covered, err := b.C.QueryAgentWindow(agentID, key, n)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Est: est, MPE: mpe, Certified: true, Covered: covered}, nil
+}
+
+// Generation is the collector-wide seal count.
+func (b CollectorBackend) Generation() uint64 { return b.C.Generation() }
+
+// Epochal reports whether the collector measures in sealed windows.
+func (b CollectorBackend) Epochal() bool { return b.C.Epochal() }
+
+// Checkpoint snapshots the merged global view.
+func (b CollectorBackend) Checkpoint(w io.Writer) error { return b.C.SnapshotGlobal(w) }
+
+// CanCheckpoint reports whether the collector maintains a snapshottable
+// merged view.
+func (b CollectorBackend) CanCheckpoint() error { return b.C.CanSnapshotGlobal() }
+
+// Status reports collector identity and ingest counters.
+func (b CollectorBackend) Status() Status {
+	agents, updates, queries := b.C.Stats()
+	return Status{
+		Mode:       "collector",
+		Algo:       b.Algo,
+		Epochal:    b.C.Epochal(),
+		Generation: b.C.Generation(),
+		Agents:     agents,
+		Updates:    updates,
+		Queries:    queries,
+	}
+}
+
+// SketchBackend serves a standalone registry-built sketch — cumulative, or
+// wrapped in an epoch ring when built with an epoch length. Ingest arrives
+// over HTTP (Ingest); queries and ingest may run concurrently.
+type SketchBackend struct {
+	algo string
+
+	// Cumulative mode: sk under mu (writers exclusive, readers shared) —
+	// except when selfSynced: sharded sketches lock per shard internally,
+	// and routing everything through one outer mutex would serialize the
+	// concurrent ingest that Spec.Shards exists to provide.
+	mu         sync.RWMutex
+	sk         sketch.Sketch
+	selfSynced bool
+
+	// Epoch mode: the ring locks internally.
+	ring *epoch.Ring
+
+	updates atomic.Uint64
+	queries atomic.Uint64
+}
+
+// NewSketchBackend builds a standalone backend for the named registry
+// variant. epochLen > 0 selects epoch mode: a ring rotating every epochLen
+// retaining windows sealed epochs (≤ 0 windows means the default).
+func NewSketchBackend(algo string, spec sketch.Spec, epochLen time.Duration, windows int, clock epoch.Clock) (*SketchBackend, error) {
+	entry, ok := sketch.Lookup(algo)
+	if !ok {
+		return nil, fmt.Errorf("queryd: unknown algorithm %q", algo)
+	}
+	b := &SketchBackend{algo: algo}
+	if epochLen > 0 {
+		b.ring = epoch.NewRing(entry.Factory(spec), spec.MemoryBytes, epochLen, windows, clock)
+		return b, nil
+	}
+	b.sk = entry.Build(spec)
+	b.selfSynced = spec.Shards > 1
+	return b, nil
+}
+
+// Restore warm-starts a cumulative backend from a snapshot (epoch-mode
+// state ages out instead of being checkpointed).
+func (b *SketchBackend) Restore(r io.Reader) error {
+	if b.ring != nil {
+		return errors.New("queryd: warm restart is cumulative-mode only (epoch-ring state ages out instead)")
+	}
+	sn, ok := b.sk.(sketch.Snapshotter)
+	if !ok {
+		return fmt.Errorf("queryd: %q does not support Restore", b.algo)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return sn.Restore(r)
+}
+
+// Ingest lands a batch of updates.
+func (b *SketchBackend) Ingest(items []stream.Item) {
+	switch {
+	case b.ring != nil:
+		b.ring.InsertBatch(items)
+	case b.selfSynced:
+		sketch.InsertBatch(b.sk, items)
+	default:
+		b.mu.Lock()
+		sketch.InsertBatch(b.sk, items)
+		b.mu.Unlock()
+	}
+	b.updates.Add(uint64(len(items)))
+}
+
+// Point answers for the key's visible history: all time in cumulative
+// mode, the retained sliding window in epoch mode.
+func (b *SketchBackend) Point(key uint64) Result {
+	b.queries.Add(1)
+	if b.ring != nil {
+		return b.windowResult(key, b.ring.Capacity())
+	}
+	if !b.selfSynced {
+		b.mu.RLock()
+		defer b.mu.RUnlock()
+	}
+	if eb, ok := b.sk.(sketch.ErrorBounded); ok {
+		est, mpe := eb.QueryWithError(key)
+		return Result{Est: est, MPE: mpe, Certified: true}
+	}
+	return Result{Est: b.sk.Query(key)}
+}
+
+// Window answers over the last n sealed epochs; cumulative mode
+// degenerates to Point with Covered 0.
+func (b *SketchBackend) Window(key uint64, n int) Result {
+	if b.ring == nil {
+		return b.Point(key)
+	}
+	b.queries.Add(1)
+	return b.windowResult(key, n)
+}
+
+// windowResult reads the ring, certifying when the sketch can.
+func (b *SketchBackend) windowResult(key uint64, n int) Result {
+	if est, mpe, ok := b.ring.QueryWindowWithError(key, n); ok {
+		return b.covered(Result{Est: est, MPE: mpe, Certified: true}, n)
+	}
+	return b.covered(Result{Est: b.ring.QueryWindow(key, n)}, n)
+}
+
+// covered clamps the reported span to what the ring has actually sealed.
+func (b *SketchBackend) covered(r Result, n int) Result {
+	if sealed := b.ring.Sealed(); sealed < n {
+		r.Covered = sealed
+	} else {
+		r.Covered = n
+	}
+	return r
+}
+
+// TopK enumerates tracked heavy hitters, heaviest first: the sketch's own
+// tracked set in cumulative mode, the merged sealed view in epoch mode.
+func (b *SketchBackend) TopK(k int) ([]sketch.KV, error) {
+	b.queries.Add(1)
+	if b.ring != nil {
+		kvs, ok := b.ring.TrackedWindow(b.ring.Capacity())
+		if !ok {
+			if b.ring.Sealed() == 0 {
+				// Nothing sealed yet: an empty window, not a missing
+				// capability — the first seal will populate it.
+				return nil, nil
+			}
+			return nil, fmt.Errorf("queryd: %q cannot enumerate tracked keys over the sealed window", b.algo)
+		}
+		return trimTopK(kvs, k), nil
+	}
+	if !b.selfSynced {
+		b.mu.RLock()
+		defer b.mu.RUnlock()
+	}
+	hh, ok := b.sk.(sketch.HeavyHitterReporter)
+	if !ok {
+		return nil, fmt.Errorf("queryd: %q does not report tracked keys", b.algo)
+	}
+	return trimTopK(hh.Tracked(), k), nil
+}
+
+// Generation is the ring's seal count (0 in cumulative mode).
+func (b *SketchBackend) Generation() uint64 {
+	if b.ring == nil {
+		return 0
+	}
+	return b.ring.Generation()
+}
+
+// Epochal reports epoch mode.
+func (b *SketchBackend) Epochal() bool { return b.ring != nil }
+
+// Checkpoint snapshots the cumulative sketch. Readers may run concurrently
+// (a snapshot is a read); ingest is excluded for the serialization only —
+// the state is captured into memory under the lock and written to w after
+// releasing it, so ingest never stalls on the destination's I/O.
+func (b *SketchBackend) Checkpoint(w io.Writer) error {
+	if err := b.CanCheckpoint(); err != nil {
+		return err
+	}
+	sn := b.sk.(sketch.Snapshotter)
+	var buf bytes.Buffer
+	if b.selfSynced {
+		// Sharded snapshots lock shard-by-shard themselves.
+		if err := sn.Snapshot(&buf); err != nil {
+			return err
+		}
+	} else {
+		b.mu.RLock()
+		err := sn.Snapshot(&buf)
+		b.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// CanCheckpoint reports whether the backend is a cumulative snapshottable
+// sketch.
+func (b *SketchBackend) CanCheckpoint() error {
+	if b.ring != nil {
+		return errors.New("queryd: checkpointing is cumulative-mode only (epoch-ring state ages out instead)")
+	}
+	if _, ok := b.sk.(sketch.Snapshotter); !ok {
+		return fmt.Errorf("queryd: %q does not support Snapshot", b.algo)
+	}
+	return nil
+}
+
+// Status reports identity and counters.
+func (b *SketchBackend) Status() Status {
+	return Status{
+		Mode:       "standalone",
+		Algo:       b.algo,
+		Epochal:    b.Epochal(),
+		Generation: b.Generation(),
+		Updates:    b.updates.Load(),
+		Queries:    b.queries.Load(),
+	}
+}
+
+// trimTopK sorts tracked keys heaviest-first and keeps the top k,
+// tie-breaking on key for deterministic listings.
+func trimTopK(kvs []sketch.KV, k int) []sketch.KV {
+	out := make([]sketch.KV, len(kvs))
+	copy(out, kvs)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Est != out[j].Est {
+			return out[i].Est > out[j].Est
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

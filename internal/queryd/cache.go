@@ -1,0 +1,193 @@
+package queryd
+
+import (
+	"container/list"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Cache is the epoch-aware result cache: a size-bounded LRU whose entries
+// are keyed by (query, sealed-set generation) and collapsed through a
+// singleflight layer so concurrent identical queries compute once.
+//
+// Two freshness regimes coexist:
+//
+//   - Immutable entries (epochal backends): an answer derived only from
+//     sealed windows cannot change while the generation holds, so it caches
+//     with no TTL. When a new window seals, the generation advances and the
+//     whole older generation is invalidated at once — the cache drops those
+//     entries on the first access that observes the new generation.
+//   - TTL entries (live, cumulative backends): the answer drifts with every
+//     ingested batch, so it expires after a short TTL. The certified
+//     interval stays a correct interval for the state it was computed from,
+//     which is what makes serving it safe — staleness costs freshness,
+//     never soundness.
+type Cache struct {
+	capacity int
+	ttl      time.Duration
+	clock    func() time.Time
+
+	mu       sync.Mutex
+	gen      uint64 // highest generation observed
+	lru      *list.List
+	entries  map[string]*list.Element
+	inflight map[string]*flight
+
+	hits          uint64
+	misses        uint64
+	coalesced     uint64
+	evictions     uint64
+	invalidations uint64
+}
+
+// cacheEntry is one stored answer. A zero expires means immutable: valid
+// for as long as its generation is current.
+type cacheEntry struct {
+	key     string
+	gen     uint64
+	val     any
+	expires time.Time
+}
+
+// flight is one in-progress computation; waiters block on done and share
+// the result.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewCache builds a cache holding up to capacity entries, expiring mutable
+// entries after ttl. clock defaults to wall time.
+func NewCache(capacity int, ttl time.Duration, clock func() time.Time) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Cache{
+		capacity: capacity,
+		ttl:      ttl,
+		clock:    clock,
+		lru:      list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Do returns the cached answer for key at generation gen, computing it at
+// most once across concurrent callers on a miss. immutable marks answers
+// derived only from sealed state (no TTL). cached reports whether the
+// caller was served without running compute — a fresh entry or a collapsed
+// concurrent flight. Errors are never cached.
+//
+// Entries and in-flight computations are stored under (key, gen), not key
+// alone: a request still holding a pre-seal generation can neither evict
+// the current generation's entry nor join (or be joined by) a flight from
+// a different generation — it recomputes under its own label, and its
+// soon-unreachable entry is reclaimed by the next invalidation sweep.
+func (c *Cache) Do(key string, gen uint64, immutable bool, compute func() (any, error)) (val any, cached bool, err error) {
+	genKey := key + "@" + strconv.FormatUint(gen, 10)
+	c.mu.Lock()
+	if gen > c.gen {
+		c.invalidate(gen)
+	}
+	if el, ok := c.entries[genKey]; ok {
+		e := el.Value.(*cacheEntry)
+		if e.expires.IsZero() || e.expires.After(c.clock()) {
+			c.hits++
+			c.lru.MoveToFront(el)
+			c.mu.Unlock()
+			return e.val, true, nil
+		}
+		c.drop(el)
+	}
+	if f, ok := c.inflight[genKey]; ok {
+		c.coalesced++
+		c.hits++
+		c.mu.Unlock()
+		<-f.done
+		return f.val, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[genKey] = f
+	c.misses++
+	c.mu.Unlock()
+
+	f.val, f.err = compute()
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.inflight, genKey)
+	if f.err == nil {
+		e := &cacheEntry{key: genKey, gen: gen, val: f.val}
+		if !immutable {
+			e.expires = c.clock().Add(c.ttl)
+		}
+		c.entries[genKey] = c.lru.PushFront(e)
+		for c.lru.Len() > c.capacity {
+			c.evictions++
+			c.drop(c.lru.Back())
+		}
+	}
+	c.mu.Unlock()
+	return f.val, false, f.err
+}
+
+// invalidate advances the observed generation and drops every entry from
+// older generations wholesale — the new sealed set makes them
+// unreachable, so holding them would only squat LRU capacity. Callers
+// hold c.mu.
+func (c *Cache) invalidate(gen uint64) {
+	c.gen = gen
+	var next *list.Element
+	for el := c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		if el.Value.(*cacheEntry).gen < gen {
+			c.invalidations++
+			c.drop(el)
+		}
+	}
+}
+
+// drop removes one entry. Callers hold c.mu.
+func (c *Cache) drop(el *list.Element) {
+	delete(c.entries, el.Value.(*cacheEntry).key)
+	c.lru.Remove(el)
+}
+
+// CacheStats is a point-in-time counter snapshot for /v1/status and the
+// serve experiment. HitRate folds collapsed concurrent flights into hits:
+// every request that did not run the backend query itself was served by
+// the cache layer.
+type CacheStats struct {
+	Entries       int     `json:"entries"`
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	Coalesced     uint64  `json:"coalesced"`
+	Evictions     uint64  `json:"evictions"`
+	Invalidations uint64  `json:"invalidations"`
+	Generation    uint64  `json:"generation"`
+	HitRate       float64 `json:"hit_rate"`
+}
+
+// Stats returns current cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CacheStats{
+		Entries:       c.lru.Len(),
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Coalesced:     c.coalesced,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Generation:    c.gen,
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRate = float64(st.Hits) / float64(total)
+	}
+	return st
+}

@@ -1,0 +1,234 @@
+package queryd
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type manualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	clk := &manualClock{now: time.Unix(0, 0)}
+	c := NewCache(16, time.Second, clk.Now)
+	computes := 0
+	get := func() (any, bool) {
+		v, cached, err := c.Do("k", 0, false, func() (any, error) {
+			computes++
+			return computes, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v, cached
+	}
+	if v, cached := get(); cached || v.(int) != 1 {
+		t.Fatalf("first get = (%v, cached=%v)", v, cached)
+	}
+	if v, cached := get(); !cached || v.(int) != 1 {
+		t.Fatalf("second get = (%v, cached=%v), want cached 1", v, cached)
+	}
+	clk.Advance(2 * time.Second)
+	if v, cached := get(); cached || v.(int) != 2 {
+		t.Fatalf("post-TTL get = (%v, cached=%v), want recomputed 2", v, cached)
+	}
+}
+
+func TestCacheImmutableIgnoresTTL(t *testing.T) {
+	clk := &manualClock{now: time.Unix(0, 0)}
+	c := NewCache(16, time.Millisecond, clk.Now)
+	computes := 0
+	get := func(gen uint64) (any, bool) {
+		v, cached, err := c.Do("k", gen, true, func() (any, error) {
+			computes++
+			return computes, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v, cached
+	}
+	get(3)
+	clk.Advance(time.Hour)
+	if v, cached := get(3); !cached || v.(int) != 1 {
+		t.Fatalf("immutable entry expired: (%v, cached=%v)", v, cached)
+	}
+	// A new generation invalidates wholesale.
+	if v, cached := get(4); cached || v.(int) != 2 {
+		t.Fatalf("stale-generation entry served: (%v, cached=%v)", v, cached)
+	}
+	if inv := c.Stats().Invalidations; inv != 1 {
+		t.Errorf("invalidations = %d, want 1", inv)
+	}
+}
+
+func TestCacheGenerationDropsOlderEntries(t *testing.T) {
+	c := NewCache(16, time.Minute, nil)
+	for i := 0; i < 8; i++ {
+		key := string(rune('a' + i))
+		if _, _, err := c.Do(key, 1, true, func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Stats().Entries; n != 8 {
+		t.Fatalf("entries = %d, want 8", n)
+	}
+	// First access at generation 2 drops all generation-1 entries.
+	if _, _, err := c.Do("z", 2, true, func() (any, error) { return 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Invalidations != 8 {
+		t.Errorf("after generation bump: entries=%d invalidations=%d, want 1/8", st.Entries, st.Invalidations)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(3, time.Minute, nil)
+	get := func(key string) {
+		if _, _, err := c.Do(key, 0, false, func() (any, error) { return key, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a")
+	get("b")
+	get("c")
+	get("a") // refresh a; b becomes LRU
+	get("d") // evicts b
+	st := c.Stats()
+	if st.Entries != 3 || st.Evictions != 1 {
+		t.Fatalf("entries=%d evictions=%d, want 3/1", st.Entries, st.Evictions)
+	}
+	if _, cached, _ := c.Do("b", 0, false, func() (any, error) { return "b", nil }); cached {
+		t.Error("evicted entry b still served")
+	}
+	if _, cached, _ := c.Do("a", 0, false, func() (any, error) { return "a", nil }); !cached {
+		t.Error("recently used entry a evicted")
+	}
+}
+
+func TestCacheSingleflightCollapses(t *testing.T) {
+	c := NewCache(16, time.Minute, nil)
+	var computes atomic.Uint64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	const clients = 32
+	results := make([]any, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do("hot", 0, false, func() (any, error) {
+				computes.Add(1)
+				<-release
+				return "answer", nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let the herd pile up behind the first flight, then release it.
+	for c.Stats().Misses == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Errorf("compute ran %d times for %d concurrent identical queries", got, clients)
+	}
+	for i, v := range results {
+		if v != "answer" {
+			t.Fatalf("client %d got %v", i, v)
+		}
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache(16, time.Minute, nil)
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, cached, err := c.Do("k", 0, false, func() (any, error) {
+			calls++
+			return nil, boom
+		})
+		if !errors.Is(err, boom) || cached {
+			t.Fatalf("attempt %d: err=%v cached=%v", i, err, cached)
+		}
+	}
+	if calls != 3 {
+		t.Errorf("error was cached: %d computes for 3 calls", calls)
+	}
+}
+
+func BenchmarkCacheHit(b *testing.B) {
+	c := NewCache(1024, time.Hour, nil)
+	c.Do("k", 0, false, func() (any, error) { return 1, nil })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Do("k", 0, false, func() (any, error) { return 1, nil })
+	}
+}
+
+func BenchmarkCacheMissEvict(b *testing.B) {
+	// Every access misses and evicts: the worst-case full churn path.
+	c := NewCache(64, time.Hour, nil)
+	keys := make([]string, 128)
+	for i := range keys {
+		keys[i] = "k" + string(rune('0'+i%10)) + string(rune('a'+i%26)) + string(rune('A'+i/26))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Do(keys[i%len(keys)], uint64(i), true, func() (any, error) { return i, nil })
+	}
+}
+
+func TestCacheStaleGenerationCannotEvictFresh(t *testing.T) {
+	// A request still holding a pre-seal generation must neither serve nor
+	// evict the current generation's entry: each generation's entries and
+	// flights are isolated.
+	c := NewCache(16, time.Minute, nil)
+	fresh := 0
+	get := func(gen uint64) (any, bool) {
+		v, cached, err := c.Do("k", gen, true, func() (any, error) {
+			fresh++
+			return gen, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v, cached
+	}
+	get(2) // current generation computes and caches
+	if v, cached := get(1); cached || v.(uint64) != 1 {
+		t.Fatalf("stale-generation request served (%v, cached=%v)", v, cached)
+	}
+	// The fresh generation-2 entry must have survived the stale access.
+	if v, cached := get(2); !cached || v.(uint64) != 2 {
+		t.Fatalf("generation-2 entry evicted by stale request: (%v, cached=%v)", v, cached)
+	}
+	if fresh != 2 {
+		t.Errorf("%d computes, want 2 (one per generation)", fresh)
+	}
+}

@@ -1,0 +1,153 @@
+package queryd
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sketch"
+)
+
+// Checkpoint files make sketch state durable across restarts. The file is
+// self-describing — magic "RQC1" | algorithm name | the Spec the sketch was
+// built from | the sketch snapshot — so a warm restart can rebuild the
+// exact same-Spec sketch before restoring into it, and a mismatched
+// restore is refused by name instead of misparsing counters.
+
+var checkpointMagic = [4]byte{'R', 'Q', 'C', '1'}
+
+// WriteCheckpoint atomically writes a checkpoint to path: the header, then
+// whatever snapshot writes (typically a Snapshotter's Snapshot or the
+// collector's SnapshotGlobal). The file appears under its final name only
+// once fully written and synced, so a crash mid-checkpoint leaves the
+// previous checkpoint intact.
+func WriteCheckpoint(path, algo string, spec sketch.Spec, snapshot func(io.Writer) error) (err error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("queryd: creating checkpoint temp file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriterSize(tmp, 256<<10)
+	if err = writeCheckpointHeader(bw, algo, spec); err != nil {
+		return err
+	}
+	if err = snapshot(bw); err != nil {
+		return fmt.Errorf("queryd: snapshotting into checkpoint: %w", err)
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func writeCheckpointHeader(w io.Writer, algo string, spec sketch.Spec) error {
+	if _, err := w.Write(checkpointMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	write := func(vs ...uint64) error {
+		for _, v := range vs {
+			n := binary.PutUvarint(buf[:], v)
+			if _, err := w.Write(buf[:n]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write(uint64(len(algo))); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, algo); err != nil {
+		return err
+	}
+	emergency := uint64(0)
+	if spec.Emergency {
+		emergency = 1
+	}
+	return write(uint64(spec.MemoryBytes), spec.Lambda, spec.Seed,
+		uint64(spec.FilterBits), math.Float64bits(spec.Rw), math.Float64bits(spec.Rl),
+		emergency, uint64(spec.Shards))
+}
+
+// OpenCheckpoint opens a checkpoint file and decodes its header. The
+// returned reader is positioned at the snapshot payload; the caller closes
+// it (typically by handing it to Snapshotter.Restore or
+// Collector.RestoreBaseline first).
+func OpenCheckpoint(path string) (algo string, spec sketch.Spec, payload io.ReadCloser, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", sketch.Spec{}, nil, err
+	}
+	br := bufio.NewReaderSize(f, 256<<10)
+	algo, spec, err = readCheckpointHeader(br)
+	if err != nil {
+		f.Close()
+		return "", sketch.Spec{}, nil, fmt.Errorf("queryd: %s: %w", path, err)
+	}
+	return algo, spec, &checkpointReader{Reader: br, f: f}, nil
+}
+
+// checkpointReader pairs the buffered payload reader with the underlying
+// file's Close.
+type checkpointReader struct {
+	*bufio.Reader
+	f *os.File
+}
+
+func (c *checkpointReader) Close() error { return c.f.Close() }
+
+func readCheckpointHeader(br *bufio.Reader) (string, sketch.Spec, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return "", sketch.Spec{}, fmt.Errorf("reading checkpoint magic: %w", err)
+	}
+	if magic != checkpointMagic {
+		return "", sketch.Spec{}, fmt.Errorf("bad checkpoint magic %q", magic[:])
+	}
+	read := func() (uint64, error) { return binary.ReadUvarint(br) }
+	nameLen, err := read()
+	if err != nil {
+		return "", sketch.Spec{}, fmt.Errorf("checkpoint algo length: %w", err)
+	}
+	if nameLen > 256 {
+		return "", sketch.Spec{}, fmt.Errorf("implausible checkpoint algo length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return "", sketch.Spec{}, fmt.Errorf("checkpoint algo name: %w", err)
+	}
+	var fields [8]uint64
+	for i := range fields {
+		v, err := read()
+		if err != nil {
+			return "", sketch.Spec{}, fmt.Errorf("checkpoint spec field %d: %w", i, err)
+		}
+		fields[i] = v
+	}
+	spec := sketch.Spec{
+		MemoryBytes: int(fields[0]),
+		Lambda:      fields[1],
+		Seed:        fields[2],
+		FilterBits:  int(fields[3]),
+		Rw:          math.Float64frombits(fields[4]),
+		Rl:          math.Float64frombits(fields[5]),
+		Emergency:   fields[6] == 1,
+		Shards:      int(fields[7]),
+	}
+	return string(name), spec, nil
+}

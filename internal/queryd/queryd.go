@@ -1,0 +1,452 @@
+package queryd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/netsum"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// Config tunes the server. The zero value is usable: a 4096-entry cache,
+// 250ms TTL for live answers, and no checkpointing.
+type Config struct {
+	// CacheCapacity bounds the result cache (entries); ≤ 0 means 4096.
+	CacheCapacity int
+	// CacheTTL is how long live-window (cumulative) answers stay fresh;
+	// ≤ 0 means 250ms. Sealed-window answers ignore it — they are immutable
+	// and cache until their generation is superseded.
+	CacheTTL time.Duration
+	// CheckpointPath, when set with CheckpointEvery, periodically
+	// checkpoints the backend (it must implement Checkpointer) and writes a
+	// final checkpoint on Close.
+	CheckpointPath  string
+	CheckpointEvery time.Duration
+	// Algo and Spec describe the backend's sketch for checkpoint headers.
+	Algo string
+	Spec sketch.Spec
+	// Logf receives server diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+	// Clock overrides time for cache TTLs (tests); nil means wall time.
+	Clock func() time.Time
+}
+
+// Server is the HTTP/JSON query server: it fronts a Backend with
+//
+//	GET  /v1/point?key=K          point estimate with certified bounds
+//	GET  /v1/window?key=K&n=N     sliding-window query over sealed epochs
+//	     (&agent=ID scopes to one agent, where the backend supports it)
+//	GET  /v1/topk?k=N             heavy-hitter enumeration, heaviest first
+//	GET  /v1/status               backend + cache + checkpoint counters
+//	POST /v1/insert               standalone ingest: {"items":[{"key","value"}]}
+//	POST /v1/checkpoint           checkpoint on demand
+//
+// Every query flows through the epoch-aware cache; see Cache for the
+// freshness regimes.
+type Server struct {
+	b     Backend
+	cfg   Config
+	cache *Cache
+	mux   *http.ServeMux
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	ckptMu   sync.Mutex
+	lastCkpt time.Time
+	ckptErr  error
+}
+
+// New builds a server over b. Close it to stop background checkpointing.
+func New(b Backend, cfg Config) (*Server, error) {
+	if cfg.CacheCapacity <= 0 {
+		cfg.CacheCapacity = 4096
+	}
+	if cfg.CacheTTL <= 0 {
+		cfg.CacheTTL = 250 * time.Millisecond
+	}
+	s := &Server{
+		b:     b,
+		cfg:   cfg,
+		cache: NewCache(cfg.CacheCapacity, cfg.CacheTTL, cfg.Clock),
+		mux:   http.NewServeMux(),
+		stop:  make(chan struct{}),
+	}
+	if cfg.CheckpointPath != "" {
+		cp, ok := b.(Checkpointer)
+		if !ok {
+			return nil, fmt.Errorf("queryd: backend %T cannot checkpoint", b)
+		}
+		// Refuse configurations that could never persist state, instead of
+		// logging a failed checkpoint every interval forever.
+		if err := cp.CanCheckpoint(); err != nil {
+			return nil, fmt.Errorf("queryd: checkpointing configured but impossible: %w", err)
+		}
+	}
+	s.mux.HandleFunc("GET /v1/point", s.handlePoint)
+	s.mux.HandleFunc("GET /v1/window", s.handleWindow)
+	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
+	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	if cfg.CheckpointPath != "" && cfg.CheckpointEvery > 0 {
+		s.wg.Add(1)
+		go s.checkpointLoop()
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP handler to mount.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops background checkpointing, writing a final checkpoint when
+// one is configured.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.wg.Wait()
+		if s.cfg.CheckpointPath != "" {
+			err = s.CheckpointNow()
+		}
+	})
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// CheckpointNow writes one checkpoint to the configured path.
+func (s *Server) CheckpointNow() error {
+	cp, ok := s.b.(Checkpointer)
+	if !ok {
+		return errors.New("queryd: backend does not support checkpointing")
+	}
+	if s.cfg.CheckpointPath == "" {
+		return errors.New("queryd: no checkpoint path configured")
+	}
+	err := WriteCheckpoint(s.cfg.CheckpointPath, s.cfg.Algo, s.cfg.Spec, cp.Checkpoint)
+	s.ckptMu.Lock()
+	s.lastCkpt = time.Now()
+	s.ckptErr = err
+	s.ckptMu.Unlock()
+	return err
+}
+
+func (s *Server) checkpointLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.CheckpointEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.CheckpointNow(); err != nil {
+				s.logf("queryd: periodic checkpoint: %v", err)
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// QueryResponse is the JSON body of point and window queries. When
+// Certified, truth lies in [Lower, Upper] = [Est−MPE, Est] for the history
+// the answer covers.
+type QueryResponse struct {
+	Key       uint64 `json:"key"`
+	Est       uint64 `json:"est"`
+	MPE       uint64 `json:"mpe"`
+	Lower     uint64 `json:"lower"`
+	Upper     uint64 `json:"upper"`
+	Certified bool   `json:"certified"`
+	// Window and Covered report the requested and answered sealed-epoch
+	// spans of window queries (both 0 for cumulative point answers).
+	Window  int `json:"window,omitempty"`
+	Covered int `json:"covered,omitempty"`
+	// Agent scopes an agent-window answer (absent for global ones).
+	Agent      uint64 `json:"agent,omitempty"`
+	Generation uint64 `json:"generation"`
+	Cached     bool   `json:"cached"`
+}
+
+func (r QueryResponse) withCached(c bool) any { r.Cached = c; return r }
+
+// TopKItem is one heavy hitter with its certified interval.
+type TopKItem struct {
+	Key       uint64 `json:"key"`
+	Est       uint64 `json:"est"`
+	MPE       uint64 `json:"mpe"`
+	Lower     uint64 `json:"lower"`
+	Certified bool   `json:"certified"`
+}
+
+// TopKResponse is the JSON body of /v1/topk.
+type TopKResponse struct {
+	K          int        `json:"k"`
+	Items      []TopKItem `json:"items"`
+	Generation uint64     `json:"generation"`
+	Cached     bool       `json:"cached"`
+}
+
+func (r TopKResponse) withCached(c bool) any { r.Cached = c; return r }
+
+// cacheable is implemented by response types so a cached copy can be
+// stamped without mutating the stored value.
+type cacheable interface{ withCached(bool) any }
+
+// StatusResponse is the JSON body of /v1/status.
+type StatusResponse struct {
+	Backend    Status            `json:"backend"`
+	Cache      CacheStats        `json:"cache"`
+	Checkpoint *CheckpointStatus `json:"checkpoint,omitempty"`
+}
+
+// CheckpointStatus reports the most recent checkpoint attempt.
+type CheckpointStatus struct {
+	Path     string `json:"path"`
+	LastTime string `json:"last_time,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	key, err := parseUint(r, "key", true, 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.serveCached(w, fmt.Sprintf("p/%d", key), func(gen uint64) (any, error) {
+		return s.toResponse(key, s.b.Point(key), gen), nil
+	})
+}
+
+func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	key, err := parseUint(r, "key", true, 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	n, err := parseUint(r, "n", false, 1)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if n < 1 || n > 1<<20 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("window n=%d out of range [1, 2^20]", n))
+		return
+	}
+	if agentStr := r.URL.Query().Get("agent"); agentStr != "" {
+		agent, err := strconv.ParseUint(agentStr, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("agent: %w", err))
+			return
+		}
+		aq, ok := s.b.(AgentQuerier)
+		if !ok {
+			httpError(w, http.StatusNotImplemented, errors.New("backend cannot scope queries to one agent"))
+			return
+		}
+		s.serveCached(w, fmt.Sprintf("wa/%d/%d/%d", agent, key, n), func(gen uint64) (any, error) {
+			res, err := aq.AgentWindow(agent, key, int(n))
+			if err != nil {
+				return nil, err
+			}
+			resp := s.toResponse(key, res, gen)
+			resp.Window = int(n)
+			resp.Agent = agent
+			return resp, nil
+		})
+		return
+	}
+	s.serveCached(w, fmt.Sprintf("w/%d/%d", key, n), func(gen uint64) (any, error) {
+		resp := s.toResponse(key, s.b.Window(key, int(n)), gen)
+		resp.Window = int(n)
+		return resp, nil
+	})
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	k, err := parseUint(r, "k", false, 10)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Each returned item costs one backend point query (per-agent walk plus
+	// merged-view read on collectors), so k is bounded well below the cache
+	// and tracked-set sizes; the composed answer is cached like any other.
+	if k < 1 || k > 1024 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("k=%d out of range [1, 1024]", k))
+		return
+	}
+	s.serveCached(w, fmt.Sprintf("t/%d", k), func(gen uint64) (any, error) {
+		kvs, err := s.b.TopK(int(k))
+		if err != nil {
+			return nil, err
+		}
+		resp := TopKResponse{K: int(k), Items: make([]TopKItem, 0, len(kvs)), Generation: gen}
+		for _, kv := range kvs {
+			// Rank by the tracked estimate, report the point query's
+			// interval: for collectors it intersects the merged view with
+			// the estimate-sum composition, so it is never looser.
+			res := s.b.Point(kv.Key)
+			resp.Items = append(resp.Items, TopKItem{
+				Key:       kv.Key,
+				Est:       res.Est,
+				MPE:       res.MPE,
+				Lower:     sketch.CertifiedLowerBound(res.Est, res.MPE),
+				Certified: res.Certified,
+			})
+		}
+		return resp, nil
+	})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	resp := StatusResponse{Backend: s.b.Status(), Cache: s.cache.Stats()}
+	if s.cfg.CheckpointPath != "" {
+		cs := &CheckpointStatus{Path: s.cfg.CheckpointPath}
+		s.ckptMu.Lock()
+		if !s.lastCkpt.IsZero() {
+			cs.LastTime = s.lastCkpt.UTC().Format(time.RFC3339)
+		}
+		if s.ckptErr != nil {
+			cs.Error = s.ckptErr.Error()
+		}
+		s.ckptMu.Unlock()
+		resp.Checkpoint = cs
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// insertRequest is the POST /v1/insert body. A zero or omitted value
+// counts as 1, the frequency-estimation default.
+type insertRequest struct {
+	Items []struct {
+		Key   uint64 `json:"key"`
+		Value uint64 `json:"value"`
+	} `json:"items"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	ing, ok := s.b.(Ingester)
+	if !ok {
+		httpError(w, http.StatusNotImplemented,
+			errors.New("backend does not ingest over HTTP (collector backends ingest through the agent protocol)"))
+		return
+	}
+	var req insertRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding items: %w", err))
+		return
+	}
+	items := make([]stream.Item, len(req.Items))
+	for i, it := range req.Items {
+		v := it.Value
+		if v == 0 {
+			v = 1
+		}
+		items[i] = stream.Item{Key: it.Key, Value: v}
+	}
+	ing.Ingest(items)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ingested":   len(items),
+		"generation": s.b.Generation(),
+	})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	cp, ok := s.b.(Checkpointer)
+	if !ok || s.cfg.CheckpointPath == "" {
+		httpError(w, http.StatusNotImplemented,
+			errors.New("queryd: checkpointing not configured (backend support and -checkpoint path required)"))
+		return
+	}
+	if err := cp.CanCheckpoint(); err != nil {
+		httpError(w, http.StatusNotImplemented, err)
+		return
+	}
+	start := time.Now()
+	if err := s.CheckpointNow(); err != nil {
+		// Support was verified above: what failed is the write itself, a
+		// retryable server-side condition, not a missing capability.
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"path":       s.cfg.CheckpointPath,
+		"elapsed_ms": time.Since(start).Milliseconds(),
+	})
+}
+
+// toResponse shapes a backend Result, stamping the generation the request
+// was admitted under.
+func (s *Server) toResponse(key uint64, res Result, gen uint64) QueryResponse {
+	return QueryResponse{
+		Key:        key,
+		Est:        res.Est,
+		MPE:        res.MPE,
+		Lower:      sketch.CertifiedLowerBound(res.Est, res.MPE),
+		Upper:      res.Est,
+		Certified:  res.Certified,
+		Covered:    res.Covered,
+		Generation: gen,
+	}
+}
+
+// serveCached runs compute through the epoch-aware cache and writes the
+// JSON answer. Sealed-only backends cache immutably per generation; live
+// backends get the short TTL. The generation is read exactly once and
+// passed to compute, so the cache key and the response's generation field
+// always agree even when a window seals mid-request (the answer may then
+// reflect the newer sealed set — still a certified interval — but it is
+// labeled and keyed consistently).
+func (s *Server) serveCached(w http.ResponseWriter, key string, compute func(gen uint64) (any, error)) {
+	gen := s.b.Generation()
+	val, cached, err := s.cache.Do(key, gen, s.b.Epochal(), func() (any, error) { return compute(gen) })
+	if err != nil {
+		status := http.StatusNotImplemented
+		if errors.Is(err, netsum.ErrUnknownAgent) {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, val.(cacheable).withCached(cached))
+}
+
+func parseUint(r *http.Request, name string, required bool, def uint64) (uint64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		if required {
+			return 0, fmt.Errorf("missing query parameter %q", name)
+		}
+		return def, nil
+	}
+	u, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", name, err)
+	}
+	return u, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -2,6 +2,7 @@ package sketch
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -31,6 +32,10 @@ const (
 	// same-Spec sibling into the receiver) — the primitive behind
 	// sliding-window epoch rings and merge-based collector aggregation.
 	CapMergeable
+	// CapSnapshottable marks sketches implementing Snapshotter
+	// (Snapshot/Restore of full state), the durability primitive behind
+	// collector checkpoints and warm restarts.
+	CapSnapshottable
 )
 
 // Has reports whether c includes every capability in want.
@@ -48,6 +53,7 @@ func (c Capability) String() string {
 		{CapResettable, "Resettable"},
 		{CapLambdaTargeting, "LambdaTargeting"},
 		{CapMergeable, "Mergeable"},
+		{CapSnapshottable, "Snapshottable"},
 	} {
 		if c.Has(e.bit) {
 			parts = append(parts, e.name)
@@ -158,7 +164,9 @@ func MustBuild(name string, spec Spec) Sketch {
 
 // ParseNames splits a comma-separated list of variant names (the CLIs'
 // -algo/-algos flag format, whitespace-tolerant) and validates each against
-// the registry. The error names the offender and the registered set.
+// the registry. The result is sorted and deduplicated, so CLI listings and
+// experiment column orders are deterministic regardless of how the flag was
+// spelled. The error names the offender and the registered set.
 func ParseNames(csv string) ([]string, error) {
 	var names []string
 	for _, name := range strings.Split(csv, ",") {
@@ -172,7 +180,8 @@ func ParseNames(csv string) ([]string, error) {
 		}
 		names = append(names, name)
 	}
-	return names, nil
+	sort.Strings(names)
+	return slices.Compact(names), nil
 }
 
 // Names returns every registered variant name in sorted order.

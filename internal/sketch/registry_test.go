@@ -91,6 +91,9 @@ func TestCapabilitiesMatchInterfaces(t *testing.T) {
 		if _, ok := sk.(sketch.Mergeable); ok != e.Caps.Has(sketch.CapMergeable) {
 			t.Errorf("%s: Mergeable capability %v but interface %v", e.Name, e.Caps.Has(sketch.CapMergeable), ok)
 		}
+		if _, ok := sk.(sketch.Snapshotter); ok != e.Caps.Has(sketch.CapSnapshottable) {
+			t.Errorf("%s: Snapshottable capability %v but interface %v", e.Name, e.Caps.Has(sketch.CapSnapshottable), ok)
+		}
 		// Sharding must preserve exactly the declared capability set: a
 		// sharded build implements each interface iff the flat build declares
 		// it (Merge, certificates, and tracking all delegate shard-wise).
@@ -103,6 +106,7 @@ func TestCapabilitiesMatchInterfaces(t *testing.T) {
 			{sketch.CapErrorBounded, "ErrorBounded", func() bool { _, ok := sharded.(sketch.ErrorBounded); return ok }()},
 			{sketch.CapHeavyHitter, "HeavyHitter", func() bool { _, ok := sharded.(sketch.HeavyHitterReporter); return ok }()},
 			{sketch.CapMergeable, "Mergeable", func() bool { _, ok := sharded.(sketch.Mergeable); return ok }()},
+			{sketch.CapSnapshottable, "Snapshottable", func() bool { _, ok := sharded.(sketch.Snapshotter); return ok }()},
 		} {
 			if probe.ok != e.Caps.Has(probe.cap) {
 				t.Errorf("%s sharded: %s capability %v but interface %v",
@@ -145,6 +149,28 @@ func TestByCapabilityConjunction(t *testing.T) {
 	}
 }
 
+func TestParseNamesSortedAndDeduplicated(t *testing.T) {
+	got, err := sketch.ParseNames(" SS , Ours, CM_fast,SS,Ours ,, CM_fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"CM_fast", "Ours", "SS"}
+	if len(got) != len(want) {
+		t.Fatalf("ParseNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ParseNames = %v, want %v", got, want)
+		}
+	}
+	if _, err := sketch.ParseNames("Ours,NoSuchSketch"); err == nil {
+		t.Error("ParseNames accepted an unregistered name")
+	}
+	if names, err := sketch.ParseNames(" ,, "); err != nil || len(names) != 0 {
+		t.Errorf("ParseNames of blanks = (%v, %v), want empty", names, err)
+	}
+}
+
 func TestBuildUnknownName(t *testing.T) {
 	if _, err := sketch.Build("NoSuchSketch", sketch.Spec{}); err == nil {
 		t.Fatal("Build accepted an unregistered name")
@@ -154,8 +180,8 @@ func TestBuildUnknownName(t *testing.T) {
 func TestSpecShardsWrapsSharded(t *testing.T) {
 	const budget = 256 << 10
 	sk := sketch.MustBuild("Ours", sketch.Spec{MemoryBytes: budget, Lambda: 25, Seed: 1, Shards: 4})
-	if _, ok := sk.(sketch.MergeableErrorBoundedSharded); !ok {
-		t.Fatalf("Shards=4 over an ErrorBounded+Mergeable variant built %T, want sketch.MergeableErrorBoundedSharded", sk)
+	if _, ok := sk.(sketch.SnapshottableMergeableErrorBoundedSharded); !ok {
+		t.Fatalf("Shards=4 over an ErrorBounded+Mergeable+Snapshottable variant built %T, want sketch.SnapshottableMergeableErrorBoundedSharded", sk)
 	}
 	if got := sk.MemoryBytes(); got > budget {
 		t.Errorf("sharded MemoryBytes %d exceeds budget %d", got, budget)

@@ -1,6 +1,11 @@
 package sketch
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
 	"sync"
 
 	"repro/internal/hash"
@@ -120,7 +125,13 @@ func (s *Sharded) Wrap() Sketch {
 	_, eb := s.shards[0].(ErrorBounded)
 	_, hh := s.shards[0].(HeavyHitterReporter)
 	_, mg := s.shards[0].(Mergeable)
+	_, sn := s.shards[0].(Snapshotter)
+	// Snapshottable wrappers exist for the capability combinations the
+	// registry actually produces: every Snapshotter variant is also
+	// Mergeable (Ours/SS certify and track; CM/CU/Count do neither).
 	switch {
+	case eb && hh && mg && sn:
+		return SnapshottableMergeableErrorBoundedSharded{MergeableErrorBoundedSharded{ErrorBoundedSharded{TrackedSharded{s}}}}
 	case eb && hh && mg:
 		return MergeableErrorBoundedSharded{ErrorBoundedSharded{TrackedSharded{s}}}
 	case eb && hh:
@@ -133,6 +144,8 @@ func (s *Sharded) Wrap() Sketch {
 		return MergeableTrackedSharded{TrackedSharded{s}}
 	case hh:
 		return TrackedSharded{s}
+	case mg && sn:
+		return SnapshottableMergeableSharded{MergeableSharded{s}}
 	case mg:
 		return MergeableSharded{s}
 	default:
@@ -280,6 +293,119 @@ type MergeableErrorBoundedSharded struct{ ErrorBoundedSharded }
 
 // Merge folds another sharded fan-out in shard-by-shard.
 func (s MergeableErrorBoundedSharded) Merge(other Sketch) error { return s.mergeFrom(other) }
+
+// SnapshottableMergeableSharded adds Snapshot/Restore to a mergeable
+// fan-out (sharded CM/CU/Count).
+type SnapshottableMergeableSharded struct{ MergeableSharded }
+
+// Snapshot writes every shard's state, framed per shard.
+func (s SnapshottableMergeableSharded) Snapshot(w io.Writer) error { return s.snapshotShards(w) }
+
+// Restore replaces every shard's state from a same-Spec sibling's snapshot.
+func (s SnapshottableMergeableSharded) Restore(r io.Reader) error { return s.restoreShards(r) }
+
+// SnapshottableMergeableErrorBoundedSharded adds Snapshot/Restore to a
+// fan-out that also certifies errors and reports heavy hitters (sharded
+// Ours/SS).
+type SnapshottableMergeableErrorBoundedSharded struct{ MergeableErrorBoundedSharded }
+
+// Snapshot writes every shard's state, framed per shard.
+func (s SnapshottableMergeableErrorBoundedSharded) Snapshot(w io.Writer) error {
+	return s.snapshotShards(w)
+}
+
+// Restore replaces every shard's state from a same-Spec sibling's snapshot.
+func (s SnapshottableMergeableErrorBoundedSharded) Restore(r io.Reader) error {
+	return s.restoreShards(r)
+}
+
+// shardedMagic versions the sharded snapshot container format.
+var shardedMagic = [4]byte{'S', 'H', 'S', '1'}
+
+// snapshotShards serializes the fan-out: magic | shard count | routing seed
+// | per-shard length-prefixed snapshots. Each shard snapshot is framed by
+// its byte length because shard codecs may buffer reads past their logical
+// end — framing is what makes the concatenation safely decodable.
+func (s *Sharded) snapshotShards(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.Write(shardedMagic[:])
+	var scratch [binary.MaxVarintLen64]byte
+	write := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		bw.Write(scratch[:n])
+	}
+	write(uint64(len(s.shards)))
+	write(s.seed)
+	var buf bytes.Buffer
+	for i, sh := range s.shards {
+		sn, ok := sh.(Snapshotter)
+		if !ok {
+			return fmt.Errorf("sketch: shard %d of %s does not support Snapshot", i, s.name)
+		}
+		buf.Reset()
+		s.mus[i].Lock()
+		err := sn.Snapshot(&buf)
+		s.mus[i].Unlock()
+		if err != nil {
+			return fmt.Errorf("sketch: snapshotting shard %d of %s: %w", i, s.name, err)
+		}
+		write(uint64(buf.Len()))
+		bw.Write(buf.Bytes())
+	}
+	return bw.Flush()
+}
+
+// restoreShards replaces every shard's state from a snapshotShards stream.
+// Shard count and routing seed must match the receiver's: a snapshot routed
+// differently would assign keys to the wrong shards.
+func (s *Sharded) restoreShards(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("sketch: reading sharded snapshot magic: %w", err)
+	}
+	if magic != shardedMagic {
+		return fmt.Errorf("sketch: bad sharded snapshot magic %q", magic[:])
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("sketch: sharded snapshot shard count: %w", err)
+	}
+	if int(n) != len(s.shards) {
+		return fmt.Errorf("sketch: snapshot has %d shards, sketch built with %d", n, len(s.shards))
+	}
+	seed, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("sketch: sharded snapshot seed: %w", err)
+	}
+	if seed != s.seed {
+		return fmt.Errorf("sketch: snapshot routing seed %d, sketch built with %d", seed, s.seed)
+	}
+	for i, sh := range s.shards {
+		sn, ok := sh.(Snapshotter)
+		if !ok {
+			return fmt.Errorf("sketch: shard %d of %s does not support Restore", i, s.name)
+		}
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("sketch: shard %d snapshot length: %w", i, err)
+		}
+		if size > 1<<31 {
+			return fmt.Errorf("sketch: implausible shard %d snapshot length %d", i, size)
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return fmt.Errorf("sketch: shard %d snapshot payload: %w", i, err)
+		}
+		s.mus[i].Lock()
+		err = sn.Restore(bytes.NewReader(payload))
+		s.mus[i].Unlock()
+		if err != nil {
+			return fmt.Errorf("sketch: restoring shard %d of %s: %w", i, s.name, err)
+		}
+	}
+	return nil
+}
 
 // MemoryBytes sums the shards' accounted memory.
 func (s *Sharded) MemoryBytes() int {

@@ -1,0 +1,29 @@
+package sketch
+
+import "io"
+
+// Snapshotter is implemented by sketches whose full state can be serialized
+// and later restored, making measurement state durable: a collector can
+// checkpoint its merged global view to disk and warm-restart from it, and an
+// epoch deployment can archive sealed windows.
+//
+// Snapshot and Restore are paired through the Spec contract: Restore's
+// receiver must be a sketch built from the same Spec (same algorithm, memory
+// budget, seed, and variant options) as the one that produced the snapshot.
+// Implementations validate what they can (geometry, shard routing) and
+// document what they cannot (hash seeds are not serialized — they derive
+// from the Spec the receiver was built with).
+//
+// Snapshot is a read of the receiver and must not run concurrently with
+// writes; Restore is a write and must not run concurrently with anything.
+// Restore implementations may buffer reads past the logical end of the
+// snapshot, so containers concatenating snapshots in one stream must frame
+// each one (as Sharded's codec does) rather than relying on self-delimiting.
+type Snapshotter interface {
+	Sketch
+	// Snapshot writes the sketch's full state to w.
+	Snapshot(w io.Writer) error
+	// Restore replaces the receiver's state with a snapshot written by a
+	// same-Spec sibling's Snapshot.
+	Restore(r io.Reader) error
+}

@@ -1,0 +1,173 @@
+package sketch_test
+
+// Snapshot conformance: every CapSnapshottable variant, flat and sharded,
+// must round-trip its full state through Snapshot/Restore into a same-Spec
+// sibling — identical point estimates, identical certified intervals, and
+// identical tracked sets where those capabilities exist.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sketch"
+	_ "repro/internal/sketch/all"
+	"repro/internal/stream"
+)
+
+func snapshotRoundTrip(t *testing.T, e sketch.Entry, spec sketch.Spec, s *stream.Stream) {
+	t.Helper()
+	src := e.Build(spec)
+	sketch.InsertBatch(src, s.Items)
+	sn, ok := src.(sketch.Snapshotter)
+	if !ok {
+		t.Fatalf("%s built %T without Snapshot despite CapSnapshottable", e.Name, src)
+	}
+	var buf bytes.Buffer
+	if err := sn.Snapshot(&buf); err != nil {
+		t.Fatalf("%s: Snapshot: %v", e.Name, err)
+	}
+	dst := e.Build(spec).(sketch.Snapshotter)
+	if err := dst.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("%s: Restore: %v", e.Name, err)
+	}
+	srcEB, isEB := src.(sketch.ErrorBounded)
+	dstEB := sketch.ErrorBounded(nil)
+	if isEB {
+		dstEB = dst.(sketch.ErrorBounded)
+	}
+	for key := range s.Truth() {
+		if a, b := src.Query(key), dst.Query(key); a != b {
+			t.Fatalf("%s: key %d estimate %d became %d after restore", e.Name, key, a, b)
+		}
+		if isEB {
+			e1, m1 := srcEB.QueryWithError(key)
+			e2, m2 := dstEB.QueryWithError(key)
+			if e1 != e2 || m1 != m2 {
+				t.Fatalf("%s: key %d interval (%d,%d) became (%d,%d)", e.Name, key, e1, m1, e2, m2)
+			}
+		}
+	}
+	if hh, ok := src.(sketch.HeavyHitterReporter); ok {
+		if a, b := len(hh.Tracked()), len(dst.(sketch.HeavyHitterReporter).Tracked()); a != b {
+			t.Fatalf("%s: tracked %d keys, restored tracks %d", e.Name, a, b)
+		}
+	}
+}
+
+func TestSnapshotRoundTripAllVariants(t *testing.T) {
+	s := stream.Zipf(30_000, 3_000, 1.0, 11)
+	for _, e := range sketch.ByCapability(sketch.CapSnapshottable) {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			snapshotRoundTrip(t, e, sketch.Spec{MemoryBytes: 128 << 10, Lambda: 25, Seed: 11}, s)
+		})
+		t.Run(e.Name+"_sharded", func(t *testing.T) {
+			snapshotRoundTrip(t, e, sketch.Spec{MemoryBytes: 256 << 10, Lambda: 25, Seed: 11, Shards: 4}, s)
+		})
+	}
+}
+
+func TestSnapshotMergedStateRoundTrips(t *testing.T) {
+	// The durability path that matters for collector checkpoints: a sketch
+	// BUILT BY MERGING (whose mice-filter counters may exceed the packed
+	// cap) must snapshot and restore with identical certified intervals.
+	s := stream.Zipf(60_000, 2_000, 0.8, 5)
+	spec := sketch.Spec{MemoryBytes: 8 << 10, Lambda: 25, Seed: 5}
+	merged := sketch.MustBuild("Ours", spec)
+	for part := 0; part < 4; part++ {
+		other := sketch.MustBuild("Ours", spec)
+		var items []stream.Item
+		for i := part; i < len(s.Items); i += 4 {
+			items = append(items, s.Items[i])
+		}
+		sketch.InsertBatch(other, items)
+		if err := sketch.Merge(merged, other); err != nil {
+			t.Fatalf("merge part %d: %v", part, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := merged.(sketch.Snapshotter).Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot of merged state: %v", err)
+	}
+	restored := sketch.MustBuild("Ours", spec).(sketch.Snapshotter)
+	if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("Restore of merged state: %v", err)
+	}
+	mEB := merged.(sketch.ErrorBounded)
+	rEB := restored.(sketch.ErrorBounded)
+	violations := 0
+	for key, f := range s.Truth() {
+		e1, m1 := mEB.QueryWithError(key)
+		e2, m2 := rEB.QueryWithError(key)
+		if e1 != e2 || m1 != m2 {
+			t.Fatalf("key %d: merged interval (%d,%d) restored as (%d,%d)", key, e1, m1, e2, m2)
+		}
+		if f > e2 || sketch.CertifiedLowerBound(e2, m2) > f {
+			violations++
+		}
+	}
+	if violations > 0 {
+		t.Errorf("%d keys outside restored certified intervals", violations)
+	}
+}
+
+func TestSnapshotRestoreRejectsWrongSpec(t *testing.T) {
+	s := stream.Zipf(5_000, 500, 1.0, 3)
+	for _, tc := range []struct {
+		name string
+		a, b sketch.Spec
+	}{
+		{"CM_fast", sketch.Spec{MemoryBytes: 64 << 10, Seed: 3}, sketch.Spec{MemoryBytes: 128 << 10, Seed: 3}},
+		{"SS", sketch.Spec{MemoryBytes: 64 << 10, Seed: 3}, sketch.Spec{MemoryBytes: 32 << 10, Seed: 3}},
+	} {
+		src := sketch.MustBuild(tc.name, tc.a).(sketch.Snapshotter)
+		sketch.InsertBatch(src, s.Items)
+		var buf bytes.Buffer
+		if err := src.Snapshot(&buf); err != nil {
+			t.Fatalf("%s: Snapshot: %v", tc.name, err)
+		}
+		dst := sketch.MustBuild(tc.name, tc.b).(sketch.Snapshotter)
+		if err := dst.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+			t.Errorf("%s: Restore accepted a differently sized snapshot", tc.name)
+		}
+	}
+	// Sharded: a routing-seed mismatch must be rejected — restored keys
+	// would land on the wrong shards.
+	spec := sketch.Spec{MemoryBytes: 128 << 10, Seed: 3, Shards: 4}
+	src := sketch.MustBuild("CM_fast", spec).(sketch.Snapshotter)
+	sketch.InsertBatch(src, s.Items)
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := spec
+	other.Seed = 4
+	dst := sketch.MustBuild("CM_fast", other).(sketch.Snapshotter)
+	err := dst.Restore(bytes.NewReader(buf.Bytes()))
+	if err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Errorf("sharded Restore with mismatched routing seed: err=%v", err)
+	}
+}
+
+func TestSnapshotRestoredSketchKeepsAccepting(t *testing.T) {
+	// Warm restart is only useful if the restored sketch remains writable:
+	// post-restore insertions must accumulate on top of restored state.
+	for _, name := range []string{"Ours", "CM_fast", "SS"} {
+		spec := sketch.Spec{MemoryBytes: 64 << 10, Lambda: 25, Seed: 9}
+		src := sketch.MustBuild(name, spec).(sketch.Snapshotter)
+		src.Insert(42, 100)
+		var buf bytes.Buffer
+		if err := src.Snapshot(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		dst := sketch.MustBuild(name, spec).(sketch.Snapshotter)
+		if err := dst.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		dst.Insert(42, 50)
+		if est := dst.Query(42); est < 150 {
+			t.Errorf("%s: restored sketch lost state: est=%d want ≥150", name, est)
+		}
+	}
+}

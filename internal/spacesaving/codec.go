@@ -1,5 +1,12 @@
 package spacesaving
 
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
 // Entry is a serializable monitored counter: the key, its estimate, and
 // the certified adoption error. Used by snapshot persistence (core's
 // emergency layer) and by tests inspecting internal state.
@@ -34,4 +41,82 @@ func (s *Sketch) RestoreEntry(e Entry) bool {
 	s.pos[e.Key] = i
 	s.siftUp(i)
 	return true
+}
+
+// Snapshot serialization, implementing sketch.Snapshotter: magic "SSS1" |
+// capacity | entry count | (key, count, err) triples. A Space-Saving
+// summary IS its monitored entries, so the snapshot is exactly the
+// mergeable-summaries representation Merge exchanges.
+
+var ssMagic = [4]byte{'S', 'S', 'S', '1'}
+
+// Snapshot writes the sketch's full state to w.
+func (s *Sketch) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.Write(ssMagic[:])
+	var buf [binary.MaxVarintLen64]byte
+	write := func(vs ...uint64) {
+		for _, v := range vs {
+			n := binary.PutUvarint(buf[:], v)
+			bw.Write(buf[:n])
+		}
+	}
+	write(uint64(s.cap), uint64(len(s.heap)))
+	for _, e := range s.heap {
+		write(e.key, e.count, e.err)
+	}
+	return bw.Flush()
+}
+
+// Restore replaces the monitored entries with a snapshot written by a
+// same-capacity sibling's Snapshot. Certified adoption errors ride along,
+// so restored queries report the same intervals the snapshotted sketch did.
+func (s *Sketch) Restore(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("spacesaving: reading snapshot magic: %w", err)
+	}
+	if magic != ssMagic {
+		return fmt.Errorf("spacesaving: bad snapshot magic %q", magic[:])
+	}
+	read := func() (uint64, error) { return binary.ReadUvarint(br) }
+	capacity, err := read()
+	if err != nil {
+		return fmt.Errorf("spacesaving: snapshot capacity: %w", err)
+	}
+	if int(capacity) != s.cap {
+		return fmt.Errorf("spacesaving: snapshot capacity %d, sketch built with %d", capacity, s.cap)
+	}
+	n, err := read()
+	if err != nil {
+		return fmt.Errorf("spacesaving: snapshot entry count: %w", err)
+	}
+	if n > capacity {
+		return fmt.Errorf("spacesaving: snapshot holds %d entries over capacity %d", n, capacity)
+	}
+	// Decode and validate everything before touching the receiver, so a
+	// truncated or corrupt snapshot leaves it untouched.
+	entries := make([]Entry, n)
+	seen := make(map[uint64]bool, n)
+	for i := range entries {
+		var vals [3]uint64
+		for vi := range vals {
+			v, err := read()
+			if err != nil {
+				return fmt.Errorf("spacesaving: entry %d: %w", i, err)
+			}
+			vals[vi] = v
+		}
+		if seen[vals[0]] {
+			return fmt.Errorf("spacesaving: snapshot duplicates key %d", vals[0])
+		}
+		seen[vals[0]] = true
+		entries[i] = Entry{Key: vals[0], Count: vals[1], Err: vals[2]}
+	}
+	s.Reset()
+	for _, e := range entries {
+		s.RestoreEntry(e)
+	}
+	return nil
 }

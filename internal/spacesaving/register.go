@@ -7,7 +7,7 @@ import "repro/internal/sketch"
 // ReliableSketch.
 func init() {
 	sketch.Register("SS",
-		sketch.CapErrorBounded|sketch.CapHeavyHitter|sketch.CapResettable|sketch.CapMergeable,
+		sketch.CapErrorBounded|sketch.CapHeavyHitter|sketch.CapResettable|sketch.CapMergeable|sketch.CapSnapshottable,
 		func(sp sketch.Spec) sketch.Sketch {
 			return NewBytes(sp.MemoryBytes)
 		})

@@ -10,6 +10,8 @@
 package repro
 
 import (
+	"fmt"
+	"sort"
 	"testing"
 	"time"
 
@@ -190,6 +192,91 @@ func BenchmarkInsertBatch(b *testing.B) {
 				inserted += hi - lo
 			}
 		})
+	}
+}
+
+// queryBatchSizes sweeps the batch-query amortization: 1 key isolates the
+// batch path's fixed overhead against a plain Query call, 16 is a small
+// dashboard refresh, 256 the acceptance-criteria serving batch.
+var queryBatchSizes = []int{1, 16, 256}
+
+// queryBatchContenders cover the flat native paths and the sharded wrapper,
+// whose per-shard lock amortization is where batching pays most.
+var queryBatchContenders = []struct {
+	name string
+	spec sketch.Spec
+}{
+	{"Ours", sketch.Spec{MemoryBytes: 1 << 20, Lambda: 25, Seed: 1}},
+	{"CM_fast", sketch.Spec{MemoryBytes: 1 << 20, Seed: 1}},
+	{"Ours_sharded16", sketch.Spec{MemoryBytes: 1 << 20, Lambda: 25, Seed: 1, Shards: 16}},
+	{"CM_sharded16", sketch.Spec{MemoryBytes: 1 << 20, Seed: 1, Shards: 16}},
+}
+
+func queryContenderSketch(name string, spec sketch.Spec) sketch.Sketch {
+	algo := name
+	switch name {
+	case "Ours_sharded16":
+		algo = "Ours"
+	case "CM_sharded16":
+		algo = "CM_fast"
+	}
+	return sketch.MustBuild(algo, spec)
+}
+
+// benchQueryKeys draws n keys from the stream (heavy keys repeat, as in a
+// real serving mix) and sorts them, the shape the sharded batch path feeds
+// each shard.
+func benchQueryKeys(s *stream.Stream, n, off int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = s.Items[(off+i*37)%len(s.Items)].Key
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// BenchmarkQueryLoop is the per-key baseline: the same key batches answered
+// by calling Query in a loop. Compare against BenchmarkQueryBatch at equal
+// /keys=N to read the amortization (per-op time is per key in both).
+func BenchmarkQueryLoop(b *testing.B) {
+	s := benchStream()
+	for _, c := range queryBatchContenders {
+		for _, size := range queryBatchSizes {
+			b.Run(fmt.Sprintf("%s/keys=%d", c.name, size), func(b *testing.B) {
+				sk := queryContenderSketch(c.name, c.spec)
+				metrics.Feed(sk, s)
+				keys := benchQueryKeys(s, size, 0)
+				b.ResetTimer()
+				var sink uint64
+				for i := 0; i < b.N; i += size {
+					for _, k := range keys {
+						sink ^= sk.Query(k)
+					}
+				}
+				_ = sink
+			})
+		}
+	}
+}
+
+// BenchmarkQueryBatch reads the same batches through the unified batch
+// path: one QueryBatch call per batch — one lock round-trip per shard, runs
+// of equal keys collapsed, instrumentation hoisted.
+func BenchmarkQueryBatch(b *testing.B) {
+	s := benchStream()
+	for _, c := range queryBatchContenders {
+		for _, size := range queryBatchSizes {
+			b.Run(fmt.Sprintf("%s/keys=%d", c.name, size), func(b *testing.B) {
+				sk := queryContenderSketch(c.name, c.spec)
+				metrics.Feed(sk, s)
+				keys := benchQueryKeys(s, size, 0)
+				est := make([]uint64, size)
+				b.ResetTimer()
+				for i := 0; i < b.N; i += size {
+					sketch.QueryBatch(sk, keys, est, nil)
+				}
+			})
+		}
 	}
 }
 

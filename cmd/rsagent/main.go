@@ -7,9 +7,14 @@
 //	rsgen -dataset ip -items 1000000 -out ip.bin
 //	rsagent -collector 127.0.0.1:7777 -id 1 -trace ip.bin
 //	rsagent -collector 127.0.0.1:7777 -id 2 -query 12345
-//	rsagent -collector 127.0.0.1:7777 -query 12345 -window 4
+//	rsagent -collector 127.0.0.1:7777 -query 12345,777,42 -window 4
 //	rsagent -collector "" -trace ip.bin -algo Ours -mem 262144 -query 12345
 //	rsagent -collector "" -trace ip.bin -algo Ours -epoch 10s -window 3 -query 12345
+//
+// -query takes one key or a comma-separated batch; a batch travels as a
+// single typed request (one wire round trip, answered under one collector
+// snapshot per agent) through the unified query plane, and the local
+// shadow answers through the sketch's native batch path.
 //
 // With -algo, the agent also maintains a local shadow sketch built from the
 // registry (fed through the batch-ingestion path), so queries report the
@@ -26,21 +31,45 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/epoch"
 	"repro/internal/netsum"
+	"repro/internal/query"
 	"repro/internal/sketch"
 	_ "repro/internal/sketch/all"
 	"repro/internal/stream"
 )
+
+// parseKeys splits the -query flag's comma-separated key list.
+func parseKeys(csv string) ([]uint64, error) {
+	var keys []uint64
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-query key %q: %w", part, err)
+		}
+		keys = append(keys, k)
+	}
+	if len(keys) > query.MaxBatchKeys {
+		return nil, fmt.Errorf("-query batch of %d keys exceeds the plane-wide limit %d",
+			len(keys), query.MaxBatchKeys)
+	}
+	return keys, nil
+}
 
 func main() {
 	var (
 		collector = flag.String("collector", "127.0.0.1:7777", "collector address (empty = offline, shadow sketch only)")
 		id        = flag.Uint64("id", 1, "agent identity")
 		trace     = flag.String("trace", "", "binary trace file to replay")
-		queryKey  = flag.Uint64("query", 0, "key to query after replay (0 = none)")
+		queryCSV  = flag.String("query", "", "key, or comma-separated key batch, to query after replay")
 		batch     = flag.Int("batch", 512, "updates per network frame")
 		algo      = flag.String("algo", "", "registry variant for a local shadow sketch (empty = none)")
 		lambda    = flag.Uint64("lambda", 25, "shadow sketch error tolerance Λ")
@@ -50,6 +79,11 @@ func main() {
 		window    = flag.Int("window", 0, "sliding-window size in epochs for -query (0 = cumulative)")
 	)
 	flag.Parse()
+
+	queryKeys, err := parseKeys(*queryCSV)
+	if err != nil {
+		log.Fatalf("rsagent: %v", err)
+	}
 
 	spec := sketch.Spec{Lambda: *lambda, MemoryBytes: *mem, Seed: *seed}
 	var shadow sketch.Sketch
@@ -137,31 +171,43 @@ func main() {
 		}
 	}
 
-	if *queryKey != 0 {
+	if len(queryKeys) > 0 {
+		req := query.Request{Kind: query.Point, Keys: queryKeys}
+		if *window > 0 {
+			req = query.Request{Kind: query.Window, Keys: queryKeys, Window: *window}
+		}
 		if a != nil {
+			start := time.Now()
+			ans, err := a.Execute(req)
+			if err != nil {
+				log.Fatalf("rsagent: query: %v", err)
+			}
+			elapsed := time.Since(start)
+			scope := "global"
 			if *window > 0 {
-				est, mpe, covered, err := a.QueryWindow(*queryKey, *window)
-				if err != nil {
-					log.Fatalf("rsagent: window query: %v", err)
-				}
-				fmt.Printf("key %d: %d-epoch window estimate=%d, certified global interval [%d, %d] (covered %d epochs)\n",
-					*queryKey, *window, est, sketch.CertifiedLowerBound(est, mpe), est, covered)
-			} else {
-				est, mpe, err := a.Query(*queryKey)
-				if err != nil {
-					log.Fatalf("rsagent: query: %v", err)
-				}
-				fmt.Printf("key %d: estimate=%d, certified global interval [%d, %d]\n",
-					*queryKey, est, sketch.CertifiedLowerBound(est, mpe), est)
+				scope = fmt.Sprintf("%d-epoch window (covered %d)", *window, ans.Coverage)
+			}
+			fmt.Printf("%d keys in one round trip (%v, %s, source %s):\n",
+				len(ans.PerKey), elapsed.Round(time.Microsecond), scope, ans.Source)
+			for _, e := range ans.PerKey {
+				fmt.Printf("  key %d: estimate=%d, certified interval [%d, %d]\n",
+					e.Key, e.Est, e.Lower, e.Upper)
 			}
 		}
 		if shadow != nil {
-			if eb, ok := shadow.(sketch.ErrorBounded); ok {
-				le, lm := eb.QueryWithError(*queryKey)
-				fmt.Printf("key %d: local shadow estimate=%d, interval [%d, %d]\n",
-					*queryKey, le, sketch.CertifiedLowerBound(le, lm), le)
-			} else {
-				fmt.Printf("key %d: local shadow estimate=%d\n", *queryKey, shadow.Query(*queryKey))
+			est := make([]uint64, len(queryKeys))
+			var mpe []uint64
+			if _, ok := shadow.(sketch.ErrorBounded); ok {
+				mpe = make([]uint64, len(queryKeys))
+			}
+			sketch.QueryBatch(shadow, queryKeys, est, mpe)
+			for i, k := range queryKeys {
+				if mpe != nil {
+					fmt.Printf("  key %d: local shadow estimate=%d, interval [%d, %d]\n",
+						k, est[i], sketch.CertifiedLowerBound(est[i], mpe[i]), est[i])
+				} else {
+					fmt.Printf("  key %d: local shadow estimate=%d\n", k, est[i])
+				}
 			}
 		}
 		if ring != nil {
@@ -169,12 +215,13 @@ func main() {
 			if n <= 0 {
 				n = ring.Capacity()
 			}
-			if le, lm, ok := ring.QueryWindowWithError(*queryKey, n); ok {
-				fmt.Printf("key %d: local %d-epoch window estimate=%d, interval [%d, %d]\n",
-					*queryKey, n, le, sketch.CertifiedLowerBound(le, lm), le)
-			} else {
-				fmt.Printf("key %d: local %d-epoch window estimate=%d\n",
-					*queryKey, n, ring.QueryWindow(*queryKey, n))
+			ans, err := ring.Execute(query.Request{Kind: query.Window, Keys: queryKeys, Window: n})
+			if err != nil {
+				log.Fatalf("rsagent: shadow ring query: %v", err)
+			}
+			for _, e := range ans.PerKey {
+				fmt.Printf("  key %d: local %d-epoch window estimate=%d, interval [%d, %d]\n",
+					e.Key, ans.Coverage, e.Est, e.Lower, e.Upper)
 			}
 		}
 	}

@@ -85,7 +85,7 @@ func main() {
 				log.Fatalf("rscollector: http: %v", err)
 			}
 		}()
-		fmt.Printf("query API on http://%s (/v1/point /v1/window /v1/topk /v1/status)\n", *httpAdr)
+		fmt.Printf("query API on http://%s (/v2/query batches, /v1/point /v1/window /v1/topk /v1/status)\n", *httpAdr)
 	}
 
 	stop := make(chan os.Signal, 1)

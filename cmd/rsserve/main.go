@@ -16,8 +16,10 @@
 //
 // When -checkpoint names an existing file, the server warm-restarts from
 // it: restored certified intervals still contain the pre-restart exact
-// counts, and new traffic stacks on top. Endpoints: /v1/point, /v1/window,
-// /v1/topk, /v1/status, /v1/insert (standalone), /v1/checkpoint.
+// counts, and new traffic stacks on top. Endpoints: /v2/query (typed
+// batches — up to -max-batch keys with per-key certified bounds in one
+// request), /v1/point, /v1/window, /v1/topk, /v1/status, /v1/insert
+// (standalone), /v1/checkpoint.
 package main
 
 import (
@@ -33,10 +35,66 @@ import (
 	"time"
 
 	"repro/internal/netsum"
+	"repro/internal/query"
 	"repro/internal/queryd"
 	"repro/internal/sketch"
 	_ "repro/internal/sketch/all" // every registered variant servable by name
 )
+
+// serveFlags is every tunable the CLI accepts, gathered so the flag
+// combinations can be validated up front with named errors instead of
+// surfacing as late panics or silently-dead options.
+type serveFlags struct {
+	window    int
+	epoch     time.Duration
+	shards    int
+	collector string
+	maxBatch  int
+	cacheSize int
+	cacheTTL  time.Duration
+	ckpt      string
+	ckptEvery time.Duration
+}
+
+// Named validation errors: scripts wrapping rsserve can match on the text
+// stem, and tests pin each rejected combination to its reason.
+var (
+	errWindowWithoutEpoch    = errors.New("rsserve: -window needs -epoch (sealed-epoch retention is meaningless without epochs)")
+	errNegativeWindow        = errors.New("rsserve: -window must be ≥ 0")
+	errNegativeEpoch         = errors.New("rsserve: -epoch must be ≥ 0")
+	errBadMaxBatch           = fmt.Errorf("rsserve: -max-batch must be in [1, %d] (the query-plane batch ceiling)", query.MaxBatchKeys)
+	errBadCacheSize          = errors.New("rsserve: -cache-size must be ≥ 1")
+	errNegativeCacheTTL      = errors.New("rsserve: -cache-ttl must be ≥ 0")
+	errCheckpointEveryNoPath = errors.New("rsserve: -checkpoint-every needs -checkpoint (an interval with nowhere to write)")
+	errShardsWithCollector   = errors.New("rsserve: -shards is standalone-only (collector agents shard by construction, one sketch per agent)")
+	errNegativeShards        = errors.New("rsserve: -shards must be ≥ 0")
+)
+
+// validate rejects impossible flag combinations before any socket is
+// opened.
+func (f serveFlags) validate() error {
+	switch {
+	case f.epoch < 0:
+		return errNegativeEpoch
+	case f.window < 0:
+		return errNegativeWindow
+	case f.window > 0 && f.epoch == 0:
+		return errWindowWithoutEpoch
+	case f.maxBatch < 1 || f.maxBatch > query.MaxBatchKeys:
+		return errBadMaxBatch
+	case f.cacheSize < 1:
+		return errBadCacheSize
+	case f.cacheTTL < 0:
+		return errNegativeCacheTTL
+	case f.ckptEvery > 0 && f.ckpt == "":
+		return errCheckpointEveryNoPath
+	case f.shards < 0:
+		return errNegativeShards
+	case f.shards > 0 && f.collector != "":
+		return errShardsWithCollector
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -52,15 +110,31 @@ func main() {
 		noMerge   = flag.Bool("no-merge", false, "collector mode: disable the merged global view")
 		cacheSize = flag.Int("cache-size", 4096, "result cache capacity (entries)")
 		cacheTTL  = flag.Duration("cache-ttl", 250*time.Millisecond, "freshness of cached live-window answers")
+		maxBatch  = flag.Int("max-batch", query.MaxBatchKeys, "largest /v2/query key batch this server accepts")
 		ckpt      = flag.String("checkpoint", "", "checkpoint file path (warm-restarts from it when present)")
 		ckptEvery = flag.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 = only on demand and shutdown)")
 	)
 	flag.Parse()
 
+	if err := (serveFlags{
+		window:    *window,
+		epoch:     *ep,
+		shards:    *shards,
+		collector: *collector,
+		maxBatch:  *maxBatch,
+		cacheSize: *cacheSize,
+		cacheTTL:  *cacheTTL,
+		ckpt:      *ckpt,
+		ckptEvery: *ckptEvery,
+	}).validate(); err != nil {
+		log.Fatal(err)
+	}
+
 	spec := sketch.Spec{Lambda: *lambda, MemoryBytes: *mem, Seed: *seed, Shards: *shards}
 	cfg := queryd.Config{
 		CacheCapacity:   *cacheSize,
 		CacheTTL:        *cacheTTL,
+		MaxBatch:        *maxBatch,
 		CheckpointPath:  *ckpt,
 		CheckpointEvery: *ckptEvery,
 		Algo:            *algo,

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/query"
+)
+
+// TestValidateFlags pins every rejected combination to its named error, so
+// misconfigurations fail fast with a reason instead of a late panic.
+func TestValidateFlags(t *testing.T) {
+	ok := serveFlags{maxBatch: query.MaxBatchKeys, cacheSize: 4096}
+	if err := ok.validate(); err != nil {
+		t.Fatalf("default-equivalent flags rejected: %v", err)
+	}
+	epochal := ok
+	epochal.epoch = 10 * time.Second
+	epochal.window = 8
+	if err := epochal.validate(); err != nil {
+		t.Fatalf("epoch+window rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*serveFlags)
+		want   error
+	}{
+		{"window without epoch", func(f *serveFlags) { f.window = 8 }, errWindowWithoutEpoch},
+		{"negative window", func(f *serveFlags) { f.window = -1; f.epoch = time.Second }, errNegativeWindow},
+		{"negative epoch", func(f *serveFlags) { f.epoch = -time.Second }, errNegativeEpoch},
+		{"zero max-batch", func(f *serveFlags) { f.maxBatch = 0 }, errBadMaxBatch},
+		{"oversized max-batch", func(f *serveFlags) { f.maxBatch = query.MaxBatchKeys + 1 }, errBadMaxBatch},
+		{"zero cache", func(f *serveFlags) { f.cacheSize = 0 }, errBadCacheSize},
+		{"negative ttl", func(f *serveFlags) { f.cacheTTL = -time.Second }, errNegativeCacheTTL},
+		{"interval without path", func(f *serveFlags) { f.ckptEvery = time.Minute }, errCheckpointEveryNoPath},
+		{"negative shards", func(f *serveFlags) { f.shards = -2 }, errNegativeShards},
+		{"shards with collector", func(f *serveFlags) { f.shards = 4; f.collector = "127.0.0.1:7777" }, errShardsWithCollector},
+	}
+	for _, c := range cases {
+		f := ok
+		c.mutate(&f)
+		if err := f.validate(); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}

@@ -156,6 +156,38 @@ func (s *Sketch) Query(key uint64) uint64 {
 	return min
 }
 
+// QueryBatch is the native batch read path (sketch.BatchQuerier): runs of
+// equal keys reuse the previous row-minimum without re-hashing, and the
+// atomic hash-call counter is updated once per batch instead of once per
+// key. CM cannot certify per-key errors, so a non-nil mpe is zero-filled.
+// Answers are identical to per-key Query; safe for concurrent readers.
+func (s *Sketch) QueryBatch(keys []uint64, est, mpe []uint64) {
+	var hashCalls uint64
+	var prevKey, prevEst uint64
+	havePrev := false
+	for i, k := range keys {
+		if mpe != nil {
+			mpe[i] = 0
+		}
+		if havePrev && k == prevKey {
+			est[i] = prevEst
+			continue
+		}
+		var min uint64
+		for r := range s.rows {
+			j := s.hashes.Bucket(r, k, s.width)
+			c := uint64(s.rows[r][j])
+			if r == 0 || c < min {
+				min = c
+			}
+		}
+		hashCalls += uint64(len(s.rows))
+		est[i] = min
+		prevKey, prevEst, havePrev = k, min, true
+	}
+	s.queryHashCalls.Add(hashCalls)
+}
+
 // Merge adds another same-geometry CM sketch counter-by-counter. CM is a
 // linear sketch, so the merged counters are bit-identical to one sketch fed
 // the concatenated stream — queries after Merge are exact equivalents.

@@ -5,10 +5,10 @@ import "repro/internal/sketch"
 // The evaluation's two Count-Min variants self-register so the harness and
 // CLIs can build them by name (§6.1: d=3 for throughput, d=16 for accuracy).
 func init() {
-	sketch.Register("CM_fast", sketch.CapResettable|sketch.CapMergeable|sketch.CapSnapshottable, func(sp sketch.Spec) sketch.Sketch {
+	sketch.Register("CM_fast", sketch.CapResettable|sketch.CapMergeable|sketch.CapSnapshottable|sketch.CapBatchQuery, func(sp sketch.Spec) sketch.Sketch {
 		return NewFast(sp.MemoryBytes, sp.Seed)
 	})
-	sketch.Register("CM_acc", sketch.CapResettable|sketch.CapMergeable|sketch.CapSnapshottable, func(sp sketch.Spec) sketch.Sketch {
+	sketch.Register("CM_acc", sketch.CapResettable|sketch.CapMergeable|sketch.CapSnapshottable|sketch.CapBatchQuery, func(sp sketch.Spec) sketch.Sketch {
 		return NewAccurate(sp.MemoryBytes, sp.Seed)
 	})
 }

@@ -1,0 +1,35 @@
+package core
+
+// QueryBatch is the native batch read path (sketch.BatchQuerier): the same
+// layer walk as QueryWithError with two amortizations. Runs of equal keys —
+// which sorted per-shard batches and hot-key workloads produce — reuse the
+// previous walk's result outright (the walk is deterministic for fixed
+// state, so a repeated key's answer cannot differ), and the atomic
+// instrumentation counters are updated once per batch instead of once per
+// key. Answers are identical to per-key QueryWithError; the query-op
+// counter tallies one op per walk actually performed, so the hash-call
+// average still reflects real work (the reduction is the optimization, as
+// with InsertBatch).
+func (s *Sketch) QueryBatch(keys []uint64, est, mpe []uint64) {
+	var ops, hashCalls uint64
+	var prevKey, prevEst, prevMPE uint64
+	havePrev := false
+	for i, k := range keys {
+		if havePrev && k == prevKey {
+			est[i] = prevEst
+			if mpe != nil {
+				mpe[i] = prevMPE
+			}
+			continue
+		}
+		e, m := s.queryWalk(k, &hashCalls)
+		ops++
+		est[i] = e
+		if mpe != nil {
+			mpe[i] = m
+		}
+		prevKey, prevEst, prevMPE, havePrev = k, e, m, true
+	}
+	s.queryOps.Add(ops)
+	s.queryHashCalls.Add(hashCalls)
+}

@@ -216,6 +216,16 @@ func (s *Sketch) Query(key uint64) uint64 {
 // emergency layer is enabled — the true sum lies in [est − mpe, est].
 func (s *Sketch) QueryWithError(key uint64) (est, mpe uint64) {
 	s.queryOps.Add(1)
+	var hashCalls uint64
+	est, mpe = s.queryWalk(key, &hashCalls)
+	s.queryHashCalls.Add(hashCalls)
+	return est, mpe
+}
+
+// queryWalk is the uninstrumented layer walk shared by QueryWithError and
+// the batch path: hash calls accumulate into the caller's counter so batch
+// queries pay one atomic add per batch instead of one per key.
+func (s *Sketch) queryWalk(key uint64, hashCalls *uint64) (est, mpe uint64) {
 	if s.mice != nil {
 		m, saturated := s.mice.Query(key)
 		est += m
@@ -224,20 +234,17 @@ func (s *Sketch) QueryWithError(key uint64) (est, mpe uint64) {
 			return est, mpe
 		}
 	}
-	var hashCalls uint64
 	for i := range s.layers {
 		j := s.hashes.Bucket(i, key, s.widths[i])
-		hashCalls++
+		*hashCalls++
 		b := &s.layers[i][j]
 		e, _ := b.Query(key)
 		est += e
 		mpe += b.NO
 		if s.stopAt(b, i, key) {
-			s.queryHashCalls.Add(hashCalls)
 			return est, mpe
 		}
 	}
-	s.queryHashCalls.Add(hashCalls)
 	if s.emerg != nil {
 		e, m := s.emerg.QueryWithError(key)
 		est += e

@@ -7,7 +7,7 @@ import "repro/internal/sketch"
 // and Emergency.
 func init() {
 	sketch.Register("Ours",
-		sketch.CapErrorBounded|sketch.CapHeavyHitter|sketch.CapResettable|sketch.CapLambdaTargeting|sketch.CapMergeable|sketch.CapSnapshottable,
+		sketch.CapErrorBounded|sketch.CapHeavyHitter|sketch.CapResettable|sketch.CapLambdaTargeting|sketch.CapMergeable|sketch.CapSnapshottable|sketch.CapBatchQuery,
 		func(sp sketch.Spec) sketch.Sketch {
 			return MustNew(Config{
 				Lambda:      sp.Lambda,
@@ -20,7 +20,7 @@ func init() {
 			})
 		})
 	sketch.Register("Ours(Raw)",
-		sketch.CapErrorBounded|sketch.CapHeavyHitter|sketch.CapResettable|sketch.CapLambdaTargeting|sketch.CapMergeable|sketch.CapSnapshottable,
+		sketch.CapErrorBounded|sketch.CapHeavyHitter|sketch.CapResettable|sketch.CapLambdaTargeting|sketch.CapMergeable|sketch.CapSnapshottable|sketch.CapBatchQuery,
 		func(sp sketch.Spec) sketch.Sketch {
 			return MustNew(Config{
 				Lambda:            sp.Lambda,

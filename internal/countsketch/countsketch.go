@@ -98,6 +98,54 @@ func (s *Sketch) Query(key uint64) uint64 {
 	return uint64(med)
 }
 
+// QueryBatch is the native batch read path (sketch.BatchQuerier): runs of
+// equal keys reuse the previous median without re-hashing or re-sorting,
+// and the median scratch is allocated once per batch for deep sketches
+// instead of once per key. Count cannot certify per-key errors, so a
+// non-nil mpe is zero-filled. Answers are identical to per-key Query; safe
+// for concurrent readers (the scratch is per-call).
+func (s *Sketch) QueryBatch(keys []uint64, est, mpe []uint64) {
+	var buf [16]int64
+	scratch := buf[:0]
+	if len(s.rows) > len(buf) {
+		scratch = make([]int64, 0, len(s.rows))
+	}
+	var prevKey, prevEst uint64
+	havePrev := false
+	for i, k := range keys {
+		if mpe != nil {
+			mpe[i] = 0
+		}
+		if havePrev && k == prevKey {
+			est[i] = prevEst
+			continue
+		}
+		scratch = scratch[:0]
+		for r := range s.rows {
+			j := s.hashes.Bucket(r, k, s.width)
+			scratch = append(scratch, s.signs.Sign(r, k)*s.rows[r][j])
+		}
+		for a := 1; a < len(scratch); a++ {
+			for b := a; b > 0 && scratch[b] < scratch[b-1]; b-- {
+				scratch[b], scratch[b-1] = scratch[b-1], scratch[b]
+			}
+		}
+		var med int64
+		d := len(scratch)
+		if d%2 == 1 {
+			med = scratch[d/2]
+		} else {
+			med = (scratch[d/2-1] + scratch[d/2]) / 2
+		}
+		var e uint64
+		if med > 0 {
+			e = uint64(med)
+		}
+		est[i] = e
+		prevKey, prevEst, havePrev = k, e, true
+	}
+}
+
 // Merge adds another same-geometry Count sketch counter-by-counter. Count
 // is a linear sketch: the merged state is bit-identical to one sketch fed
 // the concatenated stream, so every query is an exact equivalent.

@@ -6,7 +6,7 @@ import "repro/internal/sketch"
 // the Count sketch's L2 family.
 func init() {
 	sketch.Register("Count",
-		sketch.CapResettable|sketch.CapMergeable|sketch.CapSnapshottable,
+		sketch.CapResettable|sketch.CapMergeable|sketch.CapSnapshottable|sketch.CapBatchQuery,
 		func(sp sketch.Spec) sketch.Sketch {
 			return NewBytes(sp.MemoryBytes, sp.Seed)
 		})

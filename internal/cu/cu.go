@@ -152,6 +152,36 @@ func (s *Sketch) Query(key uint64) uint64 {
 	return min
 }
 
+// QueryBatch is the native batch read path (sketch.BatchQuerier): runs of
+// equal keys reuse the previous row-minimum without re-hashing, mirroring
+// how InsertBatch reuses row indexes across bursty repeats. CU cannot
+// certify per-key errors, so a non-nil mpe is zero-filled. Answers are
+// identical to per-key Query; safe for concurrent readers (no shared
+// scratch — the insert-side idx cache is untouched).
+func (s *Sketch) QueryBatch(keys []uint64, est, mpe []uint64) {
+	var prevKey, prevEst uint64
+	havePrev := false
+	for i, k := range keys {
+		if mpe != nil {
+			mpe[i] = 0
+		}
+		if havePrev && k == prevKey {
+			est[i] = prevEst
+			continue
+		}
+		var min uint64
+		for r := range s.rows {
+			j := s.hashes.Bucket(r, k, s.width)
+			c := uint64(s.rows[r][j])
+			if r == 0 || c < min {
+				min = c
+			}
+		}
+		est[i] = min
+		prevKey, prevEst, havePrev = k, min, true
+	}
+}
+
 // Depth returns the number of rows d.
 func (s *Sketch) Depth() int { return len(s.rows) }
 

@@ -5,10 +5,10 @@ import "repro/internal/sketch"
 // The evaluation's two CU variants self-register so the harness and CLIs
 // can build them by name (§6.1: d=3 for throughput, d=16 for accuracy).
 func init() {
-	sketch.Register("CU_fast", sketch.CapResettable|sketch.CapMergeable|sketch.CapSnapshottable, func(sp sketch.Spec) sketch.Sketch {
+	sketch.Register("CU_fast", sketch.CapResettable|sketch.CapMergeable|sketch.CapSnapshottable|sketch.CapBatchQuery, func(sp sketch.Spec) sketch.Sketch {
 		return NewFast(sp.MemoryBytes, sp.Seed)
 	})
-	sketch.Register("CU_acc", sketch.CapResettable|sketch.CapMergeable|sketch.CapSnapshottable, func(sp sketch.Spec) sketch.Sketch {
+	sketch.Register("CU_acc", sketch.CapResettable|sketch.CapMergeable|sketch.CapSnapshottable|sketch.CapBatchQuery, func(sp sketch.Spec) sketch.Sketch {
 		return NewAccurate(sp.MemoryBytes, sp.Seed)
 	})
 }

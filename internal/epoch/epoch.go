@@ -203,7 +203,8 @@ func (r *Ring) QueryWindow(key uint64, n int) uint64 {
 
 // QueryRange answers over sealed epochs from..to inclusive, indexed newest
 // first (0 = most recent sealed). Indices beyond the retained history are
-// clamped; an empty range returns 0.
+// clamped; an empty range returns 0. A thin shim over the batch read core
+// (rangeBatch), so single-key and batch answers cannot diverge.
 func (r *Ring) QueryRange(key uint64, from, to int) uint64 {
 	r.poke()
 	ss := r.sealed.Load()
@@ -211,21 +212,18 @@ func (r *Ring) QueryRange(key uint64, from, to int) uint64 {
 	if !ok {
 		return 0
 	}
-	if m := r.mergedView(ss, from, to); m != nil {
-		return m.Query(key)
-	}
-	var sum uint64
-	for i := from; i <= to; i++ {
-		sum += ss.windows[i].Query(key)
-	}
-	return sum
+	keys := [1]uint64{key}
+	var est [1]uint64
+	r.rangeBatch(ss, from, to, keys[:], est[:], nil)
+	return est[0]
 }
 
 // QueryWindowWithError answers a sliding-window query with a certified
 // interval over the last n sealed epochs: truth ∈ [est−mpe, est]. The
 // merged view certifies directly; without Mergeable support, per-epoch
 // certified intervals are summed (sound composition, as in netsum). ok is
-// false when no sealed window exists or the sketch cannot certify.
+// false when no sealed window exists or the sketch cannot certify. A thin
+// shim over the batch read core (rangeBatch).
 func (r *Ring) QueryWindowWithError(key uint64, n int) (est, mpe uint64, ok bool) {
 	r.poke()
 	ss := r.sealed.Load()
@@ -233,22 +231,12 @@ func (r *Ring) QueryWindowWithError(key uint64, n int) (est, mpe uint64, ok bool
 	if !rangeOK {
 		return 0, 0, false
 	}
-	if m := r.mergedView(ss, from, to); m != nil {
-		if eb, good := m.(sketch.ErrorBounded); good {
-			est, mpe = eb.QueryWithError(key)
-			return est, mpe, true
-		}
+	keys := [1]uint64{key}
+	var e, m [1]uint64
+	if !r.rangeBatch(ss, from, to, keys[:], e[:], m[:]) {
+		return 0, 0, false
 	}
-	for i := from; i <= to; i++ {
-		eb, good := ss.windows[i].(sketch.ErrorBounded)
-		if !good {
-			return 0, 0, false
-		}
-		e, m := eb.QueryWithError(key)
-		est += e
-		mpe += m
-	}
-	return est, mpe, true
+	return e[0], m[0], true
 }
 
 // clampRange normalizes a newest-first epoch range against the retained

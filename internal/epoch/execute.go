@@ -1,0 +1,175 @@
+package epoch
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/sketch"
+)
+
+// ErrNoAgentScope marks an agent-scoped request sent to a ring: rings are
+// single measurement points; agent scoping lives at the collector.
+var ErrNoAgentScope = errors.New("epoch: ring queries cannot be scoped to an agent")
+
+// Execute answers a whole typed batch request against the ring under one
+// sealed-set snapshot: every key in the answer derives from the same
+// immutable sealed windows and the same generation — no torn reads across
+// keys, even while rotations race the call. This is the ring's surface of
+// the unified query plane; the per-key methods (QueryWindow, QueryRange,
+// QueryWindowWithError) are shims over the same batch core.
+//
+// Kinds:
+//   - Point answers each key over the ring's whole retained sliding window
+//     (the ring's visible history — matching how epoch-mode backends answer
+//     point queries).
+//   - Window answers over the last req.Window sealed epochs, clamped to the
+//     retained history; Answer.Coverage reports the sealed windows actually
+//     answered, not the requested span.
+//   - TopK enumerates heavy hitters from the merged sliding view (over
+//     req.Window epochs, or the full retention when 0), with each key's
+//     interval read from the same view.
+func (r *Ring) Execute(req query.Request) (query.Answer, error) {
+	if err := req.Validate(); err != nil {
+		return query.Answer{}, err
+	}
+	if req.Agent != 0 {
+		return query.Answer{}, ErrNoAgentScope
+	}
+	r.poke()
+	ss := r.sealed.Load()
+	ans := query.Answer{Generation: ss.rotations, Source: "ring"}
+
+	// The span each kind answers over: Window asks for an explicit number
+	// of epochs, Point means the whole retention, TopK defaults to the
+	// whole retention unless a window was given.
+	var n int
+	switch {
+	case req.Kind == query.Window:
+		n = req.Window
+	case req.Kind == query.TopK && req.Window > 0:
+		n = req.Window
+	default:
+		n = r.capacity
+	}
+	from, to, ok := clampRange(0, n-1, len(ss.windows))
+
+	if req.Kind == query.TopK {
+		if !ok {
+			// Nothing sealed yet: an empty window, not a missing capability.
+			ans.PerKey = []query.Estimate{}
+			return ans, nil
+		}
+		view := r.mergedView(ss, from, to)
+		if view == nil {
+			return query.Answer{}, fmt.Errorf("epoch: %s cannot build a merged view for top-k over %d windows",
+				r.factory.Name, to-from+1)
+		}
+		hh, isHH := view.(sketch.HeavyHitterReporter)
+		if !isHH {
+			return query.Answer{}, fmt.Errorf("epoch: %s does not report tracked keys", r.factory.Name)
+		}
+		kvs := query.TopKOf(hh.Tracked(), req.K)
+		keys := make([]uint64, len(kvs))
+		for i, kv := range kvs {
+			keys[i] = kv.Key
+		}
+		est := make([]uint64, len(keys))
+		mpe := make([]uint64, len(keys))
+		ans.Certified = r.rangeBatch(ss, from, to, keys, est, mpe)
+		ans.Coverage = to - from + 1
+		if !ans.Certified {
+			mpe = nil
+		}
+		ans.PerKey = query.EstimatesFrom(keys, est, mpe)
+		return ans, nil
+	}
+
+	est := make([]uint64, len(req.Keys))
+	if !ok {
+		// Nothing sealed: every estimate is 0 over an empty (0-epoch) span.
+		ans.PerKey = query.EstimatesFrom(req.Keys, est, nil)
+		return ans, nil
+	}
+	mpe := make([]uint64, len(req.Keys))
+	ans.Certified = r.rangeBatch(ss, from, to, req.Keys, est, mpe)
+	ans.Coverage = to - from + 1
+	if !ans.Certified {
+		mpe = nil
+	}
+	ans.PerKey = query.EstimatesFrom(req.Keys, est, mpe)
+	return ans, nil
+}
+
+// QueryWindowBatch answers every key's sliding-window sum over the last n
+// sealed epochs under one sealed-set snapshot, writing estimates (and, when
+// mpe is non-nil and the sketch certifies, Maximum Possible Errors) into
+// the caller's slices. certified reports whether mpe carries sound bounds
+// for every key; covered is the sealed-epoch span actually answered (0
+// before the first rotation, in which case est and mpe are zeroed). This is
+// the exported batch core the collector amortizes per-agent window queries
+// on.
+func (r *Ring) QueryWindowBatch(keys []uint64, n int, est, mpe []uint64) (certified bool, covered int) {
+	r.poke()
+	ss := r.sealed.Load()
+	from, to, ok := clampRange(0, n-1, len(ss.windows))
+	if !ok {
+		for i := range keys {
+			est[i] = 0
+			if mpe != nil {
+				mpe[i] = 0
+			}
+		}
+		return false, 0
+	}
+	return r.rangeBatch(ss, from, to, keys, est, mpe), to - from + 1
+}
+
+// rangeBatch is the one batch read core every window query flows through:
+// it answers all keys over sealed windows from..to of ss, using the cached
+// merged view when the sketch supports merging (one batch walk for the
+// whole span) and per-window batch sums otherwise. With mpe non-nil the
+// answer is certified — truth ∈ [est−mpe, est] per key — exactly when the
+// return value is true; on false, mpe is zero-filled (merged-view queries
+// certify when the view is ErrorBounded; summed per-window intervals
+// compose soundly only when every window certifies).
+func (r *Ring) rangeBatch(ss *sealedSet, from, to int, keys []uint64, est, mpe []uint64) (certified bool) {
+	if m := r.mergedView(ss, from, to); m != nil {
+		sketch.QueryBatch(m, keys, est, mpe)
+		if mpe == nil {
+			return false
+		}
+		_, eb := m.(sketch.ErrorBounded)
+		return eb
+	}
+	certified = mpe != nil
+	if certified {
+		for i := from; i <= to; i++ {
+			if _, ok := ss.windows[i].(sketch.ErrorBounded); !ok {
+				certified = false
+				break
+			}
+		}
+	}
+	for i := range keys {
+		est[i] = 0
+		if mpe != nil {
+			mpe[i] = 0
+		}
+	}
+	tmpE := make([]uint64, len(keys))
+	var tmpM []uint64
+	if certified {
+		tmpM = make([]uint64, len(keys))
+	}
+	for i := from; i <= to; i++ {
+		sketch.QueryBatch(ss.windows[i], keys, tmpE, tmpM)
+		for j := range keys {
+			est[j] += tmpE[j]
+			if tmpM != nil {
+				mpe[j] += tmpM[j]
+			}
+		}
+	}
+	return certified
+}

@@ -1,0 +1,240 @@
+package epoch
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/query"
+)
+
+// TestExecuteWindowBatchMatchesSingle pins the batch surface to the per-key
+// one: Execute's answers must equal QueryWindowWithError for every key,
+// under the same generation.
+func TestExecuteWindowBatchMatchesSingle(t *testing.T) {
+	r, clk := newRing(t, 4)
+	for e := 0; e < 3; e++ {
+		for k := uint64(1); k <= 50; k++ {
+			r.Insert(k, k*uint64(e+1))
+		}
+		clk.Advance(10 * time.Second)
+	}
+	r.Insert(0, 0) // seal the last epoch
+
+	keys := make([]uint64, 0, 60)
+	for k := uint64(0); k < 60; k++ {
+		keys = append(keys, k%55) // includes absent keys and duplicates
+	}
+	ans, err := r.Execute(query.Request{Kind: query.Window, Keys: keys, Window: 2})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !ans.Certified {
+		t.Fatal("Ours-backed ring answer not certified")
+	}
+	if ans.Coverage != 2 {
+		t.Fatalf("coverage = %d, want 2", ans.Coverage)
+	}
+	if ans.Generation != r.Generation() {
+		t.Fatalf("generation = %d, ring reports %d", ans.Generation, r.Generation())
+	}
+	if len(ans.PerKey) != len(keys) {
+		t.Fatalf("PerKey length %d, want %d", len(ans.PerKey), len(keys))
+	}
+	for i, k := range keys {
+		est, mpe, ok := r.QueryWindowWithError(k, 2)
+		if !ok {
+			t.Fatalf("single-key query for %d not certified", k)
+		}
+		pk := ans.PerKey[i]
+		if pk.Key != k || pk.Est != est || pk.Upper != est {
+			t.Fatalf("key %d: batch %+v != single est %d", k, pk, est)
+		}
+		if lower := pk.Lower; mpe <= est && lower != est-mpe {
+			t.Fatalf("key %d: batch lower %d != single %d", k, lower, est-mpe)
+		}
+	}
+}
+
+// TestExecutePointCoversRetention pins Point semantics: the ring's whole
+// retained history, with Coverage reporting the sealed count.
+func TestExecutePointCoversRetention(t *testing.T) {
+	r, clk := newRing(t, 4)
+	for e := 0; e < 2; e++ {
+		r.Insert(7, 10)
+		clk.Advance(10 * time.Second)
+	}
+	r.Insert(0, 0)
+	ans, err := r.Execute(query.Request{Kind: query.Point, Keys: []uint64{7}})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if ans.Coverage != 2 {
+		t.Errorf("coverage = %d, want 2 sealed windows", ans.Coverage)
+	}
+	if got := ans.PerKey[0]; got.Est < 20 || got.Lower > 20 {
+		t.Errorf("interval [%d,%d] misses exact 20", got.Lower, got.Upper)
+	}
+}
+
+// TestExecuteValidates pins the named-error surface.
+func TestExecuteValidates(t *testing.T) {
+	r, _ := newRing(t, 4)
+	cases := []struct {
+		req  query.Request
+		want error
+	}{
+		{query.Request{Kind: query.Window, Window: 2}, query.ErrNoKeys},
+		{query.Request{Kind: query.Window, Keys: []uint64{1}}, query.ErrBadWindow},
+		{query.Request{Kind: query.Point}, query.ErrNoKeys},
+		{query.Request{Kind: query.TopK}, query.ErrBadK},
+		{query.Request{Keys: []uint64{1}}, query.ErrBadKind},
+		{query.Request{Kind: query.Window, Keys: []uint64{1}, Window: 1, Agent: 3}, ErrNoAgentScope},
+		{query.Request{Kind: query.Point, Keys: make([]uint64, query.MaxBatchKeys+1)}, query.ErrTooManyKeys},
+	}
+	for _, c := range cases {
+		if _, err := r.Execute(c.req); !errors.Is(err, c.want) {
+			t.Errorf("Execute(%+v) err = %v, want %v", c.req, err, c.want)
+		}
+	}
+}
+
+// TestExecuteBeforeFirstSeal: an empty ring answers zeros with coverage 0
+// rather than erroring — an empty window is not a failure.
+func TestExecuteBeforeFirstSeal(t *testing.T) {
+	r, _ := newRing(t, 4)
+	r.Insert(5, 100) // active only, nothing sealed
+	ans, err := r.Execute(query.Request{Kind: query.Window, Keys: []uint64{5}, Window: 3})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if ans.Coverage != 0 || ans.PerKey[0].Est != 0 {
+		t.Errorf("pre-seal answer = %+v, want zero coverage and estimate", ans)
+	}
+	top, err := r.Execute(query.Request{Kind: query.TopK, K: 5})
+	if err != nil {
+		t.Fatalf("TopK pre-seal: %v", err)
+	}
+	if len(top.PerKey) != 0 {
+		t.Errorf("pre-seal top-k = %+v, want empty", top.PerKey)
+	}
+}
+
+// TestExecuteTopKFromMergedView: top-k answers come from the merged sliding
+// view with certified intervals, heaviest first.
+func TestExecuteTopKFromMergedView(t *testing.T) {
+	r, clk := newRing(t, 4)
+	for e := 0; e < 3; e++ {
+		for i := 0; i < 40; i++ {
+			r.Insert(1, 5)
+			r.Insert(2, 3)
+			r.Insert(3, 1)
+		}
+		clk.Advance(10 * time.Second)
+	}
+	r.Insert(0, 0)
+	ans, err := r.Execute(query.Request{Kind: query.TopK, K: 2})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(ans.PerKey) != 2 || ans.PerKey[0].Key != 1 || ans.PerKey[1].Key != 2 {
+		t.Fatalf("top-2 = %+v, want keys 1,2", ans.PerKey)
+	}
+	if !ans.Certified {
+		t.Error("top-k from Ours view should certify")
+	}
+	if ans.PerKey[0].Est < ans.PerKey[1].Est {
+		t.Error("top-k not heaviest-first")
+	}
+}
+
+// TestWindowCoverageClampsToSealed is the coverage-honesty edge case: a
+// request for more epochs than the ring retains (or has sealed) must report
+// the span actually answered, not the requested n.
+func TestWindowCoverageClampsToSealed(t *testing.T) {
+	r, clk := newRing(t, 4)
+	// Only 2 epochs sealed in a capacity-4 ring.
+	for e := 0; e < 2; e++ {
+		r.Insert(9, 10)
+		clk.Advance(10 * time.Second)
+	}
+	r.Insert(0, 0)
+	for _, n := range []int{2, 3, 4, 100, query.MaxWindow} {
+		ans, err := r.Execute(query.Request{Kind: query.Window, Keys: []uint64{9}, Window: n})
+		if err != nil {
+			t.Fatalf("Execute(n=%d): %v", n, err)
+		}
+		if ans.Coverage != 2 {
+			t.Errorf("n=%d: coverage = %d, want 2 (the sealed history)", n, ans.Coverage)
+		}
+		if ans.PerKey[0].Est < 20 || ans.PerKey[0].Lower > 20 {
+			t.Errorf("n=%d: interval [%d,%d] misses exact 20",
+				n, ans.PerKey[0].Lower, ans.PerKey[0].Upper)
+		}
+	}
+	// Beyond capacity once the ring is full: 6 sealed total, 4 retained.
+	for e := 0; e < 4; e++ {
+		r.Insert(9, 10)
+		clk.Advance(10 * time.Second)
+	}
+	r.Insert(0, 0)
+	ans, err := r.Execute(query.Request{Kind: query.Window, Keys: []uint64{9}, Window: 1000})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if ans.Coverage != 4 {
+		t.Errorf("coverage = %d, want capacity 4", ans.Coverage)
+	}
+}
+
+// TestQueryRangeBeyondCapacityAndIdleGaps is the satellite edge-case pin:
+// QueryRange with n exceeding capacity clamps to the retained history, and
+// idle gaps seal empty windows that genuinely slide traffic out of range
+// while coverage stays honest about what was answered.
+func TestQueryRangeBeyondCapacityAndIdleGaps(t *testing.T) {
+	r, clk := newRing(t, 3)
+	r.Insert(4, 50)
+	clk.Advance(10 * time.Second)
+	r.Insert(0, 0) // seal epoch with key 4
+
+	// Range far beyond the single sealed window clamps.
+	if got := r.QueryRange(4, 0, 99); got < 50 {
+		t.Errorf("clamped range estimate %d < exact 50", got)
+	}
+	cert, covered := r.QueryWindowBatch([]uint64{4}, 99, make([]uint64, 1), make([]uint64, 1))
+	if !cert || covered != 1 {
+		t.Errorf("batch over 99 epochs: certified=%v covered=%d, want true,1", cert, covered)
+	}
+
+	// Idle gap longer than the whole retention: the sealed set becomes all
+	// empty windows and the old traffic slides out entirely.
+	clk.Advance(10 * 10 * time.Second)
+	r.Insert(0, 0)
+	ans, err := r.Execute(query.Request{Kind: query.Window, Keys: []uint64{4}, Window: 3})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if ans.PerKey[0].Est != 0 {
+		t.Errorf("after idle gap, estimate = %d, want 0 (window slid out)", ans.PerKey[0].Est)
+	}
+	if ans.Coverage != 3 {
+		t.Errorf("after idle gap, coverage = %d, want 3 (empty epochs still sealed)", ans.Coverage)
+	}
+
+	// Partial idle gap: 2 idle epochs after one loaded epoch in a capacity-3
+	// ring — the loaded epoch is still retained at index 2.
+	r2, clk2 := newRing(t, 3)
+	r2.Insert(8, 30)
+	clk2.Advance(3 * 10 * time.Second) // seals loaded epoch + 2 empty ones
+	r2.Insert(0, 0)
+	if got := r2.QueryRange(8, 2, 2); got < 30 {
+		t.Errorf("oldest retained epoch estimate %d < exact 30", got)
+	}
+	if got := r2.QueryRange(8, 0, 1); got != 0 {
+		t.Errorf("idle epochs estimate %d, want 0", got)
+	}
+	_, covered = r2.QueryWindowBatch([]uint64{8}, 2, make([]uint64, 1), make([]uint64, 1))
+	if covered != 2 {
+		t.Errorf("covered = %d, want 2 (only the requested idle span)", covered)
+	}
+}

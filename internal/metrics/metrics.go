@@ -110,6 +110,40 @@ func QueryAll(sk sketch.Sketch, s *stream.Stream) (time.Duration, int) {
 	return elapsed, len(truth)
 }
 
+// queryBatchChunk is the batch size QueryAllBatch issues — the same shape
+// a /v2/query serving batch has, so the measured amortization is the one
+// the query plane actually delivers.
+const queryBatchChunk = 256
+
+// QueryAllBatch queries every distinct key once through the batch read
+// path (sketch.QueryBatch, in 256-key chunks) and returns the elapsed time
+// and the number of queries answered — the batch-side counterpart of
+// QueryAll, analogous to Feed vs per-item insertion. The checksum defeats
+// dead-code elimination.
+func QueryAllBatch(sk sketch.Sketch, s *stream.Stream) (time.Duration, int) {
+	truth := s.Truth()
+	keys := make([]uint64, 0, len(truth))
+	for key := range truth {
+		keys = append(keys, key)
+	}
+	est := make([]uint64, len(keys))
+	start := time.Now()
+	for lo := 0; lo < len(keys); lo += queryBatchChunk {
+		hi := lo + queryBatchChunk
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		sketch.QueryBatch(sk, keys[lo:hi], est[lo:hi], nil)
+	}
+	elapsed := time.Since(start)
+	var sink uint64
+	for _, e := range est {
+		sink ^= e
+	}
+	_ = sink
+	return elapsed, len(keys)
+}
+
 // ErrorDistribution returns all per-key absolute errors sorted in descending
 // order, the series plotted by Figure 19b.
 func ErrorDistribution(sk sketch.Sketch, s *stream.Stream) []uint64 {

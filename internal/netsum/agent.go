@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+
+	"repro/internal/query"
 )
 
 // Agent is a measurement point's connection to the collector. It batches
@@ -35,7 +37,10 @@ func Dial(addr string, agentID uint64) (*Agent, error) {
 		bw:        bufio.NewWriterSize(conn, 64<<10),
 		BatchSize: 512,
 	}
-	hello := appendUvarints(nil, agentID)
+	// The hello carries the protocol version after the agent ID; v1
+	// collectors read only the ID and ignore the rest, which is what makes
+	// the extension compatible.
+	hello := appendUvarints(nil, agentID, ProtocolVersion)
 	if err := writeFrame(a.bw, msgHello, hello); err != nil {
 		conn.Close()
 		return nil, err
@@ -68,8 +73,61 @@ func (a *Agent) Flush() error {
 	return a.bw.Flush()
 }
 
+// Execute flushes pending updates and runs one typed batch request against
+// the collector: N point or window queries (or a top-k enumeration) in a
+// single round trip, answered under one state snapshot per agent — the wire
+// surface of the unified query plane (protocol v2; v1 collectors drop the
+// connection on the frame, see ProtocolVersion). The request is validated
+// locally before anything is sent.
+func (a *Agent) Execute(req query.Request) (query.Answer, error) {
+	if err := req.Validate(); err != nil {
+		return query.Answer{}, err
+	}
+	if err := a.Flush(); err != nil {
+		return query.Answer{}, err
+	}
+	if err := writeFrame(a.bw, msgExecQuery, encodeRequest(req)); err != nil {
+		return query.Answer{}, err
+	}
+	if err := a.bw.Flush(); err != nil {
+		return query.Answer{}, err
+	}
+	typ, payload, err := readFrame(a.br)
+	if err != nil {
+		return query.Answer{}, err
+	}
+	switch typ {
+	case msgExecResp:
+		ans, err := decodeAnswer(payload)
+		if err != nil {
+			return query.Answer{}, err
+		}
+		if req.Kind != query.TopK && len(ans.PerKey) != len(req.Keys) {
+			return query.Answer{}, fmt.Errorf("netsum: answer for %d keys, asked %d",
+				len(ans.PerKey), len(req.Keys))
+		}
+		return ans, nil
+	case msgExecErr:
+		return query.Answer{}, fmt.Errorf("netsum: collector refused query: %s", payload)
+	default:
+		return query.Answer{}, fmt.Errorf("netsum: expected exec response, got type %d", typ)
+	}
+}
+
+// QueryBatch is the convenience form of Execute for global point queries:
+// every key's certified interval in one round trip.
+func (a *Agent) QueryBatch(keys []uint64) ([]query.Estimate, error) {
+	ans, err := a.Execute(query.Request{Kind: query.Point, Keys: keys})
+	if err != nil {
+		return nil, err
+	}
+	return ans.PerKey, nil
+}
+
 // Query flushes pending updates and asks the collector for key's global
-// certified estimate.
+// certified estimate. It speaks the v1 single-key frame — the compat path
+// old agents use — so it works against collectors of any version; batch
+// work should go through Execute.
 func (a *Agent) Query(key uint64) (est, mpe uint64, err error) {
 	if err := a.Flush(); err != nil {
 		return 0, 0, err

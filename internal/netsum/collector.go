@@ -294,6 +294,13 @@ func (c *Collector) handle(conn net.Conn) error {
 			if err != nil {
 				return err
 			}
+			// Optional trailing protocol version (absent on v1 agents).
+			// Purely informational today: the collector answers every
+			// version's frames, so nothing branches on it.
+			if v, verr := u.next(); verr == nil && v > ProtocolVersion {
+				c.logf("netsum: agent %d speaks protocol v%d, newer than ours (v%d)",
+					id, v, ProtocolVersion)
+			}
 			if agent, err = c.stateFor(id); err != nil {
 				return err
 			}
@@ -340,6 +347,25 @@ func (c *Collector) handle(conn net.Conn) error {
 			}
 			est, mpe, covered := c.QueryWindowWithError(key, int(n))
 			if err := reply(msgWindowResp, appendUvarints(nil, key, uint64(covered), est, mpe)); err != nil {
+				return err
+			}
+
+		case msgExecQuery:
+			req, err := decodeRequest(payload)
+			if err != nil {
+				return err
+			}
+			ans, err := c.Execute(req)
+			if err != nil {
+				// A refused request (validation, missing capability, unknown
+				// agent) is an answer, not a broken connection: report it and
+				// keep serving.
+				if err := reply(msgExecErr, []byte(err.Error())); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := reply(msgExecResp, encodeAnswer(ans)); err != nil {
 				return err
 			}
 
@@ -458,84 +484,38 @@ func (c *Collector) RestoreBaseline(r io.Reader) error {
 	return nil
 }
 
-// queryEstimateSum is the composition path: the sum of all agents'
-// certified estimates (plus the warm-restart baseline's, when one was
-// restored) with their MPEs summed — certified, since the global sum of a
-// key equals the sum of per-agent (and pre-restart) sums. In epoch mode the
-// per-agent answer covers the agent's retained sliding window.
-func (c *Collector) queryEstimateSum(key uint64) (est, mpe uint64) {
-	if b := c.baselineSketch(); b != nil {
-		est, mpe = b.QueryWithError(key)
-	}
-	for _, st := range c.snapshotAgents() {
-		if st.ring != nil {
-			e, m, ok := st.ring.QueryWindowWithError(key, st.ring.Capacity())
-			if ok {
-				est += e
-				mpe += m
-			}
-			continue
-		}
-		st.mu.Lock()
-		e, m := st.sk.QueryWithError(key)
-		st.mu.Unlock()
-		est += e
-		mpe += m
-	}
-	return est, mpe
-}
-
 // QueryWithError answers a global query with a certified interval:
 // truth ∈ [est − mpe, est]. With the merged view enabled the answer is the
 // intersection of the merged sketch's interval and the estimate-sum
 // interval — both are certified for the same truth, so the intersection is
 // too, and it is by construction never looser than estimate-summing alone.
 // In epoch mode "global" means the union of every agent's retained
-// sliding window.
+// sliding window. A thin shim over the batch core (queryGlobalBatch), so
+// single-key and batch answers cannot diverge.
 func (c *Collector) QueryWithError(key uint64) (est, mpe uint64) {
 	c.queries.Add(1)
-	return c.queryGlobal(key)
-}
-
-// queryGlobal is the shared global-query body: estimate-sum, intersected
-// with the merged view when one is maintained.
-func (c *Collector) queryGlobal(key uint64) (est, mpe uint64) {
-	est, mpe = c.queryEstimateSum(key)
-	if c.global == nil {
-		return est, mpe
-	}
-	c.globalMu.Lock()
-	ge, gm := c.global.QueryWithError(key)
-	c.globalMu.Unlock()
-	return intersectIntervals(est, mpe, ge, gm)
+	keys := [1]uint64{key}
+	var e, m [1]uint64
+	c.queryGlobalBatch(keys[:], 0, e[:], m[:])
+	return e[0], m[0]
 }
 
 // QueryWindowWithError answers a global sliding-window query over the last
 // n sealed epochs, summing per-agent certified window answers. covered is
 // the widest epoch span any agent actually answered for (0 when the
 // collector is not in epoch mode or nothing is sealed yet; in cumulative
-// mode the answer degenerates to the all-time global interval).
+// mode the answer degenerates to the all-time global interval). A thin
+// shim over the batch core.
 func (c *Collector) QueryWindowWithError(key uint64, n int) (est, mpe uint64, covered int) {
 	c.queries.Add(1)
+	keys := [1]uint64{key}
+	var e, m [1]uint64
 	if c.cfg.Epoch <= 0 {
-		est, mpe = c.queryGlobal(key)
-		return est, mpe, 0
+		c.queryGlobalBatch(keys[:], 0, e[:], m[:])
+		return e[0], m[0], 0
 	}
-	for _, st := range c.snapshotAgents() {
-		e, m, ok := st.ring.QueryWindowWithError(key, n)
-		if !ok {
-			continue
-		}
-		est += e
-		mpe += m
-		if sealed := st.ring.Sealed(); sealed > covered {
-			if sealed > n {
-				sealed = n
-			}
-			covered = sealed
-		}
-	}
-	return est, mpe, covered
+	covered = c.estimateSumBatch(keys[:], n, e[:], m[:])
+	return e[0], m[0], covered
 }
 
 // intersectIntervals combines two certified intervals for the same truth:

@@ -1,0 +1,215 @@
+package netsum
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// TestExecuteBatchMatchesSingleKey pins the batch wire surface to the
+// single-key one: a 256-key Execute over the network must answer exactly
+// what per-key QueryWithError does against the same collector state.
+func TestExecuteBatchMatchesSingleKey(t *testing.T) {
+	c, err := NewCollector("127.0.0.1:0", CollectorConfig{
+		Spec: sketch.Spec{Lambda: 25, MemoryBytes: 256 << 10, Seed: 1},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	s := stream.IPTrace(40_000, 5)
+	feedAgents(t, c, s, 3)
+
+	keys := make([]uint64, 0, 256)
+	for _, it := range s.Items {
+		keys = append(keys, it.Key)
+		if len(keys) == 255 {
+			break
+		}
+	}
+	keys = append(keys, 1<<40) // one absent key
+
+	a, err := Dial(c.Addr(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	ans, err := a.Execute(query.Request{Kind: query.Point, Keys: keys})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !ans.Certified {
+		t.Error("collector answer not certified")
+	}
+	if len(ans.PerKey) != len(keys) {
+		t.Fatalf("PerKey length %d, want %d", len(ans.PerKey), len(keys))
+	}
+	truth := s.Truth()
+	for i, k := range keys {
+		est, mpe := c.QueryWithError(k)
+		pk := ans.PerKey[i]
+		if pk.Key != k || pk.Est != est || pk.Upper != est ||
+			pk.Lower != sketch.CertifiedLowerBound(est, mpe) {
+			t.Fatalf("key %d: wire batch %+v != direct (%d,%d)", k, pk, est, mpe)
+		}
+		if f := truth[k]; f > pk.Upper || pk.Lower > f {
+			t.Fatalf("key %d: truth %d outside [%d,%d]", k, f, pk.Lower, pk.Upper)
+		}
+	}
+}
+
+// TestExecuteRefusalKeepsConnection: a refused request answers msgExecErr
+// and the connection keeps serving — refusals are answers, not faults.
+func TestExecuteRefusalKeepsConnection(t *testing.T) {
+	c, err := NewCollector("127.0.0.1:0", CollectorConfig{
+		Spec: sketch.Spec{Lambda: 25, MemoryBytes: 64 << 10, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	a, err := Dial(c.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Record(7, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Agent-scoped window query against a cumulative collector: refused
+	// server-side (the request validates locally).
+	_, err = a.Execute(query.Request{Kind: query.Window, Keys: []uint64{7}, Window: 2, Agent: 1})
+	if err == nil || !strings.Contains(err.Error(), "epoch mode") {
+		t.Fatalf("agent-scoped query on cumulative collector err = %v, want epoch-mode refusal", err)
+	}
+	// Same connection still answers.
+	ans, err := a.Execute(query.Request{Kind: query.Point, Keys: []uint64{7}})
+	if err != nil {
+		t.Fatalf("Execute after refusal: %v", err)
+	}
+	if ans.PerKey[0].Est < 10 {
+		t.Errorf("estimate %d < exact 10", ans.PerKey[0].Est)
+	}
+	// Client-side validation never touches the wire.
+	if _, err := a.Execute(query.Request{Kind: query.Point}); !errors.Is(err, query.ErrNoKeys) {
+		t.Errorf("empty batch err = %v, want ErrNoKeys", err)
+	}
+}
+
+// TestExecuteTopKOverWire: the top-k kind travels the wire with certified
+// bounds, heaviest first.
+func TestExecuteTopKOverWire(t *testing.T) {
+	c, err := NewCollector("127.0.0.1:0", CollectorConfig{
+		Spec: sketch.Spec{Lambda: 25, MemoryBytes: 256 << 10, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	a, err := Dial(c.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for i := 0; i < 500; i++ {
+		a.Record(1, 3)
+		a.Record(2, 2)
+		a.Record(3, 1)
+	}
+	ans, err := a.Execute(query.Request{Kind: query.TopK, K: 2})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(ans.PerKey) != 2 || ans.PerKey[0].Key != 1 || ans.PerKey[1].Key != 2 {
+		t.Fatalf("top-2 = %+v, want keys 1,2", ans.PerKey)
+	}
+	if ans.PerKey[0].Lower > 1500 || ans.PerKey[0].Upper < 1500 {
+		t.Errorf("key 1 interval [%d,%d] misses exact 1500",
+			ans.PerKey[0].Lower, ans.PerKey[0].Upper)
+	}
+}
+
+// TestV1AgentBackCompat simulates an old (protocol v1) agent speaking raw
+// frames — hello without a version, then the single-key v1 query — against
+// a current collector. The version bump must not strand deployed agents.
+func TestV1AgentBackCompat(t *testing.T) {
+	c, err := NewCollector("127.0.0.1:0", CollectorConfig{
+		Spec: sketch.Spec{Lambda: 25, MemoryBytes: 64 << 10, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	conn, err := net.Dial("tcp", c.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	// v1 hello: agent ID only, no version field.
+	if err := writeFrame(bw, msgHello, appendUvarints(nil, 42)); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(bw, msgBatch, encodeBatch([]Update{{Key: 5, Value: 123}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(bw, msgQuery, appendUvarints(nil, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != msgQueryResp {
+		t.Fatalf("v1 query answered with frame type %d", typ)
+	}
+	u := &uvarintReader{buf: payload}
+	gotKey, _ := u.next()
+	est, _ := u.next()
+	mpe, _ := u.next()
+	if gotKey != 5 || est < 123 || sketch.CertifiedLowerBound(est, mpe) > 123 {
+		t.Errorf("v1 answer key=%d [%d,%d] misses exact 123",
+			gotKey, sketch.CertifiedLowerBound(est, mpe), est)
+	}
+}
+
+// TestRequestAnswerRoundTrip pins the wire codec itself.
+func TestRequestAnswerRoundTrip(t *testing.T) {
+	req := query.Request{Kind: query.Window, Keys: []uint64{1, 9, 9, 1 << 50}, Window: 7, Agent: 3}
+	got, err := decodeRequest(encodeRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != req.Kind || got.Window != req.Window || got.Agent != req.Agent ||
+		len(got.Keys) != len(req.Keys) || got.Keys[3] != req.Keys[3] {
+		t.Errorf("request round trip: got %+v, want %+v", got, req)
+	}
+	ans := query.Answer{
+		PerKey:     []query.Estimate{{Key: 9, Est: 100, Lower: 80, Upper: 100}},
+		Coverage:   4,
+		Generation: 12,
+		Source:     "collector+merged",
+		Certified:  true,
+	}
+	back, err := decodeAnswer(encodeAnswer(ans))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Coverage != 4 || back.Generation != 12 || back.Source != ans.Source ||
+		!back.Certified || back.PerKey[0] != ans.PerKey[0] {
+		t.Errorf("answer round trip: got %+v, want %+v", back, ans)
+	}
+}

@@ -212,6 +212,15 @@ func feedAgents(t *testing.T, c *Collector, s *stream.Stream, agents int) {
 	wg.Wait()
 }
 
+// estimateSum reads one key's estimate-sum composition through the batch
+// core, for comparing against the merged-view intersection.
+func estimateSum(c *Collector, key uint64) (est, mpe uint64) {
+	keys := [1]uint64{key}
+	var e, m [1]uint64
+	c.estimateSumBatch(keys[:], 0, e[:], m[:])
+	return e[0], m[0]
+}
+
 // TestMergedViewNoLooserThanEstimateSum is the tentpole acceptance
 // property: with a Mergeable variant the collector's certified interval
 // must contain the truth AND be no looser than the estimate-sum
@@ -234,7 +243,7 @@ func TestMergedViewNoLooserThanEstimateSum(t *testing.T) {
 
 	looser, violations, checked := 0, 0, 0
 	for key, f := range s.Truth() {
-		sumEst, sumMpe := c.queryEstimateSum(key)
+		sumEst, sumMpe := estimateSum(c, key)
 		est, mpe := c.QueryWithError(key)
 		if f > est || sketch.CertifiedLowerBound(est, mpe) > f {
 			violations++
@@ -273,7 +282,7 @@ func TestEstimateSumFallback(t *testing.T) {
 	feedAgents(t, c, s, 2)
 	checked := 0
 	for key, f := range s.Truth() {
-		sumEst, sumMpe := c.queryEstimateSum(key)
+		sumEst, sumMpe := estimateSum(c, key)
 		est, mpe := c.QueryWithError(key)
 		if est != sumEst || mpe != sumMpe {
 			t.Fatalf("fallback answer (%d,%d) differs from estimate-sum (%d,%d)", est, mpe, sumEst, sumMpe)

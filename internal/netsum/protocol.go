@@ -22,12 +22,28 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/query"
 	"repro/internal/stream"
 )
 
+// ProtocolVersion is the wire protocol generation this package speaks.
+// Version 2 added the batched exec frames (msgExecQuery/msgExecResp/
+// msgExecErr) carrying whole query.Request/query.Answer batches in one
+// round trip, and extended msgHello with the agent's version.
+//
+// Compatibility rule: collectors accept agents of any older version — v1
+// agents never send exec frames and ignore the hello extension, so every
+// frame they produce still decodes — but a v2 agent's batch queries need a
+// v2 collector (an old collector drops the connection on the unknown
+// frame type).
+const ProtocolVersion = 2
+
 // Message types.
 const (
-	// msgHello announces an agent: payload is agentID uvarint.
+	// msgHello announces an agent: payload is agentID uvarint, optionally
+	// followed by the agent's protocol version (absent = version 1; the
+	// collector ignores trailing bytes it does not understand, and so did
+	// v1 collectors, which is what makes the extension compatible).
 	msgHello = byte(iota + 1)
 	// msgBatch carries updates: uvarint count, then count × (key, value)
 	// uvarint pairs.
@@ -45,6 +61,18 @@ const (
 	msgWindowQuery
 	// msgWindowResp answers: key, epochs actually covered, estimate, MPE.
 	msgWindowResp
+	// msgExecQuery (v2) carries one typed query.Request: kind, agent,
+	// window, k, key count, then the packed keys — N point or window
+	// queries in one round trip.
+	msgExecQuery
+	// msgExecResp (v2) carries the matching query.Answer: flags (bit 0 =
+	// certified), coverage, generation, source string, estimate count,
+	// then count × (key, est, lower).
+	msgExecResp
+	// msgExecErr (v2) reports a refused exec request: a human-readable
+	// message (the request was decoded but could not be answered — e.g.
+	// top-k without a merged view, or a validation failure).
+	msgExecErr
 )
 
 // maxFrame bounds a frame's payload to keep malicious or corrupt peers
@@ -117,6 +145,124 @@ func (u *uvarintReader) next() (uint64, error) {
 	}
 	u.off += n
 	return v, nil
+}
+
+// encodeRequest packs a typed query request into a msgExecQuery payload.
+func encodeRequest(req query.Request) []byte {
+	payload := appendUvarints(nil, uint64(req.Kind), req.Agent,
+		uint64(req.Window), uint64(req.K), uint64(len(req.Keys)))
+	return appendUvarints(payload, req.Keys...)
+}
+
+// decodeRequest unpacks a msgExecQuery payload. Validation is the
+// executor's job — the wire layer only guards against malformed framing.
+func decodeRequest(payload []byte) (query.Request, error) {
+	u := &uvarintReader{buf: payload}
+	var req query.Request
+	kind, err := u.next()
+	if err != nil {
+		return req, err
+	}
+	req.Kind = query.Kind(kind)
+	if req.Agent, err = u.next(); err != nil {
+		return req, err
+	}
+	window, err := u.next()
+	if err != nil {
+		return req, err
+	}
+	req.Window = int(window)
+	k, err := u.next()
+	if err != nil {
+		return req, err
+	}
+	req.K = int(k)
+	count, err := u.next()
+	if err != nil {
+		return req, err
+	}
+	if count > query.MaxBatchKeys {
+		return req, fmt.Errorf("netsum: exec request with %d keys exceeds batch limit %d",
+			count, query.MaxBatchKeys)
+	}
+	if count > 0 {
+		req.Keys = make([]uint64, count)
+		for i := range req.Keys {
+			if req.Keys[i], err = u.next(); err != nil {
+				return req, err
+			}
+		}
+	}
+	return req, nil
+}
+
+// encodeAnswer packs a typed answer into a msgExecResp payload. Upper
+// always equals Est on this repository's surfaces (never-underestimating
+// sketches), so only (key, est, lower) travel per estimate.
+func encodeAnswer(ans query.Answer) []byte {
+	var flags uint64
+	if ans.Certified {
+		flags |= 1
+	}
+	payload := appendUvarints(nil, flags, uint64(ans.Coverage), ans.Generation,
+		uint64(len(ans.Source)))
+	payload = append(payload, ans.Source...)
+	payload = appendUvarints(payload, uint64(len(ans.PerKey)))
+	for _, e := range ans.PerKey {
+		payload = appendUvarints(payload, e.Key, e.Est, e.Lower)
+	}
+	return payload
+}
+
+// decodeAnswer unpacks a msgExecResp payload.
+func decodeAnswer(payload []byte) (query.Answer, error) {
+	u := &uvarintReader{buf: payload}
+	var ans query.Answer
+	flags, err := u.next()
+	if err != nil {
+		return ans, err
+	}
+	ans.Certified = flags&1 != 0
+	coverage, err := u.next()
+	if err != nil {
+		return ans, err
+	}
+	ans.Coverage = int(coverage)
+	if ans.Generation, err = u.next(); err != nil {
+		return ans, err
+	}
+	srcLen, err := u.next()
+	if err != nil {
+		return ans, err
+	}
+	if srcLen > 256 || int(srcLen) > len(u.buf)-u.off {
+		return ans, fmt.Errorf("netsum: implausible answer source length %d", srcLen)
+	}
+	ans.Source = string(u.buf[u.off : u.off+int(srcLen)])
+	u.off += int(srcLen)
+	count, err := u.next()
+	if err != nil {
+		return ans, err
+	}
+	if count > query.MaxBatchKeys {
+		return ans, fmt.Errorf("netsum: exec answer with %d estimates exceeds batch limit %d",
+			count, query.MaxBatchKeys)
+	}
+	ans.PerKey = make([]query.Estimate, count)
+	for i := range ans.PerKey {
+		e := &ans.PerKey[i]
+		if e.Key, err = u.next(); err != nil {
+			return ans, err
+		}
+		if e.Est, err = u.next(); err != nil {
+			return ans, err
+		}
+		if e.Lower, err = u.next(); err != nil {
+			return ans, err
+		}
+		e.Upper = e.Est
+	}
+	return ans, nil
 }
 
 // encodeBatch packs updates into a msgBatch payload.

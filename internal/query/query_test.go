@@ -1,0 +1,142 @@
+package query_test
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/sketch"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		req  query.Request
+		want error
+	}{
+		{"point ok", query.Request{Kind: query.Point, Keys: []uint64{1}}, nil},
+		{"window ok", query.Request{Kind: query.Window, Keys: []uint64{1, 2}, Window: 8}, nil},
+		{"topk ok", query.Request{Kind: query.TopK, K: 10}, nil},
+		{"topk windowed ok", query.Request{Kind: query.TopK, K: 10, Window: 4}, nil},
+		{"agent window ok", query.Request{Kind: query.Window, Keys: []uint64{1}, Window: 1, Agent: 7}, nil},
+		{"zero kind", query.Request{Keys: []uint64{1}}, query.ErrBadKind},
+		{"junk kind", query.Request{Kind: query.Kind(99), Keys: []uint64{1}}, query.ErrBadKind},
+		{"point no keys", query.Request{Kind: query.Point}, query.ErrNoKeys},
+		{"window no keys", query.Request{Kind: query.Window, Window: 3}, query.ErrNoKeys},
+		{"too many keys", query.Request{Kind: query.Point, Keys: make([]uint64, query.MaxBatchKeys+1)}, query.ErrTooManyKeys},
+		{"max keys ok", query.Request{Kind: query.Point, Keys: make([]uint64, query.MaxBatchKeys)}, nil},
+		{"window zero span", query.Request{Kind: query.Window, Keys: []uint64{1}}, query.ErrBadWindow},
+		{"window huge span", query.Request{Kind: query.Window, Keys: []uint64{1}, Window: query.MaxWindow + 1}, query.ErrBadWindow},
+		{"topk zero k", query.Request{Kind: query.TopK}, query.ErrBadK},
+		{"topk huge k", query.Request{Kind: query.TopK, K: query.MaxTopK + 1}, query.ErrBadK},
+		{"topk bad window", query.Request{Kind: query.TopK, K: 5, Window: -1}, query.ErrBadWindow},
+		{"point agent scoped", query.Request{Kind: query.Point, Keys: []uint64{1}, Agent: 3}, query.ErrAgentScope},
+		{"topk agent scoped", query.Request{Kind: query.TopK, K: 5, Agent: 3}, query.ErrAgentScope},
+	}
+	for _, c := range cases {
+		err := c.req.Validate()
+		if c.want == nil && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if c.want != nil && !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestKindJSONRoundTrip(t *testing.T) {
+	for _, k := range []query.Kind{query.Point, query.Window, query.TopK} {
+		data, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		var back query.Kind
+		if err := json.Unmarshal(data, &back); err != nil || back != k {
+			t.Errorf("%v round-trips to %v (err %v) via %s", k, back, err, data)
+		}
+	}
+	var k query.Kind
+	if err := json.Unmarshal([]byte(`"window"`), &k); err != nil || k != query.Window {
+		t.Errorf(`"window" decodes to %v (err %v)`, k, err)
+	}
+	if err := json.Unmarshal([]byte(`1`), &k); err != nil || k != query.Point {
+		t.Errorf("numeric 1 decodes to %v (err %v)", k, err)
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &k); err == nil {
+		t.Error("bogus kind accepted")
+	}
+	if _, err := json.Marshal(query.Kind(42)); err == nil {
+		t.Error("unknown kind marshaled")
+	}
+}
+
+func TestRequestJSONShape(t *testing.T) {
+	// The documented /v2/query request shape must decode into the typed
+	// request verbatim.
+	raw := `{"kind":"window","keys":[3,1,3],"window":4,"agent":9}`
+	var req query.Request
+	if err := json.Unmarshal([]byte(raw), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Kind != query.Window || len(req.Keys) != 3 || req.Keys[2] != 3 ||
+		req.Window != 4 || req.Agent != 9 {
+		t.Errorf("decoded %+v from %s", req, raw)
+	}
+}
+
+func TestEstimatesFrom(t *testing.T) {
+	keys := []uint64{10, 11}
+	est := []uint64{100, 5}
+	mpe := []uint64{30, 9} // second interval clamps at 0
+	got := query.EstimatesFrom(keys, est, mpe)
+	want := []query.Estimate{
+		{Key: 10, Est: 100, Lower: 70, Upper: 100},
+		{Key: 11, Est: 5, Lower: 0, Upper: 5},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("EstimatesFrom[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	uncertified := query.EstimatesFrom(keys, est, nil)
+	if uncertified[0].Lower != 100 || uncertified[0].Upper != 100 {
+		t.Errorf("uncertified estimate = %+v, want degenerate interval", uncertified[0])
+	}
+}
+
+func TestTopKOf(t *testing.T) {
+	kvs := []sketch.KV{{Key: 3, Est: 5}, {Key: 1, Est: 9}, {Key: 2, Est: 5}, {Key: 4, Est: 1}}
+	got := query.TopKOf(kvs, 3)
+	if len(got) != 3 || got[0].Key != 1 || got[1].Key != 2 || got[2].Key != 3 {
+		t.Errorf("TopKOf = %+v, want keys 1,2,3 (heaviest first, key tie-break)", got)
+	}
+	if kvs[0].Key != 3 {
+		t.Error("TopKOf mutated its input")
+	}
+	if all := query.TopKOf(kvs, 0); len(all) != len(kvs) {
+		t.Errorf("k=0 returned %d entries, want all %d", len(all), len(kvs))
+	}
+}
+
+// TestRequestsAreValueSafe: requests and answers are plain values — two
+// goroutines validating and marshaling the same request must never race
+// (run under -race in CI explicitly for this package).
+func TestRequestsAreValueSafe(t *testing.T) {
+	req := query.Request{Kind: query.Window, Keys: []uint64{1, 2, 3}, Window: 4}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := req.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+			if _, err := json.Marshal(req); err != nil {
+				t.Errorf("Marshal: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}

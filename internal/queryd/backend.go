@@ -1,10 +1,12 @@
 // Package queryd is the query-serving subsystem: an HTTP/JSON server that
 // fronts a measurement backend — a netsum.Collector aggregating many
-// agents, or a standalone registry-built sketch — with endpoints for point
-// estimates carrying certified bounds, heavy-hitter top-k, sliding-window
-// queries against the epoch ring, and status. Results flow through an
-// epoch-aware cache (Cache) and state is made durable through checkpoint
-// files (WriteCheckpoint) built on sketch.Snapshotter.
+// agents, or a standalone registry-built sketch — with the unified typed
+// query plane (internal/query): batched point estimates carrying certified
+// bounds, heavy-hitter top-k, and sliding-window queries, served through
+// /v2/query and the per-key v1 endpoints (thin shims over the same
+// Execute). Results flow through an epoch-aware cache (Cache) and state is
+// made durable through checkpoint files (WriteCheckpoint) built on
+// sketch.Snapshotter.
 package queryd
 
 import (
@@ -12,27 +14,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/epoch"
 	"repro/internal/netsum"
+	"repro/internal/query"
 	"repro/internal/sketch"
 	"repro/internal/stream"
 )
-
-// Result is one answer from a backend. When Certified, truth lies in
-// [Est−MPE, Est]; otherwise Est is a best-effort estimate whose error the
-// sketch cannot bound per query. Covered is the sealed-epoch span a window
-// query actually answered for (0 for cumulative, all-time answers).
-type Result struct {
-	Est       uint64
-	MPE       uint64
-	Certified bool
-	Covered   int
-}
 
 // Status describes a backend for /v1/status.
 type Status struct {
@@ -45,20 +36,15 @@ type Status struct {
 	Queries    uint64 `json:"queries"`
 }
 
-// Backend is the query surface the server fronts. Implementations must be
-// safe for concurrent use — the HTTP server issues queries from many
-// goroutines.
+// Backend is the query surface the server fronts: one typed batch executor
+// plus the cache-contract metadata. Implementations must be safe for
+// concurrent use — the HTTP server issues queries from many goroutines.
 type Backend interface {
-	// Point answers a point query: the key's value sum over the backend's
-	// visible history (all time, or the retained sliding window in epoch
-	// mode).
-	Point(key uint64) Result
-	// Window answers over the last n sealed epochs; cumulative backends
-	// degenerate to Point with Covered 0.
-	Window(key uint64, n int) Result
-	// TopK returns up to k tracked heavy hitters, heaviest first, or an
-	// error naming why the backend cannot enumerate them.
-	TopK(k int) ([]sketch.KV, error)
+	// Execute answers one typed batch request under a single state
+	// snapshot; every HTTP endpoint (v1 single-key and v2 batch alike) is
+	// a shim over it. Refusals (validation, missing capabilities, unknown
+	// agents) are returned as errors.
+	Execute(query.Request) (query.Answer, error)
 	// Generation is the sealed-set generation answers derive from; it
 	// advances exactly when a window seals and stays 0 for cumulative
 	// backends.
@@ -87,14 +73,10 @@ type Ingester interface {
 	Ingest(items []stream.Item)
 }
 
-// AgentQuerier is implemented by backends that can scope a window query to
-// one measurement agent.
-type AgentQuerier interface {
-	AgentWindow(agentID, key uint64, n int) (Result, error)
-}
-
 // CollectorBackend fronts a netsum.Collector: global answers composed
-// across every agent, with certified bounds.
+// across every agent, with certified bounds. Execute delegates straight to
+// the collector's batch core — the same one the wire protocol's exec
+// frames use.
 type CollectorBackend struct {
 	C *netsum.Collector
 	// Algo names the collector's sketch variant for Status and checkpoint
@@ -102,34 +84,9 @@ type CollectorBackend struct {
 	Algo string
 }
 
-// Point answers the global certified query.
-func (b CollectorBackend) Point(key uint64) Result {
-	est, mpe := b.C.QueryWithError(key)
-	return Result{Est: est, MPE: mpe, Certified: true}
-}
-
-// Window answers the global sliding-window query.
-func (b CollectorBackend) Window(key uint64, n int) Result {
-	est, mpe, covered := b.C.QueryWindowWithError(key, n)
-	return Result{Est: est, MPE: mpe, Certified: true, Covered: covered}
-}
-
-// TopK enumerates the merged global view's tracked keys, heaviest first.
-func (b CollectorBackend) TopK(k int) ([]sketch.KV, error) {
-	kvs, err := b.C.TrackedGlobal()
-	if err != nil {
-		return nil, err
-	}
-	return trimTopK(kvs, k), nil
-}
-
-// AgentWindow scopes a window query to one agent's epoch ring.
-func (b CollectorBackend) AgentWindow(agentID, key uint64, n int) (Result, error) {
-	est, mpe, covered, err := b.C.QueryAgentWindow(agentID, key, n)
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{Est: est, MPE: mpe, Certified: true, Covered: covered}, nil
+// Execute answers the typed batch request from the collector's global view.
+func (b CollectorBackend) Execute(req query.Request) (query.Answer, error) {
+	return b.C.Execute(req)
 }
 
 // Generation is the collector-wide seal count.
@@ -228,77 +185,72 @@ func (b *SketchBackend) Ingest(items []stream.Item) {
 	b.updates.Add(uint64(len(items)))
 }
 
-// Point answers for the key's visible history: all time in cumulative
-// mode, the retained sliding window in epoch mode.
-func (b *SketchBackend) Point(key uint64) Result {
-	b.queries.Add(1)
+// Execute answers the typed batch request. Epoch mode delegates to the
+// ring's Execute (one sealed-set snapshot for the whole batch); cumulative
+// mode answers every key under a single read-lock acquisition through the
+// sketch's native batch path, so a 256-key batch costs one lock round-trip
+// (or one per shard, self-synced) instead of 256. Window requests against
+// a cumulative backend degenerate to Point with Coverage 0, mirroring the
+// collector.
+func (b *SketchBackend) Execute(req query.Request) (query.Answer, error) {
+	if err := req.Validate(); err != nil {
+		return query.Answer{}, err
+	}
+	b.queries.Add(uint64(1))
 	if b.ring != nil {
-		return b.windowResult(key, b.ring.Capacity())
+		return b.ring.Execute(req)
+	}
+	if req.Agent != 0 {
+		return query.Answer{}, errors.New("queryd: standalone backends have no agents to scope to")
+	}
+	ans := query.Answer{Source: "sketch"}
+	if req.Kind == query.TopK {
+		return b.executeTopK(req, ans)
+	}
+	_, bounded := b.sk.(sketch.ErrorBounded)
+	est := make([]uint64, len(req.Keys))
+	var mpe []uint64
+	if bounded {
+		mpe = make([]uint64, len(req.Keys))
 	}
 	if !b.selfSynced {
 		b.mu.RLock()
-		defer b.mu.RUnlock()
 	}
-	if eb, ok := b.sk.(sketch.ErrorBounded); ok {
-		est, mpe := eb.QueryWithError(key)
-		return Result{Est: est, MPE: mpe, Certified: true}
-	}
-	return Result{Est: b.sk.Query(key)}
-}
-
-// Window answers over the last n sealed epochs; cumulative mode
-// degenerates to Point with Covered 0.
-func (b *SketchBackend) Window(key uint64, n int) Result {
-	if b.ring == nil {
-		return b.Point(key)
-	}
-	b.queries.Add(1)
-	return b.windowResult(key, n)
-}
-
-// windowResult reads the ring, certifying when the sketch can.
-func (b *SketchBackend) windowResult(key uint64, n int) Result {
-	if est, mpe, ok := b.ring.QueryWindowWithError(key, n); ok {
-		return b.covered(Result{Est: est, MPE: mpe, Certified: true}, n)
-	}
-	return b.covered(Result{Est: b.ring.QueryWindow(key, n)}, n)
-}
-
-// covered clamps the reported span to what the ring has actually sealed.
-func (b *SketchBackend) covered(r Result, n int) Result {
-	if sealed := b.ring.Sealed(); sealed < n {
-		r.Covered = sealed
-	} else {
-		r.Covered = n
-	}
-	return r
-}
-
-// TopK enumerates tracked heavy hitters, heaviest first: the sketch's own
-// tracked set in cumulative mode, the merged sealed view in epoch mode.
-func (b *SketchBackend) TopK(k int) ([]sketch.KV, error) {
-	b.queries.Add(1)
-	if b.ring != nil {
-		kvs, ok := b.ring.TrackedWindow(b.ring.Capacity())
-		if !ok {
-			if b.ring.Sealed() == 0 {
-				// Nothing sealed yet: an empty window, not a missing
-				// capability — the first seal will populate it.
-				return nil, nil
-			}
-			return nil, fmt.Errorf("queryd: %q cannot enumerate tracked keys over the sealed window", b.algo)
-		}
-		return trimTopK(kvs, k), nil
-	}
+	sketch.QueryBatch(b.sk, req.Keys, est, mpe)
 	if !b.selfSynced {
-		b.mu.RLock()
-		defer b.mu.RUnlock()
+		b.mu.RUnlock()
 	}
+	ans.Certified = bounded
+	ans.PerKey = query.EstimatesFrom(req.Keys, est, mpe)
+	return ans, nil
+}
+
+// executeTopK enumerates tracked heavy hitters, heaviest first, with each
+// key's interval read under the same lock hold.
+func (b *SketchBackend) executeTopK(req query.Request, ans query.Answer) (query.Answer, error) {
 	hh, ok := b.sk.(sketch.HeavyHitterReporter)
 	if !ok {
-		return nil, fmt.Errorf("queryd: %q does not report tracked keys", b.algo)
+		return query.Answer{}, fmt.Errorf("queryd: %q does not report tracked keys", b.algo)
 	}
-	return trimTopK(hh.Tracked(), k), nil
+	_, bounded := b.sk.(sketch.ErrorBounded)
+	if !b.selfSynced {
+		b.mu.RLock()
+		defer b.mu.RUnlock()
+	}
+	kvs := query.TopKOf(hh.Tracked(), req.K)
+	keys := make([]uint64, len(kvs))
+	for i, kv := range kvs {
+		keys[i] = kv.Key
+	}
+	est := make([]uint64, len(keys))
+	var mpe []uint64
+	if bounded {
+		mpe = make([]uint64, len(keys))
+	}
+	sketch.QueryBatch(b.sk, keys, est, mpe)
+	ans.Certified = bounded
+	ans.PerKey = query.EstimatesFrom(keys, est, mpe)
+	return ans, nil
 }
 
 // Generation is the ring's seal count (0 in cumulative mode).
@@ -361,21 +313,4 @@ func (b *SketchBackend) Status() Status {
 		Updates:    b.updates.Load(),
 		Queries:    b.queries.Load(),
 	}
-}
-
-// trimTopK sorts tracked keys heaviest-first and keeps the top k,
-// tie-breaking on key for deterministic listings.
-func trimTopK(kvs []sketch.KV, k int) []sketch.KV {
-	out := make([]sketch.KV, len(kvs))
-	copy(out, kvs)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Est != out[j].Est {
-			return out[i].Est > out[j].Est
-		}
-		return out[i].Key < out[j].Key
-	})
-	if k > 0 && len(out) > k {
-		out = out[:k]
-	}
-	return out
 }

@@ -136,6 +136,67 @@ func (c *Cache) Do(key string, gen uint64, immutable bool, compute func() (any, 
 	return f.val, false, f.err
 }
 
+// LookupMany probes every key at generation gen without computing
+// anything — the probe half of the batch path, which collapses all of a
+// request's misses into one backend call instead of singleflighting them
+// individually. The whole batch is served under one mutex hold, so cache
+// probing never undoes the lock amortization the batch exists for. Returns
+// one value per key, nil marking a miss; counts hits and misses, dropping
+// expired and superseded entries on the way.
+func (c *Cache) LookupMany(keys []string, gen uint64) []any {
+	out := make([]any, len(keys))
+	suffix := "@" + strconv.FormatUint(gen, 10)
+	now := c.clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen > c.gen {
+		c.invalidate(gen)
+	}
+	for i, key := range keys {
+		el, ok := c.entries[key+suffix]
+		if ok {
+			e := el.Value.(*cacheEntry)
+			if e.expires.IsZero() || e.expires.After(now) {
+				c.hits++
+				c.lru.MoveToFront(el)
+				out[i] = e.val
+				continue
+			}
+			c.drop(el)
+		}
+		c.misses++
+	}
+	return out
+}
+
+// StoreMany caches computed answers under (keys[i], gen) — the fill half
+// of the batch path, one mutex hold for the whole batch. immutable follows
+// the same regimes as Do; existing entries are replaced.
+func (c *Cache) StoreMany(keys []string, gen uint64, immutable bool, vals []any) {
+	suffix := "@" + strconv.FormatUint(gen, 10)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen > c.gen {
+		c.invalidate(gen)
+	}
+	var expires time.Time
+	if !immutable {
+		expires = c.clock().Add(c.ttl)
+	}
+	for i, key := range keys {
+		genKey := key + suffix
+		if el, ok := c.entries[genKey]; ok {
+			c.drop(el)
+		}
+		e := &cacheEntry{key: genKey, gen: gen, val: vals[i], expires: expires}
+		c.entries[genKey] = c.lru.PushFront(e)
+	}
+	for c.lru.Len() > c.capacity {
+		c.evictions++
+		c.drop(c.lru.Back())
+	}
+}
+
 // invalidate advances the observed generation and drops every entry from
 // older generations wholesale — the new sealed set makes them
 // unreachable, so holding them would only squat LRU capacity. Callers

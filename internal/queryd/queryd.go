@@ -10,12 +10,14 @@ import (
 	"time"
 
 	"repro/internal/netsum"
+	"repro/internal/query"
 	"repro/internal/sketch"
 	"repro/internal/stream"
 )
 
 // Config tunes the server. The zero value is usable: a 4096-entry cache,
-// 250ms TTL for live answers, and no checkpointing.
+// 250ms TTL for live answers, query-plane batch limits, and no
+// checkpointing.
 type Config struct {
 	// CacheCapacity bounds the result cache (entries); ≤ 0 means 4096.
 	CacheCapacity int
@@ -23,6 +25,10 @@ type Config struct {
 	// ≤ 0 means 250ms. Sealed-window answers ignore it — they are immutable
 	// and cache until their generation is superseded.
 	CacheTTL time.Duration
+	// MaxBatch caps the keys of one /v2/query request; ≤ 0 means the
+	// query-plane-wide query.MaxBatchKeys. Values above that are clamped —
+	// the shared limit protects every surface identically.
+	MaxBatch int
 	// CheckpointPath, when set with CheckpointEvery, periodically
 	// checkpoints the backend (it must implement Checkpointer) and writes a
 	// final checkpoint on Close.
@@ -39,6 +45,8 @@ type Config struct {
 
 // Server is the HTTP/JSON query server: it fronts a Backend with
 //
+//	POST /v2/query                one typed query.Request batch — N keys,
+//	                              per-key certified bounds, one round trip
 //	GET  /v1/point?key=K          point estimate with certified bounds
 //	GET  /v1/window?key=K&n=N     sliding-window query over sealed epochs
 //	     (&agent=ID scopes to one agent, where the backend supports it)
@@ -47,8 +55,11 @@ type Config struct {
 //	POST /v1/insert               standalone ingest: {"items":[{"key","value"}]}
 //	POST /v1/checkpoint           checkpoint on demand
 //
-// Every query flows through the epoch-aware cache; see Cache for the
-// freshness regimes.
+// The v1 endpoints are single-key shims over the same Execute the batch
+// endpoint uses. Every query flows through the epoch-aware cache — v1
+// responses whole, v2 batches per key, so partial hits only compute the
+// misses. Errors are a consistent JSON envelope:
+// {"error":{"code":"...","message":"..."}}.
 type Server struct {
 	b     Backend
 	cfg   Config
@@ -72,6 +83,9 @@ func New(b Backend, cfg Config) (*Server, error) {
 	if cfg.CacheTTL <= 0 {
 		cfg.CacheTTL = 250 * time.Millisecond
 	}
+	if cfg.MaxBatch <= 0 || cfg.MaxBatch > query.MaxBatchKeys {
+		cfg.MaxBatch = query.MaxBatchKeys
+	}
 	s := &Server{
 		b:     b,
 		cfg:   cfg,
@@ -90,17 +104,37 @@ func New(b Backend, cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("queryd: checkpointing configured but impossible: %w", err)
 		}
 	}
-	s.mux.HandleFunc("GET /v1/point", s.handlePoint)
-	s.mux.HandleFunc("GET /v1/window", s.handleWindow)
-	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
-	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
-	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
-	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	// Handlers register without method patterns so that method mismatches
+	// get the same JSON error envelope as every other failure, instead of
+	// the mux's plain-text 405.
+	s.mux.HandleFunc("/v2/query", method("POST", s.handleExec))
+	s.mux.HandleFunc("/v1/point", method("GET", s.handlePoint))
+	s.mux.HandleFunc("/v1/window", method("GET", s.handleWindow))
+	s.mux.HandleFunc("/v1/topk", method("GET", s.handleTopK))
+	s.mux.HandleFunc("/v1/status", method("GET", s.handleStatus))
+	s.mux.HandleFunc("/v1/insert", method("POST", s.handleInsert))
+	s.mux.HandleFunc("/v1/checkpoint", method("POST", s.handleCheckpoint))
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusNotFound, "not_found",
+			fmt.Errorf("no such endpoint %s", r.URL.Path))
+	})
 	if cfg.CheckpointPath != "" && cfg.CheckpointEvery > 0 {
 		s.wg.Add(1)
 		go s.checkpointLoop()
 	}
 	return s, nil
+}
+
+// method wraps a handler with a JSON 405 for every other HTTP method.
+func method(want string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != want {
+			httpError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+				fmt.Errorf("%s requires %s, got %s", r.URL.Path, want, r.Method))
+			return
+		}
+		h(w, r)
+	}
 }
 
 // Handler returns the HTTP handler to mount.
@@ -159,9 +193,9 @@ func (s *Server) checkpointLoop() {
 	}
 }
 
-// QueryResponse is the JSON body of point and window queries. When
-// Certified, truth lies in [Lower, Upper] = [Est−MPE, Est] for the history
-// the answer covers.
+// QueryResponse is the JSON body of v1 point and window queries. When
+// Certified, truth lies in [Lower, Upper] for the history the answer
+// covers; MPE is the certified error radius Upper − Lower.
 type QueryResponse struct {
 	Key       uint64 `json:"key"`
 	Est       uint64 `json:"est"`
@@ -200,6 +234,18 @@ type TopKResponse struct {
 
 func (r TopKResponse) withCached(c bool) any { r.Cached = c; return r }
 
+// ExecResponse is the JSON body of /v2/query: the typed Answer plus cache
+// observability. For point and window batches CachedKeys counts the keys
+// served from the per-key cache (the misses were computed in one backend
+// batch); for top-k, Cached reports a whole-answer hit.
+type ExecResponse struct {
+	query.Answer
+	CachedKeys int  `json:"cached_keys"`
+	Cached     bool `json:"cached"`
+}
+
+func (r ExecResponse) withCached(c bool) any { r.Cached = c; return r }
+
 // cacheable is implemented by response types so a cached copy can be
 // stamped without mutating the stored value.
 type cacheable interface{ withCached(bool) any }
@@ -218,58 +264,161 @@ type CheckpointStatus struct {
 	Error    string `json:"error,omitempty"`
 }
 
+// execEntry is one key's cached v2 answer: the estimate plus the answer
+// metadata needed to rebuild a response from hits alone.
+type execEntry struct {
+	est       query.Estimate
+	coverage  int
+	certified bool
+	source    string
+}
+
+// execCacheKey labels one key of a v2 batch in the result cache. Kind,
+// window, and agent are part of the identity: the same key means different
+// things under different scopes.
+func execCacheKey(req query.Request, key uint64) string {
+	return fmt.Sprintf("x/%d/%d/%d/%d", req.Kind, req.Agent, req.Window, key)
+}
+
+// handleExec serves POST /v2/query: one typed query.Request batch. Point
+// and window batches are cached per key under the generation-keyed cache,
+// so a request whose keys partially hit only computes the misses — and
+// computes them in a single backend batch, preserving the lock
+// amortization end to end. Top-k answers cache whole, like v1.
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	var req query.Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if err := req.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	if len(req.Keys) > s.cfg.MaxBatch {
+		httpError(w, http.StatusBadRequest, "bad_request",
+			fmt.Errorf("batch of %d keys exceeds this server's limit of %d", len(req.Keys), s.cfg.MaxBatch))
+		return
+	}
+	if req.Kind == query.TopK {
+		s.serveCached(w, fmt.Sprintf("x/topk/%d/%d", req.K, req.Window), func(gen uint64) (any, error) {
+			ans, err := s.b.Execute(req)
+			if err != nil {
+				return nil, err
+			}
+			ans.Generation = gen
+			return ExecResponse{Answer: ans}, nil
+		})
+		return
+	}
+
+	gen := s.b.Generation()
+	epochal := s.b.Epochal()
+	resp := ExecResponse{Answer: query.Answer{
+		PerKey:     make([]query.Estimate, len(req.Keys)),
+		Generation: gen,
+		Certified:  true,
+	}}
+	cacheKeys := make([]string, len(req.Keys))
+	for i, k := range req.Keys {
+		cacheKeys[i] = execCacheKey(req, k)
+	}
+	cached := s.cache.LookupMany(cacheKeys, gen)
+	var missIdx []int
+	var missKeys []uint64
+	haveMeta := false
+	for i, v := range cached {
+		if v == nil {
+			missIdx = append(missIdx, i)
+			missKeys = append(missKeys, req.Keys[i])
+			continue
+		}
+		e := v.(execEntry)
+		resp.PerKey[i] = e.est
+		resp.CachedKeys++
+		resp.Certified = resp.Certified && e.certified
+		if !haveMeta {
+			resp.Coverage, resp.Source, haveMeta = e.coverage, e.source, true
+		}
+	}
+	if len(missKeys) > 0 {
+		sub := req
+		sub.Keys = missKeys
+		ans, err := s.b.Execute(sub)
+		if err != nil {
+			s.execError(w, err)
+			return
+		}
+		// The fresh batch's metadata wins: under one generation it agrees
+		// with every immutable cached entry, and for live (TTL) answers it
+		// is the most recent view.
+		resp.Coverage, resp.Source = ans.Coverage, ans.Source
+		resp.Certified = resp.Certified && ans.Certified
+		storeKeys := make([]string, len(missIdx))
+		storeVals := make([]any, len(missIdx))
+		for j, i := range missIdx {
+			e := ans.PerKey[j]
+			resp.PerKey[i] = e
+			storeKeys[j] = cacheKeys[i]
+			storeVals[j] = execEntry{
+				est:       e,
+				coverage:  ans.Coverage,
+				certified: ans.Certified,
+				source:    ans.Source,
+			}
+		}
+		s.cache.StoreMany(storeKeys, gen, epochal, storeVals)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 	key, err := parseUint(r, "key", true, 0)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	s.serveCached(w, fmt.Sprintf("p/%d", key), func(gen uint64) (any, error) {
-		return s.toResponse(key, s.b.Point(key), gen), nil
+		ans, err := s.b.Execute(query.Request{Kind: query.Point, Keys: []uint64{key}})
+		if err != nil {
+			return nil, err
+		}
+		return s.toResponse(ans, gen), nil
 	})
 }
 
 func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 	key, err := parseUint(r, "key", true, 0)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	n, err := parseUint(r, "n", false, 1)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
-	if n < 1 || n > 1<<20 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("window n=%d out of range [1, 2^20]", n))
-		return
-	}
+	req := query.Request{Kind: query.Window, Keys: []uint64{key}, Window: int(n)}
 	if agentStr := r.URL.Query().Get("agent"); agentStr != "" {
-		agent, err := strconv.ParseUint(agentStr, 10, 64)
+		req.Agent, err = strconv.ParseUint(agentStr, 10, 64)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("agent: %w", err))
+			httpError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("agent: %w", err))
 			return
 		}
-		aq, ok := s.b.(AgentQuerier)
-		if !ok {
-			httpError(w, http.StatusNotImplemented, errors.New("backend cannot scope queries to one agent"))
-			return
-		}
-		s.serveCached(w, fmt.Sprintf("wa/%d/%d/%d", agent, key, n), func(gen uint64) (any, error) {
-			res, err := aq.AgentWindow(agent, key, int(n))
-			if err != nil {
-				return nil, err
-			}
-			resp := s.toResponse(key, res, gen)
-			resp.Window = int(n)
-			resp.Agent = agent
-			return resp, nil
-		})
+	}
+	if err := req.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
-	s.serveCached(w, fmt.Sprintf("w/%d/%d", key, n), func(gen uint64) (any, error) {
-		resp := s.toResponse(key, s.b.Window(key, int(n)), gen)
+	s.serveCached(w, fmt.Sprintf("w/%d/%d/%d", req.Agent, key, n), func(gen uint64) (any, error) {
+		ans, err := s.b.Execute(req)
+		if err != nil {
+			return nil, err
+		}
+		resp := s.toResponse(ans, gen)
 		resp.Window = int(n)
+		resp.Agent = req.Agent
 		return resp, nil
 	})
 }
@@ -277,33 +426,30 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	k, err := parseUint(r, "k", false, 10)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
-	// Each returned item costs one backend point query (per-agent walk plus
-	// merged-view read on collectors), so k is bounded well below the cache
-	// and tracked-set sizes; the composed answer is cached like any other.
-	if k < 1 || k > 1024 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("k=%d out of range [1, 1024]", k))
+	// Each returned item carries a certified interval read under the same
+	// snapshot, so k is bounded well below the cache and tracked-set sizes;
+	// the composed answer is cached like any other.
+	if k < 1 || k > query.MaxTopK {
+		httpError(w, http.StatusBadRequest, "bad_request",
+			fmt.Errorf("k=%d out of range [1, %d]", k, query.MaxTopK))
 		return
 	}
 	s.serveCached(w, fmt.Sprintf("t/%d", k), func(gen uint64) (any, error) {
-		kvs, err := s.b.TopK(int(k))
+		ans, err := s.b.Execute(query.Request{Kind: query.TopK, K: int(k)})
 		if err != nil {
 			return nil, err
 		}
-		resp := TopKResponse{K: int(k), Items: make([]TopKItem, 0, len(kvs)), Generation: gen}
-		for _, kv := range kvs {
-			// Rank by the tracked estimate, report the point query's
-			// interval: for collectors it intersects the merged view with
-			// the estimate-sum composition, so it is never looser.
-			res := s.b.Point(kv.Key)
+		resp := TopKResponse{K: int(k), Items: make([]TopKItem, 0, len(ans.PerKey)), Generation: gen}
+		for _, e := range ans.PerKey {
 			resp.Items = append(resp.Items, TopKItem{
-				Key:       kv.Key,
-				Est:       res.Est,
-				MPE:       res.MPE,
-				Lower:     sketch.CertifiedLowerBound(res.Est, res.MPE),
-				Certified: res.Certified,
+				Key:       e.Key,
+				Est:       e.Est,
+				MPE:       e.Est - e.Lower,
+				Lower:     e.Lower,
+				Certified: ans.Certified,
 			})
 		}
 		return resp, nil
@@ -339,14 +485,14 @@ type insertRequest struct {
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	ing, ok := s.b.(Ingester)
 	if !ok {
-		httpError(w, http.StatusNotImplemented,
+		httpError(w, http.StatusNotImplemented, "unsupported",
 			errors.New("backend does not ingest over HTTP (collector backends ingest through the agent protocol)"))
 		return
 	}
 	var req insertRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding items: %w", err))
+		httpError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decoding items: %w", err))
 		return
 	}
 	items := make([]stream.Item, len(req.Items))
@@ -367,19 +513,19 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	cp, ok := s.b.(Checkpointer)
 	if !ok || s.cfg.CheckpointPath == "" {
-		httpError(w, http.StatusNotImplemented,
+		httpError(w, http.StatusNotImplemented, "unsupported",
 			errors.New("queryd: checkpointing not configured (backend support and -checkpoint path required)"))
 		return
 	}
 	if err := cp.CanCheckpoint(); err != nil {
-		httpError(w, http.StatusNotImplemented, err)
+		httpError(w, http.StatusNotImplemented, "unsupported", err)
 		return
 	}
 	start := time.Now()
 	if err := s.CheckpointNow(); err != nil {
 		// Support was verified above: what failed is the write itself, a
 		// retryable server-side condition, not a missing capability.
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, http.StatusInternalServerError, "internal", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -388,17 +534,18 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// toResponse shapes a backend Result, stamping the generation the request
-// was admitted under.
-func (s *Server) toResponse(key uint64, res Result, gen uint64) QueryResponse {
+// toResponse shapes a single-key Answer into the v1 response, stamping the
+// generation the request was admitted under.
+func (s *Server) toResponse(ans query.Answer, gen uint64) QueryResponse {
+	e := ans.PerKey[0]
 	return QueryResponse{
-		Key:        key,
-		Est:        res.Est,
-		MPE:        res.MPE,
-		Lower:      sketch.CertifiedLowerBound(res.Est, res.MPE),
-		Upper:      res.Est,
-		Certified:  res.Certified,
-		Covered:    res.Covered,
+		Key:        e.Key,
+		Est:        e.Est,
+		MPE:        e.Est - e.Lower,
+		Lower:      e.Lower,
+		Upper:      e.Upper,
+		Certified:  ans.Certified,
+		Covered:    ans.Coverage,
 		Generation: gen,
 	}
 }
@@ -414,14 +561,27 @@ func (s *Server) serveCached(w http.ResponseWriter, key string, compute func(gen
 	gen := s.b.Generation()
 	val, cached, err := s.cache.Do(key, gen, s.b.Epochal(), func() (any, error) { return compute(gen) })
 	if err != nil {
-		status := http.StatusNotImplemented
-		if errors.Is(err, netsum.ErrUnknownAgent) {
-			status = http.StatusNotFound
-		}
-		httpError(w, status, err)
+		s.execError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, val.(cacheable).withCached(cached))
+}
+
+// execError maps a backend refusal onto the JSON error envelope: requests
+// the query plane rejects are the client's fault, an unknown agent is a
+// missing resource, and everything else is a capability the backend does
+// not have.
+func (s *Server) execError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, netsum.ErrUnknownAgent):
+		httpError(w, http.StatusNotFound, "not_found", err)
+	case errors.Is(err, query.ErrBadKind) || errors.Is(err, query.ErrNoKeys) ||
+		errors.Is(err, query.ErrTooManyKeys) || errors.Is(err, query.ErrBadWindow) ||
+		errors.Is(err, query.ErrBadK) || errors.Is(err, query.ErrAgentScope):
+		httpError(w, http.StatusBadRequest, "bad_request", err)
+	default:
+		httpError(w, http.StatusNotImplemented, "unsupported", err)
+	}
 }
 
 func parseUint(r *http.Request, name string, required bool, def uint64) (uint64, error) {
@@ -447,6 +607,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// ErrorBody is the JSON error envelope every endpoint answers failures
+// with: {"error":{"code":"...","message":"..."}}. Codes are stable
+// machine-readable labels; messages are for humans.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries one error's code and message.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func httpError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: err.Error()}})
 }

@@ -12,11 +12,23 @@ import (
 	"time"
 
 	"repro/internal/netsum"
+	"repro/internal/query"
 	"repro/internal/queryd"
 	"repro/internal/sketch"
 	_ "repro/internal/sketch/all"
 	"repro/internal/stream"
 )
+
+// execPoint answers one key through the unified query plane, the surface
+// the per-key backend methods were folded into.
+func execPoint(t *testing.T, b queryd.Backend, key uint64) (est uint64, certified bool) {
+	t.Helper()
+	ans, err := b.Execute(query.Request{Kind: query.Point, Keys: []uint64{key}})
+	if err != nil {
+		t.Fatalf("point query for %d: %v", key, err)
+	}
+	return ans.PerKey[0].Est, ans.Certified
+}
 
 type manualTestClock struct {
 	mu  sync.Mutex
@@ -445,7 +457,7 @@ func TestRestoreRejectsCorruptSnapshotAtomically(t *testing.T) {
 	if err := dst.Restore(bytes.NewReader(trunc)); err == nil {
 		t.Fatal("truncated snapshot accepted")
 	}
-	if got := dst.Point(2).Est; got != 222 {
+	if got, _ := execPoint(t, dst, 2); got != 222 {
 		t.Errorf("failed restore corrupted live state: key 2 = %d, want 222", got)
 	}
 }
@@ -497,8 +509,8 @@ func TestShardedBackendConcurrentIngest(t *testing.T) {
 			for i := 0; i < perWriter; i++ {
 				b.Ingest([]stream.Item{{Key: uint64(i % 32), Value: 1}})
 				if i%16 == 0 {
-					b.Point(uint64(i % 32))
-					b.TopK(4)
+					b.Execute(query.Request{Kind: query.Point, Keys: []uint64{uint64(i % 32)}})
+					b.Execute(query.Request{Kind: query.TopK, K: 4})
 				}
 			}
 		}(w)
@@ -506,11 +518,11 @@ func TestShardedBackendConcurrentIngest(t *testing.T) {
 	wg.Wait()
 	var total uint64
 	for key := uint64(0); key < 32; key++ {
-		r := b.Point(key)
-		if !r.Certified {
+		est, certified := execPoint(t, b, key)
+		if !certified {
 			t.Fatalf("sharded backend lost certification for key %d", key)
 		}
-		total += r.Est
+		total += est
 	}
 	if want := uint64(writers * perWriter); total < want {
 		t.Errorf("estimates sum to %d, want ≥ %d (sharded never underestimates here)", total, want)
@@ -526,7 +538,8 @@ func TestShardedBackendConcurrentIngest(t *testing.T) {
 	if err := b2.Restore(bytes.NewReader(snap.Bytes())); err != nil {
 		t.Fatalf("sharded restore: %v", err)
 	}
-	if b2.Point(1).Est != b.Point(1).Est {
+	got, _ := execPoint(t, b2, 1)
+	if want, _ := execPoint(t, b, 1); got != want {
 		t.Error("sharded snapshot round trip diverged")
 	}
 }

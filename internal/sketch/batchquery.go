@@ -1,0 +1,49 @@
+package sketch
+
+// BatchQuerier is implemented by sketches with a native batch read path.
+// QueryBatch(keys, est, mpe) must produce exactly what per-key Query (and
+// QueryWithError, when mpe is requested) would: batching is a throughput
+// optimization — amortized hashing for runs of equal keys, one lock
+// round-trip per shard per batch, hoisted instrumentation — never a
+// semantic change. Instrumentation tallies (query-op and hash-call
+// counters) may legitimately come out lower: that reduction is the
+// optimization, mirroring BatchInserter.
+//
+// The contract for mpe: callers pass a non-nil mpe slice only when they
+// want certified Maximum Possible Errors; implementations that cannot
+// certify (anything not ErrorBounded) must zero-fill it. est and mpe must
+// be at least len(keys) long.
+//
+// Like Query, QueryBatch is safe for concurrent readers wherever Query is
+// (sealed epoch windows, Sharded's internal locking).
+type BatchQuerier interface {
+	QueryBatch(keys []uint64, est, mpe []uint64)
+}
+
+// QueryBatch answers point queries for all keys through sk's native batch
+// path when it has one, falling back to per-key queries otherwise. This is
+// the one batch read entry point the ring, the collector, and the HTTP
+// backends use, so every algorithm benefits from batching the moment it
+// implements BatchQuerier. mpe may be nil when the caller does not need
+// certified errors; when non-nil and sk is not ErrorBounded it is
+// zero-filled.
+func QueryBatch(sk Sketch, keys []uint64, est, mpe []uint64) {
+	if bq, ok := sk.(BatchQuerier); ok {
+		bq.QueryBatch(keys, est, mpe)
+		return
+	}
+	if mpe != nil {
+		if eb, ok := sk.(ErrorBounded); ok {
+			for i, k := range keys {
+				est[i], mpe[i] = eb.QueryWithError(k)
+			}
+			return
+		}
+		for i := range keys {
+			mpe[i] = 0
+		}
+	}
+	for i, k := range keys {
+		est[i] = sk.Query(k)
+	}
+}

@@ -1,0 +1,118 @@
+package sketch_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/sketch"
+	_ "repro/internal/sketch/all"
+	"repro/internal/stream"
+)
+
+// batchQueryKeys builds a query mix that exercises the batch path's
+// amortizations: present keys, absent keys, and sorted runs of duplicates
+// (what the sharded wrapper feeds each shard).
+func batchQueryKeys(s *stream.Stream, n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			keys = append(keys, s.Items[rng.Intn(s.Len())].Key)
+		case 1:
+			keys = append(keys, uint64(1<<40)+uint64(rng.Intn(1000))) // absent
+		default:
+			keys = append(keys, keys[len(keys)-1]) // duplicate run
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// TestQueryBatchMatchesSingle pins the BatchQuerier contract across every
+// registered variant, flat and sharded: batch answers (and certified MPEs,
+// where the variant is ErrorBounded) must equal per-key Query /
+// QueryWithError exactly.
+func TestQueryBatchMatchesSingle(t *testing.T) {
+	s := stream.Zipf(20_000, 2_000, 1.2, 1)
+	keys := batchQueryKeys(s, 300, 7)
+	for _, e := range sketch.All() {
+		for _, shards := range []int{0, 4} {
+			e, shards := e, shards
+			name := e.Name
+			if shards > 1 {
+				name += "_sharded"
+			}
+			t.Run(name, func(t *testing.T) {
+				sk := e.Build(sketch.Spec{MemoryBytes: 128 << 10, Lambda: 25, Seed: 1, Shards: shards})
+				sketch.InsertBatch(sk, s.Items)
+
+				est := make([]uint64, len(keys))
+				var mpe []uint64
+				eb, bounded := sk.(sketch.ErrorBounded)
+				if bounded {
+					mpe = make([]uint64, len(keys))
+				}
+				sketch.QueryBatch(sk, keys, est, mpe)
+				for i, k := range keys {
+					if bounded {
+						wantEst, wantMPE := eb.QueryWithError(k)
+						if est[i] != wantEst || mpe[i] != wantMPE {
+							t.Fatalf("key %d: batch (%d,%d) != single (%d,%d)",
+								k, est[i], mpe[i], wantEst, wantMPE)
+						}
+					} else if want := sk.Query(k); est[i] != want {
+						t.Fatalf("key %d: batch %d != single %d", k, est[i], want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestQueryBatchZeroFillsMPE pins the uncertified half of the contract: a
+// non-ErrorBounded sketch handed a dirty mpe slice must zero it, so stale
+// values can never masquerade as certified errors.
+func TestQueryBatchZeroFillsMPE(t *testing.T) {
+	s := stream.Zipf(5_000, 500, 1.2, 1)
+	for _, name := range []string{"CM_fast", "CU_fast", "Count"} {
+		sk := sketch.MustBuild(name, sketch.Spec{MemoryBytes: 64 << 10, Seed: 1})
+		sketch.InsertBatch(sk, s.Items)
+		keys := batchQueryKeys(s, 50, 3)
+		est := make([]uint64, len(keys))
+		mpe := make([]uint64, len(keys))
+		for i := range mpe {
+			mpe[i] = 0xdead
+		}
+		sketch.QueryBatch(sk, keys, est, mpe)
+		for i := range mpe {
+			if mpe[i] != 0 {
+				t.Fatalf("%s: mpe[%d] = %d, want zero-fill", name, i, mpe[i])
+			}
+		}
+	}
+}
+
+// TestQueryBatchFallback covers the helper's per-key fallback for sketches
+// without a native path (built directly, bypassing the registry wrapper).
+func TestQueryBatchFallback(t *testing.T) {
+	s := stream.Zipf(5_000, 500, 1.2, 1)
+	sk := sketch.MustBuild("SS", sketch.Spec{MemoryBytes: 64 << 10, Seed: 1})
+	if _, ok := sk.(sketch.BatchQuerier); ok {
+		t.Skip("SS grew a native batch path; fallback covered elsewhere")
+	}
+	sketch.InsertBatch(sk, s.Items)
+	keys := batchQueryKeys(s, 60, 5)
+	est := make([]uint64, len(keys))
+	mpe := make([]uint64, len(keys))
+	sketch.QueryBatch(sk, keys, est, mpe)
+	eb := sk.(sketch.ErrorBounded)
+	for i, k := range keys {
+		wantEst, wantMPE := eb.QueryWithError(k)
+		if est[i] != wantEst || mpe[i] != wantMPE {
+			t.Fatalf("key %d: fallback batch (%d,%d) != single (%d,%d)",
+				k, est[i], mpe[i], wantEst, wantMPE)
+		}
+	}
+}

@@ -36,6 +36,13 @@ const (
 	// (Snapshot/Restore of full state), the durability primitive behind
 	// collector checkpoints and warm restarts.
 	CapSnapshottable
+	// CapBatchQuery marks sketches implementing BatchQuerier (a native
+	// batch read path with amortized hashing and instrumentation) — the
+	// read-side sibling of InsertBatch that the unified query plane
+	// (internal/query) is built on. Sharded wrappers batch regardless (the
+	// per-shard lock amortization is theirs), so the capability describes
+	// the flat build.
+	CapBatchQuery
 )
 
 // Has reports whether c includes every capability in want.
@@ -54,6 +61,7 @@ func (c Capability) String() string {
 		{CapLambdaTargeting, "LambdaTargeting"},
 		{CapMergeable, "Mergeable"},
 		{CapSnapshottable, "Snapshottable"},
+		{CapBatchQuery, "BatchQuery"},
 	} {
 		if c.Has(e.bit) {
 			parts = append(parts, e.name)

@@ -94,6 +94,9 @@ func TestCapabilitiesMatchInterfaces(t *testing.T) {
 		if _, ok := sk.(sketch.Snapshotter); ok != e.Caps.Has(sketch.CapSnapshottable) {
 			t.Errorf("%s: Snapshottable capability %v but interface %v", e.Name, e.Caps.Has(sketch.CapSnapshottable), ok)
 		}
+		if _, ok := sk.(sketch.BatchQuerier); ok != e.Caps.Has(sketch.CapBatchQuery) {
+			t.Errorf("%s: BatchQuery capability %v but interface %v", e.Name, e.Caps.Has(sketch.CapBatchQuery), ok)
+		}
 		// Sharding must preserve exactly the declared capability set: a
 		// sharded build implements each interface iff the flat build declares
 		// it (Merge, certificates, and tracking all delegate shard-wise).
@@ -112,6 +115,12 @@ func TestCapabilitiesMatchInterfaces(t *testing.T) {
 				t.Errorf("%s sharded: %s capability %v but interface %v",
 					e.Name, probe.name, e.Caps.Has(probe.cap), probe.ok)
 			}
+		}
+		// Every sharded build batches regardless of the flat capability: the
+		// per-shard lock amortization is the wrapper's own, and shards
+		// without a native path get the per-key fallback inside one lock.
+		if _, ok := sharded.(sketch.BatchQuerier); !ok {
+			t.Errorf("%s sharded: does not implement BatchQuerier", e.Name)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"slices"
 	"sync"
 
 	"repro/internal/hash"
@@ -115,6 +116,123 @@ func (s *Sharded) Query(key uint64) uint64 {
 	s.mus[i].Lock()
 	defer s.mus[i].Unlock()
 	return s.shards[i].Query(key)
+}
+
+// shardedRef carries one batch key with its position in the caller's key
+// slice, so per-shard answers scatter back to the caller's order.
+type shardedRef struct {
+	key uint64
+	pos int
+}
+
+// shardedBatchFactor gates QueryBatch's partitioning: below this many keys
+// per shard on average, the counting-sort scaffolding costs more than the
+// per-key locks it saves, so small batches take the direct per-key path.
+const shardedBatchFactor = 4
+
+// QueryBatch is the native batch read path: keys are partitioned by owning
+// shard (a counting sort — one hash pass for the counts, one to scatter),
+// each shard's partition is sorted by key so runs of equal keys collapse
+// inside the shard's own batch path, and each shard is locked exactly once
+// for its whole partition — one lock round-trip per shard per batch
+// instead of one per key, mirroring InsertBatch. Results scatter back into
+// est/mpe at the caller's key positions, so answers are identical to
+// per-key Query/QueryWithError calls. Safe for concurrent use: partition
+// buffers are per-call.
+func (s *Sharded) QueryBatch(keys []uint64, est, mpe []uint64) {
+	n := len(s.shards)
+	if n == 1 {
+		s.mus[0].Lock()
+		QueryBatch(s.shards[0], keys, est, mpe)
+		s.mus[0].Unlock()
+		return
+	}
+	if len(keys) < shardedBatchFactor*n {
+		for i, k := range keys {
+			p := s.shard(k)
+			s.mus[p].Lock()
+			if mpe != nil {
+				if eb, ok := s.shards[p].(ErrorBounded); ok {
+					est[i], mpe[i] = eb.QueryWithError(k)
+				} else {
+					est[i], mpe[i] = s.shards[p].Query(k), 0
+				}
+			} else {
+				est[i] = s.shards[p].Query(k)
+			}
+			s.mus[p].Unlock()
+		}
+		return
+	}
+	// Counting-sort partition: shard owners for all keys (hashed once),
+	// per-shard counts, prefix offsets, then scatter into one refs array
+	// whose p-th segment is shard p's partition.
+	owner := make([]int32, len(keys))
+	counts := make([]int, n+1)
+	for i, k := range keys {
+		p := s.shard(k)
+		owner[i] = int32(p)
+		counts[p+1]++
+	}
+	for p := 0; p < n; p++ {
+		counts[p+1] += counts[p]
+	}
+	refs := make([]shardedRef, len(keys))
+	next := make([]int, n)
+	copy(next, counts[:n])
+	for i, k := range keys {
+		p := owner[i]
+		refs[next[p]] = shardedRef{key: k, pos: i}
+		next[p]++
+	}
+	scratch := make([]uint64, 3*len(keys))
+	for p := 0; p < n; p++ {
+		part := refs[counts[p]:counts[p+1]]
+		if len(part) == 0 {
+			continue
+		}
+		// The partition inherits the caller's key order (the counting sort
+		// is stable), so a batch that arrives sorted — the common serving
+		// shape, and what the wire/HTTP layers are free to send — skips the
+		// sort entirely; only genuinely unordered batches pay for it.
+		sorted := true
+		for j := 1; j < len(part); j++ {
+			if part[j].key < part[j-1].key {
+				sorted = false
+				break
+			}
+		}
+		if !sorted {
+			slices.SortFunc(part, func(a, b shardedRef) int {
+				switch {
+				case a.key < b.key:
+					return -1
+				case a.key > b.key:
+					return 1
+				default:
+					return a.pos - b.pos
+				}
+			})
+		}
+		keyBuf := scratch[:len(part)]
+		estBuf := scratch[len(keys) : len(keys)+len(part)]
+		var mpeBuf []uint64
+		if mpe != nil {
+			mpeBuf = scratch[2*len(keys) : 2*len(keys)+len(part)]
+		}
+		for j, ref := range part {
+			keyBuf[j] = ref.key
+		}
+		s.mus[p].Lock()
+		QueryBatch(s.shards[p], keyBuf, estBuf, mpeBuf)
+		s.mus[p].Unlock()
+		for j, ref := range part {
+			est[ref.pos] = estBuf[j]
+			if mpe != nil {
+				mpe[ref.pos] = mpeBuf[j]
+			}
+		}
+	}
 }
 
 // Wrap upgrades the sharded fan-out with the interfaces its sub-sketches

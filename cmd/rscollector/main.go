@@ -32,6 +32,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/netsum"
 	"repro/internal/queryd"
 	"repro/internal/sketch"
@@ -39,25 +40,33 @@ import (
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:7777", "address to listen on")
-		algo    = flag.String("algo", "Ours", "registered error-bounded sketch variant per agent")
-		lambda  = flag.Uint64("lambda", 25, "per-agent error tolerance Λ")
-		mem     = flag.Int("mem", 1<<20, "per-agent sketch memory (bytes)")
-		seed    = flag.Uint64("seed", 1, "sketch hash seed")
-		every   = flag.Duration("stats", 5*time.Second, "statistics print interval")
-		ep      = flag.Duration("epoch", 0, "epoch length for sliding-window mode (0 = cumulative)")
-		window  = flag.Int("window", 0, "sealed epochs retained per agent in -epoch mode (0 = default)")
-		noMerge = flag.Bool("no-merge", false, "disable the merged global view (estimate-sum only)")
-		httpAdr = flag.String("http", "", "also serve HTTP/JSON queries on this address (rsserve endpoints)")
+		listen     = flag.String("listen", "127.0.0.1:7777", "address to listen on")
+		algo       = flag.String("algo", "Ours", "registered error-bounded sketch variant per agent")
+		lambda     = flag.Uint64("lambda", 25, "per-agent error tolerance Λ")
+		mem        = flag.Int("mem", 1<<20, "per-agent sketch memory (bytes)")
+		seed       = flag.Uint64("seed", 1, "sketch hash seed")
+		every      = flag.Duration("stats", 5*time.Second, "statistics print interval")
+		ep         = flag.Duration("epoch", 0, "epoch length for sliding-window mode (0 = cumulative)")
+		window     = flag.Int("window", 0, "sealed epochs retained per agent in -epoch mode (0 = default)")
+		noMerge    = flag.Bool("no-merge", false, "disable the merged global view (estimate-sum only)")
+		httpAdr    = flag.String("http", "", "also serve HTTP/JSON queries on this address (rsserve endpoints)")
+		ingWorkers = flag.Int("ingest-workers", 0, "ingest pipeline workers (0 = default)")
+		ingQueue   = flag.Int("ingest-queue", 0, "per-worker ingest queue depth in batches (0 = default)")
+		ingPolicy  = flag.String("ingest-policy", "block", "backpressure when ingest queues fill: block or drop")
 	)
 	flag.Parse()
 
+	policy, err := ingest.ParsePolicy(*ingPolicy)
+	if err != nil {
+		log.Fatalf("rscollector: %v", err)
+	}
 	c, err := netsum.NewCollector(*listen, netsum.CollectorConfig{
 		Algo:              *algo,
 		Spec:              sketch.Spec{Lambda: *lambda, MemoryBytes: *mem, Seed: *seed},
 		Epoch:             *ep,
 		WindowEpochs:      *window,
 		DisableMergedView: *noMerge,
+		Ingest:            ingest.Tuning{Workers: *ingWorkers, Queue: *ingQueue, Policy: policy},
 		Logf:              log.Printf,
 	})
 	if err != nil {
@@ -96,7 +105,9 @@ func main() {
 		select {
 		case <-ticker.C:
 			agents, updates, queries := c.Stats()
-			fmt.Printf("agents=%d updates=%d queries=%d\n", agents, updates, queries)
+			ist := c.IngestStats()
+			fmt.Printf("agents=%d updates=%d queries=%d folds=%d dropped=%d\n",
+				agents, updates, queries, ist.Folds, ist.Dropped)
 		case <-stop:
 			fmt.Println("\nshutting down")
 			if err := c.Close(); err != nil {

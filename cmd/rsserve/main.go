@@ -18,8 +18,14 @@
 // it: restored certified intervals still contain the pre-restart exact
 // counts, and new traffic stacks on top. Endpoints: /v2/query (typed
 // batches — up to -max-batch keys with per-key certified bounds in one
-// request), /v1/point, /v1/window, /v1/topk, /v1/status, /v1/insert
-// (standalone), /v1/checkpoint.
+// request), /v2/ingest (typed write batches, answered with Ack JSON),
+// /v1/point, /v1/window, /v1/topk, /v1/status, /v1/insert (standalone),
+// /v1/checkpoint.
+//
+// Writes flow through the async ingest plane: -ingest-workers pipeline
+// workers accumulate private delta sketches and fold them into the served
+// sketch one short lock per flush; -ingest-policy picks what a full
+// -ingest-queue does (block producers, or drop and report it in the Ack).
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/netsum"
 	"repro/internal/query"
 	"repro/internal/queryd"
@@ -45,15 +52,18 @@ import (
 // combinations can be validated up front with named errors instead of
 // surfacing as late panics or silently-dead options.
 type serveFlags struct {
-	window    int
-	epoch     time.Duration
-	shards    int
-	collector string
-	maxBatch  int
-	cacheSize int
-	cacheTTL  time.Duration
-	ckpt      string
-	ckptEvery time.Duration
+	window     int
+	epoch      time.Duration
+	shards     int
+	collector  string
+	maxBatch   int
+	cacheSize  int
+	cacheTTL   time.Duration
+	ckpt       string
+	ckptEvery  time.Duration
+	ingWorkers int
+	ingQueue   int
+	ingPolicy  string
 }
 
 // Named validation errors: scripts wrapping rsserve can match on the text
@@ -68,6 +78,8 @@ var (
 	errCheckpointEveryNoPath = errors.New("rsserve: -checkpoint-every needs -checkpoint (an interval with nowhere to write)")
 	errShardsWithCollector   = errors.New("rsserve: -shards is standalone-only (collector agents shard by construction, one sketch per agent)")
 	errNegativeShards        = errors.New("rsserve: -shards must be ≥ 0")
+	errNegativeIngestWorkers = errors.New("rsserve: -ingest-workers must be ≥ 0 (0 = synchronous standalone ingest)")
+	errBadIngestQueue        = errors.New("rsserve: -ingest-queue must be ≥ 0 (0 = default)")
 )
 
 // validate rejects impossible flag combinations before any socket is
@@ -92,43 +104,58 @@ func (f serveFlags) validate() error {
 		return errNegativeShards
 	case f.shards > 0 && f.collector != "":
 		return errShardsWithCollector
+	case f.ingWorkers < 0:
+		return errNegativeIngestWorkers
+	case f.ingQueue < 0:
+		return errBadIngestQueue
+	}
+	if _, err := ingest.ParsePolicy(f.ingPolicy); err != nil {
+		return fmt.Errorf("rsserve: %w", err)
 	}
 	return nil
 }
 
 func main() {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:8080", "HTTP address to serve queries on")
-		algo      = flag.String("algo", "Ours", "registered sketch variant")
-		lambda    = flag.Uint64("lambda", 25, "error tolerance Λ (error-targeting variants)")
-		mem       = flag.Int("mem", 1<<20, "sketch memory budget (bytes)")
-		seed      = flag.Uint64("seed", 1, "sketch hash seed")
-		shards    = flag.Int("shards", 0, "shard the sketch n ways for concurrent ingest (standalone)")
-		ep        = flag.Duration("epoch", 0, "epoch length for sliding-window mode (0 = cumulative)")
-		window    = flag.Int("window", 0, "sealed epochs retained in -epoch mode (0 = default)")
-		collector = flag.String("collector", "", "embed a netsum collector on this TCP address and serve its global view")
-		noMerge   = flag.Bool("no-merge", false, "collector mode: disable the merged global view")
-		cacheSize = flag.Int("cache-size", 4096, "result cache capacity (entries)")
-		cacheTTL  = flag.Duration("cache-ttl", 250*time.Millisecond, "freshness of cached live-window answers")
-		maxBatch  = flag.Int("max-batch", query.MaxBatchKeys, "largest /v2/query key batch this server accepts")
-		ckpt      = flag.String("checkpoint", "", "checkpoint file path (warm-restarts from it when present)")
-		ckptEvery = flag.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 = only on demand and shutdown)")
+		listen     = flag.String("listen", "127.0.0.1:8080", "HTTP address to serve queries on")
+		algo       = flag.String("algo", "Ours", "registered sketch variant")
+		lambda     = flag.Uint64("lambda", 25, "error tolerance Λ (error-targeting variants)")
+		mem        = flag.Int("mem", 1<<20, "sketch memory budget (bytes)")
+		seed       = flag.Uint64("seed", 1, "sketch hash seed")
+		shards     = flag.Int("shards", 0, "shard the sketch n ways for concurrent ingest (standalone)")
+		ep         = flag.Duration("epoch", 0, "epoch length for sliding-window mode (0 = cumulative)")
+		window     = flag.Int("window", 0, "sealed epochs retained in -epoch mode (0 = default)")
+		collector  = flag.String("collector", "", "embed a netsum collector on this TCP address and serve its global view")
+		noMerge    = flag.Bool("no-merge", false, "collector mode: disable the merged global view")
+		cacheSize  = flag.Int("cache-size", 4096, "result cache capacity (entries)")
+		cacheTTL   = flag.Duration("cache-ttl", 250*time.Millisecond, "freshness of cached live-window answers")
+		maxBatch   = flag.Int("max-batch", query.MaxBatchKeys, "largest /v2/query key batch this server accepts")
+		ckpt       = flag.String("checkpoint", "", "checkpoint file path (warm-restarts from it when present)")
+		ckptEvery  = flag.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 = only on demand and shutdown)")
+		ingWorkers = flag.Int("ingest-workers", ingest.DefaultWorkers, "async ingest pipeline workers (standalone: 0 = synchronous ingest)")
+		ingQueue   = flag.Int("ingest-queue", ingest.DefaultQueue, "per-worker ingest queue depth (batches)")
+		ingPolicy  = flag.String("ingest-policy", "block", "backpressure when ingest queues fill: block or drop")
 	)
 	flag.Parse()
 
 	if err := (serveFlags{
-		window:    *window,
-		epoch:     *ep,
-		shards:    *shards,
-		collector: *collector,
-		maxBatch:  *maxBatch,
-		cacheSize: *cacheSize,
-		cacheTTL:  *cacheTTL,
-		ckpt:      *ckpt,
-		ckptEvery: *ckptEvery,
+		window:     *window,
+		epoch:      *ep,
+		shards:     *shards,
+		collector:  *collector,
+		maxBatch:   *maxBatch,
+		cacheSize:  *cacheSize,
+		cacheTTL:   *cacheTTL,
+		ckpt:       *ckpt,
+		ckptEvery:  *ckptEvery,
+		ingWorkers: *ingWorkers,
+		ingQueue:   *ingQueue,
+		ingPolicy:  *ingPolicy,
 	}).validate(); err != nil {
 		log.Fatal(err)
 	}
+	policy, _ := ingest.ParsePolicy(*ingPolicy) // validated above
+	tuning := ingest.Tuning{Workers: *ingWorkers, Queue: *ingQueue, Policy: policy}
 
 	spec := sketch.Spec{Lambda: *lambda, MemoryBytes: *mem, Seed: *seed, Shards: *shards}
 	cfg := queryd.Config{
@@ -160,6 +187,7 @@ func main() {
 			Epoch:             *ep,
 			WindowEpochs:      *window,
 			DisableMergedView: *noMerge,
+			Ingest:            tuning,
 			Logf:              log.Printf,
 		})
 		if err != nil {
@@ -172,10 +200,15 @@ func main() {
 		backend = queryd.CollectorBackend{C: col, Algo: *algo}
 		mode = fmt.Sprintf("collector on %s", col.Addr())
 	} else {
-		b, err := queryd.NewSketchBackend(*algo, spec, *ep, *window, nil)
+		bcfg := queryd.SketchBackendConfig{Algo: *algo, Spec: spec, Epoch: *ep, Windows: *window}
+		if *ingWorkers > 0 {
+			bcfg.Ingest = &tuning
+		}
+		b, err := queryd.NewSketchBackendFrom(bcfg)
 		if err != nil {
 			log.Fatalf("rsserve: %v", err)
 		}
+		defer b.Close()
 		if err := maybeRestore(*ckpt, *algo, spec, b.Restore); err != nil {
 			log.Fatalf("rsserve: %v", err)
 		}
@@ -183,6 +216,9 @@ func main() {
 		mode = "standalone"
 		if *ep > 0 {
 			mode = fmt.Sprintf("standalone, sliding window (epoch=%v, window=%d)", *ep, *window)
+		}
+		if *ingWorkers > 0 {
+			mode += fmt.Sprintf(", ingest %d workers/%s", *ingWorkers, policy)
 		}
 	}
 

@@ -37,6 +37,8 @@ func TestValidateFlags(t *testing.T) {
 		{"interval without path", func(f *serveFlags) { f.ckptEvery = time.Minute }, errCheckpointEveryNoPath},
 		{"negative shards", func(f *serveFlags) { f.shards = -2 }, errNegativeShards},
 		{"shards with collector", func(f *serveFlags) { f.shards = 4; f.collector = "127.0.0.1:7777" }, errShardsWithCollector},
+		{"negative ingest workers", func(f *serveFlags) { f.ingWorkers = -1 }, errNegativeIngestWorkers},
+		{"negative ingest queue", func(f *serveFlags) { f.ingQueue = -1 }, errBadIngestQueue},
 	}
 	for _, c := range cases {
 		f := ok

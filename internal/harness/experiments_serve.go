@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/query"
 	"repro/internal/queryd"
 	"repro/internal/sketch"
@@ -92,7 +93,7 @@ func serveBatchOnce(spec sketch.Spec, s *stream.Stream, cacheCapacity int) ([]an
 	if err != nil {
 		return nil, err
 	}
-	b.Ingest(s.Items)
+	b.Ingest(ingest.Batch{Items: s.Items})
 	srv, err := queryd.New(b, queryd.Config{CacheCapacity: cacheCapacity, CacheTTL: time.Second})
 	if err != nil {
 		return nil, err
@@ -175,7 +176,7 @@ func serveOnce(spec sketch.Spec, s *stream.Stream, hot []uint64, cacheCapacity i
 	if err != nil {
 		return nil, err
 	}
-	b.Ingest(s.Items)
+	b.Ingest(ingest.Batch{Items: s.Items})
 	srv, err := queryd.New(b, queryd.Config{CacheCapacity: cacheCapacity, CacheTTL: time.Second})
 	if err != nil {
 		return nil, err

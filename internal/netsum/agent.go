@@ -20,6 +20,10 @@ type Agent struct {
 	br      *bufio.Reader
 	bw      *bufio.Writer
 	pending []Update
+	// sendBuf is the reusable batch-frame encoding buffer: one allocation
+	// warms up to the steady-state frame size and every later Flush encodes
+	// into it instead of allocating per push.
+	sendBuf []byte
 	// BatchSize is the flush threshold (default 512 updates).
 	BatchSize int
 }
@@ -66,7 +70,8 @@ func (a *Agent) Flush() error {
 	if len(a.pending) == 0 {
 		return nil
 	}
-	if err := writeFrame(a.bw, msgBatch, encodeBatch(a.pending)); err != nil {
+	a.sendBuf = appendBatch(a.sendBuf[:0], a.pending)
+	if err := writeFrame(a.bw, msgBatch, a.sendBuf); err != nil {
 		return err
 	}
 	a.pending = a.pending[:0]

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"strings"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/epoch"
+	"repro/internal/ingest"
 	"repro/internal/sketch"
 	_ "repro/internal/sketch/all" // make every registered variant dialable by name
 )
@@ -47,6 +49,10 @@ type CollectorConfig struct {
 	// cumulative mode, forcing the estimate-sum query path even for
 	// Mergeable variants (benchmark/ablation control).
 	DisableMergedView bool
+	// Ingest tunes the collector's shared write pipeline (workers, queue
+	// depth, backpressure policy, flush thresholds). Zero fields take the
+	// ingest package defaults.
+	Ingest ingest.Tuning
 	// Logf receives connection-level diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -81,11 +87,20 @@ type Collector struct {
 	baseline sketch.ErrorBounded
 
 	// global is the incrementally merged all-agents sketch (cumulative mode
-	// with a Mergeable variant): every decoded batch is folded in via a
-	// per-connection delta sketch under globalMu, which is held only for
-	// the merge and for merged-view queries — never for per-agent ingest.
+	// with a Mergeable variant). Pipeline workers fold their private deltas
+	// into it under globalMu, which is held only for those per-flush merges
+	// and for merged-view queries — never per frame, never for per-agent
+	// ingest.
 	globalMu sync.Mutex
 	global   sketch.ErrorBounded
+
+	// pipe is the collector-wide ingest plane: decoded wire batches are
+	// submitted (Source = agent ID) instead of applied under locks in the
+	// connection handler. Workers land each batch in its agent's own state
+	// (attribution, in per-agent submission order) and accumulate the
+	// merged view's deltas. Query paths Drain it first, so answers cover
+	// everything producers were acked for.
+	pipe *ingest.Pipeline
 
 	updates atomic.Uint64
 	queries atomic.Uint64
@@ -122,6 +137,7 @@ func NewCollector(addr string, cfg CollectorConfig) (*Collector, error) {
 		agents: make(map[uint64]*agentState),
 		closed: make(chan struct{}),
 	}
+	opts := ingest.Options{Tuning: cfg.Ingest, Apply: c.applyBatch, Logf: cfg.Logf}
 	if cfg.Epoch <= 0 && !cfg.DisableMergedView && entry.Caps.Has(sketch.CapMergeable) {
 		built, err := c.buildErrorBounded()
 		if err != nil {
@@ -129,10 +145,70 @@ func NewCollector(addr string, cfg CollectorConfig) (*Collector, error) {
 			return nil, err
 		}
 		c.global = built
+		// Worker deltas are same-Spec siblings of the global view; the view
+		// itself proves the build is Mergeable, so NewDelta cannot fail.
+		if _, ok := built.(sketch.Mergeable); !ok {
+			ln.Close()
+			return nil, fmt.Errorf("netsum: %q registered Mergeable but built %T without Merge", cfg.Algo, built)
+		}
+		// buildErrorBounded was just proven to succeed (c.global); a nil
+		// delta would otherwise silently freeze the merged view, so the
+		// pipeline treats it as a failure.
+		opts.NewDelta = func() sketch.Sketch { b, _ := c.buildErrorBounded(); return b }
+		opts.Fold = c.foldGlobal
 	}
+	c.pipe = ingest.New(opts)
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return c, nil
+}
+
+// applyBatch is the pipeline's attribution hook: land the batch in its
+// source agent's own state under that agent's own lock. The wire handler
+// submits with Source = agentID+1, so even agent 0 gets a sticky non-zero
+// source: batches from one agent are applied by one worker in submission
+// order, and per-agent attribution and ordering are exactly what the
+// synchronous path produced.
+func (c *Collector) applyBatch(b ingest.Batch) error {
+	st, err := c.stateFor(b.Source - 1)
+	if err != nil {
+		return err
+	}
+	if st.ring != nil {
+		st.ring.InsertBatch(b.Items)
+	} else {
+		st.mu.Lock()
+		sketch.InsertBatch(st.sk, b.Items)
+		st.mu.Unlock()
+	}
+	return nil
+}
+
+// foldGlobal merges one worker's delta into the merged global view — the
+// only write to shared collector state, one short globalMu hold per flush
+// instead of one per wire frame.
+func (c *Collector) foldGlobal(delta sketch.Sketch) error {
+	c.globalMu.Lock()
+	err := sketch.Merge(c.global, delta)
+	c.globalMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("netsum: merging delta into global view: %w", err)
+	}
+	return nil
+}
+
+// drainIngest is the read-your-writes barrier query and snapshot paths take
+// before touching agent or global state: everything producers were acked
+// for is applied and folded when it returns. A pipeline error means acked
+// items were lost (a failed fold discards its delta) — callers with an
+// error channel must refuse to answer rather than serve a certified
+// interval that provably misses traffic.
+func (c *Collector) drainIngest() error {
+	if err := c.pipe.Drain(); err != nil {
+		c.logf("netsum: ingest pipeline: %v", err)
+		return fmt.Errorf("netsum: ingest pipeline lost acked items: %w", err)
+	}
+	return nil
 }
 
 // buildErrorBounded constructs one configured sketch, verifying the
@@ -173,13 +249,20 @@ func (c *Collector) Addr() string { return c.ln.Addr().String() }
 // rather than estimate-summing alone.
 func (c *Collector) MergeBased() bool { return c.global != nil }
 
-// Close stops accepting and waits for connection handlers to drain.
+// Close stops accepting, waits for connection handlers to drain, then
+// closes the ingest pipeline (folding everything accepted).
 func (c *Collector) Close() error {
 	close(c.closed)
 	err := c.ln.Close()
 	c.wg.Wait()
+	if perr := c.pipe.Close(); perr != nil && err == nil {
+		err = perr
+	}
 	return err
 }
+
+// IngestStats snapshots the shared write pipeline's counters.
+func (c *Collector) IngestStats() ingest.Stats { return c.pipe.Stats() }
 
 func (c *Collector) logf(format string, args ...any) {
 	if c.cfg.Logf != nil {
@@ -234,48 +317,17 @@ func (c *Collector) stateFor(agentID uint64) (*agentState, error) {
 	return st, nil
 }
 
-// ingest lands one decoded batch: into the agent's own state under the
-// agent's own lock, then (merge-based mode) folded into the global view
-// through the connection's private delta sketch under the short global
-// lock. Two agents' batches only ever contend on that final merge.
-func (c *Collector) ingest(st *agentState, delta sketch.Mergeable, ups []Update) error {
-	if st.ring != nil {
-		st.ring.InsertBatch(ups)
-	} else {
-		st.mu.Lock()
-		sketch.InsertBatch(st.sk, ups)
-		st.mu.Unlock()
-	}
-	c.updates.Add(uint64(len(ups)))
-	if delta == nil {
-		return nil
-	}
-	r, ok := delta.(sketch.Resettable)
-	if !ok {
-		return fmt.Errorf("netsum: %q merged view needs a Resettable delta sketch", c.cfg.Algo)
-	}
-	r.Reset()
-	sketch.InsertBatch(delta, ups)
-	c.globalMu.Lock()
-	err := sketch.Merge(c.global, delta)
-	c.globalMu.Unlock()
-	if err != nil {
-		return fmt.Errorf("netsum: merging batch into global view: %w", err)
-	}
-	return nil
-}
-
-// handle runs one agent connection to completion.
+// handle runs one agent connection to completion. Batch frames feed the
+// shared ingest pipeline directly — the handler decodes and submits, taking
+// no collector lock, so a slow sketch never stalls the wire (Block policy
+// pushes back through the bounded queue instead; Drop sheds, counted).
 func (c *Collector) handle(conn net.Conn) error {
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 16<<10)
 
-	var agent *agentState
-	// delta is this connection's reusable batch sketch for the merge-based
-	// global view; built on first batch so query-only connections pay
-	// nothing.
-	var delta sketch.Mergeable
+	var agentID uint64
+	haveHello := false
 	reply := func(typ byte, payload []byte) error {
 		if err := writeFrame(bw, typ, payload); err != nil {
 			return err
@@ -301,33 +353,44 @@ func (c *Collector) handle(conn net.Conn) error {
 				c.logf("netsum: agent %d speaks protocol v%d, newer than ours (v%d)",
 					id, v, ProtocolVersion)
 			}
-			if agent, err = c.stateFor(id); err != nil {
+			// The pipeline source is agentID+1 (0 is the round-robin
+			// sentinel), so the one wrapping ID cannot be attributed.
+			if id == math.MaxUint64 {
+				return fmt.Errorf("netsum: agent id %d is reserved", id)
+			}
+			// Pre-create the agent's state so a misconfigured registry fails
+			// the connection at hello, not asynchronously in a worker.
+			if _, err := c.stateFor(id); err != nil {
 				return err
 			}
+			agentID, haveHello = id, true
 
 		case msgBatch:
-			if agent == nil {
+			if !haveHello {
 				return errors.New("netsum: batch before hello")
 			}
 			ups, err := decodeBatch(payload)
 			if err != nil {
 				return err
 			}
-			if c.global != nil && delta == nil {
-				eb, err := c.buildErrorBounded()
-				if err != nil {
-					return err
-				}
-				delta = eb.(sketch.Mergeable)
-			}
-			if err := c.ingest(agent, delta, ups); err != nil {
-				return err
-			}
+			// Source is agentID+1: sticky per-agent routing even for agent
+			// 0. Counting accepted updates here (not in the worker) keeps
+			// the Stats counter exact for every frame already handled on
+			// this connection, without Stats needing a pipeline drain.
+			ack := c.pipe.Submit(ingest.Batch{Items: ups, Source: agentID + 1})
+			c.updates.Add(uint64(ack.Accepted))
 
 		case msgQuery:
 			u := &uvarintReader{buf: payload}
 			key, err := u.next()
 			if err != nil {
+				return err
+			}
+			// The v1 frame has no refusal encoding, so a pipeline failure
+			// (acked items lost — the bounds cannot cover them) drops the
+			// connection instead of serving a false certificate, exactly
+			// as the old synchronous path did on ingest errors.
+			if err := c.drainIngest(); err != nil {
 				return err
 			}
 			est, mpe := c.QueryWithError(key)
@@ -344,6 +407,9 @@ func (c *Collector) handle(conn net.Conn) error {
 			n, err := u.next()
 			if err != nil {
 				return err
+			}
+			if err := c.drainIngest(); err != nil {
+				return err // no v1 refusal encoding; see msgQuery
 			}
 			est, mpe, covered := c.QueryWindowWithError(key, int(n))
 			if err := reply(msgWindowResp, appendUvarints(nil, key, uint64(covered), est, mpe)); err != nil {
@@ -426,6 +492,9 @@ func (c *Collector) SnapshotGlobal(w io.Writer) error {
 		return err
 	}
 	sn := c.global.(sketch.Snapshotter)
+	if err := c.drainIngest(); err != nil {
+		return err
+	}
 	var buf bytes.Buffer
 	c.globalMu.Lock()
 	err := sn.Snapshot(&buf)
@@ -493,6 +562,9 @@ func (c *Collector) RestoreBaseline(r io.Reader) error {
 // sliding window. A thin shim over the batch core (queryGlobalBatch), so
 // single-key and batch answers cannot diverge.
 func (c *Collector) QueryWithError(key uint64) (est, mpe uint64) {
+	// No error channel on this v1 shim: a pipeline failure is logged by
+	// drainIngest and keeps surfacing on every Execute/snapshot path.
+	_ = c.drainIngest()
 	c.queries.Add(1)
 	keys := [1]uint64{key}
 	var e, m [1]uint64
@@ -507,6 +579,7 @@ func (c *Collector) QueryWithError(key uint64) (est, mpe uint64) {
 // mode the answer degenerates to the all-time global interval). A thin
 // shim over the batch core.
 func (c *Collector) QueryWindowWithError(key uint64, n int) (est, mpe uint64, covered int) {
+	_ = c.drainIngest() // v1 shim, no error channel; see QueryWithError
 	c.queries.Add(1)
 	keys := [1]uint64{key}
 	var e, m [1]uint64
@@ -538,7 +611,10 @@ func intersectIntervals(aEst, aMpe, bEst, bMpe uint64) (est, mpe uint64) {
 }
 
 // Stats reports the number of connected-or-seen agents and the totals of
-// updates ingested and queries served.
+// updates accepted and queries served. Updates are counted at wire
+// acceptance (submission order per connection makes the count exact for
+// every frame already handled), so a stats poll never forces the pipeline
+// to fold partial deltas — observability stays off the write path.
 func (c *Collector) Stats() (agents int, updates, queries uint64) {
 	c.mu.Lock()
 	agents = len(c.agents)
@@ -580,6 +656,9 @@ func (c *Collector) TrackedGlobal() ([]sketch.KV, error) {
 		return nil, fmt.Errorf("netsum: %q does not report tracked keys (need one of: %s)",
 			c.cfg.Algo, capabilityNames(sketch.CapErrorBounded|sketch.CapHeavyHitter))
 	}
+	if err := c.drainIngest(); err != nil {
+		return nil, err
+	}
 	c.globalMu.Lock()
 	defer c.globalMu.Unlock()
 	return hh.Tracked(), nil
@@ -603,6 +682,9 @@ func (c *Collector) QueryAgentWindow(agentID, key uint64, n int) (est, mpe uint6
 	}
 	if n < 1 {
 		return 0, 0, 0, fmt.Errorf("netsum: window of %d epochs cannot cover anything", n)
+	}
+	if err := c.drainIngest(); err != nil {
+		return 0, 0, 0, err
 	}
 	c.mu.Lock()
 	st, ok := c.agents[agentID]

@@ -32,6 +32,15 @@ func (c *Collector) Execute(req query.Request) (query.Answer, error) {
 	if err := req.Validate(); err != nil {
 		return query.Answer{}, err
 	}
+	// Read-your-writes: fold everything acked on the wire before answering,
+	// so the certified interval covers it (pipelined ingest would otherwise
+	// let the merged view lag the per-agent sketches, and the intersection
+	// of the two would not be certified for the same history). A pipeline
+	// failure means acked items were lost: refuse rather than certify an
+	// interval that misses them.
+	if err := c.drainIngest(); err != nil {
+		return query.Answer{}, err
+	}
 	c.queries.Add(1)
 	ans := query.Answer{Generation: c.Generation(), Source: "collector", Certified: true}
 

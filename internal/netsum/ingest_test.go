@@ -1,0 +1,123 @@
+package netsum
+
+import (
+	"testing"
+
+	"repro/internal/ingest"
+	"repro/internal/sketch"
+)
+
+// TestCollectorPipelineStats drives the collector's shared ingest plane
+// over the wire and checks its accounting: every pushed update is accepted
+// and applied, the merged view is built by per-flush folds (not per-frame
+// merges), and queries drain the pipeline so acked traffic is always
+// visible with certified bounds.
+func TestCollectorPipelineStats(t *testing.T) {
+	c, err := NewCollector("127.0.0.1:0", CollectorConfig{
+		Spec: sketch.Spec{MemoryBytes: 1 << 18, Lambda: 25, Seed: 1},
+		// Tiny flush threshold: several wire frames per fold would hide a
+		// per-frame merge; several folds per run proves flushing works.
+		Ingest: ingest.Tuning{Workers: 2, FlushItems: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.MergeBased() {
+		t.Fatal("default collector should maintain the merged view")
+	}
+
+	const agents, perAgent = 3, 1000
+	var exact uint64
+	for id := uint64(1); id <= agents; id++ {
+		a, err := Dial(c.Addr(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.BatchSize = 128
+		for i := 0; i < perAgent; i++ {
+			if err := a.Record(42, 2); err != nil {
+				t.Fatal(err)
+			}
+			exact += 2
+		}
+		if err := a.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		// Query through the same connection: the collector must drain the
+		// pipeline before answering, so the interval covers every update
+		// this agent was acked for (frames are processed in order).
+		est, mpe, err := a.Query(42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := sketch.CertifiedLowerBound(est, mpe)
+		want := uint64(perAgent) * 2 * id
+		if want < lo || want > est {
+			t.Fatalf("after agent %d: interval [%d, %d] misses exact %d", id, lo, est, want)
+		}
+		a.Close()
+	}
+
+	_, updates, _ := c.Stats()
+	if updates != agents*perAgent {
+		t.Fatalf("collector counted %d updates, want %d", updates, agents*perAgent)
+	}
+	ist := c.IngestStats()
+	if ist.Accepted != agents*perAgent || ist.Applied != agents*perAgent || ist.Dropped != 0 {
+		t.Fatalf("ingest stats %+v: want %d accepted+applied, 0 dropped", ist, agents*perAgent)
+	}
+	if ist.Folds < 2 {
+		t.Fatalf("ingest stats %+v: expected several per-flush folds", ist)
+	}
+	if ist.LastError != "" {
+		t.Fatalf("pipeline recorded error: %s", ist.LastError)
+	}
+	if ist.FoldedItems != ist.Applied {
+		t.Fatalf("folded %d items of %d applied: merged view is missing traffic", ist.FoldedItems, ist.Applied)
+	}
+}
+
+// TestAgentZeroAttributed pins the Source mapping: agent ID 0 is a valid
+// wire identity (sources are agentID+1, so it still gets sticky per-agent
+// routing and exact attribution), while the one unmappable ID is refused
+// at hello.
+func TestAgentZeroAttributed(t *testing.T) {
+	c, err := NewCollector("127.0.0.1:0", CollectorConfig{
+		Spec: sketch.Spec{MemoryBytes: 1 << 18, Lambda: 25, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	a, err := Dial(c.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for i := 0; i < 100; i++ {
+		if err := a.Record(5, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, mpe, err := a.Query(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo := sketch.CertifiedLowerBound(est, mpe); lo > 300 || est < 300 {
+		t.Fatalf("agent 0 traffic lost: interval [%d, %d] misses 300", lo, est)
+	}
+	if agents, _, _ := c.Stats(); agents != 1 {
+		t.Fatalf("agent 0 not registered: %d agents", agents)
+	}
+
+	reserved, err := Dial(c.Addr(), ^uint64(0))
+	if err != nil {
+		t.Fatal(err) // hello is written; the refusal surfaces on first read
+	}
+	defer reserved.Close()
+	if _, _, err := reserved.Query(1); err == nil {
+		t.Fatal("reserved agent id accepted")
+	}
+}

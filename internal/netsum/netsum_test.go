@@ -210,6 +210,11 @@ func feedAgents(t *testing.T, c *Collector, s *stream.Stream, agents int) {
 		}(id)
 	}
 	wg.Wait()
+	// The stats round trips above guarantee every frame was ACCEPTED into
+	// the ingest pipeline; drain it so helpers that read collector state
+	// directly (estimateSumBatch) see it fully applied. Query paths drain
+	// for themselves.
+	c.drainIngest()
 }
 
 // estimateSum reads one key's estimate-sum composition through the batch

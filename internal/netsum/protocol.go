@@ -266,12 +266,16 @@ func decodeAnswer(payload []byte) (query.Answer, error) {
 }
 
 // encodeBatch packs updates into a msgBatch payload.
-func encodeBatch(ups []Update) []byte {
-	payload := appendUvarints(nil, uint64(len(ups)))
+func encodeBatch(ups []Update) []byte { return appendBatch(nil, ups) }
+
+// appendBatch packs updates onto dst — the allocation-free form agents use
+// to reuse one send buffer across pushes.
+func appendBatch(dst []byte, ups []Update) []byte {
+	dst = appendUvarints(dst, uint64(len(ups)))
 	for _, u := range ups {
-		payload = appendUvarints(payload, u.Key, u.Value)
+		dst = appendUvarints(dst, u.Key, u.Value)
 	}
-	return payload
+	return dst
 }
 
 // decodeBatch unpacks a msgBatch payload.

@@ -19,10 +19,10 @@ import (
 	"time"
 
 	"repro/internal/epoch"
+	"repro/internal/ingest"
 	"repro/internal/netsum"
 	"repro/internal/query"
 	"repro/internal/sketch"
-	"repro/internal/stream"
 )
 
 // Status describes a backend for /v1/status.
@@ -34,6 +34,9 @@ type Status struct {
 	Agents     int    `json:"agents"`
 	Updates    uint64 `json:"updates"`
 	Queries    uint64 `json:"queries"`
+	// Ingest reports the write pipeline's counters when the backend ingests
+	// through one (absent for synchronous backends).
+	Ingest *ingest.Stats `json:"ingest,omitempty"`
 }
 
 // Backend is the query surface the server fronts: one typed batch executor
@@ -69,8 +72,11 @@ type Checkpointer interface {
 
 // Ingester is implemented by backends that accept updates over HTTP
 // (standalone mode; collector backends ingest through the agent protocol).
+// The Ack reports what actually happened — how many items were applied (or
+// enqueued, pipelined), how many a full queue refused — so HTTP clients are
+// never told 200 while their items silently vanish.
 type Ingester interface {
-	Ingest(items []stream.Item)
+	Ingest(b ingest.Batch) ingest.Ack
 }
 
 // CollectorBackend fronts a netsum.Collector: global answers composed
@@ -105,6 +111,7 @@ func (b CollectorBackend) CanCheckpoint() error { return b.C.CanSnapshotGlobal()
 // Status reports collector identity and ingest counters.
 func (b CollectorBackend) Status() Status {
 	agents, updates, queries := b.C.Stats()
+	ist := b.C.IngestStats()
 	return Status{
 		Mode:       "collector",
 		Algo:       b.Algo,
@@ -113,12 +120,16 @@ func (b CollectorBackend) Status() Status {
 		Agents:     agents,
 		Updates:    updates,
 		Queries:    queries,
+		Ingest:     &ist,
 	}
 }
 
 // SketchBackend serves a standalone registry-built sketch — cumulative, or
 // wrapped in an epoch ring when built with an epoch length. Ingest arrives
-// over HTTP (Ingest); queries and ingest may run concurrently.
+// over HTTP (Ingest); queries and ingest may run concurrently. With
+// SketchBackendConfig.Ingest set, writes flow through an async ingest
+// pipeline (workers accumulate private deltas, one fold per flush) and
+// query paths drain it first, so acked writes are always visible.
 type SketchBackend struct {
 	algo string
 
@@ -133,26 +144,123 @@ type SketchBackend struct {
 	// Epoch mode: the ring locks internally.
 	ring *epoch.Ring
 
+	// pipe is the optional async write plane; nil means synchronous ingest.
+	pipe *ingest.Pipeline
+
 	updates atomic.Uint64
 	queries atomic.Uint64
 }
 
+// SketchBackendConfig names everything a standalone backend is built from.
+type SketchBackendConfig struct {
+	// Algo is the registered variant; Spec sizes it.
+	Algo string
+	Spec sketch.Spec
+	// Epoch > 0 selects epoch mode: a ring rotating every Epoch, retaining
+	// Windows sealed epochs (≤ 0 means the default). Clock overrides time
+	// (tests).
+	Epoch   time.Duration
+	Windows int
+	Clock   epoch.Clock
+	// Ingest, when non-nil, routes writes through an async pipeline with
+	// this tuning. Mergeable variants get delta folding (flat and ring
+	// targets alike); non-Mergeable ones get async application under the
+	// backend's write lock — still off the producer's critical path.
+	Ingest *ingest.Tuning
+}
+
 // NewSketchBackend builds a standalone backend for the named registry
-// variant. epochLen > 0 selects epoch mode: a ring rotating every epochLen
-// retaining windows sealed epochs (≤ 0 windows means the default).
+// variant with synchronous ingest. epochLen > 0 selects epoch mode: a ring
+// rotating every epochLen retaining windows sealed epochs (≤ 0 windows
+// means the default).
 func NewSketchBackend(algo string, spec sketch.Spec, epochLen time.Duration, windows int, clock epoch.Clock) (*SketchBackend, error) {
-	entry, ok := sketch.Lookup(algo)
+	return NewSketchBackendFrom(SketchBackendConfig{
+		Algo: algo, Spec: spec, Epoch: epochLen, Windows: windows, Clock: clock,
+	})
+}
+
+// NewSketchBackendFrom builds a standalone backend from the full config.
+func NewSketchBackendFrom(cfg SketchBackendConfig) (*SketchBackend, error) {
+	entry, ok := sketch.Lookup(cfg.Algo)
 	if !ok {
-		return nil, fmt.Errorf("queryd: unknown algorithm %q", algo)
+		return nil, fmt.Errorf("queryd: unknown algorithm %q", cfg.Algo)
 	}
-	b := &SketchBackend{algo: algo}
-	if epochLen > 0 {
-		b.ring = epoch.NewRing(entry.Factory(spec), spec.MemoryBytes, epochLen, windows, clock)
+	b := &SketchBackend{algo: cfg.Algo}
+	if cfg.Epoch > 0 {
+		b.ring = epoch.NewRing(entry.Factory(cfg.Spec), cfg.Spec.MemoryBytes, cfg.Epoch, cfg.Windows, cfg.Clock)
+	} else {
+		b.sk = entry.Build(cfg.Spec)
+		b.selfSynced = cfg.Spec.Shards > 1
+	}
+	if cfg.Ingest == nil {
 		return b, nil
 	}
-	b.sk = entry.Build(spec)
-	b.selfSynced = spec.Shards > 1
+	mergeable := entry.Caps.Has(sketch.CapMergeable)
+	newDelta := func() sketch.Sketch { return entry.Build(cfg.Spec) }
+	switch {
+	case b.ring != nil && mergeable:
+		// Ring target: folds land in the active window, and the ring drains
+		// the pipeline before sealing an overdue epoch, so sealed windows
+		// are exact.
+		p, err := ingest.ForRing(b.ring, newDelta, *cfg.Ingest)
+		if err != nil {
+			return nil, err
+		}
+		b.pipe = p
+	case b.ring != nil:
+		// Non-Mergeable ring: apply batches asynchronously; the ring locks
+		// internally and rotates on the insert path, as synchronous ingest
+		// would.
+		b.pipe = ingest.New(ingest.Options{Tuning: *cfg.Ingest, Apply: func(batch ingest.Batch) error {
+			b.ring.InsertBatch(batch.Items)
+			return nil
+		}})
+	case mergeable:
+		b.pipe = ingest.New(ingest.Options{Tuning: *cfg.Ingest, NewDelta: newDelta, Fold: b.fold})
+	default:
+		b.pipe = ingest.New(ingest.Options{Tuning: *cfg.Ingest, Apply: func(batch ingest.Batch) error {
+			b.mu.Lock()
+			sketch.InsertBatch(b.sk, batch.Items)
+			b.mu.Unlock()
+			return nil
+		}})
+	}
 	return b, nil
+}
+
+// fold merges one worker's delta into the cumulative sketch — one short
+// write-lock hold per flush. Self-synchronizing (sharded) sketches lock
+// shard pairs inside Merge; flat ones take the backend's write lock.
+func (b *SketchBackend) fold(delta sketch.Sketch) error {
+	if b.selfSynced {
+		return sketch.Merge(b.sk, delta)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return sketch.Merge(b.sk, delta)
+}
+
+// drain is the read-your-writes barrier of pipelined backends; a no-op for
+// synchronous ones. A pipeline error means acked items were lost (a failed
+// fold discards its delta), so readers must refuse to answer rather than
+// serve certified intervals that provably miss traffic.
+func (b *SketchBackend) drain() error {
+	if b.pipe == nil {
+		return nil
+	}
+	if err := b.pipe.Drain(); err != nil {
+		return fmt.Errorf("queryd: ingest pipeline lost acked items: %w", err)
+	}
+	return nil
+}
+
+// Close stops the ingest pipeline's workers, folding everything accepted.
+// Synchronous backends close trivially.
+func (b *SketchBackend) Close() error {
+	if b.pipe == nil {
+		return nil
+	}
+	return b.pipe.Close()
 }
 
 // Restore warm-starts a cumulative backend from a snapshot (epoch-mode
@@ -170,19 +278,41 @@ func (b *SketchBackend) Restore(r io.Reader) error {
 	return sn.Restore(r)
 }
 
-// Ingest lands a batch of updates.
-func (b *SketchBackend) Ingest(items []stream.Item) {
+// Ingest lands a typed batch: enqueued on the pipeline when one is
+// configured (the Ack then reports drops under the Drop policy), applied
+// synchronously otherwise. The Ack's generation is stamped from the
+// backend, so epoch-mode clients can key caches off their own writes.
+func (b *SketchBackend) Ingest(batch ingest.Batch) ingest.Ack {
+	var ack ingest.Ack
+	if b.pipe != nil {
+		ack = b.pipe.Submit(batch)
+		b.updates.Add(uint64(ack.Accepted))
+		ack.Generation = b.peekGeneration()
+		return ack
+	}
 	switch {
 	case b.ring != nil:
-		b.ring.InsertBatch(items)
+		b.ring.InsertBatch(batch.Items)
 	case b.selfSynced:
-		sketch.InsertBatch(b.sk, items)
+		sketch.InsertBatch(b.sk, batch.Items)
 	default:
 		b.mu.Lock()
-		sketch.InsertBatch(b.sk, items)
+		sketch.InsertBatch(b.sk, batch.Items)
 		b.mu.Unlock()
 	}
-	b.updates.Add(uint64(len(items)))
+	b.updates.Add(uint64(len(batch.Items)))
+	return ingest.Ack{Accepted: len(batch.Items), Generation: b.peekGeneration()}
+}
+
+// peekGeneration labels Acks without driving rotation: Generation() pokes
+// the ring, which on a pipelined epoch backend would drain the whole
+// pipeline inside the write handler — the producer stall the async plane
+// exists to remove.
+func (b *SketchBackend) peekGeneration() uint64 {
+	if b.ring == nil {
+		return 0
+	}
+	return b.ring.PeekGeneration()
 }
 
 // Execute answers the typed batch request. Epoch mode delegates to the
@@ -194,6 +324,9 @@ func (b *SketchBackend) Ingest(items []stream.Item) {
 // collector.
 func (b *SketchBackend) Execute(req query.Request) (query.Answer, error) {
 	if err := req.Validate(); err != nil {
+		return query.Answer{}, err
+	}
+	if err := b.drain(); err != nil {
 		return query.Answer{}, err
 	}
 	b.queries.Add(uint64(1))
@@ -273,6 +406,9 @@ func (b *SketchBackend) Checkpoint(w io.Writer) error {
 		return err
 	}
 	sn := b.sk.(sketch.Snapshotter)
+	if err := b.drain(); err != nil {
+		return err
+	}
 	var buf bytes.Buffer
 	if b.selfSynced {
 		// Sharded snapshots lock shard-by-shard themselves.
@@ -305,7 +441,7 @@ func (b *SketchBackend) CanCheckpoint() error {
 
 // Status reports identity and counters.
 func (b *SketchBackend) Status() Status {
-	return Status{
+	st := Status{
 		Mode:       "standalone",
 		Algo:       b.algo,
 		Epochal:    b.Epochal(),
@@ -313,4 +449,9 @@ func (b *SketchBackend) Status() Status {
 		Updates:    b.updates.Load(),
 		Queries:    b.queries.Load(),
 	}
+	if b.pipe != nil {
+		ist := b.pipe.Stats()
+		st.Ingest = &ist
+	}
+	return st
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/netsum"
 	"repro/internal/query"
 	"repro/internal/sketch"
@@ -47,6 +48,8 @@ type Config struct {
 //
 //	POST /v2/query                one typed query.Request batch — N keys,
 //	                              per-key certified bounds, one round trip
+//	POST /v2/ingest               one typed ingest.Batch (items + source +
+//	                              epoch tag), answered with Ack JSON
 //	GET  /v1/point?key=K          point estimate with certified bounds
 //	GET  /v1/window?key=K&n=N     sliding-window query over sealed epochs
 //	     (&agent=ID scopes to one agent, where the backend supports it)
@@ -108,6 +111,7 @@ func New(b Backend, cfg Config) (*Server, error) {
 	// get the same JSON error envelope as every other failure, instead of
 	// the mux's plain-text 405.
 	s.mux.HandleFunc("/v2/query", method("POST", s.handleExec))
+	s.mux.HandleFunc("/v2/ingest", method("POST", s.handleIngest))
 	s.mux.HandleFunc("/v1/point", method("GET", s.handlePoint))
 	s.mux.HandleFunc("/v1/window", method("GET", s.handleWindow))
 	s.mux.HandleFunc("/v1/topk", method("GET", s.handleTopK))
@@ -473,27 +477,26 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// insertRequest is the POST /v1/insert body. A zero or omitted value
-// counts as 1, the frequency-estimation default.
+// insertRequest is the POST /v1/insert and /v2/ingest body: the items plus
+// (v2) the typed batch's source attribution and epoch tag. A zero or
+// omitted item value counts as 1, the frequency-estimation default.
 type insertRequest struct {
 	Items []struct {
 		Key   uint64 `json:"key"`
 		Value uint64 `json:"value"`
 	} `json:"items"`
+	Source uint64 `json:"source"`
+	Epoch  uint64 `json:"epoch"`
 }
 
-func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
-	ing, ok := s.b.(Ingester)
-	if !ok {
-		httpError(w, http.StatusNotImplemented, "unsupported",
-			errors.New("backend does not ingest over HTTP (collector backends ingest through the agent protocol)"))
-		return
-	}
+// decodeIngest parses an ingest body into the typed batch. Reported errors
+// are the client's (bad_request).
+func decodeIngest(w http.ResponseWriter, r *http.Request) (ingest.Batch, bool) {
 	var req insertRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
 	if err := dec.Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decoding items: %w", err))
-		return
+		return ingest.Batch{}, false
 	}
 	items := make([]stream.Item, len(req.Items))
 	for i, it := range req.Items {
@@ -503,11 +506,55 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		}
 		items[i] = stream.Item{Key: it.Key, Value: v}
 	}
-	ing.Ingest(items)
+	return ingest.Batch{Items: items, Source: req.Source, Epoch: req.Epoch}, true
+}
+
+// ingester resolves the backend's write surface, answering the JSON 501
+// itself when there is none.
+func (s *Server) ingester(w http.ResponseWriter) (Ingester, bool) {
+	ing, ok := s.b.(Ingester)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, "unsupported",
+			errors.New("backend does not ingest over HTTP (collector backends ingest through the agent protocol)"))
+		return nil, false
+	}
+	return ing, true
+}
+
+// handleInsert serves POST /v1/insert. The response reports what actually
+// happened to the items — "ingested" is the accepted count, and a full
+// queue under the drop backpressure policy shows up as "dropped" instead of
+// a bare 200 that pretends everything was applied.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	ing, ok := s.ingester(w)
+	if !ok {
+		return
+	}
+	b, ok := decodeIngest(w, r)
+	if !ok {
+		return
+	}
+	ack := ing.Ingest(b)
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ingested":   len(items),
-		"generation": s.b.Generation(),
+		"ingested":   ack.Accepted,
+		"dropped":    ack.Dropped,
+		"generation": ack.Generation,
 	})
+}
+
+// handleIngest serves POST /v2/ingest: one typed ingest.Batch — items plus
+// source attribution and an optional epoch tag — answered with the Ack
+// verbatim. The write-side sibling of /v2/query.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	ing, ok := s.ingester(w)
+	if !ok {
+		return
+	}
+	b, ok := decodeIngest(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, ing.Ingest(b))
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {

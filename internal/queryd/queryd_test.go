@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/netsum"
 	"repro/internal/query"
 	"repro/internal/queryd"
@@ -199,7 +200,7 @@ func TestEpochWindowCacheInvalidationOnSeal(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() { ts.Close(); s.Close() })
 
-	b.Ingest([]stream.Item{{Key: 5, Value: 100}})
+	b.Ingest(ingest.Batch{Items: []stream.Item{{Key: 5, Value: 100}}})
 	clk.Advance(time.Second) // seal epoch 0
 	url := ts.URL + "/v1/window?key=5&n=4"
 	first := getJSON[queryd.QueryResponse](t, url)
@@ -215,7 +216,7 @@ func TestEpochWindowCacheInvalidationOnSeal(t *testing.T) {
 
 	// New epoch seals -> generation advances -> the whole cached
 	// generation is invalidated and the answer now covers both epochs.
-	b.Ingest([]stream.Item{{Key: 5, Value: 40}})
+	b.Ingest(ingest.Batch{Items: []stream.Item{{Key: 5, Value: 40}}})
 	clk.Advance(time.Second)
 	third := getJSON[queryd.QueryResponse](t, url)
 	if third.Cached {
@@ -364,7 +365,7 @@ func TestConcurrentQueriesAndIngest(t *testing.T) {
 				return
 			default:
 			}
-			b.Ingest([]stream.Item{{Key: uint64(i % 64), Value: 1}})
+			b.Ingest(ingest.Batch{Items: []stream.Item{{Key: uint64(i % 64), Value: 1}}})
 		}
 	}()
 	client := ts.Client()
@@ -443,7 +444,7 @@ func TestRestoreRejectsCorruptSnapshotAtomically(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src.Ingest([]stream.Item{{Key: 1, Value: 111}})
+	src.Ingest(ingest.Batch{Items: []stream.Item{{Key: 1, Value: 111}}})
 	var snap bytes.Buffer
 	if err := src.Checkpoint(&snap); err != nil {
 		t.Fatal(err)
@@ -452,7 +453,7 @@ func TestRestoreRejectsCorruptSnapshotAtomically(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dst.Ingest([]stream.Item{{Key: 2, Value: 222}})
+	dst.Ingest(ingest.Batch{Items: []stream.Item{{Key: 2, Value: 222}}})
 	trunc := snap.Bytes()[:snap.Len()/2]
 	if err := dst.Restore(bytes.NewReader(trunc)); err == nil {
 		t.Fatal("truncated snapshot accepted")
@@ -479,7 +480,7 @@ func TestEpochTopKEmptyBeforeFirstSeal(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() { ts.Close(); s.Close() })
 
-	b.Ingest([]stream.Item{{Key: 5, Value: 100}})
+	b.Ingest(ingest.Batch{Items: []stream.Item{{Key: 5, Value: 100}}})
 	r := getJSON[queryd.TopKResponse](t, ts.URL+"/v1/topk?k=3")
 	if len(r.Items) != 0 {
 		t.Errorf("pre-seal topk returned %d items", len(r.Items))
@@ -507,7 +508,7 @@ func TestShardedBackendConcurrentIngest(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < perWriter; i++ {
-				b.Ingest([]stream.Item{{Key: uint64(i % 32), Value: 1}})
+				b.Ingest(ingest.Batch{Items: []stream.Item{{Key: uint64(i % 32), Value: 1}}})
 				if i%16 == 0 {
 					b.Execute(query.Request{Kind: query.Point, Keys: []uint64{uint64(i % 32)}})
 					b.Execute(query.Request{Kind: query.TopK, K: 4})

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/netsum"
 	"repro/internal/query"
 	"repro/internal/queryd"
@@ -60,7 +61,7 @@ func TestV2BatchAnswers256Keys(t *testing.T) {
 	ts, b, done := newV2Server(t, queryd.Config{})
 	defer done()
 	s := stream.IPTrace(50_000, 3)
-	b.Ingest(s.Items)
+	b.Ingest(ingest.Batch{Items: s.Items})
 	truth := s.Truth()
 
 	keys := make([]uint64, 0, 256)
@@ -96,7 +97,7 @@ func TestV2BatchAnswers256Keys(t *testing.T) {
 func TestV2PartialCacheHitsComputeOnlyMisses(t *testing.T) {
 	ts, b, done := newV2Server(t, queryd.Config{CacheTTL: time.Hour})
 	defer done()
-	b.Ingest([]stream.Item{{Key: 1, Value: 10}, {Key: 2, Value: 20}, {Key: 3, Value: 30}})
+	b.Ingest(ingest.Batch{Items: []stream.Item{{Key: 1, Value: 10}, {Key: 2, Value: 20}, {Key: 3, Value: 30}}})
 
 	first, _ := postExec(t, ts.URL, query.Request{Kind: query.Point, Keys: []uint64{1, 2}})
 	if first.CachedKeys != 0 {
@@ -134,11 +135,11 @@ func TestV2WindowAndPointCacheSeparately(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer func() { ts.Close(); s.Close() }()
 
-	b.Ingest([]stream.Item{{Key: 7, Value: 10}})
+	b.Ingest(ingest.Batch{Items: []stream.Item{{Key: 7, Value: 10}}})
 	clk.Advance(time.Second)
-	b.Ingest([]stream.Item{{Key: 7, Value: 5}})
+	b.Ingest(ingest.Batch{Items: []stream.Item{{Key: 7, Value: 5}}})
 	clk.Advance(time.Second)
-	b.Ingest([]stream.Item{{Key: 0, Value: 0}}) // seal
+	b.Ingest(ingest.Batch{Items: []stream.Item{{Key: 0, Value: 0}}}) // seal
 
 	w1, _ := postExec(t, ts.URL, query.Request{Kind: query.Window, Keys: []uint64{7}, Window: 1})
 	all, _ := postExec(t, ts.URL, query.Request{Kind: query.Point, Keys: []uint64{7}})
@@ -159,7 +160,7 @@ func TestV2TopK(t *testing.T) {
 	ts, b, done := newV2Server(t, queryd.Config{})
 	defer done()
 	for i := 0; i < 100; i++ {
-		b.Ingest([]stream.Item{{Key: 1, Value: 3}, {Key: 2, Value: 1}})
+		b.Ingest(ingest.Batch{Items: []stream.Item{{Key: 1, Value: 3}, {Key: 2, Value: 1}}})
 	}
 	r, status := postExec(t, ts.URL, query.Request{Kind: query.TopK, K: 1})
 	if status != http.StatusOK || len(r.PerKey) != 1 || r.PerKey[0].Key != 1 {
@@ -201,7 +202,7 @@ func errorEnvelope(t *testing.T, method, url string, body io.Reader) (int, query
 func TestJSONErrorEnvelopeEverywhere(t *testing.T) {
 	ts, b, done := newV2Server(t, queryd.Config{MaxBatch: 8})
 	defer done()
-	b.Ingest([]stream.Item{{Key: 1, Value: 1}})
+	b.Ingest(ingest.Batch{Items: []stream.Item{{Key: 1, Value: 1}}})
 
 	bigBatch, _ := json.Marshal(query.Request{Kind: query.Point, Keys: make([]uint64, 9)})
 	cases := []struct {

@@ -1,0 +1,157 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so CI can archive benchmark runs as
+// artifacts (BENCH_ingest.json) and the performance trajectory of the
+// ingest plane is recorded run over run instead of scrolling away in logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'PipelineIngest|InsertBatch' . | go run ./internal/tools/benchjson > BENCH_ingest.json
+//
+// Per-op times are per ITEM for the ingestion benchmarks, so the emitted
+// mitems_per_sec compare directly. When both the single-writer baseline
+// (BenchmarkInsertBatch/Ours_sharded8) and the pipeline runs
+// (BenchmarkPipelineIngest/Ours_sharded8/workers=N) appear in the input,
+// a derived speedup-vs-single-writer section is included — the artifact's
+// headline is the workers=8 ratio the acceptance bar reads.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// MItemsPerSec is 1e3/NsPerOp: meaningful for benchmarks whose op is
+	// one item (the ingestion suite), reported for all.
+	MItemsPerSec float64 `json:"mitems_per_sec"`
+	BytesPerOp   *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp  *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// Output is the whole document.
+type Output struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// SpeedupVsSingleWriter maps "workers=N" to pipeline throughput over
+	// the single-writer sharded-core InsertBatch baseline.
+	SpeedupVsSingleWriter map[string]float64 `json:"speedup_vs_single_writer,omitempty"`
+}
+
+const (
+	baselineName = "BenchmarkInsertBatch/Ours_sharded8"
+	pipelineStem = "BenchmarkPipelineIngest/Ours_sharded8/workers="
+)
+
+func main() {
+	out := Output{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			out.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			out.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				out.Benchmarks = append(out.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	var baseline float64
+	for _, b := range out.Benchmarks {
+		if trimCPUSuffix(b.Name) == baselineName {
+			baseline = b.NsPerOp
+		}
+	}
+	if baseline > 0 {
+		for _, b := range out.Benchmarks {
+			name := trimCPUSuffix(b.Name)
+			if rest, ok := strings.CutPrefix(name, pipelineStem); ok && b.NsPerOp > 0 {
+				if out.SpeedupVsSingleWriter == nil {
+					out.SpeedupVsSingleWriter = make(map[string]float64)
+				}
+				out.SpeedupVsSingleWriter["workers="+rest] = round3(baseline / b.NsPerOp)
+			}
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// trimCPUSuffix drops go's -GOMAXPROCS name suffix ("...-8").
+func trimCPUSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// parseLine reads one result line: name, iterations, then unit-tagged
+// value pairs ("123 ns/op", "45 B/op", "6 allocs/op").
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+			if v > 0 {
+				b.MItemsPerSec = round3(1e3 / v)
+			}
+		case "B/op":
+			n := int64(v)
+			b.BytesPerOp = &n
+		case "allocs/op":
+			n := int64(v)
+			b.AllocsPerOp = &n
+		}
+	}
+	if b.NsPerOp == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/netsum"
 	"repro/internal/queryd"
 	"repro/internal/sketch"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -53,6 +54,9 @@ func main() {
 		ingWorkers = flag.Int("ingest-workers", 0, "ingest pipeline workers (0 = default)")
 		ingQueue   = flag.Int("ingest-queue", 0, "per-worker ingest queue depth in batches (0 = default)")
 		ingPolicy  = flag.String("ingest-policy", "block", "backpressure when ingest queues fill: block or drop")
+		walDir     = flag.String("wal-dir", "", "write-ahead-log directory: acked agent batches survive a crash and replay on restart (cumulative mode)")
+		walFsync   = flag.String("wal-fsync", "batch", "WAL durability: batch (fsync every append), a group-commit interval like 5ms, or off")
+		walSegSize = flag.Int64("wal-segment-size", wal.DefaultSegmentBytes, "WAL segment rotation threshold (bytes)")
 	)
 	flag.Parse()
 
@@ -60,6 +64,24 @@ func main() {
 	if err != nil {
 		log.Fatalf("rscollector: %v", err)
 	}
+	var wlog *wal.Log
+	if *walDir != "" {
+		if *ep > 0 {
+			log.Fatal("rscollector: -wal-dir is cumulative-mode only (replaying a log into an epoch ring would resurrect expired traffic)")
+		}
+		fp, err := wal.ParseFsync(*walFsync)
+		if err != nil {
+			log.Fatalf("rscollector: -wal-fsync: %v", err)
+		}
+		wlog, err = wal.Open(wal.Options{Dir: *walDir, SegmentBytes: *walSegSize, Fsync: fp, Logf: log.Printf})
+		if err != nil {
+			log.Fatalf("rscollector: %v", err)
+		}
+		defer wlog.Close()
+	}
+	// No -checkpoint flag here, so replay starts at the log's own watermark
+	// (WALStartLSN 0); truncation needs the HTTP checkpoint surface
+	// (rsserve -collector) or an external SnapshotGlobal driver.
 	c, err := netsum.NewCollector(*listen, netsum.CollectorConfig{
 		Algo:              *algo,
 		Spec:              sketch.Spec{Lambda: *lambda, MemoryBytes: *mem, Seed: *seed},
@@ -67,6 +89,7 @@ func main() {
 		WindowEpochs:      *window,
 		DisableMergedView: *noMerge,
 		Ingest:            ingest.Tuning{Workers: *ingWorkers, Queue: *ingQueue, Policy: policy},
+		WAL:               wlog,
 		Logf:              log.Printf,
 	})
 	if err != nil {

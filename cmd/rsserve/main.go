@@ -46,6 +46,7 @@ import (
 	"repro/internal/queryd"
 	"repro/internal/sketch"
 	_ "repro/internal/sketch/all" // every registered variant servable by name
+	"repro/internal/wal"
 )
 
 // serveFlags is every tunable the CLI accepts, gathered so the flag
@@ -64,6 +65,9 @@ type serveFlags struct {
 	ingWorkers int
 	ingQueue   int
 	ingPolicy  string
+	walDir     string
+	walFsync   string
+	walSegSize int64
 }
 
 // Named validation errors: scripts wrapping rsserve can match on the text
@@ -80,6 +84,8 @@ var (
 	errNegativeShards        = errors.New("rsserve: -shards must be ≥ 0")
 	errNegativeIngestWorkers = errors.New("rsserve: -ingest-workers must be ≥ 0 (0 = synchronous standalone ingest)")
 	errBadIngestQueue        = errors.New("rsserve: -ingest-queue must be ≥ 0 (0 = default)")
+	errWALWithEpoch          = errors.New("rsserve: -wal-dir is cumulative-mode only (replaying a log into an epoch ring would resurrect expired traffic)")
+	errBadWALSegmentSize     = errors.New("rsserve: -wal-segment-size must be ≥ 4096 bytes")
 )
 
 // validate rejects impossible flag combinations before any socket is
@@ -108,9 +114,18 @@ func (f serveFlags) validate() error {
 		return errNegativeIngestWorkers
 	case f.ingQueue < 0:
 		return errBadIngestQueue
+	case f.walDir != "" && f.epoch > 0:
+		return errWALWithEpoch
+	case f.walDir != "" && f.walSegSize < 4096:
+		return errBadWALSegmentSize
 	}
 	if _, err := ingest.ParsePolicy(f.ingPolicy); err != nil {
 		return fmt.Errorf("rsserve: %w", err)
+	}
+	if f.walDir != "" {
+		if _, err := wal.ParseFsync(f.walFsync); err != nil {
+			return fmt.Errorf("rsserve: -wal-fsync: %w", err)
+		}
 	}
 	return nil
 }
@@ -135,6 +150,9 @@ func main() {
 		ingWorkers = flag.Int("ingest-workers", ingest.DefaultWorkers, "async ingest pipeline workers (standalone: 0 = synchronous ingest)")
 		ingQueue   = flag.Int("ingest-queue", ingest.DefaultQueue, "per-worker ingest queue depth (batches)")
 		ingPolicy  = flag.String("ingest-policy", "block", "backpressure when ingest queues fill: block or drop")
+		walDir     = flag.String("wal-dir", "", "write-ahead-log directory: acked writes survive a crash and replay on restart (cumulative mode)")
+		walFsync   = flag.String("wal-fsync", "batch", "WAL durability: batch (fsync every append), a group-commit interval like 5ms, or off")
+		walSegSize = flag.Int64("wal-segment-size", wal.DefaultSegmentBytes, "WAL segment rotation threshold (bytes)")
 	)
 	flag.Parse()
 
@@ -151,6 +169,9 @@ func main() {
 		ingWorkers: *ingWorkers,
 		ingQueue:   *ingQueue,
 		ingPolicy:  *ingPolicy,
+		walDir:     *walDir,
+		walFsync:   *walFsync,
+		walSegSize: *walSegSize,
 	}).validate(); err != nil {
 		log.Fatal(err)
 	}
@@ -169,6 +190,24 @@ func main() {
 		Logf:            log.Printf,
 	}
 
+	// The WAL opens before any backend: Open repairs a torn tail and loads
+	// the manifest, and the backend replays the un-checkpointed suffix
+	// before serving anything.
+	var wlog *wal.Log
+	if *walDir != "" {
+		fp, _ := wal.ParseFsync(*walFsync) // validated above
+		var err error
+		wlog, err = wal.Open(wal.Options{Dir: *walDir, SegmentBytes: *walSegSize, Fsync: fp, Logf: log.Printf})
+		if err != nil {
+			log.Fatalf("rsserve: %v", err)
+		}
+		defer wlog.Close()
+	}
+	ckptLSN, err := checkpointLSN(*ckpt)
+	if err != nil {
+		log.Fatalf("rsserve: %v", err)
+	}
+
 	var (
 		backend queryd.Backend
 		mode    string
@@ -180,7 +219,9 @@ func main() {
 		// sketch actually built.
 		spec.Emergency = true
 		cfg.Spec = spec
-		var err error
+		// NewCollector replays the WAL tail past the checkpoint's cut
+		// before accepting connections, so replayed and live batches never
+		// interleave.
 		col, err = netsum.NewCollector(*collector, netsum.CollectorConfig{
 			Algo:              *algo,
 			Spec:              spec,
@@ -188,6 +229,8 @@ func main() {
 			WindowEpochs:      *window,
 			DisableMergedView: *noMerge,
 			Ingest:            tuning,
+			WAL:               wlog,
+			WALStartLSN:       ckptLSN,
 			Logf:              log.Printf,
 		})
 		if err != nil {
@@ -212,6 +255,13 @@ func main() {
 		if err := maybeRestore(*ckpt, *algo, spec, b.Restore); err != nil {
 			log.Fatalf("rsserve: %v", err)
 		}
+		if wlog != nil {
+			// Replays everything past the checkpoint cut through the same
+			// ingest path, then starts intercepting writes.
+			if err := b.AttachWAL(wlog, ckptLSN); err != nil {
+				log.Fatalf("rsserve: %v", err)
+			}
+		}
 		backend = b
 		mode = "standalone"
 		if *ep > 0 {
@@ -220,6 +270,9 @@ func main() {
 		if *ingWorkers > 0 {
 			mode += fmt.Sprintf(", ingest %d workers/%s", *ingWorkers, policy)
 		}
+	}
+	if wlog != nil {
+		mode += fmt.Sprintf(", wal %s (fsync=%s)", *walDir, wlog.Stats().Policy)
 	}
 
 	s, err := queryd.New(backend, cfg)
@@ -252,7 +305,7 @@ func maybeRestore(path, algo string, spec sketch.Spec, restore func(io.Reader) e
 	if path == "" {
 		return nil
 	}
-	gotAlgo, gotSpec, payload, err := queryd.OpenCheckpoint(path)
+	gotAlgo, gotSpec, _, payload, err := queryd.OpenCheckpoint(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil
 	}
@@ -269,4 +322,22 @@ func maybeRestore(path, algo string, spec sketch.Spec, restore func(io.Reader) e
 	}
 	log.Printf("rsserve: warm-restarted from %s (%s)", path, gotAlgo)
 	return nil
+}
+
+// checkpointLSN peeks the WAL cut recorded in path's checkpoint header — the
+// position replay resumes after — without reading the snapshot. 0 when no
+// checkpoint exists yet (or it predates WAL support).
+func checkpointLSN(path string) (uint64, error) {
+	if path == "" {
+		return 0, nil
+	}
+	_, _, lsn, payload, err := queryd.OpenCheckpoint(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	payload.Close()
+	return lsn, nil
 }

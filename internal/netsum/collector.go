@@ -17,6 +17,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/sketch"
 	_ "repro/internal/sketch/all" // make every registered variant dialable by name
+	"repro/internal/wal"
 )
 
 // CollectorConfig selects and sizes the per-agent sketches the collector
@@ -53,6 +54,17 @@ type CollectorConfig struct {
 	// depth, backpressure policy, flush thresholds). Zero fields take the
 	// ingest package defaults.
 	Ingest ingest.Tuning
+	// WAL, when non-nil, makes ingest durable: every decoded wire batch is
+	// appended (with its agent attribution) before entering the pipeline,
+	// and NewCollector replays records past WALStartLSN — the restored
+	// checkpoint's cut — before accepting connections. Cumulative mode only:
+	// replaying old records into epoch rings would resurrect expired traffic
+	// into the live window.
+	WAL *wal.Log
+	// WALStartLSN is the WAL position the restored checkpoint covers (0 for
+	// a cold start); replay begins strictly after max(WALStartLSN, the
+	// log's own watermark).
+	WALStartLSN uint64
 	// Logf receives connection-level diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -102,11 +114,21 @@ type Collector struct {
 	// everything producers were acked for.
 	pipe *ingest.Pipeline
 
+	// walMu orders WAL appends against snapshot cuts: connection handlers
+	// hold it shared around each (append, submit) pair, SnapshotGlobal holds
+	// it exclusive around (drain, serialize, capture LastLSN). walCut is the
+	// last cut — the point the log may be truncated through once that
+	// checkpoint file is durable (WALCheckpointCommitted).
+	walMu  sync.RWMutex
+	walCut atomic.Uint64
+
 	updates atomic.Uint64
 	queries atomic.Uint64
 
-	wg     sync.WaitGroup
-	closed chan struct{}
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // NewCollector starts a collector listening on addr (e.g. "127.0.0.1:0").
@@ -158,9 +180,46 @@ func NewCollector(addr string, cfg CollectorConfig) (*Collector, error) {
 		opts.Fold = c.foldGlobal
 	}
 	c.pipe = ingest.New(opts)
+	if cfg.WAL != nil {
+		if cfg.Epoch > 0 {
+			c.pipe.Close()
+			ln.Close()
+			return nil, errors.New("netsum: WAL-backed ingest is cumulative-mode only (epoch-ring state ages out instead)")
+		}
+		// Replay the un-checkpointed tail through the same pipeline live
+		// traffic takes, before the listener accepts anything — so replayed
+		// and live batches never interleave, and per-agent attribution
+		// (Source, stored per record) lands exactly as it did pre-crash.
+		if err := c.replayWAL(cfg.WAL, cfg.WALStartLSN); err != nil {
+			c.pipe.Close()
+			ln.Close()
+			return nil, err
+		}
+	}
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return c, nil
+}
+
+// replayWAL feeds every record past the checkpoint cut (and the log's own
+// watermark) back through the ingest pipeline and drains it to visibility.
+func (c *Collector) replayWAL(l *wal.Log, startLSN uint64) error {
+	after := max(startLSN, l.Watermark())
+	if _, err := l.Replay(after, func(b ingest.Batch, lsn uint64) error {
+		ack := c.pipe.Submit(b)
+		if ack.Dropped > 0 {
+			return fmt.Errorf("netsum: replaying wal record %d: %d items refused", lsn, ack.Dropped)
+		}
+		c.updates.Add(uint64(ack.Accepted))
+		return nil
+	}); err != nil {
+		return fmt.Errorf("netsum: wal replay: %w", err)
+	}
+	if err := c.drainIngest(); err != nil {
+		return fmt.Errorf("netsum: wal replay: %w", err)
+	}
+	c.walCut.Store(after)
+	return nil
 }
 
 // applyBatch is the pipeline's attribution hook: land the batch in its
@@ -250,15 +309,19 @@ func (c *Collector) Addr() string { return c.ln.Addr().String() }
 func (c *Collector) MergeBased() bool { return c.global != nil }
 
 // Close stops accepting, waits for connection handlers to drain, then
-// closes the ingest pipeline (folding everything accepted).
+// closes the ingest pipeline (folding everything accepted). Idempotent:
+// later calls return the first call's result.
 func (c *Collector) Close() error {
-	close(c.closed)
-	err := c.ln.Close()
-	c.wg.Wait()
-	if perr := c.pipe.Close(); perr != nil && err == nil {
-		err = perr
-	}
-	return err
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		err := c.ln.Close()
+		c.wg.Wait()
+		if perr := c.pipe.Close(); perr != nil && err == nil {
+			err = perr
+		}
+		c.closeErr = err
+	})
+	return c.closeErr
 }
 
 // IngestStats snapshots the shared write pipeline's counters.
@@ -377,7 +440,26 @@ func (c *Collector) handle(conn net.Conn) error {
 			// 0. Counting accepted updates here (not in the worker) keeps
 			// the Stats counter exact for every frame already handled on
 			// this connection, without Stats needing a pipeline drain.
-			ack := c.pipe.Submit(ingest.Batch{Items: ups, Source: agentID + 1})
+			//
+			// With a WAL, the batch hits disk (per the fsync policy) before
+			// the pipeline sees it. The v1 wire has no per-batch refusal
+			// frame, so a failed append drops the connection — the agent's
+			// resend path handles it — rather than silently accepting a
+			// write that would vanish on restart.
+			batch := ingest.Batch{Items: ups, Source: agentID + 1}
+			if c.cfg.WAL != nil {
+				c.walMu.RLock()
+				_, werr := c.cfg.WAL.Append(batch)
+				if werr != nil {
+					c.walMu.RUnlock()
+					return fmt.Errorf("netsum: wal append: %w", werr)
+				}
+				ack := c.pipe.Submit(batch)
+				c.walMu.RUnlock()
+				c.updates.Add(uint64(ack.Accepted))
+				continue
+			}
+			ack := c.pipe.Submit(batch)
 			c.updates.Add(uint64(ack.Accepted))
 
 		case msgQuery:
@@ -486,24 +568,69 @@ func (c *Collector) CanSnapshotGlobal() error {
 // collector can warm-start from it via RestoreBaseline. The view is
 // serialized into memory under globalMu and written to w after releasing
 // it, so global queries and per-batch merge folds stall for the
-// serialization only, never for the destination's I/O.
+// serialization only, never for the destination's I/O. With a WAL, the
+// (drain, serialize, capture LastLSN) cut runs under the exclusive side of
+// walMu so no (append, submit) pair straddles it: records at or below the
+// cut are in the snapshot, records above it replay on restart.
 func (c *Collector) SnapshotGlobal(w io.Writer) error {
 	if err := c.CanSnapshotGlobal(); err != nil {
 		return err
 	}
 	sn := c.global.(sketch.Snapshotter)
-	if err := c.drainIngest(); err != nil {
+	if c.cfg.WAL != nil {
+		c.walMu.Lock()
+	}
+	buf, err := c.snapshotCut(sn)
+	if c.cfg.WAL != nil {
+		if err == nil {
+			c.walCut.Store(c.cfg.WAL.LastLSN())
+		}
+		c.walMu.Unlock()
+	}
+	if err != nil {
 		return err
+	}
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+// snapshotCut drains pending ingest and serializes the merged view into a
+// buffer; the caller handles WAL cut ordering around it.
+func (c *Collector) snapshotCut(sn sketch.Snapshotter) (*bytes.Buffer, error) {
+	if err := c.drainIngest(); err != nil {
+		return nil, err
 	}
 	var buf bytes.Buffer
 	c.globalMu.Lock()
 	err := sn.Snapshot(&buf)
 	c.globalMu.Unlock()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	_, err = w.Write(buf.Bytes())
-	return err
+	return &buf, nil
+}
+
+// WALCutLSN reports the WAL position the most recent SnapshotGlobal cut
+// covered (0 with no WAL).
+func (c *Collector) WALCutLSN() uint64 { return c.walCut.Load() }
+
+// WALCheckpointCommitted tells the collector its latest SnapshotGlobal is
+// durable on disk: the WAL's records through the cut are now redundant, so
+// the watermark advances and fully covered segments are deleted.
+func (c *Collector) WALCheckpointCommitted() error {
+	if c.cfg.WAL == nil {
+		return nil
+	}
+	return c.cfg.WAL.TruncateThrough(c.walCut.Load())
+}
+
+// WALStats snapshots the write-ahead log's counters (nil with no WAL).
+func (c *Collector) WALStats() *wal.Stats {
+	if c.cfg.WAL == nil {
+		return nil
+	}
+	st := c.cfg.WAL.Stats()
+	return &st
 }
 
 // RestoreBaseline warm-starts the collector from a SnapshotGlobal

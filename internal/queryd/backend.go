@@ -23,6 +23,7 @@ import (
 	"repro/internal/netsum"
 	"repro/internal/query"
 	"repro/internal/sketch"
+	"repro/internal/wal"
 )
 
 // Status describes a backend for /v1/status.
@@ -37,6 +38,9 @@ type Status struct {
 	// Ingest reports the write pipeline's counters when the backend ingests
 	// through one (absent for synchronous backends).
 	Ingest *ingest.Stats `json:"ingest,omitempty"`
+	// WAL reports write-ahead-log counters when durable ingest is enabled
+	// (absent otherwise).
+	WAL *wal.Stats `json:"wal,omitempty"`
 }
 
 // Backend is the query surface the server fronts: one typed batch executor
@@ -108,6 +112,14 @@ func (b CollectorBackend) Checkpoint(w io.Writer) error { return b.C.SnapshotGlo
 // merged view.
 func (b CollectorBackend) CanCheckpoint() error { return b.C.CanSnapshotGlobal() }
 
+// CutLSN reports the WAL position the collector's most recent snapshot cut
+// covered (0 with no WAL).
+func (b CollectorBackend) CutLSN() uint64 { return b.C.WALCutLSN() }
+
+// CheckpointCommitted advances the collector's WAL watermark through the
+// last cut, now that the checkpoint file holding it is durable.
+func (b CollectorBackend) CheckpointCommitted() error { return b.C.WALCheckpointCommitted() }
+
 // Status reports collector identity and ingest counters.
 func (b CollectorBackend) Status() Status {
 	agents, updates, queries := b.C.Stats()
@@ -121,6 +133,7 @@ func (b CollectorBackend) Status() Status {
 		Updates:    updates,
 		Queries:    queries,
 		Ingest:     &ist,
+		WAL:        b.C.WALStats(),
 	}
 }
 
@@ -146,6 +159,18 @@ type SketchBackend struct {
 
 	// pipe is the optional async write plane; nil means synchronous ingest.
 	pipe *ingest.Pipeline
+
+	// wl is the optional write-ahead log (AttachWAL); every Ingest appends
+	// to it before touching the pipeline, so an acked batch is on disk
+	// before it is in memory. walMu orders appends against checkpoint cuts:
+	// ingest holds it shared around the (append, submit) pair, and the
+	// checkpoint cut holds it exclusive around (drain, serialize, capture
+	// LastLSN) — so every record at or below the cut LSN is in the snapshot
+	// and every record above it is not. cutLSN is the last cut, the point
+	// the log can be truncated through once that checkpoint file is durable.
+	wl     *wal.Log
+	walMu  sync.RWMutex
+	cutLSN atomic.Uint64
 
 	updates atomic.Uint64
 	queries atomic.Uint64
@@ -282,7 +307,27 @@ func (b *SketchBackend) Restore(r io.Reader) error {
 // configured (the Ack then reports drops under the Drop policy), applied
 // synchronously otherwise. The Ack's generation is stamped from the
 // backend, so epoch-mode clients can key caches off their own writes.
+//
+// With a WAL attached, the batch is appended (and, per the fsync policy,
+// made durable) before it enters the pipeline — the ack promises the write
+// survives a crash. A failed append refuses the whole batch (Dropped) rather
+// than acking a write that would vanish on restart; the log's sticky failure
+// state surfaces in Status.
 func (b *SketchBackend) Ingest(batch ingest.Batch) ingest.Ack {
+	if b.wl == nil {
+		return b.submit(batch)
+	}
+	b.walMu.RLock()
+	defer b.walMu.RUnlock()
+	if _, err := b.wl.Append(batch); err != nil {
+		return ingest.Ack{Dropped: len(batch.Items), Generation: b.peekGeneration()}
+	}
+	return b.submit(batch)
+}
+
+// submit is Ingest minus durability: the in-memory landing path, shared by
+// live traffic and WAL replay.
+func (b *SketchBackend) submit(batch ingest.Batch) ingest.Ack {
 	var ack ingest.Ack
 	if b.pipe != nil {
 		ack = b.pipe.Submit(batch)
@@ -397,34 +442,98 @@ func (b *SketchBackend) Generation() uint64 {
 // Epochal reports epoch mode.
 func (b *SketchBackend) Epochal() bool { return b.ring != nil }
 
+// AttachWAL wires a write-ahead log into the backend: every record past
+// ckptLSN (the restored checkpoint's cut) and the log's own watermark is
+// replayed through the same in-memory path live traffic takes, drained to
+// visibility, and only then does the log start intercepting Ingest — no
+// appends happen during replay. Cumulative mode only: replaying old records
+// into an epoch ring would resurrect expired traffic into the live window.
+func (b *SketchBackend) AttachWAL(l *wal.Log, ckptLSN uint64) error {
+	if b.ring != nil {
+		return errors.New("queryd: WAL-backed ingest is cumulative-mode only (epoch-ring state ages out instead)")
+	}
+	if b.wl != nil {
+		return errors.New("queryd: WAL already attached")
+	}
+	after := max(ckptLSN, l.Watermark())
+	if _, err := l.Replay(after, func(batch ingest.Batch, lsn uint64) error {
+		if ack := b.submit(batch); ack.Dropped > 0 {
+			return fmt.Errorf("queryd: replaying wal record %d: %d items refused", lsn, ack.Dropped)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := b.drain(); err != nil {
+		return err
+	}
+	b.cutLSN.Store(after)
+	b.wl = l
+	return nil
+}
+
+// CutLSN reports the WAL position the most recent checkpoint cut covered.
+func (b *SketchBackend) CutLSN() uint64 { return b.cutLSN.Load() }
+
+// CheckpointCommitted tells the backend its latest Checkpoint is durable on
+// disk: the WAL's records through the cut are now redundant, so the
+// watermark advances and fully covered segments are deleted.
+func (b *SketchBackend) CheckpointCommitted() error {
+	if b.wl == nil {
+		return nil
+	}
+	return b.wl.TruncateThrough(b.cutLSN.Load())
+}
+
 // Checkpoint snapshots the cumulative sketch. Readers may run concurrently
 // (a snapshot is a read); ingest is excluded for the serialization only —
 // the state is captured into memory under the lock and written to w after
-// releasing it, so ingest never stalls on the destination's I/O.
+// releasing it, so ingest never stalls on the destination's I/O. With a WAL
+// attached, the (drain, serialize, capture LastLSN) cut runs under the
+// exclusive side of walMu so no (append, submit) pair straddles it.
 func (b *SketchBackend) Checkpoint(w io.Writer) error {
 	if err := b.CanCheckpoint(); err != nil {
 		return err
 	}
 	sn := b.sk.(sketch.Snapshotter)
-	if err := b.drain(); err != nil {
+	if b.wl != nil {
+		b.walMu.Lock()
+	}
+	buf, err := b.checkpointCut(sn)
+	if b.wl != nil {
+		if err == nil {
+			b.cutLSN.Store(b.wl.LastLSN())
+		}
+		b.walMu.Unlock()
+	}
+	if err != nil {
 		return err
+	}
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+// checkpointCut drains pending ingest and serializes the sketch into a
+// buffer; the caller handles WAL cut ordering around it.
+func (b *SketchBackend) checkpointCut(sn sketch.Snapshotter) (*bytes.Buffer, error) {
+	if err := b.drain(); err != nil {
+		return nil, err
 	}
 	var buf bytes.Buffer
 	if b.selfSynced {
 		// Sharded snapshots lock shard-by-shard themselves.
 		if err := sn.Snapshot(&buf); err != nil {
-			return err
+			return nil, err
 		}
 	} else {
 		b.mu.RLock()
 		err := sn.Snapshot(&buf)
 		b.mu.RUnlock()
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
-	_, err := w.Write(buf.Bytes())
-	return err
+	return &buf, nil
 }
 
 // CanCheckpoint reports whether the backend is a cumulative snapshottable
@@ -452,6 +561,10 @@ func (b *SketchBackend) Status() Status {
 	if b.pipe != nil {
 		ist := b.pipe.Stats()
 		st.Ingest = &ist
+	}
+	if b.wl != nil {
+		ws := b.wl.Stats()
+		st.WAL = &ws
 	}
 	return st
 }

@@ -2,30 +2,57 @@ package queryd
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/sketch"
 )
 
 // Checkpoint files make sketch state durable across restarts. The file is
-// self-describing — magic "RQC1" | algorithm name | the Spec the sketch was
-// built from | the sketch snapshot — so a warm restart can rebuild the
-// exact same-Spec sketch before restoring into it, and a mismatched
-// restore is refused by name instead of misparsing counters.
+// self-describing — magic "RQC2" | algorithm name | the Spec the sketch was
+// built from | the WAL cut LSN | the sketch snapshot — so a warm restart can
+// rebuild the exact same-Spec sketch before restoring into it, and a
+// mismatched restore is refused by name instead of misparsing counters.
+//
+// The WAL cut LSN records the last write-ahead-log record folded into the
+// snapshot; recovery replays strictly after it. It lives in the checkpoint
+// file rather than only in the WAL manifest because the checkpoint rename
+// and the manifest's watermark advance cannot be atomic with each other —
+// the checkpoint itself must say where replay starts. "RQC1" files (written
+// before WAL support) are still readable and carry an implicit LSN of 0.
 
-var checkpointMagic = [4]byte{'R', 'Q', 'C', '1'}
+var (
+	checkpointMagic   = [4]byte{'R', 'Q', 'C', '2'}
+	checkpointMagicV1 = [4]byte{'R', 'Q', 'C', '1'}
+)
 
 // WriteCheckpoint atomically writes a checkpoint to path: the header, then
 // whatever snapshot writes (typically a Snapshotter's Snapshot or the
-// collector's SnapshotGlobal). The file appears under its final name only
-// once fully written and synced, so a crash mid-checkpoint leaves the
-// previous checkpoint intact.
-func WriteCheckpoint(path, algo string, spec sketch.Spec, snapshot func(io.Writer) error) (err error) {
+// collector's SnapshotGlobal). The snapshot runs before the header is
+// encoded, so lsn — which reports the WAL position the snapshot covers —
+// is read after the snapshot's cut completes; pass nil when no WAL is
+// attached. The file appears under its final name only once fully written,
+// synced, and its directory entry synced, so a crash mid-checkpoint leaves
+// the previous checkpoint intact.
+func WriteCheckpoint(path, algo string, spec sketch.Spec, snapshot func(io.Writer) error, lsn func() uint64) (err error) {
+	// Buffer the snapshot first: it performs the consistency cut (drain +
+	// serialize under lock), and the cut LSN is only correct once that cut
+	// has happened.
+	var body bytes.Buffer
+	if err := snapshot(&body); err != nil {
+		return fmt.Errorf("queryd: snapshotting into checkpoint: %w", err)
+	}
+	var cut uint64
+	if lsn != nil {
+		cut = lsn()
+	}
+
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("queryd: creating checkpoint temp file: %w", err)
@@ -37,11 +64,11 @@ func WriteCheckpoint(path, algo string, spec sketch.Spec, snapshot func(io.Write
 		}
 	}()
 	bw := bufio.NewWriterSize(tmp, 256<<10)
-	if err = writeCheckpointHeader(bw, algo, spec); err != nil {
+	if err = writeCheckpointHeader(bw, algo, spec, cut); err != nil {
 		return err
 	}
-	if err = snapshot(bw); err != nil {
-		return fmt.Errorf("queryd: snapshotting into checkpoint: %w", err)
+	if _, err = body.WriteTo(bw); err != nil {
+		return err
 	}
 	if err = bw.Flush(); err != nil {
 		return err
@@ -52,10 +79,48 @@ func WriteCheckpoint(path, algo string, spec sketch.Spec, snapshot func(io.Write
 	if err = tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncParentDir(path)
 }
 
-func writeCheckpointHeader(w io.Writer, algo string, spec sketch.Spec) error {
+// syncParentDir fsyncs path's directory so the rename that published the
+// file is itself durable.
+func syncParentDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// CleanCheckpointTemps removes stale temp files a crashed checkpoint write
+// left next to path. Call it once at startup, before the first checkpoint.
+func CleanCheckpointTemps(path string) error {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), base+".tmp") {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeCheckpointHeader(w io.Writer, algo string, spec sketch.Spec, walLSN uint64) error {
 	if _, err := w.Write(checkpointMagic[:]); err != nil {
 		return err
 	}
@@ -79,27 +144,31 @@ func writeCheckpointHeader(w io.Writer, algo string, spec sketch.Spec) error {
 	if spec.Emergency {
 		emergency = 1
 	}
-	return write(uint64(spec.MemoryBytes), spec.Lambda, spec.Seed,
+	if err := write(uint64(spec.MemoryBytes), spec.Lambda, spec.Seed,
 		uint64(spec.FilterBits), math.Float64bits(spec.Rw), math.Float64bits(spec.Rl),
-		emergency, uint64(spec.Shards))
+		emergency, uint64(spec.Shards)); err != nil {
+		return err
+	}
+	return write(walLSN)
 }
 
-// OpenCheckpoint opens a checkpoint file and decodes its header. The
+// OpenCheckpoint opens a checkpoint file and decodes its header, including
+// the WAL cut LSN replay must start after (0 for pre-WAL "RQC1" files). The
 // returned reader is positioned at the snapshot payload; the caller closes
 // it (typically by handing it to Snapshotter.Restore or
 // Collector.RestoreBaseline first).
-func OpenCheckpoint(path string) (algo string, spec sketch.Spec, payload io.ReadCloser, err error) {
+func OpenCheckpoint(path string) (algo string, spec sketch.Spec, walLSN uint64, payload io.ReadCloser, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return "", sketch.Spec{}, nil, err
+		return "", sketch.Spec{}, 0, nil, err
 	}
 	br := bufio.NewReaderSize(f, 256<<10)
-	algo, spec, err = readCheckpointHeader(br)
+	algo, spec, walLSN, err = readCheckpointHeader(br)
 	if err != nil {
 		f.Close()
-		return "", sketch.Spec{}, nil, fmt.Errorf("queryd: %s: %w", path, err)
+		return "", sketch.Spec{}, 0, nil, fmt.Errorf("queryd: %s: %w", path, err)
 	}
-	return algo, spec, &checkpointReader{Reader: br, f: f}, nil
+	return algo, spec, walLSN, &checkpointReader{Reader: br, f: f}, nil
 }
 
 // checkpointReader pairs the buffered payload reader with the underlying
@@ -111,33 +180,40 @@ type checkpointReader struct {
 
 func (c *checkpointReader) Close() error { return c.f.Close() }
 
-func readCheckpointHeader(br *bufio.Reader) (string, sketch.Spec, error) {
+func readCheckpointHeader(br *bufio.Reader) (string, sketch.Spec, uint64, error) {
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return "", sketch.Spec{}, fmt.Errorf("reading checkpoint magic: %w", err)
+		return "", sketch.Spec{}, 0, fmt.Errorf("reading checkpoint magic: %w", err)
 	}
-	if magic != checkpointMagic {
-		return "", sketch.Spec{}, fmt.Errorf("bad checkpoint magic %q", magic[:])
+	hasLSN := magic == checkpointMagic
+	if !hasLSN && magic != checkpointMagicV1 {
+		return "", sketch.Spec{}, 0, fmt.Errorf("bad checkpoint magic %q", magic[:])
 	}
 	read := func() (uint64, error) { return binary.ReadUvarint(br) }
 	nameLen, err := read()
 	if err != nil {
-		return "", sketch.Spec{}, fmt.Errorf("checkpoint algo length: %w", err)
+		return "", sketch.Spec{}, 0, fmt.Errorf("checkpoint algo length: %w", err)
 	}
 	if nameLen > 256 {
-		return "", sketch.Spec{}, fmt.Errorf("implausible checkpoint algo length %d", nameLen)
+		return "", sketch.Spec{}, 0, fmt.Errorf("implausible checkpoint algo length %d", nameLen)
 	}
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, name); err != nil {
-		return "", sketch.Spec{}, fmt.Errorf("checkpoint algo name: %w", err)
+		return "", sketch.Spec{}, 0, fmt.Errorf("checkpoint algo name: %w", err)
 	}
 	var fields [8]uint64
 	for i := range fields {
 		v, err := read()
 		if err != nil {
-			return "", sketch.Spec{}, fmt.Errorf("checkpoint spec field %d: %w", i, err)
+			return "", sketch.Spec{}, 0, fmt.Errorf("checkpoint spec field %d: %w", i, err)
 		}
 		fields[i] = v
+	}
+	var walLSN uint64
+	if hasLSN {
+		if walLSN, err = read(); err != nil {
+			return "", sketch.Spec{}, 0, fmt.Errorf("checkpoint wal lsn: %w", err)
+		}
 	}
 	spec := sketch.Spec{
 		MemoryBytes: int(fields[0]),
@@ -149,5 +225,5 @@ func readCheckpointHeader(br *bufio.Reader) (string, sketch.Spec, error) {
 		Emergency:   fields[6] == 1,
 		Shards:      int(fields[7]),
 	}
-	return string(name), spec, nil
+	return string(name), spec, walLSN, nil
 }

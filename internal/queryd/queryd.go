@@ -73,9 +73,27 @@ type Server struct {
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 
+	// ckptRun serializes whole checkpoint writes: two concurrent cuts would
+	// race the backend's cut LSN against the file each cut belongs in, and
+	// a WAL truncation must commit the checkpoint that defined its cut.
+	ckptRun  sync.Mutex
 	ckptMu   sync.Mutex
 	lastCkpt time.Time
 	ckptErr  error
+}
+
+// WALBacked is implemented by backends whose ingest is write-ahead logged.
+// The server closes the durability loop: after a checkpoint file lands (tmp
+// + fsync + rename + dir fsync), CheckpointCommitted lets the backend
+// advance its WAL watermark through CutLSN and truncate dead segments.
+type WALBacked interface {
+	// CutLSN is the WAL position the backend's most recent Checkpoint cut
+	// covered; the snapshot in that checkpoint holds every record at or
+	// below it.
+	CutLSN() uint64
+	// CheckpointCommitted reports that the checkpoint holding the last cut
+	// is durable, so the WAL may truncate through it.
+	CheckpointCommitted() error
 }
 
 // New builds a server over b. Close it to stop background checkpointing.
@@ -105,6 +123,11 @@ func New(b Backend, cfg Config) (*Server, error) {
 		// logging a failed checkpoint every interval forever.
 		if err := cp.CanCheckpoint(); err != nil {
 			return nil, fmt.Errorf("queryd: checkpointing configured but impossible: %w", err)
+		}
+		// A crash mid-checkpoint leaves a .tmp file beside the real one;
+		// sweep them now so they cannot accumulate across restarts.
+		if err := CleanCheckpointTemps(cfg.CheckpointPath); err != nil {
+			return nil, fmt.Errorf("queryd: cleaning stale checkpoint temps: %w", err)
 		}
 	}
 	// Handlers register without method patterns so that method mismatches
@@ -164,7 +187,11 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// CheckpointNow writes one checkpoint to the configured path.
+// CheckpointNow writes one checkpoint to the configured path. For
+// WAL-backed backends the checkpoint header records the backend's cut LSN,
+// and once the file is durable the backend is told to truncate its WAL
+// through that cut — the incremental-checkpoint loop: log grows, checkpoint
+// lands, log shrinks.
 func (s *Server) CheckpointNow() error {
 	cp, ok := s.b.(Checkpointer)
 	if !ok {
@@ -173,7 +200,22 @@ func (s *Server) CheckpointNow() error {
 	if s.cfg.CheckpointPath == "" {
 		return errors.New("queryd: no checkpoint path configured")
 	}
-	err := WriteCheckpoint(s.cfg.CheckpointPath, s.cfg.Algo, s.cfg.Spec, cp.Checkpoint)
+	s.ckptRun.Lock()
+	defer s.ckptRun.Unlock()
+	var lsn func() uint64
+	wb, walBacked := s.b.(WALBacked)
+	if walBacked {
+		lsn = wb.CutLSN
+	}
+	err := WriteCheckpoint(s.cfg.CheckpointPath, s.cfg.Algo, s.cfg.Spec, cp.Checkpoint, lsn)
+	if err == nil && walBacked {
+		if terr := wb.CheckpointCommitted(); terr != nil {
+			// The checkpoint itself is durable; only the log GC failed. Not a
+			// checkpoint failure — the next commit retries the truncation —
+			// but worth a diagnostic.
+			s.logf("queryd: wal truncation after checkpoint: %v", terr)
+		}
+	}
 	s.ckptMu.Lock()
 	s.lastCkpt = time.Now()
 	s.ckptErr = err

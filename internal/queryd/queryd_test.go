@@ -320,12 +320,15 @@ func TestCheckpointWarmRestart(t *testing.T) {
 	}
 
 	// "Restart": rebuild the backend purely from the checkpoint file.
-	algo, loadedSpec, payload, err := queryd.OpenCheckpoint(path)
+	algo, loadedSpec, walLSN, payload, err := queryd.OpenCheckpoint(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if algo != "Ours" || loadedSpec != spec {
 		t.Fatalf("checkpoint header (%s, %+v), want (Ours, %+v)", algo, loadedSpec, spec)
+	}
+	if walLSN != 0 {
+		t.Fatalf("checkpoint without a WAL records cut LSN %d, want 0", walLSN)
 	}
 	b2, err := queryd.NewSketchBackend(algo, loadedSpec, 0, 0, nil)
 	if err != nil {

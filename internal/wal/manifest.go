@@ -1,0 +1,155 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The MANIFEST is the log's small source of truth: the segment order and
+// the checkpoint watermark, rewritten atomically (tmp + fsync + rename +
+// parent-dir fsync) on segment rotation and truncation. Segment files not
+// in the manifest are either newer than its last entry (a crash between
+// segment creation and the manifest write — adopted) or leftovers of an
+// interrupted truncation (removed); a manifest entry with no file is real
+// loss and refuses to open.
+
+const (
+	manifestName    = "MANIFEST"
+	manifestVersion = 1
+)
+
+type manifest struct {
+	Version   int      `json:"version"`
+	Watermark uint64   `json:"watermark"`
+	Segments  []string `json:"segments"`
+}
+
+// readManifest loads the manifest; a missing file is an empty log.
+func readManifest(dir string) (manifest, error) {
+	var m manifest
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return manifest{Version: manifestVersion}, nil
+	}
+	if err != nil {
+		return m, fmt.Errorf("wal: reading manifest: %w", err)
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return m, fmt.Errorf("wal: parsing manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return m, fmt.Errorf("wal: manifest version %d, this build speaks %d", m.Version, manifestVersion)
+	}
+	return m, nil
+}
+
+// writeManifest atomically replaces the manifest and fsyncs it and the
+// directory, so the new segment set survives a crash the instant the
+// rename lands.
+func writeManifest(dir string, m manifest) error {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: writing manifest: %w", err)
+	}
+	if _, err := f.Write(append(raw, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames and file creations in it are
+// durable, not just the file contents.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// reconcileSegments merges the manifest's segment list with the directory's
+// actual contents into the ordered, validated set the log opens with.
+func reconcileSegments(dir string, m manifest, logf func(string, ...any)) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	onDisk := make(map[string]bool)
+	var diskNames []string
+	for _, e := range entries {
+		if _, ok := parseSegmentName(e.Name()); ok {
+			onDisk[e.Name()] = true
+			diskNames = append(diskNames, e.Name())
+		}
+	}
+	sort.Strings(diskNames) // zero-padded names sort in LSN order
+
+	var segs []segment
+	for _, name := range m.Segments {
+		if !onDisk[name] {
+			return nil, fmt.Errorf("wal: manifest names segment %s but the file is gone — refusing to silently lose its records", name)
+		}
+		first, _ := parseSegmentName(name)
+		segs = append(segs, segment{name: name, first: first})
+		delete(onDisk, name)
+	}
+	lastFirst := uint64(0)
+	if n := len(segs); n > 0 {
+		lastFirst = segs[n-1].first
+	}
+	for _, name := range diskNames {
+		if !onDisk[name] {
+			continue // already adopted from the manifest
+		}
+		first, _ := parseSegmentName(name)
+		if first > lastFirst {
+			// Created after the last manifest write (crash before the
+			// rotation's manifest update): adopt it.
+			segs = append(segs, segment{name: name, first: first})
+			continue
+		}
+		// Below the manifest's coverage: an interrupted truncation already
+		// committed a manifest without it, so its records are checkpointed.
+		if logf != nil {
+			logf("wal: removing stale segment %s left by an interrupted truncation", name)
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].first <= segs[i-1].first {
+			return nil, fmt.Errorf("wal: segments %s and %s out of order", segs[i-1].name, segs[i].name)
+		}
+	}
+	return segs, nil
+}

@@ -1,0 +1,381 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/stream"
+)
+
+// testBatch builds a deterministic batch whose identity is i.
+func testBatch(i int) ingest.Batch {
+	items := make([]stream.Item, 1+i%3)
+	for j := range items {
+		items[j] = stream.Item{Key: uint64(i*10 + j), Value: uint64(i + 1)}
+	}
+	return ingest.Batch{Items: items, Source: uint64(i % 5), Epoch: uint64(i % 7)}
+}
+
+func batchesEqual(a, b ingest.Batch) bool {
+	if a.Source != b.Source || a.Epoch != b.Epoch || len(a.Items) != len(b.Items) {
+		return false
+	}
+	for i := range a.Items {
+		if a.Items[i] != b.Items[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// appendN appends batches 0..n-1 and fails the test on any error.
+func appendN(t *testing.T, l *Log, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		lsn, err := l.Append(testBatch(i))
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if want := uint64(i + 1); lsn != want {
+			t.Fatalf("append %d: lsn %d, want %d", i, lsn, want)
+		}
+	}
+}
+
+// replayAll collects every record past after.
+func replayAll(t *testing.T, l *Log, after uint64) ([]ingest.Batch, []uint64) {
+	t.Helper()
+	var got []ingest.Batch
+	var lsns []uint64
+	n, err := l.Replay(after, func(b ingest.Batch, lsn uint64) error {
+		got = append(got, b)
+		lsns = append(lsns, lsn)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if int(n) != len(got) {
+		t.Fatalf("replay reported %d records, delivered %d", n, len(got))
+	}
+	return got, lsns
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Fsync: FsyncPolicy{Mode: SyncOff}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	appendN(t, l, n)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: dir, Fsync: FsyncPolicy{Mode: SyncOff}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got, lsns := replayAll(t, l2, 0)
+	if len(got) != n {
+		t.Fatalf("replayed %d records, want %d", len(got), n)
+	}
+	for i, b := range got {
+		if !batchesEqual(b, testBatch(i)) {
+			t.Fatalf("record %d = %+v, want %+v", i, b, testBatch(i))
+		}
+		if lsns[i] != uint64(i+1) {
+			t.Fatalf("record %d has lsn %d", i, lsns[i])
+		}
+	}
+	// Appends continue exactly where the recovered log ends.
+	if lsn, err := l2.Append(testBatch(n)); err != nil || lsn != n+1 {
+		t.Fatalf("post-recovery append: lsn %d err %v, want %d", lsn, err, n+1)
+	}
+}
+
+func TestRotationManifestAndTruncation(t *testing.T) {
+	dir := t.TempDir()
+	// ~40-byte records against a 256-byte threshold: several segments.
+	l, err := Open(Options{Dir: dir, SegmentBytes: 256, Fsync: FsyncPolicy{Mode: SyncOff}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	appendN(t, l, n)
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected rotation to produce ≥3 segments, got %d", st.Segments)
+	}
+	if st.LastLSN != n {
+		t.Fatalf("LastLSN = %d, want %d", st.LastLSN, n)
+	}
+
+	// Truncating through the middle deletes fully covered segments and
+	// replays only the tail.
+	const mark = n / 2
+	if err := l.TruncateThrough(mark); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Watermark(); got != mark {
+		t.Fatalf("watermark = %d, want %d", got, mark)
+	}
+	if after := l.Stats(); after.Segments >= st.Segments {
+		t.Fatalf("truncation kept all %d segments", after.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The watermark and the surviving tail persist across reopen.
+	l2, err := Open(Options{Dir: dir, SegmentBytes: 256, Fsync: FsyncPolicy{Mode: SyncOff}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.Watermark(); got != mark {
+		t.Fatalf("reopened watermark = %d, want %d", got, mark)
+	}
+	got, _ := replayAll(t, l2, l2.Watermark())
+	// Records (mark, n] must all be there; earlier ones may survive in a
+	// partially covered segment but are filtered by the watermark.
+	if len(got) != n-mark {
+		t.Fatalf("replayed %d records past watermark, want %d", len(got), n-mark)
+	}
+	for i, b := range got {
+		if want := testBatch(mark + i); !batchesEqual(b, want) {
+			t.Fatalf("record %d = %+v, want %+v", i, b, want)
+		}
+	}
+}
+
+// corruptTail reopens the newest segment file and mangles it with mutate.
+func corruptTail(t *testing.T, dir string, mutate func(data []byte) []byte) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") && e.Name() > last {
+			last = e.Name()
+		}
+	}
+	if last == "" {
+		t.Fatal("no segment files")
+	}
+	path := filepath.Join(dir, last)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornTailTruncatedMidRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Fsync: FsyncPolicy{Mode: SyncOff}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	appendN(t, l, n)
+	l.Close()
+
+	// Tear the last record in half, as a crash mid-write would.
+	corruptTail(t, dir, func(data []byte) []byte { return data[:len(data)-5] })
+
+	l2, err := Open(Options{Dir: dir, Fsync: FsyncPolicy{Mode: SyncOff}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if st := l2.Stats(); st.TornDropped != 1 {
+		t.Fatalf("TornDropped = %d, want 1", st.TornDropped)
+	}
+	got, _ := replayAll(t, l2, 0)
+	if len(got) != n-1 {
+		t.Fatalf("replayed %d records, want the durable prefix of %d", len(got), n-1)
+	}
+	for i, b := range got {
+		if !batchesEqual(b, testBatch(i)) {
+			t.Fatalf("record %d corrupted by recovery: %+v", i, b)
+		}
+	}
+	// The log keeps working: the torn LSN is reused by the next append.
+	if lsn, err := l2.Append(testBatch(0)); err != nil || lsn != n {
+		t.Fatalf("append after tear: lsn %d err %v, want %d", lsn, err, n)
+	}
+}
+
+func TestCorruptCRCDropsFromFlipOn(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Fsync: FsyncPolicy{Mode: SyncOff}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	appendN(t, l, n)
+	l.Close()
+
+	// Flip one payload byte roughly 2/3 into the segment: everything from
+	// the first bad record on is untrusted (frame boundaries past it are
+	// unknowable), so recovery keeps exactly the durable prefix.
+	var flipAt int
+	corruptTail(t, dir, func(data []byte) []byte {
+		flipAt = segmentHeaderLen + (len(data)-segmentHeaderLen)*2/3
+		data[flipAt] ^= 0xFF
+		return data
+	})
+
+	l2, err := Open(Options{Dir: dir, Fsync: FsyncPolicy{Mode: SyncOff}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if st := l2.Stats(); st.TornDropped != 1 {
+		t.Fatalf("TornDropped = %d, want 1", st.TornDropped)
+	}
+	got, _ := replayAll(t, l2, 0)
+	if len(got) == 0 || len(got) >= n {
+		t.Fatalf("replayed %d records, want a strict durable prefix of %d", len(got), n)
+	}
+	for i, b := range got {
+		if !batchesEqual(b, testBatch(i)) {
+			t.Fatalf("record %d corrupted by recovery: %+v", i, b)
+		}
+	}
+}
+
+func TestGroupCommitReleasesAllAppenders(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Fsync: FsyncPolicy{Mode: SyncGroup, Interval: time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const writers, each = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*each)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := l.Append(testBatch(w*each + i)); err != nil {
+					errs <- err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Appended != writers*each {
+		t.Fatalf("appended %d, want %d", st.Appended, writers*each)
+	}
+	// The whole point of group commit: far fewer fsyncs than appends.
+	if st.Fsyncs == 0 || st.Fsyncs >= st.Appended {
+		t.Fatalf("fsyncs = %d for %d appends; group commit did not amortize", st.Fsyncs, st.Appended)
+	}
+	got, _ := replayAll(t, l, 0)
+	if len(got) != writers*each {
+		t.Fatalf("replayed %d records, want %d", len(got), writers*each)
+	}
+}
+
+func TestParseFsync(t *testing.T) {
+	cases := []struct {
+		in   string
+		mode SyncMode
+		ok   bool
+	}{
+		{"", SyncEachBatch, true},
+		{"batch", SyncEachBatch, true},
+		{"per-batch", SyncEachBatch, true},
+		{"off", SyncOff, true},
+		{"none", SyncOff, true},
+		{"5ms", SyncGroup, true},
+		{"1s", SyncGroup, true},
+		{"-5ms", 0, false},
+		{"0", 0, false},
+		{"sometimes", 0, false},
+	}
+	for _, c := range cases {
+		p, err := ParseFsync(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseFsync(%q): err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && p.Mode != c.mode {
+			t.Errorf("ParseFsync(%q).Mode = %d, want %d", c.in, p.Mode, c.mode)
+		}
+	}
+	if got := (FsyncPolicy{Mode: SyncGroup, Interval: 5 * time.Millisecond}).String(); got != "5ms" {
+		t.Errorf("group policy String() = %q", got)
+	}
+	if got := (FsyncPolicy{Mode: SyncEachBatch}).String(); got != "batch" {
+		t.Errorf("batch policy String() = %q", got)
+	}
+}
+
+func TestPerBatchFsyncCountsSyncs(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Fsync: FsyncPolicy{Mode: SyncEachBatch}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN(t, l, 5)
+	st := l.Stats()
+	if st.Fsyncs < 5 {
+		t.Fatalf("per-batch policy fsynced %d times for 5 appends", st.Fsyncs)
+	}
+	if st.LastFsync == "" {
+		t.Error("LastFsync not stamped")
+	}
+}
+
+func TestClosedLogRefusesAppends(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir(), Fsync: FsyncPolicy{Mode: SyncOff}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := l.Append(testBatch(0)); err == nil {
+		t.Fatal("append on closed log succeeded")
+	}
+}
+
+func TestMissingManifestSegmentRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, SegmentBytes: 256, Fsync: FsyncPolicy{Mode: SyncOff}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 60)
+	if l.Stats().Segments < 2 {
+		t.Fatal("need multiple segments")
+	}
+	l.Close()
+	// Deleting a manifest-listed segment is real loss, not a torn tail.
+	if err := os.Remove(filepath.Join(dir, segmentName(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir, SegmentBytes: 256, Fsync: FsyncPolicy{Mode: SyncOff}}); err == nil {
+		t.Fatal("open succeeded with a manifest-listed segment missing")
+	}
+}

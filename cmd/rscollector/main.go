@@ -69,6 +69,9 @@ func main() {
 		if *ep > 0 {
 			log.Fatal("rscollector: -wal-dir is cumulative-mode only (replaying a log into an epoch ring would resurrect expired traffic)")
 		}
+		if policy == ingest.Drop {
+			log.Fatal("rscollector: -wal-dir requires -ingest-policy block (drop could refuse a durable batch live, then resurrect it on replay)")
+		}
 		fp, err := wal.ParseFsync(*walFsync)
 		if err != nil {
 			log.Fatalf("rscollector: -wal-fsync: %v", err)

@@ -85,6 +85,7 @@ var (
 	errNegativeIngestWorkers = errors.New("rsserve: -ingest-workers must be ≥ 0 (0 = synchronous standalone ingest)")
 	errBadIngestQueue        = errors.New("rsserve: -ingest-queue must be ≥ 0 (0 = default)")
 	errWALWithEpoch          = errors.New("rsserve: -wal-dir is cumulative-mode only (replaying a log into an epoch ring would resurrect expired traffic)")
+	errWALWithDrop           = errors.New("rsserve: -wal-dir requires -ingest-policy block (drop could refuse a durable batch live, then resurrect it on replay)")
 	errBadWALSegmentSize     = errors.New("rsserve: -wal-segment-size must be ≥ 4096 bytes")
 )
 
@@ -119,10 +120,14 @@ func (f serveFlags) validate() error {
 	case f.walDir != "" && f.walSegSize < 4096:
 		return errBadWALSegmentSize
 	}
-	if _, err := ingest.ParsePolicy(f.ingPolicy); err != nil {
+	policy, err := ingest.ParsePolicy(f.ingPolicy)
+	if err != nil {
 		return fmt.Errorf("rsserve: %w", err)
 	}
 	if f.walDir != "" {
+		if policy == ingest.Drop {
+			return errWALWithDrop
+		}
 		if _, err := wal.ParseFsync(f.walFsync); err != nil {
 			return fmt.Errorf("rsserve: -wal-fsync: %w", err)
 		}

@@ -271,6 +271,11 @@ func New(opts Options) *Pipeline {
 	return p
 }
 
+// Policy reports the pipeline's backpressure policy, so durability layers
+// can refuse wirings whose semantics it would break (a WAL ahead of a Drop
+// pipeline could make a batch durable that the queue then refuses).
+func (p *Pipeline) Policy() Policy { return p.opts.Policy }
+
 // route picks the worker owning a source. Non-zero sources are sticky (one
 // worker, FIFO — attribution order per producer); zero spreads round-robin.
 func (p *Pipeline) route(source uint64) *worker {

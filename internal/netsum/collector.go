@@ -186,6 +186,16 @@ func NewCollector(addr string, cfg CollectorConfig) (*Collector, error) {
 			ln.Close()
 			return nil, errors.New("netsum: WAL-backed ingest is cumulative-mode only (epoch-ring state ages out instead)")
 		}
+		if cfg.Ingest.Policy == ingest.Drop {
+			// Drop would let a momentarily full queue refuse a batch that is
+			// already durable on disk — live state says dropped, the log
+			// resurrects it on replay, and the same race makes replay itself
+			// fail on a healthy log. Block is the only policy whose acks the
+			// WAL can honestly extend across a crash.
+			c.pipe.Close()
+			ln.Close()
+			return nil, errors.New("netsum: WAL-backed ingest requires the block policy (drop could refuse a durable batch live, then resurrect it on replay)")
+		}
 		// Replay the un-checkpointed tail through the same pipeline live
 		// traffic takes, before the listener accepts anything — so replayed
 		// and live batches never interleave, and per-agent attribution
@@ -206,9 +216,13 @@ func NewCollector(addr string, cfg CollectorConfig) (*Collector, error) {
 func (c *Collector) replayWAL(l *wal.Log, startLSN uint64) error {
 	after := max(startLSN, l.Watermark())
 	if _, err := l.Replay(after, func(b ingest.Batch, lsn uint64) error {
+		// The pipeline is always Block here (NewCollector refuses WAL+Drop),
+		// so Submit never refuses for a full queue — Dropped > 0 means the
+		// pipeline itself failed or closed, which recovery must not paper
+		// over.
 		ack := c.pipe.Submit(b)
 		if ack.Dropped > 0 {
-			return fmt.Errorf("netsum: replaying wal record %d: %d items refused", lsn, ack.Dropped)
+			return fmt.Errorf("netsum: replaying wal record %d: %d items refused (pipeline failed)", lsn, ack.Dropped)
 		}
 		c.updates.Add(uint64(ack.Accepted))
 		return nil

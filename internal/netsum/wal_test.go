@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/sketch"
 	"repro/internal/wal"
 )
@@ -32,6 +33,22 @@ func newWALCollector(t *testing.T, l *wal.Log, startLSN uint64) *Collector {
 	}
 	t.Cleanup(func() { c.Close() })
 	return c
+}
+
+func TestCollectorRefusesWALWithDropPolicy(t *testing.T) {
+	// Drop could refuse a batch the log already made durable — live state
+	// would say dropped while replay resurrects it — so the combination is
+	// rejected at construction, like WAL + epoch mode.
+	l := openTestWAL(t, t.TempDir())
+	_, err := NewCollector("127.0.0.1:0", CollectorConfig{
+		Spec:   sketch.Spec{Lambda: 25, MemoryBytes: 256 << 10, Seed: 1},
+		WAL:    l,
+		Ingest: ingest.Tuning{Policy: ingest.Drop},
+		Logf:   t.Logf,
+	})
+	if err == nil {
+		t.Fatal("NewCollector accepted WAL + drop policy")
+	}
 }
 
 // record streams n updates of key from one agent and forces them through a

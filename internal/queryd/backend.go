@@ -455,10 +455,20 @@ func (b *SketchBackend) AttachWAL(l *wal.Log, ckptLSN uint64) error {
 	if b.wl != nil {
 		return errors.New("queryd: WAL already attached")
 	}
+	if b.pipe != nil && b.pipe.Policy() == ingest.Drop {
+		// Drop would let a momentarily full queue refuse a batch already
+		// durable on disk — live state says dropped, the log resurrects it
+		// on replay, and the same race makes replay itself fail on a healthy
+		// log. Block is the only policy whose acks the WAL can honestly
+		// extend across a crash.
+		return errors.New("queryd: WAL-backed ingest requires the block ingest policy (drop could refuse a durable batch live, then resurrect it on replay)")
+	}
 	after := max(ckptLSN, l.Watermark())
 	if _, err := l.Replay(after, func(batch ingest.Batch, lsn uint64) error {
+		// The pipeline (if any) is Block, so Dropped > 0 means it failed or
+		// closed — recovery must not paper over that.
 		if ack := b.submit(batch); ack.Dropped > 0 {
-			return fmt.Errorf("queryd: replaying wal record %d: %d items refused", lsn, ack.Dropped)
+			return fmt.Errorf("queryd: replaying wal record %d: %d items refused (pipeline failed)", lsn, ack.Dropped)
 		}
 		return nil
 	}); err != nil {

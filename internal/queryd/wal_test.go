@@ -59,6 +59,28 @@ func newWALBackend(t *testing.T, dir string, ckptLSN uint64, opts wal.Options) (
 	return b, l
 }
 
+func TestAttachWALRefusesDropPolicy(t *testing.T) {
+	// Drop could refuse a batch the log already made durable — live state
+	// would say dropped while replay resurrects it — so attaching a WAL to a
+	// Drop pipeline is rejected, like WAL + epoch mode.
+	l, err := wal.Open(wal.Options{Dir: t.TempDir(), Fsync: wal.FsyncPolicy{Mode: wal.SyncOff}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	b, err := queryd.NewSketchBackendFrom(queryd.SketchBackendConfig{
+		Algo: "Ours", Spec: walTestSpec(),
+		Ingest: &ingest.Tuning{Policy: ingest.Drop},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.AttachWAL(l, 0); err == nil {
+		t.Fatal("AttachWAL accepted a Drop-policy pipeline")
+	}
+}
+
 // assertContains asserts key's certified interval contains truth.
 func assertContains(t *testing.T, b queryd.Backend, key, truth uint64) {
 	t.Helper()

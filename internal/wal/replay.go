@@ -53,6 +53,9 @@ func scanSegment(path string, wantFirst uint64) (records int, validBytes, tornBy
 		if int64(n) > maxRecordBytes || offset+frameHeaderLen+int64(n) > size {
 			return records, offset, size - offset, nil // implausible or past EOF
 		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
 		payload = payload[:n]
 		if _, err := io.ReadFull(br, payload); err != nil {
 			return records, offset, size - offset, nil
@@ -62,9 +65,6 @@ func scanSegment(path string, wantFirst uint64) (records int, validBytes, tornBy
 		}
 		records++
 		offset += frameHeaderLen + int64(n)
-		if cap(payload) < 64<<10 {
-			payload = make([]byte, 0, 64<<10)
-		}
 	}
 }
 

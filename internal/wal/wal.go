@@ -126,11 +126,14 @@ type Stats struct {
 	Appended  uint64 `json:"appended_records"`
 	Fsyncs    uint64 `json:"fsyncs"`
 	LastFsync string `json:"last_fsync,omitempty"`
-	// Replayed counts records recovered through Replay at startup;
-	// TornDropped the torn/corrupt tail records detected and dropped.
-	Replayed    uint64 `json:"replayed_records"`
-	TornDropped uint64 `json:"torn_dropped"`
-	LastError   string `json:"last_error,omitempty"`
+	// Replayed counts records recovered through Replay at startup.
+	// TornTruncations counts torn-tail truncation events at Open: each event
+	// drops every byte past the last whole record. It is an event count, not
+	// a record count — record boundaries past the first bad frame are
+	// unknowable, so the records lost per event cannot be counted.
+	Replayed        uint64 `json:"replayed_records"`
+	TornTruncations uint64 `json:"torn_tail_truncations"`
+	LastError       string `json:"last_error,omitempty"`
 }
 
 // segment is one log file's identity: its name, the LSN of its first
@@ -547,7 +550,7 @@ func (l *Log) Stats() Stats {
 	s.Appended = l.appended.Load()
 	s.Fsyncs = l.fsyncs.Load()
 	s.Replayed = l.replayed.Load()
-	s.TornDropped = l.torn.Load()
+	s.TornTruncations = l.torn.Load()
 	if ns := l.lastFsync.Load(); ns != 0 {
 		s.LastFsync = time.Unix(0, ns).UTC().Format(time.RFC3339Nano)
 	}

@@ -101,6 +101,44 @@ func TestAppendReplayRoundtrip(t *testing.T) {
 	}
 }
 
+// TestReopenRecordLargerThanScanBuffer pins a recovery bug: scanSegment's
+// payload buffer started at 64 KiB and never grew, so reopening a log whose
+// tail held a single larger record (HTTP ingest allows bodies well past
+// that) panicked on every restart — recovery was impossible exactly when it
+// mattered.
+func TestReopenRecordLargerThanScanBuffer(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Fsync: FsyncPolicy{Mode: SyncOff}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~80 KiB encoded: comfortably past the scanner's initial buffer.
+	items := make([]stream.Item, 10_000)
+	for i := range items {
+		items[i] = stream.Item{Key: uint64(i) << 40, Value: uint64(i + 1)}
+	}
+	big := ingest.Batch{Items: items, Source: 3}
+	if _, err := l.Append(big); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: dir, Fsync: FsyncPolicy{Mode: SyncOff}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got, _ := replayAll(t, l2, 0)
+	if len(got) != 1 || !batchesEqual(got[0], big) {
+		t.Fatalf("large record did not survive reopen: got %d records", len(got))
+	}
+	if lsn, err := l2.Append(testBatch(0)); err != nil || lsn != 2 {
+		t.Fatalf("post-recovery append: lsn %d err %v, want 2", lsn, err)
+	}
+}
+
 func TestRotationManifestAndTruncation(t *testing.T) {
 	dir := t.TempDir()
 	// ~40-byte records against a 256-byte threshold: several segments.
@@ -200,8 +238,8 @@ func TestTornTailTruncatedMidRecord(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l2.Close()
-	if st := l2.Stats(); st.TornDropped != 1 {
-		t.Fatalf("TornDropped = %d, want 1", st.TornDropped)
+	if st := l2.Stats(); st.TornTruncations != 1 {
+		t.Fatalf("TornTruncations = %d, want 1", st.TornTruncations)
 	}
 	got, _ := replayAll(t, l2, 0)
 	if len(got) != n-1 {
@@ -243,8 +281,8 @@ func TestCorruptCRCDropsFromFlipOn(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l2.Close()
-	if st := l2.Stats(); st.TornDropped != 1 {
-		t.Fatalf("TornDropped = %d, want 1", st.TornDropped)
+	if st := l2.Stats(); st.TornTruncations != 1 {
+		t.Fatalf("TornTruncations = %d, want 1", st.TornTruncations)
 	}
 	got, _ := replayAll(t, l2, 0)
 	if len(got) == 0 || len(got) >= n {

@@ -96,6 +96,6 @@ curl -fsS "$BASE/v1/status" | python3 -c 'import json,sys
 w = json.load(sys.stdin)["backend"].get("wal")
 assert w, "no wal section in /v1/status"
 assert w["last_lsn"] > 0, f"wal stats: {w}"
-print("wal:", " ".join(f"{k}={w[k]}" for k in ("last_lsn", "watermark", "replayed_records", "torn_dropped")))'
+print("wal:", " ".join(f"{k}={w[k]}" for k in ("last_lsn", "watermark", "replayed_records", "torn_tail_truncations")))'
 
 echo "recovery smoke: OK"

@@ -1,0 +1,142 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// TestHotPathsAllocFree pins the allocation contract of the flattened hot
+// paths: once a sketch is built (and its lazy batch scratch warmed), steady
+// state Insert, Query, InsertBatch, and QueryBatch perform zero heap
+// allocations per operation. This is what the flat counter layouts, the
+// stack bucket scratch, and the pooled shard partitioning buy — a
+// regression here reintroduces GC pressure on the per-packet path even if
+// ns/op still looks fine on a quiet machine.
+//
+// testing.AllocsPerRun averages over the runs with integer division, so a
+// rare one-off allocation (a sync.Pool refill after a GC emptied it) does
+// not flake the test. AllocsPerRun counts process-wide mallocs, so
+// goroutines left over from other tests in the binary can inflate a
+// measurement under load; interference only ever adds, so each path is
+// measured a few times and judged on its best attempt — a real
+// per-operation allocation shows up in every attempt.
+func TestHotPathsAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	cases := []struct {
+		name string
+		spec sketch.Spec
+	}{
+		{"Ours", sketch.Spec{MemoryBytes: 1 << 18, Lambda: 25, Seed: 1}},
+		{"Ours_sharded4", sketch.Spec{MemoryBytes: 1 << 18, Lambda: 25, Seed: 1, Shards: 4}},
+		{"CM_fast", sketch.Spec{MemoryBytes: 1 << 18, Seed: 1}},
+		{"CM_acc", sketch.Spec{MemoryBytes: 1 << 18, Seed: 1}},
+		{"CU_fast", sketch.Spec{MemoryBytes: 1 << 18, Seed: 1}},
+		{"CU_acc", sketch.Spec{MemoryBytes: 1 << 18, Seed: 1}},
+		{"Count", sketch.Spec{MemoryBytes: 1 << 18, Seed: 1}},
+	}
+	s := stream.Zipf(4096, 512, 1.0, 7)
+	items := s.Items
+	keys := make([]uint64, 256)
+	for i := range keys {
+		keys[i] = items[i].Key
+	}
+	est := make([]uint64, len(keys))
+	mpe := make([]uint64, len(keys))
+
+	for _, tc := range cases {
+		algo := tc.name
+		if tc.spec.Shards > 1 {
+			algo = algo[:len(algo)-len("_sharded4")]
+		}
+		sk := sketch.MustBuild(algo, tc.spec)
+
+		// Warm up every path once: feeds the counters, grows cm's lazy
+		// aggregation cache, and populates the sharded partition pool.
+		for _, it := range items[:512] {
+			sk.Insert(it.Key, it.Value)
+		}
+		sketch.InsertBatch(sk, items)
+		sketch.QueryBatch(sk, keys, est, mpe)
+		sk.Query(keys[0])
+
+		check := func(op string, runs int, f func()) {
+			best := testing.AllocsPerRun(runs, f)
+			for attempt := 0; best != 0 && attempt < 4; attempt++ {
+				if v := testing.AllocsPerRun(runs, f); v < best {
+					best = v
+				}
+			}
+			if best != 0 {
+				t.Errorf("%s: %s allocates %.0f times per op, want 0", tc.name, op, best)
+			}
+		}
+		i := 0
+		check("Insert", 100, func() {
+			it := items[i%len(items)]
+			sk.Insert(it.Key, it.Value)
+			i++
+		})
+		check("Query", 100, func() {
+			sk.Query(keys[i%len(keys)])
+			i++
+		})
+		check("InsertBatch", 20, func() {
+			sketch.InsertBatch(sk, items)
+		})
+		check("QueryBatch", 20, func() {
+			sketch.QueryBatch(sk, keys, est, mpe)
+		})
+		if eb, ok := sk.(sketch.ErrorBounded); ok {
+			check("QueryWithError", 100, func() {
+				eb.QueryWithError(keys[i%len(keys)])
+				i++
+			})
+		}
+	}
+}
+
+// TestBatchFallbackAllocFree pins the fallback paths of the unified batch
+// entry points: a sketch without native batch methods must still ingest and
+// answer batches without per-item allocations (the method values are bound
+// once per batch, outside the loop).
+func TestBatchFallbackAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	sk := sketch.MustBuild("SS", sketch.Spec{MemoryBytes: 1 << 16, Seed: 1})
+	if _, ok := sk.(sketch.BatchInserter); ok {
+		t.Fatal("SS_fallback unexpectedly implements BatchInserter; pick another fallback sketch")
+	}
+	s := stream.Zipf(2048, 256, 1.0, 7)
+	keys := make([]uint64, 128)
+	for i := range keys {
+		keys[i] = s.Items[i].Key
+	}
+	est := make([]uint64, len(keys))
+	sketch.InsertBatch(sk, s.Items)
+	sketch.QueryBatch(sk, keys, est, nil)
+
+	// Best-of attempts for the same reason as TestHotPathsAllocFree:
+	// process-wide interference only ever adds.
+	check := func(op string, f func()) {
+		best := testing.AllocsPerRun(20, f)
+		for attempt := 0; best != 0 && attempt < 4; attempt++ {
+			if v := testing.AllocsPerRun(20, f); v < best {
+				best = v
+			}
+		}
+		if best != 0 {
+			t.Errorf("fallback %s allocates %.0f times per batch, want 0", op, best)
+		}
+	}
+	check("InsertBatch", func() {
+		sketch.InsertBatch(sk, s.Items)
+	})
+	check("QueryBatch", func() {
+		sketch.QueryBatch(sk, keys, est, nil)
+	})
+}

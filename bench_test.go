@@ -104,6 +104,7 @@ func benchStream() *stream.Stream {
 func BenchmarkOursInsert(b *testing.B) {
 	s := benchStream()
 	sk := core.NewFromMemory(1<<20, 25, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		it := s.Items[i%len(s.Items)]
@@ -114,6 +115,7 @@ func BenchmarkOursInsert(b *testing.B) {
 func BenchmarkOursRawInsert(b *testing.B) {
 	s := benchStream()
 	sk := core.NewRaw(1<<20, 25, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		it := s.Items[i%len(s.Items)]
@@ -125,6 +127,7 @@ func BenchmarkOursQuery(b *testing.B) {
 	s := benchStream()
 	sk := core.NewFromMemory(1<<20, 25, 1)
 	metrics.Feed(sk, s)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var sink uint64
 	for i := 0; i < b.N; i++ {
@@ -165,6 +168,7 @@ func BenchmarkInsert(b *testing.B) {
 	for _, c := range batchContenders {
 		b.Run(c.name, func(b *testing.B) {
 			sk := contenderSketch(c.name, c.spec)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				it := s.Items[i%len(s.Items)]
@@ -180,6 +184,7 @@ func BenchmarkInsertBatch(b *testing.B) {
 	for _, c := range batchContenders {
 		b.Run(c.name, func(b *testing.B) {
 			sk := contenderSketch(c.name, c.spec)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for inserted := 0; inserted < b.N; {
 				lo := inserted % len(s.Items)
@@ -227,6 +232,7 @@ func BenchmarkPipelineIngest(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer a.Close()
+			b.ReportAllocs()
 			b.ResetTimer()
 			var source uint64
 			for inserted := 0; inserted < b.N; {
@@ -300,6 +306,7 @@ func BenchmarkQueryLoop(b *testing.B) {
 				sk := queryContenderSketch(c.name, c.spec)
 				metrics.Feed(sk, s)
 				keys := benchQueryKeys(s, size, 0)
+				b.ReportAllocs()
 				b.ResetTimer()
 				var sink uint64
 				for i := 0; i < b.N; i += size {
@@ -325,6 +332,7 @@ func BenchmarkQueryBatch(b *testing.B) {
 				metrics.Feed(sk, s)
 				keys := benchQueryKeys(s, size, 0)
 				est := make([]uint64, size)
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i += size {
 					sketch.QueryBatch(sk, keys, est, nil)
@@ -347,6 +355,7 @@ func BenchmarkMerge(b *testing.B) {
 			sketch.InsertBatch(src, s.Items[:len(s.Items)/2])
 			dst := sketch.MustBuild(name, spec).(sketch.Mergeable)
 			sketch.InsertBatch(dst, s.Items[len(s.Items)/2:])
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := dst.Merge(src); err != nil {
@@ -365,6 +374,7 @@ func BenchmarkRingInsert(b *testing.B) {
 	r := epoch.NewRing(sketch.Factory{Name: "Ours", New: func(mem int) sketch.Sketch {
 		return core.NewFromMemory(mem, 25, 1)
 	}}, 1<<20, time.Hour, 4, nil)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		it := s.Items[i%len(s.Items)]
@@ -378,6 +388,7 @@ func BenchmarkRingInsertBatch(b *testing.B) {
 	r := epoch.NewRing(sketch.Factory{Name: "Ours", New: func(mem int) sketch.Sketch {
 		return core.NewFromMemory(mem, 25, 1)
 	}}, 1<<20, time.Hour, 4, nil)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for inserted := 0; inserted < b.N; {
 		lo := inserted % len(s.Items)
@@ -400,6 +411,7 @@ func BenchmarkRingRotate(b *testing.B) {
 	r := epoch.NewRing(sketch.Factory{Name: "CM_fast", New: func(mem int) sketch.Sketch {
 		return sketch.MustBuild("CM_fast", sketch.Spec{MemoryBytes: mem, Seed: 1})
 	}}, 256<<10, time.Second, 4, func() time.Time { return now })
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		now = now.Add(time.Second)
@@ -418,6 +430,7 @@ func BenchmarkRingSealedQuery(b *testing.B) {
 	r.InsertBatch(s.Items)
 	now = now.Add(time.Second)
 	r.Insert(1, 1) // seal
+	b.ReportAllocs()
 	b.ResetTimer()
 	var sink uint64
 	for i := 0; i < b.N; i++ {
@@ -430,6 +443,7 @@ func BenchmarkOursQueryWithError(b *testing.B) {
 	s := benchStream()
 	sk := core.NewFromMemory(1<<20, 25, 1)
 	metrics.Feed(sk, s)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var sink uint64
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,63 @@
+package repro
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/sketch"
+)
+
+// TestFlattenedSnapshotFixtures certifies that the counter-sketch layouts
+// are observably invisible: a sketch built and fed today must produce the
+// byte-identical Snapshot stream captured in testdata/flatten/ before the
+// flattened layouts landed (PR 7). Byte equality pins the counters, the
+// geometry, and (for CM) the serialized hash-call accounting — so RSK3 and
+// checkpoint compatibility is certified, not assumed. Regenerate fixtures
+// only for an intentional wire-format change: go run ./internal/tools/snapfixtures.
+func TestFlattenedSnapshotFixtures(t *testing.T) {
+	for _, c := range fixtures.Cases() {
+		t.Run(c.Name, func(t *testing.T) {
+			golden, err := os.ReadFile(filepath.Join("testdata", "flatten", c.Name+".snap"))
+			if err != nil {
+				t.Fatalf("reading fixture: %v", err)
+			}
+			sk := fixtures.BuildAndFeed(c)
+			var buf bytes.Buffer
+			if err := sk.Snapshot(&buf); err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), golden) {
+				t.Fatalf("snapshot differs from pre-flattening fixture: got %d bytes, want %d — the wire format or counter state changed",
+					buf.Len(), len(golden))
+			}
+
+			// Restore the golden bytes into a fresh same-Spec sketch and
+			// require identical answers to the freshly fed one for every key
+			// in the fixture's key space (plus unseen keys), through both the
+			// point and batch read paths.
+			restored := sketch.MustBuild(c.Algo, c.Spec).(sketch.Snapshotter)
+			if err := restored.Restore(bytes.NewReader(golden)); err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			keys := make([]uint64, 0, 520)
+			for k := uint64(0); k < 520; k++ {
+				keys = append(keys, k)
+			}
+			est := make([]uint64, len(keys))
+			ref := make([]uint64, len(keys))
+			sketch.QueryBatch(restored.(sketch.Sketch), keys, est, nil)
+			sketch.QueryBatch(sk.(sketch.Sketch), keys, ref, nil)
+			for i, k := range keys {
+				if est[i] != ref[i] {
+					t.Fatalf("key %d: restored QueryBatch=%d, fresh=%d", k, est[i], ref[i])
+				}
+				if got := restored.(sketch.Sketch).Query(k); got != ref[i] {
+					t.Fatalf("key %d: restored Query=%d, fresh=%d", k, got, ref[i])
+				}
+			}
+		})
+	}
+}

@@ -21,14 +21,27 @@ import (
 // paper's C++ implementation).
 const CounterBytes = 4
 
+// maxStackRows bounds the per-query row-index scratch kept on the stack so
+// concurrent readers share no state and allocate nothing; both evaluated
+// depths (d=3 and d=16) fit, deeper sketches fall back to one allocation.
+const maxStackRows = 16
+
 // Sketch is a Count-Min sketch with d rows of w 32-bit counters.
 //
-// Insert is single-writer; Query is safe for concurrent readers (sealed
-// epoch windows are queried lock-free), so the query-side hash-call counter
-// is atomic and the insert-side one stays plain.
+// The counters live in one contiguous row-major slice (row i is
+// data[i*width:(i+1)*width]), so a d-row touch is d offsets into a single
+// allocation instead of d slice-header dereferences — the cache-conscious
+// layout of Estan & Varghese's software implementations.
+//
+// Insert is single-writer (it reuses a per-sketch index scratch); Query is
+// safe for concurrent readers (sealed epoch windows are queried lock-free),
+// so the query-side hash-call counter is atomic, the query scratch stays on
+// the stack, and the insert-side counter stays plain. The zero value is not
+// usable; build with New.
 type Sketch struct {
-	rows   [][]uint32
+	data   []uint32
 	width  int
+	depth  int
 	hashes *hash.Family
 	name   string
 	// insertHashCalls + queryHashCalls support the Figure 16 hash-call
@@ -36,6 +49,9 @@ type Sketch struct {
 	// the single-writer insert path.
 	insertHashCalls uint64
 	queryHashCalls  atomic.Uint64
+	// idx is the per-insert row-index scratch filled by the multi-row
+	// bucket path; single-writer, like Insert itself.
+	idx []int
 	// agg is the reusable per-batch aggregation cache of InsertBatch;
 	// aggShift maps a mixed key to a slot index.
 	agg      []aggSlot
@@ -57,7 +73,8 @@ type aggSlot struct {
 const maxAggSlots = 2048
 
 // ensureAgg sizes the cache to a power of two no larger than a quarter of
-// the accounted memory (floor 64 slots = 1KB).
+// the accounted memory (floor 64 slots = 1KB). One allocation for the
+// sketch's lifetime, so InsertBatch stays 0 allocs/op in steady state.
 func (s *Sketch) ensureAgg() {
 	if s.agg != nil {
 		return
@@ -75,16 +92,14 @@ func New(d, width int, seed uint64, name string) *Sketch {
 	if d < 1 || width < 1 {
 		panic("cm: invalid geometry")
 	}
-	s := &Sketch{
-		rows:   make([][]uint32, d),
+	return &Sketch{
+		data:   make([]uint32, d*width),
 		width:  width,
+		depth:  d,
 		hashes: hash.NewFamily(seed, d),
 		name:   name,
+		idx:    make([]int, d),
 	}
-	for i := range s.rows {
-		s.rows[i] = make([]uint32, width)
-	}
-	return s
 }
 
 // NewFast builds the 3-row throughput variant sized to memBytes.
@@ -105,12 +120,16 @@ func widthFor(memBytes, d int) int {
 	return w
 }
 
-// Insert adds value to every mapped counter.
+// Insert adds value to every mapped counter. All d row indexes are
+// computed in one pass over the hash family (the key-side mix is shared),
+// then applied as d offsets into the contiguous counter slice.
 func (s *Sketch) Insert(key, value uint64) {
-	for i := range s.rows {
-		j := s.hashes.Bucket(i, key, s.width)
-		s.insertHashCalls++
-		s.rows[i][j] += uint32(value)
+	s.hashes.Buckets(s.idx, key, s.width)
+	s.insertHashCalls += uint64(s.depth)
+	base := 0
+	for _, j := range s.idx {
+		s.data[base+j] += uint32(value)
+		base += s.width
 	}
 }
 
@@ -142,26 +161,43 @@ func (s *Sketch) InsertBatch(items []stream.Item) {
 }
 
 // Query returns the minimum mapped counter, a certified overestimate.
-// Safe for concurrent readers.
+// Safe for concurrent readers: the row-index scratch is a per-call stack
+// array, so queries share no state and allocate nothing (at d ≤ 16).
 func (s *Sketch) Query(key uint64) uint64 {
+	var buf [maxStackRows]int
+	idx := buf[:]
+	if s.depth > maxStackRows {
+		idx = make([]int, s.depth)
+	}
+	idx = idx[:s.depth]
+	s.hashes.Buckets(idx, key, s.width)
 	var min uint64
-	for i := range s.rows {
-		j := s.hashes.Bucket(i, key, s.width)
-		c := uint64(s.rows[i][j])
+	base := 0
+	for i, j := range idx {
+		c := uint64(s.data[base+j])
 		if i == 0 || c < min {
 			min = c
 		}
+		base += s.width
 	}
-	s.queryHashCalls.Add(uint64(len(s.rows)))
+	s.queryHashCalls.Add(uint64(s.depth))
 	return min
 }
 
 // QueryBatch is the native batch read path (sketch.BatchQuerier): runs of
-// equal keys reuse the previous row-minimum without re-hashing, and the
+// equal keys reuse the previous row-minimum without re-hashing, each
+// distinct key's row indexes come from one multi-row hash pass, and the
 // atomic hash-call counter is updated once per batch instead of once per
 // key. CM cannot certify per-key errors, so a non-nil mpe is zero-filled.
-// Answers are identical to per-key Query; safe for concurrent readers.
+// Answers are identical to per-key Query; safe for concurrent readers (the
+// index scratch is per-call).
 func (s *Sketch) QueryBatch(keys []uint64, est, mpe []uint64) {
+	var buf [maxStackRows]int
+	idx := buf[:]
+	if s.depth > maxStackRows {
+		idx = make([]int, s.depth)
+	}
+	idx = idx[:s.depth]
 	var hashCalls uint64
 	var prevKey, prevEst uint64
 	havePrev := false
@@ -173,15 +209,17 @@ func (s *Sketch) QueryBatch(keys []uint64, est, mpe []uint64) {
 			est[i] = prevEst
 			continue
 		}
+		s.hashes.Buckets(idx, k, s.width)
 		var min uint64
-		for r := range s.rows {
-			j := s.hashes.Bucket(r, k, s.width)
-			c := uint64(s.rows[r][j])
+		base := 0
+		for r, j := range idx {
+			c := uint64(s.data[base+j])
 			if r == 0 || c < min {
 				min = c
 			}
+			base += s.width
 		}
-		hashCalls += uint64(len(s.rows))
+		hashCalls += uint64(s.depth)
 		est[i] = min
 		prevKey, prevEst, havePrev = k, min, true
 	}
@@ -196,17 +234,14 @@ func (s *Sketch) Merge(other sketch.Sketch) error {
 	if !ok {
 		return sketch.MergeIncompatible(s, other, "not a Count-Min sketch")
 	}
-	if len(s.rows) != len(o.rows) || s.width != o.width {
+	if s.depth != o.depth || s.width != o.width {
 		return sketch.MergeIncompatible(s, other, "geometry differs")
 	}
 	if !s.hashes.Equal(o.hashes) {
 		return sketch.MergeIncompatible(s, other, "hash seeds differ")
 	}
-	for i := range s.rows {
-		dst, src := s.rows[i], o.rows[i]
-		for j := range dst {
-			dst[j] += src[j]
-		}
+	for i, c := range o.data {
+		s.data[i] += c
 	}
 	s.insertHashCalls += o.insertHashCalls
 	s.queryHashCalls.Add(o.queryHashCalls.Load())
@@ -214,7 +249,7 @@ func (s *Sketch) Merge(other sketch.Sketch) error {
 }
 
 // Depth returns the number of rows d.
-func (s *Sketch) Depth() int { return len(s.rows) }
+func (s *Sketch) Depth() int { return s.depth }
 
 // Width returns the per-row counter count.
 func (s *Sketch) Width() int { return s.width }
@@ -223,16 +258,14 @@ func (s *Sketch) Width() int { return s.width }
 func (s *Sketch) HashCalls() uint64 { return s.insertHashCalls + s.queryHashCalls.Load() }
 
 // MemoryBytes reports d × w × 4 bytes.
-func (s *Sketch) MemoryBytes() int { return len(s.rows) * s.width * CounterBytes }
+func (s *Sketch) MemoryBytes() int { return s.depth * s.width * CounterBytes }
 
 // Name identifies the variant.
 func (s *Sketch) Name() string { return s.name }
 
 // Reset zeroes all counters.
 func (s *Sketch) Reset() {
-	for i := range s.rows {
-		clear(s.rows[i])
-	}
+	clear(s.data)
 	s.insertHashCalls = 0
 	s.queryHashCalls.Store(0)
 }

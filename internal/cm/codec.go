@@ -26,11 +26,11 @@ func (s *Sketch) Snapshot(w io.Writer) error {
 			bw.Write(buf[:n])
 		}
 	}
-	write(uint64(len(s.rows)), uint64(s.width), s.insertHashCalls, s.queryHashCalls.Load())
-	for i := range s.rows {
-		for _, c := range s.rows[i] {
-			write(uint64(c))
-		}
+	write(uint64(s.depth), uint64(s.width), s.insertHashCalls, s.queryHashCalls.Load())
+	// data is row-major, so iterating it flat emits the exact byte stream
+	// the per-row layout produced.
+	for _, c := range s.data {
+		write(uint64(c))
 	}
 	return bw.Flush()
 }
@@ -58,9 +58,9 @@ func (s *Sketch) Restore(r io.Reader) error {
 	if err != nil {
 		return fmt.Errorf("cm: snapshot width: %w", err)
 	}
-	if int(d) != len(s.rows) || int(w) != s.width {
+	if int(d) != s.depth || int(w) != s.width {
 		return fmt.Errorf("cm: snapshot geometry %dx%d, sketch built %dx%d",
-			d, w, len(s.rows), s.width)
+			d, w, s.depth, s.width)
 	}
 	ins, err := read()
 	if err != nil {
@@ -70,23 +70,20 @@ func (s *Sketch) Restore(r io.Reader) error {
 	if err != nil {
 		return fmt.Errorf("cm: snapshot query hash calls: %w", err)
 	}
-	// Decode into fresh rows and swap only on full success, so a truncated
-	// or corrupt snapshot leaves the receiver untouched.
-	rows := make([][]uint32, len(s.rows))
-	for i := range rows {
-		rows[i] = make([]uint32, s.width)
-		for j := range rows[i] {
-			c, err := read()
-			if err != nil {
-				return fmt.Errorf("cm: counter %d/%d: %w", i, j, err)
-			}
-			if c > 0xffffffff {
-				return fmt.Errorf("cm: counter %d/%d overflows 32 bits", i, j)
-			}
-			rows[i][j] = uint32(c)
+	// Decode into a fresh counter slice and swap only on full success, so a
+	// truncated or corrupt snapshot leaves the receiver untouched.
+	data := make([]uint32, s.depth*s.width)
+	for i := range data {
+		c, err := read()
+		if err != nil {
+			return fmt.Errorf("cm: counter %d/%d: %w", i/s.width, i%s.width, err)
 		}
+		if c > 0xffffffff {
+			return fmt.Errorf("cm: counter %d/%d overflows 32 bits", i/s.width, i%s.width)
+		}
+		data[i] = uint32(c)
 	}
-	s.rows = rows
+	s.data = data
 	s.insertHashCalls = ins
 	s.queryHashCalls.Store(qry)
 	return nil

@@ -1,27 +1,45 @@
 package core
 
-import "repro/internal/stream"
+import (
+	"repro/internal/hash"
+	"repro/internal/stream"
+)
 
 // InsertBatch is the native bulk-ingestion path: the same cascade as Insert
-// with the per-operation instrumentation hoisted out of the loop, so the
-// hot path touches only the filter and the bucket layers. Estimates after
-// InsertBatch are identical to item-at-a-time insertion, and the hash-call
-// accounting matches exactly (the cascade itself cannot be amortized —
-// bucket state depends on insertion order).
+// with the per-operation instrumentation hoisted out of the loop and the
+// per-layer bucket indexes cached across runs of equal keys — bursty
+// streams repeat keys back to back, so a run hashes its key once per layer
+// reached instead of once per item, and the key-side hash mix is shared
+// across layers (hash.PreKey). Estimates after InsertBatch are identical to
+// item-at-a-time insertion, and the hash-call accounting can only come out
+// lower (the amortization is the optimization — the cascade itself cannot
+// be reordered, since bucket state depends on insertion order).
 func (s *Sketch) InsertBatch(items []stream.Item) {
 	var hashCalls uint64
 	mice := s.mice
+	idx := s.batchIdx
+	var prevKey, pk uint64
+	cached := 0 // leading layers of idx valid for prevKey
+	havePrev := false
 	for _, it := range items {
+		if !havePrev || it.Key != prevKey {
+			prevKey, havePrev = it.Key, true
+			pk = hash.PreKey(it.Key)
+			cached = 0
+		}
 		v := it.Value
 		if mice != nil {
-			if v = mice.Insert(it.Key, v); v == 0 {
+			if v = mice.InsertPre(pk, v); v == 0 {
 				continue
 			}
 		}
 		for i := range s.layers {
-			j := s.hashes.Bucket(i, it.Key, s.widths[i])
-			hashCalls++
-			if v = s.layers[i][j].InsertCapped(it.Key, v, s.lambdas[i]); v == 0 {
+			if i >= cached {
+				idx[i] = s.hashes.BucketPre(i, pk, s.widths[i])
+				hashCalls++
+				cached = i + 1
+			}
+			if v = s.layers[i][idx[i]].InsertCapped(it.Key, v, s.lambdas[i]); v == 0 {
 				break
 			}
 		}

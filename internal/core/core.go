@@ -29,6 +29,11 @@ type Sketch struct {
 	mice    *filter.Filter      // nil when disabled
 	emerg   *spacesaving.Sketch // nil when disabled
 
+	// batchIdx caches per-layer bucket indexes across runs of equal keys in
+	// InsertBatch, so bursty streams hash each key once per run instead of
+	// once per item. Single-writer scratch, like Insert itself.
+	batchIdx []int
+
 	bucketBytes int
 
 	// merged marks a sketch that absorbed another via Merge. Merged bucket
@@ -128,6 +133,7 @@ func New(cfg Config) (*Sketch, error) {
 		s.layers[i] = make([]bucket.Bucket, w)
 	}
 	s.hashes = hash.NewFamily(cfg.Seed, cfg.D)
+	s.batchIdx = make([]int, cfg.D)
 
 	if cfg.Emergency {
 		s.emerg = spacesaving.New(cfg.EmergencyCounters)
@@ -182,14 +188,19 @@ func (s *Sketch) LayerLambda(i int) uint64 { return s.lambdas[i] }
 func (s *Sketch) Insert(key, value uint64) {
 	s.insertOps++
 	v := value
+	// The key-side hash mix is shared between the mice filter and the
+	// layers (hash.PreKey), so a cascade that touches the filter plus k
+	// layers pays one mix plus filter-rows+k finalizer rounds, not two per
+	// hash call.
+	pk := hash.PreKey(key)
 	if s.mice != nil {
-		v = s.mice.Insert(key, v)
+		v = s.mice.InsertPre(pk, v)
 		if v == 0 {
 			return
 		}
 	}
 	for i := range s.layers {
-		j := s.hashes.Bucket(i, key, s.widths[i])
+		j := s.hashes.BucketPre(i, pk, s.widths[i])
 		s.insertHashCalls++
 		v = s.layers[i][j].InsertCapped(key, v, s.lambdas[i])
 		if v == 0 {
@@ -226,8 +237,9 @@ func (s *Sketch) QueryWithError(key uint64) (est, mpe uint64) {
 // the batch path: hash calls accumulate into the caller's counter so batch
 // queries pay one atomic add per batch instead of one per key.
 func (s *Sketch) queryWalk(key uint64, hashCalls *uint64) (est, mpe uint64) {
+	pk := hash.PreKey(key)
 	if s.mice != nil {
-		m, saturated := s.mice.Query(key)
+		m, saturated := s.mice.QueryPre(pk)
 		est += m
 		mpe += m
 		if !saturated {
@@ -235,7 +247,7 @@ func (s *Sketch) queryWalk(key uint64, hashCalls *uint64) (est, mpe uint64) {
 		}
 	}
 	for i := range s.layers {
-		j := s.hashes.Bucket(i, key, s.widths[i])
+		j := s.hashes.BucketPre(i, pk, s.widths[i])
 		*hashCalls++
 		b := &s.layers[i][j]
 		e, _ := b.Query(key)

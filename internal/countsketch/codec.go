@@ -23,13 +23,13 @@ func (s *Sketch) Snapshot(w io.Writer) error {
 		n := binary.PutUvarint(buf[:], v)
 		bw.Write(buf[:n])
 	}
-	writeU(uint64(len(s.rows)))
+	writeU(uint64(s.depth))
 	writeU(uint64(s.width))
-	for i := range s.rows {
-		for _, c := range s.rows[i] {
-			n := binary.PutVarint(buf[:], c)
-			bw.Write(buf[:n])
-		}
+	// data is row-major, so iterating it flat emits the exact byte stream
+	// the per-row layout produced.
+	for _, c := range s.data {
+		n := binary.PutVarint(buf[:], c)
+		bw.Write(buf[:n])
 	}
 	return bw.Flush()
 }
@@ -53,23 +53,20 @@ func (s *Sketch) Restore(r io.Reader) error {
 	if err != nil {
 		return fmt.Errorf("countsketch: snapshot width: %w", err)
 	}
-	if int(d) != len(s.rows) || int(w) != s.width {
+	if int(d) != s.depth || int(w) != s.width {
 		return fmt.Errorf("countsketch: snapshot geometry %dx%d, sketch built %dx%d",
-			d, w, len(s.rows), s.width)
+			d, w, s.depth, s.width)
 	}
-	// Decode into fresh rows and swap only on full success, so a truncated
-	// or corrupt snapshot leaves the receiver untouched.
-	rows := make([][]int64, len(s.rows))
-	for i := range rows {
-		rows[i] = make([]int64, s.width)
-		for j := range rows[i] {
-			c, err := binary.ReadVarint(br)
-			if err != nil {
-				return fmt.Errorf("countsketch: counter %d/%d: %w", i, j, err)
-			}
-			rows[i][j] = c
+	// Decode into a fresh counter slice and swap only on full success, so a
+	// truncated or corrupt snapshot leaves the receiver untouched.
+	data := make([]int64, s.depth*s.width)
+	for i := range data {
+		c, err := binary.ReadVarint(br)
+		if err != nil {
+			return fmt.Errorf("countsketch: counter %d/%d: %w", i/s.width, i%s.width, err)
 		}
+		data[i] = c
 	}
-	s.rows = rows
+	s.data = data
 	return nil
 }

@@ -12,22 +12,38 @@ package countsketch
 import (
 	"repro/internal/hash"
 	"repro/internal/sketch"
+	"repro/internal/stream"
 )
 
 // CounterBytes is the accounted size of one signed 32-bit counter.
 const CounterBytes = 4
 
+// maxStackRows bounds the per-call index/sign/median scratch kept on the
+// stack; the registry's 3-row variant fits with room to spare, deeper
+// sketches fall back to per-call allocations.
+const maxStackRows = 16
+
 // Sketch is a Count sketch with d rows of w signed counters.
 //
-// Insert is single-writer; Query is safe for concurrent readers (it keeps
-// its median scratch on the stack), so sealed epoch windows can be queried
-// lock-free.
+// The counters live in one contiguous row-major slice (row i is
+// data[i*width:(i+1)*width]), so a d-row touch is d offsets into a single
+// allocation instead of d slice-header dereferences.
+//
+// Insert is single-writer (it reuses per-sketch index/sign scratch); Query
+// is safe for concurrent readers (it keeps all scratch on the stack), so
+// sealed epoch windows can be queried lock-free. The zero value is not
+// usable; build with New.
 type Sketch struct {
-	rows   [][]int64
+	data   []int64
 	width  int
+	depth  int
 	hashes *hash.Family
 	signs  *hash.Family
 	name   string
+	// idx and sgn are the per-insert row-index and sign scratch filled by
+	// the multi-row hash passes; single-writer, like Insert itself.
+	idx []int
+	sgn []int64
 }
 
 // New builds a Count sketch with d rows (odd d recommended for a clean
@@ -36,17 +52,16 @@ func New(d, width int, seed uint64) *Sketch {
 	if d < 1 || width < 1 {
 		panic("countsketch: invalid geometry")
 	}
-	s := &Sketch{
-		rows:   make([][]int64, d),
+	return &Sketch{
+		data:   make([]int64, d*width),
 		width:  width,
+		depth:  d,
 		hashes: hash.NewFamily(seed, d),
 		signs:  hash.NewFamily(seed^0x51674e, d),
 		name:   "Count",
+		idx:    make([]int, d),
+		sgn:    make([]int64, d),
 	}
-	for i := range s.rows {
-		s.rows[i] = make([]int64, width)
-	}
-	return s
 }
 
 // NewBytes builds a 3-row Count sketch sized to memBytes.
@@ -58,28 +73,22 @@ func NewBytes(memBytes int, seed uint64) *Sketch {
 	return New(3, w, seed)
 }
 
-// Insert adds sign(key)·value to each mapped counter.
+// Insert adds sign(key)·value to each mapped counter. Row indexes and
+// signs each come from one multi-row hash pass (the key-side mix is shared
+// across rows), then land as d offsets into the contiguous counter slice.
 func (s *Sketch) Insert(key, value uint64) {
-	for i := range s.rows {
-		j := s.hashes.Bucket(i, key, s.width)
-		s.rows[i][j] += s.signs.Sign(i, key) * int64(value)
+	s.hashes.Buckets(s.idx, key, s.width)
+	s.signs.Signs(s.sgn, key)
+	base := 0
+	for i, j := range s.idx {
+		s.data[base+j] += s.sgn[i] * int64(value)
+		base += s.width
 	}
 }
 
-// Query returns the median of the signed mapped counters, clamped at zero
-// (value sums are non-negative). Safe for concurrent readers: the median
-// scratch is a per-call stack array (insertion-sorted — d is a handful of
-// rows), so queries share no state and allocate nothing.
-func (s *Sketch) Query(key uint64) uint64 {
-	var buf [16]int64
-	scratch := buf[:0]
-	if len(s.rows) > len(buf) {
-		scratch = make([]int64, 0, len(s.rows))
-	}
-	for i := range s.rows {
-		j := s.hashes.Bucket(i, key, s.width)
-		scratch = append(scratch, s.signs.Sign(i, key)*s.rows[i][j])
-	}
+// medianOf insertion-sorts scratch in place (d is a handful of rows) and
+// returns the median clamped at zero (value sums are non-negative).
+func medianOf(scratch []int64) uint64 {
 	for i := 1; i < len(scratch); i++ {
 		for j := i; j > 0 && scratch[j] < scratch[j-1]; j-- {
 			scratch[j], scratch[j-1] = scratch[j-1], scratch[j]
@@ -98,18 +107,46 @@ func (s *Sketch) Query(key uint64) uint64 {
 	return uint64(med)
 }
 
+// Query returns the median of the signed mapped counters, clamped at zero
+// (value sums are non-negative). Safe for concurrent readers: the index,
+// sign, and median scratch are per-call stack arrays (at d ≤ 16), so
+// queries share no state and allocate nothing.
+func (s *Sketch) Query(key uint64) uint64 {
+	var ibuf [maxStackRows]int
+	var sbuf, mbuf [maxStackRows]int64
+	idx, sgn, med := ibuf[:], sbuf[:], mbuf[:]
+	if s.depth > maxStackRows {
+		idx = make([]int, s.depth)
+		sgn = make([]int64, s.depth)
+		med = make([]int64, s.depth)
+	}
+	idx, sgn, med = idx[:s.depth], sgn[:s.depth], med[:s.depth]
+	s.hashes.Buckets(idx, key, s.width)
+	s.signs.Signs(sgn, key)
+	base := 0
+	for i, j := range idx {
+		med[i] = sgn[i] * s.data[base+j]
+		base += s.width
+	}
+	return medianOf(med)
+}
+
 // QueryBatch is the native batch read path (sketch.BatchQuerier): runs of
 // equal keys reuse the previous median without re-hashing or re-sorting,
-// and the median scratch is allocated once per batch for deep sketches
-// instead of once per key. Count cannot certify per-key errors, so a
-// non-nil mpe is zero-filled. Answers are identical to per-key Query; safe
-// for concurrent readers (the scratch is per-call).
+// and each distinct key pays one multi-row index pass and one sign pass
+// over stack scratch shared across the batch. Count cannot certify per-key
+// errors, so a non-nil mpe is zero-filled. Answers are identical to
+// per-key Query; safe for concurrent readers (the scratch is per-call).
 func (s *Sketch) QueryBatch(keys []uint64, est, mpe []uint64) {
-	var buf [16]int64
-	scratch := buf[:0]
-	if len(s.rows) > len(buf) {
-		scratch = make([]int64, 0, len(s.rows))
+	var ibuf [maxStackRows]int
+	var sbuf, mbuf [maxStackRows]int64
+	idx, sgn, med := ibuf[:], sbuf[:], mbuf[:]
+	if s.depth > maxStackRows {
+		idx = make([]int, s.depth)
+		sgn = make([]int64, s.depth)
+		med = make([]int64, s.depth)
 	}
+	idx, sgn, med = idx[:s.depth], sgn[:s.depth], med[:s.depth]
 	var prevKey, prevEst uint64
 	havePrev := false
 	for i, k := range keys {
@@ -120,29 +157,42 @@ func (s *Sketch) QueryBatch(keys []uint64, est, mpe []uint64) {
 			est[i] = prevEst
 			continue
 		}
-		scratch = scratch[:0]
-		for r := range s.rows {
-			j := s.hashes.Bucket(r, k, s.width)
-			scratch = append(scratch, s.signs.Sign(r, k)*s.rows[r][j])
+		s.hashes.Buckets(idx, k, s.width)
+		s.signs.Signs(sgn, k)
+		base := 0
+		for r, j := range idx {
+			med[r] = sgn[r] * s.data[base+j]
+			base += s.width
 		}
-		for a := 1; a < len(scratch); a++ {
-			for b := a; b > 0 && scratch[b] < scratch[b-1]; b-- {
-				scratch[b], scratch[b-1] = scratch[b-1], scratch[b]
-			}
-		}
-		var med int64
-		d := len(scratch)
-		if d%2 == 1 {
-			med = scratch[d/2]
-		} else {
-			med = (scratch[d/2-1] + scratch[d/2]) / 2
-		}
-		var e uint64
-		if med > 0 {
-			e = uint64(med)
-		}
+		e := medianOf(med)
 		est[i] = e
 		prevKey, prevEst, havePrev = k, e, true
+	}
+}
+
+// InsertBatch is the native bulk-ingestion path: runs of equal keys reuse
+// the previous item's row positions and signs without re-hashing (signed
+// addition is commutative, so per-run accumulation would also be sound —
+// but position reuse alone already matches CU's amortization and keeps the
+// per-item flow trivially identical to Insert). Counter state is
+// bit-identical to item-at-a-time insertion. Single-writer, like Insert.
+func (s *Sketch) InsertBatch(items []stream.Item) {
+	var prevKey uint64
+	havePrev := false
+	for _, it := range items {
+		if !havePrev || it.Key != prevKey {
+			s.hashes.Buckets(s.idx, it.Key, s.width)
+			s.signs.Signs(s.sgn, it.Key)
+			base := 0
+			for i, j := range s.idx {
+				s.idx[i] = base + j
+				base += s.width
+			}
+			prevKey, havePrev = it.Key, true
+		}
+		for i, p := range s.idx {
+			s.data[p] += s.sgn[i] * int64(it.Value)
+		}
 	}
 }
 
@@ -154,31 +204,29 @@ func (s *Sketch) Merge(other sketch.Sketch) error {
 	if !ok {
 		return sketch.MergeIncompatible(s, other, "not a Count sketch")
 	}
-	if len(s.rows) != len(o.rows) || s.width != o.width {
+	if s.depth != o.depth || s.width != o.width {
 		return sketch.MergeIncompatible(s, other, "geometry differs")
 	}
 	if !s.hashes.Equal(o.hashes) || !s.signs.Equal(o.signs) {
 		return sketch.MergeIncompatible(s, other, "hash seeds differ")
 	}
-	for i := range s.rows {
-		dst, src := s.rows[i], o.rows[i]
-		for j := range dst {
-			dst[j] += src[j]
-		}
+	for i, c := range o.data {
+		s.data[i] += c
 	}
 	return nil
 }
 
+// Depth returns the number of rows d.
+func (s *Sketch) Depth() int { return s.depth }
+
 // MemoryBytes reports d × w × 4 bytes (the deployment uses 32-bit signed
 // counters).
-func (s *Sketch) MemoryBytes() int { return len(s.rows) * s.width * CounterBytes }
+func (s *Sketch) MemoryBytes() int { return s.depth * s.width * CounterBytes }
 
 // Name identifies the algorithm.
 func (s *Sketch) Name() string { return s.name }
 
 // Reset zeroes all counters.
 func (s *Sketch) Reset() {
-	for i := range s.rows {
-		clear(s.rows[i])
-	}
+	clear(s.data)
 }

@@ -14,15 +14,38 @@ import (
 // CounterBytes is the accounted size of one 32-bit counter.
 const CounterBytes = 4
 
+// maxStackRows bounds the per-query scratch kept on the stack; both
+// evaluated depths (d=3 and d=16) fit, deeper sketches fall back to one
+// allocation per call.
+const maxStackRows = 16
+
 // Sketch is a CU sketch with d rows of w 32-bit counters.
+//
+// The counters live in one contiguous row-major slice (row i is
+// data[i*width:(i+1)*width]), so a d-row touch is d offsets into a single
+// allocation instead of d slice-header dereferences.
+//
+// Insert and InsertBatch are single-writer: conservative update needs the
+// mapped positions twice (a read phase to find the row minimum, a write
+// phase to raise only the minima), and both phases run over the per-sketch
+// pos scratch — two concurrent writers would interleave their phases and
+// corrupt the never-underestimate invariant, exactly like interleaved
+// read-modify-writes on the counters themselves. Wrap in sketch.Sharded
+// for concurrent insertion. Query and QueryBatch never touch the scratch
+// (their row indexes stay on the stack), so any number of readers may run
+// concurrently with each other on sealed state; see TestQueryTouchesNoScratch.
+// The zero value is not usable; build with New.
 type Sketch struct {
-	rows   [][]uint32
+	data   []uint32
 	width  int
+	depth  int
 	hashes *hash.Family
 	name   string
-	// idx caches the per-row bucket indexes between the read and write
-	// phases of an insertion, avoiding re-hashing.
-	idx []int
+	// pos caches the d flat counter positions (row base + bucket) between
+	// the read and write phases of an insertion, avoiding re-hashing and a
+	// second offset walk. Single-writer scratch: sized to the sketch's
+	// depth at construction, never aliased by the counter slice.
+	pos []int
 }
 
 // New builds a CU sketch with d rows of width counters each.
@@ -30,17 +53,14 @@ func New(d, width int, seed uint64, name string) *Sketch {
 	if d < 1 || width < 1 {
 		panic("cu: invalid geometry")
 	}
-	s := &Sketch{
-		rows:   make([][]uint32, d),
+	return &Sketch{
+		data:   make([]uint32, d*width),
 		width:  width,
+		depth:  d,
 		hashes: hash.NewFamily(seed, d),
 		name:   name,
-		idx:    make([]int, d),
+		pos:    make([]int, d),
 	}
-	for i := range s.rows {
-		s.rows[i] = make([]uint32, width)
-	}
-	return s
 }
 
 // NewFast builds the 3-row throughput variant sized to memBytes.
@@ -61,52 +81,60 @@ func widthFor(memBytes, d int) int {
 	return w
 }
 
-// Insert raises only the minimum mapped counters to min+value.
+// Insert raises only the minimum mapped counters to min+value. All d row
+// indexes come from one multi-row hash pass; the flat positions are cached
+// in the single-writer scratch so the write phase re-derives nothing.
 func (s *Sketch) Insert(key, value uint64) {
+	s.hashes.Buckets(s.pos, key, s.width)
 	var min uint64
-	for i := range s.rows {
-		j := s.hashes.Bucket(i, key, s.width)
-		s.idx[i] = j
-		c := uint64(s.rows[i][j])
+	base := 0
+	for i, j := range s.pos {
+		p := base + j
+		s.pos[i] = p
+		c := uint64(s.data[p])
 		if i == 0 || c < min {
 			min = c
 		}
+		base += s.width
 	}
 	target := uint32(min + value)
-	for i := range s.rows {
-		if s.rows[i][s.idx[i]] < target {
-			s.rows[i][s.idx[i]] = target
+	for _, p := range s.pos {
+		if s.data[p] < target {
+			s.data[p] = target
 		}
 	}
 }
 
 // InsertBatch is the native bulk-ingestion path. Conservative update is
 // order-sensitive, so unlike CM the batch cannot be aggregated per key;
-// instead the row indexes are reused across runs of equal keys (bursty
-// streams repeat keys back to back) and the read/write phases run over the
-// cached indexes without re-hashing. Counter state is bit-identical to
-// item-at-a-time insertion.
+// instead the flat counter positions are hashed once per run of equal keys
+// (bursty streams repeat keys back to back) and the read/write phases run
+// over the cached positions without re-hashing. Counter state is
+// bit-identical to item-at-a-time insertion. Single-writer, like Insert.
 func (s *Sketch) InsertBatch(items []stream.Item) {
 	var prevKey uint64
 	havePrev := false
 	for _, it := range items {
 		if !havePrev || it.Key != prevKey {
-			for i := range s.rows {
-				s.idx[i] = s.hashes.Bucket(i, it.Key, s.width)
+			s.hashes.Buckets(s.pos, it.Key, s.width)
+			base := 0
+			for i, j := range s.pos {
+				s.pos[i] = base + j
+				base += s.width
 			}
 			prevKey, havePrev = it.Key, true
 		}
 		var min uint64
-		for i := range s.rows {
-			c := uint64(s.rows[i][s.idx[i]])
+		for i, p := range s.pos {
+			c := uint64(s.data[p])
 			if i == 0 || c < min {
 				min = c
 			}
 		}
 		target := uint32(min + it.Value)
-		for i := range s.rows {
-			if s.rows[i][s.idx[i]] < target {
-				s.rows[i][s.idx[i]] = target
+		for _, p := range s.pos {
+			if s.data[p] < target {
+				s.data[p] = target
 			}
 		}
 	}
@@ -123,42 +151,56 @@ func (s *Sketch) Merge(other sketch.Sketch) error {
 	if !ok {
 		return sketch.MergeIncompatible(s, other, "not a CU sketch")
 	}
-	if len(s.rows) != len(o.rows) || s.width != o.width {
+	if s.depth != o.depth || s.width != o.width {
 		return sketch.MergeIncompatible(s, other, "geometry differs")
 	}
 	if !s.hashes.Equal(o.hashes) {
 		return sketch.MergeIncompatible(s, other, "hash seeds differ")
 	}
-	for i := range s.rows {
-		dst, src := s.rows[i], o.rows[i]
-		for j := range dst {
-			dst[j] += src[j]
-		}
+	for i, c := range o.data {
+		s.data[i] += c
 	}
 	return nil
 }
 
 // Query returns the minimum mapped counter, a certified overestimate.
-// Safe for concurrent readers.
+// Safe for concurrent readers: the row-index scratch is a per-call stack
+// array (the insert-side pos cache is untouched), so queries share no
+// state and allocate nothing (at d ≤ 16).
 func (s *Sketch) Query(key uint64) uint64 {
+	var buf [maxStackRows]int
+	idx := buf[:]
+	if s.depth > maxStackRows {
+		idx = make([]int, s.depth)
+	}
+	idx = idx[:s.depth]
+	s.hashes.Buckets(idx, key, s.width)
 	var min uint64
-	for i := range s.rows {
-		j := s.hashes.Bucket(i, key, s.width)
-		c := uint64(s.rows[i][j])
+	base := 0
+	for i, j := range idx {
+		c := uint64(s.data[base+j])
 		if i == 0 || c < min {
 			min = c
 		}
+		base += s.width
 	}
 	return min
 }
 
 // QueryBatch is the native batch read path (sketch.BatchQuerier): runs of
 // equal keys reuse the previous row-minimum without re-hashing, mirroring
-// how InsertBatch reuses row indexes across bursty repeats. CU cannot
+// how InsertBatch reuses row positions across bursty repeats, and each
+// distinct key's indexes come from one multi-row hash pass. CU cannot
 // certify per-key errors, so a non-nil mpe is zero-filled. Answers are
 // identical to per-key Query; safe for concurrent readers (no shared
-// scratch — the insert-side idx cache is untouched).
+// scratch — the insert-side pos cache is untouched).
 func (s *Sketch) QueryBatch(keys []uint64, est, mpe []uint64) {
+	var buf [maxStackRows]int
+	idx := buf[:]
+	if s.depth > maxStackRows {
+		idx = make([]int, s.depth)
+	}
+	idx = idx[:s.depth]
 	var prevKey, prevEst uint64
 	havePrev := false
 	for i, k := range keys {
@@ -169,13 +211,15 @@ func (s *Sketch) QueryBatch(keys []uint64, est, mpe []uint64) {
 			est[i] = prevEst
 			continue
 		}
+		s.hashes.Buckets(idx, k, s.width)
 		var min uint64
-		for r := range s.rows {
-			j := s.hashes.Bucket(r, k, s.width)
-			c := uint64(s.rows[r][j])
+		base := 0
+		for r, j := range idx {
+			c := uint64(s.data[base+j])
 			if r == 0 || c < min {
 				min = c
 			}
+			base += s.width
 		}
 		est[i] = min
 		prevKey, prevEst, havePrev = k, min, true
@@ -183,17 +227,15 @@ func (s *Sketch) QueryBatch(keys []uint64, est, mpe []uint64) {
 }
 
 // Depth returns the number of rows d.
-func (s *Sketch) Depth() int { return len(s.rows) }
+func (s *Sketch) Depth() int { return s.depth }
 
 // MemoryBytes reports d × w × 4 bytes.
-func (s *Sketch) MemoryBytes() int { return len(s.rows) * s.width * CounterBytes }
+func (s *Sketch) MemoryBytes() int { return s.depth * s.width * CounterBytes }
 
 // Name identifies the variant.
 func (s *Sketch) Name() string { return s.name }
 
 // Reset zeroes all counters.
 func (s *Sketch) Reset() {
-	for i := range s.rows {
-		clear(s.rows[i])
-	}
+	clear(s.data)
 }

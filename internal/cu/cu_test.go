@@ -95,3 +95,65 @@ func BenchmarkInsertFast(b *testing.B) {
 		sk.Insert(uint64(i&0xffff), 1)
 	}
 }
+
+// TestQueryTouchesNoScratch certifies the concurrency contract documented
+// on Sketch: Query and QueryBatch keep their row indexes on the stack and
+// never write the per-sketch pos scratch, so concurrent readers on sealed
+// state are race-free. The test runs parallel readers over a frozen sketch
+// while recording the scratch contents before and after — any scratch
+// write fails the comparison, and under `go test -race` an actual data
+// race between the readers would be reported directly.
+func TestQueryTouchesNoScratch(t *testing.T) {
+	s := NewAccurate(1<<14, 99) // d=16 exercises the full stack scratch
+	st := stream.Zipf(4096, 512, 1.0, 3)
+	for _, it := range st.Items {
+		s.Insert(it.Key, it.Value)
+	}
+	before := make([]int, len(s.pos))
+	copy(before, s.pos)
+
+	keys := make([]uint64, 64)
+	for i := range keys {
+		keys[i] = st.Items[i].Key
+	}
+	want := make([]uint64, len(keys))
+	for i, k := range keys {
+		want[i] = s.Query(k)
+	}
+	copy(before, s.pos) // sequential queries must not have written it either
+
+	done := make(chan struct{})
+	const readers = 8
+	for r := 0; r < readers; r++ {
+		go func(r int) {
+			defer func() { done <- struct{}{} }()
+			est := make([]uint64, len(keys))
+			for iter := 0; iter < 200; iter++ {
+				if r%2 == 0 {
+					for i, k := range keys {
+						if got := s.Query(k); got != want[i] {
+							t.Errorf("reader %d: Query(%d)=%d want %d", r, k, got, want[i])
+							return
+						}
+					}
+				} else {
+					s.QueryBatch(keys, est, nil)
+					for i := range keys {
+						if est[i] != want[i] {
+							t.Errorf("reader %d: QueryBatch[%d]=%d want %d", r, i, est[i], want[i])
+							return
+						}
+					}
+				}
+			}
+		}(r)
+	}
+	for r := 0; r < readers; r++ {
+		<-done
+	}
+	for i := range before {
+		if s.pos[i] != before[i] {
+			t.Fatalf("pos scratch written by query path: pos[%d] = %d, was %d", i, s.pos[i], before[i])
+		}
+	}
+}

@@ -33,32 +33,31 @@ func (f *Filter) EncodeTo(w io.Writer) error {
 		return nil
 	}
 	format := uint64(formatPacked)
-	for r := range f.rows {
-		for _, c := range f.rows[r] {
-			if uint64(c) > f.cap {
-				format = formatVarint
-				break
-			}
+	for _, c := range f.data {
+		if uint64(c) > f.cap {
+			format = formatVarint
+			break
 		}
 	}
-	if err := write(uint64(len(f.rows)), uint64(f.width), uint64(f.bits), format,
+	if err := write(uint64(f.depth), uint64(f.width), uint64(f.bits), format,
 		f.insertHashCalls, f.queryHashCalls.Load()); err != nil {
 		return err
 	}
 	if format == formatVarint {
-		for r := range f.rows {
-			for _, c := range f.rows[r] {
-				if err := write(uint64(c)); err != nil {
-					return err
-				}
+		// Row-major flat iteration: byte-identical to the historical
+		// per-row walk.
+		for _, c := range f.data {
+			if err := write(uint64(c)); err != nil {
+				return err
 			}
 		}
 		return nil
 	}
 	packed := make([]byte, (f.width*f.bits+7)/8)
-	for r := range f.rows {
+	for r := 0; r < f.depth; r++ {
 		clear(packed)
-		for i, c := range f.rows[r] {
+		row := f.data[r*f.width : (r+1)*f.width]
+		for i, c := range row {
 			packBits(packed, i*f.bits, f.bits, uint64(c))
 		}
 		if _, err := w.Write(packed); err != nil {
@@ -106,39 +105,38 @@ func (f *Filter) DecodeFrom(r interface {
 	if format != formatPacked && format != formatVarint {
 		return fmt.Errorf("filter: unknown counter format %d", format)
 	}
-	if int(rows) != len(f.rows) {
-		return fmt.Errorf("filter: snapshot has %d rows, sketch built with %d", rows, len(f.rows))
+	if int(rows) != f.depth {
+		return fmt.Errorf("filter: snapshot has %d rows, sketch built with %d", rows, f.depth)
 	}
-	// Decode into fresh rows and swap only on full success, so a truncated
-	// or corrupt snapshot leaves the receiver untouched.
-	newRows := make([][]uint32, rows)
+	// Decode into a fresh flat slice and swap only on full success, so a
+	// truncated or corrupt snapshot leaves the receiver untouched. Width and
+	// bits may differ from the receiver's (only the row count must match),
+	// so the slice is sized from the snapshot geometry.
+	data := make([]uint32, int(rows)*int(width))
 	if format == formatVarint {
-		for ri := range newRows {
-			newRows[ri] = make([]uint32, width)
-			for i := range newRows[ri] {
-				c, err := read()
-				if err != nil {
-					return fmt.Errorf("filter: row %d counter %d: %w", ri, i, err)
-				}
-				if c > 0xffffffff {
-					return fmt.Errorf("filter: counter %d/%d overflows 32 bits", ri, i)
-				}
-				newRows[ri][i] = uint32(c)
+		for i := range data {
+			c, err := read()
+			if err != nil {
+				return fmt.Errorf("filter: row %d counter %d: %w", i/int(width), i%int(width), err)
 			}
+			if c > 0xffffffff {
+				return fmt.Errorf("filter: counter %d/%d overflows 32 bits", i/int(width), i%int(width))
+			}
+			data[i] = uint32(c)
 		}
 	} else {
 		packed := make([]byte, (int(width)*int(bits)+7)/8)
-		for ri := range newRows {
+		for ri := 0; ri < int(rows); ri++ {
 			if _, err := io.ReadFull(r, packed); err != nil {
 				return fmt.Errorf("filter: row %d counters: %w", ri, err)
 			}
-			newRows[ri] = make([]uint32, width)
-			for i := range newRows[ri] {
-				newRows[ri][i] = uint32(unpackBits(packed, i*int(bits), int(bits)))
+			row := data[ri*int(width) : (ri+1)*int(width)]
+			for i := range row {
+				row[i] = uint32(unpackBits(packed, i*int(bits), int(bits)))
 			}
 		}
 	}
-	f.rows = newRows
+	f.data = data
 	f.width = int(width)
 	f.bits = int(bits)
 	f.cap = 1<<bits - 1

@@ -23,20 +23,27 @@ import (
 
 // Filter is a conservative-update filter of saturating counters.
 //
+// The counters live in one contiguous row-major slice (row r is
+// data[r*width:(r+1)*width]), matching the flattened counter-sketch
+// layouts: a filter touch is Rows() offsets into a single allocation.
+//
 // Insert is single-writer; Query is safe for any number of concurrent
 // readers (it touches no shared scratch and counts its hash calls
 // atomically), so a sealed epoch window can be queried lock-free.
 type Filter struct {
-	rows   [][]uint32 // rows[r][i]: counter values; ≤ cap until a Merge
-	width  int
-	cap    uint64
-	bits   int
+	data  []uint32 // counter values, row-major; ≤ cap until a Merge
+	depth int      // number of rows
+	width int
+	cap   uint64
+	bits  int
+	// hashes derives per-row bucket indexes; the key-side mix is shared
+	// with the owning sketch's layer walk through the *Pre entry points.
 	hashes *hash.Family
-	// idx caches the per-row bucket indexes between the read and write
+	// pos caches the flat counter positions between the read and write
 	// phases of an insertion, so each touched operation hashes exactly
 	// Rows() times — the "2 calls per operation" accounting of Figure 16.
 	// Only Insert (single-writer) touches it; Query must not.
-	idx []int
+	pos []int
 	// insertHashCalls and queryHashCalls count bucket-index computations
 	// per operation kind, for the Figure 16 hash-call accounting. The query
 	// counter is atomic so concurrent readers never race.
@@ -50,18 +57,15 @@ func New(rows, width, bits int, seed uint64) *Filter {
 	if rows < 1 || width < 1 || bits < 1 || bits > 32 {
 		panic("filter: invalid geometry")
 	}
-	f := &Filter{
-		rows:   make([][]uint32, rows),
+	return &Filter{
+		data:   make([]uint32, rows*width),
+		depth:  rows,
 		width:  width,
 		cap:    1<<bits - 1,
 		bits:   bits,
 		hashes: hash.NewFamily(seed, rows),
-		idx:    make([]int, rows),
+		pos:    make([]int, rows),
 	}
-	for r := range f.rows {
-		f.rows[r] = make([]uint32, width)
-	}
-	return f
 }
 
 // NewBytes builds a filter of `rows` arrays filling memBytes under the
@@ -79,11 +83,18 @@ func (f *Filter) Cap() uint64 { return f.cap }
 
 // Insert adds <e, v> to the filter and returns the overflow: the portion of
 // v that could not be absorbed before the key's minimum counter saturated.
-// Overflow 0 means fully absorbed. The write phase reuses the indexes the
+// Overflow 0 means fully absorbed. The write phase reuses the positions the
 // read phase computed, so an insertion costs exactly Rows() hash calls.
 func (f *Filter) Insert(e, v uint64) (overflow uint64) {
-	m := f.min(e)
-	f.insertHashCalls += uint64(len(f.rows))
+	return f.InsertPre(hash.PreKey(e), v)
+}
+
+// InsertPre is Insert with the key's seed-independent hash half already
+// computed (pk == hash.PreKey(e)). The core sketch pays PreKey once per
+// item and shares it between this filter and its bucket-layer walk.
+func (f *Filter) InsertPre(pk, v uint64) (overflow uint64) {
+	m := f.min(pk)
+	f.insertHashCalls += uint64(f.depth)
 	if m >= f.cap {
 		// Already saturated (merged counters may sit above cap): nothing is
 		// absorbable, the whole value cascades to the bucket layers.
@@ -96,9 +107,9 @@ func (f *Filter) Insert(e, v uint64) (overflow uint64) {
 	}
 	if absorbed > 0 {
 		target := uint32(m + absorbed)
-		for r := range f.rows {
-			if f.rows[r][f.idx[r]] < target {
-				f.rows[r][f.idx[r]] = target
+		for _, p := range f.pos {
+			if f.data[p] < target {
+				f.data[p] = target
 			}
 		}
 	}
@@ -111,41 +122,48 @@ func (f *Filter) Insert(e, v uint64) (overflow uint64) {
 // counters can exceed cap, which still means "may have overflowed in some
 // merged part"). Safe for concurrent readers.
 func (f *Filter) Query(e uint64) (est uint64, saturated bool) {
-	m := f.minRead(e)
-	f.queryHashCalls.Add(uint64(len(f.rows)))
+	return f.QueryPre(hash.PreKey(e))
+}
+
+// QueryPre is Query with the key prehashed (pk == hash.PreKey(e)); same
+// concurrency guarantees. Callers that also walk bucket layers share one
+// PreKey across both.
+func (f *Filter) QueryPre(pk uint64) (est uint64, saturated bool) {
+	m := f.minRead(pk)
+	f.queryHashCalls.Add(uint64(f.depth))
 	return m, m >= f.cap
 }
 
-// min computes the row indexes of e (cached in f.idx for the caller's write
-// phase) and returns the minimum mapped counter. Callers account the
-// len(f.rows) hash calls to their operation kind. Insert-path only: it
-// writes the shared idx scratch.
-func (f *Filter) min(e uint64) uint64 {
+// min computes the flat counter positions of the prehashed key (cached in
+// f.pos for the caller's write phase) and returns the minimum mapped
+// counter. Callers account the Rows() hash calls to their operation kind.
+// Insert-path only: it writes the shared pos scratch.
+func (f *Filter) min(pk uint64) uint64 {
 	m := uint64(0)
-	first := true
-	for r := range f.rows {
-		i := f.hashes.Bucket(r, e, f.width)
-		f.idx[r] = i
-		c := uint64(f.rows[r][i])
-		if first || c < m {
+	base := 0
+	for r := 0; r < f.depth; r++ {
+		p := base + f.hashes.BucketPre(r, pk, f.width)
+		f.pos[r] = p
+		c := uint64(f.data[p])
+		if r == 0 || c < m {
 			m = c
-			first = false
 		}
+		base += f.width
 	}
 	return m
 }
 
-// minRead is min without the idx caching, so concurrent queries share no
+// minRead is min without the pos caching, so concurrent queries share no
 // state.
-func (f *Filter) minRead(e uint64) uint64 {
+func (f *Filter) minRead(pk uint64) uint64 {
 	m := uint64(0)
-	first := true
-	for r := range f.rows {
-		c := uint64(f.rows[r][f.hashes.Bucket(r, e, f.width)])
-		if first || c < m {
+	base := 0
+	for r := 0; r < f.depth; r++ {
+		c := uint64(f.data[base+f.hashes.BucketPre(r, pk, f.width)])
+		if r == 0 || c < m {
 			m = c
-			first = false
 		}
+		base += f.width
 	}
 	return m
 }
@@ -158,18 +176,15 @@ func (f *Filter) minRead(e uint64) uint64 {
 // exceed cap afterwards — Query treats ≥ cap as saturated and Insert stops
 // absorbing there.
 func (f *Filter) Merge(o *Filter) bool {
-	if o == nil || len(f.rows) != len(o.rows) || f.width != o.width || f.bits != o.bits {
+	if o == nil || f.depth != o.depth || f.width != o.width || f.bits != o.bits {
 		return false
 	}
-	for r := range f.rows {
-		dst, src := f.rows[r], o.rows[r]
-		for i := range dst {
-			sum := uint64(dst[i]) + uint64(src[i])
-			if sum > 0xffffffff {
-				sum = 0xffffffff
-			}
-			dst[i] = uint32(sum)
+	for i, c := range o.data {
+		sum := uint64(f.data[i]) + uint64(c)
+		if sum > 0xffffffff {
+			sum = 0xffffffff
 		}
+		f.data[i] = uint32(sum)
 	}
 	f.insertHashCalls += o.insertHashCalls
 	f.queryHashCalls.Add(o.queryHashCalls.Load())
@@ -178,11 +193,11 @@ func (f *Filter) Merge(o *Filter) bool {
 
 // MemoryBytes reports the bit-packed footprint: rows × width × bits / 8.
 func (f *Filter) MemoryBytes() int {
-	return (len(f.rows)*f.width*f.bits + 7) / 8
+	return (f.depth*f.width*f.bits + 7) / 8
 }
 
 // Rows returns the number of counter arrays (hash calls per operation).
-func (f *Filter) Rows() int { return len(f.rows) }
+func (f *Filter) Rows() int { return f.depth }
 
 // HashCalls returns the cumulative number of hash evaluations across both
 // operation kinds, used by the Figure 16 experiment.
@@ -197,9 +212,7 @@ func (f *Filter) HashCallsByOp() (insert, query uint64) {
 
 // Reset zeroes all counters.
 func (f *Filter) Reset() {
-	for r := range f.rows {
-		clear(f.rows[r])
-	}
+	clear(f.data)
 	f.insertHashCalls = 0
 	f.queryHashCalls.Store(0)
 }

@@ -1,0 +1,57 @@
+// Package fixtures defines the deterministic sketch states pinned by the
+// golden snapshot fixtures in testdata/flatten/. The fixture generator
+// (internal/tools/snapfixtures) and the bit-exactness test at the repo root
+// both build their sketches through this package, so the generator and the
+// verifier can never drift apart.
+package fixtures
+
+import (
+	_ "repro/internal/sketch/all" // register every variant
+
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// Case is one pinned sketch state: a registry variant, its Spec, and the
+// stream geometry it is fed.
+type Case struct {
+	Name  string // fixture file stem and registry algorithm name prefix
+	Algo  string // registry name
+	Spec  sketch.Spec
+	Items int // stream length
+}
+
+// Cases returns the fixture set: the three flattened counter families at
+// both evaluated depths, plus a sharded fan-out to pin the container
+// format. Specs are small so fixtures stay a few KB.
+func Cases() []Case {
+	return []Case{
+		{Name: "cm_fast", Algo: "CM_fast", Spec: sketch.Spec{MemoryBytes: 4096, Seed: 42}, Items: 6000},
+		{Name: "cm_acc", Algo: "CM_acc", Spec: sketch.Spec{MemoryBytes: 4096, Seed: 42}, Items: 6000},
+		{Name: "cu_fast", Algo: "CU_fast", Spec: sketch.Spec{MemoryBytes: 4096, Seed: 42}, Items: 6000},
+		{Name: "cu_acc", Algo: "CU_acc", Spec: sketch.Spec{MemoryBytes: 4096, Seed: 42}, Items: 6000},
+		{Name: "count", Algo: "Count", Spec: sketch.Spec{MemoryBytes: 4096, Seed: 42}, Items: 6000},
+		{Name: "cm_fast_sharded4", Algo: "CM_fast", Spec: sketch.Spec{MemoryBytes: 8192, Seed: 42, Shards: 4}, Items: 6000},
+	}
+}
+
+// Stream returns the deterministic zipfian stream a Case is fed.
+func Stream(c Case) *stream.Stream {
+	return stream.Zipf(c.Items, 512, 1.0, 7)
+}
+
+// BuildAndFeed constructs the Case's sketch and feeds it the fixture
+// stream: the first half item-at-a-time through Insert, the second half
+// through the unified batch path, so a fixture pins both ingestion paths.
+// The returned sketch has not been queried (query-side instrumentation,
+// where serialized, is zero).
+func BuildAndFeed(c Case) sketch.Snapshotter {
+	sk := sketch.MustBuild(c.Algo, c.Spec)
+	s := Stream(c)
+	half := len(s.Items) / 2
+	for _, it := range s.Items[:half] {
+		sk.Insert(it.Key, it.Value)
+	}
+	sketch.InsertBatch(sk, s.Items[half:])
+	return sk.(sketch.Snapshotter)
+}

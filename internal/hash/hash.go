@@ -77,7 +77,24 @@ func fmix64(k uint64) uint64 {
 // finalizer twice, which passes avalanche tests and is far cheaper than
 // hashing the key's byte encoding.
 func U64(key, seed uint64) uint64 {
-	return fmix64(fmix64(key+0x9e3779b97f4a7c15) ^ (seed * 0xbf58476d1ce4e5b9))
+	return fmix64(PreKey(key) ^ (seed * 0xbf58476d1ce4e5b9))
+}
+
+// PreKey is the seed-independent half of U64: every per-row hash of the
+// same key shares this mix, so a d-row sketch touch can pay it once and
+// derive each row with BucketPre. U64(key, seed) ==
+// fmix64(PreKey(key) ^ seed*0xbf58476d1ce4e5b9) for all seeds, bit-exact.
+func PreKey(key uint64) uint64 {
+	return fmix64(key + 0x9e3779b97f4a7c15)
+}
+
+// BucketPre is Bucket with the key half prehashed: BucketPre(PreKey(key),
+// seed, width) == Bucket(key, seed, width). The amortization primitive of
+// the multi-row paths below and of the layer walks whose widths differ per
+// row (the core sketch), where a dst-slice API does not fit.
+func BucketPre(pk, seed uint64, width int) int {
+	h := fmix64(pk ^ (seed * 0xbf58476d1ce4e5b9))
+	return int((h >> 32) * uint64(width) >> 32)
 }
 
 // U32 hashes a uint64 key to 32 bits with a 32-bit seed, mirroring the
@@ -148,7 +165,52 @@ func (f *Family) Bucket(i int, key uint64, width int) int {
 	return Bucket(key, f.seeds[i], width)
 }
 
+// BucketPre maps a prehashed key (PreKey) to [0, width) using the i-th
+// function. Equal to Bucket(i, key, width) for pk == PreKey(key).
+func (f *Family) BucketPre(i int, pk uint64, width int) int {
+	return BucketPre(pk, f.seeds[i], width)
+}
+
+// Buckets computes key's bucket index in every row of the family in one
+// pass: dst[i] == Bucket(i, key, width) for all i, bit-exact. The key-side
+// mix is computed once and shared across rows, so a d-row touch costs d+1
+// finalizer rounds instead of 2d, and the per-row method-call overhead of
+// d separate Bucket calls disappears. dst must be at least Len() long.
+func (f *Family) Buckets(dst []int, key uint64, width int) {
+	f.BucketsPre(dst, PreKey(key), width)
+}
+
+// BucketsPre is Buckets with the key half prehashed, for callers that
+// share one PreKey across several families (the core sketch shares it
+// between the mice filter and the bucket layers): dst[i] ==
+// Bucket(i, key, width) for pk == PreKey(key), bit-exact.
+func (f *Family) BucketsPre(dst []int, pk uint64, width int) {
+	seeds := f.seeds
+	_ = dst[len(seeds)-1]
+	w := uint64(width)
+	for i, seed := range seeds {
+		h := fmix64(pk ^ (seed * 0xbf58476d1ce4e5b9))
+		dst[i] = int((h >> 32) * w >> 32)
+	}
+}
+
 // Sign returns the i-th sign function applied to key.
 func (f *Family) Sign(i int, key uint64) int64 {
 	return Sign(key, f.seeds[i])
+}
+
+// Signs computes every row's ±1 sign of key in one pass, sharing the
+// key-side mix like Buckets: dst[i] == Sign(i, key) for all i, bit-exact.
+// dst must be at least Len() long.
+func (f *Family) Signs(dst []int64, key uint64) {
+	seeds := f.seeds
+	_ = dst[len(seeds)-1]
+	pk := PreKey(key)
+	for i, seed := range seeds {
+		if fmix64(pk^((seed^0xa5a5a5a5a5a5a5a5)*0xbf58476d1ce4e5b9))&1 == 0 {
+			dst[i] = 1
+		} else {
+			dst[i] = -1
+		}
+	}
 }

@@ -162,6 +162,80 @@ func TestU32Avalanche(t *testing.T) {
 	}
 }
 
+// TestBucketsMatchPerRow pins the multi-row fast path to the per-row
+// reference: Buckets, BucketPre, and Signs must be bit-exact with Bucket
+// and Sign for every row, seed, and width — the equivalence the flattened
+// sketch layouts rely on for snapshot compatibility.
+func TestBucketsMatchPerRow(t *testing.T) {
+	err := quick.Check(func(base, key uint64, dRaw uint8, wRaw uint16) bool {
+		d := int(dRaw%16) + 1
+		width := int(wRaw%4096) + 1
+		f := NewFamily(base, d)
+		idx := make([]int, d)
+		f.Buckets(idx, key, width)
+		signs := make([]int64, d)
+		f.Signs(signs, key)
+		pk := PreKey(key)
+		for i := 0; i < d; i++ {
+			if idx[i] != f.Bucket(i, key, width) {
+				return false
+			}
+			if f.BucketPre(i, pk, width) != f.Bucket(i, key, width) {
+				return false
+			}
+			if BucketPre(pk, f.Seed(i), width) != Bucket(key, f.Seed(i), width) {
+				return false
+			}
+			if signs[i] != f.Sign(i, key) {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBucketsAllocFree asserts the multi-row paths allocate nothing — the
+// contract the 0-allocs/op sketch hot paths are built on.
+func TestBucketsAllocFree(t *testing.T) {
+	f := NewFamily(3, 8)
+	idx := make([]int, 8)
+	signs := make([]int64, 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		f.Buckets(idx, 12345, 1024)
+		f.Signs(signs, 12345)
+	})
+	if allocs != 0 {
+		t.Errorf("Buckets+Signs allocate %.1f objects per run, want 0", allocs)
+	}
+}
+
+func BenchmarkFamilyBucketPerRow(b *testing.B) {
+	b.ReportAllocs()
+	f := NewFamily(3, 8)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < 8; r++ {
+			sink ^= f.Bucket(r, uint64(i), 4096)
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkFamilyBuckets(b *testing.B) {
+	b.ReportAllocs()
+	f := NewFamily(3, 8)
+	var idx [8]int
+	var sink int
+	for i := 0; i < b.N; i++ {
+		f.Buckets(idx[:], uint64(i), 4096)
+		sink ^= idx[7]
+	}
+	_ = sink
+}
+
 func BenchmarkU64(b *testing.B) {
 	var sink uint64
 	for i := 0; i < b.N; i++ {

@@ -25,7 +25,11 @@ func InsertBatch(sk Sketch, items []stream.Item) {
 		b.InsertBatch(items)
 		return
 	}
+	// Bind the method value once: the receiver and code pointer are
+	// resolved here, so the per-item loop makes plain indirect calls
+	// instead of re-reading the itab every iteration.
+	insert := sk.Insert
 	for _, it := range items {
-		sk.Insert(it.Key, it.Value)
+		insert(it.Key, it.Value)
 	}
 }

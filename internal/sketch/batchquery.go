@@ -32,10 +32,14 @@ func QueryBatch(sk Sketch, keys []uint64, est, mpe []uint64) {
 		bq.QueryBatch(keys, est, mpe)
 		return
 	}
+	// Bind the method values once so the per-key loops make plain indirect
+	// calls instead of re-reading the itab every iteration (mirrors the
+	// InsertBatch fallback).
 	if mpe != nil {
 		if eb, ok := sk.(ErrorBounded); ok {
+			queryWithError := eb.QueryWithError
 			for i, k := range keys {
-				est[i], mpe[i] = eb.QueryWithError(k)
+				est[i], mpe[i] = queryWithError(k)
 			}
 			return
 		}
@@ -43,7 +47,8 @@ func QueryBatch(sk Sketch, keys []uint64, est, mpe []uint64) {
 			mpe[i] = 0
 		}
 	}
+	query := sk.Query
 	for i, k := range keys {
-		est[i] = sk.Query(k)
+		est[i] = query(k)
 	}
 }

@@ -1,0 +1,47 @@
+// Command snapfixtures regenerates the golden snapshot fixtures under
+// testdata/flatten/ that certify the counter-sketch wire formats stay
+// bit-exact across layout changes (TestFlattenedSnapshotFixtures at the
+// repo root). Each fixture is the raw Snapshot byte stream of a sketch fed
+// FixtureCases' deterministic stream half item-at-a-time, half through the
+// batch path, so both ingestion paths are pinned.
+//
+// The fixtures are a compatibility contract: regenerate them ONLY when the
+// wire format itself changes intentionally (bump the codec magic when you
+// do), never to make a layout refactor pass — a refactor that changes the
+// bytes has broken RSK3/checkpoint compatibility.
+//
+// Usage (from the repo root):
+//
+//	go run ./internal/tools/snapfixtures
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fixtures"
+)
+
+func main() {
+	dir := filepath.Join("testdata", "flatten")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "snapfixtures: %v\n", err)
+		os.Exit(1)
+	}
+	for _, c := range fixtures.Cases() {
+		sk := fixtures.BuildAndFeed(c)
+		var buf bytes.Buffer
+		if err := sk.Snapshot(&buf); err != nil {
+			fmt.Fprintf(os.Stderr, "snapfixtures: %s: %v\n", c.Name, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(dir, c.Name+".snap")
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "snapfixtures: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, buf.Len())
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which deliberately randomizes sync.Pool (Put drops items) and
+// adds instrumentation allocations — allocation counts are meaningless
+// under it.
+const raceEnabled = true

@@ -19,7 +19,11 @@
 // The collector prints periodic ingest statistics to stdout; stop it with
 // SIGINT. Agents may query through their own connections (rsagent -query),
 // and -http additionally serves the rsserve HTTP/JSON query API (cached
-// point/window/top-k queries) off the same collector.
+// point/window/top-k queries) off the same collector. -metrics-addr serves
+// GET /metrics (Prometheus text exposition over the collector, its ingest
+// pipeline, and the WAL when attached); -pprof-addr serves net/http/pprof.
+// Both are off unless set and live on their own listeners, away from the
+// agent protocol port.
 package main
 
 import (
@@ -36,27 +40,31 @@ import (
 	"repro/internal/netsum"
 	"repro/internal/queryd"
 	"repro/internal/sketch"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/telhttp"
 	"repro/internal/wal"
 )
 
 func main() {
 	var (
-		listen     = flag.String("listen", "127.0.0.1:7777", "address to listen on")
-		algo       = flag.String("algo", "Ours", "registered error-bounded sketch variant per agent")
-		lambda     = flag.Uint64("lambda", 25, "per-agent error tolerance Λ")
-		mem        = flag.Int("mem", 1<<20, "per-agent sketch memory (bytes)")
-		seed       = flag.Uint64("seed", 1, "sketch hash seed")
-		every      = flag.Duration("stats", 5*time.Second, "statistics print interval")
-		ep         = flag.Duration("epoch", 0, "epoch length for sliding-window mode (0 = cumulative)")
-		window     = flag.Int("window", 0, "sealed epochs retained per agent in -epoch mode (0 = default)")
-		noMerge    = flag.Bool("no-merge", false, "disable the merged global view (estimate-sum only)")
-		httpAdr    = flag.String("http", "", "also serve HTTP/JSON queries on this address (rsserve endpoints)")
-		ingWorkers = flag.Int("ingest-workers", 0, "ingest pipeline workers (0 = default)")
-		ingQueue   = flag.Int("ingest-queue", 0, "per-worker ingest queue depth in batches (0 = default)")
-		ingPolicy  = flag.String("ingest-policy", "block", "backpressure when ingest queues fill: block or drop")
-		walDir     = flag.String("wal-dir", "", "write-ahead-log directory: acked agent batches survive a crash and replay on restart (cumulative mode)")
-		walFsync   = flag.String("wal-fsync", "batch", "WAL durability: batch (fsync every append), a group-commit interval like 5ms, or off")
-		walSegSize = flag.Int64("wal-segment-size", wal.DefaultSegmentBytes, "WAL segment rotation threshold (bytes)")
+		listen      = flag.String("listen", "127.0.0.1:7777", "address to listen on")
+		algo        = flag.String("algo", "Ours", "registered error-bounded sketch variant per agent")
+		lambda      = flag.Uint64("lambda", 25, "per-agent error tolerance Λ")
+		mem         = flag.Int("mem", 1<<20, "per-agent sketch memory (bytes)")
+		seed        = flag.Uint64("seed", 1, "sketch hash seed")
+		every       = flag.Duration("stats", 5*time.Second, "statistics print interval")
+		ep          = flag.Duration("epoch", 0, "epoch length for sliding-window mode (0 = cumulative)")
+		window      = flag.Int("window", 0, "sealed epochs retained per agent in -epoch mode (0 = default)")
+		noMerge     = flag.Bool("no-merge", false, "disable the merged global view (estimate-sum only)")
+		httpAdr     = flag.String("http", "", "also serve HTTP/JSON queries on this address (rsserve endpoints)")
+		ingWorkers  = flag.Int("ingest-workers", 0, "ingest pipeline workers (0 = default)")
+		ingQueue    = flag.Int("ingest-queue", 0, "per-worker ingest queue depth in batches (0 = default)")
+		ingPolicy   = flag.String("ingest-policy", "block", "backpressure when ingest queues fill: block or drop")
+		walDir      = flag.String("wal-dir", "", "write-ahead-log directory: acked agent batches survive a crash and replay on restart (cumulative mode)")
+		walFsync    = flag.String("wal-fsync", "batch", "WAL durability: batch (fsync every append), a group-commit interval like 5ms, or off")
+		walSegSize  = flag.Int64("wal-segment-size", wal.DefaultSegmentBytes, "WAL segment rotation threshold (bytes)")
+		metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text exposition) on this address (off unless set)")
+		pprofAddr   = flag.String("pprof-addr", "", "also serve net/http/pprof on this address (off unless set)")
 	)
 	flag.Parse()
 
@@ -107,6 +115,29 @@ func main() {
 	}
 	fmt.Printf("rscollector listening on %s (%s, Λ=%d, %dB per agent, %s)\n",
 		c.Addr(), *algo, *lambda, *mem, mode)
+
+	if *metricsAddr != "" {
+		// A dedicated scrape listener: the raw TCP collector has no HTTP
+		// surface of its own, so Prometheus gets one regardless of -http.
+		reg := telemetry.NewRegistry()
+		c.RegisterMetrics(reg)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", telhttp.Handler(reg))
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Fatalf("rscollector: metrics: %v", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics\n", *metricsAddr)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, telhttp.PprofHandler()); err != nil {
+				log.Fatalf("rscollector: pprof: %v", err)
+			}
+		}()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	if *httpAdr != "" {
 		qs, err := queryd.New(queryd.CollectorBackend{C: c, Algo: *algo}, queryd.Config{Logf: log.Printf})

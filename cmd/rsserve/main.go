@@ -20,7 +20,9 @@
 // batches — up to -max-batch keys with per-key certified bounds in one
 // request), /v2/ingest (typed write batches, answered with Ack JSON),
 // /v1/point, /v1/window, /v1/topk, /v1/status, /v1/insert (standalone),
-// /v1/checkpoint.
+// /v1/checkpoint, and /metrics (Prometheus text exposition; disable with
+// -metrics=false). -pprof-addr additionally serves net/http/pprof on a
+// separate listener.
 //
 // Writes flow through the async ingest plane: -ingest-workers pipeline
 // workers accumulate private delta sketches and fold them into the served
@@ -46,6 +48,7 @@ import (
 	"repro/internal/queryd"
 	"repro/internal/sketch"
 	_ "repro/internal/sketch/all" // every registered variant servable by name
+	"repro/internal/telemetry/telhttp"
 	"repro/internal/wal"
 )
 
@@ -158,6 +161,8 @@ func main() {
 		walDir     = flag.String("wal-dir", "", "write-ahead-log directory: acked writes survive a crash and replay on restart (cumulative mode)")
 		walFsync   = flag.String("wal-fsync", "batch", "WAL durability: batch (fsync every append), a group-commit interval like 5ms, or off")
 		walSegSize = flag.Int64("wal-segment-size", wal.DefaultSegmentBytes, "WAL segment rotation threshold (bytes)")
+		metrics    = flag.Bool("metrics", true, "serve GET /metrics (Prometheus text exposition) alongside the query API")
+		pprofAddr  = flag.String("pprof-addr", "", "also serve net/http/pprof on this address (off unless set)")
 	)
 	flag.Parse()
 
@@ -193,6 +198,7 @@ func main() {
 		Algo:            *algo,
 		Spec:            spec,
 		Logf:            log.Printf,
+		DisableMetrics:  !*metrics,
 	}
 
 	// The WAL opens before any backend: Open repairs a torn tail and loads
@@ -283,6 +289,17 @@ func main() {
 	s, err := queryd.New(backend, cfg)
 	if err != nil {
 		log.Fatalf("rsserve: %v", err)
+	}
+	if *pprofAddr != "" {
+		// pprof lives on its own listener and mux: profiles stay off the
+		// query port (and its request histograms), and the default mux is
+		// never touched.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, telhttp.PprofHandler()); err != nil {
+				log.Fatalf("rsserve: pprof: %v", err)
+			}
+		}()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 	srv := &http.Server{Addr: *listen, Handler: s.Handler()}
 	go func() {

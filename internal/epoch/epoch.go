@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/sketch"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // Clock abstracts time for tests.
@@ -437,6 +438,31 @@ func (r *Ring) TrackedWindow(n int) ([]sketch.KV, bool) {
 		return nil, false
 	}
 	return hh.Tracked(), true
+}
+
+// RegisterMetrics exposes the ring's seal state on reg under the ring_*
+// namespace. Every sample derives from the already-published sealed set —
+// PeekGeneration semantics — so a scrape never pokes the ring, drives a
+// rotation, or drains an attached pipeline. An overdue-but-unsealed epoch
+// is therefore invisible to /metrics until a reader or the janitor seals
+// it; that staleness is the price of a scrape that cannot perturb the
+// data plane.
+func (r *Ring) RegisterMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("ring_seals_total", "Epoch windows sealed over the ring's life.", nil, func() float64 {
+		return float64(r.sealed.Load().rotations)
+	})
+	reg.GaugeFunc("ring_generation", "Published sealed-set generation (no-poke read).", nil, func() float64 {
+		return float64(r.sealed.Load().rotations)
+	})
+	reg.GaugeFunc("ring_sealed_windows", "Sealed windows currently retained.", nil, func() float64 {
+		return float64(len(r.sealed.Load().windows))
+	})
+	reg.GaugeFunc("ring_capacity", "Sealed-window retention limit.", nil, func() float64 {
+		return float64(r.capacity)
+	})
+	reg.GaugeFunc("ring_epoch_interval_seconds", "Epoch rotation interval.", nil, func() float64 {
+		return r.interval.Seconds()
+	})
 }
 
 // Sealed reports how many sealed windows the ring currently retains.

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/sketch"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // Batch is one unit of write-side work: the items to ingest, who produced
@@ -201,6 +202,23 @@ type qitem struct {
 	barrier chan<- struct{}
 }
 
+// flushReason says why a worker folded its delta — each fold is attributed
+// to exactly one cause, so operators can tell a size-driven steady state
+// from age-driven trickle or epoch-seal churn.
+type flushReason uint8
+
+const (
+	flushSize    flushReason = iota // delta reached FlushItems
+	flushAge                        // FlushAge ticker fired on a non-empty delta
+	flushEpoch                      // batch epoch tag differed from the delta's
+	flushBarrier                    // Drain barrier forced visibility
+	flushClose                      // pipeline shutdown folded the remainder
+	numFlushReasons
+)
+
+// flushReasonNames are the `reason` label values, indexed by flushReason.
+var flushReasonNames = [numFlushReasons]string{"size", "age", "epoch", "barrier", "close"}
+
 // Pipeline is the async sharded writer plane. Submit routes batches to
 // workers (by Source, so per-producer order is preserved); workers
 // accumulate into private deltas and fold into the target per flush. Safe
@@ -210,12 +228,19 @@ type Pipeline struct {
 	workers []*worker
 	rr      atomic.Uint64
 
-	submitted atomic.Uint64
-	accepted  atomic.Uint64
-	dropped   atomic.Uint64
-	applied   atomic.Uint64
-	folds     atomic.Uint64
-	folded    atomic.Uint64
+	// The pipeline's instruments ARE its stats: telemetry.Counter is a
+	// single atomic word (same cost as the atomic.Uint64 these replaced),
+	// so Stats() and a Prometheus scrape read the same source of truth.
+	submitted telemetry.Counter
+	accepted  telemetry.Counter
+	dropped   telemetry.Counter
+	applied   telemetry.Counter
+	folds     telemetry.Counter
+	folded    telemetry.Counter
+	flushes   [numFlushReasons]telemetry.Counter
+	// foldSeconds records fold latency (delta→target merge under the
+	// target's lock). Observed once per flush, never per item.
+	foldSeconds *telemetry.Histogram
 
 	errMu   sync.Mutex
 	lastErr error
@@ -255,7 +280,11 @@ func New(opts Options) *Pipeline {
 	if opts.Fold != nil && opts.NewDelta == nil {
 		panic("ingest: Fold needs NewDelta to build worker deltas")
 	}
-	p := &Pipeline{opts: opts, done: make(chan struct{})}
+	p := &Pipeline{
+		opts:        opts,
+		done:        make(chan struct{}),
+		foldSeconds: telemetry.NewHistogram(telemetry.LatencyBuckets()),
+	}
 	p.workers = make([]*worker, opts.Workers)
 	for i := range p.workers {
 		w := &worker{p: p, q: make(chan qitem, opts.Queue)}
@@ -360,11 +389,11 @@ func (p *Pipeline) Drain() error {
 // failed fold never counts into folded, so an erroring pipeline always
 // takes the barrier path and reports its error.
 func (p *Pipeline) idle() bool {
-	accepted := p.accepted.Load()
-	if p.applied.Load() != accepted {
+	accepted := p.accepted.Value()
+	if p.applied.Value() != accepted {
 		return false
 	}
-	return p.opts.Fold == nil || p.folded.Load() == accepted
+	return p.opts.Fold == nil || p.folded.Value() == accepted
 }
 
 // Close drains and stops the workers. Further Submits drop; further Drains
@@ -398,17 +427,46 @@ func (p *Pipeline) Stats() Stats {
 	s := Stats{
 		Workers:     len(p.workers),
 		Policy:      p.opts.Policy.String(),
-		Submitted:   p.submitted.Load(),
-		Accepted:    p.accepted.Load(),
-		Dropped:     p.dropped.Load(),
-		Applied:     p.applied.Load(),
-		Folds:       p.folds.Load(),
-		FoldedItems: p.folded.Load(),
+		Submitted:   p.submitted.Value(),
+		Accepted:    p.accepted.Value(),
+		Dropped:     p.dropped.Value(),
+		Applied:     p.applied.Value(),
+		Folds:       p.folds.Value(),
+		FoldedItems: p.folded.Value(),
 	}
 	if err := p.Err(); err != nil {
 		s.LastError = err.Error()
 	}
 	return s
+}
+
+// RegisterMetrics exposes the pipeline's instruments on reg under the
+// ingest_* namespace. The registered counters are the SAME atomic words
+// Stats reads — one source of truth, two expositions. Queue depth and
+// worker count are sampled at scrape time (snapshot-on-read); nothing here
+// adds work to Submit or the worker loops.
+func (p *Pipeline) RegisterMetrics(reg *telemetry.Registry) {
+	reg.RegisterCounter("ingest_submitted_items_total", "Items offered to Submit, accepted or not.", nil, &p.submitted)
+	reg.RegisterCounter("ingest_accepted_items_total", "Items accepted onto a worker queue.", nil, &p.accepted)
+	reg.RegisterCounter("ingest_dropped_items_total", "Items refused by backpressure, pipeline failure, or shutdown.", nil, &p.dropped)
+	reg.RegisterCounter("ingest_applied_items_total", "Items fully processed by a worker.", nil, &p.applied)
+	reg.RegisterCounter("ingest_folds_total", "Delta-to-target merges.", nil, &p.folds)
+	reg.RegisterCounter("ingest_folded_items_total", "Items carried into the target by folds.", nil, &p.folded)
+	for i := range p.flushes {
+		reg.RegisterCounter("ingest_flushes_total", "Folds by triggering cause.",
+			telemetry.Labels{"reason": flushReasonNames[i]}, &p.flushes[i])
+	}
+	reg.RegisterHistogram("ingest_fold_duration_seconds", "Latency of one delta-to-target merge.", nil, p.foldSeconds)
+	reg.GaugeFunc("ingest_queue_depth_batches", "Batches waiting on worker queues.", nil, func() float64 {
+		depth := 0
+		for _, w := range p.workers {
+			depth += len(w.q)
+		}
+		return float64(depth)
+	})
+	reg.GaugeFunc("ingest_workers", "Writer goroutines (one private delta each).", nil, func() float64 {
+		return float64(len(p.workers))
+	})
 }
 
 func (p *Pipeline) fail(err error) {
@@ -433,17 +491,17 @@ func (w *worker) run() {
 		select {
 		case it, ok := <-w.q:
 			if !ok {
-				w.fold()
+				w.fold(flushClose)
 				return
 			}
 			if it.barrier != nil {
-				w.fold()
+				w.fold(flushBarrier)
 				it.barrier <- struct{}{}
 			} else {
 				w.apply(it.b)
 			}
 		case <-tick.C:
-			w.fold()
+			w.fold(flushAge)
 		}
 	}
 }
@@ -464,27 +522,33 @@ func (w *worker) apply(b Batch) {
 		return
 	}
 	if w.pending > 0 && b.Epoch != w.epoch {
-		w.fold()
+		w.fold(flushEpoch)
 	}
 	w.epoch = b.Epoch
 	sketch.InsertBatch(w.delta, b.Items)
 	w.pending += len(b.Items)
 	w.p.applied.Add(uint64(len(b.Items)))
 	if w.pending >= w.p.opts.FlushItems {
-		w.fold()
+		w.fold(flushSize)
 	}
 }
 
 // fold merges the pending delta into the target — the one moment this
-// worker touches shared write state — and readies a fresh delta.
-func (w *worker) fold() {
+// worker touches shared write state — and readies a fresh delta. The
+// latency observation brackets only the target merge, and runs once per
+// flush, never per item.
+func (w *worker) fold(reason flushReason) {
 	if w.delta == nil || w.pending == 0 {
 		return
 	}
-	if err := w.p.opts.Fold(w.delta); err != nil {
+	start := time.Now()
+	err := w.p.opts.Fold(w.delta)
+	w.p.foldSeconds.ObserveDuration(time.Since(start))
+	if err != nil {
 		w.p.fail(err)
 	} else {
-		w.p.folds.Add(1)
+		w.p.folds.Inc()
+		w.p.flushes[reason].Inc()
 		w.p.folded.Add(uint64(w.pending))
 	}
 	w.pending = 0

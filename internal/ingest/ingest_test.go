@@ -2,6 +2,8 @@ package ingest_test
 
 import (
 	"errors"
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -10,6 +12,7 @@ import (
 	"repro/internal/sketch"
 	_ "repro/internal/sketch/all"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // testStream is a small skewed stream with known ground truth.
@@ -274,5 +277,71 @@ func TestAsyncIngesterRejectsNonMergeable(t *testing.T) {
 		if _, err := ingest.NewAsyncIngester(algo, sketch.Spec{MemoryBytes: 1 << 16}, ingest.Tuning{}); err == nil {
 			t.Errorf("NewAsyncIngester(%q) accepted", algo)
 		}
+	}
+}
+
+// TestPipelineRegisterMetrics checks the pipeline's Prometheus surface:
+// the registered counters are the same instruments Stats reads, flushes
+// are attributed to reasons, and fold latency is recorded once per fold.
+func TestPipelineRegisterMetrics(t *testing.T) {
+	var mu sync.Mutex
+	target := sketch.MustBuild("CM_fast", sketch.Spec{MemoryBytes: 1 << 16, Seed: 1})
+	p := ingest.New(ingest.Options{
+		Tuning:   ingest.Tuning{Workers: 1, FlushItems: 100, FlushAge: time.Hour},
+		NewDelta: func() sketch.Sketch { return sketch.MustBuild("CM_fast", sketch.Spec{MemoryBytes: 1 << 16, Seed: 1}) },
+		Fold: func(d sketch.Sketch) error {
+			mu.Lock()
+			defer mu.Unlock()
+			return target.(sketch.Mergeable).Merge(d)
+		},
+	})
+	reg := telemetry.NewRegistry()
+	p.RegisterMetrics(reg)
+
+	s := testStream(t, 1000)
+	for _, c := range chunks(s.Items, 250) {
+		p.Submit(ingest.Batch{Items: c, Source: 1})
+	}
+	if err := p.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	st := p.Stats()
+	for _, want := range []string{
+		fmt.Sprintf("ingest_submitted_items_total %d", st.Submitted),
+		fmt.Sprintf("ingest_accepted_items_total %d", st.Accepted),
+		fmt.Sprintf("ingest_folded_items_total %d", st.FoldedItems),
+		fmt.Sprintf("ingest_folds_total %d", st.Folds),
+		`ingest_flushes_total{reason="size"}`,
+		`ingest_flushes_total{reason="barrier"}`,
+		fmt.Sprintf("ingest_fold_duration_seconds_count %d", st.Folds),
+		"ingest_workers 1",
+		"ingest_queue_depth_batches 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every fold is attributed to exactly one reason.
+	var attributed uint64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "ingest_flushes_total{") {
+			var v uint64
+			if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &v); err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			attributed += v
+		}
+	}
+	if attributed != st.Folds {
+		t.Errorf("flush reasons sum to %d, want %d folds", attributed, st.Folds)
 	}
 }

@@ -8,6 +8,8 @@ import (
 	"io"
 	"math"
 	"net"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -17,6 +19,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/sketch"
 	_ "repro/internal/sketch/all" // make every registered variant dialable by name
+	"repro/internal/telemetry"
 	"repro/internal/wal"
 )
 
@@ -77,6 +80,11 @@ type agentState struct {
 	mu   sync.Mutex
 	sk   sketch.ErrorBounded // cumulative mode
 	ring *epoch.Ring         // epoch mode (locks internally)
+
+	// wire counts updates accepted from this agent's connections (and WAL
+	// replay of them) — the per-agent split of the collector-wide updates
+	// counter, exposed as netsum_agent_updates_total{agent="..."}.
+	wire telemetry.Counter
 }
 
 // Collector terminates agent connections, maintains one error-bounded
@@ -122,8 +130,11 @@ type Collector struct {
 	walMu  sync.RWMutex
 	walCut atomic.Uint64
 
-	updates atomic.Uint64
-	queries atomic.Uint64
+	// updates/queries double as the collector's Prometheus instruments
+	// (RegisterMetrics); a telemetry.Counter is the same single atomic word
+	// the atomic.Uint64 each replaced was.
+	updates telemetry.Counter
+	queries telemetry.Counter
 
 	wg        sync.WaitGroup
 	closed    chan struct{}
@@ -225,6 +236,11 @@ func (c *Collector) replayWAL(l *wal.Log, startLSN uint64) error {
 			return fmt.Errorf("netsum: replaying wal record %d: %d items refused (pipeline failed)", lsn, ack.Dropped)
 		}
 		c.updates.Add(uint64(ack.Accepted))
+		st, err := c.stateFor(b.Source - 1)
+		if err != nil {
+			return fmt.Errorf("netsum: replaying wal record %d: %w", lsn, err)
+		}
+		st.wire.Add(uint64(ack.Accepted))
 		return nil
 	}); err != nil {
 		return fmt.Errorf("netsum: wal replay: %w", err)
@@ -404,6 +420,7 @@ func (c *Collector) handle(conn net.Conn) error {
 	bw := bufio.NewWriterSize(conn, 16<<10)
 
 	var agentID uint64
+	var agentSt *agentState // this agent's state, resolved once at hello
 	haveHello := false
 	reply := func(typ byte, payload []byte) error {
 		if err := writeFrame(bw, typ, payload); err != nil {
@@ -437,10 +454,11 @@ func (c *Collector) handle(conn net.Conn) error {
 			}
 			// Pre-create the agent's state so a misconfigured registry fails
 			// the connection at hello, not asynchronously in a worker.
-			if _, err := c.stateFor(id); err != nil {
+			st, err := c.stateFor(id)
+			if err != nil {
 				return err
 			}
-			agentID, haveHello = id, true
+			agentID, agentSt, haveHello = id, st, true
 
 		case msgBatch:
 			if !haveHello {
@@ -471,10 +489,12 @@ func (c *Collector) handle(conn net.Conn) error {
 				ack := c.pipe.Submit(batch)
 				c.walMu.RUnlock()
 				c.updates.Add(uint64(ack.Accepted))
+				agentSt.wire.Add(uint64(ack.Accepted))
 				continue
 			}
 			ack := c.pipe.Submit(batch)
 			c.updates.Add(uint64(ack.Accepted))
+			agentSt.wire.Add(uint64(ack.Accepted))
 
 		case msgQuery:
 			u := &uvarintReader{buf: payload}
@@ -760,7 +780,54 @@ func (c *Collector) Stats() (agents int, updates, queries uint64) {
 	c.mu.Lock()
 	agents = len(c.agents)
 	c.mu.Unlock()
-	return agents, c.updates.Load(), c.queries.Load()
+	return agents, c.updates.Value(), c.queries.Value()
+}
+
+// RegisterMetrics exposes the collector's instruments on reg under the
+// netsum_* namespace, plus its ingest pipeline's (and, when configured,
+// its WAL's). Per-agent wire counters are emitted by a scrape-time
+// collector — the agent set is dynamic, so the label set cannot be
+// registered up front. The generation gauge reads each ring's published
+// generation WITHOUT poking (epoch.PeekGeneration semantics): a scrape
+// never drives rotation or drains the pipeline.
+func (c *Collector) RegisterMetrics(reg *telemetry.Registry) {
+	reg.RegisterCounter("netsum_updates_total", "Updates accepted at wire or replay.", nil, &c.updates)
+	reg.RegisterCounter("netsum_queries_total", "Global queries served.", nil, &c.queries)
+	reg.GaugeFunc("netsum_agents", "Agents with measurement state.", nil, func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.agents))
+	})
+	reg.GaugeFunc("netsum_generation", "Sum of per-agent published seal counts (no-poke read); 0 in cumulative mode.", nil, func() float64 {
+		if c.cfg.Epoch <= 0 {
+			return 0
+		}
+		var gen uint64
+		for _, st := range c.snapshotAgents() {
+			gen += st.ring.PeekGeneration()
+		}
+		return float64(gen)
+	})
+	reg.CollectFunc("netsum_agent_updates_total", "Updates accepted per agent.", telemetry.TypeCounter, func(emit telemetry.Emit) {
+		c.mu.Lock()
+		ids := make([]uint64, 0, len(c.agents))
+		for id := range c.agents {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		states := make([]*agentState, len(ids))
+		for i, id := range ids {
+			states[i] = c.agents[id]
+		}
+		c.mu.Unlock()
+		for i, id := range ids {
+			emit(telemetry.Labels{"agent": strconv.FormatUint(id, 10)}, float64(states[i].wire.Value()))
+		}
+	})
+	c.pipe.RegisterMetrics(reg)
+	if c.cfg.WAL != nil {
+		c.cfg.WAL.RegisterMetrics(reg)
+	}
 }
 
 // Epochal reports whether the collector measures in sealed epoch windows —

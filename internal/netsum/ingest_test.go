@@ -1,10 +1,13 @@
 package netsum
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/ingest"
 	"repro/internal/sketch"
+	"repro/internal/telemetry"
 )
 
 // TestCollectorPipelineStats drives the collector's shared ingest plane
@@ -119,5 +122,61 @@ func TestAgentZeroAttributed(t *testing.T) {
 	defer reserved.Close()
 	if _, _, err := reserved.Query(1); err == nil {
 		t.Fatal("reserved agent id accepted")
+	}
+}
+
+// TestCollectorRegisterMetrics drives two agents over the wire and checks
+// the Prometheus surface: collector-wide counters match Stats, per-agent
+// wire counters split the total exactly, and the pipeline's ingest_*
+// families ride along.
+func TestCollectorRegisterMetrics(t *testing.T) {
+	c, err := NewCollector("127.0.0.1:0", CollectorConfig{
+		Spec:   sketch.Spec{MemoryBytes: 1 << 18, Lambda: 25, Seed: 1},
+		Ingest: ingest.Tuning{Workers: 2, FlushItems: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	reg := telemetry.NewRegistry()
+	c.RegisterMetrics(reg)
+
+	perAgent := map[uint64]int{3: 100, 7: 250}
+	for id, n := range perAgent {
+		a, err := Dial(c.Addr(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := a.Record(uint64(i), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := a.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := a.Query(1); err != nil {
+			t.Fatal(err)
+		}
+		a.Close()
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	_, updates, queries := c.Stats()
+	for _, want := range []string{
+		fmt.Sprintf("netsum_updates_total %d", updates),
+		fmt.Sprintf("netsum_queries_total %d", queries),
+		"netsum_agents 2",
+		`netsum_agent_updates_total{agent="3"} 100`,
+		`netsum_agent_updates_total{agent="7"} 250`,
+		fmt.Sprintf("ingest_accepted_items_total %d", updates),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/netsum"
 	"repro/internal/query"
 	"repro/internal/sketch"
+	"repro/internal/telemetry"
 	"repro/internal/wal"
 )
 
@@ -120,6 +121,10 @@ func (b CollectorBackend) CutLSN() uint64 { return b.C.WALCutLSN() }
 // last cut, now that the checkpoint file holding it is durable.
 func (b CollectorBackend) CheckpointCommitted() error { return b.C.WALCheckpointCommitted() }
 
+// RegisterMetrics delegates to the collector, which registers its own
+// netsum_* series plus its ingest pipeline's and (when durable) its WAL's.
+func (b CollectorBackend) RegisterMetrics(reg *telemetry.Registry) { b.C.RegisterMetrics(reg) }
+
 // Status reports collector identity and ingest counters.
 func (b CollectorBackend) Status() Status {
 	agents, updates, queries := b.C.Stats()
@@ -172,8 +177,10 @@ type SketchBackend struct {
 	walMu  sync.RWMutex
 	cutLSN atomic.Uint64
 
-	updates atomic.Uint64
-	queries atomic.Uint64
+	// updates/queries double as the backend's Prometheus instruments
+	// (RegisterMetrics) — the same atomic words Status reads.
+	updates telemetry.Counter
+	queries telemetry.Counter
 }
 
 // SketchBackendConfig names everything a standalone backend is built from.
@@ -374,7 +381,7 @@ func (b *SketchBackend) Execute(req query.Request) (query.Answer, error) {
 	if err := b.drain(); err != nil {
 		return query.Answer{}, err
 	}
-	b.queries.Add(uint64(1))
+	b.queries.Inc()
 	if b.ring != nil {
 		return b.ring.Execute(req)
 	}
@@ -558,6 +565,24 @@ func (b *SketchBackend) CanCheckpoint() error {
 	return nil
 }
 
+// RegisterMetrics exposes the backend's instruments on reg: its own
+// update/query counters plus, when configured, its ingest pipeline's, its
+// WAL's, and its epoch ring's. Call it after the backend is fully wired
+// (in particular after AttachWAL) — queryd.New does, at server build time.
+func (b *SketchBackend) RegisterMetrics(reg *telemetry.Registry) {
+	reg.RegisterCounter("queryd_backend_updates_total", "Items accepted by Ingest.", nil, &b.updates)
+	reg.RegisterCounter("queryd_backend_queries_total", "Typed batch requests executed.", nil, &b.queries)
+	if b.pipe != nil {
+		b.pipe.RegisterMetrics(reg)
+	}
+	if b.wl != nil {
+		b.wl.RegisterMetrics(reg)
+	}
+	if b.ring != nil {
+		b.ring.RegisterMetrics(reg)
+	}
+}
+
 // Status reports identity and counters.
 func (b *SketchBackend) Status() Status {
 	st := Status{
@@ -565,8 +590,8 @@ func (b *SketchBackend) Status() Status {
 		Algo:       b.algo,
 		Epochal:    b.Epochal(),
 		Generation: b.Generation(),
-		Updates:    b.updates.Load(),
-		Queries:    b.queries.Load(),
+		Updates:    b.updates.Value(),
+		Queries:    b.queries.Value(),
 	}
 	if b.pipe != nil {
 		ist := b.pipe.Stats()

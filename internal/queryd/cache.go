@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Cache is the epoch-aware result cache: a size-bounded LRU whose entries
@@ -34,11 +36,15 @@ type Cache struct {
 	entries  map[string]*list.Element
 	inflight map[string]*flight
 
-	hits          uint64
-	misses        uint64
-	coalesced     uint64
-	evictions     uint64
-	invalidations uint64
+	// Counters are telemetry instruments (single atomic words) so the
+	// cache's /v1/status JSON and its Prometheus series (RegisterMetrics)
+	// read the same source of truth. All increments happen under c.mu; the
+	// atomic representation only buys lock-free scrapes.
+	hits          telemetry.Counter
+	misses        telemetry.Counter
+	coalesced     telemetry.Counter
+	evictions     telemetry.Counter
+	invalidations telemetry.Counter
 }
 
 // cacheEntry is one stored answer. A zero expires means immutable: valid
@@ -97,7 +103,7 @@ func (c *Cache) Do(key string, gen uint64, immutable bool, compute func() (any, 
 	if el, ok := c.entries[genKey]; ok {
 		e := el.Value.(*cacheEntry)
 		if e.expires.IsZero() || e.expires.After(c.clock()) {
-			c.hits++
+			c.hits.Inc()
 			c.lru.MoveToFront(el)
 			c.mu.Unlock()
 			return e.val, true, nil
@@ -105,15 +111,15 @@ func (c *Cache) Do(key string, gen uint64, immutable bool, compute func() (any, 
 		c.drop(el)
 	}
 	if f, ok := c.inflight[genKey]; ok {
-		c.coalesced++
-		c.hits++
+		c.coalesced.Inc()
+		c.hits.Inc()
 		c.mu.Unlock()
 		<-f.done
 		return f.val, true, f.err
 	}
 	f := &flight{done: make(chan struct{})}
 	c.inflight[genKey] = f
-	c.misses++
+	c.misses.Inc()
 	c.mu.Unlock()
 
 	f.val, f.err = compute()
@@ -128,7 +134,7 @@ func (c *Cache) Do(key string, gen uint64, immutable bool, compute func() (any, 
 		}
 		c.entries[genKey] = c.lru.PushFront(e)
 		for c.lru.Len() > c.capacity {
-			c.evictions++
+			c.evictions.Inc()
 			c.drop(c.lru.Back())
 		}
 	}
@@ -157,14 +163,14 @@ func (c *Cache) LookupMany(keys []string, gen uint64) []any {
 		if ok {
 			e := el.Value.(*cacheEntry)
 			if e.expires.IsZero() || e.expires.After(now) {
-				c.hits++
+				c.hits.Inc()
 				c.lru.MoveToFront(el)
 				out[i] = e.val
 				continue
 			}
 			c.drop(el)
 		}
-		c.misses++
+		c.misses.Inc()
 	}
 	return out
 }
@@ -192,7 +198,7 @@ func (c *Cache) StoreMany(keys []string, gen uint64, immutable bool, vals []any)
 		c.entries[genKey] = c.lru.PushFront(e)
 	}
 	for c.lru.Len() > c.capacity {
-		c.evictions++
+		c.evictions.Inc()
 		c.drop(c.lru.Back())
 	}
 }
@@ -207,7 +213,7 @@ func (c *Cache) invalidate(gen uint64) {
 	for el := c.lru.Front(); el != nil; el = next {
 		next = el.Next()
 		if el.Value.(*cacheEntry).gen < gen {
-			c.invalidations++
+			c.invalidations.Inc()
 			c.drop(el)
 		}
 	}
@@ -240,15 +246,37 @@ func (c *Cache) Stats() CacheStats {
 	defer c.mu.Unlock()
 	st := CacheStats{
 		Entries:       c.lru.Len(),
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Coalesced:     c.coalesced,
-		Evictions:     c.evictions,
-		Invalidations: c.invalidations,
+		Hits:          c.hits.Value(),
+		Misses:        c.misses.Value(),
+		Coalesced:     c.coalesced.Value(),
+		Evictions:     c.evictions.Value(),
+		Invalidations: c.invalidations.Value(),
 		Generation:    c.gen,
 	}
 	if total := st.Hits + st.Misses; total > 0 {
 		st.HitRate = float64(st.Hits) / float64(total)
 	}
 	return st
+}
+
+// RegisterMetrics exposes the cache's instruments on reg under the
+// queryd_cache_* namespace. Counters are the same words Stats reads;
+// entries and the observed generation are sampled at scrape time under a
+// brief c.mu hold.
+func (c *Cache) RegisterMetrics(reg *telemetry.Registry) {
+	reg.RegisterCounter("queryd_cache_hits_total", "Requests served from the cache (including coalesced flights).", nil, &c.hits)
+	reg.RegisterCounter("queryd_cache_misses_total", "Requests that ran the backend query.", nil, &c.misses)
+	reg.RegisterCounter("queryd_cache_coalesced_total", "Requests collapsed onto an in-flight identical computation.", nil, &c.coalesced)
+	reg.RegisterCounter("queryd_cache_evictions_total", "Entries evicted by LRU capacity.", nil, &c.evictions)
+	reg.RegisterCounter("queryd_cache_invalidations_total", "Entries dropped by generation advances.", nil, &c.invalidations)
+	reg.GaugeFunc("queryd_cache_entries", "Entries currently cached.", nil, func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.lru.Len())
+	})
+	reg.GaugeFunc("queryd_cache_generation", "Highest sealed-set generation the cache has observed.", nil, func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.gen)
+	})
 }

@@ -14,6 +14,8 @@ import (
 	"repro/internal/query"
 	"repro/internal/sketch"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/telhttp"
 )
 
 // Config tunes the server. The zero value is usable: a 4096-entry cache,
@@ -42,6 +44,15 @@ type Config struct {
 	Logf func(format string, args ...any)
 	// Clock overrides time for cache TTLs (tests); nil means wall time.
 	Clock func() time.Time
+	// Metrics is the registry the server registers its instruments on (and
+	// serves at GET /metrics); nil builds a fresh one. Each server needs its
+	// own registry — registering two servers on one panics on the duplicate
+	// series, exactly like registering the same sketch variant twice.
+	Metrics *telemetry.Registry
+	// DisableMetrics drops the GET /metrics route. Instruments still
+	// register and /v1/status still reads them; only the Prometheus
+	// exposition endpoint disappears (rsserve -metrics=false).
+	DisableMetrics bool
 }
 
 // Server is the HTTP/JSON query server: it fronts a Backend with
@@ -68,6 +79,17 @@ type Server struct {
 	cfg   Config
 	cache *Cache
 	mux   *http.ServeMux
+
+	// reg is the telemetry plane: every subsystem the server fronts
+	// (backend, pipeline, WAL, ring, cache) registers the SAME instruments
+	// its JSON status reads, and GET /metrics serves them in Prometheus
+	// text format.
+	reg       *telemetry.Registry
+	batchKeys *telemetry.Histogram
+
+	ckptOK      telemetry.Counter
+	ckptFailed  telemetry.Counter
+	ckptSeconds *telemetry.Histogram
 
 	stop      chan struct{}
 	wg        sync.WaitGroup
@@ -107,12 +129,30 @@ func New(b Backend, cfg Config) (*Server, error) {
 	if cfg.MaxBatch <= 0 || cfg.MaxBatch > query.MaxBatchKeys {
 		cfg.MaxBatch = query.MaxBatchKeys
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
 	s := &Server{
 		b:     b,
 		cfg:   cfg,
 		cache: NewCache(cfg.CacheCapacity, cfg.CacheTTL, cfg.Clock),
 		mux:   http.NewServeMux(),
+		reg:   cfg.Metrics,
 		stop:  make(chan struct{}),
+	}
+	s.batchKeys = s.reg.Histogram("queryd_batch_keys",
+		"Keys per /v2/query batch request.", nil, telemetry.SizeBuckets())
+	s.reg.RegisterCounter("queryd_checkpoints_total", "Checkpoint attempts by outcome.",
+		telemetry.Labels{"result": "ok"}, &s.ckptOK)
+	s.reg.RegisterCounter("queryd_checkpoints_total", "Checkpoint attempts by outcome.",
+		telemetry.Labels{"result": "error"}, &s.ckptFailed)
+	s.ckptSeconds = s.reg.Histogram("queryd_checkpoint_duration_seconds",
+		"Latency of one whole checkpoint write.", nil, telemetry.LatencyBuckets())
+	s.cache.RegisterMetrics(s.reg)
+	// Backends register the instruments their Status counters already read:
+	// one source of truth behind both /v1/status JSON and /metrics.
+	if rm, ok := b.(interface{ RegisterMetrics(*telemetry.Registry) }); ok {
+		rm.RegisterMetrics(s.reg)
 	}
 	if cfg.CheckpointPath != "" {
 		cp, ok := b.(Checkpointer)
@@ -132,15 +172,19 @@ func New(b Backend, cfg Config) (*Server, error) {
 	}
 	// Handlers register without method patterns so that method mismatches
 	// get the same JSON error envelope as every other failure, instead of
-	// the mux's plain-text 405.
-	s.mux.HandleFunc("/v2/query", method("POST", s.handleExec))
-	s.mux.HandleFunc("/v2/ingest", method("POST", s.handleIngest))
-	s.mux.HandleFunc("/v1/point", method("GET", s.handlePoint))
-	s.mux.HandleFunc("/v1/window", method("GET", s.handleWindow))
-	s.mux.HandleFunc("/v1/topk", method("GET", s.handleTopK))
-	s.mux.HandleFunc("/v1/status", method("GET", s.handleStatus))
-	s.mux.HandleFunc("/v1/insert", method("POST", s.handleInsert))
-	s.mux.HandleFunc("/v1/checkpoint", method("POST", s.handleCheckpoint))
+	// the mux's plain-text 405. Each endpoint gets its own request-duration
+	// histogram series (one family, labeled by endpoint).
+	s.handle("/v2/query", "POST", s.handleExec)
+	s.handle("/v2/ingest", "POST", s.handleIngest)
+	s.handle("/v1/point", "GET", s.handlePoint)
+	s.handle("/v1/window", "GET", s.handleWindow)
+	s.handle("/v1/topk", "GET", s.handleTopK)
+	s.handle("/v1/status", "GET", s.handleStatus)
+	s.handle("/v1/insert", "POST", s.handleInsert)
+	s.handle("/v1/checkpoint", "POST", s.handleCheckpoint)
+	if !cfg.DisableMetrics {
+		s.handle("/metrics", "GET", telhttp.Handler(s.reg).ServeHTTP)
+	}
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "not_found",
 			fmt.Errorf("no such endpoint %s", r.URL.Path))
@@ -150,6 +194,22 @@ func New(b Backend, cfg Config) (*Server, error) {
 		go s.checkpointLoop()
 	}
 	return s, nil
+}
+
+// handle mounts h at path behind the method guard, wrapped with that
+// endpoint's request-duration histogram. The histogram is allocated at
+// registration (startup), so serving records with one Observe — no
+// allocation, no registry lock — per request.
+func (s *Server) handle(path, want string, h http.HandlerFunc) {
+	hist := s.reg.Histogram("queryd_request_duration_seconds",
+		"Request latency by endpoint, method mismatches included.",
+		telemetry.Labels{"endpoint": path}, telemetry.LatencyBuckets())
+	guarded := method(want, h)
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		guarded(w, r)
+		hist.ObserveDuration(time.Since(start))
+	})
 }
 
 // method wraps a handler with a JSON 405 for every other HTTP method.
@@ -207,7 +267,14 @@ func (s *Server) CheckpointNow() error {
 	if walBacked {
 		lsn = wb.CutLSN
 	}
+	start := time.Now()
 	err := WriteCheckpoint(s.cfg.CheckpointPath, s.cfg.Algo, s.cfg.Spec, cp.Checkpoint, lsn)
+	s.ckptSeconds.ObserveDuration(time.Since(start))
+	if err == nil {
+		s.ckptOK.Inc()
+	} else {
+		s.ckptFailed.Inc()
+	}
 	if err == nil && walBacked {
 		if terr := wb.CheckpointCommitted(); terr != nil {
 			// The checkpoint itself is durable; only the log GC failed. Not a
@@ -347,6 +414,7 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch of %d keys exceeds this server's limit of %d", len(req.Keys), s.cfg.MaxBatch))
 		return
 	}
+	s.batchKeys.Observe(float64(len(req.Keys)))
 	if req.Kind == query.TopK {
 		s.serveCached(w, fmt.Sprintf("x/topk/%d/%d", req.K, req.Window), func(gen uint64) (any, error) {
 			ans, err := s.b.Execute(req)

@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram with exact lock-free recording:
+// one atomic increment for the bucket, one for the total count, and a CAS
+// loop for the running sum. Observe never allocates and never blocks, so
+// it is safe on paths under the repository's 0 allocs/op contract.
+//
+// Buckets follow Prometheus `le` semantics: bucket i counts observations
+// v ≤ bounds[i]; the implicit last bucket counts everything else (+Inf).
+// Counts are stored per bucket (not cumulative) and cumulated at
+// exposition.
+//
+// Reads take a Snapshot. Because recording is a pair of independent atomic
+// adds, a snapshot taken mid-observation can see the bucket increment
+// before the total (or vice versa) — each field is exact for some recent
+// instant, but fields may skew by in-flight observations. With writers
+// quiesced a snapshot is exact.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// NewHistogram builds a histogram over the given strictly increasing
+// bucket upper bounds. It panics on an empty or unsorted bound set —
+// histogram geometry is startup configuration, like a sketch Spec.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be strictly increasing")
+
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. Lock-free, allocation-free. A nil receiver
+// is a no-op, so a caller can instrument a path unconditionally and
+// attach the histogram only once metrics are wired up (e.g. the WAL keeps
+// its latency histograms nil until RegisterMetrics, so opening a log
+// stays allocation-free).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bound sets are small (≤ ~24) and the common observations
+	// (sub-millisecond latencies, small batches) land in the first few
+	// buckets, where a scan beats a branchy binary search.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a latency in seconds, the exposition unit every
+// *_duration_seconds family uses. Like Observe, a nil receiver is a no-op.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts[i] holds observations
+	// ≤ Bounds[i] (exclusive of lower buckets). Counts has one extra
+	// trailing element for observations above every bound.
+	Bounds []float64
+	Counts []uint64
+	// Count and Sum are the total observation count and value sum.
+	Count uint64
+	Sum   float64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile brackets the q-quantile (0 < q ≤ 1) of the recorded
+// distribution: the true quantile of the observed values lies in
+// [lo, hi], the bounds of the bucket holding the q·Count-th observation.
+// hi is +Inf when that observation fell above every bound, and both are 0
+// when nothing has been recorded. The bracket is exact — a fixed-bucket
+// histogram cannot place a quantile more precisely than its bucket, and
+// it never misplaces it outside one.
+func (s HistogramSnapshot) Quantile(q float64) (lo, hi float64) {
+	total := uint64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	// The k-th smallest observation (1-based), clamped to the observation
+	// count so q=1 is the maximum.
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	cum := uint64(0)
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i == 0 {
+				// Observations are assumed non-negative (latencies, sizes) —
+				// the first bucket's bracket starts at zero.
+				lo = 0
+			} else {
+				lo = s.Bounds[i-1]
+			}
+			if i < len(s.Bounds) {
+				hi = s.Bounds[i]
+			} else {
+				hi = math.Inf(1)
+			}
+			return lo, hi
+		}
+	}
+	return 0, 0 // unreachable: cum == total ≥ rank by the loop's end
+}
+
+// LatencyBuckets is the default latency bucket ladder: a 1-2.5-5 decade
+// progression from 1µs to 10s (22 buckets), wide enough for both
+// sub-microsecond sketch folds and multi-second fsync stalls.
+func LatencyBuckets() []float64 {
+	return []float64{
+		1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1,
+		1, 2.5, 5, 10,
+	}
+}
+
+// SizeBuckets is the default count-distribution ladder (batch sizes,
+// cohort sizes): powers of two from 1 to 4096, matching the query plane's
+// MaxBatchKeys ceiling.
+func SizeBuckets() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+}

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketPlacement pins le semantics: a value lands in the
+// first bucket whose bound is ≥ the value, values above every bound land
+// in the +Inf bucket, and exact-bound values are inclusive.
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0}, {0.5, 0}, {1, 0}, // le="1" is inclusive
+		{1.001, 1}, {10, 1},
+		{10.5, 2}, {100, 2},
+		{100.5, 3}, {1e9, 3}, // +Inf bucket
+	}
+	for _, tc := range cases {
+		h.Observe(tc.v)
+	}
+	s := h.Snapshot()
+	want := []uint64{3, 2, 2, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d: %d observations, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != uint64(len(cases)) {
+		t.Errorf("Count = %d, want %d", s.Count, len(cases))
+	}
+	var wantSum float64
+	for _, tc := range cases {
+		wantSum += tc.v
+	}
+	if s.Sum != wantSum {
+		t.Errorf("Sum = %g, want %g", s.Sum, wantSum)
+	}
+}
+
+// TestHistogramQuantileBoundsTruth draws random values, records them, and
+// checks that for every probed q the TRUE quantile of the drawn sample
+// lies inside the [lo, hi] bracket the snapshot reports.
+func TestHistogramQuantileBoundsTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram(LatencyBuckets())
+	vals := make([]float64, 10000)
+	for i := range vals {
+		// Log-uniform over ~7 decades, covering every bucket including +Inf.
+		vals[i] = math.Pow(10, -6.5+7.5*rng.Float64())
+		h.Observe(vals[i])
+	}
+	sort.Float64s(vals)
+	s := h.Snapshot()
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		rank := int(math.Ceil(q * float64(len(vals))))
+		if rank < 1 {
+			rank = 1
+		}
+		truth := vals[rank-1]
+		lo, hi := s.Quantile(q)
+		if truth < lo || truth > hi {
+			t.Errorf("q=%g: true quantile %g outside reported bracket [%g, %g]", q, truth, lo, hi)
+		}
+	}
+}
+
+// TestHistogramQuantileEmpty pins the zero-observation answer.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	s := NewHistogram([]float64{1}).Snapshot()
+	if lo, hi := s.Quantile(0.5); lo != 0 || hi != 0 {
+		t.Errorf("empty histogram quantile = [%g, %g], want [0, 0]", lo, hi)
+	}
+}
+
+// TestHistogramConcurrentObserveLosesNothing hammers one histogram from 8
+// goroutines (run under -race in CI) and checks no observation is lost:
+// the bucket counts, total count, and sum all reflect every Observe.
+func TestHistogramConcurrentObserveLosesNothing(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 20000
+	)
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i % 10)) // spreads over every bucket incl. +Inf
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	const total = goroutines * perG
+	if s.Count != total {
+		t.Errorf("Count = %d, want %d", s.Count, total)
+	}
+	var bucketSum uint64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != total {
+		t.Errorf("bucket counts sum to %d, want %d", bucketSum, total)
+	}
+	// Each goroutine observes 0..9 repeated perG/10 times: sum = 45 per lap.
+	wantSum := float64(goroutines) * float64(perG) / 10 * 45
+	if s.Sum != wantSum {
+		t.Errorf("Sum = %g, want %g (CAS loop lost an add)", s.Sum, wantSum)
+	}
+	// Per-bucket exactness: values 0,1 → le=1; 2 → le=2; 3,4 → le=4;
+	// 5..8 → le=8; 9 → +Inf.
+	lap := uint64(perG / 10 * goroutines)
+	want := []uint64{2 * lap, lap, 2 * lap, 4 * lap, lap}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d: %d, want %d", i, s.Counts[i], w)
+		}
+	}
+}
+
+// TestHistogramPanics pins the construction contract.
+func TestHistogramPanics(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":    {},
+		"unsorted": {1, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%s) did not panic", name)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+// TestHistogramNilNoOp pins the nil-receiver contract: callers may
+// instrument unconditionally and attach a histogram only when metrics are
+// enabled (the WAL's Open-stays-allocation-free guarantee rests on this).
+func TestHistogramNilNoOp(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+}

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ContentType is the Prometheus text exposition format version this
+// package writes. The HTTP handler that serves it lives in the telhttp
+// subpackage, so instrumented subsystems never link net/http.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes every registered family in text exposition
+// format, families sorted by name, each under one # HELP/# TYPE header.
+// Samples are read with independent atomic loads: each value is exact,
+// but values incremented together by a concurrent writer may skew relative
+// to one another within a scrape.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			switch {
+			case s.counter != nil:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.labels, s.counter.Value())
+			case s.gauge != nil:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.labels, s.gauge.Value())
+			case s.gaugeFn != nil:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, s.labels, formatValue(s.gaugeFn()))
+			case s.hist != nil:
+				writeHistogram(bw, f.name, s.labels, s.hist.Snapshot())
+			case s.collect != nil:
+				s.collect(func(labels Labels, v float64) {
+					fmt.Fprintf(bw, "%s%s %s\n", f.name, labels.render(), formatValue(v))
+				})
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series: cumulative _bucket samples
+// with le labels, then _sum and _count.
+func writeHistogram(w io.Writer, name, labels string, s HistogramSnapshot) {
+	// The le label composes with the series' own labels: `{a="b",le="x"}`.
+	open, closing := "{", "}"
+	if labels != "" {
+		open = labels[:len(labels)-1] + ","
+	}
+	cum := uint64(0)
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket%sle=%q%s %d\n", name, open, strconv.FormatFloat(b, 'g', -1, 64), closing, cum)
+	}
+	cum += s.Counts[len(s.Bounds)]
+	fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"%s %d\n", name, open, closing, cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatValue(s.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, cum)
+}

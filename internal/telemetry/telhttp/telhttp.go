@@ -1,0 +1,42 @@
+// Package telhttp is the HTTP face of the telemetry plane: a /metrics
+// scrape handler over a telemetry.Registry and an opt-in pprof mux.
+//
+// It is a separate package so that instrumented subsystems (wal, ingest,
+// epoch, netsum) depend only on the atomic core and never link net/http —
+// linking the HTTP stack adds background runtime allocations (netip
+// interning maintenance) that show up in, and fail, the allocs/op perf
+// gates on those packages' benchmarks. Only code already serving HTTP
+// (queryd, the CLIs) imports this package.
+package telhttp
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/telemetry"
+)
+
+// Handler serves reg as a GET /metrics scrape target in Prometheus text
+// exposition format (telemetry.ContentType).
+func Handler(reg *telemetry.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", telemetry.ContentType)
+		_ = reg.WritePrometheus(w)
+	})
+}
+
+// PprofHandler returns a mux serving the standard net/http/pprof surface
+// under /debug/pprof/ — on a dedicated mux, not http.DefaultServeMux, so
+// profiling never leaks onto the query-serving listener. Daemons mount it
+// behind an opt-in -pprof-addr flag; the endpoints expose internals
+// (goroutine stacks, heap contents) and belong on a loopback or otherwise
+// access-controlled address.
+func PprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

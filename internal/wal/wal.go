@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/ingest"
+	"repro/internal/telemetry"
 )
 
 // SyncMode selects when an appended record is fsync'd.
@@ -146,10 +147,11 @@ type segment struct {
 
 // cohort is one group commit: every Append since the last sync waits on
 // done and reads err after the syncer (or a rotation/close sync) releases
-// it.
+// it. n counts the appends amortized over the cohort's one fsync.
 type cohort struct {
 	done chan struct{}
 	err  error
+	n    int
 }
 
 // Log is the write-ahead log. Append is safe for concurrent use; Replay and
@@ -171,11 +173,28 @@ type Log struct {
 	failed    error
 	closed    bool
 
-	appended  atomic.Uint64
-	fsyncs    atomic.Uint64
-	lastFsync atomic.Int64 // unix nanos; 0 = never
-	replayed  atomic.Uint64
-	torn      atomic.Uint64
+	// Counters double as the log's Prometheus instruments
+	// (RegisterMetrics): a telemetry.Counter is one atomic word, the same
+	// cost as the atomic.Uint64 each replaced. Every write to them happens
+	// while holding l.mu, which is what lets Stats read a fully consistent
+	// snapshot under one lock hold.
+	appended    telemetry.Counter
+	fsyncs      telemetry.Counter
+	lastFsync   atomic.Int64 // unix nanos; 0 = never
+	replayed    telemetry.Counter
+	torn        telemetry.Counter
+	truncations telemetry.Counter
+
+	// Latency and cohort-shape distributions. Observations happen outside
+	// any per-item loop: once per Append, once per fsync, once per cohort.
+	// The histograms stay nil (observing into nil is a no-op) until
+	// RegisterMetrics allocates them, keeping Open allocation-free — the
+	// replay benchmark opens a log per iteration and the perf gate pins its
+	// allocs/op. Atomic pointers, because registration may race an append
+	// (a collector accepts connections before its CLI wires metrics up).
+	appendSeconds atomic.Pointer[telemetry.Histogram]
+	fsyncSeconds  atomic.Pointer[telemetry.Histogram]
+	cohortSizes   atomic.Pointer[telemetry.Histogram]
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -196,7 +215,10 @@ func Open(opts Options) (*Log, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: creating %s: %w", opts.Dir, err)
 	}
-	l := &Log{opts: opts, stop: make(chan struct{})}
+	l := &Log{
+		opts: opts,
+		stop: make(chan struct{}),
+	}
 	if err := l.load(); err != nil {
 		return nil, err
 	}
@@ -294,6 +316,9 @@ func (l *Log) load() error {
 // sticky — the log refuses further appends rather than acking batches it
 // can no longer promise to keep.
 func (l *Log) Append(b ingest.Batch) (uint64, error) {
+	// Append latency is measured to the durable return — for SyncGroup that
+	// includes the cohort wait, which is the latency an acked producer saw.
+	start := time.Now()
 	l.mu.Lock()
 	if err := l.usableLocked(); err != nil {
 		l.mu.Unlock()
@@ -326,17 +351,21 @@ func (l *Log) Append(b ingest.Batch) (uint64, error) {
 			l.failLocked(err)
 		}
 		l.mu.Unlock()
+		l.appendSeconds.Load().ObserveDuration(time.Since(start))
 		return lsn, err
 	case SyncGroup:
 		if l.pending == nil {
 			l.pending = &cohort{done: make(chan struct{})}
 		}
 		c := l.pending
+		c.n++
 		l.mu.Unlock()
 		<-c.done // released by the syncer, a rotation, or Close
+		l.appendSeconds.Load().ObserveDuration(time.Since(start))
 		return lsn, c.err
 	default: // SyncOff
 		l.mu.Unlock()
+		l.appendSeconds.Load().ObserveDuration(time.Since(start))
 		return lsn, nil
 	}
 }
@@ -351,10 +380,12 @@ func (l *Log) usableLocked() error {
 
 // syncLocked fsyncs the active segment and stamps the counters.
 func (l *Log) syncLocked() error {
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
-	l.fsyncs.Add(1)
+	l.fsyncSeconds.Load().ObserveDuration(time.Since(start))
+	l.fsyncs.Inc()
 	l.lastFsync.Store(time.Now().UnixNano())
 	return nil
 }
@@ -362,6 +393,7 @@ func (l *Log) syncLocked() error {
 // releaseCohortLocked completes the pending group commit with err.
 func (l *Log) releaseCohortLocked(err error) {
 	if l.pending != nil {
+		l.cohortSizes.Load().Observe(float64(l.pending.n))
 		l.pending.err = err
 		close(l.pending.done)
 		l.pending = nil
@@ -470,6 +502,7 @@ func (l *Log) TruncateThrough(lsn uint64) error {
 		return nil
 	}
 	l.watermark = lsn
+	l.truncations.Inc()
 	// Segment i's records end where segment i+1 begins; the active (last)
 	// segment always stays — appends continue into it.
 	keepFrom := 0
@@ -530,15 +563,29 @@ func (l *Log) failLocked(err error) {
 	}
 }
 
-// Stats snapshots the log's counters.
+// Stats snapshots the log's counters under ONE l.mu hold. Every counter
+// write happens while holding l.mu (Append, syncLocked's callers, Replay,
+// and load all do), so the snapshot is fully consistent: appended never
+// lags behind the LSN it produced, fsyncs never lag the appends they made
+// durable. The earlier version read the atomics after unlocking, so a
+// concurrent Append could skew appended_records ahead of last_lsn within
+// one snapshot. Prometheus scrapes (RegisterMetrics) deliberately keep the
+// lock-free independent atomic loads instead — there, appended/fsyncs/
+// replayed/torn/truncations may each be exact for slightly different
+// instants within one scrape, the standard exposition contract.
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
+	defer l.mu.Unlock()
 	s := Stats{
-		Policy:    l.opts.Fsync.String(),
-		Segments:  len(l.segs),
-		LastLSN:   l.nextLSN - 1,
-		Watermark: l.watermark,
-		Bytes:     l.curSize,
+		Policy:          l.opts.Fsync.String(),
+		Segments:        len(l.segs),
+		LastLSN:         l.nextLSN - 1,
+		Watermark:       l.watermark,
+		Bytes:           l.curSize,
+		Appended:        l.appended.Value(),
+		Fsyncs:          l.fsyncs.Value(),
+		Replayed:        l.replayed.Value(),
+		TornTruncations: l.torn.Value(),
 	}
 	for _, seg := range l.segs[:max(len(l.segs)-1, 0)] {
 		s.Bytes += seg.size
@@ -546,15 +593,56 @@ func (l *Log) Stats() Stats {
 	if l.failed != nil {
 		s.LastError = l.failed.Error()
 	}
-	l.mu.Unlock()
-	s.Appended = l.appended.Load()
-	s.Fsyncs = l.fsyncs.Load()
-	s.Replayed = l.replayed.Load()
-	s.TornTruncations = l.torn.Load()
 	if ns := l.lastFsync.Load(); ns != 0 {
 		s.LastFsync = time.Unix(0, ns).UTC().Format(time.RFC3339Nano)
 	}
 	return s
+}
+
+// RegisterMetrics exposes the log's instruments on reg under the wal_*
+// namespace. Counters are the same atomic words Stats reads; sizes,
+// positions, and the watermark are sampled at scrape time under a brief
+// l.mu hold (they are plain fields), never on the append path.
+func (l *Log) RegisterMetrics(reg *telemetry.Registry) {
+	reg.RegisterCounter("wal_appended_records_total", "Records appended by this process.", nil, &l.appended)
+	reg.RegisterCounter("wal_fsyncs_total", "Fsyncs of the active segment.", nil, &l.fsyncs)
+	reg.RegisterCounter("wal_replayed_records_total", "Records recovered through Replay at startup.", nil, &l.replayed)
+	reg.RegisterCounter("wal_torn_tail_truncations_total", "Torn-tail truncation events at Open.", nil, &l.torn)
+	reg.RegisterCounter("wal_truncations_total", "Watermark advances via TruncateThrough.", nil, &l.truncations)
+	// The histograms come to life here, not at Open: observations into the
+	// nil pre-registration pointers are no-ops, so the series cover
+	// everything from registration on (in every server wiring, that is
+	// before the first live append).
+	l.appendSeconds.CompareAndSwap(nil, telemetry.NewHistogram(telemetry.LatencyBuckets()))
+	l.fsyncSeconds.CompareAndSwap(nil, telemetry.NewHistogram(telemetry.LatencyBuckets()))
+	l.cohortSizes.CompareAndSwap(nil, telemetry.NewHistogram(telemetry.SizeBuckets()))
+	reg.RegisterHistogram("wal_append_duration_seconds", "Append latency to the durable return (includes group-commit wait).", nil, l.appendSeconds.Load())
+	reg.RegisterHistogram("wal_fsync_duration_seconds", "Latency of one fsync of the active segment.", nil, l.fsyncSeconds.Load())
+	reg.RegisterHistogram("wal_cohort_size", "Appends amortized over one group-commit fsync.", nil, l.cohortSizes.Load())
+	reg.GaugeFunc("wal_segments", "Live segment files.", nil, func() float64 {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return float64(len(l.segs))
+	})
+	reg.GaugeFunc("wal_bytes", "Bytes across live segments.", nil, func() float64 {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		b := l.curSize
+		for _, seg := range l.segs[:max(len(l.segs)-1, 0)] {
+			b += seg.size
+		}
+		return float64(b)
+	})
+	reg.GaugeFunc("wal_last_lsn", "LSN of the most recently appended record.", nil, func() float64 {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return float64(l.nextLSN - 1)
+	})
+	reg.GaugeFunc("wal_watermark", "Checkpoint watermark; records at or below it never replay.", nil, func() float64 {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return float64(l.watermark)
+	})
 }
 
 func (l *Log) logf(format string, args ...any) {

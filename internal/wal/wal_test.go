@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/ingest"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // testBatch builds a deterministic batch whose identity is i.
@@ -415,5 +417,94 @@ func TestMissingManifestSegmentRefusesOpen(t *testing.T) {
 	}
 	if _, err := Open(Options{Dir: dir, SegmentBytes: 256, Fsync: FsyncPolicy{Mode: SyncOff}}); err == nil {
 		t.Fatal("open succeeded with a manifest-listed segment missing")
+	}
+}
+
+// TestRegisterMetricsExposition checks the log's Prometheus surface: the
+// registered counters are the same instruments Stats reads, latency and
+// cohort histograms record, and the scrape-time gauges track manifest
+// state.
+func TestRegisterMetricsExposition(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Fsync: FsyncPolicy{Mode: SyncGroup, Interval: time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	l.RegisterMetrics(reg)
+	appendN(t, l, 8)
+	if err := l.TruncateThrough(3); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		fmt.Sprintf("wal_appended_records_total %d", st.Appended),
+		fmt.Sprintf("wal_fsyncs_total %d", st.Fsyncs),
+		fmt.Sprintf("wal_last_lsn %d", st.LastLSN),
+		fmt.Sprintf("wal_watermark %d", st.Watermark),
+		fmt.Sprintf("wal_segments %d", st.Segments),
+		fmt.Sprintf("wal_bytes %d", st.Bytes),
+		"wal_truncations_total 1",
+		fmt.Sprintf("wal_append_duration_seconds_count %d", st.Appended),
+		"wal_cohort_size_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cohort sizes must account for every group-committed append.
+	cohorts := l.cohortSizes.Load().Snapshot()
+	if cohorts.Sum != float64(st.Appended) {
+		t.Errorf("cohort sizes sum to %g appends, want %d", cohorts.Sum, st.Appended)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatsConsistentUnderAppends hammers Append while snapshotting Stats:
+// because every counter write happens under l.mu and Stats now reads under
+// one l.mu hold, appended_records can never exceed last_lsn within one
+// snapshot (the skew the old read-after-unlock path allowed).
+func TestStatsConsistentUnderAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Fsync: FsyncPolicy{Mode: SyncOff}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := l.Append(testBatch(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		st := l.Stats()
+		if st.Appended != st.LastLSN {
+			t.Fatalf("snapshot skew: appended_records=%d last_lsn=%d", st.Appended, st.LastLSN)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -98,4 +98,29 @@ assert w, "no wal section in /v1/status"
 assert w["last_lsn"] > 0, f"wal stats: {w}"
 print("wal:", " ".join(f"{k}={w[k]}" for k in ("last_lsn", "watermark", "replayed_records", "torn_tail_truncations")))'
 
+echo "== /metrics exposition after recovery"
+# The Prometheus plane must tell the same recovery story the JSON status
+# does: the restarted process replayed the WAL tail past the checkpoint cut
+# (300x key 202 + 150x key 101 = 2 records), and the wal_* families are
+# present alongside the queryd_* and ingest_* ones.
+curl -fsS "$BASE/metrics" | python3 -c 'import sys
+series = {}
+for line in sys.stdin:
+    line = line.strip()
+    if not line or line.startswith("#"):
+        continue
+    name, _, value = line.rpartition(" ")
+    series[name] = value
+for required in (
+    "wal_replayed_records_total",
+    "wal_appended_records_total",
+    "wal_segments",
+    "queryd_cache_misses_total",
+    "ingest_accepted_items_total",
+):
+    assert required in series, f"/metrics missing {required}"
+replayed = int(series["wal_replayed_records_total"])
+assert replayed == 2, f"wal_replayed_records_total {replayed}, want 2 (the post-checkpoint tail)"
+print("metrics:", " ".join(f"{k}={series[k]}" for k in ("wal_replayed_records_total", "wal_appended_records_total", "wal_segments")))'
+
 echo "recovery smoke: OK"

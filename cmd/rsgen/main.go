@@ -7,11 +7,22 @@
 //
 //	rsgen -dataset ip -items 1000000 -out iptrace.bin
 //	rsgen -dataset zipf3.0 -items 32000000 -stats-only
+//	rsgen -dist zipf -skew 1.2 -distinct 5000 -items 100000
+//	rsgen -dist zipf -skew 1.1 -items 50000 -ingest http://127.0.0.1:8080 -batch 2000
+//
+// -dist zipf builds a parametric Zipf stream (any -skew and -distinct, not
+// just the named zipf0.3/zipf3.0 presets). -ingest streams the workload
+// into a running rsserve (or cluster router) over POST /v2/ingest instead
+// of writing a file, reporting the summed Ack so dropped writes are
+// visible.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 
@@ -21,17 +32,36 @@ import (
 func main() {
 	var (
 		dataset   = flag.String("dataset", "ip", "ip | web | dc | hadoop | zipf0.3 | zipf3.0")
+		dist      = flag.String("dist", "", "parametric distribution: zipf (overrides -dataset; tune with -skew and -distinct)")
+		skew      = flag.Float64("skew", 1.1, "Zipf skew for -dist zipf")
+		distinct  = flag.Int("distinct", 10_000, "distinct keys for -dist zipf")
 		items     = flag.Int("items", 1_000_000, "stream length")
 		seed      = flag.Uint64("seed", 1, "generator seed")
 		out       = flag.String("out", "", "output file (binary stream)")
 		statsOnly = flag.Bool("stats-only", false, "print statistics without writing")
 		weighted  = flag.Bool("bytes", false, "emit byte-weighted values (packet sizes)")
+		ingestURL = flag.String("ingest", "", "stream into this server's POST /v2/ingest instead of a file")
+		batch     = flag.Int("batch", 4096, "items per /v2/ingest request")
 	)
 	flag.Parse()
 
-	s, ok := stream.ByName(*dataset, *items, *seed)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "rsgen: unknown dataset %q\n", *dataset)
+	var s *stream.Stream
+	switch *dist {
+	case "":
+		var ok bool
+		s, ok = stream.ByName(*dataset, *items, *seed)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rsgen: unknown dataset %q\n", *dataset)
+			os.Exit(2)
+		}
+	case "zipf":
+		if *skew < 0 || *distinct < 1 || *items < *distinct {
+			fmt.Fprintf(os.Stderr, "rsgen: -dist zipf needs -skew ≥ 0 and -items ≥ -distinct ≥ 1\n")
+			os.Exit(2)
+		}
+		s = stream.Zipf(*items, *distinct, *skew, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "rsgen: unknown -dist %q (want zipf)\n", *dist)
 		os.Exit(2)
 	}
 	if *weighted {
@@ -39,6 +69,17 @@ func main() {
 	}
 
 	printStats(s)
+	if *ingestURL != "" {
+		if *batch < 1 {
+			fmt.Fprintln(os.Stderr, "rsgen: -batch must be ≥ 1")
+			os.Exit(2)
+		}
+		if err := ingestStream(*ingestURL, s, *batch); err != nil {
+			fmt.Fprintf(os.Stderr, "rsgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *statsOnly || *out == "" {
 		return
 	}
@@ -47,6 +88,53 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %d items (%d bytes) to %s\n", s.Len(), s.Len()*16, *out)
+}
+
+// ingestStream POSTs the stream to base/v2/ingest in JSON batches and sums
+// the Acks. A non-200 or short ack aborts: an ingest tool that keeps
+// pushing after the server refused a batch would misreport what the server
+// actually holds.
+func ingestStream(base string, s *stream.Stream, batchSize int) error {
+	type wireItem struct {
+		Key   uint64 `json:"key"`
+		Value uint64 `json:"value"`
+	}
+	var accepted, dropped int
+	for off := 0; off < len(s.Items); off += batchSize {
+		end := off + batchSize
+		if end > len(s.Items) {
+			end = len(s.Items)
+		}
+		items := make([]wireItem, end-off)
+		for i, it := range s.Items[off:end] {
+			items[i] = wireItem{Key: it.Key, Value: it.Value}
+		}
+		body, err := json.Marshal(map[string]any{"items": items})
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(base+"/v2/ingest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("batch at %d: %w", off, err)
+		}
+		var ack struct {
+			Accepted int `json:"accepted"`
+			Dropped  int `json:"dropped"`
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&ack)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("batch at %d: server answered %s", off, resp.Status)
+		}
+		if decErr != nil {
+			return fmt.Errorf("batch at %d: decoding ack: %w", off, decErr)
+		}
+		accepted += ack.Accepted
+		dropped += ack.Dropped
+	}
+	fmt.Printf("ingested %d items into %s (%d accepted, %d dropped)\n",
+		len(s.Items), base, accepted, dropped)
+	return nil
 }
 
 func printStats(s *stream.Stream) {

@@ -28,6 +28,14 @@
 // workers accumulate private delta sketches and fold them into the served
 // sketch one short lock per flush; -ingest-policy picks what a full
 // -ingest-queue does (block producers, or drop and report it in the Ack).
+//
+// Cluster mode scales horizontally: N replicas each run with the same
+// -peers list and their own URL as -self, exchanging sealed deltas so any
+// node answers any key from a merged view; a stateless router fronts them:
+//
+//	rsserve -listen :8081 -peers http://h1:8081,http://h2:8081,http://h3:8081 \
+//	        -self http://h1:8081 -replicate-every 5s
+//	rsserve -listen :8080 -cluster-router -peers http://h1:8081,http://h2:8081,http://h3:8081
 package main
 
 import (
@@ -42,6 +50,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/ingest"
 	"repro/internal/netsum"
 	"repro/internal/query"
@@ -71,6 +80,11 @@ type serveFlags struct {
 	walDir     string
 	walFsync   string
 	walSegSize int64
+	peers      string
+	self       string
+	router     bool
+	replEvery  time.Duration
+	vnodes     int
 }
 
 // Named validation errors: scripts wrapping rsserve can match on the text
@@ -90,6 +104,16 @@ var (
 	errWALWithEpoch          = errors.New("rsserve: -wal-dir is cumulative-mode only (replaying a log into an epoch ring would resurrect expired traffic)")
 	errWALWithDrop           = errors.New("rsserve: -wal-dir requires -ingest-policy block (drop could refuse a durable batch live, then resurrect it on replay)")
 	errBadWALSegmentSize     = errors.New("rsserve: -wal-segment-size must be ≥ 4096 bytes")
+	errRouterNeedsPeers      = errors.New("rsserve: -cluster-router needs -peers (a router with no replicas routes nowhere)")
+	errSelfNeedsPeers        = errors.New("rsserve: -self needs -peers (the membership the self URL is a member of)")
+	errRouterWithSelf        = errors.New("rsserve: -cluster-router and -self are mutually exclusive (a router is not a ring member)")
+	errPeersNeedRole         = errors.New("rsserve: -peers needs a role: -cluster-router or -self")
+	errClusterWithCollector  = errors.New("rsserve: cluster flags are standalone-only (a collector already aggregates agents; front plain replicas with the router instead)")
+	errClusterWithEpoch      = errors.New("rsserve: cluster mode is cumulative-only (epoch windows age out instead of replicating)")
+	errRouterIsStateless     = errors.New("rsserve: -cluster-router holds no local sketch: -wal-dir, -checkpoint, and -shards have nothing to apply to")
+	errNegativeReplicate     = errors.New("rsserve: -replicate-every must be ≥ 0 (0 = pull only on POST /v2/replicate)")
+	errReplicateNeedsReplica = errors.New("rsserve: -replicate-every needs replica mode (-self)")
+	errNegativeVNodes        = errors.New("rsserve: -vnodes must be ≥ 0 (0 = default)")
 )
 
 // validate rejects impossible flag combinations before any socket is
@@ -122,6 +146,31 @@ func (f serveFlags) validate() error {
 		return errWALWithEpoch
 	case f.walDir != "" && f.walSegSize < 4096:
 		return errBadWALSegmentSize
+	case f.router && f.peers == "":
+		return errRouterNeedsPeers
+	case f.self != "" && f.peers == "":
+		return errSelfNeedsPeers
+	case f.router && f.self != "":
+		return errRouterWithSelf
+	case f.peers != "" && !f.router && f.self == "":
+		return errPeersNeedRole
+	case f.peers != "" && f.collector != "":
+		return errClusterWithCollector
+	case f.peers != "" && f.epoch > 0:
+		return errClusterWithEpoch
+	case f.router && (f.walDir != "" || f.ckpt != "" || f.shards > 0):
+		return errRouterIsStateless
+	case f.replEvery < 0:
+		return errNegativeReplicate
+	case f.replEvery > 0 && f.self == "":
+		return errReplicateNeedsReplica
+	case f.vnodes < 0:
+		return errNegativeVNodes
+	}
+	if f.self != "" {
+		if _, err := f.selfIndex(); err != nil {
+			return err
+		}
 	}
 	policy, err := ingest.ParsePolicy(f.ingPolicy)
 	if err != nil {
@@ -136,6 +185,22 @@ func (f serveFlags) validate() error {
 		}
 	}
 	return nil
+}
+
+// selfIndex locates -self in the parsed -peers list (both normalized the
+// same way, so trailing slashes and spacing don't desync a node from its
+// own membership).
+func (f serveFlags) selfIndex() (int, error) {
+	self := cluster.ParsePeers(f.self)
+	if len(self) != 1 {
+		return -1, fmt.Errorf("rsserve: -self must name exactly one URL, got %q", f.self)
+	}
+	for i, p := range cluster.ParsePeers(f.peers) {
+		if p == self[0] {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("rsserve: %w: -self %s not in -peers", cluster.ErrNotReplica, self[0])
 }
 
 func main() {
@@ -163,6 +228,11 @@ func main() {
 		walSegSize = flag.Int64("wal-segment-size", wal.DefaultSegmentBytes, "WAL segment rotation threshold (bytes)")
 		metrics    = flag.Bool("metrics", true, "serve GET /metrics (Prometheus text exposition) alongside the query API")
 		pprofAddr  = flag.String("pprof-addr", "", "also serve net/http/pprof on this address (off unless set)")
+		peers      = flag.String("peers", "", "comma-separated replica base URLs, identical order on every cluster node")
+		self       = flag.String("self", "", "this replica's own URL from -peers (replica mode)")
+		clusterRtr = flag.Bool("cluster-router", false, "serve as a stateless scatter-gather router over -peers")
+		replEvery  = flag.Duration("replicate-every", 0, "replica mode: peer delta pull interval (0 = only on POST /v2/replicate)")
+		vnodes     = flag.Int("vnodes", 0, "virtual nodes per replica on the consistent-hash ring (0 = default)")
 	)
 	flag.Parse()
 
@@ -182,6 +252,11 @@ func main() {
 		walDir:     *walDir,
 		walFsync:   *walFsync,
 		walSegSize: *walSegSize,
+		peers:      *peers,
+		self:       *self,
+		router:     *clusterRtr,
+		replEvery:  *replEvery,
+		vnodes:     *vnodes,
 	}).validate(); err != nil {
 		log.Fatal(err)
 	}
@@ -219,12 +294,27 @@ func main() {
 		log.Fatalf("rsserve: %v", err)
 	}
 
+	peerList := cluster.ParsePeers(*peers)
+
 	var (
 		backend queryd.Backend
 		mode    string
 		col     *netsum.Collector
 	)
-	if *collector != "" {
+	if *clusterRtr {
+		// The router owns no sketch: it partitions batches on the ring,
+		// fans them out to the owning replicas, and stitches the answers.
+		rt, err := cluster.NewRouter(cluster.RouterConfig{
+			Membership: cluster.Membership{Peers: peerList, VNodes: *vnodes},
+			Algo:       *algo,
+			Logf:       log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("rsserve: %v", err)
+		}
+		backend = rt
+		mode = fmt.Sprintf("cluster router over %d replicas", len(peerList))
+	} else if *collector != "" {
 		// The collector forces the emergency layer on so composed bounds
 		// stay unconditional; the checkpoint header must describe the
 		// sketch actually built.
@@ -280,6 +370,24 @@ func main() {
 		}
 		if *ingWorkers > 0 {
 			mode += fmt.Sprintf(", ingest %d workers/%s", *ingWorkers, policy)
+		}
+		if *self != "" {
+			// Replica mode wraps the local backend: ingest stays local, but
+			// queries answer from a merged view of every peer's sealed delta.
+			selfIdx, err := (serveFlags{peers: *peers, self: *self}).selfIndex()
+			if err != nil {
+				log.Fatalf("%v", err) // unreachable: validated above
+			}
+			rep, err := cluster.NewReplica(b, *algo, spec,
+				cluster.Membership{Peers: peerList, Self: selfIdx, VNodes: *vnodes}, log.Printf)
+			if err != nil {
+				log.Fatalf("rsserve: %v", err)
+			}
+			rp := cluster.NewReplicator(rep, *replEvery, nil)
+			rp.Start()
+			defer rp.Close()
+			backend = rep
+			mode = fmt.Sprintf("cluster replica %d of %d (replicate-every=%v)", selfIdx, len(peerList), *replEvery)
 		}
 	}
 	if wlog != nil {

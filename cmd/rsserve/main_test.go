@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/query"
 )
 
@@ -20,6 +21,22 @@ func TestValidateFlags(t *testing.T) {
 	epochal.window = 8
 	if err := epochal.validate(); err != nil {
 		t.Fatalf("epoch+window rejected: %v", err)
+	}
+	replica := ok
+	replica.peers = "http://a:1, http://b:2/" // normalization must not desync -self
+	replica.self = "http://b:2"
+	replica.replEvery = 5 * time.Second
+	if err := replica.validate(); err != nil {
+		t.Fatalf("replica flags rejected: %v", err)
+	}
+	if idx, err := replica.selfIndex(); idx != 1 || err != nil {
+		t.Fatalf("selfIndex = %d, %v; want 1", idx, err)
+	}
+	router := ok
+	router.peers = "http://a:1,http://b:2,http://c:3"
+	router.router = true
+	if err := router.validate(); err != nil {
+		t.Fatalf("router flags rejected: %v", err)
 	}
 
 	cases := []struct {
@@ -39,6 +56,54 @@ func TestValidateFlags(t *testing.T) {
 		{"shards with collector", func(f *serveFlags) { f.shards = 4; f.collector = "127.0.0.1:7777" }, errShardsWithCollector},
 		{"negative ingest workers", func(f *serveFlags) { f.ingWorkers = -1 }, errNegativeIngestWorkers},
 		{"negative ingest queue", func(f *serveFlags) { f.ingQueue = -1 }, errBadIngestQueue},
+		{"router without peers", func(f *serveFlags) { f.router = true }, errRouterNeedsPeers},
+		{"self without peers", func(f *serveFlags) { f.self = "http://a:1" }, errSelfNeedsPeers},
+		{"router with self", func(f *serveFlags) {
+			f.router = true
+			f.peers = "http://a:1,http://b:2"
+			f.self = "http://a:1"
+		}, errRouterWithSelf},
+		{"peers without role", func(f *serveFlags) { f.peers = "http://a:1,http://b:2" }, errPeersNeedRole},
+		{"cluster with collector", func(f *serveFlags) {
+			f.router = true
+			f.peers = "http://a:1"
+			f.collector = "127.0.0.1:7777"
+		}, errClusterWithCollector},
+		{"cluster with epoch", func(f *serveFlags) {
+			f.peers = "http://a:1,http://b:2"
+			f.self = "http://a:1"
+			f.epoch = time.Second
+		}, errClusterWithEpoch},
+		{"router with wal", func(f *serveFlags) {
+			f.router = true
+			f.peers = "http://a:1"
+			f.walDir = "/tmp/wal"
+			f.walSegSize = 4096
+		}, errRouterIsStateless},
+		{"router with checkpoint", func(f *serveFlags) {
+			f.router = true
+			f.peers = "http://a:1"
+			f.ckpt = "state.ckpt"
+		}, errRouterIsStateless},
+		{"negative replicate-every", func(f *serveFlags) {
+			f.peers = "http://a:1,http://b:2"
+			f.self = "http://a:1"
+			f.replEvery = -time.Second
+		}, errNegativeReplicate},
+		{"replicate-every on router", func(f *serveFlags) {
+			f.router = true
+			f.peers = "http://a:1"
+			f.replEvery = time.Second
+		}, errReplicateNeedsReplica},
+		{"negative vnodes", func(f *serveFlags) {
+			f.peers = "http://a:1,http://b:2"
+			f.self = "http://a:1"
+			f.vnodes = -1
+		}, errNegativeVNodes},
+		{"self outside peers", func(f *serveFlags) {
+			f.peers = "http://a:1,http://b:2"
+			f.self = "http://c:3"
+		}, cluster.ErrNotReplica},
 	}
 	for _, c := range cases {
 		f := ok

@@ -1,0 +1,313 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/ingest"
+	"repro/internal/query"
+	"repro/internal/queryd"
+	"repro/internal/sketch"
+	"repro/internal/telemetry"
+)
+
+// Replication capability errors, named for rsserve's startup refusals.
+var (
+	ErrNotMergeable    = errors.New("cluster: delta replication needs a Mergeable+Snapshottable variant")
+	ErrEpochalReplica  = errors.New("cluster: delta replication is cumulative-mode only (epoch windows age out instead of replicating)")
+	ErrViewUnavailable = fmt.Errorf("%w: merged cluster view unavailable", query.ErrUnavailable)
+)
+
+// Replica wraps a standalone queryd.SketchBackend with the cluster's
+// merged-view serving contract:
+//
+//   - Ingest and /v2/delta stay LOCAL — the backend's own sketch holds only
+//     writes this node accepted, so peers pulling its delta never see their
+//     own contribution reflected back (which Merge would double-count).
+//   - Queries answer from a merged view: the local snapshot restored into a
+//     fresh same-Spec sketch, then every stored peer delta folded in with
+//     sketch.Merge. The view rebuilds lazily when the local write version
+//     or any peer delta changed, so a read-heavy replica pays one rebuild
+//     per replication pull, not per query.
+//   - Answers for keys this replica owns on the ring are certified (its
+//     local state is authoritative for them, and peer deltas only add);
+//     answers covering non-owned keys are honest but uncertified — the
+//     merged view may lag the owner by up to one replication interval.
+type Replica struct {
+	local *queryd.SketchBackend
+	algo  string
+	spec  sketch.Spec
+	entry sketch.Entry
+	logf  func(format string, args ...any)
+
+	ring  *Ring
+	self  int
+	peers []string // peer URLs excluding self
+
+	// pmu guards the latest restored delta per peer. Each pull REPLACES the
+	// peer's sketch (deltas are cumulative snapshots of the peer's local
+	// state), so folding the newest copy never double-counts.
+	pmu       sync.Mutex
+	peerSk    map[string]sketch.Sketch
+	peerVer   map[string]uint64
+	peerEpoch uint64 // bumps on every stored delta; staleness signal
+
+	// vmu guards the cached merged view. The published sketch is never
+	// mutated after build — rebuilds swap in a fresh one — so queries read
+	// it lock-free once fetched.
+	vmu       sync.Mutex
+	view      sketch.Sketch
+	viewLocal uint64 // local DeltaVersion the view was built from
+	viewPeers uint64 // peerEpoch the view was built from
+
+	rep *Replicator
+
+	pulls    telemetry.Counter
+	pullErrs telemetry.Counter
+	rebuilds telemetry.Counter
+}
+
+// NewReplica wraps local for cluster serving under membership m (validated
+// with a required self index). The backend must be cumulative and its
+// variant Mergeable+Snapshottable — the same preconditions as
+// checkpointing, plus Merge for the fold.
+func NewReplica(local *queryd.SketchBackend, algo string, spec sketch.Spec, m Membership, logf func(string, ...any)) (*Replica, error) {
+	if err := m.Validate(true); err != nil {
+		return nil, err
+	}
+	if len(m.Peers) < 2 {
+		return nil, fmt.Errorf("%w: got %d", ErrReplicaCount, len(m.Peers))
+	}
+	entry, ok := sketch.Lookup(algo)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown algorithm %q", algo)
+	}
+	if !entry.Caps.Has(sketch.CapMergeable | sketch.CapSnapshottable) {
+		return nil, fmt.Errorf("%w: %q", ErrNotMergeable, algo)
+	}
+	if local.Epochal() {
+		return nil, ErrEpochalReplica
+	}
+	if err := local.CanCheckpoint(); err != nil {
+		return nil, fmt.Errorf("cluster: backend cannot serve deltas: %w", err)
+	}
+	ring, err := NewRing(m)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replica{
+		local:   local,
+		algo:    algo,
+		spec:    spec,
+		entry:   entry,
+		logf:    logf,
+		ring:    ring,
+		self:    m.Self,
+		peerSk:  make(map[string]sketch.Sketch),
+		peerVer: make(map[string]uint64),
+	}
+	for i, p := range m.Peers {
+		if i != m.Self {
+			r.peers = append(r.peers, p)
+		}
+	}
+	return r, nil
+}
+
+// Peers lists the other replicas' base URLs.
+func (r *Replica) Peers() []string { return r.peers }
+
+// Algo names the replica's sketch variant.
+func (r *Replica) Algo() string { return r.algo }
+
+// Spec is the Spec every cluster member must share.
+func (r *Replica) Spec() sketch.Spec { return r.spec }
+
+// SetPeerDelta stores a freshly restored peer delta, replacing any earlier
+// one, and invalidates the merged view.
+func (r *Replica) SetPeerDelta(peer string, sk sketch.Sketch, ver uint64) {
+	r.pmu.Lock()
+	r.peerSk[peer] = sk
+	r.peerVer[peer] = ver
+	r.peerEpoch++
+	r.pmu.Unlock()
+}
+
+// PeerVersion is the version of the last delta stored for peer (0 before
+// the first pull) — the replicator's ?after= cursor.
+func (r *Replica) PeerVersion(peer string) uint64 {
+	r.pmu.Lock()
+	defer r.pmu.Unlock()
+	return r.peerVer[peer]
+}
+
+// mergedView returns the current merged sketch, rebuilding it if the local
+// state or any peer delta moved since the last build. The returned sketch
+// is immutable (rebuilds swap, never mutate), so callers query it without
+// holding any replica lock.
+func (r *Replica) mergedView() (sketch.Sketch, error) {
+	// Capture the local version BEFORE the snapshot cut: the snapshot then
+	// contains at least that version's writes, and anything accepted during
+	// serialization bumps the counter past it, forcing the next rebuild.
+	localVer := r.local.DeltaVersion()
+	r.pmu.Lock()
+	peerEpoch := r.peerEpoch
+	r.pmu.Unlock()
+
+	r.vmu.Lock()
+	defer r.vmu.Unlock()
+	if r.view != nil && r.viewLocal == localVer && r.viewPeers == peerEpoch {
+		return r.view, nil
+	}
+	var buf bytes.Buffer
+	if _, err := r.local.SnapshotDelta(&buf); err != nil {
+		return nil, fmt.Errorf("%w (snapshotting local state: %v)", ErrViewUnavailable, err)
+	}
+	merged := r.entry.Build(r.spec)
+	if err := merged.(sketch.Snapshotter).Restore(&buf); err != nil {
+		return nil, fmt.Errorf("%w (restoring local state: %v)", ErrViewUnavailable, err)
+	}
+	r.pmu.Lock()
+	peers := make([]sketch.Sketch, 0, len(r.peerSk))
+	for _, sk := range r.peerSk {
+		peers = append(peers, sk)
+	}
+	r.pmu.Unlock()
+	for _, sk := range peers {
+		if err := sketch.Merge(merged, sk); err != nil {
+			return nil, fmt.Errorf("%w (folding peer delta: %v)", ErrViewUnavailable, err)
+		}
+	}
+	r.rebuilds.Inc()
+	r.view = merged
+	r.viewLocal = localVer
+	r.viewPeers = peerEpoch
+	return merged, nil
+}
+
+// Execute answers from the merged view. Certification requires the variant
+// to be error-bounded AND every answered key to be self-owned: certified
+// bounds on non-owned keys could miss the owner's unreplicated tail.
+func (r *Replica) Execute(req query.Request) (query.Answer, error) {
+	if err := req.Validate(); err != nil {
+		return query.Answer{}, err
+	}
+	if req.Agent != 0 {
+		return query.Answer{}, errors.New("cluster: replicas have no agents to scope to")
+	}
+	sk, err := r.mergedView()
+	if err != nil {
+		return query.Answer{}, err
+	}
+	ans := query.Answer{Source: "replica"}
+	_, bounded := sk.(sketch.ErrorBounded)
+	if req.Kind == query.TopK {
+		return r.executeTopK(req, sk, ans, bounded)
+	}
+	est := make([]uint64, len(req.Keys))
+	var mpe []uint64
+	if bounded {
+		mpe = make([]uint64, len(req.Keys))
+	}
+	sketch.QueryBatch(sk, req.Keys, est, mpe)
+	ans.PerKey = query.EstimatesFrom(req.Keys, est, mpe)
+	ans.Certified = bounded && r.ownsAll(req.Keys)
+	ans.KeyCoverage = 1
+	return ans, nil
+}
+
+// executeTopK enumerates the merged view's tracked heavy hitters. The
+// listing certifies only when every reported key is self-owned — foreign
+// keys' recent traffic may still sit unreplicated on their owners.
+func (r *Replica) executeTopK(req query.Request, sk sketch.Sketch, ans query.Answer, bounded bool) (query.Answer, error) {
+	hh, ok := sk.(sketch.HeavyHitterReporter)
+	if !ok {
+		return query.Answer{}, fmt.Errorf("cluster: %q does not report tracked keys", r.algo)
+	}
+	kvs := query.TopKOf(hh.Tracked(), req.K)
+	keys := make([]uint64, len(kvs))
+	for i, kv := range kvs {
+		keys[i] = kv.Key
+	}
+	est := make([]uint64, len(keys))
+	var mpe []uint64
+	if bounded {
+		mpe = make([]uint64, len(keys))
+	}
+	sketch.QueryBatch(sk, keys, est, mpe)
+	ans.PerKey = query.EstimatesFrom(keys, est, mpe)
+	ans.Certified = bounded && r.ownsAll(keys)
+	ans.KeyCoverage = 1
+	return ans, nil
+}
+
+func (r *Replica) ownsAll(keys []uint64) bool {
+	for _, k := range keys {
+		if r.ring.Owner(k) != r.self {
+			return false
+		}
+	}
+	return true
+}
+
+// SetReplicator wires the pull loop in so POST /v2/replicate can trigger
+// it deterministically.
+func (r *Replica) SetReplicator(rep *Replicator) { r.rep = rep }
+
+// ReplicateNow pulls every peer once (queryd.Replicating).
+func (r *Replica) ReplicateNow() (int, error) {
+	if r.rep == nil {
+		return 0, errors.New("cluster: no replicator attached")
+	}
+	return r.rep.RunOnce()
+}
+
+// The rest of the Backend (and durability) surface delegates to the local
+// backend: ingest, deltas, and checkpoints are local-state concerns.
+
+func (r *Replica) Ingest(b ingest.Batch) ingest.Ack          { return r.local.Ingest(b) }
+func (r *Replica) Generation() uint64                        { return r.local.Generation() }
+func (r *Replica) Epochal() bool                             { return false }
+func (r *Replica) DeltaVersion() uint64                      { return r.local.DeltaVersion() }
+func (r *Replica) SnapshotDelta(w io.Writer) (uint64, error) { return r.local.SnapshotDelta(w) }
+func (r *Replica) Checkpoint(w io.Writer) error              { return r.local.Checkpoint(w) }
+func (r *Replica) CanCheckpoint() error                      { return r.local.CanCheckpoint() }
+func (r *Replica) CutLSN() uint64                            { return r.local.CutLSN() }
+func (r *Replica) CheckpointCommitted() error                { return r.local.CheckpointCommitted() }
+func (r *Replica) Close() error                              { return r.local.Close() }
+
+// Status is the local backend's, relabeled with the cluster role and peer
+// count (Agents doubles as "cluster members", matching its "how many
+// sources feed this" meaning on collectors).
+func (r *Replica) Status() queryd.Status {
+	st := r.local.Status()
+	st.Mode = "replica"
+	st.Agents = r.ring.Replicas()
+	return st
+}
+
+// RegisterMetrics exposes the local backend's instruments plus the
+// cluster_* replication family.
+func (r *Replica) RegisterMetrics(reg *telemetry.Registry) {
+	r.local.RegisterMetrics(reg)
+	reg.RegisterCounter("cluster_replication_pulls_total",
+		"Peer delta pulls that stored a new delta.", nil, &r.pulls)
+	reg.RegisterCounter("cluster_replication_errors_total",
+		"Peer delta pulls that failed.", nil, &r.pullErrs)
+	reg.RegisterCounter("cluster_view_rebuilds_total",
+		"Merged-view rebuilds (local writes or peer deltas moved).", nil, &r.rebuilds)
+	reg.GaugeFunc("cluster_ring_replicas", "Replicas on the consistent-hash ring.",
+		nil, func() float64 { return float64(r.ring.Replicas()) })
+	reg.CollectFunc("cluster_peer_delta_version",
+		"Version of the last delta pulled from each peer.", telemetry.TypeGauge,
+		func(emit telemetry.Emit) {
+			r.pmu.Lock()
+			defer r.pmu.Unlock()
+			for _, p := range r.peers {
+				emit(telemetry.Labels{"peer": p}, float64(r.peerVer[p]))
+			}
+		})
+}

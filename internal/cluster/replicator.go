@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/queryd"
+	"repro/internal/sketch"
+)
+
+// Replicator pulls sealed deltas from every peer: GET /v2/delta?after=V
+// with the peer's last stored version, 304 means nothing new, anything else
+// is decoded through queryd.ReadDeltaHeader, validated against this
+// replica's algorithm and Spec (refusing mismatches with
+// sketch.ErrSnapshotMismatch), restored into a fresh same-Spec sketch, and
+// swapped into the replica's peer-delta map. Runs on a ticker (Start) or on
+// demand (RunOnce, behind POST /v2/replicate).
+type Replicator struct {
+	r      *Replica
+	client *http.Client
+	every  time.Duration
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewReplicator builds a replicator for r and wires itself in as r's
+// ReplicateNow implementation. every > 0 enables the periodic loop once
+// Start is called; 0 means pull only on demand. client nil means a default
+// with a 30s timeout (deltas can be tens of MB).
+func NewReplicator(r *Replica, every time.Duration, client *http.Client) *Replicator {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	rp := &Replicator{r: r, client: client, every: every, stop: make(chan struct{})}
+	r.SetReplicator(rp)
+	return rp
+}
+
+// Start launches the periodic pull loop (no-op when the interval is 0).
+func (rp *Replicator) Start() {
+	if rp.every <= 0 {
+		return
+	}
+	rp.wg.Add(1)
+	go func() {
+		defer rp.wg.Done()
+		t := time.NewTicker(rp.every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if _, err := rp.RunOnce(); err != nil {
+					if rp.r.logf != nil {
+						rp.r.logf("cluster: replication pull: %v", err)
+					}
+				}
+			case <-rp.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the periodic loop.
+func (rp *Replicator) Close() {
+	rp.closeOnce.Do(func() { close(rp.stop) })
+	rp.wg.Wait()
+}
+
+// RunOnce pulls every peer once, sequentially (replication is background
+// work; spreading it out beats bursting N concurrent snapshot requests).
+// It returns how many peers yielded a new delta; per-peer failures are
+// counted, joined into the returned error, and do not stop the sweep.
+func (rp *Replicator) RunOnce() (int, error) {
+	pulled := 0
+	var errs []error
+	for _, peer := range rp.r.Peers() {
+		updated, err := rp.pull(peer)
+		if err != nil {
+			rp.r.pullErrs.Inc()
+			errs = append(errs, fmt.Errorf("%s: %w", peer, err))
+			continue
+		}
+		if updated {
+			rp.r.pulls.Inc()
+			pulled++
+		}
+	}
+	return pulled, errors.Join(errs...)
+}
+
+// pull fetches one peer's delta; updated reports whether a new delta was
+// stored (false on 304).
+func (rp *Replicator) pull(peer string) (updated bool, err error) {
+	url := peer + "/v2/delta?after=" + strconv.FormatUint(rp.r.PeerVersion(peer), 10)
+	resp, err := rp.client.Get(url)
+	if err != nil {
+		return false, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return false, nil
+	case http.StatusOK:
+	default:
+		return false, fmt.Errorf("delta pull: peer answered %s", resp.Status)
+	}
+	algo, spec, ver, payload, err := queryd.ReadDeltaHeader(resp.Body)
+	if err != nil {
+		return false, err
+	}
+	if algo != rp.r.Algo() {
+		return false, fmt.Errorf("%w: peer runs %q, this replica %q", sketch.ErrSnapshotMismatch, algo, rp.r.Algo())
+	}
+	if spec != rp.r.Spec() {
+		return false, fmt.Errorf("%w: peer spec %+v, this replica %+v", sketch.ErrSnapshotMismatch, spec, rp.r.Spec())
+	}
+	sk := rp.r.entry.Build(spec)
+	if err := sk.(sketch.Snapshotter).Restore(payload); err != nil {
+		return false, fmt.Errorf("restoring peer delta: %w", err)
+	}
+	rp.r.SetPeerDelta(peer, sk, ver)
+	return true, nil
+}

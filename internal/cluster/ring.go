@@ -1,0 +1,186 @@
+// Package cluster is the horizontal scale-out plane: keys consistent-hash
+// (with virtual nodes) across N queryd replicas. A Router implements the
+// query.Executor contract by partitioning each batch by owning replica,
+// fanning sub-batches out over /v2/query, and stitching the sub-answers
+// back into one honestly-accounted Answer; a Replica wraps a standalone
+// queryd backend with pull-based sealed-delta replication (/v2/delta +
+// sketch.Merge) so any node can answer any key from a merged view. The
+// design lifts sketch.Sharded's partition-by-owner batch routing onto the
+// network, with the same counting-sort partition idiom.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/hash"
+)
+
+// DefaultVNodes is the virtual-node count per replica: enough points that
+// a 3-node ring balances within a few percent, cheap enough that building
+// the ring is trivial.
+const DefaultVNodes = 64
+
+// DefaultRingSeed salts ring-point and key hashes. It is deliberately
+// distinct from any sketch Spec seed — ring placement and sketch hashing
+// must not correlate.
+const DefaultRingSeed = 0x636c7573746572 // "cluster"
+
+// Membership names a cluster: the replica base URLs (identical order on
+// every node — the ring is derived from it deterministically), which entry
+// is this node (-1 for a router, which is not a ring member), and the ring
+// geometry.
+type Membership struct {
+	Peers  []string
+	Self   int
+	VNodes int
+	Seed   uint64
+}
+
+// Validation errors, named per the repo's refuse-by-name convention.
+var (
+	ErrNoPeers      = errors.New("cluster: membership needs at least one peer URL")
+	ErrDupPeer      = errors.New("cluster: duplicate peer URL in membership")
+	ErrSelfRange    = errors.New("cluster: self index outside the peer list")
+	ErrBadVNodes    = errors.New("cluster: vnodes must be at least 1")
+	ErrNotReplica   = errors.New("cluster: node is not a member of the peer list")
+	ErrReplicaCount = errors.New("cluster: delta replication needs at least 2 replicas")
+)
+
+// ParsePeers splits a comma-separated peer list, trimming whitespace and
+// trailing slashes so "http://a:1/, http://b:2" and "http://a:1,http://b:2"
+// name the same membership.
+func ParsePeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Validate checks the membership, defaulting VNodes and Seed in place.
+func (m *Membership) Validate(requireSelf bool) error {
+	if len(m.Peers) == 0 {
+		return ErrNoPeers
+	}
+	seen := make(map[string]bool, len(m.Peers))
+	for _, p := range m.Peers {
+		if seen[p] {
+			return fmt.Errorf("%w: %s", ErrDupPeer, p)
+		}
+		seen[p] = true
+	}
+	if m.VNodes == 0 {
+		m.VNodes = DefaultVNodes
+	}
+	if m.VNodes < 1 {
+		return fmt.Errorf("%w: got %d", ErrBadVNodes, m.VNodes)
+	}
+	if m.Seed == 0 {
+		m.Seed = DefaultRingSeed
+	}
+	if requireSelf {
+		if m.Self < 0 || m.Self >= len(m.Peers) {
+			return fmt.Errorf("%w: self %d of %d peers", ErrSelfRange, m.Self, len(m.Peers))
+		}
+	}
+	return nil
+}
+
+// Ring is a consistent-hash ring with virtual nodes: each replica
+// contributes VNodes points, keys map to the first point at or clockwise
+// from their hash, and adding or removing one replica moves only ~1/N of
+// the keyspace. Immutable after NewRing; safe for concurrent use.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	n      int         // replicas
+	vnodes int
+	seed   uint64
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int32
+}
+
+// NewRing derives the ring from a validated membership. Every node derives
+// the identical ring from the identical peer list — membership order is the
+// replica identity the ring hashes, so peer URLs must be listed in the same
+// order everywhere.
+func NewRing(m Membership) (*Ring, error) {
+	if err := m.Validate(false); err != nil {
+		return nil, err
+	}
+	r := &Ring{
+		points: make([]ringPoint, 0, len(m.Peers)*m.VNodes),
+		n:      len(m.Peers),
+		vnodes: m.VNodes,
+		seed:   m.Seed,
+	}
+	for i, peer := range m.Peers {
+		// Points hash the peer URL, not the index, so reordering-safe
+		// configs fail loudly (different rings) instead of silently routing
+		// to the wrong node; the vnode counter is folded in through the
+		// 64-bit finalizer.
+		base := uint64(hash.Murmur32([]byte(peer), uint32(m.Seed))) |
+			uint64(hash.Murmur32([]byte(peer), uint32(m.Seed>>32)^0x9747b28c))<<32
+		for v := 0; v < m.VNodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    hash.U64(base+uint64(v), m.Seed),
+				replica: int32(i),
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r, nil
+}
+
+// Replicas is the replica count.
+func (r *Ring) Replicas() int { return r.n }
+
+// VNodes is the per-replica virtual-node count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Owner maps a key to its owning replica index: binary search for the
+// first ring point at or after the key's hash, wrapping to the first point
+// past the top of the ring.
+func (r *Ring) Owner(key uint64) int {
+	h := hash.U64(key, r.seed)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return int(r.points[i].replica)
+}
+
+// Partition splits keys by owning replica with the counting-sort idiom
+// sketch.Sharded's batch path uses: one owner pass, prefix sums, one
+// scatter. It returns the original-position indices grouped contiguously —
+// part i is idx[counts[i]:counts[i+1]] — so callers can slice sub-batches
+// without per-partition allocations.
+func (r *Ring) Partition(keys []uint64) (idx []int, counts []int) {
+	owner := make([]int32, len(keys))
+	counts = make([]int, r.n+1)
+	for i, k := range keys {
+		o := int32(r.Owner(k))
+		owner[i] = o
+		counts[o+1]++
+	}
+	for p := 0; p < r.n; p++ {
+		counts[p+1] += counts[p]
+	}
+	idx = make([]int, len(keys))
+	next := make([]int, r.n)
+	copy(next, counts[:r.n])
+	for i := range keys {
+		o := owner[i]
+		idx[next[o]] = i
+		next[o]++
+	}
+	return idx, counts
+}

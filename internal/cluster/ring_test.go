@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+)
+
+func members(urls ...string) Membership {
+	return Membership{Peers: urls, Self: -1}
+}
+
+func TestParsePeers(t *testing.T) {
+	got := ParsePeers(" http://a:1/, http://b:2 ,,http://c:3")
+	want := []string{"http://a:1", "http://b:2", "http://c:3"}
+	if len(got) != len(want) {
+		t.Fatalf("ParsePeers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ParsePeers[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMembershipValidation(t *testing.T) {
+	if err := (&Membership{}).Validate(false); !errors.Is(err, ErrNoPeers) {
+		t.Fatalf("empty membership: %v, want ErrNoPeers", err)
+	}
+	m := members("http://a:1", "http://a:1")
+	if err := m.Validate(false); !errors.Is(err, ErrDupPeer) {
+		t.Fatalf("duplicate peer: %v, want ErrDupPeer", err)
+	}
+	m = members("http://a:1", "http://b:2")
+	if err := m.Validate(true); !errors.Is(err, ErrSelfRange) {
+		t.Fatalf("self=-1 with requireSelf: %v, want ErrSelfRange", err)
+	}
+	m = members("http://a:1")
+	m.VNodes = -3
+	if err := m.Validate(false); !errors.Is(err, ErrBadVNodes) {
+		t.Fatalf("negative vnodes: %v, want ErrBadVNodes", err)
+	}
+	m = members("http://a:1")
+	if err := m.Validate(false); err != nil {
+		t.Fatalf("valid membership refused: %v", err)
+	}
+	if m.VNodes != DefaultVNodes || m.Seed != DefaultRingSeed {
+		t.Fatalf("defaults not applied: vnodes=%d seed=%#x", m.VNodes, m.Seed)
+	}
+}
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	m := members("http://a:1", "http://b:2", "http://c:3")
+	r1, err := NewRing(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRing(m)
+	owned := make([]int, r1.Replicas())
+	for key := uint64(0); key < 30_000; key++ {
+		o := r1.Owner(key)
+		if o2 := r2.Owner(key); o != o2 {
+			t.Fatalf("key %d: ring not deterministic (%d vs %d)", key, o, o2)
+		}
+		owned[o]++
+	}
+	for i, n := range owned {
+		// 64 vnodes balance a 3-node ring well within ±two-thirds of fair
+		// share; a broken hash or search collapses whole replicas to ~0.
+		if n < 10_000/3 || n > 20_000 {
+			t.Fatalf("replica %d owns %d of 30000 keys: ring unbalanced %v", i, n, owned)
+		}
+	}
+}
+
+func TestRingMinimalMovementOnGrowth(t *testing.T) {
+	three, _ := NewRing(members("http://a:1", "http://b:2", "http://c:3"))
+	four, _ := NewRing(members("http://a:1", "http://b:2", "http://c:3", "http://d:4"))
+	moved := 0
+	const keys = 20_000
+	for key := uint64(0); key < keys; key++ {
+		if three.Owner(key) != four.Owner(key) {
+			moved++
+		}
+	}
+	// Consistent hashing moves ~1/4 of keys when growing 3→4; modulo
+	// hashing would move ~3/4. Allow slack around the ideal.
+	if moved > keys/2 {
+		t.Fatalf("adding one replica moved %d of %d keys — not consistent hashing", moved, keys)
+	}
+	if moved == 0 {
+		t.Fatal("adding a replica moved no keys — new node owns nothing")
+	}
+}
+
+func TestPartitionGroupsAllKeysByOwner(t *testing.T) {
+	r, _ := NewRing(members("http://a:1", "http://b:2", "http://c:3"))
+	keys := make([]uint64, 999)
+	for i := range keys {
+		keys[i] = uint64(i * 7)
+	}
+	idx, counts := r.Partition(keys)
+	if len(idx) != len(keys) || counts[len(counts)-1] != len(keys) {
+		t.Fatalf("partition dropped keys: len(idx)=%d counts=%v", len(idx), counts)
+	}
+	seen := make([]bool, len(keys))
+	for p := 0; p < r.Replicas(); p++ {
+		for _, i := range idx[counts[p]:counts[p+1]] {
+			if seen[i] {
+				t.Fatalf("key position %d assigned twice", i)
+			}
+			seen[i] = true
+			if got := r.Owner(keys[i]); got != p {
+				t.Fatalf("key %d grouped under replica %d but owned by %d", keys[i], p, got)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("key position %d missing from partition", i)
+		}
+	}
+}

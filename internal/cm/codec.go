@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"repro/internal/sketch"
 )
 
 // Snapshot serialization, implementing sketch.Snapshotter. The wire format
@@ -47,7 +49,7 @@ func (s *Sketch) Restore(r io.Reader) error {
 		return fmt.Errorf("cm: reading snapshot magic: %w", err)
 	}
 	if magic != cmMagic {
-		return fmt.Errorf("cm: bad snapshot magic %q", magic[:])
+		return fmt.Errorf("%w: bad cm snapshot magic %q", sketch.ErrSnapshotMismatch, magic[:])
 	}
 	read := func() (uint64, error) { return binary.ReadUvarint(br) }
 	d, err := read()
@@ -59,7 +61,7 @@ func (s *Sketch) Restore(r io.Reader) error {
 		return fmt.Errorf("cm: snapshot width: %w", err)
 	}
 	if int(d) != s.depth || int(w) != s.width {
-		return fmt.Errorf("cm: snapshot geometry %dx%d, sketch built %dx%d",
+		return fmt.Errorf("%w: cm snapshot geometry %dx%d, sketch built %dx%d", sketch.ErrSnapshotMismatch,
 			d, w, s.depth, s.width)
 	}
 	ins, err := read()

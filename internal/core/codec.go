@@ -9,6 +9,8 @@ import (
 
 	"repro/internal/bucket"
 	"repro/internal/spacesaving"
+
+	"repro/internal/sketch"
 )
 
 // Snapshot serialization: WriteTo/ReadFrom persist a sketch's full state —
@@ -106,7 +108,7 @@ func ReadSketch(r io.Reader) (*Sketch, error) {
 		return nil, fmt.Errorf("core: reading snapshot magic: %w", err)
 	}
 	if magic != codecMagic {
-		return nil, fmt.Errorf("core: bad snapshot magic %q", magic[:])
+		return nil, fmt.Errorf("%w: bad core snapshot magic %q", sketch.ErrSnapshotMismatch, magic[:])
 	}
 	read := func() (uint64, error) { return binary.ReadUvarint(br) }
 	var fields [18]uint64

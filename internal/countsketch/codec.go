@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"repro/internal/sketch"
 )
 
 // Snapshot serialization, implementing sketch.Snapshotter: magic "CTS1" |
@@ -43,7 +45,7 @@ func (s *Sketch) Restore(r io.Reader) error {
 		return fmt.Errorf("countsketch: reading snapshot magic: %w", err)
 	}
 	if magic != ctMagic {
-		return fmt.Errorf("countsketch: bad snapshot magic %q", magic[:])
+		return fmt.Errorf("%w: bad countsketch snapshot magic %q", sketch.ErrSnapshotMismatch, magic[:])
 	}
 	d, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -54,7 +56,7 @@ func (s *Sketch) Restore(r io.Reader) error {
 		return fmt.Errorf("countsketch: snapshot width: %w", err)
 	}
 	if int(d) != s.depth || int(w) != s.width {
-		return fmt.Errorf("countsketch: snapshot geometry %dx%d, sketch built %dx%d",
+		return fmt.Errorf("%w: countsketch snapshot geometry %dx%d, sketch built %dx%d", sketch.ErrSnapshotMismatch,
 			d, w, s.depth, s.width)
 	}
 	// Decode into a fresh counter slice and swap only on full success, so a

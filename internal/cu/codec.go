@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"repro/internal/sketch"
 )
 
 // Snapshot serialization, implementing sketch.Snapshotter: magic "CUS1" |
@@ -42,7 +44,7 @@ func (s *Sketch) Restore(r io.Reader) error {
 		return fmt.Errorf("cu: reading snapshot magic: %w", err)
 	}
 	if magic != cuMagic {
-		return fmt.Errorf("cu: bad snapshot magic %q", magic[:])
+		return fmt.Errorf("%w: bad cu snapshot magic %q", sketch.ErrSnapshotMismatch, magic[:])
 	}
 	read := func() (uint64, error) { return binary.ReadUvarint(br) }
 	d, err := read()
@@ -54,7 +56,7 @@ func (s *Sketch) Restore(r io.Reader) error {
 		return fmt.Errorf("cu: snapshot width: %w", err)
 	}
 	if int(d) != s.depth || int(w) != s.width {
-		return fmt.Errorf("cu: snapshot geometry %dx%d, sketch built %dx%d",
+		return fmt.Errorf("%w: cu snapshot geometry %dx%d, sketch built %dx%d", sketch.ErrSnapshotMismatch,
 			d, w, s.depth, s.width)
 	}
 	// Decode into a fresh counter slice and swap only on full success, so a

@@ -102,6 +102,12 @@ var (
 	ErrAgentScope  = errors.New("query: agent scoping applies to window requests only")
 )
 
+// ErrUnavailable marks a transient refusal: the backend cannot answer right
+// now (merged cluster view unavailable, replica still warming) but another
+// replica might. HTTP surfaces map it to 503 so routers know to retry
+// elsewhere, as opposed to hard 500 failures that no retry will fix.
+var ErrUnavailable = errors.New("query: backend temporarily unavailable")
+
 // Request is one typed query: what is asked (Kind), for which keys, over
 // which sealed-epoch span, optionally scoped to one measurement agent.
 // The zero value is invalid; every Execute implementation validates first.
@@ -188,6 +194,15 @@ type Answer struct {
 	// Certified reports whether every interval in PerKey is a certified
 	// bound (truth ∈ [Lower, Upper]).
 	Certified bool `json:"certified"`
+	// KeyCoverage is the fraction of requested keys answered
+	// authoritatively, in [0, 1]. Single-node surfaces leave it 0 (unset:
+	// every answer is authoritative by construction); cluster surfaces set
+	// it to 1 when every key was answered by its owning replica and to a
+	// smaller fraction when replicas were down or answers came from lagged
+	// non-owner fallbacks. KeyCoverage < 1 always implies Certified ==
+	// false: a degraded answer is reported honestly, never silently
+	// narrowed.
+	KeyCoverage float64 `json:"key_coverage,omitempty"`
 }
 
 // Executor is the one contract every query surface implements: the sketch

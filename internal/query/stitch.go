@@ -1,0 +1,153 @@
+package query
+
+import "repro/internal/sketch"
+
+// Stitcher reassembles one Answer from the per-replica sub-answers of a
+// scatter-gather query. The scatter side partitions Request.Keys by owning
+// replica and remembers, for each sub-batch, the original key positions; Add
+// writes each sub-answer's estimates back into those positions and folds the
+// batch-level fields honestly:
+//
+//   - Coverage and Generation take the minimum across sub-answers — the
+//     stitched answer only claims the history span and sealed set every
+//     contributor actually covers.
+//   - Certified is the AND across sub-answers, and turns false outright if
+//     any key went unanswered or was answered by a non-owner fallback.
+//   - KeyCoverage is the fraction of keys answered by their owning replica,
+//     so a down replica shows up as KeyCoverage < 1 rather than as missing
+//     rows or a silently narrower interval.
+//
+// A Stitcher is not safe for concurrent use; callers serialize Add (the
+// cluster router holds one mutex across its fan-in).
+type Stitcher struct {
+	req       Request
+	perKey    []Estimate
+	answered  []bool
+	owned     int  // keys answered by their owning replica
+	fallback  int  // keys answered by a non-owner fallback
+	subs      int  // sub-answers folded in
+	certified bool // AND over sub-answers
+	coverage  int
+	gen       uint64
+}
+
+// NewStitcher prepares a stitcher for req (Point or Window kinds; TopK
+// answers are merged with MergeTopK instead, since their rows are not
+// positional).
+func NewStitcher(req Request) *Stitcher {
+	return &Stitcher{
+		req:       req,
+		perKey:    make([]Estimate, len(req.Keys)),
+		answered:  make([]bool, len(req.Keys)),
+		certified: true,
+	}
+}
+
+// Add folds one sub-answer in. idx maps the sub-answer's rows to positions
+// in the original Request.Keys: ans.PerKey[j] answers Keys[idx[j]]. owned
+// reports whether the answering replica owns these keys on the ring; a
+// fallback answer (owned == false) may lag replication, so it contributes
+// estimates but never certification. Sub-answers with mismatched row counts
+// are ignored — their keys stay unanswered and honesty accounting reflects
+// that.
+func (s *Stitcher) Add(idx []int, ans Answer, owned bool) {
+	if len(ans.PerKey) != len(idx) {
+		return
+	}
+	for j, i := range idx {
+		if i < 0 || i >= len(s.perKey) || s.answered[i] {
+			continue
+		}
+		s.perKey[i] = ans.PerKey[j]
+		s.answered[i] = true
+		if owned {
+			s.owned++
+		} else {
+			s.fallback++
+		}
+	}
+	if s.subs == 0 {
+		s.coverage = ans.Coverage
+		s.gen = ans.Generation
+	} else {
+		if ans.Coverage < s.coverage {
+			s.coverage = ans.Coverage
+		}
+		if ans.Generation < s.gen {
+			s.gen = ans.Generation
+		}
+	}
+	s.subs++
+	if !ans.Certified || !owned {
+		s.certified = false
+	}
+}
+
+// Finish assembles the stitched Answer. Unanswered keys carry an
+// uncertified zero-width interval at 0 — present so PerKey stays aligned
+// with Request.Keys, and honest because the whole answer is uncertified
+// whenever any key is missing.
+func (s *Stitcher) Finish() Answer {
+	total := len(s.req.Keys)
+	ans := Answer{
+		PerKey:     s.perKey,
+		Coverage:   s.coverage,
+		Generation: s.gen,
+		Certified:  s.certified && s.owned == total,
+	}
+	for i, ok := range s.answered {
+		if !ok {
+			ans.PerKey[i] = Estimate{Key: s.req.Keys[i]}
+		}
+	}
+	if total > 0 {
+		ans.KeyCoverage = float64(s.owned) / float64(total)
+	}
+	return ans
+}
+
+// MergeTopK merges per-replica TopK answers into one: rows are deduplicated
+// by key keeping the largest estimate (each replica reports its merged view,
+// so the max is the best available bound), re-ranked with TopKOf, and the
+// batch fields folded with the same honesty rules as Stitcher. want is the
+// number of replicas asked; fewer answers than asked means a replica was
+// down, which uncertifies the merged listing and shows up in KeyCoverage.
+func MergeTopK(answers []Answer, k, want int) Answer {
+	best := make(map[uint64]Estimate)
+	out := Answer{Certified: len(answers) > 0}
+	for n, a := range answers {
+		if n == 0 {
+			out.Coverage = a.Coverage
+			out.Generation = a.Generation
+		} else {
+			if a.Coverage < out.Coverage {
+				out.Coverage = a.Coverage
+			}
+			if a.Generation < out.Generation {
+				out.Generation = a.Generation
+			}
+		}
+		if !a.Certified {
+			out.Certified = false
+		}
+		for _, e := range a.PerKey {
+			if have, ok := best[e.Key]; !ok || e.Est > have.Est {
+				best[e.Key] = e
+			}
+		}
+	}
+	kvs := make([]sketch.KV, 0, len(best))
+	for _, e := range best {
+		kvs = append(kvs, sketch.KV{Key: e.Key, Est: e.Est})
+	}
+	for _, kv := range TopKOf(kvs, k) {
+		out.PerKey = append(out.PerKey, best[kv.Key])
+	}
+	if want > 0 {
+		out.KeyCoverage = float64(len(answers)) / float64(want)
+	}
+	if len(answers) < want {
+		out.Certified = false
+	}
+	return out
+}

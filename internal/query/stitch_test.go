@@ -1,0 +1,129 @@
+package query
+
+import "testing"
+
+func stReq(keys ...uint64) Request {
+	return Request{Kind: Point, Keys: keys}
+}
+
+func TestStitcherFullCoverage(t *testing.T) {
+	req := stReq(10, 20, 30, 40)
+	st := NewStitcher(req)
+	st.Add([]int{1, 3}, Answer{
+		PerKey:     []Estimate{{Key: 20, Est: 2, Lower: 1, Upper: 2}, {Key: 40, Est: 4, Lower: 4, Upper: 4}},
+		Coverage:   5,
+		Generation: 9,
+		Certified:  true,
+	}, true)
+	st.Add([]int{0, 2}, Answer{
+		PerKey:     []Estimate{{Key: 10, Est: 1, Lower: 1, Upper: 1}, {Key: 30, Est: 3, Lower: 3, Upper: 3}},
+		Coverage:   7,
+		Generation: 12,
+		Certified:  true,
+	}, true)
+	ans := st.Finish()
+	if !ans.Certified {
+		t.Fatalf("fully owned certified sub-answers must stitch certified: %+v", ans)
+	}
+	if ans.KeyCoverage != 1 {
+		t.Fatalf("KeyCoverage = %v, want 1", ans.KeyCoverage)
+	}
+	if ans.Coverage != 5 || ans.Generation != 9 {
+		t.Fatalf("want min coverage 5 and min generation 9, got %d/%d", ans.Coverage, ans.Generation)
+	}
+	want := []uint64{1, 2, 3, 4}
+	for i, e := range ans.PerKey {
+		if e.Key != req.Keys[i] || e.Est != want[i] {
+			t.Fatalf("PerKey[%d] = %+v, want key %d est %d", i, e, req.Keys[i], want[i])
+		}
+	}
+}
+
+func TestStitcherUnansweredKeysUncertify(t *testing.T) {
+	req := stReq(10, 20, 30)
+	st := NewStitcher(req)
+	st.Add([]int{0, 2}, Answer{
+		PerKey:    []Estimate{{Key: 10, Est: 1}, {Key: 30, Est: 3}},
+		Certified: true,
+	}, true)
+	ans := st.Finish()
+	if ans.Certified {
+		t.Fatal("answer with unanswered keys must not certify")
+	}
+	if got, want := ans.KeyCoverage, 2.0/3.0; got != want {
+		t.Fatalf("KeyCoverage = %v, want %v", got, want)
+	}
+	if ans.PerKey[1].Key != 20 || ans.PerKey[1].Est != 0 {
+		t.Fatalf("unanswered key must keep an aligned zero row, got %+v", ans.PerKey[1])
+	}
+}
+
+func TestStitcherFallbackUncertifies(t *testing.T) {
+	req := stReq(10, 20)
+	st := NewStitcher(req)
+	st.Add([]int{0}, Answer{PerKey: []Estimate{{Key: 10, Est: 1}}, Certified: true}, true)
+	st.Add([]int{1}, Answer{PerKey: []Estimate{{Key: 20, Est: 7}}, Certified: true}, false)
+	ans := st.Finish()
+	if ans.Certified {
+		t.Fatal("fallback-answered keys must not certify")
+	}
+	if got, want := ans.KeyCoverage, 0.5; got != want {
+		t.Fatalf("KeyCoverage = %v, want %v (fallbacks are not authoritative)", got, want)
+	}
+	if ans.PerKey[1].Est != 7 {
+		t.Fatalf("fallback estimate must still be reported, got %+v", ans.PerKey[1])
+	}
+}
+
+func TestStitcherRejectsMisalignedSubAnswer(t *testing.T) {
+	req := stReq(10, 20)
+	st := NewStitcher(req)
+	st.Add([]int{0, 1}, Answer{PerKey: []Estimate{{Key: 10, Est: 1}}, Certified: true}, true)
+	ans := st.Finish()
+	if ans.Certified || ans.KeyCoverage != 0 {
+		t.Fatalf("misaligned sub-answer must count as unanswered: %+v", ans)
+	}
+}
+
+func TestMergeTopK(t *testing.T) {
+	a := Answer{
+		PerKey:     []Estimate{{Key: 1, Est: 100, Upper: 100}, {Key: 2, Est: 50, Upper: 50}},
+		Coverage:   3,
+		Generation: 8,
+		Certified:  true,
+	}
+	b := Answer{
+		PerKey:     []Estimate{{Key: 2, Est: 60, Upper: 60}, {Key: 3, Est: 10, Upper: 10}},
+		Coverage:   2,
+		Generation: 6,
+		Certified:  true,
+	}
+	ans := MergeTopK([]Answer{a, b}, 2, 2)
+	if !ans.Certified || ans.KeyCoverage != 1 {
+		t.Fatalf("all replicas certified and answered, got %+v", ans)
+	}
+	if ans.Coverage != 2 || ans.Generation != 6 {
+		t.Fatalf("want min coverage/generation 2/6, got %d/%d", ans.Coverage, ans.Generation)
+	}
+	if len(ans.PerKey) != 2 || ans.PerKey[0].Key != 1 || ans.PerKey[1].Key != 2 || ans.PerKey[1].Est != 60 {
+		t.Fatalf("want keys [1 2] with key 2 at max est 60, got %+v", ans.PerKey)
+	}
+}
+
+func TestMergeTopKMissingReplica(t *testing.T) {
+	a := Answer{PerKey: []Estimate{{Key: 1, Est: 5}}, Certified: true}
+	ans := MergeTopK([]Answer{a}, 4, 3)
+	if ans.Certified {
+		t.Fatal("a missing replica must uncertify the merged top-k")
+	}
+	if got, want := ans.KeyCoverage, 1.0/3.0; got != want {
+		t.Fatalf("KeyCoverage = %v, want %v", got, want)
+	}
+}
+
+func TestMergeTopKEmpty(t *testing.T) {
+	ans := MergeTopK(nil, 4, 3)
+	if ans.Certified || len(ans.PerKey) != 0 || ans.KeyCoverage != 0 {
+		t.Fatalf("no sub-answers must yield an empty uncertified answer: %+v", ans)
+	}
+}

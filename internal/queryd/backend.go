@@ -272,16 +272,22 @@ func (b *SketchBackend) fold(delta sketch.Sketch) error {
 	return sketch.Merge(b.sk, delta)
 }
 
+// ErrLostWrites marks the unrecoverable backend state where acked items
+// were lost (a failed fold discards its delta). HTTP surfaces map it to a
+// hard 500 — retrying, here or on another replica, cannot restore the lost
+// writes.
+var ErrLostWrites = errors.New("queryd: ingest pipeline lost acked items")
+
 // drain is the read-your-writes barrier of pipelined backends; a no-op for
-// synchronous ones. A pipeline error means acked items were lost (a failed
-// fold discards its delta), so readers must refuse to answer rather than
-// serve certified intervals that provably miss traffic.
+// synchronous ones. A pipeline error means acked items were lost, so
+// readers must refuse to answer rather than serve certified intervals that
+// provably miss traffic.
 func (b *SketchBackend) drain() error {
 	if b.pipe == nil {
 		return nil
 	}
 	if err := b.pipe.Drain(); err != nil {
-		return fmt.Errorf("queryd: ingest pipeline lost acked items: %w", err)
+		return fmt.Errorf("%w: %v", ErrLostWrites, err)
 	}
 	return nil
 }

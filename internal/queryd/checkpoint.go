@@ -124,6 +124,14 @@ func writeCheckpointHeader(w io.Writer, algo string, spec sketch.Spec, walLSN ui
 	if _, err := w.Write(checkpointMagic[:]); err != nil {
 		return err
 	}
+	return writeSpecHeader(w, algo, spec, walLSN)
+}
+
+// writeSpecHeader encodes the self-describing portion shared by checkpoint
+// files and delta envelopes: algorithm name, the Spec the sketch was built
+// from, and one format-specific trailing word (the WAL cut LSN for
+// checkpoints, the delta version for replication).
+func writeSpecHeader(w io.Writer, algo string, spec sketch.Spec, tail uint64) error {
 	var buf [binary.MaxVarintLen64]byte
 	write := func(vs ...uint64) error {
 		for _, v := range vs {
@@ -149,7 +157,7 @@ func writeCheckpointHeader(w io.Writer, algo string, spec sketch.Spec, walLSN ui
 		emergency, uint64(spec.Shards)); err != nil {
 		return err
 	}
-	return write(walLSN)
+	return write(tail)
 }
 
 // OpenCheckpoint opens a checkpoint file and decodes its header, including
@@ -189,6 +197,13 @@ func readCheckpointHeader(br *bufio.Reader) (string, sketch.Spec, uint64, error)
 	if !hasLSN && magic != checkpointMagicV1 {
 		return "", sketch.Spec{}, 0, fmt.Errorf("bad checkpoint magic %q", magic[:])
 	}
+	return readSpecHeader(br, hasLSN)
+}
+
+// readSpecHeader decodes what writeSpecHeader wrote (the caller has already
+// consumed and validated the magic). withTail is false only for pre-WAL
+// "RQC1" checkpoints, which end after the spec fields.
+func readSpecHeader(br *bufio.Reader, withTail bool) (string, sketch.Spec, uint64, error) {
 	read := func() (uint64, error) { return binary.ReadUvarint(br) }
 	nameLen, err := read()
 	if err != nil {
@@ -209,10 +224,10 @@ func readCheckpointHeader(br *bufio.Reader) (string, sketch.Spec, uint64, error)
 		}
 		fields[i] = v
 	}
-	var walLSN uint64
-	if hasLSN {
-		if walLSN, err = read(); err != nil {
-			return "", sketch.Spec{}, 0, fmt.Errorf("checkpoint wal lsn: %w", err)
+	var tail uint64
+	if withTail {
+		if tail, err = read(); err != nil {
+			return "", sketch.Spec{}, 0, fmt.Errorf("checkpoint trailing word: %w", err)
 		}
 	}
 	spec := sketch.Spec{
@@ -225,5 +240,5 @@ func readCheckpointHeader(br *bufio.Reader) (string, sketch.Spec, uint64, error)
 		Emergency:   fields[6] == 1,
 		Shards:      int(fields[7]),
 	}
-	return string(name), spec, walLSN, nil
+	return string(name), spec, tail, nil
 }

@@ -176,6 +176,8 @@ func New(b Backend, cfg Config) (*Server, error) {
 	// histogram series (one family, labeled by endpoint).
 	s.handle("/v2/query", "POST", s.handleExec)
 	s.handle("/v2/ingest", "POST", s.handleIngest)
+	s.handle("/v2/delta", "GET", s.handleDelta)
+	s.handle("/v2/replicate", "POST", s.handleReplicate)
 	s.handle("/v1/point", "GET", s.handlePoint)
 	s.handle("/v1/window", "GET", s.handleWindow)
 	s.handle("/v1/topk", "GET", s.handleTopK)
@@ -378,12 +380,16 @@ type CheckpointStatus struct {
 }
 
 // execEntry is one key's cached v2 answer: the estimate plus the answer
-// metadata needed to rebuild a response from hits alone.
+// metadata needed to rebuild a response from hits alone. covered marks
+// entries born from a cluster answer with full KeyCoverage; entries from
+// single-node backends leave it false and the response's KeyCoverage unset,
+// matching the backend's own answers.
 type execEntry struct {
 	est       query.Estimate
 	coverage  int
 	certified bool
 	source    string
+	covered   bool
 }
 
 // execCacheKey labels one key of a v2 batch in the result cache. Kind,
@@ -442,6 +448,7 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	var missIdx []int
 	var missKeys []uint64
 	haveMeta := false
+	coveredHits := 0
 	for i, v := range cached {
 		if v == nil {
 			missIdx = append(missIdx, i)
@@ -452,6 +459,9 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		resp.PerKey[i] = e.est
 		resp.CachedKeys++
 		resp.Certified = resp.Certified && e.certified
+		if e.covered {
+			coveredHits++
+		}
 		if !haveMeta {
 			resp.Coverage, resp.Source, haveMeta = e.coverage, e.source, true
 		}
@@ -469,6 +479,12 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		// is the most recent view.
 		resp.Coverage, resp.Source = ans.Coverage, ans.Source
 		resp.Certified = resp.Certified && ans.Certified
+		if ans.KeyCoverage != 0 {
+			// Cluster answer: blend the miss batch's coverage with the hits
+			// (cached entries only exist with full coverage).
+			resp.KeyCoverage = (float64(coveredHits) + ans.KeyCoverage*float64(len(missKeys))) /
+				float64(len(req.Keys))
+		}
 		storeKeys := make([]string, len(missIdx))
 		storeVals := make([]any, len(missIdx))
 		for j, i := range missIdx {
@@ -480,9 +496,17 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 				coverage:  ans.Coverage,
 				certified: ans.Certified,
 				source:    ans.Source,
+				covered:   ans.KeyCoverage == 1,
 			}
 		}
-		s.cache.StoreMany(storeKeys, gen, epochal, storeVals)
+		// A degraded cluster answer (a replica was down, keys went to lagged
+		// fallbacks) must not outlive the outage in the cache: serve it once,
+		// honestly marked, and recompute next time.
+		if ans.KeyCoverage == 0 || ans.KeyCoverage == 1 {
+			s.cache.StoreMany(storeKeys, gen, epochal, storeVals)
+		}
+	} else if coveredHits > 0 && coveredHits == resp.CachedKeys {
+		resp.KeyCoverage = 1
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -726,8 +750,12 @@ func (s *Server) serveCached(w http.ResponseWriter, key string, compute func(gen
 
 // execError maps a backend refusal onto the JSON error envelope: requests
 // the query plane rejects are the client's fault, an unknown agent is a
-// missing resource, and everything else is a capability the backend does
-// not have.
+// missing resource, a transient refusal is 503 (retry elsewhere — a cluster
+// router's cue to try another replica), a backend that lost acked writes is
+// a hard 500 no retry will fix, and everything else is a capability the
+// backend does not have. Keeping 503 and 500 distinct is load-bearing: a
+// router that treated them alike would either hammer a broken node or fail
+// over away from a healthy-but-warming one.
 func (s *Server) execError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, netsum.ErrUnknownAgent):
@@ -736,6 +764,10 @@ func (s *Server) execError(w http.ResponseWriter, err error) {
 		errors.Is(err, query.ErrTooManyKeys) || errors.Is(err, query.ErrBadWindow) ||
 		errors.Is(err, query.ErrBadK) || errors.Is(err, query.ErrAgentScope):
 		httpError(w, http.StatusBadRequest, "bad_request", err)
+	case errors.Is(err, query.ErrUnavailable):
+		httpError(w, http.StatusServiceUnavailable, "unavailable", err)
+	case errors.Is(err, ErrLostWrites):
+		httpError(w, http.StatusInternalServerError, "internal", err)
 	default:
 		httpError(w, http.StatusNotImplemented, "unsupported", err)
 	}

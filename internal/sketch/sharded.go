@@ -512,21 +512,21 @@ func (s *Sharded) restoreShards(r io.Reader) error {
 		return fmt.Errorf("sketch: reading sharded snapshot magic: %w", err)
 	}
 	if magic != shardedMagic {
-		return fmt.Errorf("sketch: bad sharded snapshot magic %q", magic[:])
+		return fmt.Errorf("%w: bad sharded snapshot magic %q", ErrSnapshotMismatch, magic[:])
 	}
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
 		return fmt.Errorf("sketch: sharded snapshot shard count: %w", err)
 	}
 	if int(n) != len(s.shards) {
-		return fmt.Errorf("sketch: snapshot has %d shards, sketch built with %d", n, len(s.shards))
+		return fmt.Errorf("%w: snapshot has %d shards, sketch built with %d", ErrSnapshotMismatch, n, len(s.shards))
 	}
 	seed, err := binary.ReadUvarint(br)
 	if err != nil {
 		return fmt.Errorf("sketch: sharded snapshot seed: %w", err)
 	}
 	if seed != s.seed {
-		return fmt.Errorf("sketch: snapshot routing seed %d, sketch built with %d", seed, s.seed)
+		return fmt.Errorf("%w: snapshot routing seed %d, sketch built with %d", ErrSnapshotMismatch, seed, s.seed)
 	}
 	for i, sh := range s.shards {
 		sn, ok := sh.(Snapshotter)

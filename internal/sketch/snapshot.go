@@ -1,6 +1,17 @@
 package sketch
 
-import "io"
+import (
+	"errors"
+	"io"
+)
+
+// ErrSnapshotMismatch marks a refused Restore (or delta fold) whose snapshot
+// was produced under a different Spec than the receiver was built with —
+// wrong shard count, routing seed, geometry, or algorithm. Named so callers
+// moving snapshots between processes (checkpoint restore, cluster delta
+// replication) can distinguish "operator misconfiguration, reject the peer"
+// from corrupt or truncated payloads.
+var ErrSnapshotMismatch = errors.New("sketch: snapshot spec mismatch")
 
 // Snapshotter is implemented by sketches whose full state can be serialized
 // and later restored, making measurement state durable: a collector can

@@ -1,0 +1,137 @@
+package sketch_test
+
+// Snapshot wire-format compatibility as exercised by cluster delta
+// replication: a peer's snapshot is restored into a fresh same-Spec sketch
+// and then folded into a local view with Merge. The restored copy must be
+// indistinguishable from the original under that fold — flat and sharded
+// alike — and every cross-Spec refusal (flat container offered to a sharded
+// receiver, wrong shard count, wrong routing seed) must surface the named
+// sketch.ErrSnapshotMismatch so replicators can reject a misconfigured peer
+// instead of string-matching.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/sketch"
+	_ "repro/internal/sketch/all"
+	"repro/internal/stream"
+)
+
+// mergeableSnapshotters enumerates the variants delta replication can run
+// on: Mergeable (to fold peer deltas) and Snapshottable (to ship them).
+func mergeableSnapshotters() []sketch.Entry {
+	return sketch.ByCapability(sketch.CapMergeable, sketch.CapSnapshottable)
+}
+
+// reencode ships src through its snapshot wire format into a fresh
+// same-Spec sketch, as the replicator does with a peer delta.
+func reencode(t *testing.T, e sketch.Entry, spec sketch.Spec, src sketch.Sketch) sketch.Sketch {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := src.(sketch.Snapshotter).Snapshot(&buf); err != nil {
+		t.Fatalf("%s: Snapshot: %v", e.Name, err)
+	}
+	dst := e.Build(spec)
+	if err := dst.(sketch.Snapshotter).Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("%s: Restore: %v", e.Name, err)
+	}
+	return dst
+}
+
+func deltaFoldRoundTrip(t *testing.T, e sketch.Entry, spec sketch.Spec) {
+	t.Helper()
+	peerStream := stream.Zipf(20_000, 1_500, 1.0, 21)
+	localStream := stream.Zipf(20_000, 1_500, 0.8, 22)
+
+	peer := e.Build(spec)
+	sketch.InsertBatch(peer, peerStream.Items)
+
+	// Fold the peer's state twice: once directly, once through the snapshot
+	// wire format. The two merged views must agree bit-for-bit on every key
+	// either stream touched — restore fidelity composed with Merge, which is
+	// exactly what a replica's merged view depends on.
+	direct := e.Build(spec)
+	sketch.InsertBatch(direct, localStream.Items)
+	if err := sketch.Merge(direct, peer); err != nil {
+		t.Fatalf("%s: direct merge: %v", e.Name, err)
+	}
+	viaWire := e.Build(spec)
+	sketch.InsertBatch(viaWire, localStream.Items)
+	restored := reencode(t, e, spec, peer)
+	if err := sketch.Merge(viaWire, restored); err != nil {
+		t.Fatalf("%s: merging restored delta: %v", e.Name, err)
+	}
+
+	probe := func(truth map[uint64]uint64) {
+		for key := range truth {
+			if a, b := direct.Query(key), viaWire.Query(key); a != b {
+				t.Fatalf("%s: key %d: direct merge estimates %d, wire-format merge %d", e.Name, key, a, b)
+			}
+		}
+	}
+	probe(peerStream.Truth())
+	probe(localStream.Truth())
+}
+
+func TestDeltaFoldSnapshotRoundTripAllMergeables(t *testing.T) {
+	for _, e := range mergeableSnapshotters() {
+		e := e
+		t.Run(e.Name+"_flat", func(t *testing.T) {
+			deltaFoldRoundTrip(t, e, sketch.Spec{MemoryBytes: 128 << 10, Lambda: 25, Seed: 9})
+		})
+		t.Run(e.Name+"_sharded", func(t *testing.T) {
+			deltaFoldRoundTrip(t, e, sketch.Spec{MemoryBytes: 256 << 10, Lambda: 25, Seed: 9, Shards: 4})
+		})
+	}
+}
+
+// snapshotOf serializes a freshly fed sketch built from spec.
+func snapshotOf(t *testing.T, e sketch.Entry, spec sketch.Spec) []byte {
+	t.Helper()
+	s := stream.Zipf(5_000, 500, 1.0, 7)
+	sk := e.Build(spec)
+	sketch.InsertBatch(sk, s.Items)
+	var buf bytes.Buffer
+	if err := sk.(sketch.Snapshotter).Snapshot(&buf); err != nil {
+		t.Fatalf("%s: Snapshot: %v", e.Name, err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotMismatchedSpecsRefusedWithNamedError(t *testing.T) {
+	flat := sketch.Spec{MemoryBytes: 128 << 10, Lambda: 25, Seed: 9}
+	sharded := flat
+	sharded.Shards = 4
+
+	for _, e := range mergeableSnapshotters() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			flatSnap := snapshotOf(t, e, flat)
+			shardedSnap := snapshotOf(t, e, sharded)
+
+			refuse := func(what string, spec sketch.Spec, snap []byte) {
+				t.Helper()
+				err := e.Build(spec).(sketch.Snapshotter).Restore(bytes.NewReader(snap))
+				if err == nil {
+					t.Fatalf("%s: %s: restore accepted a mismatched snapshot", e.Name, what)
+				}
+				if !errors.Is(err, sketch.ErrSnapshotMismatch) {
+					t.Fatalf("%s: %s: error %v is not sketch.ErrSnapshotMismatch", e.Name, what, err)
+				}
+			}
+
+			refuse("flat snapshot into sharded sketch", sharded, flatSnap)
+			refuse("sharded snapshot into flat sketch", flat, shardedSnap)
+
+			wrongCount := sharded
+			wrongCount.Shards = 8
+			refuse("4-shard snapshot into 8-shard sketch", wrongCount, shardedSnap)
+
+			wrongSeed := sharded
+			wrongSeed.Seed = 10
+			refuse("routing-seed mismatch", wrongSeed, shardedSnap)
+		})
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"repro/internal/sketch"
 )
 
 // Entry is a serializable monitored counter: the key, its estimate, and
@@ -78,7 +80,7 @@ func (s *Sketch) Restore(r io.Reader) error {
 		return fmt.Errorf("spacesaving: reading snapshot magic: %w", err)
 	}
 	if magic != ssMagic {
-		return fmt.Errorf("spacesaving: bad snapshot magic %q", magic[:])
+		return fmt.Errorf("%w: bad spacesaving snapshot magic %q", sketch.ErrSnapshotMismatch, magic[:])
 	}
 	read := func() (uint64, error) { return binary.ReadUvarint(br) }
 	capacity, err := read()
@@ -86,7 +88,7 @@ func (s *Sketch) Restore(r io.Reader) error {
 		return fmt.Errorf("spacesaving: snapshot capacity: %w", err)
 	}
 	if int(capacity) != s.cap {
-		return fmt.Errorf("spacesaving: snapshot capacity %d, sketch built with %d", capacity, s.cap)
+		return fmt.Errorf("%w: spacesaving snapshot capacity %d, sketch built with %d", sketch.ErrSnapshotMismatch, capacity, s.cap)
 	}
 	n, err := read()
 	if err != nil {

@@ -9,12 +9,16 @@
 //	rsgen -dataset zipf3.0 -items 32000000 -stats-only
 //	rsgen -dist zipf -skew 1.2 -distinct 5000 -items 100000
 //	rsgen -dist zipf -skew 1.1 -items 50000 -ingest http://127.0.0.1:8080 -batch 2000
+//	rsgen -dist zipf -skew 1.1 -items 50000 -query http://127.0.0.1:8080 -qbatch 64 -qconc 8
 //
 // -dist zipf builds a parametric Zipf stream (any -skew and -distinct, not
 // just the named zipf0.3/zipf3.0 presets). -ingest streams the workload
 // into a running rsserve (or cluster router) over POST /v2/ingest instead
 // of writing a file, reporting the summed Ack so dropped writes are
-// visible.
+// visible. -query drives the workload's keys through POST /v2/query as
+// point batches instead — the read-side sibling, for exercising the result
+// cache under a realistic (zipf-skewed) key popularity — reporting QPS,
+// p50/p99 batch latency, and the fraction of keys served from the cache.
 package main
 
 import (
@@ -25,6 +29,8 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/stream"
 )
@@ -42,6 +48,9 @@ func main() {
 		weighted  = flag.Bool("bytes", false, "emit byte-weighted values (packet sizes)")
 		ingestURL = flag.String("ingest", "", "stream into this server's POST /v2/ingest instead of a file")
 		batch     = flag.Int("batch", 4096, "items per /v2/ingest request")
+		queryURL  = flag.String("query", "", "drive this server's POST /v2/query with the stream's keys instead of writing a file")
+		qbatch    = flag.Int("qbatch", 64, "keys per /v2/query batch in -query mode")
+		qconc     = flag.Int("qconc", 4, "concurrent query clients in -query mode")
 	)
 	flag.Parse()
 
@@ -69,6 +78,17 @@ func main() {
 	}
 
 	printStats(s)
+	if *queryURL != "" {
+		if *qbatch < 1 || *qconc < 1 {
+			fmt.Fprintln(os.Stderr, "rsgen: -qbatch and -qconc must be ≥ 1")
+			os.Exit(2)
+		}
+		if err := queryStream(*queryURL, s, *qbatch, *qconc); err != nil {
+			fmt.Fprintf(os.Stderr, "rsgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *ingestURL != "" {
 		if *batch < 1 {
 			fmt.Fprintln(os.Stderr, "rsgen: -batch must be ≥ 1")
@@ -134,6 +154,106 @@ func ingestStream(base string, s *stream.Stream, batchSize int) error {
 	}
 	fmt.Printf("ingested %d items into %s (%d accepted, %d dropped)\n",
 		len(s.Items), base, accepted, dropped)
+	return nil
+}
+
+// queryStream partitions the stream's keys into point-query batches and
+// drives them through base/v2/query from conc concurrent clients — the
+// read-side load generator. The stream's key order IS the popularity
+// distribution (a zipf stream repeats hot keys), so the server's result
+// cache sees a realistic skewed reference pattern. Prints throughput,
+// batch latency percentiles, and the cache's share of the keys served.
+func queryStream(base string, s *stream.Stream, batchSize, conc int) error {
+	type batchJob struct{ keys []uint64 }
+	jobs := make([]batchJob, 0, len(s.Items)/batchSize+1)
+	for off := 0; off < len(s.Items); off += batchSize {
+		end := off + batchSize
+		if end > len(s.Items) {
+			end = len(s.Items)
+		}
+		keys := make([]uint64, end-off)
+		for i, it := range s.Items[off:end] {
+			keys[i] = it.Key
+		}
+		jobs = append(jobs, batchJob{keys: keys})
+	}
+
+	var (
+		mu         sync.Mutex
+		latencies  []time.Duration
+		totalKeys  int
+		cachedKeys int
+		firstErr   error
+	)
+	next := make(chan batchJob)
+	var wg sync.WaitGroup
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range next {
+				body, err := json.Marshal(map[string]any{"kind": "point", "keys": job.keys})
+				if err == nil {
+					start := time.Now()
+					var resp *http.Response
+					resp, err = http.Post(base+"/v2/query", "application/json", bytes.NewReader(body))
+					if err == nil {
+						var ans struct {
+							CachedKeys int `json:"cached_keys"`
+						}
+						decErr := json.NewDecoder(resp.Body).Decode(&ans)
+						resp.Body.Close()
+						switch {
+						case resp.StatusCode != http.StatusOK:
+							err = fmt.Errorf("server answered %s", resp.Status)
+						case decErr != nil:
+							err = fmt.Errorf("decoding answer: %w", decErr)
+						default:
+							mu.Lock()
+							latencies = append(latencies, time.Since(start))
+							totalKeys += len(job.keys)
+							cachedKeys += ans.CachedKeys
+							mu.Unlock()
+						}
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	start := time.Now()
+	for _, job := range jobs {
+		next <- job
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return firstErr
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	fmt.Printf("queried %d keys in %d batches against %s (%d clients)\n",
+		totalKeys, len(latencies), base, conc)
+	fmt.Printf("elapsed:    %v (%.0f keys/s, %.0f batches/s)\n",
+		elapsed.Round(time.Millisecond),
+		float64(totalKeys)/elapsed.Seconds(), float64(len(latencies))/elapsed.Seconds())
+	fmt.Printf("latency:    p50 %v  p99 %v\n", pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+	fmt.Printf("cache:      %d/%d keys served cached (%.2f%%)\n",
+		cachedKeys, totalKeys, 100*float64(cachedKeys)/float64(totalKeys))
 	return nil
 }
 

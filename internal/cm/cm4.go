@@ -1,0 +1,100 @@
+package cm
+
+import "repro/internal/hash"
+
+// sketch4Depth is the row count of Sketch4. Four rows is the standard
+// TinyLFU configuration (Einziger et al.): with 4-bit counters the sketch
+// only has to rank candidates, not estimate frequencies, so extra depth
+// buys nothing a halving cycle does not already provide.
+const sketch4Depth = 4
+
+// Sketch4 is a compact count-min sketch with 4-bit saturating counters —
+// the frequency half of the W-TinyLFU admission policy, where a full
+// 32-bit Sketch would spend 8× the memory on counts that are reset by
+// periodic halving anyway. Sixteen counters pack into each uint64 word and
+// rows share one contiguous row-major slice, the same flattened layout as
+// Sketch; per-row bucket indexes derive from one shared key-side mix
+// (hash.PreKey / hash.BucketPre), the multi-row amortization every sketch
+// in this repository uses.
+//
+// Sketch4 is NOT safe for concurrent use: the cache shard that owns it
+// already serializes accesses under its lock.
+type Sketch4 struct {
+	words       []uint64
+	width       int // counters per row, a multiple of 16
+	wordsPerRow int
+	seeds       [sketch4Depth]uint64
+}
+
+// New4 builds a 4-bit count-min sketch with at least counters counters per
+// row (rounded up to a power of two, floor 64), seeded deterministically
+// from seed.
+func New4(counters int, seed uint64) *Sketch4 {
+	w := 64
+	for w < counters {
+		w <<= 1
+	}
+	s := &Sketch4{
+		words:       make([]uint64, sketch4Depth*w/16),
+		width:       w,
+		wordsPerRow: w / 16,
+	}
+	f := hash.NewFamily(seed, sketch4Depth)
+	for i := range s.seeds {
+		s.seeds[i] = f.Seed(i)
+	}
+	return s
+}
+
+// Inc bumps every mapped counter by one, saturating at 15. Saturation
+// keeps a single hot key from wrapping into a cold-looking count; the
+// periodic Halve restores headroom.
+func (s *Sketch4) Inc(key uint64) {
+	pk := hash.PreKey(key)
+	base := 0
+	for _, seed := range s.seeds {
+		j := uint64(hash.BucketPre(pk, seed, s.width))
+		word := base + int(j>>4)
+		shift := (j & 15) * 4
+		if (s.words[word]>>shift)&0xf < 15 {
+			s.words[word] += 1 << shift
+		}
+		base += s.wordsPerRow
+	}
+}
+
+// Estimate returns the minimum mapped counter — an overestimate of key's
+// recorded accesses since the last halving, in [0, 15].
+func (s *Sketch4) Estimate(key uint64) uint32 {
+	pk := hash.PreKey(key)
+	min := uint32(15)
+	base := 0
+	for _, seed := range s.seeds {
+		j := uint64(hash.BucketPre(pk, seed, s.width))
+		c := uint32(s.words[base+int(j>>4)]>>((j&15)*4)) & 0xf
+		if c < min {
+			min = c
+		}
+		base += s.wordsPerRow
+	}
+	return min
+}
+
+// Halve divides every counter by two, the TinyLFU aging step: run once per
+// sample period, it turns lifetime counts into an exponentially decayed
+// recency-weighted frequency, so yesterday's heavy hitter cannot squat the
+// admission filter forever.
+func (s *Sketch4) Halve() {
+	for i, w := range s.words {
+		s.words[i] = (w >> 1) & 0x7777777777777777
+	}
+}
+
+// Width returns the counters per row.
+func (s *Sketch4) Width() int { return s.width }
+
+// MemoryBytes reports the packed counter storage.
+func (s *Sketch4) MemoryBytes() int { return len(s.words) * 8 }
+
+// Reset zeroes all counters.
+func (s *Sketch4) Reset() { clear(s.words) }

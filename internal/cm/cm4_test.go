@@ -1,0 +1,87 @@
+package cm
+
+import "testing"
+
+func TestSketch4CountsAndSaturates(t *testing.T) {
+	s := New4(1024, 7)
+	if got := s.Estimate(42); got != 0 {
+		t.Fatalf("fresh estimate = %d, want 0", got)
+	}
+	for i := 0; i < 5; i++ {
+		s.Inc(42)
+	}
+	if got := s.Estimate(42); got < 5 {
+		t.Fatalf("estimate after 5 incs = %d, want ≥ 5 (count-min never underestimates)", got)
+	}
+	for i := 0; i < 100; i++ {
+		s.Inc(42)
+	}
+	if got := s.Estimate(42); got != 15 {
+		t.Fatalf("saturated estimate = %d, want 15", got)
+	}
+}
+
+func TestSketch4Halve(t *testing.T) {
+	s := New4(1024, 7)
+	for i := 0; i < 8; i++ {
+		s.Inc(1)
+	}
+	s.Inc(2)
+	before1, before2 := s.Estimate(1), s.Estimate(2)
+	s.Halve()
+	if got := s.Estimate(1); got != before1/2 {
+		t.Errorf("halved estimate(1) = %d, want %d", got, before1/2)
+	}
+	if got := s.Estimate(2); got != before2/2 {
+		t.Errorf("halved estimate(2) = %d, want %d (odd counts round down)", got, before2/2)
+	}
+}
+
+// TestSketch4HalveNeverLeaksAcrossCounters pins the packed-word masking:
+// halving must not shift a neighboring counter's low bit into this one.
+func TestSketch4HalveNeverLeaksAcrossCounters(t *testing.T) {
+	s := New4(64, 3)
+	keys := []uint64{10, 11, 12, 13, 14, 15, 16, 17}
+	for _, k := range keys {
+		for i := uint64(0); i < k; i++ {
+			s.Inc(k)
+		}
+	}
+	want := make(map[uint64]uint32, len(keys))
+	for _, k := range keys {
+		want[k] = s.Estimate(k) / 2
+	}
+	s.Halve()
+	for _, k := range keys {
+		if got := s.Estimate(k); got < want[k] {
+			t.Errorf("estimate(%d) after halve = %d, want ≥ %d", k, got, want[k])
+		}
+	}
+}
+
+func TestSketch4Reset(t *testing.T) {
+	s := New4(128, 1)
+	s.Inc(9)
+	s.Reset()
+	if got := s.Estimate(9); got != 0 {
+		t.Fatalf("estimate after reset = %d, want 0", got)
+	}
+}
+
+func TestSketch4Geometry(t *testing.T) {
+	s := New4(100, 1)
+	if s.Width() != 128 {
+		t.Errorf("width = %d, want 128 (rounded up to a power of two)", s.Width())
+	}
+	if got := s.MemoryBytes(); got != sketch4Depth*128/2 {
+		t.Errorf("memory = %dB, want %d (4 bits per counter)", got, sketch4Depth*128/2)
+	}
+}
+
+func BenchmarkSketch4Inc(b *testing.B) {
+	s := New4(4096, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Inc(uint64(i) & 1023)
+	}
+}

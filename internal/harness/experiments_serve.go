@@ -76,12 +76,116 @@ func ServeLoad(o Options) (*Table, error) {
 		return nil, err
 	}
 	t.AddRow(append([]any{fmt.Sprintf("/v2 batch×%d, 4096 entries", serveBatchKeys)}, batchRow...)...)
+	// Policy comparison: the same zipf-skewed trace against each eviction
+	// policy at equal (pressured) capacity — the admission-controlled
+	// policies must stop the zipf tail's one-hit wonders from displacing
+	// the hot head, which shows up directly as hit rate.
+	zipfTrace := stream.NewZipfSampler(servePolicyDistinct, servePolicySkew, o.Seed).
+		Stream("zipf", serveClients*servePolicyQueries).Items
+	for _, policy := range []string{"lru", "s3fifo", "tinylfu"} {
+		row, err := servePolicyOnce(spec, s, policy, zipfTrace)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(append([]any{fmt.Sprintf("/v1 zipf%.1f, %s, %d entries", servePolicySkew, policy, servePolicyCapacity)}, row...)...)
+	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("stream=%s items=%d; standalone Ours backend, cumulative mode, 1s TTL", s.Name, s.Len()),
 		"hit rate counts singleflight-collapsed queries as hits (they never touched the sketch)",
 		"KeyQPS is keys answered per second: /v1 answers 1 key per request, /v2 a whole batch",
-		"/v2 latency percentiles are per batch request (256 keys each), not per key")
+		"/v2 latency percentiles are per batch request (256 keys each), not per key",
+		fmt.Sprintf("policy rows share one zipf trace (skew %.1f, %d distinct keys) at %d-entry capacity",
+			servePolicySkew, servePolicyDistinct, servePolicyCapacity))
 	return t, nil
+}
+
+// Policy-comparison shape: a zipf-skewed key popularity over more distinct
+// keys than the cache holds, so eviction quality is what decides the hit
+// rate.
+const (
+	servePolicyDistinct = 4096
+	servePolicySkew     = 1.1
+	servePolicyCapacity = 512
+	servePolicyQueries  = 2000
+)
+
+// servePolicyOnce replays a pre-drawn zipf trace of /v1/point queries
+// against a fresh server running one eviction policy, each client walking
+// its own disjoint slice of the trace. The TTL is long so the hit rate
+// reflects eviction quality alone.
+func servePolicyOnce(spec sketch.Spec, s *stream.Stream, policy string, trace []stream.Item) ([]any, error) {
+	b, err := queryd.NewSketchBackend("Ours", spec, 0, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	b.Ingest(ingest.Batch{Items: s.Items})
+	srv, err := queryd.New(b, queryd.Config{
+		CacheCapacity: servePolicyCapacity,
+		CachePolicy:   policy,
+		CacheTTL:      time.Hour,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+
+	perClient := len(trace) / serveClients
+	var wg sync.WaitGroup
+	latencies := make([][]time.Duration, serveClients)
+	errs := make([]error, serveClients)
+	start := time.Now()
+	for c := 0; c < serveClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := ts.Client()
+			lats := make([]time.Duration, 0, perClient)
+			for _, it := range trace[c*perClient : (c+1)*perClient] {
+				t0 := time.Now()
+				resp, err := client.Get(fmt.Sprintf("%s/v1/point?key=%d", ts.URL, it.Key))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs[c] = fmt.Errorf("serve policy %s: status %d", policy, resp.StatusCode)
+					return
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			latencies[c] = lats
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var all []time.Duration
+	for _, lats := range latencies {
+		all = append(all, lats...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	stats := queryd.CacheStats{}
+	if raw, err := ts.Client().Get(ts.URL + "/v1/status"); err == nil {
+		var st queryd.StatusResponse
+		if err := json.NewDecoder(raw.Body).Decode(&st); err == nil {
+			stats = st.Cache
+		}
+		raw.Body.Close()
+	}
+	return []any{
+		len(all),
+		stats.HitRate,
+		float64(percentile(all, 0.50).Microseconds()),
+		float64(percentile(all, 0.99).Microseconds()),
+		float64(len(all)) / elapsed.Seconds(),
+	}, nil
 }
 
 // serveBatchOnce runs the batch load round: the same concurrent clients,

@@ -12,22 +12,38 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/netsum"
 	"repro/internal/query"
+	"repro/internal/rcache"
 	"repro/internal/sketch"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/telhttp"
 )
 
-// Config tunes the server. The zero value is usable: a 4096-entry cache,
-// 250ms TTL for live answers, query-plane batch limits, and no
+// Config tunes the server. The zero value is usable: a 4096-entry sharded
+// LRU cache, 250ms TTL for live answers, query-plane batch limits, and no
 // checkpointing.
 type Config struct {
 	// CacheCapacity bounds the result cache (entries); ≤ 0 means 4096.
 	CacheCapacity int
 	// CacheTTL is how long live-window (cumulative) answers stay fresh;
 	// ≤ 0 means 250ms. Sealed-window answers ignore it — they are immutable
-	// and cache until their generation is superseded.
+	// and cache until their generation is superseded. Cached deterministic
+	// errors (unknown agents) expire on the same interval.
 	CacheTTL time.Duration
+	// CachePolicy names the eviction/admission policy: rcache.PolicyLRU
+	// (the default), rcache.PolicyS3FIFO, or rcache.PolicyTinyLFU. Unknown
+	// names fail New.
+	CachePolicy string
+	// CacheShards is the result cache's shard count (rounded up to a power
+	// of two); ≤ 0 means rcache.DefaultShards.
+	CacheShards int
+	// CacheSWR is the stale-while-revalidate window appended after
+	// CacheTTL: an expired live answer still inside it is served
+	// immediately while one background flight refreshes the entry. Sound
+	// because a certified interval stays a correct interval for the state
+	// it was computed from — staleness costs freshness, never soundness.
+	// Zero disables SWR.
+	CacheSWR time.Duration
 	// MaxBatch caps the keys of one /v2/query request; ≤ 0 means the
 	// query-plane-wide query.MaxBatchKeys. Values above that are clamped —
 	// the shared limit protects every surface identically.
@@ -77,7 +93,7 @@ type Config struct {
 type Server struct {
 	b     Backend
 	cfg   Config
-	cache *Cache
+	cache *rcache.Cache
 	mux   *http.ServeMux
 
 	// reg is the telemetry plane: every subsystem the server fronts
@@ -126,6 +142,10 @@ func New(b Backend, cfg Config) (*Server, error) {
 	if cfg.CacheTTL <= 0 {
 		cfg.CacheTTL = 250 * time.Millisecond
 	}
+	policy, err := rcache.ParsePolicy(cfg.CachePolicy)
+	if err != nil {
+		return nil, fmt.Errorf("queryd: %w", err)
+	}
 	if cfg.MaxBatch <= 0 || cfg.MaxBatch > query.MaxBatchKeys {
 		cfg.MaxBatch = query.MaxBatchKeys
 	}
@@ -133,12 +153,24 @@ func New(b Backend, cfg Config) (*Server, error) {
 		cfg.Metrics = telemetry.NewRegistry()
 	}
 	s := &Server{
-		b:     b,
-		cfg:   cfg,
-		cache: NewCache(cfg.CacheCapacity, cfg.CacheTTL, cfg.Clock),
-		mux:   http.NewServeMux(),
-		reg:   cfg.Metrics,
-		stop:  make(chan struct{}),
+		b:   b,
+		cfg: cfg,
+		cache: rcache.New(rcache.Config{
+			Capacity: cfg.CacheCapacity,
+			Shards:   cfg.CacheShards,
+			Policy:   policy,
+			TTL:      cfg.CacheTTL,
+			SWR:      cfg.CacheSWR,
+			// Unknown-agent errors are deterministic until new data
+			// arrives: cache the 404 for one TTL so repeated probes for
+			// absent agents stop reaching the backend.
+			NegTTL:         cfg.CacheTTL,
+			CacheableError: func(err error) bool { return errors.Is(err, netsum.ErrUnknownAgent) },
+			Clock:          cfg.Clock,
+		}),
+		mux:  http.NewServeMux(),
+		reg:  cfg.Metrics,
+		stop: make(chan struct{}),
 	}
 	s.batchKeys = s.reg.Histogram("queryd_batch_keys",
 		"Keys per /v2/query batch request.", nil, telemetry.SizeBuckets())
@@ -148,7 +180,7 @@ func New(b Backend, cfg Config) (*Server, error) {
 		telemetry.Labels{"result": "error"}, &s.ckptFailed)
 	s.ckptSeconds = s.reg.Histogram("queryd_checkpoint_duration_seconds",
 		"Latency of one whole checkpoint write.", nil, telemetry.LatencyBuckets())
-	s.cache.RegisterMetrics(s.reg)
+	s.cache.RegisterMetrics(s.reg, "queryd_cache")
 	// Backends register the instruments their Status counters already read:
 	// one source of truth behind both /v1/status JSON and /metrics.
 	if rm, ok := b.(interface{ RegisterMetrics(*telemetry.Registry) }); ok {
@@ -365,6 +397,12 @@ func (r ExecResponse) withCached(c bool) any { r.Cached = c; return r }
 // stamped without mutating the stored value.
 type cacheable interface{ withCached(bool) any }
 
+// CacheStats is the result cache's counter snapshot as it appears in
+// /v1/status. It is rcache.Stats verbatim: the first eight fields keep the
+// legacy JSON shape, and the policy-specific fields only appear when
+// non-zero.
+type CacheStats = rcache.Stats
+
 // StatusResponse is the JSON body of /v1/status.
 type StatusResponse struct {
 	Backend    Status            `json:"backend"`
@@ -444,7 +482,20 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	for i, k := range req.Keys {
 		cacheKeys[i] = execCacheKey(req, k)
 	}
-	cached := s.cache.LookupMany(cacheKeys, gen)
+	cached, stale := s.cache.LookupMany(cacheKeys, gen)
+	if len(stale) > 0 {
+		// LookupMany handed this request the revalidation claim for these
+		// expired-but-servable entries: refresh them off the request path,
+		// in one backend batch, and let StoreMany discharge the claims.
+		sub := req
+		sub.Keys = make([]uint64, len(stale))
+		refreshKeys := make([]string, len(stale))
+		for j, i := range stale {
+			sub.Keys[j] = req.Keys[i]
+			refreshKeys[j] = cacheKeys[i]
+		}
+		go s.refreshExec(sub, refreshKeys, gen, epochal)
+	}
 	var missIdx []int
 	var missKeys []uint64
 	haveMeta := false
@@ -509,6 +560,29 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		resp.KeyCoverage = 1
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// refreshExec is the batch half of stale-while-revalidate: recompute the
+// claimed stale keys in one backend batch and store the results under the
+// same coverage gating as the foreground path. A failed or degraded
+// (partial-coverage) refresh stores nothing — the stale entries keep
+// serving until their SWR window lapses, then miss normally.
+func (s *Server) refreshExec(sub query.Request, cacheKeys []string, gen uint64, epochal bool) {
+	ans, err := s.b.Execute(sub)
+	if err != nil || (ans.KeyCoverage != 0 && ans.KeyCoverage != 1) {
+		return
+	}
+	vals := make([]any, len(cacheKeys))
+	for j := range cacheKeys {
+		vals[j] = execEntry{
+			est:       ans.PerKey[j],
+			coverage:  ans.Coverage,
+			certified: ans.Certified,
+			source:    ans.Source,
+			covered:   ans.KeyCoverage == 1,
+		}
+	}
+	s.cache.StoreMany(cacheKeys, gen, epochal, vals)
 }
 
 func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {

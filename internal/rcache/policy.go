@@ -1,0 +1,151 @@
+package rcache
+
+import "fmt"
+
+// Policy names accepted by Config.Policy and the -cache-policy flag.
+const (
+	// PolicyLRU is the compatibility default: one recency queue per
+	// shard, evicting the least recently used entry — exactly the cache
+	// queryd shipped with before admission control existed.
+	PolicyLRU = "lru"
+	// PolicyS3FIFO is the S3-FIFO design (Yang et al., SOSP '23): a small
+	// probationary FIFO absorbs one-hit wonders, survivors promote into a
+	// main FIFO with lazy reinsertion, and a ghost queue of recently
+	// evicted keys routes returning keys straight into main.
+	PolicyS3FIFO = "s3fifo"
+	// PolicyTinyLFU is W-TinyLFU (Einziger et al.): a tiny admission
+	// window in front of a segmented-LRU main, with a 4-bit count-min
+	// frequency sketch plus doorkeeper Bloom filter deciding whether a
+	// candidate's access frequency earns the eviction of main's victim.
+	PolicyTinyLFU = "tinylfu"
+)
+
+// ParsePolicy validates a policy name, returning the canonical constant.
+func ParsePolicy(s string) (string, error) {
+	switch s {
+	case "", PolicyLRU:
+		return PolicyLRU, nil
+	case PolicyS3FIFO:
+		return PolicyS3FIFO, nil
+	case PolicyTinyLFU:
+		return PolicyTinyLFU, nil
+	}
+	return "", fmt.Errorf("rcache: unknown cache policy %q (want %s, %s, or %s)",
+		s, PolicyLRU, PolicyS3FIFO, PolicyTinyLFU)
+}
+
+// policy is one shard's eviction/admission strategy. Every call happens
+// under the owning shard's mutex, so implementations need no locking of
+// their own. Victims leave through the evict callback wired at
+// construction, which removes them from the shard's entry map (the policy
+// has already unlinked them from its queues).
+type policy interface {
+	// add offers a newly stored entry. The policy places it and evicts as
+	// needed to hold its capacity; under an admission-controlled policy
+	// the offered entry itself may be the immediate victim.
+	add(e *entry)
+	// touch records a hit on a stored entry.
+	touch(e *entry)
+	// remove unlinks an entry dropped externally (TTL expiry, generation
+	// invalidation, replacement) without counting an eviction.
+	remove(e *entry)
+	// reset drops all policy state; the shard has discarded every entry
+	// wholesale (a generation advance).
+	reset()
+}
+
+// newPolicy builds the named policy for one shard of cap entries. c
+// supplies the shared policy counters (ghost hits, admission rejects) and
+// the eviction counter behind onEvict.
+func newPolicy(name string, cap int, c *Cache, onEvict func(*entry)) policy {
+	switch name {
+	case PolicyS3FIFO:
+		return newS3FIFO(cap, onEvict, &c.ghostHits)
+	case PolicyTinyLFU:
+		return newTinyLFU(cap, onEvict, &c.admissionRejects)
+	default:
+		return &lruPolicy{cap: cap, onEvict: onEvict}
+	}
+}
+
+// Queue tags for entry.where: which policy queue currently links an entry.
+const (
+	qNone int8 = iota
+	qLRU
+	qSmall     // S3-FIFO probationary FIFO
+	qMain      // S3-FIFO main FIFO
+	qWindow    // TinyLFU admission window
+	qProbation // TinyLFU SLRU probation segment
+	qProtected // TinyLFU SLRU protected segment
+)
+
+// fifo is an intrusive doubly-linked queue over cache entries: push at the
+// head, evict from the tail. Entries carry their own links, so membership
+// costs no allocation and removal is O(1) — the shard's hot path stays
+// pointer swaps under its lock.
+type fifo struct {
+	head, tail *entry
+	n          int
+}
+
+func (q *fifo) pushHead(e *entry) {
+	e.prev = nil
+	e.next = q.head
+	if q.head != nil {
+		q.head.prev = e
+	} else {
+		q.tail = e
+	}
+	q.head = e
+	q.n++
+}
+
+func (q *fifo) remove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		q.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		q.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	e.where = qNone
+	q.n--
+}
+
+func (q *fifo) popTail() *entry {
+	e := q.tail
+	if e != nil {
+		q.remove(e)
+	}
+	return e
+}
+
+// lruPolicy is the compat default: one recency queue, strict
+// least-recently-used eviction, no admission control.
+type lruPolicy struct {
+	cap     int
+	q       fifo
+	onEvict func(*entry)
+}
+
+func (p *lruPolicy) add(e *entry) {
+	e.where = qLRU
+	p.q.pushHead(e)
+	for p.q.n > p.cap {
+		p.onEvict(p.q.popTail())
+	}
+}
+
+func (p *lruPolicy) touch(e *entry) {
+	p.q.remove(e)
+	e.where = qLRU
+	p.q.pushHead(e)
+}
+
+func (p *lruPolicy) remove(e *entry) { p.q.remove(e) }
+
+func (p *lruPolicy) reset() { p.q = fifo{} }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package rcache
+
+const raceEnabled = false

@@ -1,0 +1,169 @@
+package rcache
+
+import "repro/internal/telemetry"
+
+// s3fifoPolicy implements S3-FIFO ("FIFO queues are all you need for cache
+// eviction", Yang et al., SOSP '23): three queues per shard.
+//
+//   - small (~10% of capacity) is probation: every new key lands here, and
+//     a key never accessed again is evicted from its tail without ever
+//     touching main — the one-hit wonders that dominate zipfian tails stop
+//     displacing the hot head.
+//   - main (~90%) holds survivors. Eviction scans from the tail with lazy
+//     promotion: an entry accessed since it was last considered gets its
+//     access bits decremented and reinserted at the head instead of dying,
+//     a CLOCK-like second chance without any per-access list move.
+//   - ghost remembers the hashes of keys recently evicted from small. A
+//     returning ghost key skips probation and enters main directly — the
+//     signal that it was demoted too eagerly.
+//
+// Hits only saturate a 2-bit counter (no list movement), so the hit path
+// is cheaper than LRU's move-to-front; all queue surgery happens at
+// insert/evict time.
+type s3fifoPolicy struct {
+	cap      int
+	smallCap int
+	small    fifo
+	main     fifo
+	ghost    ghostQueue
+	onEvict  func(*entry)
+	ghostHit *telemetry.Counter
+}
+
+// s3MaxFreq saturates the per-entry access counter: the original design's
+// 2-bit cap, enough to distinguish warm from hot without letting an old
+// burst defer eviction forever.
+const s3MaxFreq = 3
+
+func newS3FIFO(cap int, onEvict func(*entry), ghostHit *telemetry.Counter) *s3fifoPolicy {
+	smallCap := cap / 10
+	if smallCap < 1 {
+		smallCap = 1
+	}
+	return &s3fifoPolicy{
+		cap:      cap,
+		smallCap: smallCap,
+		ghost:    newGhostQueue(cap),
+		onEvict:  onEvict,
+		ghostHit: ghostHit,
+	}
+}
+
+func (p *s3fifoPolicy) add(e *entry) {
+	if p.ghost.remove(e.hash) {
+		// The key was evicted recently and came back: probation already
+		// judged it wrong once, so it enters main directly.
+		p.ghostHit.Inc()
+		e.where = qMain
+		p.main.pushHead(e)
+	} else {
+		e.where = qSmall
+		p.small.pushHead(e)
+	}
+	for p.small.n+p.main.n > p.cap {
+		p.evictOne()
+	}
+}
+
+// evictOne makes one unit of progress toward capacity: it either evicts an
+// entry or moves one small survivor into main / reinserts one main entry
+// with a decremented counter, both of which strictly reduce the remaining
+// work, so the caller's loop terminates.
+func (p *s3fifoPolicy) evictOne() {
+	if p.small.n >= p.smallCap || p.main.n == 0 {
+		s := p.small.popTail()
+		if s.freq > 0 {
+			// Accessed since insertion: survived probation, promote.
+			s.freq = 0
+			s.where = qMain
+			p.main.pushHead(s)
+			return
+		}
+		p.ghost.add(s.hash)
+		p.onEvict(s)
+		return
+	}
+	m := p.main.popTail()
+	if m.freq > 0 {
+		m.freq--
+		m.where = qMain
+		p.main.pushHead(m)
+		return
+	}
+	p.onEvict(m)
+}
+
+func (p *s3fifoPolicy) touch(e *entry) {
+	if e.freq < s3MaxFreq {
+		e.freq++
+	}
+}
+
+func (p *s3fifoPolicy) remove(e *entry) {
+	if e.where == qMain {
+		p.main.remove(e)
+	} else {
+		p.small.remove(e)
+	}
+}
+
+func (p *s3fifoPolicy) reset() {
+	p.small = fifo{}
+	p.main = fifo{}
+	p.ghost.reset()
+}
+
+// ghostQueue is S3-FIFO's memory of recently evicted keys: a fixed ring of
+// key hashes plus a multiset for O(1) membership. It stores no entry
+// bodies — a ghost costs 8 bytes of ring plus a map cell, so remembering
+// as many ghosts as the cache holds entries is cheap.
+type ghostQueue struct {
+	ring []uint64
+	head int
+	n    int
+	set  map[uint64]uint8
+}
+
+func newGhostQueue(cap int) ghostQueue {
+	return ghostQueue{ring: make([]uint64, cap), set: make(map[uint64]uint8, cap)}
+}
+
+func (g *ghostQueue) add(h uint64) {
+	if len(g.ring) == 0 {
+		return
+	}
+	if g.n == len(g.ring) {
+		g.forget(g.ring[g.head])
+	} else {
+		g.n++
+	}
+	g.ring[g.head] = h
+	g.head = (g.head + 1) % len(g.ring)
+	g.set[h]++
+}
+
+// remove reports whether h is a ghost, consuming one membership. The ring
+// slot stays behind and is reconciled by forget when it ages out — an
+// approximation (a popped stale slot can debit a newer instance of the
+// same hash) that never affects correctness, only the one-bit routing
+// hint.
+func (g *ghostQueue) remove(h uint64) bool {
+	if g.set[h] == 0 {
+		return false
+	}
+	g.forget(h)
+	return true
+}
+
+func (g *ghostQueue) forget(h uint64) {
+	if c := g.set[h]; c <= 1 {
+		delete(g.set, h)
+	} else {
+		g.set[h] = c - 1
+	}
+}
+
+func (g *ghostQueue) reset() {
+	g.head, g.n = 0, 0
+	clear(g.set)
+}

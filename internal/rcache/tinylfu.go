@@ -1,0 +1,206 @@
+package rcache
+
+import (
+	"repro/internal/cm"
+	"repro/internal/hash"
+	"repro/internal/telemetry"
+)
+
+// tinylfuPolicy implements W-TinyLFU (Einziger, Friedman & Manes, "TinyLFU:
+// A Highly Efficient Cache Admission Policy") per shard:
+//
+//   - A small admission window (~1% of capacity, LRU) gives every new key a
+//     brief residency so bursts are served while their frequency builds.
+//   - The main region is a segmented LRU: probation (~20% of main) holds
+//     admitted keys, protected (~80%) holds keys hit again after admission.
+//   - Admission is frequency-based: a candidate evicted from the window
+//     only enters main by beating main's eviction victim on estimated
+//     access frequency. Frequencies live in a 4-bit count-min sketch
+//     (cm.Sketch4) fronted by a doorkeeper Bloom filter that absorbs the
+//     long tail of once-seen keys; both decay by halving every sampleCap
+//     accesses, so the filter ranks recent popularity, not lifetime counts.
+//
+// The result: a one-hit wonder can never displace a proven-hot entry —
+// the admission duel it would have to win is against exactly that entry.
+type tinylfuPolicy struct {
+	cap          int
+	windowCap    int
+	mainCap      int
+	protectedCap int
+
+	window    fifo
+	probation fifo
+	protected fifo
+
+	sketch    *cm.Sketch4
+	door      doorkeeper
+	samples   int
+	sampleCap int
+
+	onEvict func(*entry)
+	rejects *telemetry.Counter
+}
+
+func newTinyLFU(cap int, onEvict func(*entry), rejects *telemetry.Counter) *tinylfuPolicy {
+	windowCap := cap / 100
+	if windowCap < 1 {
+		windowCap = 1
+	}
+	mainCap := cap - windowCap
+	protectedCap := mainCap * 4 / 5
+	return &tinylfuPolicy{
+		cap:          cap,
+		windowCap:    windowCap,
+		mainCap:      mainCap,
+		protectedCap: protectedCap,
+		sketch:       cm.New4(cap, 0x7f4a7c15),
+		door:         newDoorkeeper(cap),
+		sampleCap:    10 * cap,
+		onEvict:      onEvict,
+		rejects:      rejects,
+	}
+}
+
+// record counts one access to h. The doorkeeper absorbs first-time keys —
+// the zipf tail that would otherwise pollute the sketch's 4-bit counters —
+// and only repeat offenders reach the count-min rows. When the sample
+// window fills, both halves decay: the sketch halves its counters and the
+// doorkeeper clears, turning lifetime counts into recency-weighted ones.
+func (p *tinylfuPolicy) record(h uint64) {
+	if p.door.insert(h) {
+		p.sketch.Inc(h)
+	}
+	p.samples++
+	if p.samples >= p.sampleCap {
+		p.sketch.Halve()
+		p.door.clear()
+		p.samples /= 2
+	}
+}
+
+// freq estimates h's recorded access frequency: the sketch count plus the
+// doorkeeper bit it absorbed.
+func (p *tinylfuPolicy) freq(h uint64) uint32 {
+	f := p.sketch.Estimate(h)
+	if p.door.test(h) {
+		f++
+	}
+	return f
+}
+
+func (p *tinylfuPolicy) add(e *entry) {
+	p.record(e.hash)
+	e.where = qWindow
+	p.window.pushHead(e)
+	for p.window.n > p.windowCap {
+		c := p.window.popTail()
+		if p.probation.n+p.protected.n < p.mainCap {
+			c.where = qProbation
+			p.probation.pushHead(c)
+			continue
+		}
+		victim := p.probation.tail
+		if victim == nil {
+			victim = p.protected.tail
+		}
+		if victim == nil || p.freq(c.hash) > p.freq(victim.hash) {
+			if victim != nil {
+				p.remove(victim)
+				p.onEvict(victim)
+			}
+			c.where = qProbation
+			p.probation.pushHead(c)
+			continue
+		}
+		// The candidate's frequency does not justify evicting a proven
+		// entry: admission denied.
+		p.rejects.Inc()
+		p.onEvict(c)
+	}
+}
+
+func (p *tinylfuPolicy) touch(e *entry) {
+	p.record(e.hash)
+	switch e.where {
+	case qWindow:
+		p.window.remove(e)
+		e.where = qWindow
+		p.window.pushHead(e)
+	case qProbation:
+		// Hit after admission: promote into protected, demoting its
+		// coldest occupant back to probation when full.
+		p.probation.remove(e)
+		e.where = qProtected
+		p.protected.pushHead(e)
+		for p.protected.n > p.protectedCap {
+			d := p.protected.popTail()
+			d.where = qProbation
+			p.probation.pushHead(d)
+		}
+	case qProtected:
+		p.protected.remove(e)
+		e.where = qProtected
+		p.protected.pushHead(e)
+	}
+}
+
+func (p *tinylfuPolicy) remove(e *entry) {
+	switch e.where {
+	case qProbation:
+		p.probation.remove(e)
+	case qProtected:
+		p.protected.remove(e)
+	default:
+		p.window.remove(e)
+	}
+}
+
+func (p *tinylfuPolicy) reset() {
+	p.window = fifo{}
+	p.probation = fifo{}
+	p.protected = fifo{}
+	p.sketch.Reset()
+	p.door.clear()
+	p.samples = 0
+}
+
+// doorkeeper is the Bloom filter in front of the frequency sketch: two
+// probes derived from one extra hash round over the (already mixed) key
+// hash. Sized at ~8 bits per cache entry its false-positive rate stays low
+// enough that the sketch only sees genuinely repeated keys.
+type doorkeeper struct {
+	bits []uint64
+	mask uint32
+}
+
+func newDoorkeeper(entries int) doorkeeper {
+	bits := 512
+	for bits < 8*entries {
+		bits <<= 1
+	}
+	return doorkeeper{bits: make([]uint64, bits/64), mask: uint32(bits - 1)}
+}
+
+func (d *doorkeeper) probes(h uint64) (uint32, uint32) {
+	g := hash.U64(h, 0xd00c)
+	return uint32(g) & d.mask, uint32(g>>32) & d.mask
+}
+
+// insert sets h's bits, reporting whether they were ALL already set (h was
+// plausibly seen before).
+func (d *doorkeeper) insert(h uint64) bool {
+	p1, p2 := d.probes(h)
+	w1, b1 := p1>>6, uint64(1)<<(p1&63)
+	w2, b2 := p2>>6, uint64(1)<<(p2&63)
+	seen := d.bits[w1]&b1 != 0 && d.bits[w2]&b2 != 0
+	d.bits[w1] |= b1
+	d.bits[w2] |= b2
+	return seen
+}
+
+func (d *doorkeeper) test(h uint64) bool {
+	p1, p2 := d.probes(h)
+	return d.bits[p1>>6]&(1<<(p1&63)) != 0 && d.bits[p2>>6]&(1<<(p2&63)) != 0
+}
+
+func (d *doorkeeper) clear() { clear(d.bits) }

@@ -1,8 +1,10 @@
 // Command benchjson converts `go test -bench` text output into a
 // machine-readable JSON document, so CI can archive benchmark runs as
-// artifacts (BENCH_ingest.json, BENCH_wal.json) and the performance
-// trajectory of the ingest plane is recorded run over run instead of
-// scrolling away in logs.
+// artifacts (BENCH_ingest.json, BENCH_wal.json, BENCH_cache.json) and the
+// performance trajectory of the ingest plane is recorded run over run
+// instead of scrolling away in logs. Custom b.ReportMetric units (the cache
+// suite's "hitrate" and "ops/run") are carried through in a per-benchmark
+// metrics map.
 //
 // Usage:
 //
@@ -14,8 +16,10 @@
 // nonzero when any benchmark's ns/op regresses by more than -threshold
 // percent, or (with -allocs) when its allocs/op exceeds the baseline at
 // all — allocations are deterministic, so any growth is a real regression,
-// not noise. The fresh JSON is still written to stdout so one invocation
-// both gates and refreshes the artifact:
+// not noise. A benchmark carrying a "hitrate" metric is likewise gated:
+// hit rate is deterministic for a fixed trace, so any drop beyond rounding
+// is an eviction-policy regression. The fresh JSON is still written to
+// stdout so one invocation both gates and refreshes the artifact:
 //
 //	go test -run '^$' -bench ... -benchmem . |
 //	    go run ./internal/tools/benchjson -compare BENCH_ingest.json -threshold 10 -allocs > fresh.json
@@ -49,6 +53,10 @@ type Benchmark struct {
 	MItemsPerSec float64 `json:"mitems_per_sec"`
 	BytesPerOp   *int64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp  *int64  `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units ("hitrate", "ops/run", ...)
+	// keyed by unit name. A "hitrate" metric is gated: it is deterministic
+	// for a fixed trace, so a drop beyond rounding is a policy regression.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Output is the whole document.
@@ -211,6 +219,15 @@ func gate(fresh Output, baselinePath string, threshold float64, gateAllocs bool,
 			fmt.Fprintf(os.Stderr, "  FAIL %-52s %10d -> %8d allocs/op\n",
 				name, *o.AllocsPerOp, *b.AllocsPerOp)
 		}
+		// Hit rate is deterministic for a fixed trace: allow only rounding
+		// slack, any larger drop means the eviction policy got worse.
+		if oh, hasOld := o.Metrics["hitrate"]; hasOld {
+			if bh, hasNew := b.Metrics["hitrate"]; hasNew && bh < oh-0.005 {
+				ok = false
+				fmt.Fprintf(os.Stderr, "  FAIL %-52s %10.4f -> %8.4f hitrate\n",
+					name, oh, bh)
+			}
+		}
 	}
 	for name := range old {
 		if re != nil && !re.MatchString(name) {
@@ -274,6 +291,11 @@ func parseLine(line string) (Benchmark, bool) {
 		case "allocs/op":
 			n := int64(v)
 			b.AllocsPerOp = &n
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[fields[i+1]] = v
 		}
 	}
 	if b.NsPerOp == 0 {

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # perf_gate.sh — the repo's one perf source of truth.
 #
-# Runs the ingest-plane and WAL benchmark suites and gates them against the
-# committed baselines (BENCH_ingest.json, BENCH_wal.json) via
-# internal/tools/benchjson -compare: the build fails when any benchmark's
-# ns/op regresses past the threshold, or when a hot-path benchmark starts
-# allocating more than its baseline (allocations are deterministic — any
-# growth is a code change, not noise).
+# Runs the ingest-plane, WAL, and result-cache benchmark suites and gates
+# them against the committed baselines (BENCH_ingest.json, BENCH_wal.json,
+# BENCH_cache.json) via internal/tools/benchjson -compare: the build fails
+# when any benchmark's ns/op regresses past the threshold, when a hot-path
+# benchmark starts allocating more than its baseline (allocations are
+# deterministic — any growth is a code change, not noise), or when a cache
+# policy's zipf hit rate drops below its baseline.
 #
 # Usage:
 #   ./scripts/perf_gate.sh            # gate against committed baselines
@@ -20,6 +21,11 @@
 #                            (default 75 — fsync latency on shared storage jitters ~2x;
 #                            the gate is for structural regressions like an
 #                            accidental per-record fsync, which is +1000%)
+#   PERF_GATE_CACHE_THRESHOLD  max ns/op regression %% for the result-cache
+#                            suite (default 25 — lock-contention benchmarks
+#                            jitter more than single-threaded ones; the zipf
+#                            hit-rate metric is gated separately and allows
+#                            no drop beyond rounding)
 #
 # Fresh JSON documents are always left next to the baselines as
 # BENCH_ingest.fresh.json / BENCH_wal.fresh.json, so CI can upload them as
@@ -29,6 +35,7 @@ cd "$(dirname "$0")/.."
 
 THRESHOLD="${PERF_GATE_THRESHOLD:-10}"
 WAL_THRESHOLD="${PERF_GATE_WAL_THRESHOLD:-75}"
+CACHE_THRESHOLD="${PERF_GATE_CACHE_THRESHOLD:-25}"
 REFRESH=0
 if [ "${1:-}" = "--refresh" ]; then
   REFRESH=1
@@ -76,6 +83,18 @@ gate_suite "ingest" BENCH_ingest.json BENCH_ingest.fresh.json "$THRESHOLD" \
 gate_suite "wal" BENCH_wal.json BENCH_wal.fresh.json "$WAL_THRESHOLD" \
   go test -run '^$' -bench 'BenchmarkWAL' \
     -benchtime=1000x -benchmem -count=3 ./internal/wal
+
+# Result cache: two fixed run lengths in one suite. The zipf policy
+# benchmarks replay a whole 200k-key trace per op (3 replays each is
+# plenty — the hit rate they report is deterministic for the trace and is
+# gated with no tolerated drop); the hot-path benchmarks are nanosecond
+# scale and need the large fixed count, with the 0 allocs/op contract
+# enforced via -allocs.
+gate_suite "cache" BENCH_cache.json BENCH_cache.fresh.json "$CACHE_THRESHOLD" \
+  bash -c "go test -run '^\$' -bench 'BenchmarkCache(LRU|S3FIFO|TinyLFU)\$' \
+      -benchtime=3x -benchmem -count=3 ./internal/rcache && \
+    go test -run '^\$' -bench 'BenchmarkCache(Hit|MissEvict)' \
+      -benchtime=300000x -benchmem -count=3 ./internal/rcache"
 
 if [ "$fail" -ne 0 ]; then
   echo "perf gate: FAILED (see comparisons above)" >&2
